@@ -1,0 +1,81 @@
+/// Ablation A1 (ours): how much of HCAM's quality comes from the *Hilbert*
+/// curve specifically? Swap the curve for Z-order (ZCAM), plain row-major
+/// round robin (Linear) and a random hash, and rerun the small-query size
+/// sweep. The Hilbert curve's clustering property (Jagadish 1990) is the
+/// paper's stated reason HCAM works; this quantifies it.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace griddecl {
+namespace {
+
+constexpr uint32_t kDisks = 16;
+
+SweepOptions Options() {
+  SweepOptions opts;
+  opts.max_placements = 4096;
+  opts.seed = 42;
+  opts.method_names = {"hcam", "zcam", "linear", "random"};
+  return opts;
+}
+
+void PrintExperiment() {
+  const GridSpec grid = GridSpec::Create({64, 64}).value();
+  const std::vector<uint64_t> areas = {4, 9, 16, 25, 64, 256};
+  const SweepResult sweep =
+      QuerySizeSweep(grid, kDisks, areas, Options()).value();
+  bench::PrintSweep("A1: curve ablation — HCAM vs ZCAM vs Linear vs Random",
+                    sweep);
+
+  // Near-square queries flatter Z-order: with M = 16 = 2^4 on a
+  // power-of-two grid, `morton(x, y) mod 16` collapses to a perfect 4x4
+  // tile, so every near-square window up to 4x4 spreads perfectly. Lines
+  // expose the flip side — only 4 distinct disks along any single axis.
+  const SweepResult shapes =
+      QueryShapeSweep(grid, kDisks, /*area=*/16,
+                      {1.0 / 16, 1.0 / 4, 1.0, 4.0, 16.0}, Options())
+          .value();
+  bench::PrintSweep(
+      "A1: curve ablation across shapes at area 16 (square -> line)",
+      shapes);
+}
+
+void BM_CurveConstruction(benchmark::State& state) {
+  const GridSpec grid = GridSpec::Create({64, 64}).value();
+  const bool hilbert = state.range(0) == 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CurveAllocMethod::Create(grid, kDisks,
+                                 hilbert ? CurveKind::kHilbert
+                                         : CurveKind::kZOrder)
+            .value());
+  }
+}
+BENCHMARK(BM_CurveConstruction)->Arg(0)->Arg(1);
+
+void BM_DiskOfThroughput(benchmark::State& state) {
+  const GridSpec grid = GridSpec::Create({64, 64}).value();
+  const std::vector<std::string> names = {"dm", "fx", "ecc", "hcam"};
+  const auto method =
+      CreateMethod(names[static_cast<size_t>(state.range(0))], grid, kDisks)
+          .value();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const BucketCoords c = grid.Delinearize(i % grid.num_buckets());
+    benchmark::DoNotOptimize(method->DiskOf(c));
+    ++i;
+  }
+}
+BENCHMARK(BM_DiskOfThroughput)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+}  // namespace griddecl
+
+int main(int argc, char** argv) {
+  griddecl::PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

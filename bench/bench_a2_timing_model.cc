@@ -1,0 +1,72 @@
+/// Ablation A2 (ours): does the paper's bucket-count metric predict timed
+/// latency? For each method we report mean response time in bucket units
+/// next to the mean makespan of the parallel I/O simulator (1993-era disk
+/// parameters), for a small and a large query mix. The method *ordering*
+/// should agree, validating the paper's choice of metric.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace griddecl {
+namespace {
+
+constexpr uint32_t kDisks = 16;
+
+void PrintExperiment() {
+  const GridSpec grid = GridSpec::Create({64, 64}).value();
+  QueryGenerator gen(grid);
+  Rng rng(42);
+  const auto methods = CreatePaperMethods(grid, kDisks);
+  ParallelIoSimulator sim(kDisks, DiskParams{});
+
+  for (uint64_t area : {9ull, 1024ull}) {
+    const Workload w =
+        gen.Placements(gen.SquarishShape(area).value(), 1024, &rng,
+                       "area=" + std::to_string(area))
+            .value();
+    Table t({"Method", "MeanRT (buckets)", "MeanMakespan (ms)",
+             "MeanSpeedup", "MeanUtil"});
+    for (const auto& m : methods) {
+      const WorkloadEval e = Evaluator(m.get()).EvaluateWorkload(w);
+      RunningStat makespan;
+      RunningStat speedup;
+      RunningStat util;
+      for (const RangeQuery& q : w.queries) {
+        const SimResult r = sim.RunQuery(*m, q);
+        makespan.Add(r.makespan_ms);
+        speedup.Add(r.Speedup());
+        util.Add(r.MeanUtilization());
+      }
+      t.AddRow({m->name(), Table::Fmt(e.MeanResponse(), 3),
+                Table::Fmt(makespan.mean(), 2), Table::Fmt(speedup.mean(), 2),
+                Table::Fmt(util.mean(), 3)});
+    }
+    bench::PrintTable("A2: bucket metric vs timed simulation, area=" +
+                          std::to_string(area) + " (64x64, M=16)",
+                      t);
+  }
+}
+
+void BM_SimulateQuery(benchmark::State& state) {
+  const GridSpec grid = GridSpec::Create({64, 64}).value();
+  const auto hcam = CreateMethod("hcam", grid, kDisks).value();
+  ParallelIoSimulator sim(kDisks, DiskParams{});
+  const RangeQuery q =
+      RangeQuery::Create(grid, BucketRect::Create({10, 10}, {41, 41}).value())
+          .value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.RunQuery(*hcam, q).makespan_ms);
+  }
+}
+BENCHMARK(BM_SimulateQuery);
+
+}  // namespace
+}  // namespace griddecl
+
+int main(int argc, char** argv) {
+  griddecl::PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,68 @@
+/// Ablation A3 (ours): partial-match queries — the query class most of the
+/// classical theory covers (Section 3.1 of the paper). For a 3-attribute
+/// grid we evaluate every method on every partial-match class and on random
+/// partial-match workloads, cross-checking the optimality conditions the
+/// paper tabulates.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace griddecl {
+namespace {
+
+void PrintClassTable(const GridSpec& grid, uint32_t m) {
+  const auto methods = CreatePaperMethods(grid, m);
+  std::vector<std::string> headers = {"Specified dims", "#queries"};
+  for (const auto& method : methods) {
+    headers.push_back(method->name() + " meanRT/opt");
+  }
+  Table t(std::move(headers));
+  QueryGenerator gen(grid);
+  for (const auto& specified : AllDimSubsets(grid.num_dims())) {
+    if (specified.size() == grid.num_dims()) continue;  // Points: trivial.
+    const Workload w = gen.AllPartialMatch(specified, "pm").value();
+    std::string dims = "{";
+    for (size_t i = 0; i < specified.size(); ++i) {
+      dims += (i ? ",A" : "A") + std::to_string(specified[i]);
+    }
+    dims += "}";
+    std::vector<std::string> row = {dims, Table::Fmt(uint64_t{w.size()})};
+    for (const auto& method : methods) {
+      const WorkloadEval e = Evaluator(method.get()).EvaluateWorkload(w);
+      row.push_back(Table::Fmt(e.MeanRatio(), 4));
+    }
+    t.AddRow(std::move(row));
+  }
+  bench::PrintTable("A3: partial-match classes, grid " + grid.ToString() +
+                        ", M=" + std::to_string(m),
+                    t);
+}
+
+void PrintExperiment() {
+  PrintClassTable(GridSpec::Create({16, 16, 8}).value(), 8);
+  PrintClassTable(GridSpec::Create({12, 10, 6}).value(), 6);
+}
+
+void BM_PartialMatchWorkload(benchmark::State& state) {
+  const GridSpec grid = GridSpec::Create({16, 16, 8}).value();
+  const auto dm = CreateMethod("dm", grid, 8).value();
+  QueryGenerator gen(grid);
+  Rng rng(1);
+  const Workload w = gen.RandomPartialMatch(1, 256, &rng, "pm").value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Evaluator(dm.get()).EvaluateWorkload(w).MeanRatio());
+  }
+}
+BENCHMARK(BM_PartialMatchWorkload);
+
+}  // namespace
+}  // namespace griddecl
+
+int main(int argc, char** argv) {
+  griddecl::PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,102 @@
+/// Ablation A4 (ours): what is workload information worth? The paper's
+/// conclusion says query information "ought to be used in deciding the
+/// declustering"; this bench quantifies the headroom by hill-climbing an
+/// allocation against each workload and comparing it with the best formula
+/// method:
+///
+///  * a small-square workload (where all formula methods leave slack),
+///  * a mixed workload (squares + rows + scans),
+///  * generalization: optimizer trained on half the placements, scored on
+///    the other half.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace griddecl {
+namespace {
+
+constexpr uint32_t kDisks = 16;
+
+void ReportWorkload(const std::string& title, const GridSpec& grid,
+                    const Workload& train, const Workload& test) {
+  Table t({"Method", "Train meanRT", "Test meanRT", "Test RT/opt"});
+  const auto methods = CreatePaperMethods(grid, kDisks);
+  const DeclusteringMethod* best_seed = nullptr;
+  double best_cost = 1e300;
+  for (const auto& m : methods) {
+    const WorkloadEval tr = Evaluator(m.get()).EvaluateWorkload(train);
+    const WorkloadEval te = Evaluator(m.get()).EvaluateWorkload(test);
+    t.AddRow({m->name(), Table::Fmt(tr.MeanResponse(), 3),
+              Table::Fmt(te.MeanResponse(), 3),
+              Table::Fmt(te.MeanRatio(), 4)});
+    if (tr.MeanResponse() < best_cost) {
+      best_cost = tr.MeanResponse();
+      best_seed = m.get();
+    }
+  }
+  WorkloadOptimizeStats stats;
+  const auto optimized =
+      OptimizeForWorkload(*best_seed, train, {}, &stats).value();
+  const WorkloadEval tr = Evaluator(optimized.get()).EvaluateWorkload(train);
+  const WorkloadEval te = Evaluator(optimized.get()).EvaluateWorkload(test);
+  t.AddRow({optimized->name(), Table::Fmt(tr.MeanResponse(), 3),
+            Table::Fmt(te.MeanResponse(), 3), Table::Fmt(te.MeanRatio(), 4)});
+  bench::PrintTable(title, t);
+  std::cout << "optimizer: " << stats.moves_applied << " moves over "
+            << stats.passes << " passes; train cost " << stats.initial_cost
+            << " -> " << stats.final_cost << "\n";
+}
+
+void PrintExperiment() {
+  const GridSpec grid = GridSpec::Create({32, 32}).value();
+  QueryGenerator gen(grid);
+  Rng rng(42);
+
+  // Small squares: train and test are disjoint random placements.
+  const Workload sq_train =
+      gen.SampledPlacements({3, 3}, 400, &rng, "3x3/train").value();
+  const Workload sq_test =
+      gen.SampledPlacements({3, 3}, 400, &rng, "3x3/test").value();
+  ReportWorkload("A4: small squares (3x3), train vs held-out placements",
+                 grid, sq_train, sq_test);
+
+  // Mixed workload.
+  auto mix = [&](const char* name) {
+    Workload w;
+    w.name = name;
+    w.Append(gen.SampledPlacements({3, 3}, 300, &rng, "s").value());
+    w.Append(gen.SampledPlacements({1, 16}, 150, &rng, "r").value());
+    w.Append(gen.SampledPlacements({12, 12}, 50, &rng, "b").value());
+    return w;
+  };
+  const Workload mix_train = mix("mix/train");
+  const Workload mix_test = mix("mix/test");
+  ReportWorkload("A4: mixed workload (squares + rows + scans)", grid,
+                 mix_train, mix_test);
+}
+
+void BM_OptimizePass(benchmark::State& state) {
+  const GridSpec grid = GridSpec::Create({32, 32}).value();
+  const auto dm = CreateMethod("dm", grid, kDisks).value();
+  QueryGenerator gen(grid);
+  Rng rng(1);
+  const Workload w =
+      gen.SampledPlacements({3, 3}, 200, &rng, "w").value();
+  for (auto _ : state) {
+    WorkloadOptimizeOptions opts;
+    opts.max_passes = 1;
+    benchmark::DoNotOptimize(OptimizeForWorkload(*dm, w, opts).value());
+  }
+}
+BENCHMARK(BM_OptimizePass);
+
+}  // namespace
+}  // namespace griddecl
+
+int main(int argc, char** argv) {
+  griddecl::PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,93 @@
+/// Ablation A5 (ours): multiuser throughput. The paper evaluates single
+/// queries; its reference [21] (Ghandeharizadeh & DeWitt) studies the
+/// multiuser regime. This bench runs a concurrent query stream through the
+/// closed-system throughput simulator at several multiprogramming levels
+/// and reports queries/second and disk utilization per method — confirming
+/// that the single-query response-time ordering carries over to sustained
+/// throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "griddecl/sim/event_sim.h"
+
+namespace griddecl {
+namespace {
+
+constexpr uint32_t kDisks = 16;
+
+void PrintExperiment() {
+  const GridSpec grid = GridSpec::Create({64, 64}).value();
+  QueryGenerator gen(grid);
+  Rng rng(42);
+  Workload w;
+  w.name = "stream";
+  w.Append(gen.SampledPlacements({3, 3}, 600, &rng, "s").value());
+  w.Append(gen.SampledPlacements({1, 24}, 200, &rng, "r").value());
+  w.Append(gen.SampledPlacements({16, 16}, 100, &rng, "b").value());
+
+  const auto methods = CreatePaperMethods(grid, kDisks);
+  for (uint32_t mpl : {1u, 4u, 16u}) {
+    Table t({"Method", "Total ms", "QPS", "Mean latency ms",
+             "Max latency ms", "Disk util"});
+    for (const auto& m : methods) {
+      ThroughputOptions opts;
+      opts.concurrency = mpl;
+      const ThroughputResult r = SimulateThroughput(*m, w, opts).value();
+      t.AddRow({m->name(), Table::Fmt(r.total_ms, 1),
+                Table::Fmt(r.ThroughputQps(), 2),
+                Table::Fmt(r.mean_latency_ms, 2),
+                Table::Fmt(r.max_latency_ms, 1),
+                Table::Fmt(r.MeanDiskUtilization(), 3)});
+    }
+    bench::PrintTable("A5: throughput at MPL=" + std::to_string(mpl) +
+                          " (900 queries, 64x64, M=16)",
+                      t);
+  }
+
+  // Batch-FIFO vs request-interleaved service, plus LPT admission order:
+  // does the disk scheduling model change the method ranking?
+  Table t({"Method", "Batch QPS", "Interleaved QPS",
+           "Batch mean lat", "Interleaved mean lat", "LPT batch QPS"});
+  for (const auto& m : methods) {
+    ThroughputOptions opts;
+    opts.concurrency = 8;
+    const ThroughputResult batch = SimulateThroughput(*m, w, opts).value();
+    const ThroughputResult inter = SimulateInterleaved(*m, w, opts).value();
+    const Workload lpt = ReorderLongestFirst(*m, w);
+    const ThroughputResult lpt_batch =
+        SimulateThroughput(*m, lpt, opts).value();
+    t.AddRow({m->name(), Table::Fmt(batch.ThroughputQps(), 2),
+              Table::Fmt(inter.ThroughputQps(), 2),
+              Table::Fmt(batch.mean_latency_ms, 1),
+              Table::Fmt(inter.mean_latency_ms, 1),
+              Table::Fmt(lpt_batch.ThroughputQps(), 2)});
+  }
+  bench::PrintTable(
+      "A5: batch-FIFO vs interleaved disk scheduling, MPL=8", t);
+}
+
+void BM_Throughput(benchmark::State& state) {
+  const GridSpec grid = GridSpec::Create({64, 64}).value();
+  const auto hcam = CreateMethod("hcam", grid, kDisks).value();
+  QueryGenerator gen(grid);
+  Rng rng(1);
+  const Workload w =
+      gen.SampledPlacements({4, 4}, 200, &rng, "w").value();
+  ThroughputOptions opts;
+  opts.concurrency = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimulateThroughput(*hcam, w, opts).value());
+  }
+}
+BENCHMARK(BM_Throughput)->Arg(1)->Arg(8);
+
+}  // namespace
+}  // namespace griddecl
+
+int main(int argc, char** argv) {
+  griddecl::PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,82 @@
+/// Ablation A6 (ours): closed-form vs enumerated evaluation. The analytic
+/// per-disk counts for GDM (cyclic convolution of axis histograms) and FX
+/// (XOR convolution) cost O(k*M^2) independent of query volume; this bench
+/// validates agreement at experiment scale and measures the speedup that
+/// makes very large sweeps affordable.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "griddecl/eval/analytic.h"
+
+namespace griddecl {
+namespace {
+
+void PrintExperiment() {
+  const GridSpec grid = GridSpec::Create({256, 256}).value();
+  const uint32_t m = 16;
+  const auto dm = CreateMethod("dm", grid, m).value();
+  const auto fx = CreateMethod("fx", grid, m).value();
+
+  Table t({"Query", "|Q|", "DM brute", "DM analytic", "FX brute",
+           "FX analytic"});
+  for (uint32_t size : {8u, 32u, 128u}) {
+    const BucketRect rect =
+        BucketRect::Create({5, 9}, {5 + size - 1, 9 + size - 1}).value();
+    const RangeQuery q = RangeQuery::Create(grid, rect).value();
+    const uint64_t dm_brute = ResponseTime(*dm, q);
+    const uint64_t dm_fast =
+        MaxCount(AnalyticGdmCounts({1, 1}, rect, m).value());
+    const uint64_t fx_brute = ResponseTime(*fx, q);
+    const uint64_t fx_fast = MaxCount(AnalyticFxCounts(rect, m).value());
+    GRIDDECL_CHECK(dm_brute == dm_fast && fx_brute == fx_fast);
+    t.AddRow({rect.ToString(), Table::Fmt(rect.Volume()),
+              Table::Fmt(dm_brute), Table::Fmt(dm_fast),
+              Table::Fmt(fx_brute), Table::Fmt(fx_fast)});
+  }
+  bench::PrintTable("A6: analytic evaluation agrees with enumeration", t);
+}
+
+void BM_BruteForceDm(benchmark::State& state) {
+  const GridSpec grid = GridSpec::Create({256, 256}).value();
+  const auto dm = CreateMethod("dm", grid, 16).value();
+  const uint32_t size = static_cast<uint32_t>(state.range(0));
+  const RangeQuery q = RangeQuery::Create(
+      grid, BucketRect::Create({0, 0}, {size - 1, size - 1}).value())
+      .value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ResponseTime(*dm, q));
+  }
+}
+BENCHMARK(BM_BruteForceDm)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_AnalyticDm(benchmark::State& state) {
+  const uint32_t size = static_cast<uint32_t>(state.range(0));
+  const BucketRect rect =
+      BucketRect::Create({0, 0}, {size - 1, size - 1}).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MaxCount(AnalyticGdmCounts({1, 1}, rect, 16).value()));
+  }
+}
+BENCHMARK(BM_AnalyticDm)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_AnalyticFx(benchmark::State& state) {
+  const uint32_t size = static_cast<uint32_t>(state.range(0));
+  const BucketRect rect =
+      BucketRect::Create({0, 0}, {size - 1, size - 1}).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxCount(AnalyticFxCounts(rect, 16).value()));
+  }
+}
+BENCHMARK(BM_AnalyticFx)->Arg(8)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace griddecl
+
+int main(int argc, char** argv) {
+  griddecl::PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

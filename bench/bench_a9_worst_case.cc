@@ -1,0 +1,66 @@
+/// Ablation A9 (ours): exact worst-case queries. The theory the paper
+/// surveys bounds each method's worst-case deviation; for concrete grids
+/// the exact worst rectangle can simply be computed (exhaustive scan with
+/// incremental counting). This bench prints, per method, the single worst
+/// query on a 16x16 grid — its shape is as telling as its cost:
+/// DM/CMD is broken by near-squares, FX by squares crossing power-of-two
+/// boundaries, ECC/HCAM only by mid-sized awkward rectangles.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "griddecl/theory/worst_case.h"
+
+namespace griddecl {
+namespace {
+
+void PrintExperiment() {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  for (uint32_t m : {4u, 8u, 16u}) {
+    Table t({"Method", "Worst query", "|Q|", "RT", "Optimal", "RT/opt"});
+    for (const auto& method : CreatePaperMethods(grid, m)) {
+      const WorstCaseResult worst = FindWorstCaseQuery(*method).value();
+      t.AddRow({method->name(), worst.rect.ToString(),
+                Table::Fmt(worst.volume), Table::Fmt(worst.response),
+                Table::Fmt(worst.optimal), Table::Fmt(worst.Ratio(), 3)});
+    }
+    bench::PrintTable("A9: exact worst-case query per method (16x16, M=" +
+                          std::to_string(m) + ")",
+                      t);
+  }
+
+  // The same scan restricted to small queries (volume <= M): the regime
+  // where the paper found the substantial differences.
+  const uint32_t m = 16;
+  Table t({"Method", "Worst small query", "|Q|", "RT", "RT/opt"});
+  for (const auto& method : CreatePaperMethods(grid, m)) {
+    const WorstCaseResult worst =
+        FindWorstCaseQuery(*method, /*max_volume=*/m).value();
+    t.AddRow({method->name(), worst.rect.ToString(),
+              Table::Fmt(worst.volume), Table::Fmt(worst.response),
+              Table::Fmt(worst.Ratio(), 3)});
+  }
+  bench::PrintTable(
+      "A9: worst query with volume <= M (16x16, M=16) — the small-query "
+      "regime",
+      t);
+}
+
+void BM_WorstCaseScan(benchmark::State& state) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto dm = CreateMethod("dm", grid, 8).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindWorstCaseQuery(*dm).value().response);
+  }
+}
+BENCHMARK(BM_WorstCaseScan);
+
+}  // namespace
+}  // namespace griddecl
+
+int main(int argc, char** argv) {
+  griddecl::PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

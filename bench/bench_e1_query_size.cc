@@ -1,0 +1,65 @@
+/// Experiment 1 (paper Section 5, "effect of query size"): near-square range
+/// queries with area swept from 1 to 1024 on a 32x32 two-attribute grid with
+/// M = 16 disks, averaged over all placements.
+///
+/// Expected shape (paper): for small queries ECC and HCAM are best, then FX,
+/// then DM/CMD; from about area 12 FX takes over; for large queries all
+/// methods converge to optimal.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace griddecl {
+namespace {
+
+constexpr uint32_t kDisks = 16;
+
+SweepOptions Options() {
+  SweepOptions opts;
+  opts.max_placements = 4096;
+  opts.seed = 42;
+  return opts;
+}
+
+GridSpec Grid() { return GridSpec::Create({64, 64}).value(); }
+
+void PrintExperiment() {
+  const std::vector<uint64_t> areas = {1,  2,  4,  6,   9,   12,  16,  25,
+                                       36, 64, 100, 144, 256, 400, 576, 1024};
+  const SweepResult sweep =
+      QuerySizeSweep(Grid(), kDisks, areas, Options()).value();
+  bench::PrintSweep("E1: query size sweep (64x64 grid, M=16)", sweep);
+}
+
+/// Timing: cost of evaluating one full placement-averaged data point.
+void BM_EvaluateSizePoint(benchmark::State& state) {
+  const GridSpec grid = Grid();
+  const uint64_t area = static_cast<uint64_t>(state.range(0));
+  const auto methods = MakeSweepMethods(grid, kDisks, Options()).value();
+  QueryGenerator gen(grid);
+  Rng rng(1);
+  const Workload w =
+      gen.Placements(gen.SquarishShape(area).value(), 4096, &rng, "w")
+          .value();
+  for (auto _ : state) {
+    for (const auto& m : methods) {
+      benchmark::DoNotOptimize(
+          Evaluator(m.get()).EvaluateWorkload(w).MeanResponse());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(w.TotalBuckets()) *
+                          static_cast<int64_t>(methods.size()));
+}
+BENCHMARK(BM_EvaluateSizePoint)->Arg(4)->Arg(64)->Arg(1024);
+
+}  // namespace
+}  // namespace griddecl
+
+int main(int argc, char** argv) {
+  griddecl::PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,65 @@
+/// Experiment 2 (paper Section 5, "effect of query shape"): fixed-area range
+/// queries whose aspect ratio sweeps from square (1:1) to a line (1:M), on a
+/// 32x32 grid with M = 16 disks, averaged over all placements.
+///
+/// Expected shape (paper): performance is quite sensitive to shape; DM/CMD
+/// is exactly optimal on 1-bucket-thick lines but poor on squares, while
+/// ECC/HCAM behave the other way around.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace griddecl {
+namespace {
+
+constexpr uint32_t kDisks = 16;
+
+SweepOptions Options() {
+  SweepOptions opts;
+  opts.max_placements = 4096;
+  opts.seed = 42;
+  return opts;
+}
+
+GridSpec Grid() { return GridSpec::Create({64, 64}).value(); }
+
+void PrintExperiment() {
+  // Aspect = extent(dim1) / extent(dim0); 1:1 through 1:M both ways.
+  const std::vector<double> aspects = {1.0 / 16, 1.0 / 4, 1.0, 4.0, 16.0};
+  for (uint64_t area : {16ull, 64ull}) {
+    const SweepResult sweep =
+        QueryShapeSweep(Grid(), kDisks, area, aspects, Options()).value();
+    bench::PrintSweep("E2: query shape sweep, area=" + std::to_string(area) +
+                          " (64x64 grid, M=16)",
+                      sweep);
+  }
+}
+
+void BM_EvaluateShapePoint(benchmark::State& state) {
+  const GridSpec grid = Grid();
+  const auto methods = MakeSweepMethods(grid, kDisks, Options()).value();
+  QueryGenerator gen(grid);
+  Rng rng(1);
+  const double aspect = static_cast<double>(state.range(0));
+  const Workload w =
+      gen.Placements(gen.Shape2D(16, aspect).value(), 4096, &rng, "w")
+          .value();
+  for (auto _ : state) {
+    for (const auto& m : methods) {
+      benchmark::DoNotOptimize(
+          Evaluator(m.get()).EvaluateWorkload(w).MeanResponse());
+    }
+  }
+}
+BENCHMARK(BM_EvaluateShapePoint)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace griddecl
+
+int main(int argc, char** argv) {
+  griddecl::PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

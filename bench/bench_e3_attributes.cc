@@ -1,0 +1,89 @@
+/// Experiment 3 (paper Section 5, "effect of increasing the number of
+/// attributes"): the same query-volume sweep on a 2-attribute and a
+/// 3-attribute grid. The paper's intuition, which the numbers bear out: as
+/// dimensionality grows, the fraction of a query on which a method is
+/// sub-optimal becomes almost negligible.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace griddecl {
+namespace {
+
+constexpr uint32_t kDisks = 16;
+
+SweepOptions Options() {
+  SweepOptions opts;
+  opts.max_placements = 2048;
+  opts.seed = 42;
+  return opts;
+}
+
+void PrintExperiment() {
+  const std::vector<uint64_t> areas = {8, 27, 64, 216, 512};
+  const GridSpec g2 = GridSpec::Create({64, 64}).value();
+  const GridSpec g3 = GridSpec::Create({16, 16, 16}).value();
+  const SweepResult s2 = QuerySizeSweep(g2, kDisks, areas, Options()).value();
+  const SweepResult s3 = QuerySizeSweep(g3, kDisks, areas, Options()).value();
+  bench::PrintSweep("E3: 2 attributes (64x64 grid, M=16)", s2);
+  bench::PrintSweep("E3: 3 attributes (16x16x16 grid, M=16)", s3);
+
+  auto avg = [](const SweepPoint& p) {
+    double s = 0;
+    for (double r : p.mean_ratio) s += r;
+    return s / static_cast<double>(p.mean_ratio.size());
+  };
+
+  // Head-to-head at equal query volume (3-d queries are much "shorter" per
+  // dimension at the same volume, so this axis is pessimistic for 3-d).
+  Table cmp({"QueryVolume", "MeanRatio-2d", "MeanRatio-3d"});
+  for (size_t i = 0; i < areas.size(); ++i) {
+    cmp.AddRow({Table::Fmt(static_cast<uint64_t>(areas[i])),
+                Table::Fmt(avg(s2.points[i]), 4),
+                Table::Fmt(avg(s3.points[i]), 4)});
+  }
+  bench::PrintTable("E3: across-method mean RT/opt at equal volume", cmp);
+
+  // The paper's comparison: equal side length per dimension (an s x s
+  // query vs an s x s x s query) — deviation shrinks with dimensionality.
+  Table side_cmp(
+      {"Side", "MeanRatio-2d (s x s)", "MeanRatio-3d (s x s x s)"});
+  for (uint64_t side : {2ull, 4ull, 6ull, 8ull}) {
+    const SweepResult r2 =
+        QuerySizeSweep(g2, kDisks, {side * side}, Options()).value();
+    const SweepResult r3 =
+        QuerySizeSweep(g3, kDisks, {side * side * side}, Options()).value();
+    side_cmp.AddRow({Table::Fmt(static_cast<uint64_t>(side)),
+                     Table::Fmt(avg(r2.points[0]), 4),
+                     Table::Fmt(avg(r3.points[0]), 4)});
+  }
+  bench::PrintTable("E3: across-method mean RT/opt at equal side length",
+                    side_cmp);
+}
+
+void BM_Evaluate3D(benchmark::State& state) {
+  const GridSpec grid = GridSpec::Create({16, 16, 16}).value();
+  const auto methods = MakeSweepMethods(grid, kDisks, Options()).value();
+  QueryGenerator gen(grid);
+  Rng rng(1);
+  const Workload w =
+      gen.Placements(gen.SquarishShape(64).value(), 2048, &rng, "w").value();
+  for (auto _ : state) {
+    for (const auto& m : methods) {
+      benchmark::DoNotOptimize(
+          Evaluator(m.get()).EvaluateWorkload(w).MeanResponse());
+    }
+  }
+}
+BENCHMARK(BM_Evaluate3D);
+
+}  // namespace
+}  // namespace griddecl
+
+int main(int argc, char** argv) {
+  griddecl::PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

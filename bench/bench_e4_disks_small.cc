@@ -1,0 +1,59 @@
+/// Figure 5(a) (paper Section 5, "effect of the number of disks", small
+/// queries): a small near-square query (area 9) on a 64x64 grid while the
+/// number of disks sweeps 2..32.
+///
+/// Expected shape (paper): HCAM is the best performer over most of the
+/// range, occasionally bested by FX or ECC; DM/CMD uniformly has the worst
+/// performance in this scenario.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace griddecl {
+namespace {
+
+SweepOptions Options() {
+  SweepOptions opts;
+  opts.max_placements = 4096;
+  opts.seed = 42;
+  return opts;
+}
+
+GridSpec Grid() { return GridSpec::Create({64, 64}).value(); }
+
+void PrintExperiment() {
+  const std::vector<uint32_t> disks = {2,  4,  6,  8,  10, 12, 14, 16,
+                                       20, 24, 28, 32};
+  const SweepResult sweep =
+      DiskCountSweep(Grid(), disks, /*area=*/9, Options()).value();
+  bench::PrintSweep("E4 / Figure 5(a): disk sweep, small queries (area 9)",
+                    sweep);
+}
+
+void BM_DiskSweepPointSmall(benchmark::State& state) {
+  const GridSpec grid = Grid();
+  const uint32_t m = static_cast<uint32_t>(state.range(0));
+  const auto methods = MakeSweepMethods(grid, m, Options()).value();
+  QueryGenerator gen(grid);
+  Rng rng(1);
+  const Workload w =
+      gen.Placements(gen.SquarishShape(9).value(), 4096, &rng, "w").value();
+  for (auto _ : state) {
+    for (const auto& method : methods) {
+      benchmark::DoNotOptimize(
+          Evaluator(method.get()).EvaluateWorkload(w).MeanResponse());
+    }
+  }
+}
+BENCHMARK(BM_DiskSweepPointSmall)->Arg(4)->Arg(16)->Arg(32);
+
+}  // namespace
+}  // namespace griddecl
+
+int main(int argc, char** argv) {
+  griddecl::PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

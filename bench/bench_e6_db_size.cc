@@ -1,0 +1,90 @@
+/// Database-size experiment (the abstract's "database size" axis): the same
+/// relative query footprint (12.5% of each side, and 3x3 absolute) across
+/// grids from 8x8 to 128x128 buckets at M = 16.
+///
+/// Expected shape: for proportional (large) queries the methods stay close
+/// to optimal at every database size; for fixed small queries the
+/// differences persist as the database grows.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace griddecl {
+namespace {
+
+constexpr uint32_t kDisks = 16;
+
+SweepOptions Options() {
+  SweepOptions opts;
+  opts.max_placements = 4096;
+  opts.seed = 42;
+  return opts;
+}
+
+std::vector<GridSpec> Grids() {
+  std::vector<GridSpec> grids;
+  for (uint32_t side : {8u, 16u, 32u, 64u, 128u}) {
+    grids.push_back(GridSpec::Square(2, side).value());
+  }
+  return grids;
+}
+
+void PrintExperiment() {
+  const SweepResult rel =
+      DbSizeSweep(Grids(), kDisks, /*coverage=*/0.125, Options()).value();
+  bench::PrintSweep("E6: database size sweep, proportional query (12.5%/side)",
+                    rel);
+
+  // Fixed-size small query across database sizes.
+  SweepResult fixed;
+  fixed.x_label = "GridBuckets";
+  for (const GridSpec& grid : Grids()) {
+    SweepOptions opts = Options();
+    const auto methods = MakeSweepMethods(grid, kDisks, opts).value();
+    QueryGenerator gen(grid);
+    Rng rng(opts.seed);
+    const Workload w =
+        gen.Placements({3, 3}, opts.max_placements, &rng, "3x3").value();
+    SweepPoint p;
+    p.x = static_cast<double>(grid.num_buckets());
+    for (const auto& m : methods) {
+      const WorkloadEval e = Evaluator(m.get()).EvaluateWorkload(w);
+      p.mean_response.push_back(e.MeanResponse());
+      p.mean_ratio.push_back(e.MeanRatio());
+      p.fraction_optimal.push_back(e.FractionOptimal());
+      p.mean_optimal = e.MeanOptimal();
+    }
+    if (fixed.method_names.empty()) {
+      for (const auto& m : methods) fixed.method_names.push_back(m->name());
+    }
+    fixed.points.push_back(std::move(p));
+  }
+  bench::PrintSweep("E6: database size sweep, fixed 3x3 query", fixed);
+}
+
+void BM_DbSizePoint(benchmark::State& state) {
+  const GridSpec grid =
+      GridSpec::Square(2, static_cast<uint32_t>(state.range(0))).value();
+  const auto methods = MakeSweepMethods(grid, kDisks, Options()).value();
+  QueryGenerator gen(grid);
+  Rng rng(1);
+  const Workload w = gen.Placements({3, 3}, 4096, &rng, "w").value();
+  for (auto _ : state) {
+    for (const auto& m : methods) {
+      benchmark::DoNotOptimize(
+          Evaluator(m.get()).EvaluateWorkload(w).MeanResponse());
+    }
+  }
+}
+BENCHMARK(BM_DbSizePoint)->Arg(16)->Arg(64)->Arg(128);
+
+}  // namespace
+}  // namespace griddecl
+
+int main(int argc, char** argv) {
+  griddecl::PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,93 @@
+/// Table 1 (paper Section 3): applicability restrictions and partial-match
+/// optimality conditions per method — regenerated as a machine-verified
+/// table rather than a transcription. For every partial-match query class
+/// of a 3-attribute grid we print the closed-form DM/CMD prediction next to
+/// the exhaustively measured outcome for each method.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace griddecl {
+namespace {
+
+void PrintRestrictionTable() {
+  Table t({"Method", "Restrictions on M / d_i (Table 1)"});
+  for (const char* name : {"dm", "fx", "ecc", "hcam"}) {
+    t.AddRow({name, MethodRestrictionSummary(name)});
+  }
+  bench::PrintTable("E7: Table 1 — applicability restrictions", t);
+}
+
+std::string DimsToString(const std::vector<uint32_t>& dims, uint32_t k) {
+  std::string s = "{";
+  bool first = true;
+  std::vector<bool> mask(k, false);
+  for (uint32_t d : dims) mask[d] = true;
+  for (uint32_t i = 0; i < k; ++i) {
+    if (!mask[i]) continue;
+    if (!first) s += ",";
+    s += "A" + std::to_string(i);
+    first = false;
+  }
+  return s + "}";
+}
+
+void PrintPartialMatchMatrix(const GridSpec& grid, uint32_t m) {
+  const auto methods = CreatePaperMethods(grid, m);
+  std::vector<std::string> headers = {"Unspecified", "DM-condition"};
+  for (const auto& method : methods) {
+    headers.push_back(method->name() + " optimal?");
+  }
+  Table t(std::move(headers));
+  for (const auto& specified : AllDimSubsets(grid.num_dims())) {
+    // Unspecified dims = complement of specified.
+    std::vector<uint32_t> unspecified;
+    std::vector<bool> is_spec(grid.num_dims(), false);
+    for (uint32_t d : specified) is_spec[d] = true;
+    for (uint32_t d = 0; d < grid.num_dims(); ++d) {
+      if (!is_spec[d]) unspecified.push_back(d);
+    }
+    if (unspecified.empty()) continue;  // Point queries: trivially optimal.
+    std::vector<std::string> row = {
+        DimsToString(unspecified, grid.num_dims()),
+        DmPartialMatchCondition(grid, m, unspecified) ? "guaranteed" : "-"};
+    for (const auto& method : methods) {
+      row.push_back(
+          VerifyOptimalForPartialMatchClass(*method, specified).value()
+              ? "yes"
+              : "no");
+    }
+    t.AddRow(std::move(row));
+  }
+  bench::PrintTable("E7: partial-match optimality, grid " + grid.ToString() +
+                        ", M=" + std::to_string(m),
+                    t);
+}
+
+void PrintExperiment() {
+  PrintRestrictionTable();
+  PrintPartialMatchMatrix(GridSpec::Create({8, 8, 4}).value(), 4);
+  PrintPartialMatchMatrix(GridSpec::Create({8, 8, 4}).value(), 8);
+  PrintPartialMatchMatrix(GridSpec::Create({6, 10}).value(), 5);
+}
+
+void BM_VerifyPartialMatchClass(benchmark::State& state) {
+  const GridSpec grid = GridSpec::Create({8, 8, 4}).value();
+  const auto dm = CreateMethod("dm", grid, 4).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        VerifyOptimalForPartialMatchClass(*dm, {0, 2}).value());
+  }
+}
+BENCHMARK(BM_VerifyPartialMatchClass);
+
+}  // namespace
+}  // namespace griddecl
+
+int main(int argc, char** argv) {
+  griddecl::PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,43 @@
+#ifndef GRIDDECL_BENCH_BENCH_UTIL_H_
+#define GRIDDECL_BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <string>
+
+#include "griddecl/griddecl.h"
+
+/// \file
+/// Shared output helpers for the experiment benchmarks. Every bench binary
+/// prints (a) the paper-style series as an aligned table, (b) the same data
+/// as CSV for replotting, then (c) runs google-benchmark timings of the
+/// evaluation kernel.
+
+namespace griddecl::bench {
+
+inline void PrintSection(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n\n";
+}
+
+inline void PrintSweep(const std::string& title, const SweepResult& sweep) {
+  PrintSection(title + " — mean response time (bucket units)");
+  sweep.ResponseTable().PrintText(std::cout);
+  PrintSection(title + " — mean response/optimal ratio");
+  sweep.RatioTable().PrintText(std::cout);
+  PrintSection(title + " — fraction of queries answered optimally");
+  sweep.FractionOptimalTable().PrintText(std::cout);
+  PrintSection(title + " — CSV");
+  sweep.ResponseTable().PrintCsv(std::cout);
+  std::cout.flush();
+}
+
+inline void PrintTable(const std::string& title, const Table& table) {
+  PrintSection(title);
+  table.PrintText(std::cout);
+  PrintSection(title + " — CSV");
+  table.PrintCsv(std::cout);
+  std::cout.flush();
+}
+
+}  // namespace griddecl::bench
+
+#endif  // GRIDDECL_BENCH_BENCH_UTIL_H_

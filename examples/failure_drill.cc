@@ -1,0 +1,67 @@
+/// failure_drill: replication and degraded-mode operation — the extension
+/// the paper explicitly left out ("we do not consider techniques where a
+/// data subspace can be assigned to more than one disk").
+///
+///   $ ./failure_drill
+///
+/// Builds a chained 2-replica placement over HCAM, routes queries with the
+/// exact min-makespan replica router, then fails disks one at a time and
+/// shows (a) the graceful degradation replication buys and (b) the hard
+/// stop an unreplicated system hits.
+
+#include <iostream>
+
+#include "griddecl/griddecl.h"
+
+int main() {
+  using namespace griddecl;
+
+  const GridSpec grid = GridSpec::Create({32, 32}).value();
+  const uint32_t num_disks = 8;
+  auto base = CreateMethod("hcam", grid, num_disks).value();
+  const ReplicatedPlacement placement =
+      ReplicatedPlacement::Create(std::move(base), /*num_replicas=*/2,
+                                  /*offset=*/1)
+          .value();
+
+  QueryGenerator gen(grid);
+  Rng rng(7);
+  const Workload workload =
+      gen.SampledPlacements({6, 6}, 200, &rng, "6x6").value();
+  std::cout << "Chained 2-replica HCAM on " << grid.ToString() << ", M="
+            << num_disks << "; 200 random 6x6 queries (36 buckets each, "
+            << "optimal = " << OptimalResponseTime(36, num_disks) << ")\n\n";
+
+  Table t({"Scenario", "Mean routed RT", "Status"});
+  t.AddRow({"all disks up",
+            Table::Fmt(MeanRoutedResponse(placement, workload.queries)
+                           .value(),
+                       3),
+            "ok"});
+  for (uint32_t dead = 1; dead <= 3; ++dead) {
+    std::vector<bool> failed(num_disks, false);
+    // Fail `dead` non-adjacent disks so chained replicas survive.
+    for (uint32_t i = 0; i < dead; ++i) failed[2 * i] = true;
+    const auto mean =
+        MeanRoutedResponse(placement, workload.queries, &failed);
+    t.AddRow({std::to_string(dead) + " disk(s) down",
+              mean.ok() ? Table::Fmt(mean.value(), 3) : "-",
+              mean.ok() ? "degraded" : mean.status().ToString()});
+  }
+  // Adjacent failures kill both replicas of some buckets.
+  std::vector<bool> adjacent(num_disks, false);
+  adjacent[0] = adjacent[1] = true;
+  const auto broken =
+      MeanRoutedResponse(placement, workload.queries, &adjacent);
+  t.AddRow({"disks 0 AND 1 down", "-",
+            broken.ok() ? "unexpectedly ok" : "UNROUTABLE (" +
+                                                  broken.status().ToString() +
+                                                  ")"});
+  t.PrintText(std::cout);
+
+  std::cout << "\nWithout replication, any single disk failure would make "
+               "every query touching that disk unanswerable; with chained "
+               "replicas the array serves through "
+            << "non-adjacent failures at modest cost.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+/// parallel_scan: the full storage stack end to end. Loads a synthetic
+/// sensor relation into a grid file, declusters it over 8 simulated disks
+/// with HCAM, and runs record-level range queries — reporting exact matches
+/// alongside bucket-level cost and simulated parallel I/O latency.
+///
+///   $ ./parallel_scan
+///
+/// Exercises: Schema / GridFile / DeclusteredFile / ParallelIoSimulator.
+
+#include <iostream>
+
+#include "griddecl/griddecl.h"
+
+int main() {
+  using namespace griddecl;
+
+  // A relation of (temperature, humidity) sensor readings.
+  Schema schema =
+      Schema::Create({{"temperature", -20.0, 60.0}, {"humidity", 0.0, 100.0}})
+          .value();
+  GridFile file = GridFile::Create(std::move(schema), {16, 16}).value();
+
+  // Load 20,000 synthetic readings: two clusters plus uniform noise.
+  Rng rng(2024);
+  for (int i = 0; i < 20000; ++i) {
+    double temp;
+    double hum;
+    if (rng.NextBool(0.5)) {
+      temp = 18.0 + rng.NextDouble() * 8.0;  // Indoor cluster.
+      hum = 35.0 + rng.NextDouble() * 20.0;
+    } else if (rng.NextBool(0.6)) {
+      temp = -5.0 + rng.NextDouble() * 15.0;  // Winter outdoor cluster.
+      hum = 60.0 + rng.NextDouble() * 35.0;
+    } else {
+      temp = -20.0 + rng.NextDouble() * 80.0;  // Background noise.
+      hum = rng.NextDouble() * 100.0;
+    }
+    if (!file.Insert({temp, hum}).ok()) return 1;
+  }
+
+  DeclusteredFile df =
+      DeclusteredFile::Create(std::move(file), "hcam", 8).value();
+  std::cout << "Loaded " << df.file().num_records()
+            << " records into a 16x16 grid file declustered by "
+            << df.method().name() << " over " << df.num_disks()
+            << " disks\n\nRecords per disk: ";
+  for (uint64_t n : df.RecordsPerDisk()) std::cout << n << " ";
+  std::cout << "\n\n";
+
+  struct NamedQuery {
+    const char* what;
+    std::vector<double> lo;
+    std::vector<double> hi;
+  };
+  const NamedQuery queries[] = {
+      {"comfort zone (20-24C, 40-60%)", {20, 40}, {24, 60}},
+      {"freezing and humid", {-20, 70}, {0, 100}},
+      {"everything above 30C", {30, 0}, {60, 100}},
+  };
+  Table t({"Query", "Matches", "Buckets", "RT", "Optimal", "Sim ms",
+           "Speedup"});
+  for (const NamedQuery& q : queries) {
+    const QueryExecution exec = df.ExecuteRange(q.lo, q.hi).value();
+    t.AddRow({q.what, Table::Fmt(uint64_t{exec.matches.size()}),
+              Table::Fmt(exec.buckets_touched),
+              Table::Fmt(exec.response_units), Table::Fmt(exec.optimal_units),
+              Table::Fmt(exec.io.makespan_ms, 1),
+              Table::Fmt(exec.io.Speedup(), 2)});
+  }
+  t.PrintText(std::cout);
+  std::cout << "\nRT is the paper's metric (max buckets fetched from one "
+               "disk); Sim ms runs the same fetches through the seek/"
+               "rotate/transfer disk model.\n";
+  return 0;
+}

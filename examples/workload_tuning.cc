@@ -1,0 +1,68 @@
+/// workload_tuning: the full "use your workload" lifecycle the paper's
+/// conclusion calls for, end to end:
+///
+///   1. capture a production query mix as a durable trace (text format),
+///   2. run the advisor against the trace (train/test split, every
+///      candidate method scored on held-out queries),
+///   3. hill-climb the winner's allocation for this workload,
+///   4. export the tuned allocation in the serializable table format, and
+///      prove the round trip preserves it bit for bit.
+///
+///   $ ./workload_tuning
+///
+/// Exercises: trace serialization, AdviseDeclustering, OptimizeForWorkload,
+/// SerializeAllocation / DeserializeAllocation.
+
+#include <iostream>
+#include <sstream>
+
+#include "griddecl/griddecl.h"
+
+int main() {
+  using namespace griddecl;
+
+  const GridSpec grid = GridSpec::Create({32, 32}).value();
+  const uint32_t num_disks = 16;
+
+  // 1. Capture a workload trace: mostly small rectangles with a row bias.
+  QueryGenerator gen(grid);
+  Rng rng(99);
+  Workload mix;
+  mix.name = "reporting-mix";
+  mix.Append(gen.SampledPlacements({2, 6}, 300, &rng, "wide").value());
+  mix.Append(gen.SampledPlacements({3, 3}, 200, &rng, "square").value());
+  std::stringstream trace_file;  // Stands in for a real file on disk.
+  if (!SerializeWorkload(grid, mix, trace_file).ok()) return 1;
+  std::cout << "captured " << mix.size()
+            << " queries into a trace (" << trace_file.str().size()
+            << " bytes)\n\n";
+
+  // 2. Reload the trace and ask the advisor.
+  const WorkloadTrace trace = DeserializeWorkload(trace_file).value();
+  AdvisorOptions opts;
+  opts.include_optimized = true;
+  const Advice advice =
+      AdviseDeclustering(trace.grid, num_disks, trace.workload, opts).value();
+
+  Table t({"Method", "Test mean RT", "Test RT/opt", "Test % optimal"});
+  for (const MethodScore& s : advice.scores) {
+    t.AddRow({s.name, Table::Fmt(s.test_mean_response, 3),
+              Table::Fmt(s.test_mean_ratio, 3),
+              Table::Fmt(s.test_fraction_optimal * 100, 1)});
+  }
+  t.PrintText(std::cout);
+  std::cout << "\nadvisor recommends: " << advice.recommended << "\n\n";
+
+  // 3./4. Export the winning allocation and verify the round trip.
+  std::stringstream alloc_file;
+  if (!SerializeAllocation(*advice.method, alloc_file).ok()) return 1;
+  const auto reloaded = DeserializeAllocation(alloc_file).value();
+  uint64_t mismatches = 0;
+  grid.ForEachBucket([&](const BucketCoords& c) {
+    if (reloaded->DiskOf(c) != advice.method->DiskOf(c)) ++mismatches;
+  });
+  std::cout << "exported allocation: " << grid.num_buckets()
+            << " bucket assignments, round-trip mismatches: " << mismatches
+            << "\n";
+  return mismatches == 0 ? 0 : 1;
+}

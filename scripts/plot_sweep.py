@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Plot a sweep CSV emitted by the bench binaries (or `declctl sweep-size`).
+
+The bench binaries print each series as CSV after the ASCII tables; save
+one CSV block to a file (or pipe the whole output here — the first CSV
+block is auto-extracted) and run:
+
+    bench/bench_e1_query_size | scripts/plot_sweep.py --out e1.png
+    scripts/plot_sweep.py e1.csv --logx --out e1.png
+
+Requires matplotlib; falls back to an ASCII chart without it.
+"""
+
+import argparse
+import csv
+import io
+import sys
+
+
+def extract_first_csv_block(text: str) -> str:
+    """Pulls the first contiguous comma-separated block out of mixed output."""
+    lines = []
+    in_block = False
+    for line in text.splitlines():
+        if "," in line and not line.startswith(("|", "=")):
+            lines.append(line)
+            in_block = True
+        elif in_block:
+            break
+    return "\n".join(lines)
+
+
+def ascii_plot(xs, series):
+    width = 60
+    all_vals = [v for ys in series.values() for v in ys]
+    lo, hi = min(all_vals), max(all_vals)
+    span = (hi - lo) or 1.0
+    for name, ys in series.items():
+        print(f"\n{name}")
+        for x, y in zip(xs, ys):
+            bar = "#" * int((y - lo) / span * width)
+            print(f"  {x:>10.2f} | {bar} {y:.3f}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csv_file", nargs="?", help="CSV file (default: stdin)")
+    parser.add_argument("--out", help="output image path (requires matplotlib)")
+    parser.add_argument("--logx", action="store_true", help="log-scale x axis")
+    args = parser.parse_args()
+
+    raw = (
+        open(args.csv_file).read()
+        if args.csv_file
+        else sys.stdin.read()
+    )
+    block = extract_first_csv_block(raw)
+    if not block:
+        sys.exit("no CSV block found in input")
+
+    rows = list(csv.reader(io.StringIO(block)))
+    header, data = rows[0], rows[1:]
+    xs = [float(r[0]) for r in data]
+    series = {
+        header[c]: [float(r[c]) if r[c] != "nan" else float("nan") for r in data]
+        for c in range(1, len(header))
+    }
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; ASCII fallback:", file=sys.stderr)
+        ascii_plot(xs, series)
+        return
+
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    for name, ys in series.items():
+        ax.plot(xs, ys, marker="o", markersize=3, label=name)
+    ax.set_xlabel(header[0])
+    ax.set_ylabel("mean response time")
+    if args.logx:
+        ax.set_xscale("log", base=2)
+    ax.legend()
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    out = args.out or "sweep.png"
+    fig.savefig(out, dpi=140)
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

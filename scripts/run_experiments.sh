@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the project and regenerates every paper table/figure plus the
+# ablations, mirroring what EXPERIMENTS.md records.
+#
+# Usage: scripts/run_experiments.sh [build-dir] [output-dir]
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-experiment_output}"
+
+cmake -B "$BUILD_DIR" -G Ninja
+cmake --build "$BUILD_DIR"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+mkdir -p "$OUT_DIR"
+for bench in "$BUILD_DIR"/bench/*; do
+  name="$(basename "$bench")"
+  echo "== $name"
+  "$bench" --benchmark_min_time=0.01 > "$OUT_DIR/$name.txt"
+done
+
+echo "All experiment outputs written to $OUT_DIR/"

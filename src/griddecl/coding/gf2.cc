@@ -1,0 +1,170 @@
+#include "griddecl/coding/gf2.h"
+
+#include <algorithm>
+
+#include "griddecl/common/bit_util.h"
+#include "griddecl/common/check.h"
+
+namespace griddecl {
+
+BitVector::BitVector(uint32_t size)
+    : words_((size + 63) / 64, 0), size_(size) {
+  GRIDDECL_CHECK(size >= 1);
+}
+
+BitVector BitVector::FromUint64(uint64_t value, uint32_t size) {
+  BitVector v(size);
+  GRIDDECL_CHECK_MSG(size >= 64 || (value >> size) == 0,
+                     "value does not fit in %u bits", size);
+  v.words_[0] = value;
+  return v;
+}
+
+bool BitVector::Get(uint32_t i) const {
+  GRIDDECL_CHECK(i < size_);
+  return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+void BitVector::Set(uint32_t i, bool value) {
+  GRIDDECL_CHECK(i < size_);
+  const uint64_t mask = uint64_t{1} << (i % 64);
+  if (value) {
+    words_[i / 64] |= mask;
+  } else {
+    words_[i / 64] &= ~mask;
+  }
+}
+
+void BitVector::XorWith(const BitVector& other) {
+  GRIDDECL_CHECK(other.size_ == size_);
+  for (size_t w = 0; w < words_.size(); ++w) words_[w] ^= other.words_[w];
+}
+
+bool BitVector::Dot(const BitVector& other) const {
+  GRIDDECL_CHECK(other.size_ == size_);
+  uint64_t acc = 0;
+  for (size_t w = 0; w < words_.size(); ++w) {
+    acc ^= words_[w] & other.words_[w];
+  }
+  return Parity(acc) != 0;
+}
+
+uint64_t BitVector::ToUint64() const { return words_[0]; }
+
+bool BitVector::IsZero() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+std::string BitVector::ToString() const {
+  std::string out;
+  out.reserve(size_);
+  for (uint32_t i = 0; i < size_; ++i) out += Get(i) ? '1' : '0';
+  return out;
+}
+
+BitMatrix::BitMatrix(uint32_t rows, uint32_t cols)
+    : rows_storage_(rows, BitVector(cols)), rows_(rows), cols_(cols) {
+  GRIDDECL_CHECK(rows >= 1 && cols >= 1);
+}
+
+BitMatrix BitMatrix::Identity(uint32_t n) {
+  BitMatrix m(n, n);
+  for (uint32_t i = 0; i < n; ++i) m.Set(i, i, true);
+  return m;
+}
+
+bool BitMatrix::Get(uint32_t r, uint32_t c) const {
+  GRIDDECL_CHECK(r < rows_);
+  return rows_storage_[r].Get(c);
+}
+
+void BitMatrix::Set(uint32_t r, uint32_t c, bool value) {
+  GRIDDECL_CHECK(r < rows_);
+  rows_storage_[r].Set(c, value);
+}
+
+const BitVector& BitMatrix::row(uint32_t r) const {
+  GRIDDECL_CHECK(r < rows_);
+  return rows_storage_[r];
+}
+
+BitVector BitMatrix::Column(uint32_t c) const {
+  GRIDDECL_CHECK(c < cols_);
+  BitVector col(rows_);
+  for (uint32_t r = 0; r < rows_; ++r) col.Set(r, Get(r, c));
+  return col;
+}
+
+void BitMatrix::SetColumn(uint32_t c, uint64_t value) {
+  GRIDDECL_CHECK(c < cols_);
+  GRIDDECL_CHECK(rows_ >= 64 || (value >> rows_) == 0);
+  for (uint32_t r = 0; r < rows_; ++r) {
+    Set(r, c, ((value >> r) & 1) != 0);
+  }
+}
+
+BitVector BitMatrix::Multiply(const BitVector& v) const {
+  GRIDDECL_CHECK(v.size() == cols_);
+  BitVector out(rows_);
+  for (uint32_t r = 0; r < rows_; ++r) {
+    out.Set(r, rows_storage_[r].Dot(v));
+  }
+  return out;
+}
+
+uint32_t BitMatrix::Rank() const {
+  std::vector<BitVector> work = rows_storage_;
+  uint32_t rank = 0;
+  for (uint32_t c = 0; c < cols_ && rank < rows_; ++c) {
+    // Find a pivot row with a 1 in column c.
+    uint32_t pivot = rank;
+    while (pivot < rows_ && !work[pivot].Get(c)) ++pivot;
+    if (pivot == rows_) continue;
+    std::swap(work[rank], work[pivot]);
+    for (uint32_t r = 0; r < rows_; ++r) {
+      if (r != rank && work[r].Get(c)) work[r].XorWith(work[rank]);
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+uint32_t BitMatrix::MinDistanceUpTo(uint32_t max_weight) const {
+  // A codeword of weight w exists iff some w columns XOR to zero.
+  // Enumerate column subsets by growing weight; exponential, test-only.
+  GRIDDECL_CHECK(max_weight >= 1);
+  std::vector<BitVector> cols;
+  cols.reserve(cols_);
+  for (uint32_t c = 0; c < cols_; ++c) cols.push_back(Column(c));
+
+  std::vector<uint32_t> pick;
+  // Depth-first enumeration of subsets of size `target`.
+  auto search = [&](auto&& self, uint32_t start, uint32_t remaining,
+                    BitVector acc) -> bool {
+    if (remaining == 0) return acc.IsZero();
+    for (uint32_t c = start; c + remaining <= cols_ + 1 && c < cols_; ++c) {
+      BitVector next = acc;
+      next.XorWith(cols[c]);
+      if (self(self, c + 1, remaining - 1, next)) return true;
+    }
+    return false;
+  };
+  for (uint32_t w = 1; w <= max_weight; ++w) {
+    if (search(search, 0, w, BitVector(rows_))) return w;
+  }
+  return max_weight + 1;
+}
+
+std::string BitMatrix::ToString() const {
+  std::string out;
+  for (uint32_t r = 0; r < rows_; ++r) {
+    out += rows_storage_[r].ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace griddecl

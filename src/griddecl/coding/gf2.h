@@ -1,0 +1,99 @@
+#ifndef GRIDDECL_CODING_GF2_H_
+#define GRIDDECL_CODING_GF2_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "griddecl/common/status.h"
+
+/// \file
+/// Dense linear algebra over GF(2). Substrate for the error-correcting-code
+/// declustering method (Faloutsos & Metaxas, IEEE ToC 1991): the disk of a
+/// bucket is the syndrome `H * v` of its concatenated coordinate bits `v`
+/// under a parity-check matrix `H`, i.e. disks correspond to cosets of a
+/// linear code.
+
+namespace griddecl {
+
+/// A bit vector of fixed length, packed into 64-bit words.
+class BitVector {
+ public:
+  /// All-zero vector of `size` bits.
+  explicit BitVector(uint32_t size);
+
+  /// Vector from the low `size` bits of `value` (bit 0 -> index 0).
+  static BitVector FromUint64(uint64_t value, uint32_t size);
+
+  uint32_t size() const { return size_; }
+  bool Get(uint32_t i) const;
+  void Set(uint32_t i, bool value);
+
+  /// XOR-accumulate another vector of equal size.
+  void XorWith(const BitVector& other);
+
+  /// Dot product over GF(2) (parity of the AND).
+  bool Dot(const BitVector& other) const;
+
+  /// Low 64 bits as an integer (bit i of the result = element i).
+  uint64_t ToUint64() const;
+
+  bool IsZero() const;
+
+  /// "0110..." with element 0 first.
+  std::string ToString() const;
+
+  friend bool operator==(const BitVector& a, const BitVector& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+ private:
+  std::vector<uint64_t> words_;
+  uint32_t size_;
+};
+
+/// A dense matrix over GF(2), row-major.
+class BitMatrix {
+ public:
+  /// All-zero matrix.
+  BitMatrix(uint32_t rows, uint32_t cols);
+
+  static BitMatrix Identity(uint32_t n);
+
+  uint32_t rows() const { return rows_; }
+  uint32_t cols() const { return cols_; }
+
+  bool Get(uint32_t r, uint32_t c) const;
+  void Set(uint32_t r, uint32_t c, bool value);
+
+  const BitVector& row(uint32_t r) const;
+
+  /// Column `c` as a vector of length rows().
+  BitVector Column(uint32_t c) const;
+
+  /// Sets column `c` from the low rows() bits of `value`.
+  void SetColumn(uint32_t c, uint64_t value);
+
+  /// Matrix-vector product over GF(2); `v.size()` must equal cols().
+  BitVector Multiply(const BitVector& v) const;
+
+  /// Rank over GF(2) (Gaussian elimination on a copy).
+  uint32_t Rank() const;
+
+  /// Minimum Hamming distance of the linear code whose parity-check matrix
+  /// is this matrix: the smallest number of columns that XOR to zero.
+  /// Exhaustive up to `max_weight`; returns max_weight + 1 if no dependent
+  /// set of size <= max_weight exists. Intended for small matrices (tests).
+  uint32_t MinDistanceUpTo(uint32_t max_weight) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<BitVector> rows_storage_;
+  uint32_t rows_;
+  uint32_t cols_;
+};
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_CODING_GF2_H_

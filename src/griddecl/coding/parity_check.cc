@@ -1,0 +1,124 @@
+#include "griddecl/coding/parity_check.h"
+
+#include <algorithm>
+
+#include "griddecl/common/check.h"
+
+namespace griddecl {
+
+namespace {
+
+/// Incremental GF(2) span tracker over c-bit values (Gaussian basis).
+class Gf2Span {
+ public:
+  /// Reduces `v` by the basis; non-zero remainder means independent.
+  uint64_t Reduce(uint64_t v) const {
+    for (uint64_t b : basis_) v = std::min(v, v ^ b);
+    return v;
+  }
+
+  bool Contains(uint64_t v) const { return Reduce(v) == 0; }
+
+  /// Adds `v` to the span; returns false if it was already contained.
+  bool Add(uint64_t v) {
+    const uint64_t r = Reduce(v);
+    if (r == 0) return false;
+    basis_.push_back(r);
+    // Keep basis sorted descending so Reduce cancels high bits first.
+    std::sort(basis_.rbegin(), basis_.rend());
+    return true;
+  }
+
+  size_t rank() const { return basis_.size(); }
+
+ private:
+  std::vector<uint64_t> basis_;
+};
+
+}  // namespace
+
+Result<BitMatrix> BuildHammingParityCheck(uint32_t num_parity_bits,
+                                          uint32_t num_cols) {
+  if (num_parity_bits < 1 || num_parity_bits > 32) {
+    return Status::InvalidArgument("parity bits must be in 1..32");
+  }
+  if (num_cols < 1) {
+    return Status::InvalidArgument("need at least one column");
+  }
+  BitMatrix h(num_parity_bits, num_cols);
+  const uint64_t nonzero_values = (uint64_t{1} << num_parity_bits) - 1;
+  for (uint32_t j = 0; j < num_cols; ++j) {
+    const uint64_t value = (j % nonzero_values) + 1;
+    h.SetColumn(j, value);
+  }
+  return h;
+}
+
+Result<BitMatrix> BuildDeclusteringParityCheck(
+    uint32_t num_parity_bits, const std::vector<uint32_t>& widths) {
+  if (num_parity_bits < 1 || num_parity_bits > 32) {
+    return Status::InvalidArgument("parity bits must be in 1..32");
+  }
+  uint32_t total = 0;
+  uint32_t max_width = 0;
+  for (uint32_t w : widths) {
+    total += w;
+    max_width = std::max(max_width, w);
+  }
+  if (total < 1) {
+    return Status::InvalidArgument("need at least one coordinate bit");
+  }
+  // Column bit-positions: dimension-major, LSB first.
+  std::vector<uint32_t> offsets(widths.size(), 0);
+  for (size_t i = 1; i < widths.size(); ++i) {
+    offsets[i] = offsets[i - 1] + widths[i - 1];
+  }
+
+  BitMatrix h(num_parity_bits, total);
+  const uint64_t num_values = uint64_t{1} << num_parity_bits;
+  Gf2Span span;
+  std::vector<bool> used(static_cast<size_t>(num_values), false);
+  uint64_t cycle = 0;  // Fallback counter once all values are used.
+
+  // Assign level-major: bit 0 of every dimension, then bit 1, ... so the
+  // low-order bits — the ones small range queries exercise — receive the
+  // independent columns first.
+  for (uint32_t level = 0; level < max_width; ++level) {
+    for (size_t dim = 0; dim < widths.size(); ++dim) {
+      if (level >= widths[dim]) continue;
+      uint64_t value = 0;
+      if (span.rank() < num_parity_bits) {
+        // Smallest unused value independent of everything so far.
+        for (uint64_t v = 1; v < num_values; ++v) {
+          if (!used[static_cast<size_t>(v)] && !span.Contains(v)) {
+            value = v;
+            break;
+          }
+        }
+        GRIDDECL_CHECK(value != 0);
+        span.Add(value);
+      } else {
+        // Rank saturated: keep columns pairwise distinct while possible.
+        for (uint64_t v = 1; v < num_values; ++v) {
+          if (!used[static_cast<size_t>(v)]) {
+            value = v;
+            break;
+          }
+        }
+        if (value == 0) {
+          // All non-zero values consumed: cycle deterministically.
+          value = (cycle++ % (num_values - 1)) + 1;
+        }
+      }
+      used[static_cast<size_t>(value)] = true;
+      h.SetColumn(offsets[dim] + level, value);
+    }
+  }
+  return h;
+}
+
+uint64_t SyndromeOf(const BitMatrix& h, const BitVector& v) {
+  return h.Multiply(v).ToUint64();
+}
+
+}  // namespace griddecl

@@ -1,0 +1,57 @@
+#ifndef GRIDDECL_CODING_PARITY_CHECK_H_
+#define GRIDDECL_CODING_PARITY_CHECK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "griddecl/coding/gf2.h"
+#include "griddecl/common/status.h"
+
+/// \file
+/// Construction of parity-check matrices for ECC declustering.
+///
+/// The original paper takes its parity-check equations from tables in Reza's
+/// information-theory text; we construct the same family programmatically
+/// (documented substitution, see DESIGN.md).
+///
+/// Two builders are provided:
+///
+/// * `BuildHammingParityCheck` — the generic (shortened) Hamming code:
+///   column `j` is the value `(j mod (2^c - 1)) + 1`, so columns are
+///   distinct and non-zero while they last (minimum distance >= 3 when
+///   `n <= 2^c - 1`).
+///
+/// * `BuildDeclusteringParityCheck` — the matrix the ECC *method* uses.
+///   Bucket coordinates are concatenated dimension-major, LSB first, and
+///   what matters for range queries is which columns back the *low-order*
+///   bits: the buckets of a small aligned box differ exactly in the low
+///   `a_i` bits of each coordinate, and the box spreads perfectly over
+///   2^(sum a_i) disks iff those columns are linearly independent. Columns
+///   are therefore assigned level-major (bit 0 of every dimension, then bit
+///   1, ...) and greedily kept independent of all previously assigned
+///   columns until the rank saturates at `c`; afterwards, the smallest
+///   still-unused non-zero value is used (preserving pairwise distinctness,
+///   i.e. distance >= 3, while any values remain).
+
+namespace griddecl {
+
+/// Generic shortened-Hamming parity check (`num_parity_bits x num_cols`).
+/// Requires 1 <= num_parity_bits <= 32 and num_cols >= 1.
+Result<BitMatrix> BuildHammingParityCheck(uint32_t num_parity_bits,
+                                          uint32_t num_cols);
+
+/// Parity-check matrix tuned for grid declustering. `widths[i]` is the
+/// number of coordinate bits of dimension i (log2 of the partition count);
+/// the matrix has `sum(widths)` columns laid out dimension-major, LSB
+/// first — column `offset_i + b` backs bit `b` of dimension `i`.
+/// Requires 1 <= num_parity_bits <= 32 and at least one positive width.
+Result<BitMatrix> BuildDeclusteringParityCheck(
+    uint32_t num_parity_bits, const std::vector<uint32_t>& widths);
+
+/// Syndrome of `v` under `H`, packed into an integer in
+/// [0, 2^H.rows()). Disk id in ECC declustering.
+uint64_t SyndromeOf(const BitMatrix& h, const BitVector& v);
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_CODING_PARITY_CHECK_H_

@@ -1,0 +1,82 @@
+#ifndef GRIDDECL_COMMON_BIT_UTIL_H_
+#define GRIDDECL_COMMON_BIT_UTIL_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "griddecl/common/check.h"
+
+/// \file
+/// Small bit-manipulation helpers used by the curve, coding and method
+/// modules. All functions are constexpr-friendly and branch-light; several
+/// declustering functions (FX, ECC, Hilbert) are built directly on them.
+
+namespace griddecl {
+
+/// True iff `x` is a power of two. Zero is not a power of two.
+constexpr bool IsPowerOfTwo(uint64_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Number of bits needed to represent values in [0, x), i.e. ceil(log2(x)).
+/// BitWidthForDomain(1) == 0 (a domain with one value needs no bits).
+constexpr int BitWidthForDomain(uint64_t x) {
+  GRIDDECL_CHECK(x >= 1);
+  return (x <= 1) ? 0 : 64 - std::countl_zero(x - 1);
+}
+
+/// Floor of log2(x); x must be >= 1.
+constexpr int FloorLog2(uint64_t x) {
+  GRIDDECL_CHECK(x >= 1);
+  return 63 - std::countl_zero(x);
+}
+
+/// Ceiling of log2(x); x must be >= 1.
+constexpr int CeilLog2(uint64_t x) {
+  GRIDDECL_CHECK(x >= 1);
+  return IsPowerOfTwo(x) ? FloorLog2(x) : FloorLog2(x) + 1;
+}
+
+/// Smallest power of two >= x; x must be >= 1.
+constexpr uint64_t NextPowerOfTwo(uint64_t x) {
+  return uint64_t{1} << CeilLog2(x);
+}
+
+/// Number of set bits.
+constexpr int PopCount(uint64_t x) { return std::popcount(x); }
+
+/// XOR-parity of the set bits of `x` (0 or 1).
+constexpr uint32_t Parity(uint64_t x) {
+  return static_cast<uint32_t>(std::popcount(x) & 1);
+}
+
+/// Binary-reflected Gray code of `x`.
+constexpr uint64_t GrayCode(uint64_t x) { return x ^ (x >> 1); }
+
+/// Inverse of `GrayCode`: the integer whose Gray code is `g`.
+constexpr uint64_t GrayCodeInverse(uint64_t g) {
+  uint64_t x = g;
+  for (int shift = 1; shift < 64; shift <<= 1) x ^= x >> shift;
+  return x;
+}
+
+/// Left-rotate the low `width` bits of `x` by `r` positions (r in [0,width)).
+constexpr uint64_t RotateLeftBits(uint64_t x, int r, int width) {
+  GRIDDECL_CHECK(width > 0 && width <= 64 && r >= 0 && r < width);
+  const uint64_t mask =
+      (width == 64) ? ~uint64_t{0} : ((uint64_t{1} << width) - 1);
+  x &= mask;
+  if (r == 0) return x;
+  return ((x << r) | (x >> (width - r))) & mask;
+}
+
+/// Right-rotate the low `width` bits of `x` by `r` positions (r in [0,width)).
+constexpr uint64_t RotateRightBits(uint64_t x, int r, int width) {
+  if (r == 0) return x & ((width == 64) ? ~uint64_t{0}
+                                        : ((uint64_t{1} << width) - 1));
+  return RotateLeftBits(x, width - r, width);
+}
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_COMMON_BIT_UTIL_H_

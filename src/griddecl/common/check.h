@@ -1,0 +1,37 @@
+#ifndef GRIDDECL_COMMON_CHECK_H_
+#define GRIDDECL_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Assertion macros for programmer errors (contract violations).
+///
+/// `GRIDDECL_CHECK` is always on, including in release builds: declustering
+/// results silently computed from out-of-range bucket coordinates would be
+/// worse than a crash. Recoverable errors (bad user configuration, malformed
+/// input) use `Status` / `Result<T>` instead — see `common/status.h`.
+
+/// Aborts with a file:line message when `cond` is false.
+#define GRIDDECL_CHECK(cond)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+/// Aborts with a formatted message when `cond` is false.
+#define GRIDDECL_CHECK_MSG(cond, ...)                                     \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s: ", __FILE__,       \
+                   __LINE__, #cond);                                      \
+      std::fprintf(stderr, __VA_ARGS__);                                  \
+      std::fprintf(stderr, "\n");                                         \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#endif  // GRIDDECL_COMMON_CHECK_H_

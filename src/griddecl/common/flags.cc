@@ -1,0 +1,128 @@
+#include "griddecl/common/flags.h"
+
+#include <cstdlib>
+
+namespace griddecl {
+
+Result<Flags> Flags::Parse(const std::vector<std::string>& args) {
+  Flags flags;
+  bool flags_done = false;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (flags_done || arg.size() < 3 || arg.substr(0, 2) != "--") {
+      if (arg == "--") {
+        flags_done = true;
+        continue;
+      }
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      const std::string name = arg.substr(2, eq - 2);
+      if (name.empty()) {
+        return Status::InvalidArgument("malformed flag '" + arg + "'");
+      }
+      flags.values_[name] = arg.substr(eq + 1);
+      continue;
+    }
+    const std::string name = arg.substr(2);
+    if (i + 1 < args.size() && args[i + 1].substr(0, 2) != "--") {
+      flags.values_[name] = args[i + 1];
+      ++i;
+    } else {
+      flags.values_[name] = "true";
+    }
+  }
+  return flags;
+}
+
+Result<Flags> Flags::Parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return Parse(args);
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& default_value) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+Result<int64_t> Flags::GetInt(const std::string& name,
+                              int64_t default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag --" + name + " expects an integer, "
+                                   "got '" + it->second + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> Flags::GetDouble(const std::string& name,
+                                double default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag --" + name + " expects a number, "
+                                   "got '" + it->second + "'");
+  }
+  return v;
+}
+
+Result<bool> Flags::GetBool(const std::string& name,
+                            bool default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  if (it->second == "true" || it->second == "1") return true;
+  if (it->second == "false" || it->second == "0") return false;
+  return Status::InvalidArgument("flag --" + name +
+                                 " expects true/false, got '" + it->second +
+                                 "'");
+}
+
+Result<std::vector<uint32_t>> Flags::GetUint32List(
+    const std::string& name, std::vector<uint32_t> default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  std::vector<uint32_t> out;
+  const std::string& s = it->second;
+  size_t pos = 0;
+  while (pos <= s.size()) {
+    const size_t next = s.find(',', pos);
+    const std::string token = s.substr(
+        pos, next == std::string::npos ? std::string::npos : next - pos);
+    if (token.empty()) {
+      return Status::InvalidArgument("flag --" + name +
+                                     " has an empty list element");
+    }
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0' || v > 0xFFFFFFFFull) {
+      return Status::InvalidArgument("flag --" + name +
+                                     " expects comma-separated integers");
+    }
+    out.push_back(static_cast<uint32_t>(v));
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> Flags::FlagNames() const {
+  std::vector<std::string> names;
+  names.reserve(values_.size());
+  for (const auto& [name, value] : values_) names.push_back(name);
+  return names;
+}
+
+}  // namespace griddecl

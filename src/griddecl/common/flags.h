@@ -1,0 +1,65 @@
+#ifndef GRIDDECL_COMMON_FLAGS_H_
+#define GRIDDECL_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "griddecl/common/status.h"
+
+/// \file
+/// Minimal command-line flag parsing for the `declctl` tool and the bench
+/// binaries. Supports `--key=value`, `--key value`, bare boolean `--key`,
+/// and positional arguments; no registration step, callers query by name.
+
+namespace griddecl {
+
+/// Parsed command line.
+class Flags {
+ public:
+  /// Parses `args` (argv[1:]). A token starting with "--" is a flag; if it
+  /// contains '=', the remainder is the value; otherwise, if the next token
+  /// exists and is not itself a flag, it is consumed as the value; otherwise
+  /// the flag is boolean ("true"). Anything else is positional.
+  /// "--" ends flag parsing (everything after is positional).
+  static Result<Flags> Parse(const std::vector<std::string>& args);
+
+  /// Convenience for main(): skips argv[0].
+  static Result<Flags> Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  /// Flag value, or `default_value` when absent.
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+
+  /// Integer flag; kInvalidArgument when present but malformed.
+  Result<int64_t> GetInt(const std::string& name,
+                         int64_t default_value) const;
+
+  /// Floating-point flag; kInvalidArgument when present but malformed.
+  Result<double> GetDouble(const std::string& name,
+                           double default_value) const;
+
+  /// Boolean flag: absent -> default; present bare or "true"/"1" -> true;
+  /// "false"/"0" -> false; anything else is kInvalidArgument.
+  Result<bool> GetBool(const std::string& name, bool default_value) const;
+
+  /// Comma-separated integer list ("1,2,4"); default when absent.
+  Result<std::vector<uint32_t>> GetUint32List(
+      const std::string& name, std::vector<uint32_t> default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names seen on the command line (for unknown-flag diagnostics).
+  std::vector<std::string> FlagNames() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_COMMON_FLAGS_H_

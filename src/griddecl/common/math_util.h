@@ -1,0 +1,50 @@
+#ifndef GRIDDECL_COMMON_MATH_UTIL_H_
+#define GRIDDECL_COMMON_MATH_UTIL_H_
+
+#include <cstdint>
+
+#include "griddecl/common/check.h"
+
+/// \file
+/// Integer math helpers. `CeilDiv` is the library's single most important
+/// function: the optimal parallel response time of a query touching `n`
+/// buckets on `m` disks is exactly `CeilDiv(n, m)`.
+
+namespace griddecl {
+
+/// ceil(a / b) for non-negative a and positive b.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) {
+  GRIDDECL_CHECK(b > 0);
+  return (a + b - 1) / b;
+}
+
+/// Greatest common divisor.
+constexpr uint64_t Gcd(uint64_t a, uint64_t b) {
+  while (b != 0) {
+    uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+/// Least common multiple; returns 0 if either argument is 0.
+constexpr uint64_t Lcm(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  return (a / Gcd(a, b)) * b;
+}
+
+/// Integer exponentiation base^exp; checked against uint64 overflow.
+constexpr uint64_t IPow(uint64_t base, uint32_t exp) {
+  uint64_t result = 1;
+  for (uint32_t i = 0; i < exp; ++i) {
+    GRIDDECL_CHECK_MSG(base == 0 || result <= ~uint64_t{0} / (base ? base : 1),
+                       "IPow overflow");
+    result *= base;
+  }
+  return result;
+}
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_COMMON_MATH_UTIL_H_

@@ -1,0 +1,95 @@
+#include "griddecl/common/maxflow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace griddecl {
+
+MaxFlowGraph::MaxFlowGraph(uint32_t num_nodes)
+    : adj_(num_nodes), level_(num_nodes), iter_(num_nodes) {
+  GRIDDECL_CHECK(num_nodes >= 2);
+}
+
+uint32_t MaxFlowGraph::AddEdge(uint32_t from, uint32_t to,
+                               uint64_t capacity) {
+  GRIDDECL_CHECK(from < adj_.size() && to < adj_.size() && from != to);
+  const uint32_t id = static_cast<uint32_t>(edges_.size());
+  edges_.push_back({to, capacity, capacity});
+  edges_.push_back({from, 0, 0});  // Residual reverse edge.
+  adj_[from].push_back(id);
+  adj_[to].push_back(id + 1);
+  return id;
+}
+
+bool MaxFlowGraph::Bfs(uint32_t source, uint32_t sink) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::queue<uint32_t> queue;
+  level_[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const uint32_t node = queue.front();
+    queue.pop();
+    for (uint32_t edge_id : adj_[node]) {
+      const Edge& e = edges_[edge_id];
+      if (e.capacity > 0 && level_[e.to] < 0) {
+        level_[e.to] = level_[node] + 1;
+        queue.push(e.to);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+uint64_t MaxFlowGraph::Dfs(uint32_t node, uint32_t sink, uint64_t pushed) {
+  if (node == sink) return pushed;
+  for (uint32_t& i = iter_[node]; i < adj_[node].size(); ++i) {
+    const uint32_t edge_id = adj_[node][i];
+    Edge& e = edges_[edge_id];
+    if (e.capacity > 0 && level_[e.to] == level_[node] + 1) {
+      const uint64_t got =
+          Dfs(e.to, sink, std::min(pushed, e.capacity));
+      if (got > 0) {
+        e.capacity -= got;
+        edges_[edge_id ^ 1].capacity += got;
+        return got;
+      }
+    }
+  }
+  return 0;
+}
+
+uint64_t MaxFlowGraph::MaxFlow(uint32_t source, uint32_t sink) {
+  GRIDDECL_CHECK(source < adj_.size() && sink < adj_.size());
+  GRIDDECL_CHECK(source != sink);
+  uint64_t total = 0;
+  while (Bfs(source, sink)) {
+    std::fill(iter_.begin(), iter_.end(), 0u);
+    for (;;) {
+      const uint64_t pushed =
+          Dfs(source, sink, std::numeric_limits<uint64_t>::max());
+      if (pushed == 0) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+uint64_t MaxFlowGraph::flow(uint32_t edge_id) const {
+  GRIDDECL_CHECK(edge_id < edges_.size() && (edge_id % 2) == 0);
+  return edges_[edge_id].original - edges_[edge_id].capacity;
+}
+
+void MaxFlowGraph::ResetCapacities() {
+  for (Edge& e : edges_) e.capacity = e.original;
+}
+
+void MaxFlowGraph::SetCapacity(uint32_t edge_id, uint64_t capacity) {
+  GRIDDECL_CHECK(edge_id < edges_.size() && (edge_id % 2) == 0);
+  edges_[edge_id].capacity = capacity;
+  edges_[edge_id].original = capacity;
+  edges_[edge_id ^ 1].capacity = 0;
+  edges_[edge_id ^ 1].original = 0;
+}
+
+}  // namespace griddecl

@@ -1,0 +1,64 @@
+#ifndef GRIDDECL_COMMON_MAXFLOW_H_
+#define GRIDDECL_COMMON_MAXFLOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "griddecl/common/check.h"
+
+/// \file
+/// Dinic's maximum-flow algorithm on small integer-capacity graphs.
+/// Substrate for the replica router (eval/replica_router.h), which decides
+/// feasibility of "can this query be answered within T accesses per disk"
+/// as a bipartite flow problem. O(V^2 E) worst case, effectively linear on
+/// the shallow bipartite graphs we build.
+
+namespace griddecl {
+
+/// Max-flow solver. Build edges, then call MaxFlow once (capacities are
+/// consumed; construct a fresh instance per run or use ResetCapacities).
+class MaxFlowGraph {
+ public:
+  /// Graph over `num_nodes` vertices, ids 0..num_nodes-1.
+  explicit MaxFlowGraph(uint32_t num_nodes);
+
+  /// Adds a directed edge with the given capacity; returns an edge id
+  /// usable with `flow()` after solving.
+  uint32_t AddEdge(uint32_t from, uint32_t to, uint64_t capacity);
+
+  /// Computes the maximum flow from `source` to `sink`.
+  uint64_t MaxFlow(uint32_t source, uint32_t sink);
+
+  /// Flow pushed through edge `edge_id` by the last MaxFlow call.
+  uint64_t flow(uint32_t edge_id) const;
+
+  /// Restores all capacities to their construction-time values so the
+  /// graph can be re-solved (used by the router's binary search after
+  /// retuning sink capacities via SetCapacity).
+  void ResetCapacities();
+
+  /// Overwrites the capacity of `edge_id` (and records it as the new
+  /// construction-time value for ResetCapacities).
+  void SetCapacity(uint32_t edge_id, uint64_t capacity);
+
+  uint32_t num_nodes() const { return static_cast<uint32_t>(adj_.size()); }
+
+ private:
+  struct Edge {
+    uint32_t to;
+    uint64_t capacity;   // Remaining capacity.
+    uint64_t original;   // Construction-time capacity.
+  };
+
+  bool Bfs(uint32_t source, uint32_t sink);
+  uint64_t Dfs(uint32_t node, uint32_t sink, uint64_t pushed);
+
+  std::vector<Edge> edges_;                 // Paired: edge 2i has reverse 2i+1.
+  std::vector<std::vector<uint32_t>> adj_;  // Node -> edge ids.
+  std::vector<int32_t> level_;
+  std::vector<uint32_t> iter_;
+};
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_COMMON_MAXFLOW_H_

@@ -1,0 +1,73 @@
+#include "griddecl/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "griddecl/common/check.h"
+
+namespace griddecl {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const uint64_t n = count_ + other.count_;
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  mean_ += delta * nb / static_cast<double>(n);
+  m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = n;
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(uint32_t num_buckets) : counts_(num_buckets, 0) {
+  GRIDDECL_CHECK(num_buckets >= 1);
+}
+
+void Histogram::Add(uint64_t value) {
+  if (value < counts_.size()) {
+    ++counts_[static_cast<size_t>(value)];
+  } else {
+    ++overflow_;
+  }
+  ++total_;
+}
+
+uint64_t Histogram::bucket_count(uint32_t bucket) const {
+  GRIDDECL_CHECK(bucket < counts_.size());
+  return counts_[bucket];
+}
+
+double Histogram::FractionBelow(uint64_t value) const {
+  if (total_ == 0) return 0.0;
+  uint64_t below = 0;
+  const uint64_t limit = std::min<uint64_t>(value, counts_.size());
+  for (uint64_t i = 0; i < limit; ++i) below += counts_[static_cast<size_t>(i)];
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+}  // namespace griddecl

@@ -1,0 +1,73 @@
+#ifndef GRIDDECL_COMMON_STATS_H_
+#define GRIDDECL_COMMON_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+/// \file
+/// Streaming statistics accumulators used by the evaluator to aggregate
+/// per-query response times without storing every sample.
+
+namespace griddecl {
+
+/// Accumulates count / mean / variance / min / max in one pass
+/// (Welford's online algorithm; numerically stable).
+class RunningStat {
+ public:
+  RunningStat() = default;
+
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void Merge(const RunningStat& other);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Population variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bucket histogram over non-negative integer values.
+///
+/// Values >= `num_buckets` are counted in the overflow bucket. Used to
+/// report distributions of per-query response time deviation.
+class Histogram {
+ public:
+  /// Creates a histogram with buckets for values 0..num_buckets-1 plus
+  /// an overflow bucket. num_buckets must be >= 1.
+  explicit Histogram(uint32_t num_buckets);
+
+  void Add(uint64_t value);
+
+  uint64_t bucket_count(uint32_t bucket) const;
+  uint64_t overflow_count() const { return overflow_; }
+  uint64_t total_count() const { return total_; }
+  uint32_t num_buckets() const {
+    return static_cast<uint32_t>(counts_.size());
+  }
+
+  /// Fraction of observations strictly below `value` (overflow counts as
+  /// >= num_buckets). Returns 0 when empty.
+  double FractionBelow(uint64_t value) const;
+
+ private:
+  std::vector<uint64_t> counts_;
+  uint64_t overflow_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_COMMON_STATS_H_

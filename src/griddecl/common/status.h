@@ -1,0 +1,133 @@
+#ifndef GRIDDECL_COMMON_STATUS_H_
+#define GRIDDECL_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "griddecl/common/check.h"
+
+/// \file
+/// Error model for the library: `Status` for fallible operations with no
+/// payload, `Result<T>` for fallible operations producing a value. The
+/// library does not throw exceptions (per the database-C++ conventions this
+/// repo follows); constructors that cannot fail take validated inputs, and
+/// factory functions returning `Result<T>` perform the validation.
+
+namespace griddecl {
+
+/// Machine-inspectable category of an error.
+enum class StatusCode {
+  kOk = 0,
+  /// Caller passed an argument outside the documented domain.
+  kInvalidArgument,
+  /// A named entity (e.g. a declustering method) is not registered.
+  kNotFound,
+  /// The operation is valid but unsupported for this configuration
+  /// (e.g. ECC with a non-power-of-two disk count).
+  kUnsupported,
+  /// An internal invariant failed in a recoverable context.
+  kInternal,
+};
+
+/// Returns a stable lowercase name for `code` ("ok", "invalid_argument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Success-or-error outcome of an operation with no result payload.
+///
+/// Cheap to copy in the success case; carries a message in the error case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs an error status. `code` must not be kOk.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    GRIDDECL_CHECK(code_ != StatusCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  /// Error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>"; for logs and test failure output.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type `T` or an error `Status`.
+///
+/// Usage:
+///     Result<Foo> r = MakeFoo(...);
+///     if (!r.ok()) return r.status();
+///     Foo& foo = r.value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: allows `return foo;` in factory functions.
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from an error status: allows `return Status::...;`.
+  /// `status` must not be OK (an OK status carries no value).
+  Result(Status status) : state_(std::move(status)) {  // NOLINT
+    GRIDDECL_CHECK(!std::get<Status>(state_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  /// The error status; OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(state_);
+  }
+
+  /// The held value. It is a checked error to call on a non-OK result.
+  const T& value() const& {
+    GRIDDECL_CHECK_MSG(ok(), "Result::value on error: %s",
+                       std::get<Status>(state_).ToString().c_str());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    GRIDDECL_CHECK_MSG(ok(), "Result::value on error: %s",
+                       std::get<Status>(state_).ToString().c_str());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    GRIDDECL_CHECK_MSG(ok(), "Result::value on error: %s",
+                       std::get<Status>(state_).ToString().c_str());
+    return std::get<T>(std::move(state_));
+  }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+/// Propagates an error status from an expression that yields a `Status`.
+#define GRIDDECL_RETURN_IF_ERROR(expr)                  \
+  do {                                                  \
+    ::griddecl::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                          \
+  } while (0)
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_COMMON_STATUS_H_

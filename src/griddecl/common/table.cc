@@ -1,0 +1,92 @@
+#include "griddecl/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "griddecl/common/check.h"
+
+namespace griddecl {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  GRIDDECL_CHECK(!headers_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  GRIDDECL_CHECK_MSG(cells.size() == headers_.size(),
+                     "row has %zu cells, table has %zu columns", cells.size(),
+                     headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::Fmt(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string Table::Fmt(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+void Table::PrintText(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c];
+      os << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  print_row(headers_);
+  os << "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+void WriteCsvCell(std::ostream& os, const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    os << cell;
+    return;
+  }
+  os << '"';
+  for (char ch : cell) {
+    if (ch == '"') os << '"';
+    os << ch;
+  }
+  os << '"';
+}
+}  // namespace
+
+void Table::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      WriteCsvCell(os, row[c]);
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace griddecl

@@ -1,0 +1,48 @@
+#ifndef GRIDDECL_COMMON_TABLE_H_
+#define GRIDDECL_COMMON_TABLE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// \file
+/// Minimal tabular report writer. Every benchmark binary prints the series a
+/// paper table/figure reports, both as an aligned ASCII table (for humans)
+/// and as CSV (for regenerating plots).
+
+namespace griddecl {
+
+/// Column-oriented table with string cells and aligned text rendering.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must match the number of headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string Fmt(double v, int precision = 3);
+  static std::string Fmt(uint64_t v);
+  static std::string Fmt(int64_t v);
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_cols() const { return headers_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::string>& row(size_t i) const { return rows_[i]; }
+
+  /// Writes an aligned, pipe-separated ASCII rendering.
+  void PrintText(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_COMMON_TABLE_H_

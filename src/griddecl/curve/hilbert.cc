@@ -1,0 +1,118 @@
+#include "griddecl/curve/hilbert.h"
+
+#include <array>
+
+namespace griddecl {
+
+namespace {
+
+// Skilling's in-place transform between axis coordinates and the "transpose"
+// representation of the Hilbert index. `x` holds one `bits`-bit word per
+// dimension.
+
+void AxesToTranspose(std::array<uint64_t, kMaxDims>& x, uint32_t n,
+                     uint32_t bits) {
+  if (bits < 2) {
+    // Order-1 cube: transpose is the Gray-code preimage handled below by the
+    // shared tail; the loop body is a no-op for Q <= 1.
+  }
+  // Inverse undo of the exchanges performed by TransposeToAxes.
+  for (uint64_t q = uint64_t{1} << (bits - 1); q > 1; q >>= 1) {
+    const uint64_t p = q - 1;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;  // invert low bits of x[0]
+      } else {
+        const uint64_t t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (uint32_t i = 1; i < n; ++i) x[i] ^= x[i - 1];
+  uint64_t t = 0;
+  for (uint64_t q = uint64_t{1} << (bits - 1); q > 1; q >>= 1) {
+    if (x[n - 1] & q) t ^= q - 1;
+  }
+  for (uint32_t i = 0; i < n; ++i) x[i] ^= t;
+}
+
+void TransposeToAxes(std::array<uint64_t, kMaxDims>& x, uint32_t n,
+                     uint32_t bits) {
+  const uint64_t m = uint64_t{2} << (bits - 1);
+  // Gray decode by H ^ (H/2).
+  uint64_t t = x[n - 1] >> 1;
+  for (uint32_t i = n; i-- > 1;) x[i] ^= x[i - 1];
+  x[0] ^= t;
+  // Undo excess work.
+  for (uint64_t q = 2; q != m; q <<= 1) {
+    const uint64_t p = q - 1;
+    for (uint32_t i = n; i-- > 0;) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        const uint64_t tt = (x[0] ^ x[i]) & p;
+        x[0] ^= tt;
+        x[i] ^= tt;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<HilbertCurve> HilbertCurve::Create(uint32_t num_dims, uint32_t order) {
+  if (num_dims < 1 || num_dims > kMaxDims) {
+    return Status::InvalidArgument("Hilbert curve needs 1.." +
+                                   std::to_string(kMaxDims) + " dims");
+  }
+  if (order < 1) {
+    return Status::InvalidArgument("Hilbert curve order must be >= 1");
+  }
+  if (static_cast<uint64_t>(num_dims) * order > 64) {
+    return Status::InvalidArgument(
+        "num_dims * order must be <= 64 for uint64 indices");
+  }
+  return HilbertCurve(num_dims, order);
+}
+
+uint64_t HilbertCurve::Index(const BucketCoords& c) const {
+  GRIDDECL_CHECK(c.size() == num_dims_);
+  std::array<uint64_t, kMaxDims> x{};
+  for (uint32_t i = 0; i < num_dims_; ++i) {
+    GRIDDECL_CHECK_MSG(c[i] < side(), "coord %u out of cube side %llu", c[i],
+                       static_cast<unsigned long long>(side()));
+    x[i] = c[i];
+  }
+  AxesToTranspose(x, num_dims_, order_);
+  // Interleave: the index's most significant bit is the top bit of x[0],
+  // then the top bit of x[1], ..., round-robin down to the lowest bits.
+  uint64_t index = 0;
+  for (uint32_t bit = order_; bit-- > 0;) {
+    for (uint32_t i = 0; i < num_dims_; ++i) {
+      index = (index << 1) | ((x[i] >> bit) & 1);
+    }
+  }
+  return index;
+}
+
+BucketCoords HilbertCurve::Coords(uint64_t index) const {
+  GRIDDECL_CHECK(index < num_cells());
+  std::array<uint64_t, kMaxDims> x{};
+  // De-interleave into transpose form.
+  for (uint32_t bit = order_; bit-- > 0;) {
+    for (uint32_t i = 0; i < num_dims_; ++i) {
+      const uint32_t src = bit * num_dims_ + (num_dims_ - 1 - i);
+      x[i] |= ((index >> src) & 1) << bit;
+    }
+  }
+  TransposeToAxes(x, num_dims_, order_);
+  BucketCoords c(num_dims_);
+  for (uint32_t i = 0; i < num_dims_; ++i) {
+    c[i] = static_cast<uint32_t>(x[i]);
+  }
+  return c;
+}
+
+}  // namespace griddecl

@@ -1,0 +1,44 @@
+#include "griddecl/curve/morton.h"
+
+namespace griddecl {
+
+Result<MortonCurve> MortonCurve::Create(uint32_t num_dims, uint32_t order) {
+  if (num_dims < 1 || num_dims > kMaxDims) {
+    return Status::InvalidArgument("Morton curve needs 1.." +
+                                   std::to_string(kMaxDims) + " dims");
+  }
+  if (order < 1) {
+    return Status::InvalidArgument("Morton curve order must be >= 1");
+  }
+  if (static_cast<uint64_t>(num_dims) * order > 64) {
+    return Status::InvalidArgument(
+        "num_dims * order must be <= 64 for uint64 indices");
+  }
+  return MortonCurve(num_dims, order);
+}
+
+uint64_t MortonCurve::Index(const BucketCoords& c) const {
+  GRIDDECL_CHECK(c.size() == num_dims_);
+  uint64_t index = 0;
+  for (uint32_t bit = order_; bit-- > 0;) {
+    for (uint32_t i = 0; i < num_dims_; ++i) {
+      GRIDDECL_CHECK(c[i] < side());
+      index = (index << 1) | ((c[i] >> bit) & 1);
+    }
+  }
+  return index;
+}
+
+BucketCoords MortonCurve::Coords(uint64_t index) const {
+  GRIDDECL_CHECK(index < num_cells());
+  BucketCoords c(num_dims_);
+  for (uint32_t bit = 0; bit < order_; ++bit) {
+    for (uint32_t i = 0; i < num_dims_; ++i) {
+      const uint32_t src = bit * num_dims_ + (num_dims_ - 1 - i);
+      c[i] |= static_cast<uint32_t>((index >> src) & 1) << bit;
+    }
+  }
+  return c;
+}
+
+}  // namespace griddecl

@@ -1,0 +1,46 @@
+#ifndef GRIDDECL_CURVE_MORTON_H_
+#define GRIDDECL_CURVE_MORTON_H_
+
+#include <cstdint>
+
+#include "griddecl/common/status.h"
+#include "griddecl/grid/bucket.h"
+
+/// \file
+/// Z-order (Morton) space-filling curve: plain bit interleaving.
+///
+/// Used as an ablation against the Hilbert curve in HCAM-style allocation:
+/// Z-order is cheaper to compute but has long "jumps", so it isolates how
+/// much of HCAM's benefit comes from the Hilbert curve's superior clustering.
+
+namespace griddecl {
+
+/// Encoder/decoder for the Z-order curve on a `(2^order)^k` cube.
+class MortonCurve {
+ public:
+  /// Validated factory; same constraints as HilbertCurve::Create.
+  static Result<MortonCurve> Create(uint32_t num_dims, uint32_t order);
+
+  uint32_t num_dims() const { return num_dims_; }
+  uint32_t order() const { return order_; }
+  uint64_t side() const { return uint64_t{1} << order_; }
+  uint64_t num_cells() const { return uint64_t{1} << (num_dims_ * order_); }
+
+  /// Morton code of `c`: bits of the coordinates interleaved, dimension 0
+  /// contributing the most significant bit of each group.
+  uint64_t Index(const BucketCoords& c) const;
+
+  /// Inverse of `Index`.
+  BucketCoords Coords(uint64_t index) const;
+
+ private:
+  MortonCurve(uint32_t num_dims, uint32_t order)
+      : num_dims_(num_dims), order_(order) {}
+
+  uint32_t num_dims_;
+  uint32_t order_;
+};
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_CURVE_MORTON_H_

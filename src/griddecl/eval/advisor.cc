@@ -1,0 +1,120 @@
+#include "griddecl/eval/advisor.h"
+
+#include <algorithm>
+
+#include "griddecl/common/random.h"
+#include "griddecl/methods/registry.h"
+
+namespace griddecl {
+
+namespace {
+
+std::vector<std::string> DefaultCandidates() {
+  return {"dm", "fx-auto", "ecc", "hcam", "zcam", "linear", "random"};
+}
+
+MethodScore ScoreMethod(const DeclusteringMethod& method,
+                        const Workload& train, const Workload& test) {
+  MethodScore score;
+  score.name = method.name();
+  const WorkloadEval tr = Evaluator(&method).EvaluateWorkload(train);
+  const WorkloadEval te = Evaluator(&method).EvaluateWorkload(test);
+  score.train_mean_response = tr.MeanResponse();
+  score.test_mean_response = te.MeanResponse();
+  score.test_mean_ratio = te.MeanRatio();
+  score.test_fraction_optimal = te.FractionOptimal();
+  return score;
+}
+
+}  // namespace
+
+Result<Advice> AdviseDeclustering(const GridSpec& grid, uint32_t num_disks,
+                                  const Workload& workload,
+                                  const AdvisorOptions& options) {
+  if (workload.size() < 4) {
+    return Status::InvalidArgument(
+        "advisor needs at least 4 workload queries");
+  }
+  if (!(options.train_fraction > 0.0) || !(options.train_fraction < 1.0)) {
+    return Status::InvalidArgument("train_fraction must be in (0, 1)");
+  }
+  for (const RangeQuery& q : workload.queries) {
+    if (!q.rect().WithinGrid(grid)) {
+      return Status::InvalidArgument("workload query " + q.ToString() +
+                                     " outside grid " + grid.ToString());
+    }
+  }
+
+  // Shuffled train/test split.
+  Rng rng(options.seed);
+  const std::vector<uint32_t> perm =
+      rng.Permutation(static_cast<uint32_t>(workload.size()));
+  const size_t train_size = std::max<size_t>(
+      1, std::min<size_t>(
+             workload.size() - 1,
+             static_cast<size_t>(options.train_fraction *
+                                 static_cast<double>(workload.size()))));
+  Workload train;
+  train.name = workload.name + "/train";
+  Workload test;
+  test.name = workload.name + "/test";
+  for (size_t i = 0; i < perm.size(); ++i) {
+    (i < train_size ? train : test)
+        .queries.push_back(workload.queries[perm[i]]);
+  }
+
+  const std::vector<std::string> names =
+      options.candidates.empty() ? DefaultCandidates() : options.candidates;
+
+  Advice advice;
+  std::vector<std::unique_ptr<DeclusteringMethod>> instances;
+  // Best formula method by *train* cost seeds the optimizer.
+  int best_train_index = -1;
+  for (const std::string& name : names) {
+    MethodOptions mopts;
+    mopts.seed = options.seed;
+    Result<std::unique_ptr<DeclusteringMethod>> m =
+        CreateMethod(name, grid, num_disks, mopts);
+    if (!m.ok()) {
+      if (m.status().code() == StatusCode::kUnsupported) continue;
+      return m.status();
+    }
+    instances.push_back(std::move(m).value());
+    advice.scores.push_back(ScoreMethod(*instances.back(), train, test));
+    if (best_train_index < 0 ||
+        advice.scores.back().train_mean_response <
+            advice.scores[static_cast<size_t>(best_train_index)]
+                .train_mean_response) {
+      best_train_index = static_cast<int>(advice.scores.size()) - 1;
+    }
+  }
+  if (instances.empty()) {
+    return Status::InvalidArgument("no candidate method is constructible");
+  }
+
+  if (options.include_optimized) {
+    Result<std::unique_ptr<DeclusteringMethod>> opt = OptimizeForWorkload(
+        *instances[static_cast<size_t>(best_train_index)], train,
+        options.optimize);
+    if (!opt.ok()) return opt.status();
+    instances.push_back(std::move(opt).value());
+    advice.scores.push_back(ScoreMethod(*instances.back(), train, test));
+  }
+
+  // Rank by held-out mean response; keep the instances aligned.
+  std::vector<size_t> order(advice.scores.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return advice.scores[a].test_mean_response <
+           advice.scores[b].test_mean_response;
+  });
+  std::vector<MethodScore> sorted;
+  sorted.reserve(order.size());
+  for (size_t i : order) sorted.push_back(advice.scores[i]);
+  advice.scores = std::move(sorted);
+  advice.recommended = advice.scores.front().name;
+  advice.method = std::move(instances[order.front()]);
+  return advice;
+}
+
+}  // namespace griddecl

@@ -1,0 +1,69 @@
+#ifndef GRIDDECL_EVAL_ADVISOR_H_
+#define GRIDDECL_EVAL_ADVISOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "griddecl/eval/evaluator.h"
+#include "griddecl/methods/workload_opt.h"
+#include "griddecl/query/workload.h"
+
+/// \file
+/// Declustering advisor: the library-level embodiment of the paper's two
+/// closing recommendations — (1) use information about common queries when
+/// choosing the declustering, and (2) support several methods, because
+/// there is no clear winner.
+///
+/// Given a workload, the advisor splits it into train/test halves, scores
+/// every candidate method on the *test* split (so formula methods are not
+/// unfairly compared against an optimizer that saw the data), optionally
+/// hill-climbs the best formula method's allocation on the train split, and
+/// recommends the method with the lowest held-out mean response time.
+
+namespace griddecl {
+
+/// Advisor knobs.
+struct AdvisorOptions {
+  /// Candidate registry names. Empty = the paper set (dm, fx-auto, ecc,
+  /// hcam) plus the zcam/linear/random baselines; inapplicable candidates
+  /// are skipped.
+  std::vector<std::string> candidates;
+  /// Fraction of the workload used for training (the rest scores).
+  double train_fraction = 0.5;
+  uint64_t seed = 9;
+  /// Also run the workload optimizer seeded with the best formula method.
+  bool include_optimized = true;
+  WorkloadOptimizeOptions optimize;
+};
+
+/// Score of one candidate.
+struct MethodScore {
+  std::string name;
+  double train_mean_response = 0;
+  double test_mean_response = 0;
+  double test_mean_ratio = 0;
+  double test_fraction_optimal = 0;
+};
+
+/// Advisor output.
+struct Advice {
+  /// All scored candidates, best (lowest test mean response) first.
+  std::vector<MethodScore> scores;
+  /// Name of the winner.
+  std::string recommended;
+  /// Ready-to-use instance of the winner (a TableMethod when the optimizer
+  /// won, otherwise a fresh registry instance).
+  std::unique_ptr<DeclusteringMethod> method;
+};
+
+/// Scores candidates for declustering `grid` over `num_disks` disks under
+/// `workload` and recommends one. The workload needs at least 4 queries
+/// (so both splits are non-trivial).
+Result<Advice> AdviseDeclustering(const GridSpec& grid, uint32_t num_disks,
+                                  const Workload& workload,
+                                  const AdvisorOptions& options = {});
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_EVAL_ADVISOR_H_

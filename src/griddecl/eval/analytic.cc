@@ -1,0 +1,109 @@
+#include "griddecl/eval/analytic.h"
+
+#include <algorithm>
+
+#include "griddecl/common/bit_util.h"
+
+namespace griddecl {
+
+namespace {
+
+/// Residue histogram of {a*x mod M : x in [lo, hi]} in O(M).
+/// The map x -> a*x mod M is periodic in x with period M/gcd... more simply:
+/// the full interval splits into floor(n/M) complete periods of x mod M
+/// (each contributing the histogram of {a*x mod M : x in [0, M)}) plus a
+/// remainder of fewer than M consecutive x values, handled directly.
+std::vector<uint64_t> AxisHistogramMod(uint32_t a, uint32_t lo, uint32_t hi,
+                                       uint32_t m) {
+  std::vector<uint64_t> h(m, 0);
+  const uint64_t n = static_cast<uint64_t>(hi) - lo + 1;
+  const uint64_t full_periods = n / m;
+  if (full_periods > 0) {
+    // Over any M consecutive x, x mod M takes each residue once, so
+    // a*x mod M takes value (a*r mod M) once per residue r.
+    std::vector<uint64_t> base(m, 0);
+    for (uint32_t r = 0; r < m; ++r) {
+      base[(static_cast<uint64_t>(a) * r) % m] += 1;
+    }
+    for (uint32_t v = 0; v < m; ++v) h[v] += base[v] * full_periods;
+  }
+  const uint64_t rem = n % m;
+  for (uint64_t i = 0; i < rem; ++i) {
+    const uint64_t x = static_cast<uint64_t>(lo) + full_periods * m + i;
+    h[(static_cast<uint64_t>(a) * (x % m)) % m] += 1;
+  }
+  return h;
+}
+
+/// Histogram of the low-bits values {x mod M : x in [lo, hi]} for M = 2^m.
+std::vector<uint64_t> AxisHistogramLowBits(uint32_t lo, uint32_t hi,
+                                           uint32_t m) {
+  // Same structure as AxisHistogramMod with a = 1; reuse it.
+  return AxisHistogramMod(1, lo, hi, m);
+}
+
+}  // namespace
+
+uint64_t MaxCount(const std::vector<uint64_t>& counts) {
+  GRIDDECL_CHECK(!counts.empty());
+  return *std::max_element(counts.begin(), counts.end());
+}
+
+Result<std::vector<uint64_t>> AnalyticGdmCounts(
+    const std::vector<uint32_t>& coefficients, const BucketRect& rect,
+    uint32_t num_disks) {
+  if (num_disks < 1) {
+    return Status::InvalidArgument("number of disks must be >= 1");
+  }
+  if (coefficients.size() != rect.num_dims()) {
+    return Status::InvalidArgument("need one coefficient per dimension");
+  }
+  // counts = cyclic convolution over Z_M of the per-axis histograms.
+  std::vector<uint64_t> counts(num_disks, 0);
+  counts[0] = 1;  // Identity for cyclic convolution: all mass at residue 0.
+  for (uint32_t i = 0; i < rect.num_dims(); ++i) {
+    const std::vector<uint64_t> axis = AxisHistogramMod(
+        coefficients[i] % num_disks, rect.lo()[i], rect.hi()[i], num_disks);
+    std::vector<uint64_t> next(num_disks, 0);
+    for (uint32_t r = 0; r < num_disks; ++r) {
+      if (counts[r] == 0) continue;
+      for (uint32_t s = 0; s < num_disks; ++s) {
+        if (axis[s] == 0) continue;
+        next[(r + s) % num_disks] += counts[r] * axis[s];
+      }
+    }
+    counts = std::move(next);
+  }
+  return counts;
+}
+
+Result<std::vector<uint64_t>> AnalyticFxCounts(const BucketRect& rect,
+                                               uint32_t num_disks) {
+  if (num_disks < 1) {
+    return Status::InvalidArgument("number of disks must be >= 1");
+  }
+  if (!IsPowerOfTwo(num_disks)) {
+    return Status::Unsupported(
+        "analytic FX counts require a power-of-two disk count");
+  }
+  // (xor_i x_i) mod 2^m = xor of the low m bits of each coordinate, and the
+  // counts are the XOR-convolution of per-axis low-bit histograms.
+  std::vector<uint64_t> counts(num_disks, 0);
+  counts[0] = 1;
+  for (uint32_t i = 0; i < rect.num_dims(); ++i) {
+    const std::vector<uint64_t> axis =
+        AxisHistogramLowBits(rect.lo()[i], rect.hi()[i], num_disks);
+    std::vector<uint64_t> next(num_disks, 0);
+    for (uint32_t r = 0; r < num_disks; ++r) {
+      if (counts[r] == 0) continue;
+      for (uint32_t s = 0; s < num_disks; ++s) {
+        if (axis[s] == 0) continue;
+        next[r ^ s] += counts[r] * axis[s];
+      }
+    }
+    counts = std::move(next);
+  }
+  return counts;
+}
+
+}  // namespace griddecl

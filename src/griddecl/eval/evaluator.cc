@@ -1,0 +1,65 @@
+#include "griddecl/eval/evaluator.h"
+
+#include <cmath>
+
+#include "griddecl/eval/metrics.h"
+
+namespace griddecl {
+
+double WorkloadEval::ResponseCi95HalfWidth() const {
+  if (num_queries < 2) return 0.0;
+  return 1.96 * response.stddev() /
+         std::sqrt(static_cast<double>(num_queries));
+}
+
+Evaluator::Evaluator(const DeclusteringMethod* method) : method_(method) {
+  GRIDDECL_CHECK(method != nullptr);
+}
+
+QueryEval Evaluator::EvaluateQuery(const RangeQuery& query) const {
+  QueryEval e;
+  e.num_buckets = query.NumBuckets();
+  e.response = ResponseTime(*method_, query);
+  e.optimal = OptimalResponseTime(e.num_buckets, method_->num_disks());
+  return e;
+}
+
+WorkloadEval Evaluator::EvaluateWorkload(const Workload& workload) const {
+  WorkloadEval agg;
+  agg.method_name = method_->name();
+  agg.workload_name = workload.name;
+  for (const RangeQuery& q : workload.queries) {
+    const QueryEval e = EvaluateQuery(q);
+    ++agg.num_queries;
+    if (e.response == e.optimal) ++agg.num_optimal;
+    agg.response.Add(static_cast<double>(e.response));
+    agg.optimal.Add(static_cast<double>(e.optimal));
+    agg.ratio.Add(e.Ratio());
+    agg.additive_deviation.Add(static_cast<double>(e.AdditiveDeviation()));
+  }
+  return agg;
+}
+
+std::vector<WorkloadEval> CompareMethods(
+    const std::vector<const DeclusteringMethod*>& methods,
+    const Workload& workload) {
+  std::vector<WorkloadEval> out;
+  out.reserve(methods.size());
+  for (const DeclusteringMethod* m : methods) {
+    out.push_back(Evaluator(m).EvaluateWorkload(workload));
+  }
+  return out;
+}
+
+Histogram DeviationHistogram(const DeclusteringMethod& method,
+                             const Workload& workload,
+                             uint32_t num_buckets) {
+  Histogram histogram(num_buckets);
+  Evaluator evaluator(&method);
+  for (const RangeQuery& q : workload.queries) {
+    histogram.Add(evaluator.EvaluateQuery(q).AdditiveDeviation());
+  }
+  return histogram;
+}
+
+}  // namespace griddecl

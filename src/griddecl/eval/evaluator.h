@@ -1,0 +1,102 @@
+#ifndef GRIDDECL_EVAL_EVALUATOR_H_
+#define GRIDDECL_EVAL_EVALUATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "griddecl/common/stats.h"
+#include "griddecl/methods/method.h"
+#include "griddecl/query/workload.h"
+
+/// \file
+/// Workload-level evaluation: averages the paper's response-time metric over
+/// a set of queries and reports the aggregates every experiment plots —
+/// mean response time, mean optimal, deviation from optimality (additive
+/// and multiplicative), and the fraction of queries answered optimally.
+
+namespace griddecl {
+
+/// Evaluation of one query.
+struct QueryEval {
+  uint64_t num_buckets = 0;
+  uint64_t response = 0;
+  uint64_t optimal = 0;
+
+  /// response - optimal (the paper's "deviation from optimality").
+  uint64_t AdditiveDeviation() const { return response - optimal; }
+  /// response / optimal; 1.0 means optimal. Defined as 1 for empty queries.
+  double Ratio() const {
+    return optimal == 0 ? 1.0
+                        : static_cast<double>(response) /
+                              static_cast<double>(optimal);
+  }
+};
+
+/// Aggregates over a workload.
+struct WorkloadEval {
+  std::string method_name;
+  std::string workload_name;
+  uint64_t num_queries = 0;
+  uint64_t num_optimal = 0;
+  RunningStat response;
+  RunningStat optimal;
+  RunningStat ratio;
+  RunningStat additive_deviation;
+
+  double MeanResponse() const { return response.mean(); }
+  double MeanOptimal() const { return optimal.mean(); }
+  double MaxResponse() const { return response.max(); }
+  /// Mean of per-query response/optimal ratios.
+  double MeanRatio() const { return ratio.mean(); }
+  /// Mean additive deviation (response - optimal).
+  double MeanDeviation() const { return additive_deviation.mean(); }
+  double MaxDeviation() const { return additive_deviation.max(); }
+  /// Fraction of queries on which the method was optimal.
+  double FractionOptimal() const {
+    return num_queries == 0
+               ? 1.0
+               : static_cast<double>(num_optimal) /
+                     static_cast<double>(num_queries);
+  }
+
+  /// Half-width of the normal-approximation 95% confidence interval on the
+  /// mean response time: 1.96 * stddev / sqrt(n). Zero for exhaustive
+  /// placement averaging (where the mean is exact) it is still reported —
+  /// it then describes placement-to-placement spread, not sampling error.
+  double ResponseCi95HalfWidth() const;
+};
+
+/// Evaluates one method over queries/workloads. Stateless apart from the
+/// bound method; cheap to construct.
+class Evaluator {
+ public:
+  /// `method` must outlive the evaluator.
+  explicit Evaluator(const DeclusteringMethod* method);
+
+  const DeclusteringMethod& method() const { return *method_; }
+
+  QueryEval EvaluateQuery(const RangeQuery& query) const;
+
+  WorkloadEval EvaluateWorkload(const Workload& workload) const;
+
+ private:
+  const DeclusteringMethod* method_;
+};
+
+/// Evaluates every method over the same workload; result order matches
+/// `methods`.
+std::vector<WorkloadEval> CompareMethods(
+    const std::vector<const DeclusteringMethod*>& methods,
+    const Workload& workload);
+
+/// Distribution of per-query additive deviation (response - optimal) over
+/// the workload: histogram buckets 0..num_buckets-1 plus overflow. The
+/// paper reports means; the histogram shows the tail (e.g. "what fraction
+/// of queries were answered optimally or one unit off").
+Histogram DeviationHistogram(const DeclusteringMethod& method,
+                             const Workload& workload, uint32_t num_buckets);
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_EVAL_EVALUATOR_H_

@@ -1,0 +1,250 @@
+#include "griddecl/eval/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "griddecl/common/random.h"
+
+namespace griddecl {
+
+namespace {
+
+/// Evaluates all methods on one workload and appends a SweepPoint.
+SweepPoint EvaluatePoint(
+    double x, const std::vector<std::unique_ptr<DeclusteringMethod>>& methods,
+    const Workload& workload) {
+  SweepPoint p;
+  p.x = x;
+  for (const auto& m : methods) {
+    const WorkloadEval e = Evaluator(m.get()).EvaluateWorkload(workload);
+    p.mean_response.push_back(e.MeanResponse());
+    p.mean_ratio.push_back(e.MeanRatio());
+    p.fraction_optimal.push_back(e.FractionOptimal());
+    p.mean_optimal = e.MeanOptimal();  // Same for every method.
+  }
+  return p;
+}
+
+std::vector<std::string> MethodDisplayNames(
+    const std::vector<std::unique_ptr<DeclusteringMethod>>& methods) {
+  std::vector<std::string> names;
+  names.reserve(methods.size());
+  for (const auto& m : methods) names.push_back(m->name());
+  return names;
+}
+
+}  // namespace
+
+Table SweepResult::ResponseTable() const {
+  std::vector<std::string> headers = {x_label, "Optimal"};
+  for (const auto& n : method_names) headers.push_back(n);
+  Table t(std::move(headers));
+  for (const SweepPoint& p : points) {
+    std::vector<std::string> row = {Table::Fmt(p.x, 2),
+                                    Table::Fmt(p.mean_optimal, 3)};
+    for (double r : p.mean_response) row.push_back(Table::Fmt(r, 3));
+    t.AddRow(std::move(row));
+  }
+  return t;
+}
+
+Table SweepResult::RatioTable() const {
+  std::vector<std::string> headers = {x_label};
+  for (const auto& n : method_names) headers.push_back(n + " (RT/opt)");
+  Table t(std::move(headers));
+  for (const SweepPoint& p : points) {
+    std::vector<std::string> row = {Table::Fmt(p.x, 2)};
+    for (double r : p.mean_ratio) row.push_back(Table::Fmt(r, 4));
+    t.AddRow(std::move(row));
+  }
+  return t;
+}
+
+Table SweepResult::FractionOptimalTable() const {
+  std::vector<std::string> headers = {x_label};
+  for (const auto& n : method_names) headers.push_back(n + " (% opt)");
+  Table t(std::move(headers));
+  for (const SweepPoint& p : points) {
+    std::vector<std::string> row = {Table::Fmt(p.x, 2)};
+    for (double f : p.fraction_optimal) {
+      row.push_back(Table::Fmt(f * 100, 1));
+    }
+    t.AddRow(std::move(row));
+  }
+  return t;
+}
+
+int SweepResult::MethodIndex(const std::string& name) const {
+  for (size_t i = 0; i < method_names.size(); ++i) {
+    if (method_names[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<std::vector<std::unique_ptr<DeclusteringMethod>>> MakeSweepMethods(
+    const GridSpec& grid, uint32_t num_disks, const SweepOptions& options) {
+  std::vector<std::unique_ptr<DeclusteringMethod>> methods;
+  if (options.method_names.empty()) {
+    methods = CreatePaperMethods(grid, num_disks);
+  } else {
+    for (const std::string& name : options.method_names) {
+      MethodOptions method_options;
+      method_options.seed = options.seed;
+      Result<std::unique_ptr<DeclusteringMethod>> m =
+          CreateMethod(name, grid, num_disks, method_options);
+      if (m.ok()) {
+        methods.push_back(std::move(m).value());
+      } else if (m.status().code() != StatusCode::kUnsupported) {
+        return m.status();
+      }
+    }
+  }
+  if (methods.empty()) {
+    return Status::InvalidArgument(
+        "no requested method is constructible for grid " + grid.ToString() +
+        " with " + std::to_string(num_disks) + " disks");
+  }
+  return methods;
+}
+
+Result<SweepResult> QuerySizeSweep(const GridSpec& grid, uint32_t num_disks,
+                                   const std::vector<uint64_t>& areas,
+                                   const SweepOptions& options) {
+  Result<std::vector<std::unique_ptr<DeclusteringMethod>>> methods =
+      MakeSweepMethods(grid, num_disks, options);
+  if (!methods.ok()) return methods.status();
+  QueryGenerator gen(grid);
+  Rng rng(options.seed);
+  SweepResult result;
+  result.x_label = "QueryArea";
+  result.method_names = MethodDisplayNames(methods.value());
+  for (uint64_t area : areas) {
+    Result<QueryShape> shape = gen.SquarishShape(area);
+    if (!shape.ok()) return shape.status();
+    Result<Workload> workload =
+        gen.Placements(shape.value(), options.max_placements, &rng,
+                       "area=" + std::to_string(area));
+    if (!workload.ok()) return workload.status();
+    result.points.push_back(EvaluatePoint(static_cast<double>(area),
+                                          methods.value(), workload.value()));
+  }
+  return result;
+}
+
+Result<SweepResult> QueryShapeSweep(const GridSpec& grid, uint32_t num_disks,
+                                    uint64_t area,
+                                    const std::vector<double>& aspects,
+                                    const SweepOptions& options) {
+  if (grid.num_dims() != 2) {
+    return Status::InvalidArgument("shape sweep requires a 2-d grid");
+  }
+  Result<std::vector<std::unique_ptr<DeclusteringMethod>>> methods =
+      MakeSweepMethods(grid, num_disks, options);
+  if (!methods.ok()) return methods.status();
+  QueryGenerator gen(grid);
+  Rng rng(options.seed);
+  SweepResult result;
+  result.x_label = "Aspect(h/w)";
+  result.method_names = MethodDisplayNames(methods.value());
+  for (double aspect : aspects) {
+    Result<QueryShape> shape = gen.Shape2D(area, aspect);
+    if (!shape.ok()) return shape.status();
+    Result<Workload> workload = gen.Placements(
+        shape.value(), options.max_placements, &rng,
+        "aspect=" + Table::Fmt(aspect, 2));
+    if (!workload.ok()) return workload.status();
+    result.points.push_back(
+        EvaluatePoint(aspect, methods.value(), workload.value()));
+  }
+  return result;
+}
+
+Result<SweepResult> DiskCountSweep(const GridSpec& grid,
+                                   const std::vector<uint32_t>& disk_counts,
+                                   uint64_t area,
+                                   const SweepOptions& options) {
+  QueryGenerator gen(grid);
+  Rng rng(options.seed);
+  Result<QueryShape> shape = gen.SquarishShape(area);
+  if (!shape.ok()) return shape.status();
+  Result<Workload> workload =
+      gen.Placements(shape.value(), options.max_placements, &rng,
+                     "area=" + std::to_string(area));
+  if (!workload.ok()) return workload.status();
+
+  SweepResult result;
+  result.x_label = "Disks";
+  for (uint32_t m : disk_counts) {
+    Result<std::vector<std::unique_ptr<DeclusteringMethod>>> methods =
+        MakeSweepMethods(grid, m, options);
+    if (!methods.ok()) return methods.status();
+    // Method availability can vary with M (ECC needs a power of two); align
+    // columns on the union by name, recording NaN-free rows only for
+    // methods present at this M.
+    if (result.method_names.empty()) {
+      result.method_names = MethodDisplayNames(methods.value());
+    }
+    SweepPoint p = EvaluatePoint(static_cast<double>(m), methods.value(),
+                                 workload.value());
+    // Align: pad missing methods with NaN so rows stay rectangular.
+    const std::vector<std::string> here = MethodDisplayNames(methods.value());
+    if (here != result.method_names) {
+      SweepPoint aligned;
+      aligned.x = p.x;
+      aligned.mean_optimal = p.mean_optimal;
+      for (const std::string& name : result.method_names) {
+        const auto it = std::find(here.begin(), here.end(), name);
+        if (it == here.end()) {
+          aligned.mean_response.push_back(std::nan(""));
+          aligned.mean_ratio.push_back(std::nan(""));
+          aligned.fraction_optimal.push_back(std::nan(""));
+        } else {
+          const size_t j = static_cast<size_t>(it - here.begin());
+          aligned.mean_response.push_back(p.mean_response[j]);
+          aligned.mean_ratio.push_back(p.mean_ratio[j]);
+          aligned.fraction_optimal.push_back(p.fraction_optimal[j]);
+        }
+      }
+      p = std::move(aligned);
+    }
+    result.points.push_back(std::move(p));
+  }
+  return result;
+}
+
+Result<SweepResult> DbSizeSweep(const std::vector<GridSpec>& grids,
+                                uint32_t num_disks, double coverage,
+                                const SweepOptions& options) {
+  if (!(coverage > 0.0) || coverage > 1.0) {
+    return Status::InvalidArgument("coverage must be in (0, 1]");
+  }
+  SweepResult result;
+  result.x_label = "GridBuckets";
+  Rng rng(options.seed);
+  for (const GridSpec& grid : grids) {
+    Result<std::vector<std::unique_ptr<DeclusteringMethod>>> methods =
+        MakeSweepMethods(grid, num_disks, options);
+    if (!methods.ok()) return methods.status();
+    if (result.method_names.empty()) {
+      result.method_names = MethodDisplayNames(methods.value());
+    }
+    // Query covers `coverage` of each side (at least 1 bucket).
+    QueryShape shape(grid.num_dims());
+    for (uint32_t i = 0; i < grid.num_dims(); ++i) {
+      shape[i] = std::max<uint32_t>(
+          1, static_cast<uint32_t>(
+                 std::llround(coverage * static_cast<double>(grid.dim(i)))));
+    }
+    QueryGenerator gen(grid);
+    Result<Workload> workload =
+        gen.Placements(shape, options.max_placements, &rng,
+                       "grid=" + grid.ToString());
+    if (!workload.ok()) return workload.status();
+    result.points.push_back(
+        EvaluatePoint(static_cast<double>(grid.num_buckets()),
+                      methods.value(), workload.value()));
+  }
+  return result;
+}
+
+}  // namespace griddecl

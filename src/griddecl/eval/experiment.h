@@ -1,0 +1,96 @@
+#ifndef GRIDDECL_EVAL_EXPERIMENT_H_
+#define GRIDDECL_EVAL_EXPERIMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "griddecl/common/table.h"
+#include "griddecl/eval/evaluator.h"
+#include "griddecl/methods/registry.h"
+#include "griddecl/query/generator.h"
+
+/// \file
+/// Parameter-sweep drivers for the paper's experiments. Each sweep varies
+/// one knob (query size, query shape, disk count, database size), evaluates
+/// every method on the same workloads, and returns both the raw series (for
+/// tests asserting the paper's qualitative claims) and a printable table
+/// (what the bench binaries emit).
+
+namespace griddecl {
+
+/// Common knobs shared by all sweeps.
+struct SweepOptions {
+  /// Methods to compare, by registry name. Empty = the paper's four
+  /// (dm, fx-auto, ecc, hcam), with ECC dropped where inapplicable.
+  std::vector<std::string> method_names;
+  /// Placement averaging: exhaustive up to this many placements, sampled
+  /// (this many samples) beyond.
+  size_t max_placements = 4096;
+  /// Seed for sampled placements.
+  uint64_t seed = 42;
+};
+
+/// One x-value of a sweep, with per-method aggregates (aligned with
+/// `SweepResult::method_names`).
+struct SweepPoint {
+  double x = 0;
+  double mean_optimal = 0;
+  std::vector<double> mean_response;
+  std::vector<double> mean_ratio;
+  std::vector<double> fraction_optimal;
+};
+
+/// Full sweep output.
+struct SweepResult {
+  std::string x_label;
+  std::vector<std::string> method_names;
+  std::vector<SweepPoint> points;
+
+  /// Mean-response table: x, optimal, one column per method.
+  Table ResponseTable() const;
+  /// Mean response/optimal ratio table: x, one column per method.
+  Table RatioTable() const;
+  /// Fraction of queries answered strictly optimally, per method.
+  Table FractionOptimalTable() const;
+
+  /// Index of `name` in method_names; -1 when absent.
+  int MethodIndex(const std::string& name) const;
+};
+
+/// Instantiates the sweep's methods for a grid/disk configuration.
+/// Unsupported configurations (ECC off power-of-two) are skipped, mirroring
+/// the paper. Fails only if *no* requested method is constructible.
+Result<std::vector<std::unique_ptr<DeclusteringMethod>>> MakeSweepMethods(
+    const GridSpec& grid, uint32_t num_disks, const SweepOptions& options);
+
+/// Experiment 1 — query size: near-square queries of each area in `areas`,
+/// averaged over placements.
+Result<SweepResult> QuerySizeSweep(const GridSpec& grid, uint32_t num_disks,
+                                   const std::vector<uint64_t>& areas,
+                                   const SweepOptions& options = {});
+
+/// Experiment 2 — query shape (2-D grids): fixed `area`, aspect ratio swept
+/// over `aspects` (height/width; 1.0 = square).
+Result<SweepResult> QueryShapeSweep(const GridSpec& grid, uint32_t num_disks,
+                                    uint64_t area,
+                                    const std::vector<double>& aspects,
+                                    const SweepOptions& options = {});
+
+/// Figure 5 — number of disks: near-square queries of `area`, disk count
+/// swept over `disk_counts`.
+Result<SweepResult> DiskCountSweep(const GridSpec& grid,
+                                   const std::vector<uint32_t>& disk_counts,
+                                   uint64_t area,
+                                   const SweepOptions& options = {});
+
+/// Database-size experiment: same relative query footprint (a fraction
+/// `coverage` of each side) across grids of different sizes.
+Result<SweepResult> DbSizeSweep(const std::vector<GridSpec>& grids,
+                                uint32_t num_disks, double coverage,
+                                const SweepOptions& options = {});
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_EVAL_EXPERIMENT_H_

@@ -1,0 +1,73 @@
+#include "griddecl/eval/metrics.h"
+
+#include <algorithm>
+
+#include "griddecl/common/math_util.h"
+
+namespace griddecl {
+
+uint64_t OptimalResponseTime(uint64_t num_buckets, uint32_t num_disks) {
+  if (num_buckets == 0) return 0;
+  return CeilDiv(num_buckets, num_disks);
+}
+
+std::vector<uint64_t> PerDiskCounts(const DeclusteringMethod& method,
+                                    const RangeQuery& query) {
+  std::vector<uint64_t> counts(method.num_disks(), 0);
+  query.rect().ForEachBucket([&](const BucketCoords& c) {
+    ++counts[method.DiskOf(c)];
+  });
+  return counts;
+}
+
+uint64_t ResponseTime(const DeclusteringMethod& method,
+                      const RangeQuery& query) {
+  const std::vector<uint64_t> counts = PerDiskCounts(method, query);
+  return *std::max_element(counts.begin(), counts.end());
+}
+
+bool IsOptimalFor(const DeclusteringMethod& method, const RangeQuery& query) {
+  return ResponseTime(method, query) ==
+         OptimalResponseTime(query.NumBuckets(), method.num_disks());
+}
+
+bool IsStrictlyOptimal(const DeclusteringMethod& method) {
+  const GridSpec& grid = method.grid();
+  const uint32_t k = grid.num_dims();
+  // Enumerate every rectangle: all (lo, hi) pairs with lo <= hi per dim.
+  // Rectangle count is prod(d_i * (d_i + 1) / 2); callers keep grids small.
+  std::vector<std::pair<uint32_t, uint32_t>> ranges(k, {0, 0});
+  for (;;) {
+    BucketCoords lo(k);
+    BucketCoords hi(k);
+    for (uint32_t i = 0; i < k; ++i) {
+      lo[i] = ranges[i].first;
+      hi[i] = ranges[i].second;
+    }
+    Result<BucketRect> rect = BucketRect::Create(lo, hi);
+    GRIDDECL_CHECK(rect.ok());
+    Result<RangeQuery> q = RangeQuery::Create(grid, std::move(rect).value());
+    GRIDDECL_CHECK(q.ok());
+    if (!IsOptimalFor(method, q.value())) return false;
+
+    // Odometer over (first, second) pairs, last dimension fastest.
+    uint32_t dim = k;
+    for (;;) {
+      if (dim == 0) return true;
+      --dim;
+      auto& [first, second] = ranges[dim];
+      if (second + 1 < grid.dim(dim)) {
+        ++second;
+        break;
+      }
+      if (first + 1 < grid.dim(dim)) {
+        ++first;
+        second = first;
+        break;
+      }
+      first = second = 0;
+    }
+  }
+}
+
+}  // namespace griddecl

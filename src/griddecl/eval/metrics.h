@@ -1,0 +1,50 @@
+#ifndef GRIDDECL_EVAL_METRICS_H_
+#define GRIDDECL_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "griddecl/methods/method.h"
+#include "griddecl/query/query.h"
+
+/// \file
+/// The paper's cost model.
+///
+/// All buckets a query needs are fetched in parallel from M disks; fetching
+/// a bucket costs one unit; a disk serves its buckets serially. The response
+/// time of query Q under method f is therefore
+///
+///     RT(f, Q) = max_{disk d} |{ b in Q : f(b) = d }|
+///
+/// and the best any method could do is `ceil(|Q| / M)`. Both are exact
+/// integer quantities — no randomness, no timing — which is what makes the
+/// study reproducible bit-for-bit.
+
+namespace griddecl {
+
+/// Optimal response time of a query touching `num_buckets` buckets on
+/// `num_disks` disks: ceil(|Q| / M). Zero-bucket queries cost 0.
+uint64_t OptimalResponseTime(uint64_t num_buckets, uint32_t num_disks);
+
+/// Response time of `query` under `method`: the maximum number of the
+/// query's buckets assigned to any single disk.
+uint64_t ResponseTime(const DeclusteringMethod& method,
+                      const RangeQuery& query);
+
+/// Per-disk bucket counts for `query` under `method` (size = M). The
+/// response time is the max entry; useful for diagnostics and the I/O
+/// simulator.
+std::vector<uint64_t> PerDiskCounts(const DeclusteringMethod& method,
+                                    const RangeQuery& query);
+
+/// True iff the method achieves the optimum on this query.
+bool IsOptimalFor(const DeclusteringMethod& method, const RangeQuery& query);
+
+/// True iff the method achieves the optimum on *every* range query of the
+/// grid (exhaustive; exponential in grid size — intended for small grids in
+/// tests and the theory module).
+bool IsStrictlyOptimal(const DeclusteringMethod& method);
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_EVAL_METRICS_H_

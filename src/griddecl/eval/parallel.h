@@ -1,0 +1,29 @@
+#ifndef GRIDDECL_EVAL_PARALLEL_H_
+#define GRIDDECL_EVAL_PARALLEL_H_
+
+#include <cstdint>
+
+#include "griddecl/eval/evaluator.h"
+
+/// \file
+/// Multi-threaded workload evaluation. Declustering methods are immutable
+/// after construction (see methods/method.h), so per-query evaluation is
+/// embarrassingly parallel: the workload is split into contiguous chunks,
+/// each thread aggregates its chunk into a local `WorkloadEval`, and the
+/// partials merge via `RunningStat::Merge`. Counters merge exactly;
+/// floating-point means/variances can differ from the serial pass only by
+/// summation-order rounding.
+
+namespace griddecl {
+
+/// Evaluates `workload` under `method` using `num_threads` worker threads
+/// (0 = std::thread::hardware_concurrency, at least 1). Small workloads
+/// fall back to the serial path. Returns the same aggregates as
+/// `Evaluator::EvaluateWorkload`.
+WorkloadEval ParallelEvaluateWorkload(const DeclusteringMethod& method,
+                                      const Workload& workload,
+                                      uint32_t num_threads = 0);
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_EVAL_PARALLEL_H_

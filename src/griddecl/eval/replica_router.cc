@@ -1,0 +1,127 @@
+#include "griddecl/eval/replica_router.h"
+
+#include <algorithm>
+
+#include "griddecl/common/math_util.h"
+#include "griddecl/common/maxflow.h"
+
+namespace griddecl {
+
+Result<RoutedQuery> RouteQuery(const ReplicatedPlacement& placement,
+                               const RangeQuery& query,
+                               const std::vector<bool>* failed_disks) {
+  const uint32_t m = placement.num_disks();
+  if (failed_disks != nullptr && failed_disks->size() != m) {
+    return Status::InvalidArgument("need one failure flag per disk");
+  }
+  auto alive = [&](uint32_t disk) {
+    return failed_disks == nullptr || !(*failed_disks)[disk];
+  };
+  uint32_t alive_disks = 0;
+  for (uint32_t d = 0; d < m; ++d) alive_disks += alive(d) ? 1 : 0;
+  if (alive_disks == 0) {
+    return Status::Unsupported("every disk has failed");
+  }
+
+  // Collect per-bucket live replica sets (row-major rectangle order).
+  std::vector<std::vector<uint32_t>> choices;
+  choices.reserve(static_cast<size_t>(query.NumBuckets()));
+  bool unroutable = false;
+  query.rect().ForEachBucket([&](const BucketCoords& c) {
+    std::vector<uint32_t> live;
+    for (uint32_t d : placement.DisksOf(c)) {
+      if (alive(d)) live.push_back(d);
+    }
+    unroutable = unroutable || live.empty();
+    choices.push_back(std::move(live));
+  });
+  if (unroutable) {
+    return Status::Unsupported(
+        "a bucket lost every replica to disk failures");
+  }
+  const uint64_t n = choices.size();
+
+  RoutedQuery routed;
+  routed.lower_bound = CeilDiv(n, alive_disks);
+  if (n == 0) return routed;
+
+  // Flow network: source(0) -> buckets(1..n) -> disks(n+1..n+m) -> sink.
+  const uint32_t source = 0;
+  const uint32_t sink = static_cast<uint32_t>(n) + m + 1;
+  MaxFlowGraph graph(sink + 1);
+  std::vector<uint32_t> bucket_edges(static_cast<size_t>(n));
+  for (uint64_t b = 0; b < n; ++b) {
+    bucket_edges[static_cast<size_t>(b)] =
+        graph.AddEdge(source, static_cast<uint32_t>(b) + 1, 1);
+    for (uint32_t d : choices[static_cast<size_t>(b)]) {
+      graph.AddEdge(static_cast<uint32_t>(b) + 1,
+                    static_cast<uint32_t>(n) + 1 + d, 1);
+    }
+  }
+  std::vector<uint32_t> disk_edges(m);
+  for (uint32_t d = 0; d < m; ++d) {
+    disk_edges[d] =
+        graph.AddEdge(static_cast<uint32_t>(n) + 1 + d, sink, 0);
+  }
+
+  // Binary search the smallest per-disk cap T admitting a full routing.
+  uint64_t lo = routed.lower_bound;
+  uint64_t hi = n;
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    graph.ResetCapacities();
+    for (uint32_t d = 0; d < m; ++d) {
+      graph.SetCapacity(disk_edges[d], alive(d) ? mid : 0);
+    }
+    if (graph.MaxFlow(source, sink) == n) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  routed.response = lo;
+
+  // Re-solve at the optimum and read the assignment off the flow.
+  graph.ResetCapacities();
+  for (uint32_t d = 0; d < m; ++d) {
+    graph.SetCapacity(disk_edges[d], alive(d) ? lo : 0);
+  }
+  const uint64_t flow = graph.MaxFlow(source, sink);
+  GRIDDECL_CHECK(flow == n);
+  routed.assignment.resize(static_cast<size_t>(n));
+  // Bucket b's chosen disk: its single saturated bucket->disk edge. Those
+  // edges were added right after bucket b's source edge, in choice order.
+  uint32_t next_edge = 0;
+  for (uint64_t b = 0; b < n; ++b) {
+    GRIDDECL_CHECK(bucket_edges[static_cast<size_t>(b)] == next_edge);
+    next_edge += 2;  // Skip the source edge (and its reverse).
+    bool assigned = false;
+    for (uint32_t d : choices[static_cast<size_t>(b)]) {
+      if (graph.flow(next_edge) == 1 && !assigned) {
+        routed.assignment[static_cast<size_t>(b)] = d;
+        assigned = true;
+      }
+      next_edge += 2;
+    }
+    GRIDDECL_CHECK(assigned);
+  }
+  // Skip the disk->sink edges implicitly; nothing further to read.
+  return routed;
+}
+
+Result<double> MeanRoutedResponse(const ReplicatedPlacement& placement,
+                                  const std::vector<RangeQuery>& queries,
+                                  const std::vector<bool>* failed_disks) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("need at least one query");
+  }
+  double total = 0;
+  for (const RangeQuery& q : queries) {
+    Result<RoutedQuery> routed = RouteQuery(placement, q, failed_disks);
+    if (!routed.ok()) return routed.status();
+    total += static_cast<double>(routed.value().response);
+  }
+  return total / static_cast<double>(queries.size());
+}
+
+}  // namespace griddecl

@@ -1,0 +1,54 @@
+#ifndef GRIDDECL_EVAL_REPLICA_ROUTER_H_
+#define GRIDDECL_EVAL_REPLICA_ROUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "griddecl/common/status.h"
+#include "griddecl/methods/replicated.h"
+#include "griddecl/query/query.h"
+
+/// \file
+/// Optimal replica routing.
+///
+/// With replication, a query's response time is no longer fixed by the
+/// placement: each bucket may be served by any of its replicas, and the
+/// system picks the assignment minimizing the bottleneck disk. That is the
+/// min-makespan unit-job/restricted-machines problem, solved exactly here
+/// by binary search on the makespan T with a bipartite max-flow
+/// feasibility test (bucket -> its replica disks -> sink with capacity T).
+///
+/// `failed_disks` models degraded mode: buckets route around dead disks.
+/// A query is unroutable only if some bucket has every replica on a failed
+/// disk — the availability guarantee replication buys.
+
+namespace griddecl {
+
+/// One routed query.
+struct RoutedQuery {
+  /// Max buckets assigned to one disk under the optimal routing.
+  uint64_t response = 0;
+  /// ceil(|Q| / alive_disks): the routing lower bound.
+  uint64_t lower_bound = 0;
+  /// Disk chosen for each bucket, in the rectangle's row-major order.
+  std::vector<uint32_t> assignment;
+};
+
+/// Routes `query` optimally over `placement`'s replicas. `failed_disks`,
+/// when given, must have one entry per disk; failed disks serve nothing.
+/// Fails with kUnsupported when some bucket has no live replica.
+Result<RoutedQuery> RouteQuery(const ReplicatedPlacement& placement,
+                               const RangeQuery& query,
+                               const std::vector<bool>* failed_disks =
+                                   nullptr);
+
+/// Mean optimally-routed response over a workload (convenience for
+/// benches/tests). Same failure semantics as RouteQuery.
+Result<double> MeanRoutedResponse(const ReplicatedPlacement& placement,
+                                  const std::vector<RangeQuery>& queries,
+                                  const std::vector<bool>* failed_disks =
+                                      nullptr);
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_EVAL_REPLICA_ROUTER_H_

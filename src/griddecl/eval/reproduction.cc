@@ -1,0 +1,149 @@
+#include "griddecl/eval/reproduction.h"
+
+#include <ostream>
+
+#include "griddecl/eval/experiment.h"
+#include "griddecl/query/generator.h"
+#include "griddecl/theory/partial_match_optimality.h"
+#include "griddecl/theory/strict_optimality.h"
+
+namespace griddecl {
+
+namespace {
+
+void Section(std::ostream& os, const std::string& title) {
+  os << "\n=== " << title << " ===\n\n";
+}
+
+Status WriteSweep(std::ostream& os, const std::string& title,
+                  const Result<SweepResult>& sweep) {
+  if (!sweep.ok()) return sweep.status();
+  Section(os, title + " — mean RT (optimal alongside)");
+  sweep.value().ResponseTable().PrintText(os);
+  Section(os, title + " — RT/optimal");
+  sweep.value().RatioTable().PrintText(os);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status RunPaperReproduction(std::ostream& os,
+                            const ReproductionOptions& options) {
+  SweepOptions sweep_opts;
+  sweep_opts.max_placements = options.max_placements;
+  sweep_opts.seed = options.seed;
+
+  Result<GridSpec> grid64 = GridSpec::Create({64, 64});
+  if (!grid64.ok()) return grid64.status();
+
+  // E1: query size.
+  GRIDDECL_RETURN_IF_ERROR(WriteSweep(
+      os, "E1: query size (64x64, M=16)",
+      QuerySizeSweep(grid64.value(), 16, {1, 4, 9, 16, 64, 256, 1024},
+                     sweep_opts)));
+
+  // E2: query shape.
+  GRIDDECL_RETURN_IF_ERROR(WriteSweep(
+      os, "E2: query shape, area 16 (64x64, M=16)",
+      QueryShapeSweep(grid64.value(), 16, 16,
+                      {1.0 / 16, 1.0 / 4, 1.0, 4.0, 16.0}, sweep_opts)));
+
+  // E3: attributes (2-d vs 3-d at equal side).
+  Result<GridSpec> grid3 = GridSpec::Create({16, 16, 16});
+  if (!grid3.ok()) return grid3.status();
+  GRIDDECL_RETURN_IF_ERROR(
+      WriteSweep(os, "E3: 3 attributes, cube queries (16^3, M=16)",
+                 QuerySizeSweep(grid3.value(), 16, {8, 64, 512},
+                                sweep_opts)));
+
+  // E4/E5: disk sweeps.
+  GRIDDECL_RETURN_IF_ERROR(WriteSweep(
+      os, "E4 / Fig 5(a): disks, small queries (area 9)",
+      DiskCountSweep(grid64.value(), {4, 8, 16, 32}, 9, sweep_opts)));
+  GRIDDECL_RETURN_IF_ERROR(WriteSweep(
+      os, "E5 / Fig 5(b): disks, large queries (area 1024)",
+      DiskCountSweep(grid64.value(), {4, 8, 16, 32}, 1024, sweep_opts)));
+
+  // E6: database size.
+  std::vector<GridSpec> grids;
+  for (uint32_t side : {16u, 32u, 64u}) {
+    Result<GridSpec> g = GridSpec::Square(2, side);
+    if (!g.ok()) return g.status();
+    grids.push_back(std::move(g).value());
+  }
+  GRIDDECL_RETURN_IF_ERROR(
+      WriteSweep(os, "E6: database size, 12.5%/side query (M=16)",
+                 DbSizeSweep(grids, 16, 0.125, sweep_opts)));
+
+  // E7: partial-match optimality matrix (compact: one grid).
+  {
+    Result<GridSpec> pm_grid = GridSpec::Create({8, 8, 4});
+    if (!pm_grid.ok()) return pm_grid.status();
+    const auto methods = CreatePaperMethods(pm_grid.value(), 4);
+    std::vector<std::string> headers = {"Unspecified dims", "DM condition"};
+    for (const auto& m : methods) headers.push_back(m->name());
+    Table t(std::move(headers));
+    for (const auto& specified : AllDimSubsets(3)) {
+      if (specified.size() == 3) continue;
+      std::vector<uint32_t> unspecified;
+      std::vector<bool> spec(3, false);
+      for (uint32_t d : specified) spec[d] = true;
+      for (uint32_t d = 0; d < 3; ++d) {
+        if (!spec[d]) unspecified.push_back(d);
+      }
+      std::string label;
+      for (uint32_t d : unspecified) {
+        label += (label.empty() ? "A" : ",A") + std::to_string(d);
+      }
+      std::vector<std::string> row = {
+          label, DmPartialMatchCondition(pm_grid.value(), 4, unspecified)
+                     ? "guaranteed"
+                     : "-"};
+      for (const auto& m : methods) {
+        Result<bool> optimal =
+            VerifyOptimalForPartialMatchClass(*m, specified);
+        if (!optimal.ok()) return optimal.status();
+        row.push_back(optimal.value() ? "optimal" : "not");
+      }
+      t.AddRow(std::move(row));
+    }
+    Section(os, "E7 / Table 1: partial-match optimality (8x8x4, M=4)");
+    t.PrintText(os);
+  }
+
+  // E8: the theorem.
+  if (options.include_theory) {
+    Table t({"M", "Strictly optimal allocation?", "Evidence"});
+    StrictOptimalitySearchOptions search;
+    search.max_nodes = options.theory_max_nodes;
+    for (uint32_t m = 2; m <= 7; ++m) {
+      std::string verdict = "undecided";
+      std::string evidence = "budget";
+      for (uint32_t side = m + 1; side <= m + 3; ++side) {
+        Result<StrictOptimalitySearchResult> r =
+            FindStrictlyOptimalAllocation(side, side, m, search);
+        if (!r.ok()) return r.status();
+        if (r.value().outcome == SearchOutcome::kInfeasible) {
+          verdict = "NO";
+          evidence = "exhaustive proof on " + std::to_string(side) + "x" +
+                     std::to_string(side);
+          break;
+        }
+        if (r.value().outcome == SearchOutcome::kFound &&
+            side == m + 3) {
+          verdict = "YES";
+          evidence = "verified on " + std::to_string(side) + "x" +
+                     std::to_string(side);
+        }
+        if (r.value().outcome == SearchOutcome::kBudgetExhausted) break;
+      }
+      t.AddRow({Table::Fmt(static_cast<uint64_t>(m)), verdict, evidence});
+    }
+    Section(os, "E8: impossibility of strict optimality (the theorem)");
+    t.PrintText(os);
+  }
+  os.flush();
+  return Status::Ok();
+}
+
+}  // namespace griddecl

@@ -1,0 +1,39 @@
+#ifndef GRIDDECL_EVAL_REPRODUCTION_H_
+#define GRIDDECL_EVAL_REPRODUCTION_H_
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "griddecl/common/status.h"
+
+/// \file
+/// One-call reproduction of the paper's evaluation: runs compact versions
+/// of experiments E1-E8 (query size, query shape, attributes, the two
+/// disk sweeps, database size, the partial-match table, and the
+/// impossibility theorem) and writes the tables to a stream. The bench
+/// binaries remain the full-resolution reference; this entry point is the
+/// "show me the paper in one command" path used by `declctl reproduce`
+/// and by smoke tests.
+
+namespace griddecl {
+
+/// Reproduction knobs.
+struct ReproductionOptions {
+  /// Placement averaging cap per data point (full benches use 4096).
+  size_t max_placements = 1024;
+  uint64_t seed = 42;
+  /// Include the exhaustive-search theorem section (E8).
+  bool include_theory = true;
+  /// Node budget for each theorem search.
+  uint64_t theory_max_nodes = 5'000'000;
+};
+
+/// Runs the reproduction and writes all tables to `os`. Returns the first
+/// error encountered (the standard configurations cannot fail; errors
+/// indicate an internal bug).
+Status RunPaperReproduction(std::ostream& os,
+                            const ReproductionOptions& options = {});
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_EVAL_REPRODUCTION_H_

@@ -1,0 +1,85 @@
+#include "griddecl/eval/what_if.h"
+
+#include "griddecl/common/table.h"
+#include "griddecl/eval/evaluator.h"
+#include "griddecl/methods/registry.h"
+
+namespace griddecl {
+
+Result<std::vector<DiskScalingPoint>> DiskScalingAnalysis(
+    const GridSpec& grid, const std::string& method_name,
+    const Workload& workload, const std::vector<uint32_t>& disk_counts) {
+  if (workload.empty()) {
+    return Status::InvalidArgument("workload must be non-empty");
+  }
+  if (disk_counts.empty()) {
+    return Status::InvalidArgument("need at least one disk count");
+  }
+  for (size_t i = 0; i < disk_counts.size(); ++i) {
+    if (disk_counts[i] < 1) {
+      return Status::InvalidArgument("disk counts must be >= 1");
+    }
+    if (i > 0 && disk_counts[i] <= disk_counts[i - 1]) {
+      return Status::InvalidArgument("disk counts must be ascending");
+    }
+  }
+  for (const RangeQuery& q : workload.queries) {
+    if (!q.rect().WithinGrid(grid)) {
+      return Status::InvalidArgument("workload query " + q.ToString() +
+                                     " outside grid " + grid.ToString());
+    }
+  }
+
+  std::vector<DiskScalingPoint> points;
+  for (uint32_t m : disk_counts) {
+    Result<std::unique_ptr<DeclusteringMethod>> method =
+        CreateMethod(method_name, grid, m);
+    if (!method.ok()) {
+      if (method.status().code() == StatusCode::kUnsupported) continue;
+      return method.status();
+    }
+    const WorkloadEval e =
+        Evaluator(method.value().get()).EvaluateWorkload(workload);
+    DiskScalingPoint p;
+    p.disks = m;
+    p.mean_response = e.MeanResponse();
+    p.mean_optimal = e.MeanOptimal();
+    points.push_back(p);
+  }
+  if (points.empty()) {
+    return Status::InvalidArgument("method '" + method_name +
+                                   "' is not constructible at any of the "
+                                   "requested disk counts");
+  }
+  const double base_response = points.front().mean_response;
+  const double base_disks = points.front().disks;
+  for (DiskScalingPoint& p : points) {
+    p.speedup =
+        p.mean_response <= 0 ? 1.0 : base_response / p.mean_response;
+    const double added = static_cast<double>(p.disks) / base_disks;
+    p.efficiency = added <= 0 ? 1.0 : p.speedup / added;
+  }
+  return points;
+}
+
+Result<uint32_t> RecommendDiskCount(
+    const GridSpec& grid, const std::string& method_name,
+    const Workload& workload, double target_mean_response,
+    const std::vector<uint32_t>& disk_counts) {
+  if (!(target_mean_response > 0)) {
+    return Status::InvalidArgument("target mean response must be positive");
+  }
+  Result<std::vector<DiskScalingPoint>> points =
+      DiskScalingAnalysis(grid, method_name, workload, disk_counts);
+  if (!points.ok()) return points.status();
+  for (const DiskScalingPoint& p : points.value()) {
+    if (p.mean_response <= target_mean_response) return p.disks;
+  }
+  return Status::NotFound(
+      "no tested disk count reaches mean response <= " +
+      Table::Fmt(target_mean_response, 3) + " (best: " +
+      Table::Fmt(points.value().back().mean_response, 3) + " at M=" +
+      std::to_string(points.value().back().disks) + ")");
+}
+
+}  // namespace griddecl

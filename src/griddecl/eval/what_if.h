@@ -1,0 +1,52 @@
+#ifndef GRIDDECL_EVAL_WHAT_IF_H_
+#define GRIDDECL_EVAL_WHAT_IF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "griddecl/common/status.h"
+#include "griddecl/grid/grid_spec.h"
+#include "griddecl/query/workload.h"
+
+/// \file
+/// Capacity planning ("what-if" analysis): how many disks does a workload
+/// actually need? The paper sweeps disk counts to compare methods; a system
+/// owner asks the transposed question — for *my* method and *my* workload,
+/// where does adding spindles stop paying? These helpers answer it with
+/// the same response-time metric the rest of the library uses.
+
+namespace griddecl {
+
+/// One disk-count data point of a scaling analysis.
+struct DiskScalingPoint {
+  uint32_t disks = 0;
+  double mean_response = 0;
+  /// Mean optimal (ceil(|Q|/M)) at this M — the scaling of a perfect method.
+  double mean_optimal = 0;
+  /// mean_response(first point) / mean_response(this point).
+  double speedup = 1.0;
+  /// Parallel efficiency vs the first point:
+  /// speedup / (disks / first_disks); 1.0 = perfect scaling.
+  double efficiency = 1.0;
+};
+
+/// Evaluates `method_name` on `workload` at every disk count in
+/// `disk_counts` (ascending, all >= 1). Disk counts where the method is
+/// not constructible (e.g. ECC off powers of two) are skipped; fails if
+/// none is constructible or the workload is empty.
+Result<std::vector<DiskScalingPoint>> DiskScalingAnalysis(
+    const GridSpec& grid, const std::string& method_name,
+    const Workload& workload, const std::vector<uint32_t>& disk_counts);
+
+/// Smallest disk count in `disk_counts` whose mean response time is at most
+/// `target_mean_response`; kNotFound if even the largest misses the target.
+Result<uint32_t> RecommendDiskCount(const GridSpec& grid,
+                                    const std::string& method_name,
+                                    const Workload& workload,
+                                    double target_mean_response,
+                                    const std::vector<uint32_t>& disk_counts);
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_EVAL_WHAT_IF_H_

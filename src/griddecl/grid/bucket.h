@@ -1,0 +1,81 @@
+#ifndef GRIDDECL_GRID_BUCKET_H_
+#define GRIDDECL_GRID_BUCKET_H_
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "griddecl/common/check.h"
+
+/// \file
+/// `BucketCoords`: the coordinates of one grid bucket, `<i_1, ..., i_k>` in
+/// the paper's notation. A fixed-capacity inline array (no heap allocation)
+/// because evaluating a declustering method over millions of buckets is the
+/// inner loop of every experiment.
+
+namespace griddecl {
+
+/// Maximum supported dimensionality (number of declustered attributes).
+/// The paper evaluates 2 and 3 attributes; 8 leaves generous headroom.
+inline constexpr uint32_t kMaxDims = 8;
+
+/// Coordinates of a bucket in a k-dimensional grid. Value type.
+class BucketCoords {
+ public:
+  /// Zero coordinates in `k` dimensions.
+  explicit BucketCoords(uint32_t k) : size_(k) {
+    GRIDDECL_CHECK_MSG(k >= 1 && k <= kMaxDims, "k=%u", k);
+    coords_.fill(0);
+  }
+
+  /// From an explicit list, e.g. `BucketCoords({3, 5})`.
+  BucketCoords(std::initializer_list<uint32_t> coords)
+      : size_(static_cast<uint32_t>(coords.size())) {
+    GRIDDECL_CHECK(size_ >= 1 && size_ <= kMaxDims);
+    coords_.fill(0);
+    uint32_t i = 0;
+    for (uint32_t c : coords) coords_[i++] = c;
+  }
+
+  uint32_t size() const { return size_; }
+
+  uint32_t operator[](uint32_t dim) const {
+    GRIDDECL_CHECK(dim < size_);
+    return coords_[dim];
+  }
+  uint32_t& operator[](uint32_t dim) {
+    GRIDDECL_CHECK(dim < size_);
+    return coords_[dim];
+  }
+
+  friend bool operator==(const BucketCoords& a, const BucketCoords& b) {
+    if (a.size_ != b.size_) return false;
+    for (uint32_t i = 0; i < a.size_; ++i) {
+      if (a.coords_[i] != b.coords_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const BucketCoords& a, const BucketCoords& b) {
+    return !(a == b);
+  }
+
+  /// "<3, 5>"; for diagnostics and test failure messages.
+  std::string ToString() const {
+    std::string out = "<";
+    for (uint32_t i = 0; i < size_; ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(coords_[i]);
+    }
+    out += ">";
+    return out;
+  }
+
+ private:
+  std::array<uint32_t, kMaxDims> coords_;
+  uint32_t size_;
+};
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_GRID_BUCKET_H_

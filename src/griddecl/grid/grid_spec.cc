@@ -1,0 +1,112 @@
+#include "griddecl/grid/grid_spec.h"
+
+#include <limits>
+
+namespace griddecl {
+
+Result<GridSpec> GridSpec::Create(std::vector<uint32_t> dims) {
+  if (dims.empty() || dims.size() > kMaxDims) {
+    return Status::InvalidArgument(
+        "grid must have between 1 and " + std::to_string(kMaxDims) +
+        " dimensions, got " + std::to_string(dims.size()));
+  }
+  uint64_t total = 1;
+  for (uint32_t d : dims) {
+    if (d == 0) {
+      return Status::InvalidArgument("every dimension needs >= 1 partition");
+    }
+    if (total > std::numeric_limits<uint64_t>::max() / d) {
+      return Status::InvalidArgument("bucket count overflows uint64");
+    }
+    total *= d;
+  }
+  return GridSpec(std::move(dims), total);
+}
+
+Result<GridSpec> GridSpec::Square(uint32_t k, uint32_t side) {
+  return Create(std::vector<uint32_t>(k, side));
+}
+
+Result<GridSpec> GridSpec::FromString(const std::string& shape) {
+  std::vector<uint32_t> dims;
+  size_t pos = 0;
+  while (pos <= shape.size()) {
+    const size_t next = shape.find('x', pos);
+    const std::string token = shape.substr(
+        pos, next == std::string::npos ? std::string::npos : next - pos);
+    if (token.empty()) {
+      return Status::InvalidArgument("malformed grid shape '" + shape + "'");
+    }
+    uint64_t value = 0;
+    for (char ch : token) {
+      if (ch < '0' || ch > '9') {
+        return Status::InvalidArgument("malformed grid shape '" + shape +
+                                       "'");
+      }
+      value = value * 10 + static_cast<uint64_t>(ch - '0');
+      if (value > 0xFFFFFFFFull) {
+        return Status::InvalidArgument("grid dimension too large in '" +
+                                       shape + "'");
+      }
+    }
+    dims.push_back(static_cast<uint32_t>(value));
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  return Create(std::move(dims));
+}
+
+bool GridSpec::Contains(const BucketCoords& c) const {
+  if (c.size() != dims_.size()) return false;
+  for (uint32_t i = 0; i < c.size(); ++i) {
+    if (c[i] >= dims_[i]) return false;
+  }
+  return true;
+}
+
+uint64_t GridSpec::Linearize(const BucketCoords& c) const {
+  GRIDDECL_CHECK_MSG(Contains(c), "coords %s outside grid %s",
+                     c.ToString().c_str(), ToString().c_str());
+  uint64_t index = 0;
+  for (uint32_t i = 0; i < c.size(); ++i) {
+    index = index * dims_[i] + c[i];
+  }
+  return index;
+}
+
+BucketCoords GridSpec::Delinearize(uint64_t index) const {
+  GRIDDECL_CHECK(index < num_buckets_);
+  BucketCoords c(num_dims());
+  for (uint32_t i = num_dims(); i-- > 0;) {
+    c[i] = static_cast<uint32_t>(index % dims_[i]);
+    index /= dims_[i];
+  }
+  return c;
+}
+
+void GridSpec::ForEachBucket(
+    const std::function<void(const BucketCoords&)>& fn) const {
+  BucketCoords c(num_dims());
+  for (;;) {
+    fn(c);
+    // Odometer increment, last dimension fastest (row-major order).
+    uint32_t dim = num_dims();
+    for (;;) {
+      if (dim == 0) return;
+      --dim;
+      if (++c[dim] < dims_[dim]) break;
+      c[dim] = 0;
+    }
+  }
+}
+
+std::string GridSpec::ToString() const {
+  std::string out;
+  for (uint32_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) out += "x";
+    out += std::to_string(dims_[i]);
+  }
+  return out;
+}
+
+}  // namespace griddecl

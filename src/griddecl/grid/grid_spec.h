@@ -1,0 +1,78 @@
+#ifndef GRIDDECL_GRID_GRID_SPEC_H_
+#define GRIDDECL_GRID_GRID_SPEC_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "griddecl/common/status.h"
+#include "griddecl/grid/bucket.h"
+
+/// \file
+/// `GridSpec` describes the Cartesian-product partitioning of the data space:
+/// `k` attributes, attribute `i` split into `d_i` intervals, yielding a
+/// `d_1 x d_2 x ... x d_k` grid of buckets. This is the domain over which
+/// every declustering method is defined.
+
+namespace griddecl {
+
+/// Shape of a k-dimensional bucket grid. Immutable value type.
+class GridSpec {
+ public:
+  /// Validated factory. Requires 1 <= k <= kMaxDims, every d_i >= 1, and a
+  /// total bucket count that fits in uint64 (checked multiplicative bound).
+  static Result<GridSpec> Create(std::vector<uint32_t> dims);
+
+  /// Convenience for tests/examples: `GridSpec::Square(2, 32)` = 32x32.
+  static Result<GridSpec> Square(uint32_t k, uint32_t side);
+
+  /// Parses the `ToString` format ("32x32", "8x16x4").
+  static Result<GridSpec> FromString(const std::string& shape);
+
+  /// Number of attributes (dimensions) k.
+  uint32_t num_dims() const { return static_cast<uint32_t>(dims_.size()); }
+
+  /// Number of partitions d_i on dimension `dim`.
+  uint32_t dim(uint32_t dim) const {
+    GRIDDECL_CHECK(dim < dims_.size());
+    return dims_[dim];
+  }
+
+  const std::vector<uint32_t>& dims() const { return dims_; }
+
+  /// Total number of buckets, prod(d_i).
+  uint64_t num_buckets() const { return num_buckets_; }
+
+  /// True iff `c` has the right dimensionality and every coordinate is
+  /// within its domain.
+  bool Contains(const BucketCoords& c) const;
+
+  /// Row-major rank of `c` (last dimension varies fastest).
+  /// `c` must be contained in the grid.
+  uint64_t Linearize(const BucketCoords& c) const;
+
+  /// Inverse of `Linearize`; `index` must be < num_buckets().
+  BucketCoords Delinearize(uint64_t index) const;
+
+  /// Calls `fn` for every bucket in row-major order.
+  void ForEachBucket(const std::function<void(const BucketCoords&)>& fn) const;
+
+  /// "32x32" / "8x16x4"; for reports.
+  std::string ToString() const;
+
+  friend bool operator==(const GridSpec& a, const GridSpec& b) {
+    return a.dims_ == b.dims_;
+  }
+
+ private:
+  explicit GridSpec(std::vector<uint32_t> dims, uint64_t num_buckets)
+      : dims_(std::move(dims)), num_buckets_(num_buckets) {}
+
+  std::vector<uint32_t> dims_;
+  uint64_t num_buckets_;
+};
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_GRID_GRID_SPEC_H_

@@ -1,0 +1,116 @@
+#include "griddecl/grid/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace griddecl {
+
+Result<DomainPartition> DomainPartition::Uniform(double lo, double hi,
+                                                 uint32_t count) {
+  if (!(lo < hi)) {
+    return Status::InvalidArgument("domain requires lo < hi");
+  }
+  if (count == 0) {
+    return Status::InvalidArgument("domain needs >= 1 interval");
+  }
+  if (!std::isfinite(lo) || !std::isfinite(hi)) {
+    return Status::InvalidArgument("domain bounds must be finite");
+  }
+  std::vector<double> boundaries(count + 1);
+  const double width = (hi - lo) / static_cast<double>(count);
+  for (uint32_t j = 0; j <= count; ++j) {
+    boundaries[j] = lo + width * static_cast<double>(j);
+  }
+  boundaries[count] = hi;  // Avoid accumulated rounding on the top edge.
+  return DomainPartition(std::move(boundaries));
+}
+
+Result<DomainPartition> DomainPartition::FromBoundaries(
+    std::vector<double> boundaries) {
+  if (boundaries.size() < 2) {
+    return Status::InvalidArgument("need at least 2 boundaries");
+  }
+  for (size_t j = 0; j + 1 < boundaries.size(); ++j) {
+    if (!(boundaries[j] < boundaries[j + 1])) {
+      return Status::InvalidArgument(
+          "boundaries must be strictly increasing");
+    }
+  }
+  for (double b : boundaries) {
+    if (!std::isfinite(b)) {
+      return Status::InvalidArgument("boundaries must be finite");
+    }
+  }
+  return DomainPartition(std::move(boundaries));
+}
+
+uint32_t DomainPartition::IndexOf(double value) const {
+  if (value <= boundaries_.front()) return 0;
+  if (value >= boundaries_.back()) return num_intervals() - 1;
+  // First boundary strictly greater than value, minus one.
+  const auto it =
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), value);
+  return static_cast<uint32_t>(it - boundaries_.begin()) - 1;
+}
+
+void DomainPartition::IndexRange(double qlo, double qhi, uint32_t* first,
+                                 uint32_t* last) const {
+  GRIDDECL_CHECK(qlo <= qhi);
+  *first = IndexOf(qlo);
+  *last = IndexOf(qhi);
+}
+
+Result<SpacePartitioner> SpacePartitioner::Create(
+    std::vector<DomainPartition> parts) {
+  if (parts.empty() || parts.size() > kMaxDims) {
+    return Status::InvalidArgument("partitioner needs 1.." +
+                                   std::to_string(kMaxDims) + " dimensions");
+  }
+  std::vector<uint32_t> dims;
+  dims.reserve(parts.size());
+  for (const auto& p : parts) dims.push_back(p.num_intervals());
+  Result<GridSpec> grid = GridSpec::Create(std::move(dims));
+  if (!grid.ok()) return grid.status();
+  return SpacePartitioner(std::move(parts), std::move(grid).value());
+}
+
+Result<SpacePartitioner> SpacePartitioner::UnitUniform(
+    const std::vector<uint32_t>& counts) {
+  std::vector<DomainPartition> parts;
+  parts.reserve(counts.size());
+  for (uint32_t c : counts) {
+    Result<DomainPartition> p = DomainPartition::Uniform(0.0, 1.0, c);
+    if (!p.ok()) return p.status();
+    parts.push_back(std::move(p).value());
+  }
+  return Create(std::move(parts));
+}
+
+BucketCoords SpacePartitioner::BucketOf(
+    const std::vector<double>& values) const {
+  GRIDDECL_CHECK_MSG(values.size() == parts_.size(),
+                     "point has %zu values, space has %zu dims", values.size(),
+                     parts_.size());
+  BucketCoords c(num_dims());
+  for (uint32_t i = 0; i < num_dims(); ++i) c[i] = parts_[i].IndexOf(values[i]);
+  return c;
+}
+
+BucketRect SpacePartitioner::RectOf(const std::vector<double>& qlo,
+                                    const std::vector<double>& qhi) const {
+  GRIDDECL_CHECK(qlo.size() == parts_.size() && qhi.size() == parts_.size());
+  BucketCoords lo(num_dims());
+  BucketCoords hi(num_dims());
+  for (uint32_t i = 0; i < num_dims(); ++i) {
+    uint32_t first = 0;
+    uint32_t last = 0;
+    parts_[i].IndexRange(qlo[i], qhi[i], &first, &last);
+    lo[i] = first;
+    hi[i] = last;
+  }
+  Result<BucketRect> rect = BucketRect::Create(lo, hi);
+  GRIDDECL_CHECK(rect.ok());
+  return std::move(rect).value();
+}
+
+}  // namespace griddecl

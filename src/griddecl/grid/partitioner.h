@@ -1,0 +1,95 @@
+#ifndef GRIDDECL_GRID_PARTITIONER_H_
+#define GRIDDECL_GRID_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "griddecl/common/status.h"
+#include "griddecl/grid/bucket.h"
+#include "griddecl/grid/grid_spec.h"
+#include "griddecl/grid/rect.h"
+
+/// \file
+/// Maps real attribute values onto grid partition indices. This is the glue
+/// between the record-level world (a tuple of attribute values, a predicate
+/// `a <= attr <= b`) and the bucket-level world the declustering methods and
+/// the paper's metric operate on.
+
+namespace griddecl {
+
+/// Partitioning of one attribute's domain `[lo, hi)` into intervals.
+///
+/// Interval `j` of dimension `i` is `[boundary[j], boundary[j+1])`, except
+/// the last interval which is closed at the top so that `hi` itself is
+/// mappable. Boundaries are strictly increasing.
+class DomainPartition {
+ public:
+  /// Uniform split of `[lo, hi)` into `count` equal-width intervals.
+  static Result<DomainPartition> Uniform(double lo, double hi, uint32_t count);
+
+  /// Explicit boundaries; `boundaries.size() >= 2`, strictly increasing.
+  /// Produces `boundaries.size() - 1` intervals.
+  static Result<DomainPartition> FromBoundaries(std::vector<double> boundaries);
+
+  uint32_t num_intervals() const {
+    return static_cast<uint32_t>(boundaries_.size()) - 1;
+  }
+  double lo() const { return boundaries_.front(); }
+  double hi() const { return boundaries_.back(); }
+
+  /// Index of the interval containing `value`. Values below the domain clamp
+  /// to 0, values above clamp to the last interval (grid-file convention:
+  /// the outermost intervals absorb out-of-range data).
+  uint32_t IndexOf(double value) const;
+
+  /// Inclusive index range of intervals overlapping `[qlo, qhi]`.
+  /// Requires qlo <= qhi. Clamped to the domain.
+  void IndexRange(double qlo, double qhi, uint32_t* first,
+                  uint32_t* last) const;
+
+  /// The boundary vector (size num_intervals() + 1, strictly increasing).
+  const std::vector<double>& raw_boundaries() const { return boundaries_; }
+
+ private:
+  explicit DomainPartition(std::vector<double> boundaries)
+      : boundaries_(std::move(boundaries)) {}
+
+  std::vector<double> boundaries_;
+};
+
+/// Partitioning of the full k-attribute space; one DomainPartition per
+/// dimension. Defines the GridSpec the declustering methods run on.
+class SpacePartitioner {
+ public:
+  /// Validated factory; `parts` must be non-empty and within kMaxDims.
+  static Result<SpacePartitioner> Create(std::vector<DomainPartition> parts);
+
+  /// Uniform partitioner over `[0, 1)^k` with the given interval counts.
+  static Result<SpacePartitioner> UnitUniform(
+      const std::vector<uint32_t>& counts);
+
+  uint32_t num_dims() const { return static_cast<uint32_t>(parts_.size()); }
+  const DomainPartition& dim(uint32_t i) const { return parts_[i]; }
+
+  /// The grid shape induced by the partitioning.
+  const GridSpec& grid() const { return grid_; }
+
+  /// Bucket containing the point `values` (one value per dimension).
+  BucketCoords BucketOf(const std::vector<double>& values) const;
+
+  /// Rectangle of buckets overlapping the range predicate
+  /// `qlo[i] <= attr_i <= qhi[i]` for all i.
+  BucketRect RectOf(const std::vector<double>& qlo,
+                    const std::vector<double>& qhi) const;
+
+ private:
+  SpacePartitioner(std::vector<DomainPartition> parts, GridSpec grid)
+      : parts_(std::move(parts)), grid_(std::move(grid)) {}
+
+  std::vector<DomainPartition> parts_;
+  GridSpec grid_;
+};
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_GRID_PARTITIONER_H_

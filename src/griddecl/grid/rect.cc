@@ -1,0 +1,89 @@
+#include "griddecl/grid/rect.h"
+
+#include <algorithm>
+
+namespace griddecl {
+
+Result<BucketRect> BucketRect::Create(BucketCoords lo, BucketCoords hi) {
+  if (lo.size() != hi.size()) {
+    return Status::InvalidArgument("rect corners differ in dimensionality");
+  }
+  for (uint32_t i = 0; i < lo.size(); ++i) {
+    if (lo[i] > hi[i]) {
+      return Status::InvalidArgument("rect has lo > hi on dimension " +
+                                     std::to_string(i));
+    }
+  }
+  return BucketRect(lo, hi);
+}
+
+BucketRect BucketRect::Full(const GridSpec& grid) {
+  BucketCoords lo(grid.num_dims());
+  BucketCoords hi(grid.num_dims());
+  for (uint32_t i = 0; i < grid.num_dims(); ++i) hi[i] = grid.dim(i) - 1;
+  return BucketRect(lo, hi);
+}
+
+BucketRect BucketRect::Point(const BucketCoords& c) {
+  return BucketRect(c, c);
+}
+
+uint64_t BucketRect::Volume() const {
+  uint64_t v = 1;
+  for (uint32_t i = 0; i < num_dims(); ++i) v *= Extent(i);
+  return v;
+}
+
+bool BucketRect::Contains(const BucketCoords& c) const {
+  if (c.size() != num_dims()) return false;
+  for (uint32_t i = 0; i < num_dims(); ++i) {
+    if (c[i] < lo_[i] || c[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+bool BucketRect::WithinGrid(const GridSpec& grid) const {
+  if (grid.num_dims() != num_dims()) return false;
+  for (uint32_t i = 0; i < num_dims(); ++i) {
+    if (hi_[i] >= grid.dim(i)) return false;
+  }
+  return true;
+}
+
+std::optional<BucketRect> BucketRect::Intersect(const BucketRect& other) const {
+  GRIDDECL_CHECK(other.num_dims() == num_dims());
+  BucketCoords lo(num_dims());
+  BucketCoords hi(num_dims());
+  for (uint32_t i = 0; i < num_dims(); ++i) {
+    lo[i] = std::max(lo_[i], other.lo_[i]);
+    hi[i] = std::min(hi_[i], other.hi_[i]);
+    if (lo[i] > hi[i]) return std::nullopt;
+  }
+  return BucketRect(lo, hi);
+}
+
+void BucketRect::ForEachBucket(
+    const std::function<void(const BucketCoords&)>& fn) const {
+  BucketCoords c = lo_;
+  for (;;) {
+    fn(c);
+    uint32_t dim = num_dims();
+    for (;;) {
+      if (dim == 0) return;
+      --dim;
+      if (++c[dim] <= hi_[dim]) break;
+      c[dim] = lo_[dim];
+    }
+  }
+}
+
+std::string BucketRect::ToString() const {
+  std::string out;
+  for (uint32_t i = 0; i < num_dims(); ++i) {
+    if (i > 0) out += "x";
+    out += "[" + std::to_string(lo_[i]) + ".." + std::to_string(hi_[i]) + "]";
+  }
+  return out;
+}
+
+}  // namespace griddecl

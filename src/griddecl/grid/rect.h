@@ -1,0 +1,72 @@
+#ifndef GRIDDECL_GRID_RECT_H_
+#define GRIDDECL_GRID_RECT_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "griddecl/common/status.h"
+#include "griddecl/grid/bucket.h"
+#include "griddecl/grid/grid_spec.h"
+
+/// \file
+/// `BucketRect`: an axis-aligned hyper-rectangle of bucket coordinates,
+/// `[lo_i, hi_i]` inclusive per dimension. This is what a range query looks
+/// like after it has been mapped onto the grid, and the unit the response
+/// time metric iterates over.
+
+namespace griddecl {
+
+/// Inclusive hyper-rectangle of buckets. Value type.
+class BucketRect {
+ public:
+  /// Validated factory: `lo` and `hi` must have equal dimensionality and
+  /// lo[i] <= hi[i] for all i.
+  static Result<BucketRect> Create(BucketCoords lo, BucketCoords hi);
+
+  /// The rectangle covering the entire grid.
+  static BucketRect Full(const GridSpec& grid);
+
+  /// The single bucket `c`.
+  static BucketRect Point(const BucketCoords& c);
+
+  uint32_t num_dims() const { return lo_.size(); }
+  const BucketCoords& lo() const { return lo_; }
+  const BucketCoords& hi() const { return hi_; }
+
+  /// Side length on `dim` (hi - lo + 1).
+  uint32_t Extent(uint32_t dim) const { return hi_[dim] - lo_[dim] + 1; }
+
+  /// Number of buckets covered, prod(Extent(i)). This is |Q| in the paper.
+  uint64_t Volume() const;
+
+  bool Contains(const BucketCoords& c) const;
+
+  /// True iff the rectangle lies entirely inside `grid`.
+  bool WithinGrid(const GridSpec& grid) const;
+
+  /// Intersection with another rectangle; nullopt when disjoint.
+  std::optional<BucketRect> Intersect(const BucketRect& other) const;
+
+  /// Calls `fn` for every covered bucket in row-major order.
+  void ForEachBucket(const std::function<void(const BucketCoords&)>& fn) const;
+
+  /// "[2..5]x[0..31]"; for diagnostics.
+  std::string ToString() const;
+
+  friend bool operator==(const BucketRect& a, const BucketRect& b) {
+    return a.lo_ == b.lo_ && a.hi_ == b.hi_;
+  }
+
+ private:
+  BucketRect(BucketCoords lo, BucketCoords hi)
+      : lo_(lo), hi_(hi) {}
+
+  BucketCoords lo_;
+  BucketCoords hi_;
+};
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_GRID_RECT_H_

@@ -1,0 +1,233 @@
+#include "griddecl/gridfile/adaptive_grid_file.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace griddecl {
+
+Result<AdaptiveGridFile> AdaptiveGridFile::Create(Schema schema,
+                                                  Options options) {
+  if (options.bucket_capacity < 1) {
+    return Status::InvalidArgument("bucket capacity must be >= 1");
+  }
+  if (options.max_partitions_per_dim < 1) {
+    return Status::InvalidArgument("max partitions per dim must be >= 1");
+  }
+  std::vector<std::vector<double>> boundaries;
+  boundaries.reserve(schema.num_attributes());
+  for (uint32_t i = 0; i < schema.num_attributes(); ++i) {
+    const AttributeDef& a = schema.attribute(i);
+    boundaries.push_back({a.lo, a.hi});
+  }
+  return AdaptiveGridFile(std::move(schema), options, std::move(boundaries));
+}
+
+Result<GridSpec> AdaptiveGridFile::grid() const {
+  std::vector<uint32_t> dims;
+  dims.reserve(boundaries_.size());
+  for (uint32_t i = 0; i < boundaries_.size(); ++i) {
+    dims.push_back(NumPartitions(i));
+  }
+  return GridSpec::Create(std::move(dims));
+}
+
+const std::vector<double>& AdaptiveGridFile::boundaries(uint32_t dim) const {
+  GRIDDECL_CHECK(dim < boundaries_.size());
+  return boundaries_[dim];
+}
+
+uint32_t AdaptiveGridFile::IndexOf(uint32_t dim, double value) const {
+  const std::vector<double>& b = boundaries_[dim];
+  if (value <= b.front()) return 0;
+  if (value >= b.back()) return NumPartitions(dim) - 1;
+  const auto it = std::upper_bound(b.begin(), b.end(), value);
+  return static_cast<uint32_t>(it - b.begin()) - 1;
+}
+
+BucketCoords AdaptiveGridFile::CellOf(const Record& r) const {
+  BucketCoords c(static_cast<uint32_t>(boundaries_.size()));
+  for (uint32_t i = 0; i < boundaries_.size(); ++i) {
+    c[i] = IndexOf(i, r[i]);
+  }
+  return c;
+}
+
+uint64_t AdaptiveGridFile::LinearizeCell(const BucketCoords& c) const {
+  uint64_t index = 0;
+  for (uint32_t i = 0; i < c.size(); ++i) {
+    index = index * NumPartitions(i) + c[i];
+  }
+  return index;
+}
+
+Result<RecordId> AdaptiveGridFile::Insert(Record record) {
+  if (record.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        "record has " + std::to_string(record.size()) + " values, schema has " +
+        std::to_string(schema_.num_attributes()) + " attributes");
+  }
+  for (double v : record) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("record values must be finite");
+    }
+  }
+  const RecordId id = records_.size();
+  records_.push_back(std::move(record));
+  const BucketCoords cell = CellOf(records_.back());
+  cells_[static_cast<size_t>(LinearizeCell(cell))].push_back(id);
+  // Split while the target cell (wherever the new record lands after each
+  // split) is over capacity and some dimension can still split.
+  BucketCoords current = cell;
+  while (cells_[static_cast<size_t>(LinearizeCell(current))].size() >
+         options_.bucket_capacity) {
+    if (!MaybeSplit(current)) break;
+    current = CellOf(records_[static_cast<size_t>(id)]);
+  }
+  return id;
+}
+
+bool AdaptiveGridFile::MaybeSplit(const BucketCoords& cell) {
+  const std::vector<RecordId>& contents =
+      cells_[static_cast<size_t>(LinearizeCell(cell))];
+  // Pick the splittable dimension where this cell's records spread widest
+  // (relative to the cell's extent), and a median boundary that actually
+  // separates records.
+  int best_dim = -1;
+  double best_boundary = 0;
+  double best_spread = -1;
+  for (uint32_t dim = 0; dim < boundaries_.size(); ++dim) {
+    if (NumPartitions(dim) >= options_.max_partitions_per_dim) continue;
+    std::vector<double> values;
+    values.reserve(contents.size());
+    for (RecordId id : contents) {
+      values.push_back(records_[static_cast<size_t>(id)][dim]);
+    }
+    std::sort(values.begin(), values.end());
+    const double lo = values.front();
+    const double hi = values.back();
+    if (!(hi > lo)) continue;  // All records identical on this dimension.
+    const double median = values[values.size() / 2];
+    // A boundary must strictly separate: use the median unless it equals
+    // the minimum (then use the midpoint of the value range).
+    double boundary = median;
+    if (!(boundary > lo)) boundary = (lo + hi) / 2;
+    if (!(boundary > lo) || !(boundary < hi) || !std::isfinite(boundary)) {
+      continue;
+    }
+    const double spread = hi - lo;
+    if (spread > best_spread) {
+      best_spread = spread;
+      best_dim = static_cast<int>(dim);
+      best_boundary = boundary;
+    }
+  }
+  if (best_dim < 0) return false;
+
+  std::vector<double>& b = boundaries_[static_cast<size_t>(best_dim)];
+  const auto it = std::upper_bound(b.begin(), b.end(), best_boundary);
+  // Reject degenerate duplicates (can happen with pathological values).
+  if (it != b.begin() && *(it - 1) == best_boundary) return false;
+  b.insert(it, best_boundary);
+  ++num_splits_;
+  Reindex();
+  return true;
+}
+
+void AdaptiveGridFile::Reindex() {
+  uint64_t total_cells = 1;
+  for (uint32_t i = 0; i < boundaries_.size(); ++i) {
+    total_cells *= NumPartitions(i);
+  }
+  cells_.assign(static_cast<size_t>(total_cells), {});
+  for (RecordId id = 0; id < records_.size(); ++id) {
+    const BucketCoords c = CellOf(records_[static_cast<size_t>(id)]);
+    cells_[static_cast<size_t>(LinearizeCell(c))].push_back(id);
+  }
+}
+
+const Record& AdaptiveGridFile::record(RecordId id) const {
+  GRIDDECL_CHECK(id < records_.size());
+  return records_[static_cast<size_t>(id)];
+}
+
+BucketCoords AdaptiveGridFile::BucketOfRecord(RecordId id) const {
+  return CellOf(record(id));
+}
+
+const std::vector<RecordId>& AdaptiveGridFile::BucketContents(
+    const BucketCoords& c) const {
+  return cells_[static_cast<size_t>(LinearizeCell(c))];
+}
+
+Result<RangeQuery> AdaptiveGridFile::ResolveRange(
+    const std::vector<double>& lo, const std::vector<double>& hi) const {
+  if (lo.size() != schema_.num_attributes() ||
+      hi.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument("range bounds must match the schema");
+  }
+  for (uint32_t i = 0; i < lo.size(); ++i) {
+    if (!(lo[i] <= hi[i])) {
+      return Status::InvalidArgument("range has lo > hi on attribute " +
+                                     std::to_string(i));
+    }
+  }
+  BucketCoords clo(static_cast<uint32_t>(lo.size()));
+  BucketCoords chi(static_cast<uint32_t>(lo.size()));
+  for (uint32_t i = 0; i < lo.size(); ++i) {
+    clo[i] = IndexOf(i, lo[i]);
+    chi[i] = IndexOf(i, hi[i]);
+  }
+  Result<GridSpec> g = grid();
+  if (!g.ok()) return g.status();
+  Result<BucketRect> rect = BucketRect::Create(clo, chi);
+  if (!rect.ok()) return rect.status();
+  return RangeQuery::Create(g.value(), std::move(rect).value());
+}
+
+Result<std::vector<RecordId>> AdaptiveGridFile::RangeSearch(
+    const std::vector<double>& lo, const std::vector<double>& hi) const {
+  Result<RangeQuery> query = ResolveRange(lo, hi);
+  if (!query.ok()) return query.status();
+  std::vector<RecordId> hits;
+  query.value().rect().ForEachBucket([&](const BucketCoords& c) {
+    for (RecordId id : BucketContents(c)) {
+      const Record& r = records_[static_cast<size_t>(id)];
+      bool match = true;
+      for (uint32_t i = 0; i < r.size() && match; ++i) {
+        match = lo[i] <= r[i] && r[i] <= hi[i];
+      }
+      if (match) hits.push_back(id);
+    }
+  });
+  std::sort(hits.begin(), hits.end());
+  return hits;
+}
+
+Result<GridFile> AdaptiveGridFile::Snapshot() const {
+  std::vector<DomainPartition> parts;
+  parts.reserve(boundaries_.size());
+  for (const std::vector<double>& b : boundaries_) {
+    Result<DomainPartition> p = DomainPartition::FromBoundaries(b);
+    if (!p.ok()) return p.status();
+    parts.push_back(std::move(p).value());
+  }
+  Result<SpacePartitioner> sp = SpacePartitioner::Create(std::move(parts));
+  if (!sp.ok()) return sp.status();
+  Result<GridFile> file =
+      GridFile::CreateWithPartitioner(schema_, std::move(sp).value());
+  if (!file.ok()) return file.status();
+  for (const Record& r : records_) {
+    Result<RecordId> id = file.value().Insert(r);
+    if (!id.ok()) return id.status();
+  }
+  return file;
+}
+
+double AdaptiveGridFile::MaxLoadFactor() const {
+  size_t max_size = 0;
+  for (const auto& cell : cells_) max_size = std::max(max_size, cell.size());
+  return static_cast<double>(max_size) /
+         static_cast<double>(options_.bucket_capacity);
+}
+
+}  // namespace griddecl

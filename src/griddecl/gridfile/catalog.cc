@@ -1,0 +1,81 @@
+#include "griddecl/gridfile/catalog.h"
+
+namespace griddecl {
+
+Catalog::Catalog(uint32_t num_disks) : num_disks_(num_disks) {
+  GRIDDECL_CHECK(num_disks >= 1);
+}
+
+Status Catalog::AddRelation(const std::string& name, DeclusteredFile file) {
+  if (name.empty()) {
+    return Status::InvalidArgument("relation name must be non-empty");
+  }
+  if (file.num_disks() != num_disks_) {
+    return Status::InvalidArgument(
+        "relation '" + name + "' declusters over " +
+        std::to_string(file.num_disks()) + " disks; the array has " +
+        std::to_string(num_disks_));
+  }
+  if (relations_.count(name) > 0) {
+    return Status::InvalidArgument("relation '" + name +
+                                   "' already registered");
+  }
+  relations_.emplace(name, std::move(file));
+  return Status::Ok();
+}
+
+Status Catalog::DropRelation(const std::string& name) {
+  if (relations_.erase(name) == 0) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  return Status::Ok();
+}
+
+const DeclusteredFile* Catalog::Find(const std::string& name) const {
+  const auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+DeclusteredFile* Catalog::Find(const std::string& name) {
+  const auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Catalog::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, file] : relations_) names.push_back(name);
+  return names;  // std::map iteration is already sorted.
+}
+
+Result<QueryExecution> Catalog::ExecuteRange(
+    const std::string& name, const std::vector<double>& lo,
+    const std::vector<double>& hi) const {
+  const DeclusteredFile* file = Find(name);
+  if (file == nullptr) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  return file->ExecuteRange(lo, hi);
+}
+
+std::vector<uint64_t> Catalog::RecordsPerDisk() const {
+  std::vector<uint64_t> totals(num_disks_, 0);
+  for (const auto& [name, file] : relations_) {
+    const std::vector<uint64_t> per_disk = file.RecordsPerDisk();
+    for (uint32_t d = 0; d < num_disks_; ++d) totals[d] += per_disk[d];
+  }
+  return totals;
+}
+
+std::vector<Catalog::RelationInfo> Catalog::Describe() const {
+  std::vector<RelationInfo> out;
+  out.reserve(relations_.size());
+  for (const auto& [name, file] : relations_) {
+    out.push_back({name, file.method().name(),
+                   file.file().grid().ToString(),
+                   file.file().num_records()});
+  }
+  return out;
+}
+
+}  // namespace griddecl

@@ -1,0 +1,62 @@
+#include "griddecl/gridfile/replicated_file.h"
+
+#include "griddecl/methods/registry.h"
+
+namespace griddecl {
+
+Result<ReplicatedFile> ReplicatedFile::Create(GridFile file,
+                                              const std::string& base_method,
+                                              uint32_t num_disks,
+                                              uint32_t num_replicas,
+                                              uint32_t offset,
+                                              DiskParams params) {
+  Result<std::unique_ptr<DeclusteringMethod>> base =
+      CreateMethod(base_method, file.grid(), num_disks);
+  if (!base.ok()) return base.status();
+  Result<ReplicatedPlacement> placement = ReplicatedPlacement::Create(
+      std::move(base).value(), num_replicas, offset);
+  if (!placement.ok()) return placement.status();
+  return ReplicatedFile(std::move(file), std::move(placement).value(),
+                        params);
+}
+
+Result<ReplicatedQueryExecution> ReplicatedFile::ExecuteRange(
+    const std::vector<double>& lo, const std::vector<double>& hi,
+    const std::vector<bool>* failed_disks) const {
+  Result<RangeQuery> query = file_.ResolveRange(lo, hi);
+  if (!query.ok()) return query.status();
+  Result<std::vector<RecordId>> matches = file_.RangeSearch(lo, hi);
+  if (!matches.ok()) return matches.status();
+  Result<RoutedQuery> routed =
+      RouteQuery(placement_, query.value(), failed_disks);
+  if (!routed.ok()) return routed.status();
+
+  ReplicatedQueryExecution exec;
+  exec.matches = std::move(matches).value();
+  exec.buckets_touched = query.value().NumBuckets();
+  exec.response_units = routed.value().response;
+  exec.lower_bound_units = routed.value().lower_bound;
+
+  // Timed simulation follows the router's per-bucket disk choice.
+  std::vector<std::vector<uint64_t>> schedule(placement_.num_disks());
+  size_t index = 0;
+  const GridSpec& grid = file_.grid();
+  query.value().rect().ForEachBucket([&](const BucketCoords& c) {
+    schedule[routed.value().assignment[index++]].push_back(
+        grid.Linearize(c));
+  });
+  exec.io = sim_.RunSchedule(schedule);
+  return exec;
+}
+
+std::vector<uint64_t> ReplicatedFile::RecordsPerDisk() const {
+  std::vector<uint64_t> counts(placement_.num_disks(), 0);
+  for (RecordId id = 0; id < file_.num_records(); ++id) {
+    for (uint32_t d : placement_.DisksOf(file_.BucketOfRecord(id))) {
+      ++counts[d];
+    }
+  }
+  return counts;
+}
+
+}  // namespace griddecl

@@ -1,0 +1,221 @@
+#include "griddecl/gridfile/storage.h"
+
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "griddecl/common/math_util.h"
+
+namespace griddecl {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'D', 'C', 'L'};
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kPageHeaderBytes = 4;
+constexpr uint32_t kMaxAttrNameLen = 4096;
+
+void WriteU32(std::ostream& os, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  os.write(buf, 4);
+}
+
+void WriteU64(std::ostream& os, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  os.write(buf, 8);
+}
+
+void WriteF64(std::ostream& os, double v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  os.write(buf, 8);
+}
+
+bool ReadU32(std::istream& is, uint32_t* v) {
+  char buf[4];
+  if (!is.read(buf, 4)) return false;
+  std::memcpy(v, buf, 4);
+  return true;
+}
+
+bool ReadU64(std::istream& is, uint64_t* v) {
+  char buf[8];
+  if (!is.read(buf, 8)) return false;
+  std::memcpy(v, buf, 8);
+  return true;
+}
+
+bool ReadF64(std::istream& is, double* v) {
+  char buf[8];
+  if (!is.read(buf, 8)) return false;
+  std::memcpy(v, buf, 8);
+  return true;
+}
+
+uint32_t RecordBytes(uint32_t num_attrs) { return 8 * num_attrs; }
+
+/// Records that fit in one page after the count header.
+uint32_t PageCapacity(uint32_t page_size, uint32_t num_attrs) {
+  if (page_size <= kPageHeaderBytes) return 0;
+  return (page_size - kPageHeaderBytes) / RecordBytes(num_attrs);
+}
+
+}  // namespace
+
+Status SaveGridFile(const GridFile& file, std::ostream& os,
+                    uint32_t page_size_bytes) {
+  const uint32_t k = file.schema().num_attributes();
+  const uint32_t capacity = PageCapacity(page_size_bytes, k);
+  if (capacity == 0) {
+    return Status::InvalidArgument(
+        "page size too small for one record of this schema");
+  }
+  os.write(kMagic, 4);
+  WriteU32(os, kVersion);
+  WriteU32(os, page_size_bytes);
+  WriteU32(os, k);
+  for (uint32_t i = 0; i < k; ++i) {
+    const AttributeDef& a = file.schema().attribute(i);
+    WriteU32(os, static_cast<uint32_t>(a.name.size()));
+    os.write(a.name.data(), static_cast<std::streamsize>(a.name.size()));
+    const std::vector<double>& b =
+        file.partitioner().dim(i).raw_boundaries();
+    WriteU32(os, static_cast<uint32_t>(b.size()));
+    for (double v : b) WriteF64(os, v);
+  }
+  WriteU64(os, file.num_records());
+
+  // Pages: records in id order, `capacity` per page, zero-padded.
+  const uint64_t n = file.num_records();
+  for (uint64_t first = 0; first < n; first += capacity) {
+    const uint32_t in_page =
+        static_cast<uint32_t>(std::min<uint64_t>(capacity, n - first));
+    WriteU32(os, in_page);
+    uint32_t written = kPageHeaderBytes;
+    for (uint32_t r = 0; r < in_page; ++r) {
+      const Record& rec = file.record(first + r);
+      for (double v : rec) WriteF64(os, v);
+      written += RecordBytes(k);
+    }
+    for (; written < page_size_bytes; ++written) os.put('\0');
+  }
+  if (!os.good()) return Status::Internal("stream write failed");
+  return Status::Ok();
+}
+
+Result<GridFile> LoadGridFile(std::istream& is) {
+  char magic[4];
+  if (!is.read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument("bad magic: not a griddecl file");
+  }
+  uint32_t version = 0;
+  uint32_t page_size = 0;
+  uint32_t k = 0;
+  if (!ReadU32(is, &version) || !ReadU32(is, &page_size) || !ReadU32(is, &k)) {
+    return Status::InvalidArgument("truncated header");
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported version " +
+                                   std::to_string(version));
+  }
+  if (k < 1 || k > kMaxDims) {
+    return Status::InvalidArgument("attribute count out of range");
+  }
+  const uint32_t capacity = PageCapacity(page_size, k);
+  if (capacity == 0) {
+    return Status::InvalidArgument("page size inconsistent with schema");
+  }
+
+  std::vector<AttributeDef> attrs;
+  std::vector<DomainPartition> parts;
+  for (uint32_t i = 0; i < k; ++i) {
+    uint32_t name_len = 0;
+    if (!ReadU32(is, &name_len) || name_len == 0 ||
+        name_len > kMaxAttrNameLen) {
+      return Status::InvalidArgument("bad attribute name length");
+    }
+    std::string name(name_len, '\0');
+    if (!is.read(name.data(), name_len)) {
+      return Status::InvalidArgument("truncated attribute name");
+    }
+    uint32_t num_boundaries = 0;
+    if (!ReadU32(is, &num_boundaries) || num_boundaries < 2 ||
+        num_boundaries > (uint32_t{1} << 24)) {
+      return Status::InvalidArgument("bad boundary count");
+    }
+    std::vector<double> boundaries(num_boundaries);
+    for (double& v : boundaries) {
+      if (!ReadF64(is, &v)) {
+        return Status::InvalidArgument("truncated boundaries");
+      }
+    }
+    attrs.push_back(
+        {std::move(name), boundaries.front(), boundaries.back()});
+    Result<DomainPartition> p =
+        DomainPartition::FromBoundaries(std::move(boundaries));
+    if (!p.ok()) return p.status();
+    parts.push_back(std::move(p).value());
+  }
+  Result<Schema> schema = Schema::Create(std::move(attrs));
+  if (!schema.ok()) return schema.status();
+  Result<SpacePartitioner> sp = SpacePartitioner::Create(std::move(parts));
+  if (!sp.ok()) return sp.status();
+  Result<GridFile> file = GridFile::CreateWithPartitioner(
+      std::move(schema).value(), std::move(sp).value());
+  if (!file.ok()) return file.status();
+
+  uint64_t num_records = 0;
+  if (!ReadU64(is, &num_records)) {
+    return Status::InvalidArgument("truncated record count");
+  }
+  uint64_t remaining = num_records;
+  while (remaining > 0) {
+    uint32_t in_page = 0;
+    if (!ReadU32(is, &in_page) || in_page == 0 || in_page > capacity ||
+        in_page > remaining) {
+      return Status::InvalidArgument("bad page header");
+    }
+    for (uint32_t r = 0; r < in_page; ++r) {
+      Record rec(k);
+      for (double& v : rec) {
+        if (!ReadF64(is, &v)) {
+          return Status::InvalidArgument("truncated record data");
+        }
+      }
+      Result<RecordId> id = file.value().Insert(std::move(rec));
+      if (!id.ok()) return id.status();
+    }
+    // Skip page padding; a well-formed file always carries the full page.
+    const uint32_t used = kPageHeaderBytes + in_page * RecordBytes(k);
+    if (used > page_size) return Status::InvalidArgument("page overflow");
+    is.ignore(page_size - used);
+    if (static_cast<uint32_t>(is.gcount()) != page_size - used) {
+      return Status::InvalidArgument("truncated page padding");
+    }
+    remaining -= in_page;
+  }
+  return file;
+}
+
+Result<std::vector<uint64_t>> PagesPerBucket(const GridFile& file,
+                                             uint32_t page_size_bytes) {
+  const uint32_t capacity =
+      PageCapacity(page_size_bytes, file.schema().num_attributes());
+  if (capacity == 0) {
+    return Status::InvalidArgument(
+        "page size too small for one record of this schema");
+  }
+  const GridSpec& grid = file.grid();
+  std::vector<uint64_t> pages(static_cast<size_t>(grid.num_buckets()), 0);
+  grid.ForEachBucket([&](const BucketCoords& c) {
+    const uint64_t records = file.BucketContents(c).size();
+    pages[static_cast<size_t>(grid.Linearize(c))] =
+        records == 0 ? 0 : CeilDiv(records, capacity);
+  });
+  return pages;
+}
+
+}  // namespace griddecl

@@ -1,0 +1,36 @@
+#include "griddecl/methods/dm.h"
+
+namespace griddecl {
+
+Result<std::unique_ptr<DeclusteringMethod>> GdmMethod::Create(
+    GridSpec grid, uint32_t num_disks, std::vector<uint32_t> coefficients) {
+  GRIDDECL_RETURN_IF_ERROR(ValidateMethodArgs(grid, num_disks));
+  if (coefficients.size() != grid.num_dims()) {
+    return Status::InvalidArgument(
+        "GDM needs one coefficient per dimension: got " +
+        std::to_string(coefficients.size()) + " for a " + grid.ToString() +
+        " grid");
+  }
+  bool all_ones = true;
+  for (uint32_t a : coefficients) all_ones = all_ones && (a == 1);
+  std::string name = all_ones ? "DM/CMD" : "GDM";
+  return std::unique_ptr<DeclusteringMethod>(new GdmMethod(
+      std::move(grid), num_disks, std::move(coefficients), std::move(name)));
+}
+
+Result<std::unique_ptr<DeclusteringMethod>> GdmMethod::Dm(GridSpec grid,
+                                                          uint32_t num_disks) {
+  std::vector<uint32_t> ones(grid.num_dims(), 1);
+  return Create(std::move(grid), num_disks, std::move(ones));
+}
+
+uint32_t GdmMethod::DiskOf(const BucketCoords& c) const {
+  GRIDDECL_CHECK(grid_.Contains(c));
+  uint64_t sum = 0;
+  for (uint32_t i = 0; i < c.size(); ++i) {
+    sum += static_cast<uint64_t>(coefficients_[i]) * c[i];
+  }
+  return static_cast<uint32_t>(sum % num_disks_);
+}
+
+}  // namespace griddecl

@@ -1,0 +1,98 @@
+#include "griddecl/methods/ecc.h"
+
+#include "griddecl/coding/parity_check.h"
+#include "griddecl/common/bit_util.h"
+
+namespace griddecl {
+
+namespace {
+
+Status CheckEccApplicable(const GridSpec& grid, uint32_t num_disks) {
+  if (!IsPowerOfTwo(num_disks)) {
+    return Status::Unsupported(
+        "ECC requires the number of disks to be a power of 2, got " +
+        std::to_string(num_disks));
+  }
+  for (uint32_t i = 0; i < grid.num_dims(); ++i) {
+    if (!IsPowerOfTwo(grid.dim(i))) {
+      return Status::Unsupported(
+          "ECC requires every partition count to be a power of 2; dimension " +
+          std::to_string(i) + " has " + std::to_string(grid.dim(i)));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DeclusteringMethod>> EccMethod::Create(
+    GridSpec grid, uint32_t num_disks) {
+  GRIDDECL_RETURN_IF_ERROR(ValidateMethodArgs(grid, num_disks));
+  GRIDDECL_RETURN_IF_ERROR(CheckEccApplicable(grid, num_disks));
+  uint32_t total_bits = 0;
+  std::vector<uint32_t> widths(grid.num_dims(), 0);
+  for (uint32_t i = 0; i < grid.num_dims(); ++i) {
+    widths[i] = static_cast<uint32_t>(FloorLog2(grid.dim(i)));
+    total_bits += widths[i];
+  }
+  const uint32_t parity_bits =
+      num_disks == 1 ? 0 : static_cast<uint32_t>(FloorLog2(num_disks));
+  if (parity_bits == 0 || total_bits == 0) {
+    // Degenerate: one disk, or a 1-bucket grid. Identity-zero matrix of
+    // minimal shape keeps DiskOf trivially 0 via the modulo below.
+    BitMatrix h(1, 1);
+    return CreateWithMatrix(std::move(grid), num_disks, std::move(h));
+  }
+  Result<BitMatrix> h = BuildDeclusteringParityCheck(parity_bits, widths);
+  if (!h.ok()) return h.status();
+  return CreateWithMatrix(std::move(grid), num_disks, std::move(h).value());
+}
+
+Result<std::unique_ptr<DeclusteringMethod>> EccMethod::CreateWithMatrix(
+    GridSpec grid, uint32_t num_disks, BitMatrix h) {
+  GRIDDECL_RETURN_IF_ERROR(ValidateMethodArgs(grid, num_disks));
+  GRIDDECL_RETURN_IF_ERROR(CheckEccApplicable(grid, num_disks));
+  std::vector<uint32_t> offsets(grid.num_dims(), 0);
+  std::vector<uint32_t> widths(grid.num_dims(), 0);
+  uint32_t total_bits = 0;
+  for (uint32_t i = 0; i < grid.num_dims(); ++i) {
+    offsets[i] = total_bits;
+    widths[i] = static_cast<uint32_t>(FloorLog2(grid.dim(i)));
+    total_bits += widths[i];
+  }
+  const uint32_t parity_bits =
+      num_disks == 1 ? 0 : static_cast<uint32_t>(FloorLog2(num_disks));
+  const bool degenerate = parity_bits == 0 || total_bits == 0;
+  if (!degenerate &&
+      (h.rows() != parity_bits || h.cols() != total_bits)) {
+    return Status::InvalidArgument(
+        "parity-check matrix must be " + std::to_string(parity_bits) + "x" +
+        std::to_string(total_bits) + ", got " + std::to_string(h.rows()) +
+        "x" + std::to_string(h.cols()));
+  }
+  return std::unique_ptr<DeclusteringMethod>(
+      new EccMethod(std::move(grid), num_disks, std::move(h),
+                    std::move(offsets), std::move(widths)));
+}
+
+uint32_t EccMethod::DiskOf(const BucketCoords& c) const {
+  GRIDDECL_CHECK(grid_.Contains(c));
+  if (num_disks_ == 1) return 0;
+  const uint32_t total_bits = h_.cols();
+  // Degenerate 1-bucket grid (no information bits): everything on disk 0.
+  bool any_width = false;
+  for (uint32_t w : widths_) any_width = any_width || (w > 0);
+  if (!any_width) return 0;
+
+  BitVector v(total_bits);
+  for (uint32_t i = 0; i < c.size(); ++i) {
+    for (uint32_t b = 0; b < widths_[i]; ++b) {
+      if ((c[i] >> b) & 1) v.Set(bit_offsets_[i] + b, true);
+    }
+  }
+  const uint64_t syndrome = SyndromeOf(h_, v);
+  // Syndrome is already < 2^parity_bits = M for a correctly shaped matrix.
+  return static_cast<uint32_t>(syndrome % num_disks_);
+}
+
+}  // namespace griddecl

@@ -1,0 +1,64 @@
+#ifndef GRIDDECL_METHODS_ECC_H_
+#define GRIDDECL_METHODS_ECC_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "griddecl/coding/gf2.h"
+#include "griddecl/methods/method.h"
+
+/// \file
+/// Error-Correcting-Code declustering (Faloutsos & Metaxas, IEEE ToC 1991).
+///
+/// Applicable when M = 2^c and every partition count d_i = 2^{m_i}. The
+/// concatenated binary coordinates of a bucket form an n-bit vector
+/// (n = sum m_i); a `c x n` parity-check matrix `H` of a (shortened) Hamming
+/// code partitions the 2^n buckets into 2^c cosets — one per disk:
+///
+///   disk(b) = integer value of the syndrome H * bits(b)
+///
+/// Disk 0 receives the code itself, exactly as in the original formulation.
+/// Because the code has minimum distance >= 3 (when n <= 2^c - 1 columns
+/// remain distinct), buckets whose coordinate bits differ in one or two
+/// positions are guaranteed to live on different disks, which is what gives
+/// ECC its strong behaviour on small range queries.
+
+namespace griddecl {
+
+/// ECC declustering method.
+class EccMethod final : public DeclusteringMethod {
+ public:
+  /// Validated factory. Returns kUnsupported unless M is a power of two and
+  /// every grid dimension is a power of two.
+  static Result<std::unique_ptr<DeclusteringMethod>> Create(
+      GridSpec grid, uint32_t num_disks);
+
+  /// As `Create` but with a caller-supplied parity-check matrix; `h` must
+  /// have ceil(log2 M) rows and sum_i log2(d_i) columns (>= 1).
+  static Result<std::unique_ptr<DeclusteringMethod>> CreateWithMatrix(
+      GridSpec grid, uint32_t num_disks, BitMatrix h);
+
+  uint32_t DiskOf(const BucketCoords& c) const override;
+
+  /// The parity-check matrix in use.
+  const BitMatrix& parity_check() const { return h_; }
+
+ private:
+  EccMethod(GridSpec grid, uint32_t num_disks, BitMatrix h,
+            std::vector<uint32_t> bit_offsets, std::vector<uint32_t> widths)
+      : DeclusteringMethod(std::move(grid), num_disks, "ECC"),
+        h_(std::move(h)),
+        bit_offsets_(std::move(bit_offsets)),
+        widths_(std::move(widths)) {}
+
+  BitMatrix h_;
+  /// Bit position where dimension i's bits start in the concatenated vector.
+  std::vector<uint32_t> bit_offsets_;
+  /// log2(d_i) per dimension.
+  std::vector<uint32_t> widths_;
+};
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_METHODS_ECC_H_

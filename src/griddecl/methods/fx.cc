@@ -1,0 +1,74 @@
+#include "griddecl/methods/fx.h"
+
+#include <algorithm>
+
+#include "griddecl/common/bit_util.h"
+
+namespace griddecl {
+
+namespace {
+
+// Folds the low `width` bits of `x` into a `target`-bit word: bit j of `x`
+// lands on (XORs into) bit (j + phase) mod target of the result. With
+// phase 0 and width <= target this is plain zero-extension; staggered
+// phases place narrow fields into disjoint bit ranges.
+uint64_t FoldBits(uint64_t x, uint32_t width, uint32_t phase,
+                  uint32_t target) {
+  uint64_t out = 0;
+  for (uint32_t j = 0; j < width; ++j) {
+    out ^= ((x >> j) & 1) << ((j + phase) % target);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DeclusteringMethod>> FxMethod::Create(
+    GridSpec grid, uint32_t num_disks) {
+  GRIDDECL_RETURN_IF_ERROR(ValidateMethodArgs(grid, num_disks));
+  return std::unique_ptr<DeclusteringMethod>(
+      new FxMethod(std::move(grid), num_disks, /*extended=*/false,
+                   /*target_width=*/0));
+}
+
+Result<std::unique_ptr<DeclusteringMethod>> FxMethod::CreateExtended(
+    GridSpec grid, uint32_t num_disks) {
+  GRIDDECL_RETURN_IF_ERROR(ValidateMethodArgs(grid, num_disks));
+  uint32_t width = CeilLog2(num_disks);
+  for (uint32_t i = 0; i < grid.num_dims(); ++i) {
+    width = std::max(width,
+                     static_cast<uint32_t>(BitWidthForDomain(grid.dim(i))));
+  }
+  width = std::max(width, 1u);
+  return std::unique_ptr<DeclusteringMethod>(
+      new FxMethod(std::move(grid), num_disks, /*extended=*/true, width));
+}
+
+Result<std::unique_ptr<DeclusteringMethod>> FxMethod::CreateAuto(
+    GridSpec grid, uint32_t num_disks) {
+  bool any_small = false;
+  for (uint32_t i = 0; i < grid.num_dims(); ++i) {
+    any_small = any_small || (grid.dim(i) < num_disks);
+  }
+  return any_small ? CreateExtended(std::move(grid), num_disks)
+                   : Create(std::move(grid), num_disks);
+}
+
+uint32_t FxMethod::DiskOf(const BucketCoords& c) const {
+  GRIDDECL_CHECK(grid_.Contains(c));
+  uint64_t acc = 0;
+  if (!extended_) {
+    for (uint32_t i = 0; i < c.size(); ++i) acc ^= c[i];
+  } else {
+    uint32_t phase = 0;
+    for (uint32_t i = 0; i < c.size(); ++i) {
+      const uint32_t width =
+          static_cast<uint32_t>(BitWidthForDomain(grid_.dim(i)));
+      acc ^= FoldBits(c[i], width, phase, target_width_);
+      phase += width;
+    }
+  }
+  return static_cast<uint32_t>(acc % num_disks_);
+}
+
+}  // namespace griddecl

@@ -1,0 +1,82 @@
+#include "griddecl/methods/hcam.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "griddecl/common/bit_util.h"
+#include "griddecl/curve/hilbert.h"
+#include "griddecl/curve/morton.h"
+
+namespace griddecl {
+
+Result<std::unique_ptr<DeclusteringMethod>> CurveAllocMethod::Create(
+    GridSpec grid, uint32_t num_disks, CurveKind kind) {
+  GRIDDECL_RETURN_IF_ERROR(ValidateMethodArgs(grid, num_disks));
+  if (num_disks > 65535) {
+    return Status::Unsupported("curve allocation supports at most 65535 disks");
+  }
+  if (grid.num_buckets() > kMaxBuckets) {
+    return Status::Unsupported(
+        "grid too large for curve allocation (num_buckets > 2^26)");
+  }
+  uint32_t max_side = 1;
+  for (uint32_t i = 0; i < grid.num_dims(); ++i) {
+    max_side = std::max(max_side, grid.dim(i));
+  }
+  const uint32_t order =
+      std::max<uint32_t>(1, static_cast<uint32_t>(CeilLog2(max_side)));
+  if (static_cast<uint64_t>(grid.num_dims()) * order > 64) {
+    return Status::Unsupported(
+        "grid sides too large: curve index exceeds 64 bits");
+  }
+
+  // Curve index of every bucket of the actual (possibly non-cubic) grid,
+  // evaluated inside the enclosing 2^order cube.
+  const uint64_t n = grid.num_buckets();
+  std::vector<uint64_t> curve_index(static_cast<size_t>(n));
+  if (kind == CurveKind::kHilbert) {
+    Result<HilbertCurve> curve = HilbertCurve::Create(grid.num_dims(), order);
+    if (!curve.ok()) return curve.status();
+    uint64_t linear = 0;
+    grid.ForEachBucket([&](const BucketCoords& c) {
+      curve_index[static_cast<size_t>(linear++)] = curve.value().Index(c);
+    });
+  } else {
+    Result<MortonCurve> curve = MortonCurve::Create(grid.num_dims(), order);
+    if (!curve.ok()) return curve.status();
+    uint64_t linear = 0;
+    grid.ForEachBucket([&](const BucketCoords& c) {
+      curve_index[static_cast<size_t>(linear++)] = curve.value().Index(c);
+    });
+  }
+
+  // Rank buckets by curve position; round robin disks along the curve.
+  std::vector<uint32_t> order_of(static_cast<size_t>(n));
+  std::iota(order_of.begin(), order_of.end(), 0u);
+  std::sort(order_of.begin(), order_of.end(),
+            [&](uint32_t a, uint32_t b) {
+              return curve_index[a] < curve_index[b];
+            });
+  std::vector<uint16_t> disks(static_cast<size_t>(n));
+  std::vector<uint32_t> ranks(static_cast<size_t>(n));
+  for (uint64_t rank = 0; rank < n; ++rank) {
+    const uint32_t linear = order_of[static_cast<size_t>(rank)];
+    disks[linear] = static_cast<uint16_t>(rank % num_disks);
+    ranks[linear] = static_cast<uint32_t>(rank);
+  }
+  return std::unique_ptr<DeclusteringMethod>(
+      new CurveAllocMethod(std::move(grid), num_disks, kind, std::move(disks),
+                           std::move(ranks)));
+}
+
+uint32_t CurveAllocMethod::DiskOf(const BucketCoords& c) const {
+  const uint64_t linear = grid_.Linearize(c);
+  return disk_of_bucket_[static_cast<size_t>(linear)];
+}
+
+uint64_t CurveAllocMethod::CurveRank(const BucketCoords& c) const {
+  const uint64_t linear = grid_.Linearize(c);
+  return rank_of_bucket_[static_cast<size_t>(linear)];
+}
+
+}  // namespace griddecl

@@ -1,0 +1,76 @@
+#ifndef GRIDDECL_METHODS_HCAM_H_
+#define GRIDDECL_METHODS_HCAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "griddecl/methods/method.h"
+
+/// \file
+/// Hilbert Curve Allocation Method (Faloutsos & Bhagwat, PDIS 1993) and its
+/// Z-order ablation.
+///
+/// HCAM linearizes the grid with a k-dimensional Hilbert curve and assigns
+/// disks round robin along the curve:
+///
+///   disk(b) = rank_of_b_in_Hilbert_order mod M
+///
+/// For grids whose every side is the same power of two this equals
+/// `H(b) mod M` (the formulation in the papers); for other shapes the grid
+/// is embedded in the enclosing power-of-two cube, buckets are sorted by
+/// their curve index, and ranks are taken within the actual grid — this
+/// preserves both the round-robin load balance and the curve ordering, and
+/// imposes no restriction on M or the d_i (HCAM's selling point in the
+/// ICDE'94 comparison, Table 1).
+///
+/// `CurveKind::kZOrder` swaps the Hilbert curve for plain bit interleaving;
+/// the A1 ablation benchmark uses it to isolate the contribution of the
+/// Hilbert curve's clustering quality.
+
+namespace griddecl {
+
+/// Which space-filling curve drives the allocation.
+enum class CurveKind {
+  kHilbert,
+  kZOrder,
+};
+
+/// Curve-based round-robin declustering (HCAM / ZCAM).
+class CurveAllocMethod final : public DeclusteringMethod {
+ public:
+  /// Hard cap on grid size: the method materializes one 16-bit entry per
+  /// bucket (plus transient 16 bytes per bucket while sorting).
+  static constexpr uint64_t kMaxBuckets = uint64_t{1} << 26;
+
+  /// Validated factory. Requires num_buckets <= kMaxBuckets,
+  /// num_disks <= 65535, and k * ceil(log2(max side)) <= 64.
+  static Result<std::unique_ptr<DeclusteringMethod>> Create(
+      GridSpec grid, uint32_t num_disks, CurveKind kind = CurveKind::kHilbert);
+
+  uint32_t DiskOf(const BucketCoords& c) const override;
+
+  CurveKind kind() const { return kind_; }
+
+  /// Rank of the bucket along the curve (0-based within the actual grid).
+  uint64_t CurveRank(const BucketCoords& c) const;
+
+ private:
+  CurveAllocMethod(GridSpec grid, uint32_t num_disks, CurveKind kind,
+                   std::vector<uint16_t> disk_of_bucket,
+                   std::vector<uint32_t> rank_of_bucket)
+      : DeclusteringMethod(std::move(grid), num_disks,
+                           kind == CurveKind::kHilbert ? "HCAM" : "ZCAM"),
+        kind_(kind),
+        disk_of_bucket_(std::move(disk_of_bucket)),
+        rank_of_bucket_(std::move(rank_of_bucket)) {}
+
+  CurveKind kind_;
+  /// Indexed by the grid's row-major linearization.
+  std::vector<uint16_t> disk_of_bucket_;
+  std::vector<uint32_t> rank_of_bucket_;
+};
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_METHODS_HCAM_H_

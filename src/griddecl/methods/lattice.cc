@@ -1,0 +1,120 @@
+#include "griddecl/methods/lattice.h"
+
+#include <algorithm>
+
+#include "griddecl/common/math_util.h"
+#include "griddecl/eval/analytic.h"
+#include "griddecl/methods/dm.h"
+
+namespace griddecl {
+
+namespace {
+
+/// The probe family: every shape with extents in [1, min(M, d_i)] and
+/// volume <= 2M, excluding the trivial single bucket.
+std::vector<std::vector<uint32_t>> ProbeShapes(const GridSpec& grid,
+                                               uint32_t m) {
+  std::vector<std::vector<uint32_t>> shapes;
+  const uint32_t k = grid.num_dims();
+  std::vector<uint32_t> shape(k, 1);
+  for (;;) {
+    uint64_t volume = 1;
+    for (uint32_t e : shape) volume *= e;
+    if (volume > 1 && volume <= uint64_t{2} * m) shapes.push_back(shape);
+    // Odometer.
+    uint32_t dim = k;
+    for (;;) {
+      if (dim == 0) return shapes;
+      --dim;
+      const uint32_t limit = std::min(m, grid.dim(dim));
+      if (++shape[dim] <= limit) break;
+      shape[dim] = 1;
+    }
+  }
+}
+
+}  // namespace
+
+Result<double> ScoreGdmCoefficients(
+    const GridSpec& grid, uint32_t num_disks,
+    const std::vector<uint32_t>& coefficients) {
+  if (num_disks < 1) {
+    return Status::InvalidArgument("number of disks must be >= 1");
+  }
+  if (coefficients.size() != grid.num_dims()) {
+    return Status::InvalidArgument("need one coefficient per dimension");
+  }
+  const std::vector<std::vector<uint32_t>> shapes =
+      ProbeShapes(grid, num_disks);
+  if (shapes.empty()) return 1.0;  // 1-bucket grid or M == 1.
+  double total_ratio = 0;
+  for (const std::vector<uint32_t>& shape : shapes) {
+    // GDM response time is translation invariant: use the origin-anchored
+    // rectangle as the representative of every placement.
+    BucketCoords lo(grid.num_dims());
+    BucketCoords hi(grid.num_dims());
+    uint64_t volume = 1;
+    for (uint32_t i = 0; i < grid.num_dims(); ++i) {
+      hi[i] = shape[i] - 1;
+      volume *= shape[i];
+    }
+    Result<BucketRect> rect = BucketRect::Create(lo, hi);
+    GRIDDECL_CHECK(rect.ok());
+    Result<std::vector<uint64_t>> counts =
+        AnalyticGdmCounts(coefficients, rect.value(), num_disks);
+    if (!counts.ok()) return counts.status();
+    const uint64_t rt = MaxCount(counts.value());
+    total_ratio += static_cast<double>(rt) /
+                   static_cast<double>(CeilDiv(volume, num_disks));
+  }
+  return total_ratio / static_cast<double>(shapes.size());
+}
+
+Result<std::vector<uint32_t>> SearchGdmCoefficients(const GridSpec& grid,
+                                                    uint32_t num_disks) {
+  if (num_disks < 1) {
+    return Status::InvalidArgument("number of disks must be >= 1");
+  }
+  const uint32_t k = grid.num_dims();
+  std::vector<uint32_t> best(k, 1);
+  Result<double> base = ScoreGdmCoefficients(grid, num_disks, best);
+  if (!base.ok()) return base.status();
+  double best_score = base.value();
+  if (num_disks == 1 || k == 1) return best;
+
+  // Coordinate descent: coefficient 0 pinned to 1; sweep the others over
+  // Z_M repeatedly until no single-coefficient change improves the score.
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (uint32_t dim = 1; dim < k; ++dim) {
+      uint32_t best_value = best[dim];
+      for (uint32_t a = 1; a < num_disks; ++a) {
+        if (a == best[dim]) continue;
+        std::vector<uint32_t> candidate = best;
+        candidate[dim] = a;
+        Result<double> score =
+            ScoreGdmCoefficients(grid, num_disks, candidate);
+        if (!score.ok()) return score.status();
+        if (score.value() + 1e-12 < best_score) {
+          best_score = score.value();
+          best_value = a;
+          improved = true;
+        }
+      }
+      best[dim] = best_value;
+    }
+  }
+  return best;
+}
+
+Result<std::unique_ptr<DeclusteringMethod>> CreateSearchedGdm(
+    GridSpec grid, uint32_t num_disks) {
+  Result<std::vector<uint32_t>> coeffs =
+      SearchGdmCoefficients(grid, num_disks);
+  if (!coeffs.ok()) return coeffs.status();
+  return GdmMethod::Create(std::move(grid), num_disks,
+                           std::move(coeffs).value());
+}
+
+}  // namespace griddecl

@@ -1,0 +1,24 @@
+#include "griddecl/methods/method.h"
+
+namespace griddecl {
+
+std::vector<uint64_t> DeclusteringMethod::DiskLoadHistogram() const {
+  std::vector<uint64_t> loads(num_disks_, 0);
+  grid_.ForEachBucket([&](const BucketCoords& c) {
+    const uint32_t disk = DiskOf(c);
+    GRIDDECL_CHECK_MSG(disk < num_disks_, "method %s returned disk %u >= M=%u",
+                       name_.c_str(), disk, num_disks_);
+    ++loads[disk];
+  });
+  return loads;
+}
+
+Status ValidateMethodArgs(const GridSpec& grid, uint32_t num_disks) {
+  (void)grid;  // GridSpec is validated at construction.
+  if (num_disks < 1) {
+    return Status::InvalidArgument("number of disks must be >= 1");
+  }
+  return Status::Ok();
+}
+
+}  // namespace griddecl

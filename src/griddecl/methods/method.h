@@ -1,0 +1,65 @@
+#ifndef GRIDDECL_METHODS_METHOD_H_
+#define GRIDDECL_METHODS_METHOD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "griddecl/common/status.h"
+#include "griddecl/grid/bucket.h"
+#include "griddecl/grid/grid_spec.h"
+
+/// \file
+/// `DeclusteringMethod`: the central abstraction of the library. A method is
+/// a total function from bucket coordinates to a disk id in [0, M). The
+/// paper's entire evaluation compares implementations of this interface.
+
+namespace griddecl {
+
+/// Abstract declustering method: assigns every bucket of a grid to one of
+/// `M` disks. Implementations are immutable after construction and safe to
+/// share across threads for concurrent reads.
+class DeclusteringMethod {
+ public:
+  virtual ~DeclusteringMethod() = default;
+
+  DeclusteringMethod(const DeclusteringMethod&) = delete;
+  DeclusteringMethod& operator=(const DeclusteringMethod&) = delete;
+
+  /// Disk id of bucket `c`, in [0, num_disks()). `c` must lie in `grid()`.
+  virtual uint32_t DiskOf(const BucketCoords& c) const = 0;
+
+  /// The grid this method was instantiated for.
+  const GridSpec& grid() const { return grid_; }
+
+  /// Number of disks M.
+  uint32_t num_disks() const { return num_disks_; }
+
+  /// Human-readable name ("DM/CMD", "FX", "ECC", "HCAM", ...).
+  const std::string& name() const { return name_; }
+
+  /// Number of buckets assigned to each disk (size num_disks()). A good
+  /// method keeps these within one of each other (perfect load balance).
+  std::vector<uint64_t> DiskLoadHistogram() const;
+
+ protected:
+  DeclusteringMethod(GridSpec grid, uint32_t num_disks, std::string name)
+      : grid_(std::move(grid)),
+        num_disks_(num_disks),
+        name_(std::move(name)) {
+    GRIDDECL_CHECK(num_disks_ >= 1);
+  }
+
+  GridSpec grid_;
+  uint32_t num_disks_;
+  std::string name_;
+};
+
+/// Shared validation for method factories: k >= 1 grid already guaranteed by
+/// GridSpec; checks M >= 1.
+Status ValidateMethodArgs(const GridSpec& grid, uint32_t num_disks);
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_METHODS_METHOD_H_

@@ -1,0 +1,77 @@
+#include "griddecl/methods/registry.h"
+
+#include "griddecl/methods/dm.h"
+#include "griddecl/methods/ecc.h"
+#include "griddecl/methods/fx.h"
+#include "griddecl/methods/hcam.h"
+#include "griddecl/methods/lattice.h"
+#include "griddecl/methods/simple.h"
+
+namespace griddecl {
+
+Result<std::unique_ptr<DeclusteringMethod>> CreateMethod(
+    std::string_view name, const GridSpec& grid, uint32_t num_disks,
+    const MethodOptions& options) {
+  if (name == "dm" || name == "cmd") {
+    return GdmMethod::Dm(grid, num_disks);
+  }
+  if (name == "gdm") {
+    std::vector<uint32_t> coeffs = options.gdm_coefficients;
+    if (coeffs.empty()) coeffs.assign(grid.num_dims(), 1);
+    return GdmMethod::Create(grid, num_disks, std::move(coeffs));
+  }
+  if (name == "gdm-search") {
+    return CreateSearchedGdm(grid, num_disks);
+  }
+  if (name == "fx") {
+    return FxMethod::Create(grid, num_disks);
+  }
+  if (name == "exfx") {
+    return FxMethod::CreateExtended(grid, num_disks);
+  }
+  if (name == "fx-auto") {
+    return FxMethod::CreateAuto(grid, num_disks);
+  }
+  if (name == "ecc") {
+    return EccMethod::Create(grid, num_disks);
+  }
+  if (name == "hcam") {
+    return CurveAllocMethod::Create(grid, num_disks, CurveKind::kHilbert);
+  }
+  if (name == "zcam") {
+    return CurveAllocMethod::Create(grid, num_disks, CurveKind::kZOrder);
+  }
+  if (name == "linear") {
+    return LinearMethod::Create(grid, num_disks);
+  }
+  if (name == "random") {
+    return RandomMethod::Create(grid, num_disks, options.seed);
+  }
+  return Status::NotFound("unknown declustering method '" + std::string(name) +
+                          "'");
+}
+
+std::vector<std::string> AllMethodNames() {
+  return {"dm",   "cmd",  "gdm",  "gdm-search", "fx",     "exfx",
+          "fx-auto", "ecc", "hcam", "zcam",     "linear", "random"};
+}
+
+std::vector<std::unique_ptr<DeclusteringMethod>> CreatePaperMethods(
+    const GridSpec& grid, uint32_t num_disks) {
+  std::vector<std::unique_ptr<DeclusteringMethod>> methods;
+  for (const char* name : {"dm", "fx-auto", "ecc", "hcam"}) {
+    Result<std::unique_ptr<DeclusteringMethod>> m =
+        CreateMethod(name, grid, num_disks);
+    if (m.ok()) {
+      methods.push_back(std::move(m).value());
+    } else {
+      // ECC (and only ECC) may be inapplicable; anything else is a bug.
+      GRIDDECL_CHECK_MSG(m.status().code() == StatusCode::kUnsupported,
+                         "unexpected failure creating %s: %s", name,
+                         m.status().ToString().c_str());
+    }
+  }
+  return methods;
+}
+
+}  // namespace griddecl

@@ -1,0 +1,59 @@
+#ifndef GRIDDECL_METHODS_REGISTRY_H_
+#define GRIDDECL_METHODS_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "griddecl/methods/method.h"
+
+/// \file
+/// Name-based construction of declustering methods, and the standard method
+/// set the ICDE'94 evaluation compares. Parallel database systems "must
+/// support a number of declustering methods" (the paper's closing
+/// recommendation) — this registry is that support.
+
+namespace griddecl {
+
+/// Options consumed by some methods; ignored by the rest.
+struct MethodOptions {
+  /// Seed for the `random` baseline.
+  uint64_t seed = 0;
+  /// Coefficients for `gdm`; empty selects all-ones (plain DM).
+  std::vector<uint32_t> gdm_coefficients;
+};
+
+/// Creates a method by registry name. Recognized names (case-sensitive):
+///   "dm", "cmd"   — disk modulo / coordinate modulo (identical)
+///   "gdm"         — generalized disk modulo (options.gdm_coefficients)
+///   "gdm-search"  — GDM with coefficients found by coordinate-descent
+///                   search over small query shapes (methods/lattice.h)
+///   "fx"          — field-wise XOR
+///   "exfx"        — extended FX
+///   "fx-auto"     — the paper's rule: ExFX iff some d_i < M, else FX
+///   "ecc"         — error-correcting-code method
+///   "hcam"        — Hilbert curve allocation
+///   "zcam"        — Z-order curve allocation (ablation)
+///   "linear"      — row-major round robin (baseline)
+///   "random"      — seeded uniform hash (baseline)
+/// Returns kNotFound for unknown names; method-specific kUnsupported /
+/// kInvalidArgument errors pass through.
+Result<std::unique_ptr<DeclusteringMethod>> CreateMethod(
+    std::string_view name, const GridSpec& grid, uint32_t num_disks,
+    const MethodOptions& options = {});
+
+/// All registry names, in the order listed above.
+std::vector<std::string> AllMethodNames();
+
+/// The four methods the paper evaluates: DM/CMD, FX (auto), ECC, HCAM.
+/// ECC is silently omitted when the configuration does not satisfy its
+/// power-of-two requirements (mirrors the paper, which only runs ECC where
+/// it is defined). Never returns an empty vector for valid inputs.
+std::vector<std::unique_ptr<DeclusteringMethod>> CreatePaperMethods(
+    const GridSpec& grid, uint32_t num_disks);
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_METHODS_REGISTRY_H_

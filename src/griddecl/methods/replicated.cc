@@ -1,0 +1,60 @@
+#include "griddecl/methods/replicated.h"
+
+#include <set>
+
+namespace griddecl {
+
+Result<ReplicatedPlacement> ReplicatedPlacement::Create(
+    std::unique_ptr<DeclusteringMethod> base, uint32_t num_replicas,
+    uint32_t offset) {
+  if (base == nullptr) {
+    return Status::InvalidArgument("base method must be non-null");
+  }
+  const uint32_t m = base->num_disks();
+  if (num_replicas < 1 || num_replicas > m) {
+    return Status::InvalidArgument(
+        "replica count must be in [1, M]; got " +
+        std::to_string(num_replicas) + " for M=" + std::to_string(m));
+  }
+  if (num_replicas > 1 && offset % m == 0) {
+    return Status::InvalidArgument(
+        "offset must be non-zero modulo the disk count");
+  }
+  // Replica disks must be pairwise distinct: check i * offset mod M
+  // distinct over i in [0, r).
+  std::set<uint32_t> offsets;
+  for (uint32_t i = 0; i < num_replicas; ++i) {
+    if (!offsets
+             .insert(static_cast<uint32_t>(
+                 (static_cast<uint64_t>(i) * offset) % m))
+             .second) {
+      return Status::InvalidArgument(
+          "offset " + std::to_string(offset) + " does not yield " +
+          std::to_string(num_replicas) + " distinct replica disks for M=" +
+          std::to_string(m));
+    }
+  }
+  return ReplicatedPlacement(std::move(base), num_replicas, offset);
+}
+
+std::vector<uint32_t> ReplicatedPlacement::DisksOf(
+    const BucketCoords& c) const {
+  const uint32_t m = base_->num_disks();
+  const uint32_t primary = base_->DiskOf(c);
+  std::vector<uint32_t> disks(num_replicas_);
+  for (uint32_t i = 0; i < num_replicas_; ++i) {
+    disks[i] = static_cast<uint32_t>(
+        (primary + static_cast<uint64_t>(i) * offset_) % m);
+  }
+  return disks;
+}
+
+std::vector<uint64_t> ReplicatedPlacement::DiskLoadHistogram() const {
+  std::vector<uint64_t> loads(base_->num_disks(), 0);
+  base_->grid().ForEachBucket([&](const BucketCoords& c) {
+    for (uint32_t d : DisksOf(c)) ++loads[d];
+  });
+  return loads;
+}
+
+}  // namespace griddecl

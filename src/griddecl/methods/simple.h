@@ -1,0 +1,54 @@
+#ifndef GRIDDECL_METHODS_SIMPLE_H_
+#define GRIDDECL_METHODS_SIMPLE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "griddecl/methods/method.h"
+
+/// \file
+/// Baseline declustering methods. Neither appears in the paper's main
+/// comparison; both serve as reference points in the benchmarks:
+///
+/// * `Linear` — row-major round robin, `disk(b) = rowMajorRank(b) mod M`.
+///   What a single-attribute range partitioner degenerates to; shows what
+///   you lose by ignoring the multi-attribute structure.
+/// * `Random` — an i.i.d. uniform hash of the bucket. The classic "no
+///   structure at all" straw man; near-optimal in expectation for very
+///   large queries, poor for small ones.
+
+namespace griddecl {
+
+/// Row-major round-robin allocation.
+class LinearMethod final : public DeclusteringMethod {
+ public:
+  static Result<std::unique_ptr<DeclusteringMethod>> Create(
+      GridSpec grid, uint32_t num_disks);
+
+  uint32_t DiskOf(const BucketCoords& c) const override;
+
+ private:
+  LinearMethod(GridSpec grid, uint32_t num_disks)
+      : DeclusteringMethod(std::move(grid), num_disks, "Linear") {}
+};
+
+/// Seeded pseudo-random allocation (stateless hash; deterministic for a
+/// given seed, i.i.d. uniform across buckets).
+class RandomMethod final : public DeclusteringMethod {
+ public:
+  static Result<std::unique_ptr<DeclusteringMethod>> Create(
+      GridSpec grid, uint32_t num_disks, uint64_t seed);
+
+  uint32_t DiskOf(const BucketCoords& c) const override;
+
+ private:
+  RandomMethod(GridSpec grid, uint32_t num_disks, uint64_t seed)
+      : DeclusteringMethod(std::move(grid), num_disks, "Random"),
+        seed_(seed) {}
+
+  uint64_t seed_;
+};
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_METHODS_SIMPLE_H_

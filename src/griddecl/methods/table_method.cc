@@ -1,0 +1,157 @@
+#include "griddecl/methods/table_method.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace griddecl {
+
+namespace {
+
+constexpr char kMagic[] = "griddecl-allocation";
+constexpr char kVersion[] = "v1";
+
+/// Reads the next non-comment, non-blank line; false at EOF.
+bool NextContentLine(std::istream& is, std::string* line) {
+  while (std::getline(is, *line)) {
+    const size_t start = line->find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;
+    if ((*line)[start] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DeclusteringMethod>> TableMethod::Create(
+    GridSpec grid, uint32_t num_disks, std::vector<uint32_t> allocation,
+    std::string name) {
+  GRIDDECL_RETURN_IF_ERROR(ValidateMethodArgs(grid, num_disks));
+  if (allocation.size() != grid.num_buckets()) {
+    return Status::InvalidArgument(
+        "allocation has " + std::to_string(allocation.size()) +
+        " entries for a grid of " + std::to_string(grid.num_buckets()) +
+        " buckets");
+  }
+  for (uint32_t v : allocation) {
+    if (v >= num_disks) {
+      return Status::InvalidArgument("allocation entry " + std::to_string(v) +
+                                     " >= number of disks " +
+                                     std::to_string(num_disks));
+    }
+  }
+  return std::unique_ptr<DeclusteringMethod>(
+      new TableMethod(std::move(grid), num_disks, std::move(allocation),
+                      std::move(name)));
+}
+
+Result<std::unique_ptr<DeclusteringMethod>> TableMethod::FromMethod(
+    const DeclusteringMethod& method) {
+  std::vector<uint32_t> allocation;
+  allocation.reserve(static_cast<size_t>(method.grid().num_buckets()));
+  method.grid().ForEachBucket([&](const BucketCoords& c) {
+    allocation.push_back(method.DiskOf(c));
+  });
+  return Create(method.grid(), method.num_disks(), std::move(allocation),
+                method.name() + "-table");
+}
+
+uint32_t TableMethod::DiskOf(const BucketCoords& c) const {
+  return allocation_[static_cast<size_t>(grid_.Linearize(c))];
+}
+
+Status SerializeAllocation(const DeclusteringMethod& method,
+                           std::ostream& os) {
+  os << kMagic << " " << kVersion << "\n";
+  os << "# method: " << method.name() << "\n";
+  os << "grid " << method.grid().ToString() << "\n";
+  os << "disks " << method.num_disks() << "\n";
+  uint64_t col = 0;
+  method.grid().ForEachBucket([&](const BucketCoords& c) {
+    os << method.DiskOf(c);
+    os << (++col % 32 == 0 ? '\n' : ' ');
+  });
+  if (col % 32 != 0) os << "\n";
+  if (!os.good()) return Status::Internal("stream write failed");
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<DeclusteringMethod>> DeserializeAllocation(
+    std::istream& is) {
+  std::string line;
+  if (!NextContentLine(is, &line)) {
+    return Status::InvalidArgument("empty allocation file");
+  }
+  {
+    std::istringstream header(line);
+    std::string magic;
+    std::string version;
+    header >> magic >> version;
+    if (magic != kMagic) {
+      return Status::InvalidArgument("bad magic: expected '" +
+                                     std::string(kMagic) + "'");
+    }
+    if (version != kVersion) {
+      return Status::InvalidArgument("unsupported version '" + version + "'");
+    }
+  }
+  if (!NextContentLine(is, &line)) {
+    return Status::InvalidArgument("missing grid line");
+  }
+  std::string shape;
+  {
+    std::istringstream grid_line(line);
+    std::string keyword;
+    grid_line >> keyword >> shape;
+    if (keyword != "grid" || shape.empty()) {
+      return Status::InvalidArgument("expected 'grid <d1>x<d2>x...'");
+    }
+  }
+  Result<GridSpec> grid = GridSpec::FromString(shape);
+  if (!grid.ok()) return grid.status();
+
+  if (!NextContentLine(is, &line)) {
+    return Status::InvalidArgument("missing disks line");
+  }
+  uint32_t num_disks = 0;
+  {
+    std::istringstream disks_line(line);
+    std::string keyword;
+    disks_line >> keyword >> num_disks;
+    if (keyword != "disks" || num_disks == 0) {
+      return Status::InvalidArgument("expected 'disks <M>' with M >= 1");
+    }
+  }
+
+  std::vector<uint32_t> allocation;
+  allocation.reserve(static_cast<size_t>(grid.value().num_buckets()));
+  while (allocation.size() < grid.value().num_buckets() &&
+         NextContentLine(is, &line)) {
+    std::istringstream values(line);
+    uint64_t v = 0;
+    while (values >> v) {
+      if (allocation.size() >= grid.value().num_buckets()) {
+        return Status::InvalidArgument("too many allocation entries");
+      }
+      if (v >= num_disks) {
+        return Status::InvalidArgument("allocation entry out of range");
+      }
+      allocation.push_back(static_cast<uint32_t>(v));
+    }
+    if (!values.eof()) {
+      return Status::InvalidArgument("non-numeric allocation entry");
+    }
+  }
+  if (allocation.size() != grid.value().num_buckets()) {
+    return Status::InvalidArgument(
+        "allocation has " + std::to_string(allocation.size()) +
+        " entries, grid needs " +
+        std::to_string(grid.value().num_buckets()));
+  }
+  return TableMethod::Create(std::move(grid).value(), num_disks,
+                             std::move(allocation), "Table");
+}
+
+}  // namespace griddecl

@@ -1,0 +1,68 @@
+#ifndef GRIDDECL_METHODS_TABLE_METHOD_H_
+#define GRIDDECL_METHODS_TABLE_METHOD_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "griddecl/methods/method.h"
+
+/// \file
+/// Explicit-table declustering: the allocation is an arbitrary array, one
+/// disk id per bucket. Two jobs:
+///
+///  * the output format of the workload-aware optimizer (an optimized
+///    allocation is not a formula, it is a table);
+///  * persistence — a production system must be able to store the mapping
+///    it declustered a relation with and reload it later, because records
+///    cannot move when the method's code changes. `Serialize`/`Deserialize`
+///    define a small versioned text format for that.
+///
+/// Text format (line oriented, '#' comments allowed):
+///
+///     griddecl-allocation v1
+///     grid 32x32
+///     disks 16
+///     <one disk id per bucket, row-major, whitespace separated>
+
+namespace griddecl {
+
+/// Declustering by explicit lookup table.
+class TableMethod final : public DeclusteringMethod {
+ public:
+  /// Validated factory: `allocation` must have grid.num_buckets() entries
+  /// (row-major), each < num_disks.
+  static Result<std::unique_ptr<DeclusteringMethod>> Create(
+      GridSpec grid, uint32_t num_disks, std::vector<uint32_t> allocation,
+      std::string name = "Table");
+
+  /// Materializes any method into a table (snapshot of its allocation).
+  static Result<std::unique_ptr<DeclusteringMethod>> FromMethod(
+      const DeclusteringMethod& method);
+
+  uint32_t DiskOf(const BucketCoords& c) const override;
+
+  const std::vector<uint32_t>& allocation() const { return allocation_; }
+
+ private:
+  TableMethod(GridSpec grid, uint32_t num_disks,
+              std::vector<uint32_t> allocation, std::string name)
+      : DeclusteringMethod(std::move(grid), num_disks, std::move(name)),
+        allocation_(std::move(allocation)) {}
+
+  std::vector<uint32_t> allocation_;
+};
+
+/// Writes `method`'s complete allocation in the versioned text format.
+/// Works for any method (the grid is enumerated).
+Status SerializeAllocation(const DeclusteringMethod& method,
+                           std::ostream& os);
+
+/// Parses the text format back into a TableMethod.
+Result<std::unique_ptr<DeclusteringMethod>> DeserializeAllocation(
+    std::istream& is);
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_METHODS_TABLE_METHOD_H_

@@ -1,0 +1,197 @@
+#include "griddecl/methods/workload_opt.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "griddecl/common/random.h"
+#include "griddecl/eval/metrics.h"
+#include "griddecl/methods/table_method.h"
+
+namespace griddecl {
+
+namespace {
+
+/// Mutable evaluation state for the hill climb: per-query per-disk counts,
+/// per-query current max, the allocation, and the inverted index.
+class ClimbState {
+ public:
+  ClimbState(const GridSpec& grid, uint32_t num_disks,
+             std::vector<uint32_t> allocation, const Workload& workload)
+      : grid_(grid),
+        m_(num_disks),
+        allocation_(std::move(allocation)),
+        bucket_queries_(static_cast<size_t>(grid.num_buckets())) {
+    counts_.reserve(workload.size());
+    max_.reserve(workload.size());
+    for (size_t qi = 0; qi < workload.size(); ++qi) {
+      const RangeQuery& q = workload.queries[qi];
+      std::vector<uint32_t> counts(m_, 0);
+      q.rect().ForEachBucket([&](const BucketCoords& c) {
+        const uint64_t lin = grid_.Linearize(c);
+        bucket_queries_[static_cast<size_t>(lin)].push_back(
+            static_cast<uint32_t>(qi));
+        ++counts[allocation_[static_cast<size_t>(lin)]];
+      });
+      max_.push_back(*std::max_element(counts.begin(), counts.end()));
+      counts_.push_back(std::move(counts));
+    }
+  }
+
+  uint64_t TotalCost() const {
+    uint64_t total = 0;
+    for (uint32_t m : max_) total += m;
+    return total;
+  }
+
+  /// Cost delta of moving bucket `lin` to `to`. `.first` is the change in
+  /// the primary objective (summed response time); `.second` is the change
+  /// in the plateau tiebreaker, the summed squared per-disk counts — a
+  /// strictly convex load-variance term that rewards evening out disks even
+  /// when the max is momentarily unchanged (without it the climb stalls on
+  /// plateaus where several disks tie for the max).
+  std::pair<int64_t, int64_t> MoveDelta(uint64_t lin, uint32_t to) const {
+    const uint32_t from = allocation_[static_cast<size_t>(lin)];
+    if (to == from) return {0, 0};
+    int64_t primary = 0;
+    int64_t secondary = 0;
+    for (uint32_t qi : bucket_queries_[static_cast<size_t>(lin)]) {
+      primary += NewMax(qi, from, to) - static_cast<int64_t>(max_[qi]);
+      // d/dmove of (cf^2 + ct^2): (cf-1)^2 - cf^2 + (ct+1)^2 - ct^2.
+      secondary += 2 * (static_cast<int64_t>(counts_[qi][to]) -
+                        static_cast<int64_t>(counts_[qi][from]) + 1);
+    }
+    return {primary, secondary};
+  }
+
+  /// Applies the move and updates all incremental state.
+  void ApplyMove(uint64_t lin, uint32_t to) {
+    const uint32_t from = allocation_[static_cast<size_t>(lin)];
+    GRIDDECL_CHECK(to != from);
+    for (uint32_t qi : bucket_queries_[static_cast<size_t>(lin)]) {
+      max_[qi] = static_cast<uint32_t>(NewMax(qi, from, to));
+      --counts_[qi][from];
+      ++counts_[qi][to];
+    }
+    allocation_[static_cast<size_t>(lin)] = to;
+  }
+
+  const std::vector<uint32_t>& allocation() const { return allocation_; }
+  uint32_t num_disks() const { return m_; }
+
+ private:
+  /// Max count of query `qi` after moving one bucket from `from` to `to`.
+  int64_t NewMax(uint32_t qi, uint32_t from, uint32_t to) const {
+    const std::vector<uint32_t>& counts = counts_[qi];
+    const uint32_t cur = max_[qi];
+    const uint32_t to_after = counts[to] + 1;
+    const uint32_t from_after = counts[from] - 1;
+    if (to_after > cur) return to_after;
+    if (counts[from] < cur) return cur;  // Max untouched by the decrement.
+    // `from` held (one of) the max; rescan excluding the moved bucket.
+    uint32_t best = std::max(to_after, from_after);
+    for (uint32_t d = 0; d < m_; ++d) {
+      if (d == from || d == to) continue;
+      best = std::max(best, counts[d]);
+    }
+    return best;
+  }
+
+  const GridSpec& grid_;
+  const uint32_t m_;
+  std::vector<uint32_t> allocation_;
+  /// Query indices touching each bucket (row-major bucket index).
+  std::vector<std::vector<uint32_t>> bucket_queries_;
+  std::vector<std::vector<uint32_t>> counts_;
+  std::vector<uint32_t> max_;
+};
+
+}  // namespace
+
+uint64_t WorkloadCost(const DeclusteringMethod& method,
+                      const Workload& workload) {
+  uint64_t total = 0;
+  for (const RangeQuery& q : workload.queries) {
+    total += ResponseTime(method, q);
+  }
+  return total;
+}
+
+Result<std::unique_ptr<DeclusteringMethod>> OptimizeForWorkload(
+    const DeclusteringMethod& seed_method, const Workload& workload,
+    const WorkloadOptimizeOptions& options, WorkloadOptimizeStats* stats) {
+  if (workload.empty()) {
+    return Status::InvalidArgument("cannot optimize for an empty workload");
+  }
+  if (workload.TotalBuckets() > (uint64_t{1} << 26)) {
+    return Status::InvalidArgument(
+        "workload volume too large to index; sample it first");
+  }
+  const GridSpec& grid = seed_method.grid();
+  for (const RangeQuery& q : workload.queries) {
+    if (!q.rect().WithinGrid(grid)) {
+      return Status::InvalidArgument("workload query " + q.ToString() +
+                                     " outside grid " + grid.ToString());
+    }
+  }
+
+  // Snapshot the seed allocation.
+  std::vector<uint32_t> allocation;
+  allocation.reserve(static_cast<size_t>(grid.num_buckets()));
+  grid.ForEachBucket(
+      [&](const BucketCoords& c) { allocation.push_back(seed_method.DiskOf(c)); });
+
+  ClimbState state(grid, seed_method.num_disks(), std::move(allocation),
+                   workload);
+  const uint64_t initial_cost = state.TotalCost();
+  uint64_t moves = 0;
+  uint32_t pass = 0;
+  Rng rng(options.seed);
+  // Only buckets that appear in some query can affect the objective.
+  std::vector<bool> touched(static_cast<size_t>(grid.num_buckets()), false);
+  for (const RangeQuery& q : workload.queries) {
+    q.rect().ForEachBucket([&](const BucketCoords& c) {
+      touched[static_cast<size_t>(grid.Linearize(c))] = true;
+    });
+  }
+  std::vector<uint64_t> active;
+  for (uint64_t lin = 0; lin < grid.num_buckets(); ++lin) {
+    if (touched[static_cast<size_t>(lin)]) active.push_back(lin);
+  }
+  for (; pass < options.max_passes; ++pass) {
+    bool improved = false;
+    // Shuffle visit order each pass.
+    for (uint64_t i = active.size(); i > 1; --i) {
+      std::swap(active[i - 1],
+                active[static_cast<size_t>(rng.NextBelow(i))]);
+    }
+    for (uint64_t lin : active) {
+      std::pair<int64_t, int64_t> best_delta = {0, 0};
+      uint32_t best_disk = 0;
+      for (uint32_t d = 0; d < state.num_disks(); ++d) {
+        const std::pair<int64_t, int64_t> delta = state.MoveDelta(lin, d);
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_disk = d;
+        }
+      }
+      if (best_delta < std::pair<int64_t, int64_t>{0, 0}) {
+        state.ApplyMove(lin, best_disk);
+        ++moves;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+
+  if (stats != nullptr) {
+    stats->initial_cost = initial_cost;
+    stats->final_cost = state.TotalCost();
+    stats->moves_applied = moves;
+    stats->passes = pass;
+  }
+  return TableMethod::Create(grid, seed_method.num_disks(),
+                             state.allocation(),
+                             seed_method.name() + "+opt");
+}
+
+}  // namespace griddecl

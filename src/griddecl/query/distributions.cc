@@ -1,0 +1,74 @@
+#include "griddecl/query/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace griddecl {
+
+Result<ZipfSampler> ZipfSampler::Create(uint64_t n, double theta) {
+  if (n < 1) return Status::InvalidArgument("Zipf needs n >= 1");
+  if (!(theta >= 0) || !std::isfinite(theta)) {
+    return Status::InvalidArgument("Zipf needs finite theta >= 0");
+  }
+  std::vector<double> cdf(static_cast<size_t>(n));
+  double total = 0;
+  for (uint64_t v = 0; v < n; ++v) {
+    total += std::pow(static_cast<double>(v + 1), -theta);
+    cdf[static_cast<size_t>(v)] = total;
+  }
+  for (double& c : cdf) c /= total;
+  cdf.back() = 1.0;  // Guard against rounding.
+  return ZipfSampler(std::move(cdf));
+}
+
+uint64_t ZipfSampler::Sample(Rng* rng) const {
+  GRIDDECL_CHECK(rng != nullptr);
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Probability(uint64_t v) const {
+  GRIDDECL_CHECK(v < cdf_.size());
+  const double below = v == 0 ? 0.0 : cdf_[static_cast<size_t>(v) - 1];
+  return cdf_[static_cast<size_t>(v)] - below;
+}
+
+Result<Workload> ZipfPlacements(const GridSpec& grid, const QueryShape& shape,
+                                size_t count, double theta, Rng* rng,
+                                std::string name) {
+  GRIDDECL_CHECK(rng != nullptr);
+  if (shape.size() != grid.num_dims()) {
+    return Status::InvalidArgument("shape does not match grid arity");
+  }
+  std::vector<ZipfSampler> samplers;
+  for (uint32_t i = 0; i < grid.num_dims(); ++i) {
+    if (shape[i] == 0 || shape[i] > grid.dim(i)) {
+      return Status::InvalidArgument("shape extent outside [1, d_i]");
+    }
+    Result<ZipfSampler> s =
+        ZipfSampler::Create(grid.dim(i) - shape[i] + 1, theta);
+    if (!s.ok()) return s.status();
+    samplers.push_back(std::move(s).value());
+  }
+  Workload w;
+  w.name = std::move(name);
+  w.queries.reserve(count);
+  for (size_t q = 0; q < count; ++q) {
+    BucketCoords lo(grid.num_dims());
+    BucketCoords hi(grid.num_dims());
+    for (uint32_t i = 0; i < grid.num_dims(); ++i) {
+      lo[i] = static_cast<uint32_t>(samplers[i].Sample(rng));
+      hi[i] = lo[i] + shape[i] - 1;
+    }
+    Result<BucketRect> rect = BucketRect::Create(lo, hi);
+    GRIDDECL_CHECK(rect.ok());
+    Result<RangeQuery> query =
+        RangeQuery::Create(grid, std::move(rect).value());
+    GRIDDECL_CHECK(query.ok());
+    w.queries.push_back(std::move(query).value());
+  }
+  return w;
+}
+
+}  // namespace griddecl

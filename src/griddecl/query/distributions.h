@@ -1,0 +1,52 @@
+#ifndef GRIDDECL_QUERY_DISTRIBUTIONS_H_
+#define GRIDDECL_QUERY_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "griddecl/common/random.h"
+#include "griddecl/common/status.h"
+#include "griddecl/query/generator.h"
+
+/// \file
+/// Skewed workload generation. The paper's experiments place queries
+/// uniformly; production workloads concentrate on hot regions. This module
+/// supplies a Zipf position sampler and a skewed-placement workload
+/// builder so the evaluator, advisor and optimizer can be exercised under
+/// realistic access skew (bench A7).
+
+namespace griddecl {
+
+/// Zipf(theta) distribution over {0, 1, ..., n-1}: P(v) proportional to
+/// 1/(v+1)^theta. theta = 0 degenerates to uniform; larger theta means a
+/// hotter head. Sampling is inverse-CDF via binary search, O(log n).
+class ZipfSampler {
+ public:
+  /// Validated factory; requires n >= 1 and finite theta >= 0.
+  static Result<ZipfSampler> Create(uint64_t n, double theta);
+
+  uint64_t n() const { return static_cast<uint64_t>(cdf_.size()); }
+
+  /// Draws one value in [0, n).
+  uint64_t Sample(Rng* rng) const;
+
+  /// Exact probability of value `v`.
+  double Probability(uint64_t v) const;
+
+ private:
+  explicit ZipfSampler(std::vector<double> cdf) : cdf_(std::move(cdf)) {}
+
+  /// cdf_[v] = P(value <= v); cdf_.back() == 1.
+  std::vector<double> cdf_;
+};
+
+/// `count` placements of `shape` with each dimension's position drawn from
+/// Zipf(theta) over the valid range (positions near the origin are hot).
+/// theta = 0 reproduces `SampledPlacements` exactly in distribution.
+Result<Workload> ZipfPlacements(const GridSpec& grid, const QueryShape& shape,
+                                size_t count, double theta, Rng* rng,
+                                std::string name);
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_QUERY_DISTRIBUTIONS_H_

@@ -1,0 +1,269 @@
+#include "griddecl/query/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace griddecl {
+
+namespace {
+
+/// All divisors of `n`, ascending.
+std::vector<uint64_t> Divisors(uint64_t n) {
+  std::vector<uint64_t> small;
+  std::vector<uint64_t> large;
+  for (uint64_t d = 1; d * d <= n; ++d) {
+    if (n % d == 0) {
+      small.push_back(d);
+      if (d != n / d) large.push_back(n / d);
+    }
+  }
+  small.insert(small.end(), large.rbegin(), large.rend());
+  return small;
+}
+
+/// Recursive search for the factorization of `area` into `dims_left`
+/// extents, each within its dimension bound, minimizing the sum of squared
+/// log deviations from the ideal per-dimension side. Returns false when no
+/// factorization fits.
+bool BestFactorization(uint64_t area, const std::vector<uint32_t>& bounds,
+                       uint32_t dim, double* best_score,
+                       std::vector<uint32_t>* current,
+                       std::vector<uint32_t>* best) {
+  const uint32_t k = static_cast<uint32_t>(bounds.size());
+  if (dim == k) {
+    if (area != 1) return false;
+    double score = 0;
+    // Ideal side: geometric mean of the chosen extents (equivalently
+    // area^(1/k) of the original area); recompute from the result.
+    double log_area = 0;
+    for (uint32_t e : *current) log_area += std::log(static_cast<double>(e));
+    const double ideal = log_area / k;
+    for (uint32_t e : *current) {
+      const double d = std::log(static_cast<double>(e)) - ideal;
+      score += d * d;
+    }
+    if (score < *best_score) {
+      *best_score = score;
+      *best = *current;
+    }
+    return true;
+  }
+  bool any = false;
+  for (uint64_t d : Divisors(area)) {
+    if (d > bounds[dim]) break;
+    (*current)[dim] = static_cast<uint32_t>(d);
+    any |= BestFactorization(area / d, bounds, dim + 1, best_score, current,
+                             best);
+  }
+  return any;
+}
+
+}  // namespace
+
+Status QueryGenerator::ValidateShape(const QueryShape& shape) const {
+  if (shape.size() != grid_.num_dims()) {
+    return Status::InvalidArgument("shape has " +
+                                   std::to_string(shape.size()) +
+                                   " extents for a " + grid_.ToString() +
+                                   " grid");
+  }
+  for (uint32_t i = 0; i < shape.size(); ++i) {
+    if (shape[i] == 0 || shape[i] > grid_.dim(i)) {
+      return Status::InvalidArgument(
+          "shape extent " + std::to_string(shape[i]) + " on dimension " +
+          std::to_string(i) + " outside [1, " + std::to_string(grid_.dim(i)) +
+          "]");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<QueryShape> QueryGenerator::SquarishShape(uint64_t area) const {
+  if (area == 0) return Status::InvalidArgument("query area must be >= 1");
+  std::vector<uint32_t> bounds = grid_.dims();
+  std::vector<uint32_t> current(bounds.size(), 1);
+  std::vector<uint32_t> best;
+  double best_score = std::numeric_limits<double>::infinity();
+  if (!BestFactorization(area, bounds, 0, &best_score, &current, &best) ||
+      best.empty()) {
+    return Status::InvalidArgument("no factorization of area " +
+                                   std::to_string(area) + " fits grid " +
+                                   grid_.ToString());
+  }
+  return best;
+}
+
+Result<QueryShape> QueryGenerator::Shape2D(uint64_t area,
+                                           double aspect) const {
+  if (grid_.num_dims() != 2) {
+    return Status::InvalidArgument("Shape2D requires a 2-d grid");
+  }
+  if (area == 0) return Status::InvalidArgument("query area must be >= 1");
+  if (!(aspect > 0.0) || !std::isfinite(aspect)) {
+    return Status::InvalidArgument("aspect must be positive and finite");
+  }
+  double best_score = std::numeric_limits<double>::infinity();
+  QueryShape best;
+  for (uint64_t w : Divisors(area)) {
+    const uint64_t h = area / w;
+    if (w > grid_.dim(0) || h > grid_.dim(1)) continue;
+    const double score = std::abs(
+        std::log(static_cast<double>(h) / static_cast<double>(w)) -
+        std::log(aspect));
+    if (score < best_score) {
+      best_score = score;
+      best = {static_cast<uint32_t>(w), static_cast<uint32_t>(h)};
+    }
+  }
+  if (best.empty()) {
+    return Status::InvalidArgument("no factor pair of area " +
+                                   std::to_string(area) + " fits grid " +
+                                   grid_.ToString());
+  }
+  return best;
+}
+
+Result<QueryShape> QueryGenerator::LineShape(uint32_t dim,
+                                             uint32_t length) const {
+  if (dim >= grid_.num_dims()) {
+    return Status::InvalidArgument("dimension out of range");
+  }
+  if (length == 0 || length > grid_.dim(dim)) {
+    return Status::InvalidArgument("line length outside [1, d_i]");
+  }
+  QueryShape shape(grid_.num_dims(), 1);
+  shape[dim] = length;
+  return shape;
+}
+
+Result<uint64_t> QueryGenerator::NumPlacements(const QueryShape& shape) const {
+  GRIDDECL_RETURN_IF_ERROR(ValidateShape(shape));
+  uint64_t n = 1;
+  for (uint32_t i = 0; i < shape.size(); ++i) {
+    n *= grid_.dim(i) - shape[i] + 1;
+  }
+  return n;
+}
+
+Result<Workload> QueryGenerator::AllPlacements(const QueryShape& shape,
+                                               std::string name) const {
+  GRIDDECL_RETURN_IF_ERROR(ValidateShape(shape));
+  Workload w;
+  w.name = std::move(name);
+  const uint32_t k = grid_.num_dims();
+  BucketCoords lo(k);
+  for (;;) {
+    BucketCoords hi(k);
+    for (uint32_t i = 0; i < k; ++i) hi[i] = lo[i] + shape[i] - 1;
+    Result<BucketRect> rect = BucketRect::Create(lo, hi);
+    GRIDDECL_CHECK(rect.ok());
+    Result<RangeQuery> q = RangeQuery::Create(grid_, std::move(rect).value());
+    GRIDDECL_CHECK(q.ok());
+    w.queries.push_back(std::move(q).value());
+    // Odometer over valid positions, last dimension fastest.
+    uint32_t dim = k;
+    for (;;) {
+      if (dim == 0) return w;
+      --dim;
+      ++lo[dim];
+      if (lo[dim] + shape[dim] <= grid_.dim(dim)) break;
+      lo[dim] = 0;
+    }
+  }
+}
+
+Result<Workload> QueryGenerator::SampledPlacements(const QueryShape& shape,
+                                                   size_t count, Rng* rng,
+                                                   std::string name) const {
+  GRIDDECL_RETURN_IF_ERROR(ValidateShape(shape));
+  GRIDDECL_CHECK(rng != nullptr);
+  Workload w;
+  w.name = std::move(name);
+  w.queries.reserve(count);
+  const uint32_t k = grid_.num_dims();
+  for (size_t s = 0; s < count; ++s) {
+    BucketCoords lo(k);
+    BucketCoords hi(k);
+    for (uint32_t i = 0; i < k; ++i) {
+      const uint32_t max_lo = grid_.dim(i) - shape[i];
+      lo[i] = static_cast<uint32_t>(rng->NextBelow(max_lo + 1));
+      hi[i] = lo[i] + shape[i] - 1;
+    }
+    Result<BucketRect> rect = BucketRect::Create(lo, hi);
+    GRIDDECL_CHECK(rect.ok());
+    Result<RangeQuery> q = RangeQuery::Create(grid_, std::move(rect).value());
+    GRIDDECL_CHECK(q.ok());
+    w.queries.push_back(std::move(q).value());
+  }
+  return w;
+}
+
+Result<Workload> QueryGenerator::Placements(const QueryShape& shape,
+                                            size_t max_exhaustive, Rng* rng,
+                                            std::string name) const {
+  Result<uint64_t> n = NumPlacements(shape);
+  if (!n.ok()) return n.status();
+  if (n.value() <= max_exhaustive) {
+    return AllPlacements(shape, std::move(name));
+  }
+  return SampledPlacements(shape, max_exhaustive, rng, std::move(name));
+}
+
+Result<Workload> QueryGenerator::AllPartialMatch(
+    const std::vector<uint32_t>& specified_dims, std::string name) const {
+  for (uint32_t d : specified_dims) {
+    if (d >= grid_.num_dims()) {
+      return Status::InvalidArgument("specified dimension out of range");
+    }
+  }
+  Workload w;
+  w.name = std::move(name);
+  // Odometer over the specified dimensions' values.
+  std::vector<uint32_t> values(specified_dims.size(), 0);
+  for (;;) {
+    std::vector<std::optional<uint32_t>> spec(grid_.num_dims(), std::nullopt);
+    for (size_t j = 0; j < specified_dims.size(); ++j) {
+      spec[specified_dims[j]] = values[j];
+    }
+    Result<PartialMatchQuery> pm =
+        PartialMatchQuery::Create(grid_, std::move(spec));
+    GRIDDECL_CHECK(pm.ok());
+    w.queries.push_back(pm.value().ToRangeQuery(grid_));
+    size_t j = values.size();
+    for (;;) {
+      if (j == 0) return w;
+      --j;
+      if (++values[j] < grid_.dim(specified_dims[j])) break;
+      values[j] = 0;
+    }
+  }
+}
+
+Result<Workload> QueryGenerator::RandomPartialMatch(uint32_t num_specified,
+                                                    size_t count, Rng* rng,
+                                                    std::string name) const {
+  GRIDDECL_CHECK(rng != nullptr);
+  if (num_specified > grid_.num_dims()) {
+    return Status::InvalidArgument(
+        "cannot specify more dimensions than the grid has");
+  }
+  Workload w;
+  w.name = std::move(name);
+  w.queries.reserve(count);
+  for (size_t s = 0; s < count; ++s) {
+    const std::vector<uint32_t> perm = rng->Permutation(grid_.num_dims());
+    std::vector<std::optional<uint32_t>> spec(grid_.num_dims(), std::nullopt);
+    for (uint32_t j = 0; j < num_specified; ++j) {
+      const uint32_t dim = perm[j];
+      spec[dim] = static_cast<uint32_t>(rng->NextBelow(grid_.dim(dim)));
+    }
+    Result<PartialMatchQuery> pm =
+        PartialMatchQuery::Create(grid_, std::move(spec));
+    GRIDDECL_CHECK(pm.ok());
+    w.queries.push_back(pm.value().ToRangeQuery(grid_));
+  }
+  return w;
+}
+
+}  // namespace griddecl

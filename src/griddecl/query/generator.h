@@ -1,0 +1,85 @@
+#ifndef GRIDDECL_QUERY_GENERATOR_H_
+#define GRIDDECL_QUERY_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "griddecl/common/random.h"
+#include "griddecl/common/status.h"
+#include "griddecl/query/workload.h"
+
+/// \file
+/// Workload generation for the paper's experiments.
+///
+/// The paper averages each data point over query *placements*: a query of a
+/// given shape is slid across the whole grid. `AllPlacements` enumerates
+/// every position (exact averages, used wherever feasible);
+/// `SampledPlacements` draws uniform positions for configurations where
+/// enumeration is too large. Shape construction mirrors the experiments:
+/// near-square shapes of a given area (Experiment 1), fixed-area shapes of a
+/// given aspect ratio (Experiment 2), and partial-match patterns (theory
+/// cross-checks).
+
+namespace griddecl {
+
+/// Extent of a query on each dimension; product = query area |Q|.
+using QueryShape = std::vector<uint32_t>;
+
+/// Workload builder bound to one grid.
+class QueryGenerator {
+ public:
+  explicit QueryGenerator(GridSpec grid) : grid_(std::move(grid)) {}
+
+  const GridSpec& grid() const { return grid_; }
+
+  /// Near-square shape with exact area: picks the factorization of `area`
+  /// into num_dims() extents closest to the hyper-cube, each fitting its
+  /// dimension. Fails when no factorization fits the grid.
+  Result<QueryShape> SquarishShape(uint64_t area) const;
+
+  /// 2-D only: the factor pair `w x h` of `area` whose aspect `h / w` is
+  /// closest to `aspect` (>= 1 means taller than wide). Fails when no factor
+  /// pair fits the grid.
+  Result<QueryShape> Shape2D(uint64_t area, double aspect) const;
+
+  /// A 1-bucket-thick line of `length` buckets along dimension `dim`.
+  Result<QueryShape> LineShape(uint32_t dim, uint32_t length) const;
+
+  /// Every placement of `shape` in the grid, row-major order.
+  Result<Workload> AllPlacements(const QueryShape& shape,
+                                 std::string name) const;
+
+  /// `count` placements of `shape`, positions i.i.d. uniform.
+  Result<Workload> SampledPlacements(const QueryShape& shape, size_t count,
+                                     Rng* rng, std::string name) const;
+
+  /// Placements of `shape`: exhaustive when the number of placements is at
+  /// most `max_exhaustive`, otherwise `max_exhaustive` uniform samples.
+  /// This is the paper's averaging strategy with a safety valve.
+  Result<Workload> Placements(const QueryShape& shape, size_t max_exhaustive,
+                              Rng* rng, std::string name) const;
+
+  /// All partial-match queries with exactly the dimensions in
+  /// `specified_dims` fixed (every combination of fixed values), converted
+  /// to range queries.
+  Result<Workload> AllPartialMatch(const std::vector<uint32_t>& specified_dims,
+                                   std::string name) const;
+
+  /// `count` random partial-match queries with `num_specified` fixed
+  /// attributes (dimensions and values uniform).
+  Result<Workload> RandomPartialMatch(uint32_t num_specified, size_t count,
+                                      Rng* rng, std::string name) const;
+
+  /// Number of distinct placements of `shape` in the grid.
+  Result<uint64_t> NumPlacements(const QueryShape& shape) const;
+
+ private:
+  Status ValidateShape(const QueryShape& shape) const;
+
+  GridSpec grid_;
+};
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_QUERY_GENERATOR_H_

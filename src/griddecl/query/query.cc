@@ -1,0 +1,66 @@
+#include "griddecl/query/query.h"
+
+namespace griddecl {
+
+Result<RangeQuery> RangeQuery::Create(const GridSpec& grid, BucketRect rect) {
+  if (!rect.WithinGrid(grid)) {
+    return Status::InvalidArgument("query " + rect.ToString() +
+                                   " exceeds grid " + grid.ToString());
+  }
+  return RangeQuery(rect);
+}
+
+Result<PartialMatchQuery> PartialMatchQuery::Create(
+    const GridSpec& grid, std::vector<std::optional<uint32_t>> spec) {
+  if (spec.size() != grid.num_dims()) {
+    return Status::InvalidArgument(
+        "partial-match spec has " + std::to_string(spec.size()) +
+        " entries for a " + std::to_string(grid.num_dims()) + "-d grid");
+  }
+  for (uint32_t i = 0; i < spec.size(); ++i) {
+    if (spec[i].has_value() && *spec[i] >= grid.dim(i)) {
+      return Status::InvalidArgument(
+          "specified partition " + std::to_string(*spec[i]) +
+          " outside dimension " + std::to_string(i) + " (size " +
+          std::to_string(grid.dim(i)) + ")");
+    }
+  }
+  return PartialMatchQuery(std::move(spec));
+}
+
+uint32_t PartialMatchQuery::NumSpecified() const {
+  uint32_t n = 0;
+  for (const auto& s : spec_) n += s.has_value() ? 1 : 0;
+  return n;
+}
+
+RangeQuery PartialMatchQuery::ToRangeQuery(const GridSpec& grid) const {
+  GRIDDECL_CHECK(grid.num_dims() == spec_.size());
+  BucketCoords lo(num_dims());
+  BucketCoords hi(num_dims());
+  for (uint32_t i = 0; i < num_dims(); ++i) {
+    if (spec_[i].has_value()) {
+      lo[i] = hi[i] = *spec_[i];
+    } else {
+      lo[i] = 0;
+      hi[i] = grid.dim(i) - 1;
+    }
+  }
+  Result<BucketRect> rect = BucketRect::Create(lo, hi);
+  GRIDDECL_CHECK(rect.ok());
+  Result<RangeQuery> q = RangeQuery::Create(grid, std::move(rect).value());
+  GRIDDECL_CHECK(q.ok());
+  return std::move(q).value();
+}
+
+std::string PartialMatchQuery::ToString() const {
+  std::string out = "(";
+  for (uint32_t i = 0; i < spec_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += spec_[i].has_value() ? std::to_string(*spec_[i]) : "*";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace griddecl

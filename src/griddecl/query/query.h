@@ -1,0 +1,78 @@
+#ifndef GRIDDECL_QUERY_QUERY_H_
+#define GRIDDECL_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "griddecl/common/status.h"
+#include "griddecl/grid/grid_spec.h"
+#include "griddecl/grid/rect.h"
+
+/// \file
+/// Query model, following the paper's definitions:
+///
+/// * Range query: `l_i <= A_i <= u_i` on every attribute — a hyper-rectangle
+///   of buckets. The most general single-relation query; the paper argues
+///   performance evaluation must be on range queries.
+/// * Partial-match query: each attribute either fixed to one partition or
+///   unspecified (spans its full domain). The class most theory covers.
+/// * Point query: a range query with `l_i = u_i` everywhere.
+
+namespace griddecl {
+
+/// A range query, resolved to bucket coordinates.
+class RangeQuery {
+ public:
+  /// Wraps a rectangle of buckets. Must lie within `grid`.
+  static Result<RangeQuery> Create(const GridSpec& grid, BucketRect rect);
+
+  const BucketRect& rect() const { return rect_; }
+  uint32_t num_dims() const { return rect_.num_dims(); }
+
+  /// Number of buckets the query touches, |Q|.
+  uint64_t NumBuckets() const { return rect_.Volume(); }
+
+  /// True iff the query selects exactly one bucket.
+  bool IsPoint() const { return NumBuckets() == 1; }
+
+  std::string ToString() const { return rect_.ToString(); }
+
+ private:
+  explicit RangeQuery(BucketRect rect) : rect_(rect) {}
+  BucketRect rect_;
+};
+
+/// A partial-match query: per attribute, either a fixed partition index or
+/// unspecified.
+class PartialMatchQuery {
+ public:
+  /// `spec[i]` is the fixed partition on dimension i, or nullopt when
+  /// unspecified. At least one dimension must be unspecified for the query
+  /// to be "partial"; fully-specified inputs are still accepted (they are
+  /// point queries). Specified values must be within the grid.
+  static Result<PartialMatchQuery> Create(
+      const GridSpec& grid, std::vector<std::optional<uint32_t>> spec);
+
+  uint32_t num_dims() const { return static_cast<uint32_t>(spec_.size()); }
+  const std::vector<std::optional<uint32_t>>& spec() const { return spec_; }
+
+  /// Number of attributes with a fixed value.
+  uint32_t NumSpecified() const;
+
+  /// The equivalent range query: unspecified dimensions span [0, d_i - 1].
+  RangeQuery ToRangeQuery(const GridSpec& grid) const;
+
+  std::string ToString() const;
+
+ private:
+  explicit PartialMatchQuery(std::vector<std::optional<uint32_t>> spec)
+      : spec_(std::move(spec)) {}
+
+  std::vector<std::optional<uint32_t>> spec_;
+};
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_QUERY_QUERY_H_

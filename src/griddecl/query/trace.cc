@@ -1,0 +1,123 @@
+#include "griddecl/query/trace.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace griddecl {
+
+namespace {
+
+constexpr char kMagic[] = "griddecl-workload";
+constexpr char kVersion[] = "v1";
+
+bool NextContentLine(std::istream& is, std::string* line) {
+  while (std::getline(is, *line)) {
+    const size_t start = line->find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;
+    if ((*line)[start] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status SerializeWorkload(const GridSpec& grid, const Workload& workload,
+                         std::ostream& os) {
+  for (const RangeQuery& q : workload.queries) {
+    if (!q.rect().WithinGrid(grid)) {
+      return Status::InvalidArgument("query " + q.ToString() +
+                                     " outside grid " + grid.ToString());
+    }
+  }
+  os << kMagic << " " << kVersion << "\n";
+  os << "grid " << grid.ToString() << "\n";
+  if (!workload.name.empty()) os << "name " << workload.name << "\n";
+  for (const RangeQuery& q : workload.queries) {
+    os << "q";
+    for (uint32_t i = 0; i < q.num_dims(); ++i) {
+      os << " " << q.rect().lo()[i] << " " << q.rect().hi()[i];
+    }
+    os << "\n";
+  }
+  if (!os.good()) return Status::Internal("stream write failed");
+  return Status::Ok();
+}
+
+Result<WorkloadTrace> DeserializeWorkload(std::istream& is) {
+  std::string line;
+  if (!NextContentLine(is, &line)) {
+    return Status::InvalidArgument("empty workload trace");
+  }
+  {
+    std::istringstream header(line);
+    std::string magic;
+    std::string version;
+    header >> magic >> version;
+    if (magic != kMagic) {
+      return Status::InvalidArgument("bad magic: expected '" +
+                                     std::string(kMagic) + "'");
+    }
+    if (version != kVersion) {
+      return Status::InvalidArgument("unsupported version '" + version + "'");
+    }
+  }
+  if (!NextContentLine(is, &line)) {
+    return Status::InvalidArgument("missing grid line");
+  }
+  std::string shape;
+  {
+    std::istringstream grid_line(line);
+    std::string keyword;
+    grid_line >> keyword >> shape;
+    if (keyword != "grid" || shape.empty()) {
+      return Status::InvalidArgument("expected 'grid <d1>x<d2>x...'");
+    }
+  }
+  Result<GridSpec> grid = GridSpec::FromString(shape);
+  if (!grid.ok()) return grid.status();
+  const uint32_t k = grid.value().num_dims();
+
+  Workload workload;
+  while (NextContentLine(is, &line)) {
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "name") {
+      std::string rest;
+      std::getline(fields, rest);
+      const size_t start = rest.find_first_not_of(" \t");
+      workload.name = start == std::string::npos ? "" : rest.substr(start);
+      continue;
+    }
+    if (tag != "q") {
+      return Status::InvalidArgument("unexpected line '" + line + "'");
+    }
+    BucketCoords lo(k);
+    BucketCoords hi(k);
+    for (uint32_t i = 0; i < k; ++i) {
+      int64_t a = -1;
+      int64_t b = -1;
+      if (!(fields >> a >> b) || a < 0 || b < 0) {
+        return Status::InvalidArgument("malformed query line '" + line + "'");
+      }
+      lo[i] = static_cast<uint32_t>(a);
+      hi[i] = static_cast<uint32_t>(b);
+    }
+    int64_t extra = 0;
+    if (fields >> extra) {
+      return Status::InvalidArgument("too many bounds on line '" + line +
+                                     "'");
+    }
+    Result<BucketRect> rect = BucketRect::Create(lo, hi);
+    if (!rect.ok()) return rect.status();
+    Result<RangeQuery> q =
+        RangeQuery::Create(grid.value(), std::move(rect).value());
+    if (!q.ok()) return q.status();
+    workload.queries.push_back(std::move(q).value());
+  }
+  return WorkloadTrace{std::move(grid).value(), std::move(workload)};
+}
+
+}  // namespace griddecl

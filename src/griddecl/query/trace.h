@@ -1,0 +1,44 @@
+#ifndef GRIDDECL_QUERY_TRACE_H_
+#define GRIDDECL_QUERY_TRACE_H_
+
+#include <iosfwd>
+
+#include "griddecl/common/status.h"
+#include "griddecl/grid/grid_spec.h"
+#include "griddecl/query/workload.h"
+
+/// \file
+/// Workload trace persistence. Lets users capture a production query mix
+/// once and replay it through the evaluator, the advisor, or the optimizer
+/// — the paper's "use information about common queries" recommendation
+/// needs the common queries to exist as a durable artifact.
+///
+/// Text format (line oriented, '#' comments allowed):
+///
+///     griddecl-workload v1
+///     grid 32x32
+///     name my-workload
+///     q <lo_1> <hi_1> <lo_2> <hi_2> ...     # one line per range query
+///
+/// Bounds are inclusive bucket coordinates, one (lo, hi) pair per grid
+/// dimension.
+
+namespace griddecl {
+
+/// A deserialized trace: the grid it was captured against plus the queries.
+struct WorkloadTrace {
+  GridSpec grid;
+  Workload workload;
+};
+
+/// Writes `workload` (queries on `grid`) in the trace format.
+/// Every query must lie within `grid`.
+Status SerializeWorkload(const GridSpec& grid, const Workload& workload,
+                         std::ostream& os);
+
+/// Parses a trace. Queries are validated against the declared grid.
+Result<WorkloadTrace> DeserializeWorkload(std::istream& is);
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_QUERY_TRACE_H_

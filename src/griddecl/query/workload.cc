@@ -1,0 +1,15 @@
+#include "griddecl/query/workload.h"
+
+namespace griddecl {
+
+uint64_t Workload::TotalBuckets() const {
+  uint64_t total = 0;
+  for (const RangeQuery& q : queries) total += q.NumBuckets();
+  return total;
+}
+
+void Workload::Append(const Workload& other) {
+  queries.insert(queries.end(), other.queries.begin(), other.queries.end());
+}
+
+}  // namespace griddecl

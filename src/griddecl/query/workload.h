@@ -1,0 +1,33 @@
+#ifndef GRIDDECL_QUERY_WORKLOAD_H_
+#define GRIDDECL_QUERY_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "griddecl/query/query.h"
+
+/// \file
+/// A workload is a named bag of range queries; the evaluator averages the
+/// response-time metric over it, exactly as the paper averages over query
+/// placements.
+
+namespace griddecl {
+
+/// Named set of range queries.
+struct Workload {
+  std::string name;
+  std::vector<RangeQuery> queries;
+
+  size_t size() const { return queries.size(); }
+  bool empty() const { return queries.empty(); }
+
+  /// Total buckets touched across all queries.
+  uint64_t TotalBuckets() const;
+
+  /// Concatenates another workload's queries into this one.
+  void Append(const Workload& other);
+};
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_QUERY_WORKLOAD_H_

@@ -1,0 +1,186 @@
+#include "griddecl/sim/event_sim.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <queue>
+
+#include "griddecl/eval/metrics.h"
+
+namespace griddecl {
+
+namespace {
+
+/// Per-disk state: one FIFO sub-queue per waiting query, served round
+/// robin; `last_address` drives the locality model.
+struct DiskState {
+  /// Query ids with pending requests, in round-robin order.
+  std::deque<uint32_t> turn_order;
+  /// Pending request addresses per query (indexed by query id).
+  std::vector<std::deque<uint64_t>> pending;
+  bool busy = false;
+  /// Query whose request is currently in service (valid while busy).
+  uint32_t current_query = 0;
+  uint64_t last_address = 0;
+  bool has_last = false;
+  double busy_ms = 0;
+};
+
+}  // namespace
+
+Workload ReorderLongestFirst(const DeclusteringMethod& method,
+                             const Workload& workload) {
+  std::vector<std::pair<uint64_t, size_t>> keyed;
+  keyed.reserve(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    keyed.push_back({ResponseTime(method, workload.queries[i]), i});
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first > b.first;
+                   });
+  Workload out;
+  out.name = workload.name + "/lpt";
+  out.queries.reserve(workload.size());
+  for (const auto& [cost, index] : keyed) {
+    out.queries.push_back(workload.queries[index]);
+  }
+  return out;
+}
+
+Result<ThroughputResult> SimulateInterleaved(
+    const DeclusteringMethod& method, const Workload& workload,
+    const ThroughputOptions& options) {
+  if (options.concurrency < 1) {
+    return Status::InvalidArgument("concurrency must be >= 1");
+  }
+  if (workload.empty()) {
+    return Status::InvalidArgument("workload must be non-empty");
+  }
+  const uint32_t m = method.num_disks();
+  if (!options.slowdown.empty() && options.slowdown.size() != m) {
+    return Status::InvalidArgument("need one slowdown entry per disk");
+  }
+  for (double s : options.slowdown) {
+    if (!(s > 0)) {
+      return Status::InvalidArgument("slowdown factors must be positive");
+    }
+  }
+  const DiskParams& p = options.params;
+  const double transfer = p.TransferMs();
+  const double position = p.avg_seek_ms + p.rotational_latency_ms;
+  const GridSpec& grid = method.grid();
+  const uint32_t n = static_cast<uint32_t>(workload.size());
+
+  std::vector<DiskState> disks(m);
+  for (DiskState& d : disks) d.pending.resize(n);
+  std::vector<uint32_t> remaining(n, 0);  // Outstanding requests per query.
+  std::vector<double> admit_time(n, 0);
+
+  ThroughputResult result;
+  result.num_queries = n;
+  result.disk_busy_ms.assign(m, 0);
+
+  // Completion events: (time, disk). A disk has at most one in flight.
+  using Event = std::pair<double, uint32_t>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+
+  uint32_t next_query = 0;
+  uint32_t in_flight = 0;
+  double now = 0;
+  double latency_sum = 0;
+
+  auto start_service = [&](uint32_t disk_id) {
+    DiskState& d = disks[disk_id];
+    if (d.busy || d.turn_order.empty()) return;
+    const uint32_t q = d.turn_order.front();
+    d.turn_order.pop_front();
+    GRIDDECL_CHECK(!d.pending[q].empty());
+    const uint64_t addr = d.pending[q].front();
+    d.pending[q].pop_front();
+    double seek = position;
+    if (d.has_last && addr >= d.last_address &&
+        addr - d.last_address <= p.near_gap_buckets) {
+      seek *= p.near_seek_factor;
+    }
+    const double scale =
+        options.slowdown.empty() ? 1.0 : options.slowdown[disk_id];
+    const double service = (seek + transfer) * scale;
+    d.last_address = addr;
+    d.has_last = true;
+    d.busy = true;
+    d.current_query = q;
+    d.busy_ms += service;
+    // Fair sharing: the query rejoins the tail if it still has requests.
+    if (!d.pending[q].empty()) d.turn_order.push_back(q);
+    events.push({now + service, disk_id});
+  };
+
+  // Forward declaration dance: admit() and complete_query() are mutually
+  // recursive through zero-request queries.
+  std::function<void(uint32_t, double)> complete_query;
+  auto admit = [&](uint32_t q, double at) {
+    admit_time[q] = at;
+    ++in_flight;
+    std::vector<std::vector<uint64_t>> batches(m);
+    workload.queries[q].rect().ForEachBucket([&](const BucketCoords& c) {
+      batches[method.DiskOf(c)].push_back(grid.Linearize(c));
+    });
+    uint32_t total = 0;
+    for (uint32_t disk_id = 0; disk_id < m; ++disk_id) {
+      std::sort(batches[disk_id].begin(), batches[disk_id].end());
+      for (uint64_t addr : batches[disk_id]) {
+        disks[disk_id].pending[q].push_back(addr);
+      }
+      if (!batches[disk_id].empty()) {
+        disks[disk_id].turn_order.push_back(q);
+        total += static_cast<uint32_t>(batches[disk_id].size());
+      }
+    }
+    remaining[q] = total;
+    if (total == 0) {
+      complete_query(q, at);
+    } else {
+      for (uint32_t disk_id = 0; disk_id < m; ++disk_id) {
+        start_service(disk_id);
+      }
+    }
+  };
+
+  complete_query = [&](uint32_t q, double at) {
+    const double latency = at - admit_time[q];
+    latency_sum += latency;
+    result.max_latency_ms = std::max(result.max_latency_ms, latency);
+    result.total_ms = std::max(result.total_ms, at);
+    --in_flight;
+    if (next_query < n) {
+      const uint32_t next = next_query++;
+      admit(next, at);
+    }
+  };
+
+  while (next_query < n && in_flight < options.concurrency) {
+    const uint32_t next = next_query++;
+    admit(next, 0);
+  }
+
+  while (!events.empty()) {
+    const auto [time, disk_id] = events.top();
+    events.pop();
+    now = time;
+    DiskState& d = disks[disk_id];
+    const uint32_t q = d.current_query;
+    d.busy = false;
+    GRIDDECL_CHECK(remaining[q] > 0);
+    if (--remaining[q] == 0) complete_query(q, now);
+    start_service(disk_id);
+  }
+
+  for (uint32_t disk_id = 0; disk_id < m; ++disk_id) {
+    result.disk_busy_ms[disk_id] = disks[disk_id].busy_ms;
+  }
+  result.mean_latency_ms = latency_sum / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace griddecl

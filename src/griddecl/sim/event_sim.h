@@ -1,0 +1,42 @@
+#ifndef GRIDDECL_SIM_EVENT_SIM_H_
+#define GRIDDECL_SIM_EVENT_SIM_H_
+
+#include "griddecl/sim/throughput.h"
+
+/// \file
+/// Request-interleaved multiuser simulation.
+///
+/// `SimulateThroughput` (sim/throughput.h) models batch-FIFO disks: a disk
+/// finishes one query's whole batch before touching the next query's. Real
+/// systems issue bucket-sized I/Os, and a disk's scheduler interleaves
+/// requests from concurrent queries. This event-driven model captures that:
+///
+///  * each disk serves one request at a time, picking the next request
+///    round-robin across the queries waiting on it (fair sharing);
+///  * positioning cost uses the disk's *actual* previous request address,
+///    so interleaving pays the seeks that batch service avoids — the model
+///    exposes the classic fairness-vs-locality trade;
+///  * admission is closed-system at a fixed multiprogramming level, as in
+///    the batch model.
+///
+/// Comparing the two models per method (bench A5's companion table) shows
+/// which methods rely on batch locality versus genuine balance.
+
+namespace griddecl {
+
+/// Runs the interleaved simulation. Options and result shape are shared
+/// with `SimulateThroughput` (the `slowdown` array applies here too).
+Result<ThroughputResult> SimulateInterleaved(const DeclusteringMethod& method,
+                                             const Workload& workload,
+                                             const ThroughputOptions& options);
+
+/// Longest-processing-time-first admission order: sorts the workload's
+/// queries by decreasing single-query response time under `method`
+/// (stable, so equal-cost queries keep their order). The classic offline
+/// makespan heuristic for closed-system batch execution.
+Workload ReorderLongestFirst(const DeclusteringMethod& method,
+                             const Workload& workload);
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_SIM_EVENT_SIM_H_

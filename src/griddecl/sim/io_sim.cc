@@ -1,0 +1,96 @@
+#include "griddecl/sim/io_sim.h"
+
+#include <algorithm>
+
+namespace griddecl {
+
+uint64_t SimResult::TotalRequests() const {
+  uint64_t total = 0;
+  for (const DiskSimStats& d : per_disk) total += d.requests;
+  return total;
+}
+
+double SimResult::SerialMs() const {
+  double total = 0.0;
+  for (const DiskSimStats& d : per_disk) total += d.busy_ms;
+  return total;
+}
+
+double SimResult::Speedup() const {
+  return makespan_ms <= 0.0 ? 1.0 : SerialMs() / makespan_ms;
+}
+
+double SimResult::MeanUtilization() const {
+  if (per_disk.empty() || makespan_ms <= 0.0) return 0.0;
+  double sum = 0.0;
+  for (const DiskSimStats& d : per_disk) sum += d.busy_ms / makespan_ms;
+  return sum / static_cast<double>(per_disk.size());
+}
+
+ParallelIoSimulator::ParallelIoSimulator(uint32_t num_disks, DiskParams params)
+    : ParallelIoSimulator(num_disks, params, {}) {}
+
+ParallelIoSimulator::ParallelIoSimulator(uint32_t num_disks, DiskParams params,
+                                         std::vector<double> slowdown)
+    : num_disks_(num_disks),
+      params_(params),
+      slowdown_(std::move(slowdown)) {
+  GRIDDECL_CHECK(num_disks >= 1);
+  GRIDDECL_CHECK(params.avg_seek_ms >= 0 && params.rotational_latency_ms >= 0);
+  GRIDDECL_CHECK(params.transfer_ms_per_kb >= 0 && params.bucket_kb > 0);
+  GRIDDECL_CHECK(params.near_seek_factor >= 0 && params.near_seek_factor <= 1);
+  GRIDDECL_CHECK_MSG(slowdown_.empty() || slowdown_.size() == num_disks_,
+                     "need one slowdown per disk");
+  for (double s : slowdown_) GRIDDECL_CHECK(s > 0);
+}
+
+double ParallelIoSimulator::slowdown(uint32_t disk) const {
+  GRIDDECL_CHECK(disk < num_disks_);
+  return slowdown_.empty() ? 1.0 : slowdown_[disk];
+}
+
+SimResult ParallelIoSimulator::RunQuery(const DeclusteringMethod& method,
+                                        const RangeQuery& query) const {
+  GRIDDECL_CHECK_MSG(method.num_disks() == num_disks_,
+                     "method declusters over %u disks, simulator has %u",
+                     method.num_disks(), num_disks_);
+  std::vector<std::vector<uint64_t>> schedule(num_disks_);
+  const GridSpec& grid = method.grid();
+  query.rect().ForEachBucket([&](const BucketCoords& c) {
+    schedule[method.DiskOf(c)].push_back(grid.Linearize(c));
+  });
+  return RunSchedule(schedule);
+}
+
+SimResult ParallelIoSimulator::RunSchedule(
+    const std::vector<std::vector<uint64_t>>& per_disk_addresses) const {
+  GRIDDECL_CHECK(per_disk_addresses.size() == num_disks_);
+  SimResult result;
+  result.per_disk.resize(num_disks_);
+  const double transfer = params_.TransferMs();
+  const double position =
+      params_.avg_seek_ms + params_.rotational_latency_ms;
+  for (uint32_t d = 0; d < num_disks_; ++d) {
+    std::vector<uint64_t> addrs = per_disk_addresses[d];
+    std::sort(addrs.begin(), addrs.end());
+    const double scale = slowdown(d);
+    double busy = 0.0;
+    bool have_prev = false;
+    uint64_t prev = 0;
+    for (uint64_t addr : addrs) {
+      double seek_cost = position;
+      if (have_prev && addr - prev <= params_.near_gap_buckets) {
+        seek_cost *= params_.near_seek_factor;
+      }
+      busy += (seek_cost + transfer) * scale;
+      prev = addr;
+      have_prev = true;
+    }
+    result.per_disk[d].requests = addrs.size();
+    result.per_disk[d].busy_ms = busy;
+    result.makespan_ms = std::max(result.makespan_ms, busy);
+  }
+  return result;
+}
+
+}  // namespace griddecl

@@ -1,0 +1,182 @@
+#include "griddecl/theory/kd_strict_optimality.h"
+
+#include <algorithm>
+
+#include "griddecl/common/math_util.h"
+#include "griddecl/grid/rect.h"
+
+namespace griddecl {
+
+namespace {
+
+/// Backtracking searcher over an arbitrary k-d grid. Cells are assigned in
+/// row-major order; after assigning the cell at coordinates `c`, every
+/// hyper-rectangle whose componentwise-maximum corner is `c` lies entirely
+/// in the assigned prefix (componentwise <= implies row-major <=) and is
+/// re-validated, so complete assignments satisfy every constraint.
+class KdSearcher {
+ public:
+  KdSearcher(const GridSpec& grid, uint32_t num_disks, uint64_t max_nodes)
+      : grid_(grid),
+        m_(num_disks),
+        max_nodes_(max_nodes),
+        alloc_(static_cast<size_t>(grid.num_buckets()), 0),
+        counts_(num_disks, 0) {
+    // Precompute coordinates of every row-major index.
+    coords_.reserve(static_cast<size_t>(grid.num_buckets()));
+    grid.ForEachBucket(
+        [&](const BucketCoords& c) { coords_.push_back(c); });
+  }
+
+  StrictOptimalitySearchResult Run() {
+    StrictOptimalitySearchResult result;
+    nodes_ = 0;
+    budget_hit_ = false;
+    if (Assign(0, 0)) {
+      result.outcome = SearchOutcome::kFound;
+      result.allocation = alloc_;
+    } else {
+      result.outcome = budget_hit_ ? SearchOutcome::kBudgetExhausted
+                                   : SearchOutcome::kInfeasible;
+    }
+    result.nodes_explored = nodes_;
+    return result;
+  }
+
+ private:
+  bool CornerRectsOk(const BucketCoords& corner) {
+    const uint32_t k = grid_.num_dims();
+    // Odometer over the rectangle's low corner, each lo[i] in [0, corner_i].
+    BucketCoords lo(k);
+    for (;;) {
+      // Count disks over the rect [lo, corner].
+      std::fill(counts_.begin(), counts_.end(), 0u);
+      uint32_t max_count = 0;
+      uint64_t volume = 1;
+      for (uint32_t i = 0; i < k; ++i) volume *= corner[i] - lo[i] + 1;
+      const uint64_t bound = CeilDiv(volume, m_);
+      bool ok = true;
+      BucketCoords cell = lo;
+      for (;;) {
+        const uint32_t v = alloc_[static_cast<size_t>(grid_.Linearize(cell))];
+        if (++counts_[v] > bound) {
+          ok = false;
+          break;
+        }
+        max_count = std::max(max_count, counts_[v]);
+        uint32_t dim = k;
+        bool done = false;
+        for (;;) {
+          if (dim == 0) {
+            done = true;
+            break;
+          }
+          --dim;
+          if (++cell[dim] <= corner[dim]) break;
+          cell[dim] = lo[dim];
+        }
+        if (done) break;
+      }
+      if (!ok) return false;
+      // Advance the low corner odometer.
+      uint32_t dim = k;
+      for (;;) {
+        if (dim == 0) return true;
+        --dim;
+        if (++lo[dim] <= corner[dim]) break;
+        lo[dim] = 0;
+      }
+    }
+  }
+
+  bool Assign(uint64_t p, uint32_t max_used) {
+    if (p == grid_.num_buckets()) return true;
+    const uint32_t limit = std::min(m_ - 1, max_used);
+    for (uint32_t v = 0; v <= limit; ++v) {
+      if (++nodes_ > max_nodes_) {
+        budget_hit_ = true;
+        return false;
+      }
+      alloc_[static_cast<size_t>(p)] = v;
+      if (CornerRectsOk(coords_[static_cast<size_t>(p)])) {
+        if (Assign(p + 1, std::max(max_used, v + 1))) return true;
+        if (budget_hit_) return false;
+      }
+    }
+    return false;
+  }
+
+  const GridSpec& grid_;
+  const uint32_t m_;
+  const uint64_t max_nodes_;
+  std::vector<uint32_t> alloc_;
+  std::vector<BucketCoords> coords_;
+  std::vector<uint32_t> counts_;
+  uint64_t nodes_ = 0;
+  bool budget_hit_ = false;
+};
+
+}  // namespace
+
+Result<StrictOptimalitySearchResult> FindStrictlyOptimalAllocationKd(
+    const GridSpec& grid, uint32_t num_disks,
+    const StrictOptimalitySearchOptions& options) {
+  if (num_disks < 1) {
+    return Status::InvalidArgument("disks must be >= 1");
+  }
+  if (grid.num_buckets() > 4096) {
+    return Status::InvalidArgument(
+        "k-d search grids are capped at 4096 buckets (exponential search)");
+  }
+  KdSearcher searcher(grid, num_disks, options.max_nodes);
+  return searcher.Run();
+}
+
+bool AllocationIsStrictlyOptimalKd(const GridSpec& grid, uint32_t num_disks,
+                                   const std::vector<uint32_t>& allocation) {
+  GRIDDECL_CHECK(allocation.size() == grid.num_buckets());
+  for (uint32_t v : allocation) GRIDDECL_CHECK(v < num_disks);
+  const uint32_t k = grid.num_dims();
+  std::vector<uint32_t> counts(num_disks, 0);
+  // Enumerate all (lo, hi) pairs per dimension via a 2k-digit odometer.
+  std::vector<std::pair<uint32_t, uint32_t>> ranges(k, {0, 0});
+  for (;;) {
+    BucketCoords lo(k);
+    BucketCoords hi(k);
+    uint64_t volume = 1;
+    for (uint32_t i = 0; i < k; ++i) {
+      lo[i] = ranges[i].first;
+      hi[i] = ranges[i].second;
+      volume *= hi[i] - lo[i] + 1;
+    }
+    const uint64_t bound = CeilDiv(volume, num_disks);
+    std::fill(counts.begin(), counts.end(), 0u);
+    bool ok = true;
+    const BucketRect rect = BucketRect::Create(lo, hi).value();
+    rect.ForEachBucket([&](const BucketCoords& c) {
+      if (!ok) return;
+      const uint32_t v = allocation[static_cast<size_t>(grid.Linearize(c))];
+      if (++counts[v] > bound) ok = false;
+    });
+    if (!ok) return false;
+
+    uint32_t dim = k;
+    for (;;) {
+      if (dim == 0) return true;
+      --dim;
+      auto& [first, second] = ranges[dim];
+      if (second + 1 < grid.dim(dim)) {
+        ++second;
+        break;
+      }
+      if (first + 1 < grid.dim(dim)) {
+        ++first;
+        second = first;
+        break;
+      }
+      first = second = 0;
+    }
+  }
+}
+
+}  // namespace griddecl

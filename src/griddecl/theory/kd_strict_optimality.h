@@ -1,0 +1,39 @@
+#ifndef GRIDDECL_THEORY_KD_STRICT_OPTIMALITY_H_
+#define GRIDDECL_THEORY_KD_STRICT_OPTIMALITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "griddecl/common/status.h"
+#include "griddecl/grid/grid_spec.h"
+#include "griddecl/theory/strict_optimality.h"
+
+/// \file
+/// k-dimensional generalization of the strict-optimality search.
+///
+/// The paper states its impossibility theorem for two attributes; since any
+/// k-d grid contains 2-d sub-grids (fix all but two coordinates), the
+/// theorem lifts to k dimensions immediately. This module makes the lifted
+/// statement checkable directly: exhaustive backtracking over allocations
+/// of an arbitrary GridSpec with every axis-aligned hyper-rectangle held to
+/// the ceil(|Q|/M) bound. Useful both to confirm the lift computationally
+/// and to explore the feasible cases (M <= 3, M = 5) in three dimensions,
+/// where the classical 2-d linear allocations do NOT trivially extend.
+
+namespace griddecl {
+
+/// Decides whether a strictly optimal allocation of `grid` onto
+/// `num_disks` exists. Requires grid.num_buckets() <= 4096 (the search is
+/// exponential; larger inputs are a usage error).
+Result<StrictOptimalitySearchResult> FindStrictlyOptimalAllocationKd(
+    const GridSpec& grid, uint32_t num_disks,
+    const StrictOptimalitySearchOptions& options = {});
+
+/// Exhaustively verifies that the row-major `allocation` of `grid` is
+/// strictly optimal for every hyper-rectangular query.
+bool AllocationIsStrictlyOptimalKd(const GridSpec& grid, uint32_t num_disks,
+                                   const std::vector<uint32_t>& allocation);
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_THEORY_KD_STRICT_OPTIMALITY_H_

@@ -1,0 +1,72 @@
+#include "griddecl/theory/partial_match_optimality.h"
+
+#include <algorithm>
+
+#include "griddecl/eval/metrics.h"
+#include "griddecl/query/generator.h"
+
+namespace griddecl {
+
+bool DmPartialMatchCondition(const GridSpec& grid, uint32_t num_disks,
+                             const std::vector<uint32_t>& unspecified_dims) {
+  if (unspecified_dims.size() == 1) return true;
+  for (uint32_t dim : unspecified_dims) {
+    GRIDDECL_CHECK(dim < grid.num_dims());
+    if (grid.dim(dim) % num_disks == 0) return true;
+  }
+  return false;
+}
+
+Result<bool> VerifyOptimalForPartialMatchClass(
+    const DeclusteringMethod& method,
+    const std::vector<uint32_t>& specified_dims) {
+  QueryGenerator gen(method.grid());
+  Result<Workload> workload =
+      gen.AllPartialMatch(specified_dims, "pm-class");
+  if (!workload.ok()) return workload.status();
+  for (const RangeQuery& q : workload.value().queries) {
+    if (!IsOptimalFor(method, q)) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<uint32_t>> AllDimSubsets(uint32_t k) {
+  GRIDDECL_CHECK(k <= 20);
+  std::vector<std::vector<uint32_t>> subsets;
+  subsets.reserve(size_t{1} << k);
+  for (uint32_t mask = 0; mask < (uint32_t{1} << k); ++mask) {
+    std::vector<uint32_t> subset;
+    for (uint32_t i = 0; i < k; ++i) {
+      if ((mask >> i) & 1) subset.push_back(i);
+    }
+    subsets.push_back(std::move(subset));
+  }
+  std::stable_sort(subsets.begin(), subsets.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.size() < b.size();
+                   });
+  return subsets;
+}
+
+std::string MethodRestrictionSummary(const std::string& registry_name) {
+  if (registry_name == "dm" || registry_name == "cmd" ||
+      registry_name == "gdm" || registry_name == "gdm-search") {
+    return "none (any M, any d_i)";
+  }
+  if (registry_name == "linear" || registry_name == "random") {
+    return "none (baseline)";
+  }
+  if (registry_name == "fx" || registry_name == "fx-auto" ||
+      registry_name == "exfx") {
+    return "intended for d_i powers of 2; defined for all inputs";
+  }
+  if (registry_name == "ecc") {
+    return "M a power of 2 and every d_i a power of 2";
+  }
+  if (registry_name == "hcam" || registry_name == "zcam") {
+    return "none (any M, any d_i)";
+  }
+  return "unknown method";
+}
+
+}  // namespace griddecl

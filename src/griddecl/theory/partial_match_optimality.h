@@ -1,0 +1,53 @@
+#ifndef GRIDDECL_THEORY_PARTIAL_MATCH_OPTIMALITY_H_
+#define GRIDDECL_THEORY_PARTIAL_MATCH_OPTIMALITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "griddecl/common/status.h"
+#include "griddecl/methods/method.h"
+
+/// \file
+/// The classical partial-match optimality results the paper summarizes in
+/// Section 3.1 / Table 1, as executable predicates:
+///
+///  * DM/CMD is strictly optimal for every partial-match query with exactly
+///    one unspecified attribute, and for every partial-match query with at
+///    least one unspecified attribute i such that `d_i mod M == 0`
+///    (Du & Sobolewski 1982; Li et al. 1992).
+///  * FX requires power-of-two domains; ECC requires power-of-two domains
+///    and a power-of-two disk count; HCAM has no applicability restriction
+///    (Table 1's "restrictions" column).
+///
+/// `VerifyOptimalForPartialMatchClass` is the empirical side: it enumerates
+/// an entire query class and checks optimality exhaustively, turning each
+/// theorem into a machine-checked fact on concrete configurations.
+
+namespace griddecl {
+
+/// Closed-form DM/CMD condition for the class of partial-match queries whose
+/// *unspecified* dimensions are exactly `unspecified_dims`: true when the
+/// class is guaranteed strictly optimal under DM.
+bool DmPartialMatchCondition(const GridSpec& grid, uint32_t num_disks,
+                             const std::vector<uint32_t>& unspecified_dims);
+
+/// Exhaustively checks that `method` answers every partial-match query with
+/// exactly the dimensions in `specified_dims` fixed at the optimum.
+/// Cost: prod over specified d_i queries, each scanning its buckets.
+Result<bool> VerifyOptimalForPartialMatchClass(
+    const DeclusteringMethod& method,
+    const std::vector<uint32_t>& specified_dims);
+
+/// All subsets of {0, ..., k-1}, smallest first; helper for sweeping every
+/// partial-match class of a k-d grid.
+std::vector<std::vector<uint32_t>> AllDimSubsets(uint32_t k);
+
+/// Static "restrictions" row of the paper's Table 1 for a method registry
+/// name ("dm", "fx", "ecc", "hcam"): human-readable applicability
+/// constraints on M and the d_i.
+std::string MethodRestrictionSummary(const std::string& registry_name);
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_THEORY_PARTIAL_MATCH_OPTIMALITY_H_

@@ -1,0 +1,186 @@
+#include "griddecl/theory/strict_optimality.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "griddecl/common/check.h"
+#include "griddecl/common/math_util.h"
+
+namespace griddecl {
+
+namespace {
+
+/// Backtracking search context. The grid is filled in row-major order; after
+/// tentatively placing a value at (r, c), every rectangle whose bottom-right
+/// corner is (r, c) is fully contained in the assigned prefix and gets
+/// checked, so any complete assignment is strictly optimal by construction.
+class Searcher {
+ public:
+  Searcher(uint32_t rows, uint32_t cols, uint32_t num_disks,
+           uint64_t max_nodes)
+      : rows_(rows),
+        cols_(cols),
+        m_(num_disks),
+        max_nodes_(max_nodes),
+        alloc_(static_cast<size_t>(rows) * cols, 0),
+        counts_(num_disks, 0) {}
+
+  StrictOptimalitySearchResult Run() {
+    StrictOptimalitySearchResult result;
+    budget_hit_ = false;
+    nodes_ = 0;
+    if (Assign(0, /*max_used=*/0)) {
+      result.outcome = SearchOutcome::kFound;
+      result.allocation = alloc_;
+    } else {
+      result.outcome = budget_hit_ ? SearchOutcome::kBudgetExhausted
+                                   : SearchOutcome::kInfeasible;
+    }
+    result.nodes_explored = nodes_;
+    return result;
+  }
+
+ private:
+  uint32_t At(uint32_t r, uint32_t c) const {
+    return alloc_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  /// Checks every rectangle with bottom-right corner (r, c) against the
+  /// ceil(|Q|/M) bound, assuming all cells up to (r, c) are assigned.
+  bool CornerRectsOk(uint32_t r, uint32_t c) {
+    for (uint32_t lo_r = r + 1; lo_r-- > 0;) {
+      const uint32_t height = r - lo_r + 1;
+      std::fill(counts_.begin(), counts_.end(), 0u);
+      uint32_t max_count = 0;
+      for (uint32_t lo_c = c + 1; lo_c-- > 0;) {
+        // Grow the rectangle leftwards by one column.
+        for (uint32_t i = lo_r; i <= r; ++i) {
+          const uint32_t v = At(i, lo_c);
+          max_count = std::max(max_count, ++counts_[v]);
+        }
+        const uint64_t volume =
+            static_cast<uint64_t>(height) * (c - lo_c + 1);
+        if (max_count > CeilDiv(volume, m_)) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Recursive assignment of cell index `p` (row-major). `max_used` is the
+  /// number of distinct disk ids used so far; canonical labeling allows
+  /// values 0..min(max_used, M-1).
+  bool Assign(uint32_t p, uint32_t max_used) {
+    if (p == rows_ * cols_) return true;
+    const uint32_t r = p / cols_;
+    const uint32_t c = p % cols_;
+    const uint32_t limit = std::min(m_ - 1, max_used);
+    for (uint32_t v = 0; v <= limit; ++v) {
+      if (++nodes_ > max_nodes_) {
+        budget_hit_ = true;
+        return false;
+      }
+      alloc_[p] = v;
+      if (CornerRectsOk(r, c)) {
+        const uint32_t next_max = std::max(max_used, v + 1);
+        if (Assign(p + 1, next_max)) return true;
+        if (budget_hit_) return false;
+      }
+    }
+    return false;
+  }
+
+  const uint32_t rows_;
+  const uint32_t cols_;
+  const uint32_t m_;
+  const uint64_t max_nodes_;
+  std::vector<uint32_t> alloc_;
+  std::vector<uint32_t> counts_;
+  uint64_t nodes_ = 0;
+  bool budget_hit_ = false;
+};
+
+}  // namespace
+
+Result<StrictOptimalitySearchResult> FindStrictlyOptimalAllocation(
+    uint32_t rows, uint32_t cols, uint32_t num_disks,
+    const StrictOptimalitySearchOptions& options) {
+  if (rows < 1 || cols < 1 || num_disks < 1) {
+    return Status::InvalidArgument("rows, cols and disks must be >= 1");
+  }
+  if (rows > 64 || cols > 64) {
+    return Status::InvalidArgument(
+        "search grids are capped at 64x64 (exponential search)");
+  }
+  Searcher searcher(rows, cols, num_disks, options.max_nodes);
+  return searcher.Run();
+}
+
+Result<std::pair<uint32_t, uint32_t>> KnownStrictlyOptimalCoefficients(
+    uint32_t num_disks) {
+  switch (num_disks) {
+    case 1:
+      return std::pair<uint32_t, uint32_t>{1, 1};
+    case 2:
+      return std::pair<uint32_t, uint32_t>{1, 1};
+    case 3:
+      return std::pair<uint32_t, uint32_t>{1, 2};
+    case 5:
+      return std::pair<uint32_t, uint32_t>{1, 2};
+    default:
+      return Status::Unsupported(
+          "no linear strictly optimal allocation is known for M = " +
+          std::to_string(num_disks) +
+          " (the paper proves none exists at all for M > 5)");
+  }
+}
+
+bool AllocationIsStrictlyOptimal(uint32_t rows, uint32_t cols,
+                                 uint32_t num_disks,
+                                 const std::vector<uint32_t>& allocation) {
+  GRIDDECL_CHECK(allocation.size() == static_cast<size_t>(rows) * cols);
+  for (uint32_t v : allocation) GRIDDECL_CHECK(v < num_disks);
+  std::vector<uint32_t> counts(num_disks, 0);
+  for (uint32_t lo_r = 0; lo_r < rows; ++lo_r) {
+    for (uint32_t hi_r = lo_r; hi_r < rows; ++hi_r) {
+      for (uint32_t lo_c = 0; lo_c < cols; ++lo_c) {
+        std::fill(counts.begin(), counts.end(), 0u);
+        uint32_t max_count = 0;
+        for (uint32_t hi_c = lo_c; hi_c < cols; ++hi_c) {
+          for (uint32_t r = lo_r; r <= hi_r; ++r) {
+            const uint32_t v =
+                allocation[static_cast<size_t>(r) * cols + hi_c];
+            max_count = std::max(max_count, ++counts[v]);
+          }
+          const uint64_t volume =
+              static_cast<uint64_t>(hi_r - lo_r + 1) * (hi_c - lo_c + 1);
+          if (max_count > CeilDiv(volume, num_disks)) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+uint32_t SmallestInfeasibleSquareSide(
+    uint32_t num_disks, uint32_t max_side, bool* budget_hit,
+    const StrictOptimalitySearchOptions& options) {
+  GRIDDECL_CHECK(budget_hit != nullptr);
+  *budget_hit = false;
+  for (uint32_t side = 2; side <= max_side; ++side) {
+    Result<StrictOptimalitySearchResult> r =
+        FindStrictlyOptimalAllocation(side, side, num_disks, options);
+    GRIDDECL_CHECK(r.ok());
+    switch (r.value().outcome) {
+      case SearchOutcome::kInfeasible:
+        return side;
+      case SearchOutcome::kBudgetExhausted:
+        *budget_hit = true;
+        return 0;
+      case SearchOutcome::kFound:
+        break;
+    }
+  }
+  return 0;
+}
+
+}  // namespace griddecl

@@ -1,0 +1,94 @@
+#ifndef GRIDDECL_THEORY_STRICT_OPTIMALITY_H_
+#define GRIDDECL_THEORY_STRICT_OPTIMALITY_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "griddecl/common/status.h"
+
+/// \file
+/// Machinery behind the paper's theoretical contribution: *there is no
+/// declustering method that is strictly optimal for range queries when the
+/// number of disks exceeds 5.*
+///
+/// A 2-D allocation of an `rows x cols` grid onto M disks is *strictly
+/// optimal* when every rectangular query Q satisfies
+/// `max_disk |Q on disk| == ceil(|Q| / M)`. `FindStrictlyOptimalAllocation`
+/// decides existence for a concrete grid by exhaustive backtracking over
+/// allocations with:
+///
+///  * incremental constraint checking — after placing cell (r, c), every
+///    rectangle whose bottom-right corner is (r, c) is re-validated, so a
+///    completed search tree leaf satisfies *all* rectangle constraints;
+///  * canonical-labeling symmetry breaking — disk ids are interchangeable,
+///    so each cell may only use ids up to (1 + max id used so far), cutting
+///    an M! factor.
+///
+/// Because strict optimality on a grid implies strict optimality on every
+/// sub-grid, `kInfeasible` for some grid size proves impossibility for all
+/// larger grids — which is how the theorem is exhibited computationally
+/// (bench E8): for every M in {4, 6, 7, ...} a small grid already fails,
+/// while for M in {1, 2, 3, 5} the classical linear allocations succeed on
+/// arbitrarily large grids.
+
+namespace griddecl {
+
+/// Outcome of the backtracking search.
+enum class SearchOutcome {
+  /// An allocation satisfying every rectangle constraint was found.
+  kFound,
+  /// Exhaustively proven: no such allocation exists for this grid/M.
+  kInfeasible,
+  /// Node budget exhausted before a definite answer.
+  kBudgetExhausted,
+};
+
+/// Search report.
+struct StrictOptimalitySearchResult {
+  SearchOutcome outcome = SearchOutcome::kBudgetExhausted;
+  /// Backtracking nodes expanded.
+  uint64_t nodes_explored = 0;
+  /// Row-major allocation (rows*cols entries, values < M); only when found.
+  std::vector<uint32_t> allocation;
+};
+
+/// Search knobs.
+struct StrictOptimalitySearchOptions {
+  /// Abort with kBudgetExhausted beyond this many nodes.
+  uint64_t max_nodes = 50'000'000;
+};
+
+/// Decides whether a strictly optimal allocation of an `rows x cols` grid
+/// onto `num_disks` disks exists. Requires rows, cols, num_disks >= 1 and a
+/// grid of at most 64x64 (the search is exponential; larger inputs are a
+/// usage error, not a scaling knob).
+Result<StrictOptimalitySearchResult> FindStrictlyOptimalAllocation(
+    uint32_t rows, uint32_t cols, uint32_t num_disks,
+    const StrictOptimalitySearchOptions& options = {});
+
+/// Returns GDM coefficients (a, b) such that `disk(i, j) = (a*i + b*j) mod M`
+/// is strictly optimal for all range queries on arbitrarily large 2-D grids.
+/// Known to exist exactly for M in {1, 2, 3, 5} (verified in tests via
+/// exhaustive checking); kUnsupported otherwise.
+Result<std::pair<uint32_t, uint32_t>> KnownStrictlyOptimalCoefficients(
+    uint32_t num_disks);
+
+/// Verifies that the row-major `allocation` of an `rows x cols` grid is
+/// strictly optimal (every rectangle, exhaustive). Utility for tests and
+/// the E8 bench.
+bool AllocationIsStrictlyOptimal(uint32_t rows, uint32_t cols,
+                                 uint32_t num_disks,
+                                 const std::vector<uint32_t>& allocation);
+
+/// Smallest square grid side (searching 2..max_side) for which no strictly
+/// optimal allocation exists, or 0 when every tested side is feasible.
+/// The per-side search uses `options`; a side whose search exhausts its
+/// budget stops the scan (returned in *budget_hit).
+uint32_t SmallestInfeasibleSquareSide(
+    uint32_t num_disks, uint32_t max_side, bool* budget_hit,
+    const StrictOptimalitySearchOptions& options = {});
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_THEORY_STRICT_OPTIMALITY_H_

@@ -1,0 +1,118 @@
+#include "griddecl/theory/worst_case.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "griddecl/common/math_util.h"
+
+namespace griddecl {
+
+Result<WorstCaseResult> FindWorstCaseQuery(const DeclusteringMethod& method,
+                                           uint64_t max_volume) {
+  const GridSpec& grid = method.grid();
+  if (grid.num_buckets() > (uint64_t{1} << 20)) {
+    return Status::InvalidArgument(
+        "worst-case scan is exhaustive; grid exceeds 2^20 buckets");
+  }
+  const uint32_t k = grid.num_dims();
+  const uint32_t m = method.num_disks();
+  if (max_volume == 0) max_volume = grid.num_buckets();
+
+  // Snapshot the allocation for cheap repeated lookups.
+  std::vector<uint32_t> alloc;
+  alloc.reserve(static_cast<size_t>(grid.num_buckets()));
+  grid.ForEachBucket(
+      [&](const BucketCoords& c) { alloc.push_back(method.DiskOf(c)); });
+
+  WorstCaseResult worst;
+  bool have_worst = false;
+  std::vector<uint32_t> counts(m, 0);
+
+  // Enumerate (lo, hi) pairs for all dims except the last via an odometer;
+  // the last dimension's hi grows incrementally with counts maintained.
+  std::vector<std::pair<uint32_t, uint32_t>> ranges(k - 0, {0, 0});
+  // ranges[0..k-2] iterate fully; ranges[k-1].first iterates, .second grows.
+  for (;;) {
+    // Fixed part of the rectangle (all dims but the last, plus lo of last).
+    uint64_t fixed_volume = 1;
+    for (uint32_t i = 0; i + 1 < k; ++i) {
+      fixed_volume *= ranges[i].second - ranges[i].first + 1;
+    }
+    const uint32_t last_lo = ranges[k - 1].first;
+    std::fill(counts.begin(), counts.end(), 0u);
+    uint32_t max_count = 0;
+    for (uint32_t last_hi = last_lo; last_hi < grid.dim(k - 1); ++last_hi) {
+      const uint64_t volume = fixed_volume * (last_hi - last_lo + 1);
+      if (volume > max_volume) break;
+      // Add the "column": every cell with last coordinate == last_hi.
+      BucketCoords cell(k);
+      for (uint32_t i = 0; i + 1 < k; ++i) cell[i] = ranges[i].first;
+      cell[k - 1] = last_hi;
+      for (;;) {
+        const uint32_t v =
+            alloc[static_cast<size_t>(grid.Linearize(cell))];
+        max_count = std::max(max_count, ++counts[v]);
+        // Odometer over dims 0..k-2 within their [first, second] ranges.
+        uint32_t dim = k - 1;
+        bool done = false;
+        for (;;) {
+          if (dim == 0) {
+            done = true;
+            break;
+          }
+          --dim;
+          if (++cell[dim] <= ranges[dim].second) break;
+          cell[dim] = ranges[dim].first;
+        }
+        if (done) break;
+      }
+      const uint64_t optimal = CeilDiv(volume, m);
+      const uint64_t deviation = max_count - optimal;
+      const bool better =
+          !have_worst || deviation > worst.AdditiveDeviation() ||
+          (deviation == worst.AdditiveDeviation() &&
+           static_cast<double>(max_count) / static_cast<double>(optimal) >
+               worst.Ratio());
+      if (better) {
+        BucketCoords lo(k);
+        BucketCoords hi(k);
+        for (uint32_t i = 0; i + 1 < k; ++i) {
+          lo[i] = ranges[i].first;
+          hi[i] = ranges[i].second;
+        }
+        lo[k - 1] = last_lo;
+        hi[k - 1] = last_hi;
+        worst.rect = BucketRect::Create(lo, hi).value();
+        worst.volume = volume;
+        worst.response = max_count;
+        worst.optimal = optimal;
+        have_worst = true;
+      }
+    }
+    // Advance the outer odometer: dims 0..k-2 over (first, second) pairs,
+    // then the last dimension's lo.
+    uint32_t dim = k;
+    for (;;) {
+      if (dim == 0) return worst;
+      --dim;
+      if (dim == k - 1) {
+        if (++ranges[dim].first < grid.dim(dim)) break;
+        ranges[dim].first = 0;
+        continue;
+      }
+      auto& [first, second] = ranges[dim];
+      if (second + 1 < grid.dim(dim)) {
+        ++second;
+        break;
+      }
+      if (first + 1 < grid.dim(dim)) {
+        ++first;
+        second = first;
+        break;
+      }
+      first = second = 0;
+    }
+  }
+}
+
+}  // namespace griddecl

@@ -1,0 +1,49 @@
+#ifndef GRIDDECL_THEORY_WORST_CASE_H_
+#define GRIDDECL_THEORY_WORST_CASE_H_
+
+#include <cstdint>
+
+#include "griddecl/common/status.h"
+#include "griddecl/grid/rect.h"
+#include "griddecl/methods/method.h"
+
+/// \file
+/// Exhaustive worst-case analysis of a declustering method.
+///
+/// The theory the paper surveys gives per-method worst-case *bounds*; for
+/// a concrete grid and disk count the exact worst query can simply be
+/// computed. `FindWorstCaseQuery` enumerates every hyper-rectangle (up to
+/// an optional volume cap) and returns the one with the largest additive
+/// deviation `response - ceil(|Q|/M)`, breaking ties toward the larger
+/// response/optimal ratio. Exponential in grid size — intended for the
+/// modest grids where the answer is interesting (e.g. "what is the worst
+/// query DM can see on 32x32 with 16 disks, and how bad is it?").
+
+namespace griddecl {
+
+/// Worst query found and its costs.
+struct WorstCaseResult {
+  BucketRect rect = BucketRect::Point(BucketCoords(1));
+  uint64_t volume = 0;
+  uint64_t response = 0;
+  uint64_t optimal = 0;
+
+  uint64_t AdditiveDeviation() const { return response - optimal; }
+  double Ratio() const {
+    return optimal == 0 ? 1.0
+                        : static_cast<double>(response) /
+                              static_cast<double>(optimal);
+  }
+};
+
+/// Scans every rectangle of `method.grid()` with volume <= `max_volume`
+/// (0 = unlimited) and returns the worst. The scan maintains per-disk
+/// counts incrementally while extending the last dimension, so the cost is
+/// O(#rectangles * column height), not O(#rectangles * volume).
+/// Fails for grids above 2^20 buckets (accidental-cost guard).
+Result<WorstCaseResult> FindWorstCaseQuery(const DeclusteringMethod& method,
+                                           uint64_t max_volume = 0);
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_THEORY_WORST_CASE_H_

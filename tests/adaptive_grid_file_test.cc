@@ -1,0 +1,206 @@
+#include "griddecl/gridfile/adaptive_grid_file.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "griddecl/common/random.h"
+
+namespace griddecl {
+namespace {
+
+Schema UnitSchema() {
+  return Schema::Create({{"x", 0.0, 1.0}, {"y", 0.0, 1.0}}).value();
+}
+
+TEST(AdaptiveGridFileTest, CreateValidation) {
+  EXPECT_FALSE(
+      AdaptiveGridFile::Create(UnitSchema(), {.bucket_capacity = 0}).ok());
+  EXPECT_FALSE(AdaptiveGridFile::Create(
+                   UnitSchema(), {.bucket_capacity = 4,
+                                  .max_partitions_per_dim = 0})
+                   .ok());
+  const auto f = AdaptiveGridFile::Create(UnitSchema(), {}).value();
+  EXPECT_EQ(f.grid().value().ToString(), "1x1");
+  EXPECT_EQ(f.num_records(), 0u);
+  EXPECT_EQ(f.num_splits(), 0u);
+}
+
+TEST(AdaptiveGridFileTest, InsertValidation) {
+  auto f = AdaptiveGridFile::Create(UnitSchema(), {}).value();
+  EXPECT_FALSE(f.Insert({0.5}).ok());
+  EXPECT_FALSE(f.Insert({0.5, 0.5, 0.5}).ok());
+  EXPECT_FALSE(f.Insert({0.5, std::nan("")}).ok());
+  EXPECT_TRUE(f.Insert({0.5, 0.5}).ok());
+}
+
+TEST(AdaptiveGridFileTest, SplitsOnOverflow) {
+  AdaptiveGridFile f =
+      AdaptiveGridFile::Create(UnitSchema(), {.bucket_capacity = 4}).value();
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(f.Insert({rng.NextDouble(), rng.NextDouble()}).ok());
+  }
+  EXPECT_GT(f.num_splits(), 0u);
+  EXPECT_GT(f.grid().value().num_buckets(), 1u);
+  // No cell above capacity while splits remain possible.
+  EXPECT_LE(f.MaxLoadFactor(), 1.0);
+}
+
+TEST(AdaptiveGridFileTest, BoundariesStaySortedAndCoverDomain) {
+  AdaptiveGridFile f =
+      AdaptiveGridFile::Create(UnitSchema(), {.bucket_capacity = 3}).value();
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(f.Insert({rng.NextDouble(), rng.NextDouble()}).ok());
+  }
+  for (uint32_t dim = 0; dim < 2; ++dim) {
+    const std::vector<double>& b = f.boundaries(dim);
+    ASSERT_GE(b.size(), 2u);
+    EXPECT_EQ(b.front(), 0.0);
+    EXPECT_EQ(b.back(), 1.0);
+    for (size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+  }
+}
+
+TEST(AdaptiveGridFileTest, EveryRecordInItsCell) {
+  AdaptiveGridFile f =
+      AdaptiveGridFile::Create(UnitSchema(), {.bucket_capacity = 5}).value();
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(f.Insert({rng.NextDouble(), rng.NextDouble()}).ok());
+  }
+  // Each record id appears in exactly the cell BucketOfRecord names.
+  uint64_t seen = 0;
+  const GridSpec grid = f.grid().value();
+  grid.ForEachBucket([&](const BucketCoords& c) {
+    for (RecordId id : f.BucketContents(c)) {
+      EXPECT_EQ(f.BucketOfRecord(id), c);
+      ++seen;
+    }
+  });
+  EXPECT_EQ(seen, f.num_records());
+}
+
+TEST(AdaptiveGridFileTest, RangeSearchMatchesBruteForce) {
+  AdaptiveGridFile f =
+      AdaptiveGridFile::Create(UnitSchema(), {.bucket_capacity = 6}).value();
+  Rng rng(4);
+  std::vector<Record> data;
+  for (int i = 0; i < 400; ++i) {
+    Record r = {rng.NextDouble(), rng.NextDouble()};
+    data.push_back(r);
+    ASSERT_TRUE(f.Insert(r).ok());
+  }
+  for (int trial = 0; trial < 15; ++trial) {
+    double x0 = rng.NextDouble();
+    double x1 = rng.NextDouble();
+    if (x0 > x1) std::swap(x0, x1);
+    double y0 = rng.NextDouble();
+    double y1 = rng.NextDouble();
+    if (y0 > y1) std::swap(y0, y1);
+    const auto hits = f.RangeSearch({x0, y0}, {x1, y1}).value();
+    std::vector<RecordId> expected;
+    for (RecordId id = 0; id < data.size(); ++id) {
+      const Record& r = data[static_cast<size_t>(id)];
+      if (x0 <= r[0] && r[0] <= x1 && y0 <= r[1] && r[1] <= y1) {
+        expected.push_back(id);
+      }
+    }
+    EXPECT_EQ(hits, expected) << trial;
+  }
+}
+
+TEST(AdaptiveGridFileTest, AdaptsToSkewBetterThanItStarted) {
+  // Heavily clustered data: the adaptive file must cut the hot region into
+  // many cells, keeping cells within capacity where splitting is allowed.
+  AdaptiveGridFile f =
+      AdaptiveGridFile::Create(UnitSchema(),
+                               {.bucket_capacity = 8,
+                                .max_partitions_per_dim = 32})
+          .value();
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    // 90% of records in a tiny corner.
+    const bool hot = rng.NextBool(0.9);
+    const double scale = hot ? 0.05 : 1.0;
+    ASSERT_TRUE(
+        f.Insert({rng.NextDouble() * scale, rng.NextDouble() * scale}).ok());
+  }
+  EXPECT_LE(f.MaxLoadFactor(), 1.0);
+  // The hot corner got finer boundaries than the cold region: more than
+  // half of all boundaries lie in the first 10% of the domain.
+  for (uint32_t dim = 0; dim < 2; ++dim) {
+    const std::vector<double>& b = f.boundaries(dim);
+    const auto in_hot = std::count_if(
+        b.begin(), b.end(), [](double v) { return v > 0 && v < 0.1; });
+    EXPECT_GT(in_hot, static_cast<int64_t>(b.size()) / 2) << "dim " << dim;
+  }
+}
+
+TEST(AdaptiveGridFileTest, PartitionCapStopsSplitting) {
+  AdaptiveGridFile f =
+      AdaptiveGridFile::Create(UnitSchema(),
+                               {.bucket_capacity = 2,
+                                .max_partitions_per_dim = 2})
+          .value();
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(f.Insert({rng.NextDouble(), rng.NextDouble()}).ok());
+  }
+  const GridSpec grid = f.grid().value();
+  EXPECT_LE(grid.dim(0), 2u);
+  EXPECT_LE(grid.dim(1), 2u);
+  // Cells necessarily overflow once the cap is hit.
+  EXPECT_GT(f.MaxLoadFactor(), 1.0);
+}
+
+TEST(AdaptiveGridFileTest, DuplicateValuesDoNotLoopForever) {
+  // 100 identical records cannot be separated by any boundary; insertion
+  // must terminate with an overflowing cell rather than spinning.
+  AdaptiveGridFile f =
+      AdaptiveGridFile::Create(UnitSchema(), {.bucket_capacity = 4}).value();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(f.Insert({0.25, 0.75}).ok());
+  }
+  EXPECT_EQ(f.num_records(), 100u);
+  EXPECT_GT(f.MaxLoadFactor(), 1.0);
+}
+
+TEST(AdaptiveGridFileTest, SnapshotPreservesRecordsAndBoundaries) {
+  AdaptiveGridFile f =
+      AdaptiveGridFile::Create(UnitSchema(), {.bucket_capacity = 6}).value();
+  Rng rng(8);
+  for (int i = 0; i < 250; ++i) {
+    ASSERT_TRUE(f.Insert({rng.NextDouble(), rng.NextDouble()}).ok());
+  }
+  const GridFile snapshot = f.Snapshot().value();
+  EXPECT_EQ(snapshot.num_records(), f.num_records());
+  EXPECT_EQ(snapshot.grid(), f.grid().value());
+  // Record placement agrees cell-for-cell.
+  for (RecordId id = 0; id < f.num_records(); ++id) {
+    EXPECT_EQ(snapshot.BucketOfRecord(id), f.BucketOfRecord(id));
+  }
+  // And the same range query returns the same records.
+  const auto a = f.RangeSearch({0.1, 0.2}, {0.6, 0.9}).value();
+  auto b = snapshot.RangeSearch({0.1, 0.2}, {0.6, 0.9}).value();
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(AdaptiveGridFileTest, InducedGridUsableForDeclustering) {
+  AdaptiveGridFile f =
+      AdaptiveGridFile::Create(UnitSchema(), {.bucket_capacity = 8}).value();
+  Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(f.Insert({rng.NextDouble(), rng.NextDouble()}).ok());
+  }
+  const GridSpec grid = f.grid().value();
+  // A query resolved by the adaptive file is a legal query on its grid.
+  const RangeQuery q = f.ResolveRange({0.2, 0.2}, {0.7, 0.7}).value();
+  EXPECT_TRUE(q.rect().WithinGrid(grid));
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,119 @@
+#include "griddecl/eval/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "griddecl/common/random.h"
+#include "griddecl/query/generator.h"
+
+namespace griddecl {
+namespace {
+
+Workload SmallSquareWorkload(const GridSpec& grid, size_t count,
+                             uint64_t seed) {
+  QueryGenerator gen(grid);
+  Rng rng(seed);
+  return gen.SampledPlacements({3, 3}, count, &rng, "3x3").value();
+}
+
+TEST(AdvisorTest, Validation) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  Workload tiny = SmallSquareWorkload(grid, 3, 1);
+  EXPECT_FALSE(AdviseDeclustering(grid, 8, tiny).ok());
+
+  Workload w = SmallSquareWorkload(grid, 40, 1);
+  AdvisorOptions opts;
+  opts.train_fraction = 0.0;
+  EXPECT_FALSE(AdviseDeclustering(grid, 8, w, opts).ok());
+  opts.train_fraction = 1.0;
+  EXPECT_FALSE(AdviseDeclustering(grid, 8, w, opts).ok());
+
+  // Query outside grid.
+  const GridSpec big = GridSpec::Create({32, 32}).value();
+  Workload alien = SmallSquareWorkload(big, 40, 1);
+  EXPECT_FALSE(AdviseDeclustering(grid, 8, alien).ok());
+
+  // No constructible candidate.
+  AdvisorOptions none;
+  none.candidates = {"ecc"};
+  const GridSpec odd = GridSpec::Create({15, 15}).value();
+  Workload odd_w = SmallSquareWorkload(odd, 40, 1);
+  EXPECT_FALSE(AdviseDeclustering(odd, 8, odd_w, none).ok());
+}
+
+TEST(AdvisorTest, ScoresSortedAndConsistent) {
+  const GridSpec grid = GridSpec::Create({32, 32}).value();
+  const Workload w = SmallSquareWorkload(grid, 200, 2);
+  const Advice advice = AdviseDeclustering(grid, 16, w).value();
+  ASSERT_GE(advice.scores.size(), 4u);
+  for (size_t i = 1; i < advice.scores.size(); ++i) {
+    EXPECT_LE(advice.scores[i - 1].test_mean_response,
+              advice.scores[i].test_mean_response);
+  }
+  EXPECT_EQ(advice.recommended, advice.scores.front().name);
+  ASSERT_NE(advice.method, nullptr);
+  EXPECT_EQ(advice.method->name(), advice.recommended);
+  EXPECT_EQ(advice.method->num_disks(), 16u);
+}
+
+TEST(AdvisorTest, RecommendsAgainstDmOnSmallSquares) {
+  // On small square workloads, DM/CMD is the paper's loser; whatever wins,
+  // it must not be DM.
+  const GridSpec grid = GridSpec::Create({32, 32}).value();
+  const Workload w = SmallSquareWorkload(grid, 200, 3);
+  const Advice advice = AdviseDeclustering(grid, 16, w).value();
+  EXPECT_NE(advice.recommended, "DM/CMD");
+}
+
+TEST(AdvisorTest, OptimizedCandidateIncludedAndCompetitive) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const Workload w = SmallSquareWorkload(grid, 120, 4);
+  AdvisorOptions opts;
+  opts.include_optimized = true;
+  const Advice advice = AdviseDeclustering(grid, 8, w, opts).value();
+  bool found_opt = false;
+  for (const MethodScore& s : advice.scores) {
+    if (s.name.find("+opt") != std::string::npos) found_opt = true;
+  }
+  EXPECT_TRUE(found_opt);
+}
+
+TEST(AdvisorTest, NoOptimizeFlagRespected) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const Workload w = SmallSquareWorkload(grid, 60, 5);
+  AdvisorOptions opts;
+  opts.include_optimized = false;
+  const Advice advice = AdviseDeclustering(grid, 8, w, opts).value();
+  for (const MethodScore& s : advice.scores) {
+    EXPECT_EQ(s.name.find("+opt"), std::string::npos) << s.name;
+  }
+}
+
+TEST(AdvisorTest, CustomCandidateList) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const Workload w = SmallSquareWorkload(grid, 60, 6);
+  AdvisorOptions opts;
+  opts.candidates = {"dm", "linear"};
+  opts.include_optimized = false;
+  const Advice advice = AdviseDeclustering(grid, 8, w, opts).value();
+  ASSERT_EQ(advice.scores.size(), 2u);
+  for (const MethodScore& s : advice.scores) {
+    EXPECT_TRUE(s.name == "DM/CMD" || s.name == "Linear") << s.name;
+  }
+}
+
+TEST(AdvisorTest, DeterministicForSeed) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const Workload w = SmallSquareWorkload(grid, 80, 7);
+  const Advice a = AdviseDeclustering(grid, 8, w).value();
+  const Advice b = AdviseDeclustering(grid, 8, w).value();
+  EXPECT_EQ(a.recommended, b.recommended);
+  ASSERT_EQ(a.scores.size(), b.scores.size());
+  for (size_t i = 0; i < a.scores.size(); ++i) {
+    EXPECT_EQ(a.scores[i].name, b.scores[i].name);
+    EXPECT_DOUBLE_EQ(a.scores[i].test_mean_response,
+                     b.scores[i].test_mean_response);
+  }
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,105 @@
+#include "griddecl/eval/analytic.h"
+
+#include <gtest/gtest.h>
+
+#include "griddecl/common/random.h"
+#include "griddecl/eval/metrics.h"
+#include "griddecl/methods/dm.h"
+#include "griddecl/methods/fx.h"
+
+namespace griddecl {
+namespace {
+
+BucketRect RandomRect(const GridSpec& grid, Rng* rng) {
+  BucketCoords lo(grid.num_dims());
+  BucketCoords hi(grid.num_dims());
+  for (uint32_t i = 0; i < grid.num_dims(); ++i) {
+    const uint32_t a = static_cast<uint32_t>(rng->NextBelow(grid.dim(i)));
+    const uint32_t b = static_cast<uint32_t>(rng->NextBelow(grid.dim(i)));
+    lo[i] = std::min(a, b);
+    hi[i] = std::max(a, b);
+  }
+  return BucketRect::Create(lo, hi).value();
+}
+
+TEST(AnalyticTest, Validation) {
+  const BucketRect rect = BucketRect::Create({0, 0}, {3, 3}).value();
+  EXPECT_FALSE(AnalyticGdmCounts({1, 1}, rect, 0).ok());
+  EXPECT_FALSE(AnalyticGdmCounts({1}, rect, 4).ok());
+  EXPECT_FALSE(AnalyticFxCounts(rect, 0).ok());
+  EXPECT_FALSE(AnalyticFxCounts(rect, 6).ok());  // Not a power of two.
+  EXPECT_TRUE(AnalyticFxCounts(rect, 8).ok());
+}
+
+TEST(AnalyticTest, GdmHandComputed) {
+  // 2x2 rect at origin, DM, M=4: disks {0,1,1,2}.
+  const BucketRect rect = BucketRect::Create({0, 0}, {1, 1}).value();
+  const auto counts = AnalyticGdmCounts({1, 1}, rect, 4).value();
+  EXPECT_EQ(counts, (std::vector<uint64_t>{1, 2, 1, 0}));
+  EXPECT_EQ(MaxCount(counts), 2u);
+}
+
+TEST(AnalyticTest, GdmMatchesBruteForceRandomized) {
+  Rng rng(101);
+  for (int trial = 0; trial < 60; ++trial) {
+    const uint32_t k = 2 + static_cast<uint32_t>(rng.NextBelow(2));
+    std::vector<uint32_t> dims;
+    std::vector<uint32_t> coeffs;
+    for (uint32_t i = 0; i < k; ++i) {
+      dims.push_back(4 + static_cast<uint32_t>(rng.NextBelow(29)));
+      coeffs.push_back(1 + static_cast<uint32_t>(rng.NextBelow(7)));
+    }
+    const GridSpec grid = GridSpec::Create(dims).value();
+    const uint32_t m = 2 + static_cast<uint32_t>(rng.NextBelow(15));
+    const auto gdm = GdmMethod::Create(grid, m, coeffs).value();
+    const BucketRect rect = RandomRect(grid, &rng);
+    const RangeQuery q = RangeQuery::Create(grid, rect).value();
+    const std::vector<uint64_t> brute = PerDiskCounts(*gdm, q);
+    const std::vector<uint64_t> fast =
+        AnalyticGdmCounts(coeffs, rect, m).value();
+    EXPECT_EQ(brute, fast) << "trial " << trial << " rect "
+                           << rect.ToString() << " M=" << m;
+  }
+}
+
+TEST(AnalyticTest, FxMatchesBruteForceRandomized) {
+  Rng rng(202);
+  for (int trial = 0; trial < 60; ++trial) {
+    const uint32_t k = 2 + static_cast<uint32_t>(rng.NextBelow(2));
+    std::vector<uint32_t> dims;
+    for (uint32_t i = 0; i < k; ++i) {
+      dims.push_back(4 + static_cast<uint32_t>(rng.NextBelow(29)));
+    }
+    const GridSpec grid = GridSpec::Create(dims).value();
+    const uint32_t m = uint32_t{1} << (1 + rng.NextBelow(5));  // 2..32.
+    const auto fx = FxMethod::Create(grid, m).value();
+    const BucketRect rect = RandomRect(grid, &rng);
+    const RangeQuery q = RangeQuery::Create(grid, rect).value();
+    const std::vector<uint64_t> brute = PerDiskCounts(*fx, q);
+    const std::vector<uint64_t> fast = AnalyticFxCounts(rect, m).value();
+    EXPECT_EQ(brute, fast) << "trial " << trial << " rect "
+                           << rect.ToString() << " M=" << m;
+  }
+}
+
+TEST(AnalyticTest, CountsSumToVolume) {
+  Rng rng(303);
+  const GridSpec grid = GridSpec::Create({40, 40}).value();
+  for (int trial = 0; trial < 20; ++trial) {
+    const BucketRect rect = RandomRect(grid, &rng);
+    const auto counts = AnalyticGdmCounts({1, 1}, rect, 7).value();
+    uint64_t total = 0;
+    for (uint64_t c : counts) total += c;
+    EXPECT_EQ(total, rect.Volume());
+  }
+}
+
+TEST(AnalyticTest, FullPeriodRowIsUniform) {
+  // A 1 x 4M row under DM hits every residue exactly 4 times.
+  const BucketRect rect = BucketRect::Create({3, 0}, {3, 31}).value();
+  const auto counts = AnalyticGdmCounts({1, 1}, rect, 8).value();
+  for (uint64_t c : counts) EXPECT_EQ(c, 4u);
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,89 @@
+#include "griddecl/common/bit_util.h"
+
+#include <gtest/gtest.h>
+
+namespace griddecl {
+namespace {
+
+TEST(BitUtilTest, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(4));
+  EXPECT_FALSE(IsPowerOfTwo(6));
+  EXPECT_TRUE(IsPowerOfTwo(uint64_t{1} << 63));
+  EXPECT_FALSE(IsPowerOfTwo((uint64_t{1} << 63) + 1));
+}
+
+TEST(BitUtilTest, BitWidthForDomain) {
+  EXPECT_EQ(BitWidthForDomain(1), 0);
+  EXPECT_EQ(BitWidthForDomain(2), 1);
+  EXPECT_EQ(BitWidthForDomain(3), 2);
+  EXPECT_EQ(BitWidthForDomain(4), 2);
+  EXPECT_EQ(BitWidthForDomain(5), 3);
+  EXPECT_EQ(BitWidthForDomain(256), 8);
+  EXPECT_EQ(BitWidthForDomain(257), 9);
+}
+
+TEST(BitUtilTest, FloorAndCeilLog2) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(1024), 10);
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(1024), 10);
+  EXPECT_EQ(CeilLog2(1025), 11);
+}
+
+TEST(BitUtilTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+}
+
+TEST(BitUtilTest, Parity) {
+  EXPECT_EQ(Parity(0), 0u);
+  EXPECT_EQ(Parity(1), 1u);
+  EXPECT_EQ(Parity(0b1011), 1u);
+  EXPECT_EQ(Parity(0b1111), 0u);
+}
+
+TEST(BitUtilTest, GrayCodeRoundTrip) {
+  for (uint64_t x = 0; x < 1024; ++x) {
+    EXPECT_EQ(GrayCodeInverse(GrayCode(x)), x);
+  }
+}
+
+TEST(BitUtilTest, GrayCodeAdjacentDifferByOneBit) {
+  for (uint64_t x = 0; x < 1024; ++x) {
+    const uint64_t diff = GrayCode(x) ^ GrayCode(x + 1);
+    EXPECT_EQ(PopCount(diff), 1) << "x=" << x;
+  }
+}
+
+TEST(BitUtilTest, RotateLeftBits) {
+  EXPECT_EQ(RotateLeftBits(0b001, 1, 3), 0b010u);
+  EXPECT_EQ(RotateLeftBits(0b100, 1, 3), 0b001u);
+  EXPECT_EQ(RotateLeftBits(0b110, 2, 3), 0b011u);
+  EXPECT_EQ(RotateLeftBits(0xFF, 0, 8), 0xFFu);
+  // Full-width rotation is identity composed over width steps.
+  uint64_t v = 0b10110;
+  uint64_t r = v;
+  for (int i = 0; i < 5; ++i) r = RotateLeftBits(r, 1, 5);
+  EXPECT_EQ(r, v);
+}
+
+TEST(BitUtilTest, RotateRightInverseOfLeft) {
+  for (uint64_t v = 0; v < 64; ++v) {
+    for (int r = 0; r < 6; ++r) {
+      EXPECT_EQ(RotateRightBits(RotateLeftBits(v, r, 6), r, 6), v);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,94 @@
+#include "griddecl/query/distributions.h"
+
+#include <gtest/gtest.h>
+
+namespace griddecl {
+namespace {
+
+TEST(ZipfSamplerTest, Validation) {
+  EXPECT_FALSE(ZipfSampler::Create(0, 1.0).ok());
+  EXPECT_FALSE(ZipfSampler::Create(4, -1.0).ok());
+  EXPECT_TRUE(ZipfSampler::Create(4, 0.0).ok());
+  EXPECT_TRUE(ZipfSampler::Create(1, 2.0).ok());
+}
+
+TEST(ZipfSamplerTest, ProbabilitiesSumToOneAndDecrease) {
+  const ZipfSampler z = ZipfSampler::Create(10, 1.0).value();
+  double sum = 0;
+  for (uint64_t v = 0; v < 10; ++v) {
+    sum += z.Probability(v);
+    if (v > 0) EXPECT_LE(z.Probability(v), z.Probability(v - 1));
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Zipf(1) over 10 values: P(0)/P(9) == 10.
+  EXPECT_NEAR(z.Probability(0) / z.Probability(9), 10.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, ThetaZeroIsUniform) {
+  const ZipfSampler z = ZipfSampler::Create(8, 0.0).value();
+  for (uint64_t v = 0; v < 8; ++v) {
+    EXPECT_NEAR(z.Probability(v), 1.0 / 8, 1e-12);
+  }
+}
+
+TEST(ZipfSamplerTest, SampleMatchesDistribution) {
+  const ZipfSampler z = ZipfSampler::Create(5, 1.5).value();
+  Rng rng(9);
+  std::vector<int> counts(5, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[z.Sample(&rng)];
+  for (uint64_t v = 0; v < 5; ++v) {
+    EXPECT_NEAR(static_cast<double>(counts[v]) / n, z.Probability(v), 0.01)
+        << v;
+  }
+}
+
+TEST(ZipfSamplerTest, SingleValue) {
+  const ZipfSampler z = ZipfSampler::Create(1, 3.0).value();
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(z.Sample(&rng), 0u);
+  EXPECT_DOUBLE_EQ(z.Probability(0), 1.0);
+}
+
+TEST(ZipfPlacementsTest, ValidationAndBasics) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  Rng rng(2);
+  EXPECT_FALSE(ZipfPlacements(grid, {4}, 10, 1.0, &rng, "w").ok());
+  EXPECT_FALSE(ZipfPlacements(grid, {0, 4}, 10, 1.0, &rng, "w").ok());
+  EXPECT_FALSE(ZipfPlacements(grid, {4, 17}, 10, 1.0, &rng, "w").ok());
+
+  const Workload w = ZipfPlacements(grid, {4, 4}, 50, 1.0, &rng, "w").value();
+  ASSERT_EQ(w.size(), 50u);
+  for (const RangeQuery& q : w.queries) {
+    EXPECT_EQ(q.NumBuckets(), 16u);
+    EXPECT_TRUE(q.rect().WithinGrid(grid));
+  }
+}
+
+TEST(ZipfPlacementsTest, SkewConcentratesNearOrigin) {
+  const GridSpec grid = GridSpec::Create({64, 64}).value();
+  Rng rng(3);
+  const Workload hot =
+      ZipfPlacements(grid, {2, 2}, 400, 2.0, &rng, "hot").value();
+  int near_origin = 0;
+  for (const RangeQuery& q : hot.queries) {
+    if (q.rect().lo()[0] < 8 && q.rect().lo()[1] < 8) ++near_origin;
+  }
+  // With theta=2 the head is heavy: well over half the mass sits in the
+  // first few positions of each axis.
+  EXPECT_GT(near_origin, 200);
+}
+
+TEST(ZipfPlacementsTest, DeterministicForSeed) {
+  const GridSpec grid = GridSpec::Create({32, 32}).value();
+  Rng a(4);
+  Rng b(4);
+  const Workload wa = ZipfPlacements(grid, {3, 3}, 30, 1.0, &a, "a").value();
+  const Workload wb = ZipfPlacements(grid, {3, 3}, 30, 1.0, &b, "b").value();
+  for (size_t i = 0; i < wa.size(); ++i) {
+    EXPECT_EQ(wa.queries[i].ToString(), wb.queries[i].ToString());
+  }
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,142 @@
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "griddecl/griddecl.h"
+
+namespace griddecl {
+namespace {
+
+/// Boundary-of-the-domain coverage: maximum dimensionality, degenerate
+/// dimensions, more disks than buckets, single-row grids — the corners a
+/// downstream user will eventually hit.
+
+TEST(EdgeCaseTest, MaxDimensionalityGrid) {
+  // 8-d binary grid: 256 buckets — the classic ECC setting at the library's
+  // dimensional limit.
+  const GridSpec grid =
+      GridSpec::Create({2, 2, 2, 2, 2, 2, 2, 2}).value();
+  for (const char* name : {"dm", "fx", "exfx", "ecc", "hcam", "zcam",
+                           "linear", "random"}) {
+    const auto m = CreateMethod(name, grid, 8).value();
+    std::vector<uint64_t> loads = m->DiskLoadHistogram();
+    uint64_t total = 0;
+    for (uint64_t l : loads) total += l;
+    EXPECT_EQ(total, 256u) << name;
+  }
+}
+
+TEST(EdgeCaseTest, DegenerateSingletonDimensions) {
+  // Dimensions with a single partition carry no information; methods must
+  // still work and effectively reduce to the non-degenerate dimensions.
+  const GridSpec grid = GridSpec::Create({1, 16, 1, 16}).value();
+  for (const char* name : {"dm", "fx", "exfx", "ecc", "hcam", "linear"}) {
+    const auto m = CreateMethod(name, grid, 4).value();
+    grid.ForEachBucket([&](const BucketCoords& c) {
+      EXPECT_LT(m->DiskOf(c), 4u) << name;
+    });
+  }
+  // DM on the degenerate grid equals DM on the reduced 16x16 grid.
+  const auto full = CreateMethod("dm", grid, 4).value();
+  const GridSpec reduced = GridSpec::Create({16, 16}).value();
+  const auto red = CreateMethod("dm", reduced, 4).value();
+  for (uint32_t i = 0; i < 16; ++i) {
+    for (uint32_t j = 0; j < 16; ++j) {
+      EXPECT_EQ(full->DiskOf({0, i, 0, j}), red->DiskOf({i, j}));
+    }
+  }
+}
+
+TEST(EdgeCaseTest, MoreDisksThanBuckets) {
+  const GridSpec grid = GridSpec::Create({2, 2}).value();
+  for (const char* name : {"dm", "fx", "exfx", "hcam", "linear", "random"}) {
+    const auto m = CreateMethod(name, grid, 100).value();
+    grid.ForEachBucket([&](const BucketCoords& c) {
+      EXPECT_LT(m->DiskOf(c), 100u) << name;
+    });
+    // Any query is trivially optimal: |Q| <= 4 buckets can always be read
+    // in ceil(|Q|/100) = 1 unit if distinct — check via IsStrictlyOptimal
+    // only for methods that spread the 4 buckets onto 4 disks.
+  }
+  // HCAM round robin guarantees distinct disks here -> strictly optimal.
+  const auto hcam = CreateMethod("hcam", grid, 100).value();
+  EXPECT_TRUE(IsStrictlyOptimal(*hcam));
+}
+
+TEST(EdgeCaseTest, SingleRowGrid) {
+  const GridSpec grid = GridSpec::Create({1, 64}).value();
+  const auto dm = CreateMethod("dm", grid, 8).value();
+  const auto hcam = CreateMethod("hcam", grid, 8).value();
+  // On a 1-d layout DM is round robin along the row: every window of w
+  // buckets costs exactly ceil(w/8). HCAM's rank order follows the Hilbert
+  // traversal of the embedding square's edge, which is *not* the row
+  // order, so it is merely sane here — a documented weakness of curve
+  // allocation on degenerate grids.
+  QueryGenerator gen(grid);
+  for (uint32_t w : {3u, 8u, 20u}) {
+    const Workload wl = gen.AllPlacements({1, w}, "row").value();
+    const WorkloadEval e_dm = Evaluator(dm.get()).EvaluateWorkload(wl);
+    const WorkloadEval e_h = Evaluator(hcam.get()).EvaluateWorkload(wl);
+    EXPECT_DOUBLE_EQ(e_dm.MeanRatio(), 1.0) << w;
+    EXPECT_GE(e_h.MeanRatio(), 1.0) << w;
+    EXPECT_LE(e_h.MeanRatio(), 4.0) << w;
+  }
+}
+
+TEST(EdgeCaseTest, WholeGridQueryEveryMethodNearOptimal) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const RangeQuery all =
+      RangeQuery::Create(grid, BucketRect::Full(grid)).value();
+  for (const char* name : {"dm", "fx", "ecc", "hcam", "zcam", "linear"}) {
+    const auto m = CreateMethod(name, grid, 8).value();
+    // Perfect static balance => whole-grid query is exactly optimal.
+    EXPECT_EQ(ResponseTime(*m, all), 256u / 8) << name;
+  }
+}
+
+TEST(EdgeCaseTest, EvaluatorHandlesMaxDisksAndTinyQueries) {
+  const GridSpec grid = GridSpec::Create({4, 4}).value();
+  const auto m = CreateMethod("hcam", grid, 65535).value();
+  const RangeQuery q =
+      RangeQuery::Create(grid, BucketRect::Point({1, 2})).value();
+  EXPECT_EQ(ResponseTime(*m, q), 1u);
+  EXPECT_EQ(OptimalResponseTime(1, 65535), 1u);
+}
+
+TEST(EdgeCaseTest, DeviationHistogramShape) {
+  const GridSpec grid = GridSpec::Create({32, 32}).value();
+  const auto dm = CreateMethod("dm", grid, 16).value();
+  QueryGenerator gen(grid);
+  const Workload w = gen.AllPlacements({4, 4}, "4x4").value();
+  const Histogram h = DeviationHistogram(*dm, w, 8);
+  EXPECT_EQ(h.total_count(), w.size());
+  // DM answers 4x4 queries at RT 4 vs optimal 1 -> deviation 3 everywhere.
+  EXPECT_EQ(h.bucket_count(3), w.size());
+  EXPECT_DOUBLE_EQ(h.FractionBelow(4), 1.0);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(3), 0.0);
+}
+
+TEST(EdgeCaseTest, PagedExecutionChargesPages) {
+  Schema schema = Schema::Create({{"x", 0.0, 1.0}, {"y", 0.0, 1.0}}).value();
+  GridFile file = GridFile::Create(std::move(schema), {4, 4}).value();
+  // 60 records in one bucket, a handful elsewhere.
+  for (int i = 0; i < 60; ++i) ASSERT_TRUE(file.Insert({0.1, 0.1}).ok());
+  ASSERT_TRUE(file.Insert({0.9, 0.9}).ok());
+  DeclusteredFile df =
+      DeclusteredFile::Create(std::move(file), "hcam", 4).value();
+  // Page holds 2 records: header 4 + 2*16 = 36 bytes.
+  const auto exec = df.ExecuteRangePaged({0.0, 0.0}, {1.0, 1.0}, 36).value();
+  // Bucket (0,0): ceil(60/2) = 30 pages; bucket (3,3): 1 page; all other
+  // 14 buckets are empty -> 1 page each.
+  EXPECT_EQ(exec.pages_touched, 30u + 1u + 14u);
+  EXPECT_EQ(exec.buckets_touched, 16u);
+  EXPECT_EQ(exec.io.TotalRequests(), exec.pages_touched);
+  // The unpaged execution charges one request per bucket instead.
+  const auto flat = df.ExecuteRange({0.0, 0.0}, {1.0, 1.0}).value();
+  EXPECT_EQ(flat.io.TotalRequests(), 16u);
+  EXPECT_GT(exec.io.makespan_ms, flat.io.makespan_ms);
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,180 @@
+#include "griddecl/sim/event_sim.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "griddecl/common/random.h"
+#include "griddecl/eval/metrics.h"
+#include "griddecl/methods/registry.h"
+#include "griddecl/query/generator.h"
+
+namespace griddecl {
+namespace {
+
+DiskParams UnitParams() {
+  DiskParams p;
+  p.avg_seek_ms = 0.0;
+  p.rotational_latency_ms = 0.0;
+  p.transfer_ms_per_kb = 0.125;
+  p.bucket_kb = 8.0;  // 1 ms per request.
+  p.near_gap_buckets = 0;
+  return p;
+}
+
+TEST(EventSimTest, Validation) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto dm = CreateMethod("dm", grid, 4).value();
+  ThroughputOptions opts;
+  Workload empty;
+  EXPECT_FALSE(SimulateInterleaved(*dm, empty, opts).ok());
+  QueryGenerator gen(grid);
+  const Workload w = gen.AllPlacements({2, 2}, "w").value();
+  opts.concurrency = 0;
+  EXPECT_FALSE(SimulateInterleaved(*dm, w, opts).ok());
+  opts.concurrency = 2;
+  opts.slowdown = {1.0};
+  EXPECT_FALSE(SimulateInterleaved(*dm, w, opts).ok());
+}
+
+TEST(EventSimTest, SingleQueryMatchesBatchModel) {
+  // With one query there is nothing to interleave: both models charge the
+  // same per-disk batches.
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto hcam = CreateMethod("hcam", grid, 4).value();
+  Workload w;
+  w.queries.push_back(
+      RangeQuery::Create(grid, BucketRect::Create({2, 3}, {9, 10}).value())
+          .value());
+  ThroughputOptions opts;
+  opts.concurrency = 1;
+  opts.params = UnitParams();
+  const ThroughputResult batch = SimulateThroughput(*hcam, w, opts).value();
+  const ThroughputResult inter = SimulateInterleaved(*hcam, w, opts).value();
+  EXPECT_NEAR(inter.total_ms, batch.total_ms, 1e-9);
+  EXPECT_NEAR(inter.mean_latency_ms, batch.mean_latency_ms, 1e-9);
+}
+
+TEST(EventSimTest, WorkConservation) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto fx = CreateMethod("fx", grid, 8).value();
+  QueryGenerator gen(grid);
+  Rng rng(1);
+  const Workload w = gen.SampledPlacements({3, 4}, 40, &rng, "w").value();
+  ThroughputOptions opts;
+  opts.concurrency = 4;
+  opts.params = UnitParams();
+  const ThroughputResult r = SimulateInterleaved(*fx, w, opts).value();
+  // Unit service, no positioning: total busy time == total requests.
+  double busy = 0;
+  for (double b : r.disk_busy_ms) busy += b;
+  EXPECT_NEAR(busy, static_cast<double>(w.TotalBuckets()), 1e-6);
+  EXPECT_GE(r.max_latency_ms, r.mean_latency_ms);
+  EXPECT_GT(r.ThroughputQps(), 0.0);
+}
+
+TEST(EventSimTest, InterleavingHelpsShortQueriesBehindLongOnes) {
+  // One whole-grid scan admitted first, then many point queries. Batch
+  // FIFO makes every point query wait for the scan's full batch on its
+  // disk; round-robin interleaving serves them promptly.
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto hcam = CreateMethod("hcam", grid, 4).value();
+  Workload w;
+  w.queries.push_back(
+      RangeQuery::Create(grid, BucketRect::Full(grid)).value());
+  for (uint32_t i = 0; i < 12; ++i) {
+    w.queries.push_back(
+        RangeQuery::Create(grid,
+                           BucketRect::Point({i % 16, (i * 5) % 16}))
+            .value());
+  }
+  ThroughputOptions opts;
+  opts.concurrency = 13;  // Everything in flight at once.
+  opts.params = UnitParams();
+  const ThroughputResult batch = SimulateThroughput(*hcam, w, opts).value();
+  const ThroughputResult inter = SimulateInterleaved(*hcam, w, opts).value();
+  EXPECT_LT(inter.mean_latency_ms, batch.mean_latency_ms);
+}
+
+TEST(EventSimTest, DeterministicAndMplSensitive) {
+  const GridSpec grid = GridSpec::Create({32, 32}).value();
+  const auto ecc = CreateMethod("ecc", grid, 8).value();
+  QueryGenerator gen(grid);
+  Rng rng(2);
+  const Workload w = gen.SampledPlacements({4, 4}, 50, &rng, "w").value();
+  ThroughputOptions opts;
+  opts.params = UnitParams();
+  opts.concurrency = 1;
+  const double serial = SimulateInterleaved(*ecc, w, opts).value().total_ms;
+  const double serial2 = SimulateInterleaved(*ecc, w, opts).value().total_ms;
+  EXPECT_DOUBLE_EQ(serial, serial2);
+  opts.concurrency = 8;
+  const double parallel =
+      SimulateInterleaved(*ecc, w, opts).value().total_ms;
+  EXPECT_LT(parallel, serial);
+}
+
+TEST(EventSimTest, SlowdownApplies) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto dm = CreateMethod("dm", grid, 4).value();
+  Workload w;
+  w.queries.push_back(
+      RangeQuery::Create(grid, BucketRect::Create({0, 0}, {3, 3}).value())
+          .value());
+  ThroughputOptions opts;
+  opts.concurrency = 1;
+  opts.params = UnitParams();
+  const double nominal = SimulateInterleaved(*dm, w, opts).value().total_ms;
+  opts.slowdown = {2.0, 2.0, 2.0, 2.0};
+  const double slowed = SimulateInterleaved(*dm, w, opts).value().total_ms;
+  EXPECT_NEAR(slowed, 2 * nominal, 1e-9);
+}
+
+TEST(LptReorderTest, SortsByDecreasingCostStably) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto dm = CreateMethod("dm", grid, 4).value();
+  Workload w;
+  w.name = "mix";
+  // Costs under DM/4: 8x8 -> 16; 2x2 -> 2; 1x1 -> 1; another 2x2 -> 2.
+  w.queries.push_back(
+      RangeQuery::Create(grid, BucketRect::Create({0, 0}, {7, 7}).value())
+          .value());
+  w.queries.push_back(
+      RangeQuery::Create(grid, BucketRect::Create({0, 0}, {1, 1}).value())
+          .value());
+  w.queries.push_back(
+      RangeQuery::Create(grid, BucketRect::Point({5, 5})).value());
+  w.queries.push_back(
+      RangeQuery::Create(grid, BucketRect::Create({4, 4}, {5, 5}).value())
+          .value());
+  // Shuffle to a known non-sorted order: move the big one to the end.
+  std::rotate(w.queries.begin(), w.queries.begin() + 1, w.queries.end());
+  const Workload sorted = ReorderLongestFirst(*dm, w);
+  ASSERT_EQ(sorted.size(), 4u);
+  EXPECT_EQ(sorted.queries[0].NumBuckets(), 64u);
+  // The two 2x2s keep their relative (stable) order, point query last.
+  EXPECT_EQ(sorted.queries[1].NumBuckets(), 4u);
+  EXPECT_EQ(sorted.queries[2].NumBuckets(), 4u);
+  EXPECT_EQ(sorted.queries[3].NumBuckets(), 1u);
+  EXPECT_EQ(sorted.name, "mix/lpt");
+}
+
+TEST(LptReorderTest, PreservesQueryMultiset) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto hcam = CreateMethod("hcam", grid, 8).value();
+  QueryGenerator gen(grid);
+  Rng rng(3);
+  const Workload w = gen.SampledPlacements({3, 3}, 30, &rng, "w").value();
+  const Workload sorted = ReorderLongestFirst(*hcam, w);
+  ASSERT_EQ(sorted.size(), w.size());
+  std::vector<std::string> a;
+  std::vector<std::string> b;
+  for (const auto& q : w.queries) a.push_back(q.ToString());
+  for (const auto& q : sorted.queries) b.push_back(q.ToString());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace griddecl

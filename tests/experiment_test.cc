@@ -1,0 +1,139 @@
+#include "griddecl/eval/experiment.h"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace griddecl {
+namespace {
+
+TEST(ExperimentTest, MakeSweepMethodsDefaultsToPaperSet) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto methods = MakeSweepMethods(grid, 8, {}).value();
+  ASSERT_EQ(methods.size(), 4u);
+}
+
+TEST(ExperimentTest, MakeSweepMethodsHonorsNames) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  SweepOptions opts;
+  opts.method_names = {"dm", "hcam"};
+  const auto methods = MakeSweepMethods(grid, 8, opts).value();
+  ASSERT_EQ(methods.size(), 2u);
+  EXPECT_EQ(methods[0]->name(), "DM/CMD");
+  EXPECT_EQ(methods[1]->name(), "HCAM");
+}
+
+TEST(ExperimentTest, MakeSweepMethodsSkipsUnsupported) {
+  const GridSpec grid = GridSpec::Create({15, 15}).value();
+  SweepOptions opts;
+  opts.method_names = {"ecc", "dm"};
+  const auto methods = MakeSweepMethods(grid, 8, opts).value();
+  ASSERT_EQ(methods.size(), 1u);  // ECC inapplicable on 15x15.
+  EXPECT_EQ(methods[0]->name(), "DM/CMD");
+}
+
+TEST(ExperimentTest, MakeSweepMethodsFailsWhenEmpty) {
+  const GridSpec grid = GridSpec::Create({15, 15}).value();
+  SweepOptions opts;
+  opts.method_names = {"ecc"};
+  EXPECT_FALSE(MakeSweepMethods(grid, 8, opts).ok());
+}
+
+TEST(ExperimentTest, QuerySizeSweepShape) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  SweepOptions opts;
+  opts.max_placements = 64;
+  const SweepResult r =
+      QuerySizeSweep(grid, 4, {1, 4, 16, 64}, opts).value();
+  ASSERT_EQ(r.points.size(), 4u);
+  EXPECT_EQ(r.x_label, "QueryArea");
+  for (const SweepPoint& p : r.points) {
+    ASSERT_EQ(p.mean_response.size(), r.method_names.size());
+    for (size_t i = 0; i < p.mean_response.size(); ++i) {
+      EXPECT_GE(p.mean_response[i], p.mean_optimal);
+      EXPECT_GE(p.mean_ratio[i], 1.0);
+    }
+  }
+  // Larger areas have larger optimal cost.
+  EXPECT_LT(r.points[0].mean_optimal, r.points[3].mean_optimal);
+}
+
+TEST(ExperimentTest, QuerySizeSweepDeterministicForSeed) {
+  const GridSpec grid = GridSpec::Create({32, 32}).value();
+  SweepOptions opts;
+  opts.max_placements = 32;  // Forces sampling.
+  opts.seed = 99;
+  const SweepResult a = QuerySizeSweep(grid, 8, {9, 25}, opts).value();
+  const SweepResult b = QuerySizeSweep(grid, 8, {9, 25}, opts).value();
+  for (size_t i = 0; i < a.points.size(); ++i) {
+    for (size_t j = 0; j < a.method_names.size(); ++j) {
+      EXPECT_DOUBLE_EQ(a.points[i].mean_response[j],
+                       b.points[i].mean_response[j]);
+    }
+  }
+}
+
+TEST(ExperimentTest, QueryShapeSweep) {
+  const GridSpec grid = GridSpec::Create({32, 32}).value();
+  const SweepResult r =
+      QueryShapeSweep(grid, 8, 16, {1.0, 4.0, 16.0}).value();
+  ASSERT_EQ(r.points.size(), 3u);
+  // All points share the same area, hence the same optimal cost.
+  for (const SweepPoint& p : r.points) {
+    EXPECT_DOUBLE_EQ(p.mean_optimal, r.points[0].mean_optimal);
+  }
+  // 3-d grids are rejected.
+  const GridSpec g3 = GridSpec::Create({8, 8, 8}).value();
+  EXPECT_FALSE(QueryShapeSweep(g3, 8, 16, {1.0}).ok());
+}
+
+TEST(ExperimentTest, DiskCountSweepAlignsColumns) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  // M=8 supports ECC, M=6 does not; columns must stay aligned with NaN.
+  const SweepResult r = DiskCountSweep(grid, {8, 6}, 16).value();
+  ASSERT_EQ(r.points.size(), 2u);
+  const int ecc = r.MethodIndex("ECC");
+  ASSERT_GE(ecc, 0);
+  EXPECT_FALSE(std::isnan(r.points[0].mean_response[ecc]));
+  EXPECT_TRUE(std::isnan(r.points[1].mean_response[ecc]));
+  const int dm = r.MethodIndex("DM/CMD");
+  ASSERT_GE(dm, 0);
+  EXPECT_FALSE(std::isnan(r.points[1].mean_response[dm]));
+}
+
+TEST(ExperimentTest, DbSizeSweep) {
+  std::vector<GridSpec> grids = {GridSpec::Create({8, 8}).value(),
+                                 GridSpec::Create({16, 16}).value(),
+                                 GridSpec::Create({32, 32}).value()};
+  SweepOptions opts;
+  opts.max_placements = 200;
+  const SweepResult r = DbSizeSweep(grids, 4, 0.25, opts).value();
+  ASSERT_EQ(r.points.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.points[0].x, 64.0);
+  EXPECT_DOUBLE_EQ(r.points[2].x, 1024.0);
+  // Coverage validation.
+  EXPECT_FALSE(DbSizeSweep(grids, 4, 0.0).ok());
+  EXPECT_FALSE(DbSizeSweep(grids, 4, 1.5).ok());
+}
+
+TEST(ExperimentTest, TablesRender) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const SweepResult r = QuerySizeSweep(grid, 4, {4, 16}).value();
+  std::ostringstream os;
+  r.ResponseTable().PrintText(os);
+  r.RatioTable().PrintCsv(os);
+  EXPECT_NE(os.str().find("QueryArea"), std::string::npos);
+  EXPECT_NE(os.str().find("Optimal"), std::string::npos);
+}
+
+TEST(ExperimentTest, MethodIndex) {
+  SweepResult r;
+  r.method_names = {"A", "B"};
+  EXPECT_EQ(r.MethodIndex("A"), 0);
+  EXPECT_EQ(r.MethodIndex("B"), 1);
+  EXPECT_EQ(r.MethodIndex("C"), -1);
+}
+
+}  // namespace
+}  // namespace griddecl

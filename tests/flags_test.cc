@@ -1,0 +1,96 @@
+#include "griddecl/common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace griddecl {
+namespace {
+
+TEST(FlagsTest, EqualsSyntax) {
+  const Flags f = Flags::Parse({"--grid=32x32", "--disks=16"}).value();
+  EXPECT_EQ(f.GetString("grid", ""), "32x32");
+  EXPECT_EQ(f.GetInt("disks", 0).value(), 16);
+  EXPECT_FALSE(f.Has("method"));
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  const Flags f = Flags::Parse({"--grid", "8x8", "--seed", "7"}).value();
+  EXPECT_EQ(f.GetString("grid", ""), "8x8");
+  EXPECT_EQ(f.GetInt("seed", 0).value(), 7);
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  const Flags f = Flags::Parse({"--verbose", "--x=1"}).value();
+  EXPECT_TRUE(f.GetBool("verbose", false).value());
+  EXPECT_FALSE(f.GetBool("quiet", false).value());
+  EXPECT_TRUE(f.GetBool("quiet", true).value());
+}
+
+TEST(FlagsTest, BoolParsing) {
+  const Flags f =
+      Flags::Parse({"--a=true", "--b=false", "--c=1", "--d=0", "--e=maybe"})
+          .value();
+  EXPECT_TRUE(f.GetBool("a", false).value());
+  EXPECT_FALSE(f.GetBool("b", true).value());
+  EXPECT_TRUE(f.GetBool("c", false).value());
+  EXPECT_FALSE(f.GetBool("d", true).value());
+  EXPECT_FALSE(f.GetBool("e", false).ok());
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  const Flags f =
+      Flags::Parse({"eval", "--disks", "4", "trailing"}).value();
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "eval");
+  EXPECT_EQ(f.positional()[1], "trailing");
+}
+
+TEST(FlagsTest, DoubleDashEndsFlags) {
+  const Flags f = Flags::Parse({"--a=1", "--", "--b=2"}).value();
+  EXPECT_TRUE(f.Has("a"));
+  EXPECT_FALSE(f.Has("b"));
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "--b=2");
+}
+
+TEST(FlagsTest, NumericValidation) {
+  const Flags f = Flags::Parse({"--n=abc", "--x=1.5", "--y=2e3"}).value();
+  EXPECT_FALSE(f.GetInt("n", 0).ok());
+  EXPECT_DOUBLE_EQ(f.GetDouble("x", 0).value(), 1.5);
+  EXPECT_DOUBLE_EQ(f.GetDouble("y", 0).value(), 2000.0);
+  EXPECT_EQ(f.GetInt("missing", 42).value(), 42);
+  EXPECT_DOUBLE_EQ(f.GetDouble("missing", 2.5).value(), 2.5);
+}
+
+TEST(FlagsTest, NegativeValueAfterSpace) {
+  const Flags f = Flags::Parse({"--offset", "-5"}).value();
+  EXPECT_EQ(f.GetInt("offset", 0).value(), -5);
+}
+
+TEST(FlagsTest, Uint32List) {
+  const Flags f = Flags::Parse({"--areas=1,4,16"}).value();
+  EXPECT_EQ(f.GetUint32List("areas", {}).value(),
+            (std::vector<uint32_t>{1, 4, 16}));
+  EXPECT_EQ(f.GetUint32List("missing", {9}).value(),
+            (std::vector<uint32_t>{9}));
+  const Flags bad = Flags::Parse({"--areas=1,,2", "--b=1,x"}).value();
+  EXPECT_FALSE(bad.GetUint32List("areas", {}).ok());
+  EXPECT_FALSE(bad.GetUint32List("b", {}).ok());
+}
+
+TEST(FlagsTest, FlagNamesAndMalformed) {
+  const Flags f = Flags::Parse({"--a=1", "--b"}).value();
+  const auto names = f.FlagNames();
+  EXPECT_EQ(names.size(), 2u);
+  EXPECT_FALSE(Flags::Parse({"--=x"}).ok());
+}
+
+TEST(FlagsTest, ArgcArgvEntryPoint) {
+  const char* argv[] = {"prog", "--k=v", "pos"};
+  const Flags f = Flags::Parse(3, argv).value();
+  EXPECT_EQ(f.GetString("k", ""), "v");
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "pos");
+}
+
+}  // namespace
+}  // namespace griddecl

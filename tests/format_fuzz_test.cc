@@ -1,0 +1,139 @@
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "griddecl/common/random.h"
+#include "griddecl/gridfile/storage.h"
+#include "griddecl/methods/registry.h"
+#include "griddecl/methods/table_method.h"
+#include "griddecl/query/generator.h"
+#include "griddecl/query/trace.h"
+
+namespace griddecl {
+namespace {
+
+/// Deterministic mutation fuzzing of the three persistence formats: every
+/// parser must either reject mutated input with a Status or parse it into
+/// a fully valid object — never crash, never return out-of-contract data.
+
+std::string MutateBytes(const std::string& input, Rng* rng) {
+  std::string out = input;
+  const int kind = static_cast<int>(rng->NextBelow(3));
+  if (out.empty()) return out;
+  switch (kind) {
+    case 0: {  // Flip a byte.
+      const size_t pos = static_cast<size_t>(rng->NextBelow(out.size()));
+      out[pos] = static_cast<char>(rng->NextBelow(256));
+      break;
+    }
+    case 1: {  // Truncate.
+      out.resize(static_cast<size_t>(rng->NextBelow(out.size())));
+      break;
+    }
+    default: {  // Duplicate a chunk.
+      const size_t pos = static_cast<size_t>(rng->NextBelow(out.size()));
+      out.insert(pos, out.substr(pos, 16));
+      break;
+    }
+  }
+  return out;
+}
+
+TEST(FormatFuzzTest, AllocationParserNeverCrashes) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto method = CreateMethod("hcam", grid, 4).value();
+  std::stringstream canonical;
+  ASSERT_TRUE(SerializeAllocation(*method, canonical).ok());
+  const std::string bytes = canonical.str();
+
+  Rng rng(1);
+  int parsed_ok = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::stringstream in(MutateBytes(bytes, &rng));
+    const auto result = DeserializeAllocation(in);
+    if (result.ok()) {
+      ++parsed_ok;
+      // If it parses, the object must be internally consistent.
+      const auto& m = *result.value();
+      m.grid().ForEachBucket([&](const BucketCoords& c) {
+        EXPECT_LT(m.DiskOf(c), m.num_disks());
+      });
+    }
+  }
+  // Most mutations must be rejected (sanity that the parser validates).
+  EXPECT_LT(parsed_ok, 200);
+}
+
+TEST(FormatFuzzTest, TraceParserNeverCrashes) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  QueryGenerator gen(grid);
+  Rng wl_rng(2);
+  const Workload w =
+      gen.SampledPlacements({3, 3}, 20, &wl_rng, "fuzz").value();
+  std::stringstream canonical;
+  ASSERT_TRUE(SerializeWorkload(grid, w, canonical).ok());
+  const std::string bytes = canonical.str();
+
+  Rng rng(3);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::stringstream in(MutateBytes(bytes, &rng));
+    const auto result = DeserializeWorkload(in);
+    if (result.ok()) {
+      for (const RangeQuery& q : result.value().workload.queries) {
+        EXPECT_TRUE(q.rect().WithinGrid(result.value().grid));
+      }
+    }
+  }
+}
+
+TEST(FormatFuzzTest, GridFileLoaderNeverCrashes) {
+  Schema schema = Schema::Create({{"x", 0.0, 1.0}, {"y", 0.0, 1.0}}).value();
+  GridFile file = GridFile::Create(std::move(schema), {4, 4}).value();
+  Rng data_rng(4);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(file.Insert({data_rng.NextDouble(), data_rng.NextDouble()})
+                    .ok());
+  }
+  std::stringstream canonical;
+  ASSERT_TRUE(SaveGridFile(file, canonical, 64).ok());
+  const std::string bytes = canonical.str();
+
+  Rng rng(5);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::stringstream in(MutateBytes(bytes, &rng));
+    const auto result = LoadGridFile(in);
+    if (result.ok()) {
+      // Internally consistent: every record lands in a real bucket.
+      const GridFile& f = result.value();
+      for (RecordId id = 0; id < f.num_records(); ++id) {
+        EXPECT_TRUE(f.grid().Contains(f.BucketOfRecord(id)));
+      }
+    }
+  }
+}
+
+TEST(FormatFuzzTest, RoundTripSurvivesParseableMutants) {
+  // Any allocation accepted by the parser must itself round trip.
+  const GridSpec grid = GridSpec::Create({4, 4}).value();
+  const auto method = CreateMethod("dm", grid, 3).value();
+  std::stringstream canonical;
+  ASSERT_TRUE(SerializeAllocation(*method, canonical).ok());
+  const std::string bytes = canonical.str();
+  Rng rng(6);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::stringstream in(MutateBytes(bytes, &rng));
+    const auto first = DeserializeAllocation(in);
+    if (!first.ok()) continue;
+    std::stringstream again;
+    ASSERT_TRUE(SerializeAllocation(*first.value(), again).ok());
+    const auto second = DeserializeAllocation(again);
+    ASSERT_TRUE(second.ok());
+    first.value()->grid().ForEachBucket([&](const BucketCoords& c) {
+      EXPECT_EQ(first.value()->DiskOf(c), second.value()->DiskOf(c));
+    });
+  }
+}
+
+}  // namespace
+}  // namespace griddecl

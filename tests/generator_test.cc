@@ -1,0 +1,153 @@
+#include "griddecl/query/generator.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace griddecl {
+namespace {
+
+TEST(GeneratorTest, SquarishShapeExactSquares) {
+  QueryGenerator gen(GridSpec::Create({32, 32}).value());
+  EXPECT_EQ(gen.SquarishShape(16).value(), QueryShape({4, 4}));
+  EXPECT_EQ(gen.SquarishShape(64).value(), QueryShape({8, 8}));
+  EXPECT_EQ(gen.SquarishShape(1).value(), QueryShape({1, 1}));
+}
+
+TEST(GeneratorTest, SquarishShapeNonSquareAreas) {
+  QueryGenerator gen(GridSpec::Create({32, 32}).value());
+  // 12 = 3x4 or 4x3 (tie broken deterministically), never 2x6 or 1x12.
+  const QueryShape s = gen.SquarishShape(12).value();
+  EXPECT_EQ(static_cast<uint64_t>(s[0]) * s[1], 12u);
+  EXPECT_TRUE((s[0] == 3 && s[1] == 4) || (s[0] == 4 && s[1] == 3));
+  // Primes must become lines.
+  const QueryShape p = gen.SquarishShape(7).value();
+  EXPECT_EQ(static_cast<uint64_t>(p[0]) * p[1], 7u);
+}
+
+TEST(GeneratorTest, SquarishShape3D) {
+  QueryGenerator gen(GridSpec::Create({16, 16, 16}).value());
+  EXPECT_EQ(gen.SquarishShape(27).value(), QueryShape({3, 3, 3}));
+  const QueryShape s = gen.SquarishShape(24).value();
+  EXPECT_EQ(static_cast<uint64_t>(s[0]) * s[1] * s[2], 24u);
+  for (uint32_t e : s) {
+    EXPECT_GE(e, 2u);  // Near-cubic, not 1x4x6.
+    EXPECT_LE(e, 4u);
+  }
+}
+
+TEST(GeneratorTest, SquarishShapeTooBigFails) {
+  QueryGenerator gen(GridSpec::Create({4, 4}).value());
+  EXPECT_FALSE(gen.SquarishShape(17).ok());  // Prime > dims.
+  EXPECT_TRUE(gen.SquarishShape(16).ok());
+  EXPECT_FALSE(gen.SquarishShape(0).ok());
+}
+
+TEST(GeneratorTest, Shape2DAspects) {
+  QueryGenerator gen(GridSpec::Create({64, 64}).value());
+  EXPECT_EQ(gen.Shape2D(16, 1.0).value(), QueryShape({4, 4}));
+  EXPECT_EQ(gen.Shape2D(16, 4.0).value(), QueryShape({2, 8}));
+  EXPECT_EQ(gen.Shape2D(16, 16.0).value(), QueryShape({1, 16}));
+  EXPECT_EQ(gen.Shape2D(16, 1.0 / 16).value(), QueryShape({16, 1}));
+}
+
+TEST(GeneratorTest, Shape2DValidation) {
+  QueryGenerator gen2(GridSpec::Create({8, 8}).value());
+  EXPECT_FALSE(gen2.Shape2D(16, 0.0).ok());
+  EXPECT_FALSE(gen2.Shape2D(0, 1.0).ok());
+  QueryGenerator gen3(GridSpec::Create({8, 8, 8}).value());
+  EXPECT_FALSE(gen3.Shape2D(4, 1.0).ok());
+}
+
+TEST(GeneratorTest, LineShape) {
+  QueryGenerator gen(GridSpec::Create({8, 16}).value());
+  EXPECT_EQ(gen.LineShape(1, 10).value(), QueryShape({1, 10}));
+  EXPECT_FALSE(gen.LineShape(0, 10).ok());  // Exceeds dim 0.
+  EXPECT_FALSE(gen.LineShape(2, 2).ok());   // No such dim.
+}
+
+TEST(GeneratorTest, NumPlacements) {
+  QueryGenerator gen(GridSpec::Create({8, 8}).value());
+  EXPECT_EQ(gen.NumPlacements({8, 8}).value(), 1u);
+  EXPECT_EQ(gen.NumPlacements({1, 1}).value(), 64u);
+  EXPECT_EQ(gen.NumPlacements({3, 5}).value(), 6u * 4u);
+}
+
+TEST(GeneratorTest, AllPlacementsEnumeratesExactly) {
+  QueryGenerator gen(GridSpec::Create({6, 5}).value());
+  const Workload w = gen.AllPlacements({2, 3}, "w").value();
+  EXPECT_EQ(w.size(), gen.NumPlacements({2, 3}).value());
+  std::set<std::string> seen;
+  for (const RangeQuery& q : w.queries) {
+    EXPECT_EQ(q.NumBuckets(), 6u);
+    EXPECT_TRUE(q.rect().WithinGrid(gen.grid()));
+    EXPECT_TRUE(seen.insert(q.ToString()).second);
+  }
+}
+
+TEST(GeneratorTest, SampledPlacementsValidAndSeeded) {
+  QueryGenerator gen(GridSpec::Create({32, 32}).value());
+  Rng rng1(5);
+  Rng rng2(5);
+  const Workload a = gen.SampledPlacements({4, 4}, 50, &rng1, "a").value();
+  const Workload b = gen.SampledPlacements({4, 4}, 50, &rng2, "b").value();
+  ASSERT_EQ(a.size(), 50u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.queries[i].ToString(), b.queries[i].ToString());
+    EXPECT_TRUE(a.queries[i].rect().WithinGrid(gen.grid()));
+  }
+}
+
+TEST(GeneratorTest, PlacementsSwitchesToSampling) {
+  QueryGenerator gen(GridSpec::Create({32, 32}).value());
+  Rng rng(1);
+  // 29x29 = 841 placements > 100 -> sampled at 100.
+  const Workload sampled = gen.Placements({4, 4}, 100, &rng, "s").value();
+  EXPECT_EQ(sampled.size(), 100u);
+  // 1 placement <= 100 -> exhaustive.
+  const Workload full = gen.Placements({32, 32}, 100, &rng, "f").value();
+  EXPECT_EQ(full.size(), 1u);
+}
+
+TEST(GeneratorTest, AllPartialMatchEnumeratesValues) {
+  QueryGenerator gen(GridSpec::Create({3, 4}).value());
+  const Workload w = gen.AllPartialMatch({0}, "pm").value();
+  EXPECT_EQ(w.size(), 3u);  // One query per value of dim 0.
+  for (const RangeQuery& q : w.queries) {
+    EXPECT_EQ(q.NumBuckets(), 4u);  // Full span of dim 1.
+  }
+  const Workload w2 = gen.AllPartialMatch({0, 1}, "pm2").value();
+  EXPECT_EQ(w2.size(), 12u);  // Every cell, as point queries.
+}
+
+TEST(GeneratorTest, AllPartialMatchEmptySpec) {
+  QueryGenerator gen(GridSpec::Create({3, 4}).value());
+  const Workload w = gen.AllPartialMatch({}, "pm").value();
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w.queries[0].NumBuckets(), 12u);
+}
+
+TEST(GeneratorTest, RandomPartialMatch) {
+  QueryGenerator gen(GridSpec::Create({8, 8, 8}).value());
+  Rng rng(3);
+  const Workload w = gen.RandomPartialMatch(2, 40, &rng, "rpm").value();
+  ASSERT_EQ(w.size(), 40u);
+  for (const RangeQuery& q : w.queries) {
+    // Two specified dims -> 8 buckets along the free one.
+    EXPECT_EQ(q.NumBuckets(), 8u);
+  }
+  EXPECT_FALSE(gen.RandomPartialMatch(4, 1, &rng, "bad").ok());
+}
+
+TEST(WorkloadTest, TotalBucketsAndAppend) {
+  QueryGenerator gen(GridSpec::Create({4, 4}).value());
+  Workload a = gen.AllPlacements({2, 2}, "a").value();
+  const uint64_t a_total = a.TotalBuckets();
+  EXPECT_EQ(a_total, a.size() * 4);
+  const Workload b = gen.AllPlacements({1, 1}, "b").value();
+  a.Append(b);
+  EXPECT_EQ(a.TotalBuckets(), a_total + b.size());
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,114 @@
+#include "griddecl/coding/gf2.h"
+
+#include <gtest/gtest.h>
+
+namespace griddecl {
+namespace {
+
+TEST(BitVectorTest, SetGet) {
+  BitVector v(130);  // Spans three words.
+  EXPECT_TRUE(v.IsZero());
+  v.Set(0, true);
+  v.Set(64, true);
+  v.Set(129, true);
+  EXPECT_TRUE(v.Get(0));
+  EXPECT_TRUE(v.Get(64));
+  EXPECT_TRUE(v.Get(129));
+  EXPECT_FALSE(v.Get(1));
+  EXPECT_FALSE(v.IsZero());
+  v.Set(64, false);
+  EXPECT_FALSE(v.Get(64));
+}
+
+TEST(BitVectorTest, FromUint64AndBack) {
+  const BitVector v = BitVector::FromUint64(0b1011, 6);
+  EXPECT_TRUE(v.Get(0));
+  EXPECT_TRUE(v.Get(1));
+  EXPECT_FALSE(v.Get(2));
+  EXPECT_TRUE(v.Get(3));
+  EXPECT_EQ(v.ToUint64(), 0b1011u);
+  EXPECT_EQ(v.ToString(), "110100");
+}
+
+TEST(BitVectorTest, XorWith) {
+  BitVector a = BitVector::FromUint64(0b1100, 4);
+  const BitVector b = BitVector::FromUint64(0b1010, 4);
+  a.XorWith(b);
+  EXPECT_EQ(a.ToUint64(), 0b0110u);
+}
+
+TEST(BitVectorTest, DotProduct) {
+  const BitVector a = BitVector::FromUint64(0b1101, 4);
+  const BitVector b = BitVector::FromUint64(0b1011, 4);
+  // Overlap = 0b1001, two bits -> parity 0.
+  EXPECT_FALSE(a.Dot(b));
+  const BitVector c = BitVector::FromUint64(0b0001, 4);
+  EXPECT_TRUE(a.Dot(c));
+}
+
+TEST(BitMatrixTest, IdentityMultiply) {
+  const BitMatrix id = BitMatrix::Identity(5);
+  const BitVector v = BitVector::FromUint64(0b10110, 5);
+  EXPECT_EQ(id.Multiply(v).ToUint64(), 0b10110u);
+  EXPECT_EQ(id.Rank(), 5u);
+}
+
+TEST(BitMatrixTest, ColumnOps) {
+  BitMatrix m(3, 4);
+  m.SetColumn(0, 0b101);
+  m.SetColumn(3, 0b011);
+  EXPECT_EQ(m.Column(0).ToUint64(), 0b101u);
+  EXPECT_EQ(m.Column(3).ToUint64(), 0b011u);
+  EXPECT_EQ(m.Column(1).ToUint64(), 0u);
+  EXPECT_TRUE(m.Get(0, 0));
+  EXPECT_FALSE(m.Get(1, 0));
+  EXPECT_TRUE(m.Get(2, 0));
+}
+
+TEST(BitMatrixTest, MultiplyKnown) {
+  // H = [1 0 1; 0 1 1] (columns 0b01, 0b10, 0b11).
+  BitMatrix h(2, 3);
+  h.SetColumn(0, 0b01);
+  h.SetColumn(1, 0b10);
+  h.SetColumn(2, 0b11);
+  EXPECT_EQ(h.Multiply(BitVector::FromUint64(0b001, 3)).ToUint64(), 0b01u);
+  EXPECT_EQ(h.Multiply(BitVector::FromUint64(0b010, 3)).ToUint64(), 0b10u);
+  EXPECT_EQ(h.Multiply(BitVector::FromUint64(0b100, 3)).ToUint64(), 0b11u);
+  // 0b111: xor of all three columns = 0.
+  EXPECT_EQ(h.Multiply(BitVector::FromUint64(0b111, 3)).ToUint64(), 0u);
+}
+
+TEST(BitMatrixTest, RankDeficient) {
+  BitMatrix m(3, 3);
+  m.SetColumn(0, 0b001);
+  m.SetColumn(1, 0b001);  // Duplicate column.
+  m.SetColumn(2, 0b010);
+  EXPECT_EQ(m.Rank(), 2u);
+}
+
+TEST(BitMatrixTest, MinDistanceHamming) {
+  // Hamming(7,4) parity check: columns 1..7 — min distance 3.
+  BitMatrix h(3, 7);
+  for (uint32_t j = 0; j < 7; ++j) h.SetColumn(j, j + 1);
+  EXPECT_EQ(h.MinDistanceUpTo(4), 3u);
+}
+
+TEST(BitMatrixTest, MinDistanceDuplicateColumnsIsTwo) {
+  BitMatrix h(3, 4);
+  h.SetColumn(0, 1);
+  h.SetColumn(1, 2);
+  h.SetColumn(2, 4);
+  h.SetColumn(3, 1);  // Duplicate of column 0.
+  EXPECT_EQ(h.MinDistanceUpTo(4), 2u);
+}
+
+TEST(BitMatrixTest, MinDistanceExceedsProbe) {
+  // Identity 4x4: no <=1-weight codewords; any single column nonzero, and
+  // distinct columns means weight-2 impossible... identity columns XOR of
+  // any subset is nonzero unless empty, so distance exceeds probe.
+  const BitMatrix id = BitMatrix::Identity(4);
+  EXPECT_EQ(id.MinDistanceUpTo(3), 4u);  // max_weight + 1 sentinel.
+}
+
+}  // namespace
+}  // namespace griddecl

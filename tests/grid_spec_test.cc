@@ -1,0 +1,112 @@
+#include "griddecl/grid/grid_spec.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace griddecl {
+namespace {
+
+TEST(GridSpecTest, CreateValid) {
+  Result<GridSpec> g = GridSpec::Create({4, 8});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_dims(), 2u);
+  EXPECT_EQ(g.value().dim(0), 4u);
+  EXPECT_EQ(g.value().dim(1), 8u);
+  EXPECT_EQ(g.value().num_buckets(), 32u);
+  EXPECT_EQ(g.value().ToString(), "4x8");
+}
+
+TEST(GridSpecTest, CreateRejectsBadInput) {
+  EXPECT_FALSE(GridSpec::Create({}).ok());
+  EXPECT_FALSE(GridSpec::Create({4, 0}).ok());
+  EXPECT_FALSE(
+      GridSpec::Create(std::vector<uint32_t>(kMaxDims + 1, 2)).ok());
+}
+
+TEST(GridSpecTest, Square) {
+  Result<GridSpec> g = GridSpec::Square(3, 5);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_buckets(), 125u);
+  EXPECT_EQ(g.value().ToString(), "5x5x5");
+}
+
+TEST(GridSpecTest, Contains) {
+  const GridSpec g = GridSpec::Create({3, 4}).value();
+  EXPECT_TRUE(g.Contains({0, 0}));
+  EXPECT_TRUE(g.Contains({2, 3}));
+  EXPECT_FALSE(g.Contains({3, 0}));
+  EXPECT_FALSE(g.Contains({0, 4}));
+  EXPECT_FALSE(g.Contains(BucketCoords({0})));  // Wrong arity.
+}
+
+TEST(GridSpecTest, LinearizeRowMajorOrder) {
+  const GridSpec g = GridSpec::Create({2, 3}).value();
+  // Last dimension varies fastest.
+  EXPECT_EQ(g.Linearize({0, 0}), 0u);
+  EXPECT_EQ(g.Linearize({0, 1}), 1u);
+  EXPECT_EQ(g.Linearize({0, 2}), 2u);
+  EXPECT_EQ(g.Linearize({1, 0}), 3u);
+  EXPECT_EQ(g.Linearize({1, 2}), 5u);
+}
+
+TEST(GridSpecTest, LinearizeDelinearizeRoundTrip) {
+  const GridSpec g = GridSpec::Create({3, 5, 2}).value();
+  for (uint64_t i = 0; i < g.num_buckets(); ++i) {
+    const BucketCoords c = g.Delinearize(i);
+    EXPECT_TRUE(g.Contains(c));
+    EXPECT_EQ(g.Linearize(c), i);
+  }
+}
+
+TEST(GridSpecTest, ForEachBucketVisitsAllOnceInOrder) {
+  const GridSpec g = GridSpec::Create({4, 3}).value();
+  std::vector<uint64_t> visited;
+  g.ForEachBucket([&](const BucketCoords& c) {
+    visited.push_back(g.Linearize(c));
+  });
+  ASSERT_EQ(visited.size(), g.num_buckets());
+  for (uint64_t i = 0; i < visited.size(); ++i) EXPECT_EQ(visited[i], i);
+}
+
+TEST(GridSpecTest, OneDimensionalGrid) {
+  const GridSpec g = GridSpec::Create({7}).value();
+  EXPECT_EQ(g.num_buckets(), 7u);
+  EXPECT_EQ(g.Linearize(BucketCoords({6})), 6u);
+}
+
+TEST(GridSpecTest, SingleBucketGrid) {
+  const GridSpec g = GridSpec::Create({1, 1, 1}).value();
+  EXPECT_EQ(g.num_buckets(), 1u);
+  int count = 0;
+  g.ForEachBucket([&](const BucketCoords&) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(GridSpecTest, Equality) {
+  EXPECT_TRUE(GridSpec::Create({2, 3}).value() ==
+              GridSpec::Create({2, 3}).value());
+  EXPECT_FALSE(GridSpec::Create({2, 3}).value() ==
+               GridSpec::Create({3, 2}).value());
+}
+
+TEST(BucketCoordsTest, Basics) {
+  BucketCoords c(3);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0], 0u);
+  c[1] = 9;
+  EXPECT_EQ(c[1], 9u);
+  EXPECT_EQ(c.ToString(), "<0, 9, 0>");
+  EXPECT_EQ(BucketCoords({1, 2}), BucketCoords({1, 2}));
+  EXPECT_NE(BucketCoords({1, 2}), BucketCoords({2, 1}));
+  EXPECT_NE(BucketCoords({1, 2}), BucketCoords({1, 2, 0}));
+}
+
+TEST(GridSpecDeathTest, LinearizeOutsideGridAborts) {
+  const GridSpec g = GridSpec::Create({2, 2}).value();
+  EXPECT_DEATH(g.Linearize({2, 0}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace griddecl

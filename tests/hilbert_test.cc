@@ -1,0 +1,110 @@
+#include "griddecl/curve/hilbert.h"
+
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace griddecl {
+namespace {
+
+TEST(HilbertTest, CreateValidation) {
+  EXPECT_TRUE(HilbertCurve::Create(2, 5).ok());
+  EXPECT_FALSE(HilbertCurve::Create(0, 5).ok());
+  EXPECT_FALSE(HilbertCurve::Create(9, 5).ok());
+  EXPECT_FALSE(HilbertCurve::Create(2, 0).ok());
+  EXPECT_FALSE(HilbertCurve::Create(8, 9).ok());  // 72 bits > 64.
+  EXPECT_TRUE(HilbertCurve::Create(8, 8).ok());
+}
+
+TEST(HilbertTest, Known2DOrder1) {
+  // The order-1 2-D Hilbert curve visits (0,0),(0,1),(1,1),(1,0).
+  const HilbertCurve h = HilbertCurve::Create(2, 1).value();
+  std::vector<BucketCoords> expect = {
+      {0, 0}, {0, 1}, {1, 1}, {1, 0}};
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(h.Coords(i), expect[i]) << "i=" << i;
+    EXPECT_EQ(h.Index(expect[i]), i);
+  }
+}
+
+class HilbertParamTest
+    : public ::testing::TestWithParam<std::pair<uint32_t, uint32_t>> {};
+
+TEST_P(HilbertParamTest, Bijective) {
+  const auto [dims, order] = GetParam();
+  const HilbertCurve h = HilbertCurve::Create(dims, order).value();
+  std::set<uint64_t> seen;
+  // Walk all cells via coordinates; indices must be a permutation.
+  std::vector<uint32_t> c(dims, 0);
+  for (;;) {
+    BucketCoords bc(dims);
+    for (uint32_t i = 0; i < dims; ++i) bc[i] = c[i];
+    const uint64_t idx = h.Index(bc);
+    EXPECT_LT(idx, h.num_cells());
+    EXPECT_TRUE(seen.insert(idx).second) << "duplicate index " << idx;
+    EXPECT_EQ(h.Coords(idx), bc);
+    uint32_t d = dims;
+    for (;;) {
+      if (d == 0) goto done;
+      --d;
+      if (++c[d] < h.side()) break;
+      c[d] = 0;
+    }
+  }
+done:
+  EXPECT_EQ(seen.size(), h.num_cells());
+}
+
+TEST_P(HilbertParamTest, ConsecutiveIndicesAreAdjacentCells) {
+  const auto [dims, order] = GetParam();
+  const HilbertCurve h = HilbertCurve::Create(dims, order).value();
+  for (uint64_t i = 0; i + 1 < h.num_cells(); ++i) {
+    const BucketCoords a = h.Coords(i);
+    const BucketCoords b = h.Coords(i + 1);
+    uint64_t manhattan = 0;
+    for (uint32_t d = 0; d < dims; ++d) {
+      manhattan += static_cast<uint64_t>(
+          std::abs(static_cast<int64_t>(a[d]) - static_cast<int64_t>(b[d])));
+    }
+    EXPECT_EQ(manhattan, 1u) << "step " << i << ": " << a.ToString() << " -> "
+                             << b.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndOrders, HilbertParamTest,
+    ::testing::Values(std::pair<uint32_t, uint32_t>{1, 4},
+                      std::pair<uint32_t, uint32_t>{2, 1},
+                      std::pair<uint32_t, uint32_t>{2, 2},
+                      std::pair<uint32_t, uint32_t>{2, 3},
+                      std::pair<uint32_t, uint32_t>{2, 5},
+                      std::pair<uint32_t, uint32_t>{3, 1},
+                      std::pair<uint32_t, uint32_t>{3, 2},
+                      std::pair<uint32_t, uint32_t>{3, 3},
+                      std::pair<uint32_t, uint32_t>{4, 2}));
+
+TEST(HilbertTest, StartsAtOrigin) {
+  for (uint32_t dims = 1; dims <= 4; ++dims) {
+    const HilbertCurve h = HilbertCurve::Create(dims, 3).value();
+    const BucketCoords origin = h.Coords(0);
+    for (uint32_t d = 0; d < dims; ++d) EXPECT_EQ(origin[d], 0u);
+  }
+}
+
+TEST(HilbertTest, LargeOrderRoundTrip) {
+  const HilbertCurve h = HilbertCurve::Create(2, 16).value();
+  for (uint64_t idx : {uint64_t{0}, uint64_t{1}, uint64_t{12345678},
+                       h.num_cells() - 1}) {
+    EXPECT_EQ(h.Index(h.Coords(idx)), idx);
+  }
+}
+
+TEST(HilbertDeathTest, OutOfCubeCoordAborts) {
+  const HilbertCurve h = HilbertCurve::Create(2, 2).value();
+  EXPECT_DEATH(h.Index({4, 0}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,116 @@
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "griddecl/griddecl.h"
+
+namespace griddecl {
+namespace {
+
+/// End-to-end: build a relation, decluster it four ways, run the same
+/// realistic query mix through every stack layer, and cross-check that the
+/// bucket-level evaluator and the record-level executor agree.
+TEST(IntegrationTest, FullStackAgreement) {
+  Schema schema =
+      Schema::Create({{"lat", 0.0, 90.0}, {"lon", 0.0, 180.0}}).value();
+  Rng rng(2024);
+  for (const char* name : {"dm", "fx", "ecc", "hcam"}) {
+    GridFile file = GridFile::Create(schema, {16, 16}).value();
+    for (int i = 0; i < 300; ++i) {
+      ASSERT_TRUE(
+          file.Insert({rng.NextDouble() * 90, rng.NextDouble() * 180}).ok());
+    }
+    DeclusteredFile df =
+        DeclusteredFile::Create(std::move(file), name, 8).value();
+
+    const std::vector<double> qlo = {10.0, 20.0};
+    const std::vector<double> qhi = {40.0, 100.0};
+    const QueryExecution exec = df.ExecuteRange(qlo, qhi).value();
+
+    // Recompute through the bucket-level API.
+    const RangeQuery q = df.file().ResolveRange(qlo, qhi).value();
+    EXPECT_EQ(exec.buckets_touched, q.NumBuckets()) << name;
+    EXPECT_EQ(exec.response_units, ResponseTime(df.method(), q)) << name;
+    EXPECT_EQ(exec.optimal_units,
+              OptimalResponseTime(q.NumBuckets(), 8))
+        << name;
+  }
+}
+
+/// The registry, generator, evaluator and table writer compose into the
+/// experiment driver; sanity-check an entire mini-experiment end to end.
+TEST(IntegrationTest, MiniExperimentPipeline) {
+  const GridSpec grid = GridSpec::Create({64, 64}).value();
+  SweepOptions opts;
+  opts.max_placements = 512;
+  const SweepResult sweep =
+      QuerySizeSweep(grid, 16, {4, 16, 64, 1024}, opts).value();
+  ASSERT_EQ(sweep.points.size(), 4u);
+  ASSERT_EQ(sweep.method_names.size(), 4u);
+
+  // Every method converges toward optimal as queries grow (the paper's
+  // finding (i)): the ratio at area 1024 is essentially no worse than at
+  // area 4 and close to 1.
+  for (size_t m = 0; m < sweep.method_names.size(); ++m) {
+    const double small_ratio = sweep.points[0].mean_ratio[m];
+    const double large_ratio = sweep.points[3].mean_ratio[m];
+    EXPECT_LE(large_ratio, small_ratio + 0.05) << sweep.method_names[m];
+    EXPECT_LT(large_ratio, 1.20) << sweep.method_names[m];
+  }
+
+  const Table t = sweep.ResponseTable();
+  EXPECT_EQ(t.num_rows(), 4u);
+  EXPECT_EQ(t.num_cols(), 2u + 4u);
+}
+
+/// Declustering changes I/O cost but never query answers: every method
+/// returns identical record sets.
+TEST(IntegrationTest, MethodsAgreeOnQueryAnswers) {
+  Schema schema = Schema::Create({{"x", 0.0, 1.0}, {"y", 0.0, 1.0}}).value();
+  Rng rng(7);
+  std::vector<Record> data;
+  for (int i = 0; i < 250; ++i) {
+    data.push_back({rng.NextDouble(), rng.NextDouble()});
+  }
+  std::map<std::string, std::vector<RecordId>> answers;
+  for (const char* name : {"dm", "fx", "ecc", "hcam", "random"}) {
+    GridFile file = GridFile::Create(schema, {16, 16}).value();
+    for (const Record& r : data) ASSERT_TRUE(file.Insert(r).ok());
+    DeclusteredFile df =
+        DeclusteredFile::Create(std::move(file), name, 8).value();
+    auto exec = df.ExecuteRange({0.1, 0.3}, {0.6, 0.9}).value();
+    std::sort(exec.matches.begin(), exec.matches.end());
+    answers[name] = exec.matches;
+  }
+  for (const auto& [name, ids] : answers) {
+    EXPECT_EQ(ids, answers["dm"]) << name;
+  }
+}
+
+/// The timed simulator and the bucket metric must agree on the obvious
+/// comparison: a method that is much worse in bucket units is not better in
+/// simulated milliseconds on the same query (identical service parameters,
+/// same addresses-per-disk distribution shape).
+TEST(IntegrationTest, TimedSimTracksBucketMetricForExtremes) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto hcam = CreateMethod("hcam", grid, 8).value();
+  const auto linear = CreateMethod("linear", grid, 8).value();
+  // A 8x1 column query: linear places the whole column on few disks when
+  // rows map contiguously; rank-based round robin spreads it.
+  const RangeQuery q =
+      RangeQuery::Create(grid, BucketRect::Create({0, 3}, {7, 3}).value())
+          .value();
+  const uint64_t rt_hcam = ResponseTime(*hcam, q);
+  const uint64_t rt_linear = ResponseTime(*linear, q);
+  DiskParams params;
+  params.near_gap_buckets = 0;  // Uniform service time per request.
+  ParallelIoSimulator sim(8, params);
+  const double ms_hcam = sim.RunQuery(*hcam, q).makespan_ms;
+  const double ms_linear = sim.RunQuery(*linear, q).makespan_ms;
+  ASSERT_LT(rt_hcam, rt_linear);  // Linear is terrible on columns.
+  EXPECT_LT(ms_hcam, ms_linear);
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,110 @@
+#include "griddecl/sim/io_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "griddecl/methods/registry.h"
+
+namespace griddecl {
+namespace {
+
+DiskParams SimpleParams() {
+  DiskParams p;
+  p.avg_seek_ms = 10.0;
+  p.rotational_latency_ms = 0.0;
+  p.transfer_ms_per_kb = 0.125;
+  p.bucket_kb = 8.0;  // 1 ms transfer.
+  p.near_seek_factor = 0.1;
+  p.near_gap_buckets = 4;
+  return p;
+}
+
+TEST(IoSimTest, EmptyScheduleIsFree) {
+  ParallelIoSimulator sim(4, SimpleParams());
+  const SimResult r = sim.RunSchedule({{}, {}, {}, {}});
+  EXPECT_EQ(r.makespan_ms, 0.0);
+  EXPECT_EQ(r.TotalRequests(), 0u);
+}
+
+TEST(IoSimTest, SingleRequestCost) {
+  ParallelIoSimulator sim(2, SimpleParams());
+  const SimResult r = sim.RunSchedule({{100}, {}});
+  // One far request: full positioning (10ms) + transfer (1ms).
+  EXPECT_DOUBLE_EQ(r.makespan_ms, 11.0);
+  EXPECT_EQ(r.per_disk[0].requests, 1u);
+  EXPECT_EQ(r.per_disk[1].requests, 0u);
+}
+
+TEST(IoSimTest, SequentialRunCheaperThanScattered) {
+  ParallelIoSimulator sim(1, SimpleParams());
+  // Four adjacent buckets vs four far-apart buckets.
+  const SimResult seq = sim.RunSchedule({{10, 11, 12, 13}});
+  const SimResult scatter = sim.RunSchedule({{10, 100, 1000, 10000}});
+  EXPECT_LT(seq.makespan_ms, scatter.makespan_ms);
+  // Sequential: 1 far + 3 near = 11 + 3 * (1 + 1) = 17 ms.
+  EXPECT_DOUBLE_EQ(seq.makespan_ms, 11.0 + 3 * (1.0 + 1.0));
+  EXPECT_DOUBLE_EQ(scatter.makespan_ms, 4 * 11.0);
+}
+
+TEST(IoSimTest, MakespanIsMaxDisk) {
+  ParallelIoSimulator sim(3, SimpleParams());
+  const SimResult r = sim.RunSchedule({{1000}, {1, 5000}, {}});
+  EXPECT_DOUBLE_EQ(r.per_disk[0].busy_ms, 11.0);
+  EXPECT_DOUBLE_EQ(r.per_disk[1].busy_ms, 22.0);
+  EXPECT_DOUBLE_EQ(r.makespan_ms, 22.0);
+  EXPECT_DOUBLE_EQ(r.SerialMs(), 33.0);
+  EXPECT_DOUBLE_EQ(r.Speedup(), 1.5);
+}
+
+TEST(IoSimTest, RequestsSortedBeforeCosting) {
+  ParallelIoSimulator sim(1, SimpleParams());
+  // Same set, different order: cost must be identical (disk sorts by
+  // address).
+  const SimResult a = sim.RunSchedule({{13, 10, 12, 11}});
+  const SimResult b = sim.RunSchedule({{10, 11, 12, 13}});
+  EXPECT_DOUBLE_EQ(a.makespan_ms, b.makespan_ms);
+}
+
+TEST(IoSimTest, RunQueryMatchesBucketCounts) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto hcam = CreateMethod("hcam", grid, 4).value();
+  ParallelIoSimulator sim(4, SimpleParams());
+  const RangeQuery q =
+      RangeQuery::Create(grid, BucketRect::Create({0, 0}, {7, 7}).value())
+          .value();
+  const SimResult r = sim.RunQuery(*hcam, q);
+  EXPECT_EQ(r.TotalRequests(), q.NumBuckets());
+  EXPECT_GT(r.makespan_ms, 0.0);
+  EXPECT_LE(r.Speedup(), 4.0 + 1e-9);
+  EXPECT_GE(r.Speedup(), 1.0);
+  EXPECT_GT(r.MeanUtilization(), 0.0);
+  EXPECT_LE(r.MeanUtilization(), 1.0 + 1e-9);
+}
+
+TEST(IoSimTest, BalancedBeatsSkewedDeclustering) {
+  // All buckets on one disk vs spread evenly: parallel wins.
+  ParallelIoSimulator sim(4, SimpleParams());
+  const SimResult skewed = sim.RunSchedule({{0, 100, 200, 300}, {}, {}, {}});
+  const SimResult balanced = sim.RunSchedule({{0}, {100}, {200}, {300}});
+  EXPECT_GT(skewed.makespan_ms, balanced.makespan_ms);
+  EXPECT_DOUBLE_EQ(balanced.Speedup(), 4.0);
+}
+
+TEST(IoSimTest, DefaultParamsSane) {
+  const DiskParams p;
+  EXPECT_GT(p.TransferMs(), 0.0);
+  ParallelIoSimulator sim(2, p);
+  const SimResult r = sim.RunSchedule({{1}, {2}});
+  EXPECT_GT(r.makespan_ms, 0.0);
+}
+
+TEST(IoSimDeathTest, MismatchedDiskCountAborts) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto dm = CreateMethod("dm", grid, 4).value();
+  ParallelIoSimulator sim(8, SimpleParams());
+  const RangeQuery q =
+      RangeQuery::Create(grid, BucketRect::Point({0, 0})).value();
+  EXPECT_DEATH(sim.RunQuery(*dm, q), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,99 @@
+#include "griddecl/methods/lattice.h"
+
+#include "griddecl/methods/dm.h"
+
+#include <gtest/gtest.h>
+
+#include "griddecl/eval/evaluator.h"
+#include "griddecl/methods/registry.h"
+#include "griddecl/query/generator.h"
+#include "griddecl/theory/strict_optimality.h"
+
+namespace griddecl {
+namespace {
+
+TEST(LatticeTest, ScoreValidation) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  EXPECT_FALSE(ScoreGdmCoefficients(grid, 0, {1, 1}).ok());
+  EXPECT_FALSE(ScoreGdmCoefficients(grid, 4, {1}).ok());
+  EXPECT_TRUE(ScoreGdmCoefficients(grid, 4, {1, 1}).ok());
+}
+
+TEST(LatticeTest, ScoreIsOneForStrictlyOptimalCoefficients) {
+  // (i + 2j) mod 5 is strictly optimal: every probed shape scores 1.
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  EXPECT_DOUBLE_EQ(ScoreGdmCoefficients(grid, 5, {1, 2}).value(), 1.0);
+  // Plain DM with M=5 is not: (i + j) collides on squares.
+  EXPECT_GT(ScoreGdmCoefficients(grid, 5, {1, 1}).value(), 1.0);
+}
+
+TEST(LatticeTest, SearchFindsTheKnownOptimumForFiveDisks) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto coeffs = SearchGdmCoefficients(grid, 5).value();
+  EXPECT_DOUBLE_EQ(ScoreGdmCoefficients(grid, 5, coeffs).value(), 1.0);
+  // The found coefficients must define a strictly optimal allocation.
+  const auto gdm = GdmMethod::Create(
+      GridSpec::Create({7, 7}).value(), 5, coeffs).value();
+  EXPECT_TRUE([&] {
+    // Reuse the exhaustive verifier through a small allocation copy.
+    std::vector<uint32_t> alloc;
+    gdm->grid().ForEachBucket(
+        [&](const BucketCoords& c) { alloc.push_back(gdm->DiskOf(c)); });
+    return AllocationIsStrictlyOptimal(7, 7, 5, alloc);
+  }());
+}
+
+TEST(LatticeTest, SearchedBeatsOrMatchesPlainDmEverywhere) {
+  for (uint32_t m : {4u, 7u, 8u, 13u, 16u}) {
+    const GridSpec grid = GridSpec::Create({32, 32}).value();
+    const double dm_score = ScoreGdmCoefficients(grid, m, {1, 1}).value();
+    const auto coeffs = SearchGdmCoefficients(grid, m).value();
+    const double searched = ScoreGdmCoefficients(grid, m, coeffs).value();
+    EXPECT_LE(searched, dm_score + 1e-12) << "M=" << m;
+  }
+}
+
+TEST(LatticeTest, SearchedGdmImprovesSmallSquareWorkloads) {
+  // The concrete payoff: on the paper's small-square scenario the searched
+  // coefficients clearly beat DM/CMD.
+  const GridSpec grid = GridSpec::Create({32, 32}).value();
+  const uint32_t m = 16;
+  const auto dm = CreateMethod("dm", grid, m).value();
+  const auto searched = CreateMethod("gdm-search", grid, m).value();
+  QueryGenerator gen(grid);
+  const Workload w = gen.AllPlacements({4, 4}, "4x4").value();
+  const double dm_rt = Evaluator(dm.get()).EvaluateWorkload(w).MeanResponse();
+  const double s_rt =
+      Evaluator(searched.get()).EvaluateWorkload(w).MeanResponse();
+  EXPECT_LT(s_rt, dm_rt * 0.8);
+}
+
+TEST(LatticeTest, PinnedFirstCoefficient) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto coeffs = SearchGdmCoefficients(grid, 8).value();
+  ASSERT_EQ(coeffs.size(), 2u);
+  EXPECT_EQ(coeffs[0], 1u);
+  EXPECT_GE(coeffs[1], 1u);
+  EXPECT_LT(coeffs[1], 8u);
+}
+
+TEST(LatticeTest, DegenerateCases) {
+  const GridSpec grid1 = GridSpec::Create({16}).value();
+  EXPECT_EQ(SearchGdmCoefficients(grid1, 8).value(),
+            std::vector<uint32_t>{1});
+  const GridSpec grid2 = GridSpec::Create({4, 4}).value();
+  EXPECT_EQ(SearchGdmCoefficients(grid2, 1).value(),
+            (std::vector<uint32_t>{1, 1}));
+}
+
+TEST(LatticeTest, ThreeDimensionalSearchRuns) {
+  const GridSpec grid = GridSpec::Create({8, 8, 8}).value();
+  const auto coeffs = SearchGdmCoefficients(grid, 8).value();
+  ASSERT_EQ(coeffs.size(), 3u);
+  const double searched = ScoreGdmCoefficients(grid, 8, coeffs).value();
+  const double dm = ScoreGdmCoefficients(grid, 8, {1, 1, 1}).value();
+  EXPECT_LE(searched, dm + 1e-12);
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,53 @@
+#include "griddecl/common/math_util.h"
+
+#include <gtest/gtest.h>
+
+namespace griddecl {
+namespace {
+
+TEST(MathUtilTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 4), 0u);
+  EXPECT_EQ(CeilDiv(1, 4), 1u);
+  EXPECT_EQ(CeilDiv(4, 4), 1u);
+  EXPECT_EQ(CeilDiv(5, 4), 2u);
+  EXPECT_EQ(CeilDiv(8, 4), 2u);
+  EXPECT_EQ(CeilDiv(9, 4), 3u);
+  EXPECT_EQ(CeilDiv(100, 1), 100u);
+}
+
+TEST(MathUtilTest, CeilDivMatchesDefinition) {
+  for (uint64_t a = 0; a < 200; ++a) {
+    for (uint64_t b = 1; b < 20; ++b) {
+      const uint64_t q = CeilDiv(a, b);
+      EXPECT_GE(q * b, a);
+      EXPECT_LT((q - (q > 0 ? 1 : 0)) * b, a + (q == 0 ? 1 : 0));
+    }
+  }
+}
+
+TEST(MathUtilTest, Gcd) {
+  EXPECT_EQ(Gcd(12, 18), 6u);
+  EXPECT_EQ(Gcd(7, 13), 1u);
+  EXPECT_EQ(Gcd(0, 5), 5u);
+  EXPECT_EQ(Gcd(5, 0), 5u);
+  EXPECT_EQ(Gcd(48, 36), 12u);
+}
+
+TEST(MathUtilTest, Lcm) {
+  EXPECT_EQ(Lcm(4, 6), 12u);
+  EXPECT_EQ(Lcm(7, 13), 91u);
+  EXPECT_EQ(Lcm(0, 5), 0u);
+  EXPECT_EQ(Lcm(8, 8), 8u);
+}
+
+TEST(MathUtilTest, IPow) {
+  EXPECT_EQ(IPow(2, 0), 1u);
+  EXPECT_EQ(IPow(2, 10), 1024u);
+  EXPECT_EQ(IPow(3, 4), 81u);
+  EXPECT_EQ(IPow(10, 6), 1000000u);
+  EXPECT_EQ(IPow(0, 5), 0u);
+  EXPECT_EQ(IPow(0, 0), 1u);
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,94 @@
+#include "griddecl/common/maxflow.h"
+
+#include <gtest/gtest.h>
+
+namespace griddecl {
+namespace {
+
+TEST(MaxFlowTest, SingleEdge) {
+  MaxFlowGraph g(2);
+  const uint32_t e = g.AddEdge(0, 1, 7);
+  EXPECT_EQ(g.MaxFlow(0, 1), 7u);
+  EXPECT_EQ(g.flow(e), 7u);
+}
+
+TEST(MaxFlowTest, ClassicDiamond) {
+  //      1
+  //   /     \
+  //  0       3   two paths, bottlenecks 2 and 3.
+  //   \     /
+  //      2
+  MaxFlowGraph g(4);
+  g.AddEdge(0, 1, 2);
+  g.AddEdge(1, 3, 5);
+  g.AddEdge(0, 2, 4);
+  g.AddEdge(2, 3, 3);
+  EXPECT_EQ(g.MaxFlow(0, 3), 5u);
+}
+
+TEST(MaxFlowTest, CrossEdgeRequiresResidualReasoning) {
+  // The textbook example where augmenting greedily through the middle
+  // edge must be undone via the residual graph.
+  MaxFlowGraph g(4);
+  g.AddEdge(0, 1, 1);
+  g.AddEdge(0, 2, 1);
+  g.AddEdge(1, 2, 1);
+  g.AddEdge(1, 3, 1);
+  g.AddEdge(2, 3, 1);
+  EXPECT_EQ(g.MaxFlow(0, 3), 2u);
+}
+
+TEST(MaxFlowTest, DisconnectedIsZero) {
+  MaxFlowGraph g(4);
+  g.AddEdge(0, 1, 5);
+  g.AddEdge(2, 3, 5);
+  EXPECT_EQ(g.MaxFlow(0, 3), 0u);
+}
+
+TEST(MaxFlowTest, BipartiteMatching) {
+  // 3 jobs, 3 machines; job0 -> {m0}, job1 -> {m0, m1}, job2 -> {m1, m2}.
+  // Perfect matching exists.
+  MaxFlowGraph g(8);  // 0 src, 1-3 jobs, 4-6 machines, 7 sink.
+  for (uint32_t j = 1; j <= 3; ++j) g.AddEdge(0, j, 1);
+  g.AddEdge(1, 4, 1);
+  g.AddEdge(2, 4, 1);
+  g.AddEdge(2, 5, 1);
+  g.AddEdge(3, 5, 1);
+  g.AddEdge(3, 6, 1);
+  for (uint32_t m = 4; m <= 6; ++m) g.AddEdge(m, 7, 1);
+  EXPECT_EQ(g.MaxFlow(0, 7), 3u);
+}
+
+TEST(MaxFlowTest, ResetAndRetune) {
+  MaxFlowGraph g(3);
+  g.AddEdge(0, 1, 4);
+  const uint32_t bottleneck = g.AddEdge(1, 2, 1);
+  EXPECT_EQ(g.MaxFlow(0, 2), 1u);
+  // Widen the bottleneck and re-solve.
+  g.ResetCapacities();
+  g.SetCapacity(bottleneck, 10);
+  EXPECT_EQ(g.MaxFlow(0, 2), 4u);
+  // Shrink to zero.
+  g.ResetCapacities();
+  g.SetCapacity(bottleneck, 0);
+  EXPECT_EQ(g.MaxFlow(0, 2), 0u);
+}
+
+TEST(MaxFlowTest, FlowConservationOnSolvedGraph) {
+  MaxFlowGraph g(5);
+  const uint32_t a = g.AddEdge(0, 1, 3);
+  const uint32_t b = g.AddEdge(0, 2, 3);
+  const uint32_t c = g.AddEdge(1, 3, 2);
+  const uint32_t d = g.AddEdge(2, 3, 2);
+  const uint32_t e = g.AddEdge(1, 2, 1);
+  const uint32_t f = g.AddEdge(3, 4, 10);
+  const uint64_t total = g.MaxFlow(0, 4);
+  EXPECT_EQ(total, 4u);
+  EXPECT_EQ(g.flow(a) + g.flow(b), total);
+  EXPECT_EQ(g.flow(c) + g.flow(d), total);
+  EXPECT_EQ(g.flow(f), total);
+  EXPECT_LE(g.flow(e), 1u);
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,76 @@
+#include "griddecl/methods/dm.h"
+
+#include <gtest/gtest.h>
+
+namespace griddecl {
+namespace {
+
+TEST(DmMethodTest, FormulaMatchesPaper) {
+  // disk(<i1, i2>) = (i1 + i2) mod M.
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto dm = GdmMethod::Dm(grid, 5).value();
+  EXPECT_EQ(dm->name(), "DM/CMD");
+  for (uint32_t i = 0; i < 8; ++i) {
+    for (uint32_t j = 0; j < 8; ++j) {
+      EXPECT_EQ(dm->DiskOf({i, j}), (i + j) % 5);
+    }
+  }
+}
+
+TEST(DmMethodTest, ThreeDimensional) {
+  const GridSpec grid = GridSpec::Create({4, 4, 4}).value();
+  const auto dm = GdmMethod::Dm(grid, 3).value();
+  EXPECT_EQ(dm->DiskOf({1, 2, 3}), (1 + 2 + 3) % 3u);
+  EXPECT_EQ(dm->DiskOf({3, 3, 3}), 0u);
+}
+
+TEST(GdmMethodTest, CoefficientsApplied) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto gdm = GdmMethod::Create(grid, 5, {1, 2}).value();
+  EXPECT_EQ(gdm->name(), "GDM");
+  for (uint32_t i = 0; i < 8; ++i) {
+    for (uint32_t j = 0; j < 8; ++j) {
+      EXPECT_EQ(gdm->DiskOf({i, j}), (i + 2 * j) % 5);
+    }
+  }
+}
+
+TEST(GdmMethodTest, WrongCoefficientArityRejected) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  EXPECT_FALSE(GdmMethod::Create(grid, 5, {1}).ok());
+  EXPECT_FALSE(GdmMethod::Create(grid, 5, {1, 2, 3}).ok());
+}
+
+TEST(DmMethodTest, RowsAreRotationsOfEachOther) {
+  // DM's diagonal structure: row i+1 is row i shifted by one disk.
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto dm = GdmMethod::Dm(grid, 7).value();
+  for (uint32_t i = 0; i + 1 < 16; ++i) {
+    for (uint32_t j = 0; j + 1 < 16; ++j) {
+      EXPECT_EQ(dm->DiskOf({i + 1, j}), dm->DiskOf({i, j + 1}));
+    }
+  }
+}
+
+TEST(DmMethodTest, PerfectLoadBalanceWhenSideMultipleOfM) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto dm = GdmMethod::Dm(grid, 4).value();
+  const std::vector<uint64_t> loads = dm->DiskLoadHistogram();
+  for (uint64_t l : loads) EXPECT_EQ(l, 64u / 4);
+}
+
+TEST(DmMethodTest, OneDisk) {
+  const GridSpec grid = GridSpec::Create({4, 4}).value();
+  const auto dm = GdmMethod::Dm(grid, 1).value();
+  grid.ForEachBucket([&](const BucketCoords& c) {
+    EXPECT_EQ(dm->DiskOf(c), 0u);
+  });
+}
+
+TEST(DmMethodTest, RejectsZeroDisks) {
+  const GridSpec grid = GridSpec::Create({4, 4}).value();
+  EXPECT_FALSE(GdmMethod::Dm(grid, 0).ok());
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,114 @@
+#include "griddecl/methods/ecc.h"
+
+#include <gtest/gtest.h>
+
+#include "griddecl/coding/parity_check.h"
+
+namespace griddecl {
+namespace {
+
+TEST(EccMethodTest, RequiresPowerOfTwoDisks) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  EXPECT_TRUE(EccMethod::Create(grid, 4).ok());
+  const auto bad = EccMethod::Create(grid, 6);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(EccMethodTest, RequiresPowerOfTwoDomains) {
+  const GridSpec grid = GridSpec::Create({8, 6}).value();
+  const auto bad = EccMethod::Create(grid, 4);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(EccMethodTest, DisksInRangeAndBalanced) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto ecc = EccMethod::Create(grid, 8).value();
+  EXPECT_EQ(ecc->name(), "ECC");
+  // Cosets of a linear code partition the space into equal parts.
+  for (uint64_t l : ecc->DiskLoadHistogram()) EXPECT_EQ(l, 256u / 8);
+}
+
+TEST(EccMethodTest, DiskZeroIsTheCode) {
+  // Bucket <0,...,0> has zero syndrome -> disk 0, and the set of disk-0
+  // buckets is closed under coordinate-bit XOR (a linear code).
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto ecc = EccMethod::Create(grid, 4).value();
+  EXPECT_EQ(ecc->DiskOf({0, 0}), 0u);
+  std::vector<BucketCoords> code;
+  grid.ForEachBucket([&](const BucketCoords& c) {
+    if (ecc->DiskOf(c) == 0) code.push_back(c);
+  });
+  for (const auto& a : code) {
+    for (const auto& b : code) {
+      const BucketCoords x({a[0] ^ b[0], a[1] ^ b[1]});
+      EXPECT_EQ(ecc->DiskOf(x), 0u)
+          << a.ToString() << " ^ " << b.ToString();
+    }
+  }
+}
+
+TEST(EccMethodTest, MinDistancePropertySeparatesCloseBuckets) {
+  // With n <= 2^c - 1, buckets differing in 1 or 2 coordinate bits must be
+  // on different disks.
+  const GridSpec grid = GridSpec::Create({8, 8}).value();  // n = 6 bits.
+  const auto ecc = EccMethod::Create(grid, 8).value();     // c = 3, 6 <= 7.
+  grid.ForEachBucket([&](const BucketCoords& a) {
+    // Flip each single coordinate bit.
+    for (uint32_t dim = 0; dim < 2; ++dim) {
+      for (uint32_t bit = 0; bit < 3; ++bit) {
+        BucketCoords b = a;
+        b[dim] = a[dim] ^ (1u << bit);
+        EXPECT_NE(ecc->DiskOf(a), ecc->DiskOf(b))
+            << a.ToString() << " vs " << b.ToString();
+      }
+    }
+  });
+}
+
+TEST(EccMethodTest, AdjacentBucketsNeverShareDisk) {
+  // Coordinate neighbours differ in >= 1 bit; with distance-3 codes even
+  // some 2-bit flips separate, but at minimum direct binary neighbours
+  // (+1 on a value ending in 0) always differ in exactly one bit.
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto ecc = EccMethod::Create(grid, 16).value();  // n=8, c=4, 8<=15.
+  for (uint32_t i = 0; i < 16; ++i) {
+    for (uint32_t j = 0; j + 1 < 16; j += 2) {
+      EXPECT_NE(ecc->DiskOf({i, j}), ecc->DiskOf({i, j + 1}));
+    }
+  }
+}
+
+TEST(EccMethodTest, CustomMatrixValidation) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  // Needs 2 x 6 for M=4 over 6 bits; wrong shape rejected.
+  BitMatrix wrong(3, 6);
+  EXPECT_FALSE(EccMethod::CreateWithMatrix(grid, 4, wrong).ok());
+  BitMatrix right = BuildHammingParityCheck(2, 6).value();
+  EXPECT_TRUE(EccMethod::CreateWithMatrix(grid, 4, right).ok());
+}
+
+TEST(EccMethodTest, OneDiskDegenerate) {
+  const GridSpec grid = GridSpec::Create({4, 4}).value();
+  const auto ecc = EccMethod::Create(grid, 1).value();
+  grid.ForEachBucket([&](const BucketCoords& c) {
+    EXPECT_EQ(ecc->DiskOf(c), 0u);
+  });
+}
+
+TEST(EccMethodTest, SingleBucketGrid) {
+  const GridSpec grid = GridSpec::Create({1, 1}).value();
+  const auto ecc = EccMethod::Create(grid, 4).value();
+  EXPECT_EQ(ecc->DiskOf({0, 0}), 0u);
+}
+
+TEST(EccMethodTest, BinaryAttributesClassicCase) {
+  // The original ECC setting: k binary attributes. 2^6 buckets, 8 disks.
+  const GridSpec grid = GridSpec::Create({2, 2, 2, 2, 2, 2}).value();
+  const auto ecc = EccMethod::Create(grid, 8).value();
+  for (uint64_t l : ecc->DiskLoadHistogram()) EXPECT_EQ(l, 64u / 8);
+}
+
+}  // namespace
+}  // namespace griddecl

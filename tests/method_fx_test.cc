@@ -1,0 +1,96 @@
+#include "griddecl/methods/fx.h"
+
+#include <gtest/gtest.h>
+
+#include "griddecl/methods/dm.h"
+
+namespace griddecl {
+namespace {
+
+TEST(FxMethodTest, FormulaMatchesPaper) {
+  // disk(<i1, i2>) = (i1 XOR i2) mod M.
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto fx = FxMethod::Create(grid, 8).value();
+  EXPECT_EQ(fx->name(), "FX");
+  for (uint32_t i = 0; i < 16; ++i) {
+    for (uint32_t j = 0; j < 16; ++j) {
+      EXPECT_EQ(fx->DiskOf({i, j}), (i ^ j) % 8);
+    }
+  }
+}
+
+TEST(FxMethodTest, ThreeDimensionalXor) {
+  const GridSpec grid = GridSpec::Create({8, 8, 8}).value();
+  const auto fx = FxMethod::Create(grid, 4).value();
+  EXPECT_EQ(fx->DiskOf({1, 2, 4}), (1 ^ 2 ^ 4) % 4u);
+  EXPECT_EQ(fx->DiskOf({7, 7, 7}), (7 ^ 7 ^ 7) % 4u);
+}
+
+TEST(FxMethodTest, PerfectBalanceOnPowerOfTwoGrid) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto fx = FxMethod::Create(grid, 8).value();
+  for (uint64_t l : fx->DiskLoadHistogram()) EXPECT_EQ(l, 256u / 8);
+}
+
+TEST(ExFxMethodTest, MatchesFxWhenDomainsLarge) {
+  // When every d_i >= M (and widths agree), ExFX degenerates to FX.
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto fx = FxMethod::Create(grid, 8).value();
+  const auto exfx = FxMethod::CreateExtended(grid, 8).value();
+  grid.ForEachBucket([&](const BucketCoords& c) {
+    EXPECT_EQ(fx->DiskOf(c), exfx->DiskOf(c)) << c.ToString();
+  });
+}
+
+TEST(ExFxMethodTest, SpreadsSmallDomainsAcrossAllDisks) {
+  // 4x4 grid, 16 disks: plain FX can only reach (i^j) in 0..3 -> 4 disks;
+  // ExFX's bit replication must reach more than plain FX does.
+  const GridSpec grid = GridSpec::Create({4, 4}).value();
+  const auto fx = FxMethod::Create(grid, 16).value();
+  const auto exfx = FxMethod::CreateExtended(grid, 16).value();
+  auto distinct = [&](const DeclusteringMethod& m) {
+    std::vector<bool> used(16, false);
+    grid.ForEachBucket([&](const BucketCoords& c) { used[m.DiskOf(c)] = true; });
+    int n = 0;
+    for (bool u : used) n += u ? 1 : 0;
+    return n;
+  };
+  EXPECT_EQ(distinct(*fx), 4);
+  EXPECT_GT(distinct(*exfx), 4);
+}
+
+TEST(FxAutoTest, SelectionRule) {
+  // Paper: FX when partitions >= disks, ExFX otherwise.
+  const GridSpec big = GridSpec::Create({32, 32}).value();
+  const GridSpec small = GridSpec::Create({4, 32}).value();
+  EXPECT_EQ(FxMethod::CreateAuto(big, 16).value()->name(), "FX");
+  EXPECT_EQ(FxMethod::CreateAuto(small, 16).value()->name(), "ExFX");
+}
+
+TEST(FxMethodTest, OptimalForRowQueriesPowerOfTwo) {
+  // For a 1 x M row query with M a power of 2 and aligned domains, the XOR
+  // of a full aligned block of M consecutive values hits all residues.
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto fx = FxMethod::Create(grid, 8).value();
+  for (uint32_t i = 0; i < 16; ++i) {
+    for (uint32_t j0 = 0; j0 + 8 <= 16; j0 += 8) {  // Aligned blocks.
+      std::vector<bool> used(8, false);
+      for (uint32_t j = j0; j < j0 + 8; ++j) used[fx->DiskOf({i, j})] = true;
+      for (bool u : used) EXPECT_TRUE(u);
+    }
+  }
+}
+
+TEST(FxMethodTest, DiffersFromDm) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto fx = FxMethod::Create(grid, 8).value();
+  const auto dm = GdmMethod::Dm(grid, 8).value();
+  bool any_diff = false;
+  grid.ForEachBucket([&](const BucketCoords& c) {
+    any_diff = any_diff || (fx->DiskOf(c) != dm->DiskOf(c));
+  });
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,120 @@
+#include "griddecl/methods/hcam.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "griddecl/curve/hilbert.h"
+
+namespace griddecl {
+namespace {
+
+TEST(HcamTest, EqualsHilbertModMOnPowerOfTwoSquare) {
+  // For a full power-of-two cube the rank along the curve IS the curve
+  // index, so HCAM reduces to the papers' H(b) mod M.
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto hcam =
+      CurveAllocMethod::Create(grid, 5, CurveKind::kHilbert).value();
+  const HilbertCurve h = HilbertCurve::Create(2, 3).value();
+  grid.ForEachBucket([&](const BucketCoords& c) {
+    EXPECT_EQ(hcam->DiskOf(c), h.Index(c) % 5) << c.ToString();
+  });
+}
+
+TEST(HcamTest, RoundRobinBalance) {
+  // Round robin along the curve: loads differ by at most 1, on any grid.
+  for (const auto& dims : std::vector<std::vector<uint32_t>>{
+           {8, 8}, {6, 10}, {7, 5}, {4, 4, 4}, {3, 5, 7}}) {
+    const GridSpec grid = GridSpec::Create(dims).value();
+    const auto hcam =
+        CurveAllocMethod::Create(grid, 7, CurveKind::kHilbert).value();
+    const std::vector<uint64_t> loads = hcam->DiskLoadHistogram();
+    const uint64_t lo = *std::min_element(loads.begin(), loads.end());
+    const uint64_t hi = *std::max_element(loads.begin(), loads.end());
+    EXPECT_LE(hi - lo, 1u) << grid.ToString();
+  }
+}
+
+TEST(HcamTest, RanksAreAPermutation) {
+  const GridSpec grid = GridSpec::Create({6, 9}).value();
+  const auto m =
+      CurveAllocMethod::Create(grid, 4, CurveKind::kHilbert).value();
+  const auto* hcam = static_cast<const CurveAllocMethod*>(m.get());
+  std::set<uint64_t> ranks;
+  grid.ForEachBucket([&](const BucketCoords& c) {
+    const uint64_t r = hcam->CurveRank(c);
+    EXPECT_LT(r, grid.num_buckets());
+    EXPECT_TRUE(ranks.insert(r).second);
+  });
+  EXPECT_EQ(ranks.size(), grid.num_buckets());
+}
+
+TEST(HcamTest, RankOrderFollowsCurveOrder) {
+  // Ranks must be monotone in the underlying Hilbert index.
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto m =
+      CurveAllocMethod::Create(grid, 3, CurveKind::kHilbert).value();
+  const auto* hcam = static_cast<const CurveAllocMethod*>(m.get());
+  const HilbertCurve h = HilbertCurve::Create(2, 3).value();
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;  // (hilbert, rank)
+  grid.ForEachBucket([&](const BucketCoords& c) {
+    pairs.push_back({h.Index(c), hcam->CurveRank(c)});
+  });
+  std::sort(pairs.begin(), pairs.end());
+  for (uint64_t i = 0; i < pairs.size(); ++i) EXPECT_EQ(pairs[i].second, i);
+}
+
+TEST(HcamTest, NonPowerOfTwoGridWorks) {
+  const GridSpec grid = GridSpec::Create({5, 13}).value();
+  const auto hcam =
+      CurveAllocMethod::Create(grid, 6, CurveKind::kHilbert).value();
+  EXPECT_EQ(hcam->name(), "HCAM");
+  grid.ForEachBucket([&](const BucketCoords& c) {
+    EXPECT_LT(hcam->DiskOf(c), 6u);
+  });
+}
+
+TEST(ZcamTest, UsesMortonOrder) {
+  const GridSpec grid = GridSpec::Create({4, 4}).value();
+  const auto zcam =
+      CurveAllocMethod::Create(grid, 3, CurveKind::kZOrder).value();
+  EXPECT_EQ(zcam->name(), "ZCAM");
+  // On a full power-of-two square, rank == Morton index.
+  // Morton visits (0,0),(0,1),(1,0),(1,1),(0,2),...
+  EXPECT_EQ(zcam->DiskOf({0, 0}), 0u);
+  EXPECT_EQ(zcam->DiskOf({0, 1}), 1u);
+  EXPECT_EQ(zcam->DiskOf({1, 0}), 2u);
+  EXPECT_EQ(zcam->DiskOf({1, 1}), 0u);
+}
+
+TEST(ZcamTest, DiffersFromHcam) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto hcam =
+      CurveAllocMethod::Create(grid, 8, CurveKind::kHilbert).value();
+  const auto zcam =
+      CurveAllocMethod::Create(grid, 8, CurveKind::kZOrder).value();
+  bool any_diff = false;
+  grid.ForEachBucket([&](const BucketCoords& c) {
+    any_diff = any_diff || (hcam->DiskOf(c) != zcam->DiskOf(c));
+  });
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(HcamTest, TooManyDisksRejected) {
+  const GridSpec grid = GridSpec::Create({4, 4}).value();
+  EXPECT_FALSE(CurveAllocMethod::Create(grid, 70000).ok());
+}
+
+TEST(HcamTest, DeterministicAcrossInstances) {
+  const GridSpec grid = GridSpec::Create({12, 9}).value();
+  const auto a = CurveAllocMethod::Create(grid, 5).value();
+  const auto b = CurveAllocMethod::Create(grid, 5).value();
+  grid.ForEachBucket([&](const BucketCoords& c) {
+    EXPECT_EQ(a->DiskOf(c), b->DiskOf(c));
+  });
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,125 @@
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "griddecl/methods/registry.h"
+
+namespace griddecl {
+namespace {
+
+/// Property tests that every declustering method must satisfy, run across
+/// the full registry and several grid/disk configurations.
+struct PropertyCase {
+  std::string method;
+  std::vector<uint32_t> dims;
+  uint32_t disks;
+};
+
+void PrintTo(const PropertyCase& c, std::ostream* os) {
+  *os << c.method << " on ";
+  for (size_t i = 0; i < c.dims.size(); ++i) {
+    *os << (i ? "x" : "") << c.dims[i];
+  }
+  *os << " M=" << c.disks;
+}
+
+class MethodPropertyTest : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  std::unique_ptr<DeclusteringMethod> MakeMethod() {
+    const PropertyCase& c = GetParam();
+    const GridSpec grid = GridSpec::Create(c.dims).value();
+    Result<std::unique_ptr<DeclusteringMethod>> m =
+        CreateMethod(c.method, grid, c.disks);
+    EXPECT_TRUE(m.ok()) << m.status().ToString();
+    return std::move(m).value();
+  }
+};
+
+TEST_P(MethodPropertyTest, DiskAlwaysInRange) {
+  const auto m = MakeMethod();
+  m->grid().ForEachBucket([&](const BucketCoords& c) {
+    EXPECT_LT(m->DiskOf(c), m->num_disks());
+  });
+}
+
+TEST_P(MethodPropertyTest, Deterministic) {
+  const auto m = MakeMethod();
+  const auto m2 = MakeMethod();
+  m->grid().ForEachBucket([&](const BucketCoords& c) {
+    EXPECT_EQ(m->DiskOf(c), m->DiskOf(c));
+    EXPECT_EQ(m->DiskOf(c), m2->DiskOf(c));
+  });
+}
+
+TEST_P(MethodPropertyTest, TotalLoadEqualsBucketCount) {
+  const auto m = MakeMethod();
+  const auto loads = m->DiskLoadHistogram();
+  uint64_t total = 0;
+  for (uint64_t l : loads) total += l;
+  EXPECT_EQ(total, m->grid().num_buckets());
+}
+
+TEST_P(MethodPropertyTest, GridLevelBalanceReasonable) {
+  const auto m = MakeMethod();
+  const auto loads = m->DiskLoadHistogram();
+  const uint64_t lo = *std::min_element(loads.begin(), loads.end());
+  const uint64_t hi = *std::max_element(loads.begin(), loads.end());
+  const double ideal = static_cast<double>(m->grid().num_buckets()) /
+                       m->num_disks();
+  bool power_of_two_config = (GetParam().disks & (GetParam().disks - 1)) == 0;
+  for (uint32_t d : GetParam().dims) {
+    power_of_two_config = power_of_two_config && ((d & (d - 1)) == 0);
+  }
+  if (GetParam().method == "random") {
+    // Statistical bound only.
+    EXPECT_LT(static_cast<double>(hi), 2.0 * ideal + 8);
+  } else if (power_of_two_config) {
+    // Every structured method is exactly uniform on power-of-two grids with
+    // a power-of-two disk count.
+    EXPECT_LE(hi - lo, 0u) << "loads hi=" << hi << " lo=" << lo;
+  } else {
+    // Loose sanity bound for awkward configurations: no disk may carry more
+    // than 3x its fair share.
+    EXPECT_LT(static_cast<double>(hi), 3.0 * ideal + 3);
+  }
+}
+
+std::vector<PropertyCase> AllCases() {
+  std::vector<PropertyCase> cases;
+  const std::vector<std::vector<uint32_t>> grids = {
+      {16, 16},   // friendly power-of-two
+      {8, 32},    // asymmetric power-of-two
+      {8, 8, 8},  // 3-d
+  };
+  for (const std::string& name : AllMethodNames()) {
+    for (const auto& dims : grids) {
+      for (uint32_t m : {2u, 4u, 8u}) {
+        cases.push_back({name, dims, m});
+      }
+    }
+  }
+  // Non-power-of-two configurations for methods without restrictions.
+  for (const std::string& name :
+       {"dm", "gdm", "fx", "exfx", "fx-auto", "hcam", "zcam", "linear",
+        "random"}) {
+    cases.push_back({name, {15, 21}, 7});
+    cases.push_back({name, {5, 9, 3}, 6});
+  }
+  return cases;
+}
+
+std::string CaseName(const ::testing::TestParamInfo<PropertyCase>& info) {
+  std::string s = info.param.method;
+  for (uint32_t d : info.param.dims) s += "_" + std::to_string(d);
+  s += "_m" + std::to_string(info.param.disks);
+  std::replace(s.begin(), s.end(), '-', '_');
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, MethodPropertyTest,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+}  // namespace
+}  // namespace griddecl

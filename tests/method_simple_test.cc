@@ -1,0 +1,68 @@
+#include "griddecl/methods/simple.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace griddecl {
+namespace {
+
+TEST(LinearMethodTest, RowMajorRoundRobin) {
+  const GridSpec grid = GridSpec::Create({4, 6}).value();
+  const auto linear = LinearMethod::Create(grid, 5).value();
+  EXPECT_EQ(linear->name(), "Linear");
+  grid.ForEachBucket([&](const BucketCoords& c) {
+    EXPECT_EQ(linear->DiskOf(c), grid.Linearize(c) % 5);
+  });
+}
+
+TEST(LinearMethodTest, BalanceWithinOne) {
+  const GridSpec grid = GridSpec::Create({7, 9}).value();
+  const auto linear = LinearMethod::Create(grid, 4).value();
+  const auto loads = linear->DiskLoadHistogram();
+  const uint64_t lo = *std::min_element(loads.begin(), loads.end());
+  const uint64_t hi = *std::max_element(loads.begin(), loads.end());
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(RandomMethodTest, DeterministicPerSeed) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto a = RandomMethod::Create(grid, 8, 123).value();
+  const auto b = RandomMethod::Create(grid, 8, 123).value();
+  grid.ForEachBucket([&](const BucketCoords& c) {
+    EXPECT_EQ(a->DiskOf(c), b->DiskOf(c));
+  });
+}
+
+TEST(RandomMethodTest, SeedsChangeAssignment) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto a = RandomMethod::Create(grid, 8, 1).value();
+  const auto b = RandomMethod::Create(grid, 8, 2).value();
+  int diff = 0;
+  grid.ForEachBucket([&](const BucketCoords& c) {
+    diff += (a->DiskOf(c) != b->DiskOf(c)) ? 1 : 0;
+  });
+  EXPECT_GT(diff, 100);  // ~7/8 of 256 expected.
+}
+
+TEST(RandomMethodTest, RoughlyUniformLoads) {
+  const GridSpec grid = GridSpec::Create({64, 64}).value();
+  const auto r = RandomMethod::Create(grid, 8, 7).value();
+  const auto loads = r->DiskLoadHistogram();
+  const double expected = 4096.0 / 8.0;
+  for (uint64_t l : loads) {
+    EXPECT_GT(static_cast<double>(l), expected * 0.8);
+    EXPECT_LT(static_cast<double>(l), expected * 1.2);
+  }
+}
+
+TEST(RandomMethodTest, InRange) {
+  const GridSpec grid = GridSpec::Create({9, 11}).value();
+  const auto r = RandomMethod::Create(grid, 7, 99).value();
+  grid.ForEachBucket([&](const BucketCoords& c) {
+    EXPECT_LT(r->DiskOf(c), 7u);
+  });
+}
+
+}  // namespace
+}  // namespace griddecl

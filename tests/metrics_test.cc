@@ -1,0 +1,107 @@
+#include "griddecl/eval/metrics.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "griddecl/methods/dm.h"
+#include "griddecl/methods/registry.h"
+
+namespace griddecl {
+namespace {
+
+RangeQuery MakeQuery(const GridSpec& grid, BucketCoords lo, BucketCoords hi) {
+  return RangeQuery::Create(grid, BucketRect::Create(lo, hi).value()).value();
+}
+
+TEST(MetricsTest, OptimalResponseTime) {
+  EXPECT_EQ(OptimalResponseTime(0, 4), 0u);
+  EXPECT_EQ(OptimalResponseTime(1, 4), 1u);
+  EXPECT_EQ(OptimalResponseTime(4, 4), 1u);
+  EXPECT_EQ(OptimalResponseTime(5, 4), 2u);
+  EXPECT_EQ(OptimalResponseTime(100, 1), 100u);
+}
+
+TEST(MetricsTest, ResponseTimeHandComputedDm) {
+  // DM on a 4x4 grid with M=2: disk = (i+j) mod 2, a checkerboard.
+  const GridSpec grid = GridSpec::Create({4, 4}).value();
+  const auto dm = GdmMethod::Dm(grid, 2).value();
+  // A 2x2 query has two buckets on each disk.
+  EXPECT_EQ(ResponseTime(*dm, MakeQuery(grid, {0, 0}, {1, 1})), 2u);
+  // A 1x2 query: one on each.
+  EXPECT_EQ(ResponseTime(*dm, MakeQuery(grid, {0, 0}, {0, 1})), 1u);
+  // A single bucket.
+  EXPECT_EQ(ResponseTime(*dm, MakeQuery(grid, {3, 3}, {3, 3})), 1u);
+  // The whole grid: 8 per disk.
+  EXPECT_EQ(ResponseTime(*dm, MakeQuery(grid, {0, 0}, {3, 3})), 8u);
+}
+
+TEST(MetricsTest, DmWorstCaseDiagonalQuery) {
+  // DM assigns the same disk along anti-diagonals; a query aligned so that
+  // i+j is constant... rows of a 1xM line hit M distinct disks, but an
+  // M x M square has exactly M buckets of each residue... the classic DM
+  // weakness: a 2x2 query under M=4 touches disks {0,1,1,2} -> RT 2 > opt 1.
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto dm = GdmMethod::Dm(grid, 4).value();
+  const RangeQuery q = MakeQuery(grid, {0, 0}, {1, 1});
+  EXPECT_EQ(q.NumBuckets(), 4u);
+  EXPECT_EQ(OptimalResponseTime(4, 4), 1u);
+  EXPECT_EQ(ResponseTime(*dm, q), 2u);
+  EXPECT_FALSE(IsOptimalFor(*dm, q));
+}
+
+TEST(MetricsTest, PerDiskCountsSumToVolume) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  for (const char* name : {"dm", "fx", "ecc", "hcam", "linear", "random"}) {
+    const auto m = CreateMethod(name, grid, 8).value();
+    const RangeQuery q = MakeQuery(grid, {2, 3}, {9, 14});
+    const auto counts = PerDiskCounts(*m, q);
+    ASSERT_EQ(counts.size(), 8u);
+    uint64_t total = 0;
+    uint64_t max = 0;
+    for (uint64_t c : counts) {
+      total += c;
+      max = std::max(max, c);
+    }
+    EXPECT_EQ(total, q.NumBuckets()) << name;
+    EXPECT_EQ(max, ResponseTime(*m, q)) << name;
+  }
+}
+
+TEST(MetricsTest, ResponseTimeBounds) {
+  // For any method: opt <= RT <= |Q|.
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  for (const char* name : {"dm", "fx", "ecc", "hcam", "zcam", "random"}) {
+    const auto m = CreateMethod(name, grid, 4).value();
+    for (uint32_t size = 1; size <= 8; ++size) {
+      const RangeQuery q = MakeQuery(grid, {1, 2}, {size, size + 1});
+      const uint64_t rt = ResponseTime(*m, q);
+      EXPECT_GE(rt, OptimalResponseTime(q.NumBuckets(), 4)) << name;
+      EXPECT_LE(rt, q.NumBuckets()) << name;
+    }
+  }
+}
+
+TEST(MetricsTest, IsStrictlyOptimalAcceptsKnownAllocation) {
+  // (i + 2j) mod 5 is strictly optimal — wire it up as a GDM method.
+  const GridSpec grid = GridSpec::Create({6, 6}).value();
+  const auto gdm = GdmMethod::Create(grid, 5, {1, 2}).value();
+  EXPECT_TRUE(IsStrictlyOptimal(*gdm));
+}
+
+TEST(MetricsTest, IsStrictlyOptimalRejectsDmOnFourDisks) {
+  const GridSpec grid = GridSpec::Create({4, 4}).value();
+  const auto dm = GdmMethod::Dm(grid, 4).value();
+  EXPECT_FALSE(IsStrictlyOptimal(*dm));
+}
+
+TEST(MetricsTest, EveryMethodStrictlyOptimalOnOneDisk) {
+  const GridSpec grid = GridSpec::Create({4, 4}).value();
+  for (const char* name : {"dm", "fx", "hcam", "linear", "random"}) {
+    const auto m = CreateMethod(name, grid, 1).value();
+    EXPECT_TRUE(IsStrictlyOptimal(*m)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,53 @@
+#include "griddecl/curve/morton.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace griddecl {
+namespace {
+
+TEST(MortonTest, CreateValidation) {
+  EXPECT_TRUE(MortonCurve::Create(2, 5).ok());
+  EXPECT_FALSE(MortonCurve::Create(0, 5).ok());
+  EXPECT_FALSE(MortonCurve::Create(2, 0).ok());
+  EXPECT_FALSE(MortonCurve::Create(8, 9).ok());
+}
+
+TEST(MortonTest, Known2DValues) {
+  const MortonCurve m = MortonCurve::Create(2, 2).value();
+  // Z-order on a 4x4 grid: (0,0)=0, (0,1)=1, (1,0)=2, (1,1)=3, (0,2)=4 ...
+  EXPECT_EQ(m.Index({0, 0}), 0u);
+  EXPECT_EQ(m.Index({0, 1}), 1u);
+  EXPECT_EQ(m.Index({1, 0}), 2u);
+  EXPECT_EQ(m.Index({1, 1}), 3u);
+  EXPECT_EQ(m.Index({0, 2}), 4u);
+  EXPECT_EQ(m.Index({3, 3}), 15u);
+}
+
+TEST(MortonTest, BijectiveOn3D) {
+  const MortonCurve m = MortonCurve::Create(3, 2).value();
+  std::set<uint64_t> seen;
+  for (uint32_t x = 0; x < 4; ++x) {
+    for (uint32_t y = 0; y < 4; ++y) {
+      for (uint32_t z = 0; z < 4; ++z) {
+        const uint64_t idx = m.Index({x, y, z});
+        EXPECT_LT(idx, m.num_cells());
+        EXPECT_TRUE(seen.insert(idx).second);
+        EXPECT_EQ(m.Coords(idx), BucketCoords({x, y, z}));
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), m.num_cells());
+}
+
+TEST(MortonTest, RoundTripLarge) {
+  const MortonCurve m = MortonCurve::Create(2, 16).value();
+  for (uint64_t idx : {uint64_t{0}, uint64_t{987654321},
+                       m.num_cells() - 1}) {
+    EXPECT_EQ(m.Index(m.Coords(idx)), idx);
+  }
+}
+
+}  // namespace
+}  // namespace griddecl

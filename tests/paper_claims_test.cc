@@ -1,0 +1,168 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "griddecl/griddecl.h"
+
+namespace griddecl {
+namespace {
+
+/// These tests pin the paper's qualitative findings (Himatsingka &
+/// Srivastava, ICDE'94, Section 5) as executable assertions. Default
+/// configuration: a 64x64 two-attribute grid (database comfortably larger
+/// than the largest query, as in the paper), M = 16 disks, averaging over
+/// all (or up to 4096) placements of each query shape.
+class PaperClaimsTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kDisks = 16;
+
+  static SweepResult SizeSweep(const std::vector<uint64_t>& areas) {
+    const GridSpec grid = GridSpec::Create({64, 64}).value();
+    SweepOptions opts;
+    opts.max_placements = 4096;
+    return QuerySizeSweep(grid, kDisks, areas, opts).value();
+  }
+};
+
+/// Finding (i): "for large queries all methods perform almost the same and
+/// are close to optimal".
+TEST_F(PaperClaimsTest, LargeQueriesAllMethodsNearOptimal) {
+  const SweepResult r = SizeSweep({256, 576, 1024});
+  for (const SweepPoint& p : r.points) {
+    for (size_t m = 0; m < r.method_names.size(); ++m) {
+      EXPECT_LT(p.mean_ratio[m], 1.15)
+          << r.method_names[m] << " at area " << p.x;
+    }
+    // "Almost the same": across-method spread below 15% of optimal.
+    const double lo = *std::min_element(p.mean_response.begin(),
+                                        p.mean_response.end());
+    const double hi = *std::max_element(p.mean_response.begin(),
+                                        p.mean_response.end());
+    EXPECT_LT((hi - lo) / p.mean_optimal, 0.15) << "area " << p.x;
+  }
+}
+
+/// Finding (ii): "there can be a substantial difference for small queries".
+/// Consistent with [11]: ECC and HCAM best, DM/CMD worst on small squares.
+TEST_F(PaperClaimsTest, SmallQueriesDifferSubstantially) {
+  const SweepResult r = SizeSweep({4, 9, 16});
+  const int dm = r.MethodIndex("DM/CMD");
+  const int ecc = r.MethodIndex("ECC");
+  const int hcam = r.MethodIndex("HCAM");
+  ASSERT_GE(dm, 0);
+  ASSERT_GE(ecc, 0);
+  ASSERT_GE(hcam, 0);
+  for (const SweepPoint& p : r.points) {
+    // DM/CMD is the weakest on small near-square queries.
+    EXPECT_GT(p.mean_response[dm], p.mean_response[ecc]) << "area " << p.x;
+    EXPECT_GT(p.mean_response[dm], p.mean_response[hcam]) << "area " << p.x;
+  }
+  // "Substantial": at area 16 (= M) the DM-to-best gap exceeds 25% of the
+  // optimal cost.
+  const SweepPoint& p16 = r.points[2];
+  const double best =
+      std::min(p16.mean_response[ecc], p16.mean_response[hcam]);
+  EXPECT_GT((p16.mean_response[dm] - best) / p16.mean_optimal, 0.25);
+}
+
+/// Finding (iii): "performance of the methods is quite sensitive to query
+/// shape". DM is exactly optimal on 1 x 16 lines yet far from optimal on
+/// 4x4 squares of the same area.
+TEST_F(PaperClaimsTest, ShapeSensitivity) {
+  const GridSpec grid = GridSpec::Create({64, 64}).value();
+  SweepOptions opts;
+  opts.max_placements = 4096;
+  const SweepResult r =
+      QueryShapeSweep(grid, kDisks, /*area=*/16, {1.0, 4.0, 16.0}, opts)
+          .value();
+  const int dm = r.MethodIndex("DM/CMD");
+  ASSERT_GE(dm, 0);
+  // aspect 16 => 1x16 line along dimension 1: DM is strictly optimal there.
+  EXPECT_NEAR(r.points[2].mean_ratio[dm], 1.0, 1e-9);
+  // aspect 1 => 4x4 square: DM is far from optimal.
+  EXPECT_GT(r.points[0].mean_ratio[dm], 1.25);
+  // And the shape effect is not DM-specific: for every method the best and
+  // worst aspect differ measurably at equal area.
+  for (size_t m = 0; m < r.method_names.size(); ++m) {
+    double lo = 1e9;
+    double hi = 0;
+    for (const SweepPoint& p : r.points) {
+      lo = std::min(lo, p.mean_ratio[m]);
+      hi = std::max(hi, p.mean_ratio[m]);
+    }
+    EXPECT_GT(hi - lo, 0.02) << r.method_names[m];
+  }
+}
+
+/// Finding (iv): deviation from optimality decreases with the number of
+/// attributes in a query. Same side length (8 buckets per dimension), 2-d
+/// vs 3-d: the 3-d deviation ratio is smaller.
+TEST_F(PaperClaimsTest, MoreAttributesShrinkDeviation) {
+  SweepOptions opts;
+  opts.max_placements = 2048;
+  opts.seed = 5;
+  const GridSpec g2 = GridSpec::Create({64, 64}).value();
+  const GridSpec g3 = GridSpec::Create({16, 16, 16}).value();
+  // Side 8: area 64 in 2-d, volume 512 in 3-d.
+  const SweepResult r2 = QuerySizeSweep(g2, kDisks, {64}, opts).value();
+  const SweepResult r3 = QuerySizeSweep(g3, kDisks, {512}, opts).value();
+  auto mean_ratio = [](const SweepPoint& p) {
+    double s = 0;
+    for (double x : p.mean_ratio) s += x;
+    return s / static_cast<double>(p.mean_ratio.size());
+  };
+  EXPECT_LT(mean_ratio(r3.points[0]), mean_ratio(r2.points[0]));
+}
+
+/// Figure 5(a): small queries across disk counts — DM/CMD uniformly worst,
+/// HCAM the best performer almost everywhere.
+TEST_F(PaperClaimsTest, DiskSweepSmallQueries) {
+  const GridSpec grid = GridSpec::Create({64, 64}).value();
+  SweepOptions opts;
+  opts.max_placements = 4096;
+  const SweepResult r =
+      DiskCountSweep(grid, {8, 16, 32}, /*area=*/9, opts).value();
+  const int dm = r.MethodIndex("DM/CMD");
+  const int hcam = r.MethodIndex("HCAM");
+  ASSERT_GE(dm, 0);
+  ASSERT_GE(hcam, 0);
+  for (const SweepPoint& p : r.points) {
+    for (size_t m = 0; m < r.method_names.size(); ++m) {
+      if (static_cast<int>(m) == dm || std::isnan(p.mean_response[m])) {
+        continue;
+      }
+      EXPECT_GE(p.mean_response[dm], p.mean_response[m])
+          << r.method_names[m] << " at M=" << p.x;
+    }
+  }
+}
+
+/// Figure 5(b): large queries across disk counts — the picture flips:
+/// DM/CMD and FX beat HCAM, and FX is the best performer.
+TEST_F(PaperClaimsTest, DiskSweepLargeQueries) {
+  const GridSpec grid = GridSpec::Create({64, 64}).value();
+  SweepOptions opts;
+  opts.max_placements = 4096;
+  const SweepResult r =
+      DiskCountSweep(grid, {16, 32}, /*area=*/1024, opts).value();
+  const int dm = r.MethodIndex("DM/CMD");
+  const int fx = r.MethodIndex("FX");
+  const int hcam = r.MethodIndex("HCAM");
+  ASSERT_GE(dm, 0);
+  ASSERT_GE(fx, 0);
+  ASSERT_GE(hcam, 0);
+  for (const SweepPoint& p : r.points) {
+    EXPECT_LE(p.mean_response[fx], p.mean_response[hcam]) << "M=" << p.x;
+    EXPECT_LE(p.mean_response[dm], p.mean_response[hcam]) << "M=" << p.x;
+    // FX consistently the best of all methods present.
+    for (size_t m = 0; m < r.method_names.size(); ++m) {
+      if (std::isnan(p.mean_response[m])) continue;
+      EXPECT_LE(p.mean_response[fx], p.mean_response[m] + 1e-9)
+          << r.method_names[m] << " at M=" << p.x;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace griddecl

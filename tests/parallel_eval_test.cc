@@ -1,0 +1,65 @@
+#include "griddecl/eval/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "griddecl/common/random.h"
+#include "griddecl/methods/registry.h"
+#include "griddecl/query/generator.h"
+
+namespace griddecl {
+namespace {
+
+TEST(ParallelEvalTest, MatchesSerialExactlyOnCounters) {
+  const GridSpec grid = GridSpec::Create({32, 32}).value();
+  const auto hcam = CreateMethod("hcam", grid, 8).value();
+  QueryGenerator gen(grid);
+  Rng rng(1);
+  const Workload w = gen.SampledPlacements({4, 4}, 500, &rng, "w").value();
+  const WorkloadEval serial = Evaluator(hcam.get()).EvaluateWorkload(w);
+  for (uint32_t threads : {2u, 3u, 8u}) {
+    const WorkloadEval par = ParallelEvaluateWorkload(*hcam, w, threads);
+    EXPECT_EQ(par.num_queries, serial.num_queries) << threads;
+    EXPECT_EQ(par.num_optimal, serial.num_optimal) << threads;
+    EXPECT_EQ(par.response.max(), serial.response.max()) << threads;
+    EXPECT_EQ(par.response.min(), serial.response.min()) << threads;
+    EXPECT_NEAR(par.MeanResponse(), serial.MeanResponse(), 1e-9) << threads;
+    EXPECT_NEAR(par.MeanRatio(), serial.MeanRatio(), 1e-9) << threads;
+    EXPECT_NEAR(par.response.variance(), serial.response.variance(), 1e-6)
+        << threads;
+    EXPECT_EQ(par.method_name, serial.method_name);
+    EXPECT_EQ(par.workload_name, serial.workload_name);
+  }
+}
+
+TEST(ParallelEvalTest, SmallWorkloadFallsBackToSerial) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto dm = CreateMethod("dm", grid, 4).value();
+  QueryGenerator gen(grid);
+  const Workload w = gen.AllPlacements({15, 15}, "tiny").value();  // 4 queries.
+  const WorkloadEval serial = Evaluator(dm.get()).EvaluateWorkload(w);
+  const WorkloadEval par = ParallelEvaluateWorkload(*dm, w, 8);
+  EXPECT_EQ(par.num_queries, serial.num_queries);
+  EXPECT_DOUBLE_EQ(par.MeanResponse(), serial.MeanResponse());
+}
+
+TEST(ParallelEvalTest, DefaultThreadCountWorks) {
+  const GridSpec grid = GridSpec::Create({32, 32}).value();
+  const auto fx = CreateMethod("fx", grid, 8).value();
+  QueryGenerator gen(grid);
+  Rng rng(2);
+  const Workload w = gen.SampledPlacements({3, 3}, 300, &rng, "w").value();
+  const WorkloadEval par = ParallelEvaluateWorkload(*fx, w);
+  EXPECT_EQ(par.num_queries, 300u);
+}
+
+TEST(ParallelEvalTest, EmptyWorkload) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto dm = CreateMethod("dm", grid, 4).value();
+  Workload empty;
+  const WorkloadEval par = ParallelEvaluateWorkload(*dm, empty, 4);
+  EXPECT_EQ(par.num_queries, 0u);
+  EXPECT_DOUBLE_EQ(par.FractionOptimal(), 1.0);
+}
+
+}  // namespace
+}  // namespace griddecl

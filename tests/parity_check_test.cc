@@ -1,0 +1,138 @@
+#include "griddecl/coding/parity_check.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace griddecl {
+namespace {
+
+TEST(ParityCheckTest, Validation) {
+  EXPECT_FALSE(BuildHammingParityCheck(0, 4).ok());
+  EXPECT_FALSE(BuildHammingParityCheck(33, 4).ok());
+  EXPECT_FALSE(BuildHammingParityCheck(3, 0).ok());
+  EXPECT_TRUE(BuildHammingParityCheck(3, 7).ok());
+}
+
+TEST(ParityCheckTest, ColumnsDistinctNonZeroWhileTheyLast) {
+  const BitMatrix h = BuildHammingParityCheck(3, 7).value();
+  std::set<uint64_t> cols;
+  for (uint32_t j = 0; j < 7; ++j) {
+    const uint64_t col = h.Column(j).ToUint64();
+    EXPECT_NE(col, 0u);
+    EXPECT_TRUE(cols.insert(col).second) << "duplicate column " << col;
+  }
+}
+
+TEST(ParityCheckTest, HammingMinDistanceThree) {
+  const BitMatrix h = BuildHammingParityCheck(3, 7).value();
+  EXPECT_EQ(h.MinDistanceUpTo(3), 3u);
+}
+
+TEST(ParityCheckTest, ShortenedCodeStillDistanceThree) {
+  // Fewer columns than 2^c - 1: a shortened Hamming code, distance >= 3.
+  const BitMatrix h = BuildHammingParityCheck(4, 10).value();
+  EXPECT_GE(h.MinDistanceUpTo(3), 3u);
+}
+
+TEST(ParityCheckTest, OverfullColumnsCycleAndDegrade) {
+  // More columns than distinct non-zero values: duplicates appear, min
+  // distance drops to 2 — the documented graceful degradation.
+  const BitMatrix h = BuildHammingParityCheck(2, 5).value();
+  EXPECT_EQ(h.MinDistanceUpTo(3), 2u);
+}
+
+TEST(ParityCheckTest, SyndromeCoversAllDisks) {
+  // Syndromes of all 2^n vectors must hit all 2^c values equally often
+  // (cosets have equal size).
+  const uint32_t c = 3;
+  const uint32_t n = 6;
+  const BitMatrix h = BuildHammingParityCheck(c, n).value();
+  std::vector<uint32_t> counts(1u << c, 0);
+  for (uint64_t v = 0; v < (1u << n); ++v) {
+    const uint64_t s = SyndromeOf(h, BitVector::FromUint64(v, n));
+    ASSERT_LT(s, counts.size());
+    ++counts[static_cast<size_t>(s)];
+  }
+  for (uint32_t count : counts) EXPECT_EQ(count, (1u << n) >> c);
+}
+
+TEST(DeclusteringParityCheckTest, Validation) {
+  EXPECT_FALSE(BuildDeclusteringParityCheck(0, {3, 3}).ok());
+  EXPECT_FALSE(BuildDeclusteringParityCheck(33, {3, 3}).ok());
+  EXPECT_FALSE(BuildDeclusteringParityCheck(3, {0, 0}).ok());
+  EXPECT_TRUE(BuildDeclusteringParityCheck(3, {3, 3}).ok());
+  EXPECT_TRUE(BuildDeclusteringParityCheck(3, {0, 4}).ok());
+}
+
+TEST(DeclusteringParityCheckTest, LowOrderColumnsIndependent) {
+  // c = 4 parity bits, two 5-bit dimensions: the first two bit levels of
+  // both dimensions (columns for bits 0 and 1) must be linearly
+  // independent — that is what makes small aligned boxes spread perfectly.
+  const BitMatrix h = BuildDeclusteringParityCheck(4, {5, 5}).value();
+  ASSERT_EQ(h.cols(), 10u);
+  BitMatrix low(4, 4);
+  // Dimension 0 occupies columns 0..4, dimension 1 columns 5..9.
+  low.SetColumn(0, h.Column(0).ToUint64());
+  low.SetColumn(1, h.Column(1).ToUint64());
+  low.SetColumn(2, h.Column(5).ToUint64());
+  low.SetColumn(3, h.Column(6).ToUint64());
+  EXPECT_EQ(low.Rank(), 4u);
+}
+
+TEST(DeclusteringParityCheckTest, ColumnsDistinctWhileValuesLast) {
+  // 6 columns, 3 parity bits -> 7 non-zero values available: all distinct.
+  const BitMatrix h = BuildDeclusteringParityCheck(3, {3, 3}).value();
+  std::set<uint64_t> cols;
+  for (uint32_t j = 0; j < h.cols(); ++j) {
+    const uint64_t v = h.Column(j).ToUint64();
+    EXPECT_NE(v, 0u);
+    EXPECT_TRUE(cols.insert(v).second);
+  }
+}
+
+TEST(DeclusteringParityCheckTest, FullRank) {
+  for (uint32_t c : {1u, 2u, 3u, 4u}) {
+    const BitMatrix h = BuildDeclusteringParityCheck(c, {4, 4}).value();
+    EXPECT_EQ(h.Rank(), c) << c;
+  }
+}
+
+TEST(DeclusteringParityCheckTest, AlignedBoxesSpreadPerfectly) {
+  // With c=4 and two dims, any aligned 4x4 box (low 2 bits of each coord
+  // free) must map onto all 16 syndromes exactly once.
+  const BitMatrix h = BuildDeclusteringParityCheck(4, {4, 4}).value();
+  for (uint32_t x0 : {0u, 4u, 8u}) {
+    for (uint32_t y0 : {0u, 4u, 12u}) {
+      std::set<uint64_t> syndromes;
+      for (uint32_t dx = 0; dx < 4; ++dx) {
+        for (uint32_t dy = 0; dy < 4; ++dy) {
+          BitVector v(8);
+          const uint32_t x = x0 + dx;
+          const uint32_t y = y0 + dy;
+          for (uint32_t b = 0; b < 4; ++b) {
+            if ((x >> b) & 1) v.Set(b, true);
+            if ((y >> b) & 1) v.Set(4 + b, true);
+          }
+          syndromes.insert(SyndromeOf(h, v));
+        }
+      }
+      EXPECT_EQ(syndromes.size(), 16u) << x0 << "," << y0;
+    }
+  }
+}
+
+TEST(ParityCheckTest, SyndromeLinear) {
+  const BitMatrix h = BuildHammingParityCheck(3, 7).value();
+  for (uint64_t a = 0; a < 16; ++a) {
+    for (uint64_t b = 0; b < 16; ++b) {
+      const uint64_t sa = SyndromeOf(h, BitVector::FromUint64(a, 7));
+      const uint64_t sb = SyndromeOf(h, BitVector::FromUint64(b, 7));
+      const uint64_t sab = SyndromeOf(h, BitVector::FromUint64(a ^ b, 7));
+      EXPECT_EQ(sab, sa ^ sb);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace griddecl

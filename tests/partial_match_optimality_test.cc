@@ -1,0 +1,84 @@
+#include "griddecl/theory/partial_match_optimality.h"
+
+#include <gtest/gtest.h>
+
+#include "griddecl/methods/registry.h"
+
+namespace griddecl {
+namespace {
+
+TEST(PmConditionTest, OneUnspecifiedAlwaysOptimal) {
+  const GridSpec grid = GridSpec::Create({7, 9}).value();
+  EXPECT_TRUE(DmPartialMatchCondition(grid, 4, {0}));
+  EXPECT_TRUE(DmPartialMatchCondition(grid, 4, {1}));
+}
+
+TEST(PmConditionTest, DomainMultipleOfM) {
+  const GridSpec grid = GridSpec::Create({8, 9}).value();
+  // dim 0 has 8 partitions, M=4 divides it.
+  EXPECT_TRUE(DmPartialMatchCondition(grid, 4, {0, 1}));
+  // With M=5 neither 8 nor 9 is a multiple -> condition fails.
+  EXPECT_FALSE(DmPartialMatchCondition(grid, 5, {0, 1}));
+}
+
+TEST(PmVerifyTest, DmOptimalWithOneUnspecifiedAttribute) {
+  // The classical theorem, machine-checked: DM is optimal for every
+  // partial-match query with exactly one unspecified attribute.
+  for (uint32_t m : {2u, 3u, 4u, 5u, 7u}) {
+    const GridSpec grid = GridSpec::Create({12, 10}).value();
+    const auto dm = CreateMethod("dm", grid, m).value();
+    // One unspecified = the other one specified.
+    EXPECT_TRUE(VerifyOptimalForPartialMatchClass(*dm, {0}).value()) << m;
+    EXPECT_TRUE(VerifyOptimalForPartialMatchClass(*dm, {1}).value()) << m;
+  }
+}
+
+TEST(PmVerifyTest, DmOptimalWhenUnspecifiedDomainDivisible) {
+  // 3-d grid, two unspecified attributes, one with d_i % M == 0.
+  const GridSpec grid = GridSpec::Create({8, 6, 5}).value();
+  const auto dm = CreateMethod("dm", grid, 4).value();
+  // Specify dim 2 only; unspecified {0, 1}; d_0 = 8 divisible by 4.
+  EXPECT_TRUE(DmPartialMatchCondition(grid, 4, {0, 1}));
+  EXPECT_TRUE(VerifyOptimalForPartialMatchClass(*dm, {2}).value());
+}
+
+TEST(PmVerifyTest, DmCanBeSuboptimalWhenConditionFails) {
+  // No unspecified domain is a multiple of M: DM's guarantee lapses, and on
+  // this configuration it is genuinely sub-optimal for the full-grid query
+  // (6x6, M=4: residue 1 receives 10 buckets > ceil(36/4) = 9).
+  const GridSpec grid = GridSpec::Create({6, 6}).value();
+  const auto dm = CreateMethod("dm", grid, 4).value();
+  EXPECT_FALSE(DmPartialMatchCondition(grid, 4, {0, 1}));
+  EXPECT_FALSE(VerifyOptimalForPartialMatchClass(*dm, {}).value());
+}
+
+TEST(PmVerifyTest, FxOptimalOneUnspecifiedPowerOfTwo) {
+  // FX with power-of-two domains, exactly one unspecified attribute whose
+  // aligned span covers all residues.
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto fx = CreateMethod("fx", grid, 8).value();
+  EXPECT_TRUE(VerifyOptimalForPartialMatchClass(*fx, {0}).value());
+  EXPECT_TRUE(VerifyOptimalForPartialMatchClass(*fx, {1}).value());
+}
+
+TEST(AllDimSubsetsTest, EnumeratesPowerSet) {
+  const auto subsets = AllDimSubsets(3);
+  EXPECT_EQ(subsets.size(), 8u);
+  EXPECT_TRUE(subsets.front().empty());
+  EXPECT_EQ(subsets.back().size(), 3u);
+  // Sorted by size.
+  for (size_t i = 1; i < subsets.size(); ++i) {
+    EXPECT_LE(subsets[i - 1].size(), subsets[i].size());
+  }
+}
+
+TEST(RestrictionSummaryTest, KnownMethods) {
+  EXPECT_NE(MethodRestrictionSummary("dm").find("none"), std::string::npos);
+  EXPECT_NE(MethodRestrictionSummary("ecc").find("power of 2"),
+            std::string::npos);
+  EXPECT_NE(MethodRestrictionSummary("hcam").find("none"), std::string::npos);
+  EXPECT_EQ(MethodRestrictionSummary("???"), "unknown method");
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,91 @@
+#include "griddecl/grid/partitioner.h"
+
+#include <gtest/gtest.h>
+
+namespace griddecl {
+namespace {
+
+TEST(DomainPartitionTest, UniformBasics) {
+  Result<DomainPartition> p = DomainPartition::Uniform(0.0, 10.0, 5);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().num_intervals(), 5u);
+  EXPECT_EQ(p.value().lo(), 0.0);
+  EXPECT_EQ(p.value().hi(), 10.0);
+  EXPECT_EQ(p.value().IndexOf(0.0), 0u);
+  EXPECT_EQ(p.value().IndexOf(1.99), 0u);
+  EXPECT_EQ(p.value().IndexOf(2.0), 1u);
+  EXPECT_EQ(p.value().IndexOf(9.99), 4u);
+}
+
+TEST(DomainPartitionTest, UniformRejectsBadInput) {
+  EXPECT_FALSE(DomainPartition::Uniform(1.0, 1.0, 4).ok());
+  EXPECT_FALSE(DomainPartition::Uniform(2.0, 1.0, 4).ok());
+  EXPECT_FALSE(DomainPartition::Uniform(0.0, 1.0, 0).ok());
+}
+
+TEST(DomainPartitionTest, OutOfDomainClamps) {
+  const DomainPartition p = DomainPartition::Uniform(0.0, 1.0, 4).value();
+  EXPECT_EQ(p.IndexOf(-5.0), 0u);
+  EXPECT_EQ(p.IndexOf(1.0), 3u);   // Top edge maps into last interval.
+  EXPECT_EQ(p.IndexOf(99.0), 3u);
+}
+
+TEST(DomainPartitionTest, FromBoundaries) {
+  Result<DomainPartition> p =
+      DomainPartition::FromBoundaries({0.0, 1.0, 10.0, 100.0});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().num_intervals(), 3u);
+  EXPECT_EQ(p.value().IndexOf(0.5), 0u);
+  EXPECT_EQ(p.value().IndexOf(5.0), 1u);
+  EXPECT_EQ(p.value().IndexOf(50.0), 2u);
+}
+
+TEST(DomainPartitionTest, FromBoundariesRejectsNonIncreasing) {
+  EXPECT_FALSE(DomainPartition::FromBoundaries({0.0}).ok());
+  EXPECT_FALSE(DomainPartition::FromBoundaries({0.0, 0.0, 1.0}).ok());
+  EXPECT_FALSE(DomainPartition::FromBoundaries({0.0, 2.0, 1.0}).ok());
+}
+
+TEST(DomainPartitionTest, IndexRange) {
+  const DomainPartition p = DomainPartition::Uniform(0.0, 8.0, 8).value();
+  uint32_t first = 99;
+  uint32_t last = 99;
+  p.IndexRange(1.5, 5.5, &first, &last);
+  EXPECT_EQ(first, 1u);
+  EXPECT_EQ(last, 5u);
+  p.IndexRange(-10.0, 100.0, &first, &last);
+  EXPECT_EQ(first, 0u);
+  EXPECT_EQ(last, 7u);
+}
+
+TEST(SpacePartitionerTest, UnitUniform) {
+  Result<SpacePartitioner> sp = SpacePartitioner::UnitUniform({4, 8});
+  ASSERT_TRUE(sp.ok());
+  EXPECT_EQ(sp.value().num_dims(), 2u);
+  EXPECT_EQ(sp.value().grid().ToString(), "4x8");
+}
+
+TEST(SpacePartitionerTest, BucketOf) {
+  const SpacePartitioner sp =
+      SpacePartitioner::UnitUniform({4, 4}).value();
+  EXPECT_EQ(sp.BucketOf({0.0, 0.0}), BucketCoords({0, 0}));
+  EXPECT_EQ(sp.BucketOf({0.3, 0.8}), BucketCoords({1, 3}));
+  EXPECT_EQ(sp.BucketOf({0.99, 0.99}), BucketCoords({3, 3}));
+}
+
+TEST(SpacePartitionerTest, RectOfCoversPredicate) {
+  const SpacePartitioner sp =
+      SpacePartitioner::UnitUniform({10, 10}).value();
+  const BucketRect rect = sp.RectOf({0.15, 0.0}, {0.35, 0.49});
+  EXPECT_EQ(rect.lo(), BucketCoords({1, 0}));
+  EXPECT_EQ(rect.hi(), BucketCoords({3, 4}));
+}
+
+TEST(SpacePartitionerTest, PointPredicateIsSingleBucket) {
+  const SpacePartitioner sp = SpacePartitioner::UnitUniform({8, 8}).value();
+  const BucketRect rect = sp.RectOf({0.5, 0.5}, {0.5, 0.5});
+  EXPECT_EQ(rect.Volume(), 1u);
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,68 @@
+#include "griddecl/query/query.h"
+
+#include <gtest/gtest.h>
+
+namespace griddecl {
+namespace {
+
+TEST(RangeQueryTest, CreateWithinGrid) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const BucketRect rect = BucketRect::Create({1, 2}, {3, 4}).value();
+  Result<RangeQuery> q = RangeQuery::Create(grid, rect);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().NumBuckets(), 9u);
+  EXPECT_FALSE(q.value().IsPoint());
+  EXPECT_EQ(q.value().num_dims(), 2u);
+}
+
+TEST(RangeQueryTest, RejectsOutOfGrid) {
+  const GridSpec grid = GridSpec::Create({4, 4}).value();
+  const BucketRect rect = BucketRect::Create({0, 0}, {4, 0}).value();
+  EXPECT_FALSE(RangeQuery::Create(grid, rect).ok());
+}
+
+TEST(RangeQueryTest, PointQuery) {
+  const GridSpec grid = GridSpec::Create({4, 4}).value();
+  const RangeQuery q =
+      RangeQuery::Create(grid, BucketRect::Point({2, 2})).value();
+  EXPECT_TRUE(q.IsPoint());
+  EXPECT_EQ(q.NumBuckets(), 1u);
+}
+
+TEST(PartialMatchQueryTest, CreateAndConvert) {
+  const GridSpec grid = GridSpec::Create({4, 6, 8}).value();
+  Result<PartialMatchQuery> pm =
+      PartialMatchQuery::Create(grid, {std::nullopt, 3u, std::nullopt});
+  ASSERT_TRUE(pm.ok());
+  EXPECT_EQ(pm.value().NumSpecified(), 1u);
+  EXPECT_EQ(pm.value().ToString(), "(*, 3, *)");
+
+  const RangeQuery q = pm.value().ToRangeQuery(grid);
+  EXPECT_EQ(q.NumBuckets(), 4u * 8u);
+  EXPECT_EQ(q.rect().lo(), BucketCoords({0, 3, 0}));
+  EXPECT_EQ(q.rect().hi(), BucketCoords({3, 3, 7}));
+}
+
+TEST(PartialMatchQueryTest, FullySpecifiedIsPoint) {
+  const GridSpec grid = GridSpec::Create({4, 4}).value();
+  const PartialMatchQuery pm =
+      PartialMatchQuery::Create(grid, {1u, 2u}).value();
+  EXPECT_EQ(pm.NumSpecified(), 2u);
+  EXPECT_TRUE(pm.ToRangeQuery(grid).IsPoint());
+}
+
+TEST(PartialMatchQueryTest, FullyUnspecifiedSpansGrid) {
+  const GridSpec grid = GridSpec::Create({4, 4}).value();
+  const PartialMatchQuery pm =
+      PartialMatchQuery::Create(grid, {std::nullopt, std::nullopt}).value();
+  EXPECT_EQ(pm.ToRangeQuery(grid).NumBuckets(), grid.num_buckets());
+}
+
+TEST(PartialMatchQueryTest, Validation) {
+  const GridSpec grid = GridSpec::Create({4, 4}).value();
+  EXPECT_FALSE(PartialMatchQuery::Create(grid, {std::nullopt}).ok());
+  EXPECT_FALSE(PartialMatchQuery::Create(grid, {4u, std::nullopt}).ok());
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,95 @@
+#include "griddecl/grid/rect.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace griddecl {
+namespace {
+
+TEST(BucketRectTest, CreateAndAccessors) {
+  Result<BucketRect> r = BucketRect::Create({1, 2}, {3, 5});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().Extent(0), 3u);
+  EXPECT_EQ(r.value().Extent(1), 4u);
+  EXPECT_EQ(r.value().Volume(), 12u);
+  EXPECT_EQ(r.value().ToString(), "[1..3]x[2..5]");
+}
+
+TEST(BucketRectTest, CreateRejectsInvalid) {
+  EXPECT_FALSE(BucketRect::Create({3}, {1}).ok());
+  EXPECT_FALSE(BucketRect::Create({0, 0}, {0}).ok());
+}
+
+TEST(BucketRectTest, PointAndFull) {
+  const GridSpec g = GridSpec::Create({4, 6}).value();
+  const BucketRect full = BucketRect::Full(g);
+  EXPECT_EQ(full.Volume(), 24u);
+  EXPECT_TRUE(full.WithinGrid(g));
+
+  const BucketRect pt = BucketRect::Point({2, 3});
+  EXPECT_EQ(pt.Volume(), 1u);
+  EXPECT_TRUE(pt.Contains({2, 3}));
+  EXPECT_FALSE(pt.Contains({2, 4}));
+}
+
+TEST(BucketRectTest, Contains) {
+  const BucketRect r = BucketRect::Create({1, 1}, {2, 3}).value();
+  EXPECT_TRUE(r.Contains({1, 1}));
+  EXPECT_TRUE(r.Contains({2, 3}));
+  EXPECT_FALSE(r.Contains({0, 1}));
+  EXPECT_FALSE(r.Contains({1, 4}));
+}
+
+TEST(BucketRectTest, WithinGrid) {
+  const GridSpec g = GridSpec::Create({3, 3}).value();
+  EXPECT_TRUE(BucketRect::Create({0, 0}, {2, 2}).value().WithinGrid(g));
+  EXPECT_FALSE(BucketRect::Create({0, 0}, {3, 2}).value().WithinGrid(g));
+  const GridSpec g3 = GridSpec::Create({3, 3, 3}).value();
+  EXPECT_FALSE(BucketRect::Create({0, 0}, {1, 1}).value().WithinGrid(g3));
+}
+
+TEST(BucketRectTest, IntersectOverlapping) {
+  const BucketRect a = BucketRect::Create({0, 0}, {4, 4}).value();
+  const BucketRect b = BucketRect::Create({2, 3}, {6, 8}).value();
+  const auto i = a.Intersect(b);
+  ASSERT_TRUE(i.has_value());
+  EXPECT_EQ(i->lo(), BucketCoords({2, 3}));
+  EXPECT_EQ(i->hi(), BucketCoords({4, 4}));
+}
+
+TEST(BucketRectTest, IntersectDisjoint) {
+  const BucketRect a = BucketRect::Create({0, 0}, {1, 1}).value();
+  const BucketRect b = BucketRect::Create({3, 3}, {4, 4}).value();
+  EXPECT_FALSE(a.Intersect(b).has_value());
+}
+
+TEST(BucketRectTest, IntersectTouchingEdge) {
+  const BucketRect a = BucketRect::Create({0, 0}, {2, 2}).value();
+  const BucketRect b = BucketRect::Create({2, 2}, {4, 4}).value();
+  const auto i = a.Intersect(b);
+  ASSERT_TRUE(i.has_value());
+  EXPECT_EQ(i->Volume(), 1u);
+}
+
+TEST(BucketRectTest, ForEachBucketCoversExactlyVolume) {
+  const BucketRect r = BucketRect::Create({1, 0, 2}, {2, 1, 4}).value();
+  std::vector<BucketCoords> cells;
+  r.ForEachBucket([&](const BucketCoords& c) { cells.push_back(c); });
+  EXPECT_EQ(cells.size(), r.Volume());
+  for (const auto& c : cells) EXPECT_TRUE(r.Contains(c));
+  // All distinct.
+  for (size_t i = 0; i < cells.size(); ++i) {
+    for (size_t j = i + 1; j < cells.size(); ++j) {
+      EXPECT_NE(cells[i], cells[j]);
+    }
+  }
+}
+
+TEST(BucketRectTest, EqualityOperator) {
+  EXPECT_TRUE(BucketRect::Create({0, 0}, {1, 1}).value() ==
+              BucketRect::Create({0, 0}, {1, 1}).value());
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,84 @@
+#include "griddecl/methods/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace griddecl {
+namespace {
+
+TEST(RegistryTest, AllNamesConstructibleOnFriendlyGrid) {
+  // Power-of-two grid and disks: every method applies.
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  for (const std::string& name : AllMethodNames()) {
+    Result<std::unique_ptr<DeclusteringMethod>> m =
+        CreateMethod(name, grid, 8);
+    EXPECT_TRUE(m.ok()) << name << ": " << m.status().ToString();
+  }
+}
+
+TEST(RegistryTest, UnknownNameIsNotFound) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto r = CreateMethod("nope", grid, 4);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, DmAndCmdAreAliases) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto dm = CreateMethod("dm", grid, 5).value();
+  const auto cmd = CreateMethod("cmd", grid, 5).value();
+  grid.ForEachBucket([&](const BucketCoords& c) {
+    EXPECT_EQ(dm->DiskOf(c), cmd->DiskOf(c));
+  });
+}
+
+TEST(RegistryTest, GdmUsesOptions) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  MethodOptions opts;
+  opts.gdm_coefficients = {1, 3};
+  const auto gdm = CreateMethod("gdm", grid, 5, opts).value();
+  EXPECT_EQ(gdm->DiskOf({1, 2}), (1 + 3 * 2) % 5u);
+}
+
+TEST(RegistryTest, RandomUsesSeedOption) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  MethodOptions a;
+  a.seed = 1;
+  MethodOptions b;
+  b.seed = 2;
+  const auto ra = CreateMethod("random", grid, 4, a).value();
+  const auto rb = CreateMethod("random", grid, 4, b).value();
+  bool differ = false;
+  grid.ForEachBucket([&](const BucketCoords& c) {
+    differ = differ || (ra->DiskOf(c) != rb->DiskOf(c));
+  });
+  EXPECT_TRUE(differ);
+}
+
+TEST(RegistryTest, PaperMethodsFullSetOnPowerOfTwo) {
+  const GridSpec grid = GridSpec::Create({32, 32}).value();
+  const auto methods = CreatePaperMethods(grid, 16);
+  ASSERT_EQ(methods.size(), 4u);
+  EXPECT_EQ(methods[0]->name(), "DM/CMD");
+  EXPECT_EQ(methods[1]->name(), "FX");
+  EXPECT_EQ(methods[2]->name(), "ECC");
+  EXPECT_EQ(methods[3]->name(), "HCAM");
+}
+
+TEST(RegistryTest, PaperMethodsDropEccWhenInapplicable) {
+  const GridSpec grid = GridSpec::Create({30, 30}).value();
+  const auto methods = CreatePaperMethods(grid, 7);
+  ASSERT_EQ(methods.size(), 3u);
+  EXPECT_EQ(methods[0]->name(), "DM/CMD");
+  EXPECT_EQ(methods[2]->name(), "HCAM");
+}
+
+TEST(RegistryTest, PaperMethodsPickExFxForSmallDomains) {
+  const GridSpec grid = GridSpec::Create({4, 4}).value();
+  const auto methods = CreatePaperMethods(grid, 8);
+  bool found_exfx = false;
+  for (const auto& m : methods) found_exfx |= (m->name() == "ExFX");
+  EXPECT_TRUE(found_exfx);
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,93 @@
+#include "griddecl/gridfile/replicated_file.h"
+
+#include <gtest/gtest.h>
+
+#include "griddecl/common/random.h"
+#include "griddecl/gridfile/declustered_file.h"
+
+namespace griddecl {
+namespace {
+
+GridFile MakeLoadedFile(int num_records, uint64_t seed) {
+  Schema schema = Schema::Create({{"x", 0.0, 1.0}, {"y", 0.0, 1.0}}).value();
+  GridFile f = GridFile::Create(std::move(schema), {16, 16}).value();
+  Rng rng(seed);
+  for (int i = 0; i < num_records; ++i) {
+    EXPECT_TRUE(f.Insert({rng.NextDouble(), rng.NextDouble()}).ok());
+  }
+  return f;
+}
+
+TEST(ReplicatedFileTest, CreateValidation) {
+  EXPECT_FALSE(ReplicatedFile::Create(MakeLoadedFile(1, 1), "bogus", 8, 2)
+                   .ok());
+  EXPECT_FALSE(
+      ReplicatedFile::Create(MakeLoadedFile(1, 1), "hcam", 8, 9).ok());
+  const auto ok = ReplicatedFile::Create(MakeLoadedFile(1, 1), "hcam", 8, 2);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().num_disks(), 8u);
+  EXPECT_EQ(ok.value().num_replicas(), 2u);
+}
+
+TEST(ReplicatedFileTest, MatchesAreExactAndCostsRouted) {
+  ReplicatedFile rf =
+      ReplicatedFile::Create(MakeLoadedFile(400, 2), "hcam", 8, 2).value();
+  const auto exec = rf.ExecuteRange({0.2, 0.1}, {0.7, 0.6}).value();
+  // Exact record semantics.
+  uint64_t expected = 0;
+  for (RecordId id = 0; id < rf.file().num_records(); ++id) {
+    const Record& r = rf.file().record(id);
+    if (r[0] >= 0.2 && r[0] <= 0.7 && r[1] >= 0.1 && r[1] <= 0.6) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(exec.matches.size(), expected);
+  // Routed cost relationships.
+  EXPECT_GE(exec.response_units, exec.lower_bound_units);
+  EXPECT_LE(exec.response_units, exec.buckets_touched);
+  EXPECT_EQ(exec.io.TotalRequests(), exec.buckets_touched);
+}
+
+TEST(ReplicatedFileTest, RoutingBeatsOrMatchesUnreplicatedCost) {
+  // Same data, same base method: the replicated file's routed response is
+  // never worse than the unreplicated DeclusteredFile's.
+  GridFile data1 = MakeLoadedFile(300, 3);
+  GridFile data2 = MakeLoadedFile(300, 3);  // Same seed -> same records.
+  ReplicatedFile rf =
+      ReplicatedFile::Create(std::move(data1), "dm", 8, 2).value();
+  DeclusteredFile df =
+      DeclusteredFile::Create(std::move(data2), "dm", 8).value();
+  for (double lo = 0.0; lo < 0.6; lo += 0.17) {
+    const auto routed =
+        rf.ExecuteRange({lo, lo}, {lo + 0.3, lo + 0.3}).value();
+    const auto flat =
+        df.ExecuteRange({lo, lo}, {lo + 0.3, lo + 0.3}).value();
+    EXPECT_LE(routed.response_units, flat.response_units) << lo;
+    EXPECT_EQ(routed.matches.size(), flat.matches.size()) << lo;
+  }
+}
+
+TEST(ReplicatedFileTest, DegradedModeStillAnswersExactly) {
+  ReplicatedFile rf =
+      ReplicatedFile::Create(MakeLoadedFile(250, 4), "hcam", 8, 2).value();
+  std::vector<bool> failed(8, false);
+  failed[2] = true;
+  const auto healthy = rf.ExecuteRange({0.1, 0.1}, {0.9, 0.9}).value();
+  const auto degraded =
+      rf.ExecuteRange({0.1, 0.1}, {0.9, 0.9}, &failed).value();
+  EXPECT_EQ(degraded.matches.size(), healthy.matches.size());
+  EXPECT_GE(degraded.response_units, healthy.response_units);
+  // The dead disk serves nothing in the timed schedule either.
+  EXPECT_EQ(degraded.io.per_disk[2].requests, 0u);
+}
+
+TEST(ReplicatedFileTest, StorageBillCountsReplicas) {
+  ReplicatedFile rf =
+      ReplicatedFile::Create(MakeLoadedFile(100, 5), "fx", 8, 3).value();
+  uint64_t total = 0;
+  for (uint64_t c : rf.RecordsPerDisk()) total += c;
+  EXPECT_EQ(total, 300u);  // 3 replicas x 100 records.
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,51 @@
+#include "griddecl/eval/reproduction.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace griddecl {
+namespace {
+
+TEST(ReproductionTest, RunsAndEmitsEverySection) {
+  std::ostringstream os;
+  ReproductionOptions opts;
+  opts.max_placements = 128;  // Keep the smoke test fast.
+  opts.theory_max_nodes = 1'000'000;
+  ASSERT_TRUE(RunPaperReproduction(os, opts).ok());
+  const std::string out = os.str();
+  for (const char* marker :
+       {"E1: query size", "E2: query shape", "E3: 3 attributes",
+        "E4 / Fig 5(a)", "E5 / Fig 5(b)", "E6: database size",
+        "E7 / Table 1", "E8: impossibility"}) {
+    EXPECT_NE(out.find(marker), std::string::npos) << marker;
+  }
+  // The theorem section must contain definitive answers.
+  EXPECT_NE(out.find("exhaustive proof"), std::string::npos);
+  EXPECT_NE(out.find("YES"), std::string::npos);
+  EXPECT_NE(out.find("NO"), std::string::npos);
+}
+
+TEST(ReproductionTest, TheorySectionOptional) {
+  std::ostringstream os;
+  ReproductionOptions opts;
+  opts.max_placements = 64;
+  opts.include_theory = false;
+  ASSERT_TRUE(RunPaperReproduction(os, opts).ok());
+  EXPECT_EQ(os.str().find("E8:"), std::string::npos);
+  EXPECT_NE(os.str().find("E7"), std::string::npos);
+}
+
+TEST(ReproductionTest, DeterministicForSeed) {
+  ReproductionOptions opts;
+  opts.max_placements = 64;
+  opts.include_theory = false;
+  std::ostringstream a;
+  std::ostringstream b;
+  ASSERT_TRUE(RunPaperReproduction(a, opts).ok());
+  ASSERT_TRUE(RunPaperReproduction(b, opts).ok());
+  EXPECT_EQ(a.str(), b.str());
+}
+
+}  // namespace
+}  // namespace griddecl

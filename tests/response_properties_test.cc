@@ -1,0 +1,151 @@
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "griddecl/common/random.h"
+#include "griddecl/eval/metrics.h"
+#include "griddecl/methods/registry.h"
+
+namespace griddecl {
+namespace {
+
+/// Cross-method invariants of the response-time metric itself, checked on
+/// randomized queries for every registry method.
+class ResponsePropertyTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static constexpr uint32_t kDisks = 8;
+
+  std::unique_ptr<DeclusteringMethod> MakeMethod(const GridSpec& grid) {
+    auto m = CreateMethod(GetParam(), grid, kDisks);
+    EXPECT_TRUE(m.ok()) << m.status().ToString();
+    return std::move(m).value();
+  }
+
+  static RangeQuery MakeQuery(const GridSpec& grid, BucketCoords lo,
+                              BucketCoords hi) {
+    return RangeQuery::Create(grid, BucketRect::Create(lo, hi).value())
+        .value();
+  }
+};
+
+TEST_P(ResponsePropertyTest, PointQueriesAlwaysCostOne) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto m = MakeMethod(grid);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    BucketCoords c(2);
+    c[0] = static_cast<uint32_t>(rng.NextBelow(16));
+    c[1] = static_cast<uint32_t>(rng.NextBelow(16));
+    EXPECT_EQ(ResponseTime(*m, MakeQuery(grid, c, c)), 1u);
+  }
+}
+
+TEST_P(ResponsePropertyTest, MonotoneUnderContainment) {
+  // Growing a query can never shrink its response time: per-disk counts
+  // are monotone under superset.
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto m = MakeMethod(grid);
+  Rng rng(2);
+  for (int i = 0; i < 30; ++i) {
+    const uint32_t lo0 = static_cast<uint32_t>(rng.NextBelow(8));
+    const uint32_t lo1 = static_cast<uint32_t>(rng.NextBelow(8));
+    const uint32_t inner0 = lo0 + 1 + static_cast<uint32_t>(rng.NextBelow(4));
+    const uint32_t inner1 = lo1 + 1 + static_cast<uint32_t>(rng.NextBelow(4));
+    const uint32_t outer0 = inner0 + static_cast<uint32_t>(rng.NextBelow(4));
+    const uint32_t outer1 = inner1 + static_cast<uint32_t>(rng.NextBelow(4));
+    const RangeQuery inner = MakeQuery(grid, {lo0, lo1}, {inner0, inner1});
+    const RangeQuery outer =
+        MakeQuery(grid, {lo0, lo1},
+                  {std::min(outer0, 15u), std::min(outer1, 15u)});
+    EXPECT_LE(ResponseTime(*m, inner), ResponseTime(*m, outer));
+  }
+}
+
+TEST_P(ResponsePropertyTest, BoundedByVolumeAndOptimal) {
+  // Power-of-two sides so every method (incl. ECC) is constructible.
+  const GridSpec grid = GridSpec::Create({16, 32}).value();
+  const auto m = MakeMethod(grid);
+  Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    const uint32_t a0 = static_cast<uint32_t>(rng.NextBelow(16));
+    const uint32_t a1 = static_cast<uint32_t>(rng.NextBelow(32));
+    const uint32_t b0 =
+        a0 + static_cast<uint32_t>(rng.NextBelow(16 - a0));
+    const uint32_t b1 =
+        a1 + static_cast<uint32_t>(rng.NextBelow(32 - a1));
+    const RangeQuery q = MakeQuery(grid, {a0, a1}, {b0, b1});
+    const uint64_t rt = ResponseTime(*m, q);
+    EXPECT_GE(rt, OptimalResponseTime(q.NumBuckets(), kDisks));
+    EXPECT_LE(rt, q.NumBuckets());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, ResponsePropertyTest,
+    ::testing::Values("dm", "gdm", "fx", "exfx", "ecc", "hcam", "zcam",
+                      "linear", "random"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(TranslationInvarianceTest, DmInvariantUnderShiftByM) {
+  // (x + M + y) mod M == (x + y) mod M: translating a query by M along any
+  // axis reproduces the exact per-disk counts.
+  const GridSpec grid = GridSpec::Create({24, 24}).value();
+  const auto dm = CreateMethod("dm", grid, 8).value();
+  for (uint32_t x0 : {0u, 3u, 7u}) {
+    for (uint32_t y0 : {0u, 5u}) {
+      const RangeQuery base = RangeQuery::Create(
+          grid, BucketRect::Create({x0, y0}, {x0 + 4, y0 + 6}).value())
+          .value();
+      const RangeQuery shifted = RangeQuery::Create(
+          grid, BucketRect::Create({x0 + 8, y0}, {x0 + 12, y0 + 6}).value())
+          .value();
+      EXPECT_EQ(PerDiskCounts(*dm, base), PerDiskCounts(*dm, shifted));
+    }
+  }
+}
+
+TEST(TranslationInvarianceTest, FxInvariantUnderShiftByM) {
+  // For M = 2^m, adding M to a coordinate leaves its low m bits unchanged,
+  // so FX's per-disk counts are invariant under shifts by M.
+  const GridSpec grid = GridSpec::Create({32, 32}).value();
+  const auto fx = CreateMethod("fx", grid, 8).value();
+  for (uint32_t x0 : {1u, 4u, 9u}) {
+    const RangeQuery base = RangeQuery::Create(
+        grid, BucketRect::Create({x0, 2}, {x0 + 5, 9}).value())
+        .value();
+    const RangeQuery shifted = RangeQuery::Create(
+        grid, BucketRect::Create({x0 + 8, 2}, {x0 + 13, 9}).value())
+        .value();
+    EXPECT_EQ(PerDiskCounts(*fx, base), PerDiskCounts(*fx, shifted));
+  }
+}
+
+TEST(TranslationInvarianceTest, EccPermutesDisksUnderAlignedShift) {
+  // Translating an aligned query by a power of two XORs a constant into
+  // every bucket's coordinate bits, which offsets every syndrome by the
+  // same constant: the multiset of per-disk counts is preserved even
+  // though disk identities permute.
+  const GridSpec grid = GridSpec::Create({32, 32}).value();
+  const auto ecc = CreateMethod("ecc", grid, 8).value();
+  // Aligned 8x8 blocks: translation by 8 or 16 flips exactly one bit of
+  // the high coordinate part for every covered bucket.
+  const RangeQuery base = RangeQuery::Create(
+      grid, BucketRect::Create({0, 8}, {7, 15}).value())
+      .value();
+  const RangeQuery shifted = RangeQuery::Create(
+      grid, BucketRect::Create({16, 8}, {23, 15}).value())
+      .value();
+  std::vector<uint64_t> a = PerDiskCounts(*ecc, base);
+  std::vector<uint64_t> b = PerDiskCounts(*ecc, shifted);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,104 @@
+#include "griddecl/common/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace griddecl {
+namespace {
+
+TEST(RunningStatTest, Empty) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.sum(), 5.0);
+}
+
+TEST(RunningStatTest, KnownMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // Classic population-variance example.
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, MergeEqualsSequential) {
+  RunningStat all;
+  RunningStat a;
+  RunningStat b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat a;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningStat empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  RunningStat target;
+  target.Merge(a);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+}
+
+TEST(HistogramTest, BasicCounting) {
+  Histogram h(5);
+  h.Add(0);
+  h.Add(1);
+  h.Add(1);
+  h.Add(4);
+  h.Add(7);  // Overflow.
+  EXPECT_EQ(h.total_count(), 5u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+  EXPECT_EQ(h.bucket_count(4), 1u);
+  EXPECT_EQ(h.overflow_count(), 1u);
+}
+
+TEST(HistogramTest, FractionBelow) {
+  Histogram h(10);
+  for (uint64_t v = 0; v < 10; ++v) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(5), 0.5);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(10), 1.0);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(100), 1.0);
+}
+
+TEST(HistogramTest, FractionBelowEmpty) {
+  Histogram h(3);
+  EXPECT_EQ(h.FractionBelow(2), 0.0);
+}
+
+}  // namespace
+}  // namespace griddecl

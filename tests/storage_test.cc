@@ -1,0 +1,146 @@
+#include "griddecl/gridfile/storage.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "griddecl/common/random.h"
+#include "griddecl/gridfile/adaptive_grid_file.h"
+
+namespace griddecl {
+namespace {
+
+GridFile MakeFile(int num_records, uint64_t seed) {
+  Schema schema =
+      Schema::Create({{"x", 0.0, 1.0}, {"y", -5.0, 5.0}}).value();
+  GridFile f = GridFile::Create(std::move(schema), {8, 8}).value();
+  Rng rng(seed);
+  for (int i = 0; i < num_records; ++i) {
+    EXPECT_TRUE(
+        f.Insert({rng.NextDouble(), rng.NextDouble() * 10 - 5}).ok());
+  }
+  return f;
+}
+
+TEST(StorageTest, RoundTripPreservesEverything) {
+  const GridFile original = MakeFile(500, 1);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveGridFile(original, buffer).ok());
+  const GridFile loaded = LoadGridFile(buffer).value();
+
+  EXPECT_EQ(loaded.num_records(), original.num_records());
+  EXPECT_EQ(loaded.grid(), original.grid());
+  EXPECT_EQ(loaded.schema().attribute(0).name, "x");
+  EXPECT_EQ(loaded.schema().attribute(1).name, "y");
+  for (RecordId id = 0; id < original.num_records(); ++id) {
+    EXPECT_EQ(loaded.record(id), original.record(id));
+    EXPECT_EQ(loaded.BucketOfRecord(id), original.BucketOfRecord(id));
+  }
+}
+
+TEST(StorageTest, RoundTripEmptyFile) {
+  const GridFile original = MakeFile(0, 2);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveGridFile(original, buffer).ok());
+  const GridFile loaded = LoadGridFile(buffer).value();
+  EXPECT_EQ(loaded.num_records(), 0u);
+  EXPECT_EQ(loaded.grid(), original.grid());
+}
+
+TEST(StorageTest, RoundTripAdaptiveBoundaries) {
+  // Non-uniform boundaries learned by an adaptive file survive the trip.
+  Schema schema = Schema::Create({{"x", 0.0, 1.0}, {"y", 0.0, 1.0}}).value();
+  AdaptiveGridFile adaptive =
+      AdaptiveGridFile::Create(std::move(schema), {.bucket_capacity = 5})
+          .value();
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const double s = rng.NextBool(0.8) ? 0.1 : 1.0;
+    ASSERT_TRUE(
+        adaptive.Insert({rng.NextDouble() * s, rng.NextDouble() * s}).ok());
+  }
+  const GridFile snapshot = adaptive.Snapshot().value();
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveGridFile(snapshot, buffer).ok());
+  const GridFile loaded = LoadGridFile(buffer).value();
+  EXPECT_EQ(loaded.grid(), snapshot.grid());
+  for (uint32_t dim = 0; dim < 2; ++dim) {
+    EXPECT_EQ(loaded.partitioner().dim(dim).raw_boundaries(),
+              snapshot.partitioner().dim(dim).raw_boundaries());
+  }
+  for (RecordId id = 0; id < snapshot.num_records(); ++id) {
+    EXPECT_EQ(loaded.BucketOfRecord(id), snapshot.BucketOfRecord(id));
+  }
+}
+
+TEST(StorageTest, SmallPagesStillWork) {
+  const GridFile original = MakeFile(100, 4);
+  std::stringstream buffer;
+  // Page fits exactly one 2-attribute record: 4 + 16 padding -> 20+.
+  ASSERT_TRUE(SaveGridFile(original, buffer, 20).ok());
+  const GridFile loaded = LoadGridFile(buffer).value();
+  EXPECT_EQ(loaded.num_records(), 100u);
+  EXPECT_EQ(loaded.record(99), original.record(99));
+}
+
+TEST(StorageTest, PageSizeTooSmallRejected) {
+  const GridFile original = MakeFile(10, 5);
+  std::stringstream buffer;
+  EXPECT_FALSE(SaveGridFile(original, buffer, 16).ok());
+  EXPECT_FALSE(SaveGridFile(original, buffer, 0).ok());
+}
+
+TEST(StorageTest, RejectsCorruptInputsWithoutCrashing) {
+  const GridFile original = MakeFile(50, 6);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveGridFile(original, buffer).ok());
+  const std::string bytes = buffer.str();
+
+  // Bad magic.
+  {
+    std::string copy = bytes;
+    copy[0] = 'X';
+    std::stringstream in(copy);
+    EXPECT_FALSE(LoadGridFile(in).ok());
+  }
+  // Truncations at many prefixes: must error, never crash.
+  for (size_t len : {0ul, 3ul, 8ul, 17ul, 40ul, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    std::stringstream in(bytes.substr(0, len));
+    EXPECT_FALSE(LoadGridFile(in).ok()) << "len=" << len;
+  }
+  // Corrupt version.
+  {
+    std::string copy = bytes;
+    copy[4] = static_cast<char>(0x7F);
+    std::stringstream in(copy);
+    EXPECT_FALSE(LoadGridFile(in).ok());
+  }
+}
+
+TEST(StorageTest, PagesPerBucketMath) {
+  Schema schema = Schema::Create({{"x", 0.0, 1.0}}).value();
+  GridFile f = GridFile::Create(std::move(schema), {2}).value();
+  // 25 records into bucket 0, 1 record into bucket 1.
+  for (int i = 0; i < 25; ++i) ASSERT_TRUE(f.Insert({0.1}).ok());
+  ASSERT_TRUE(f.Insert({0.9}).ok());
+  // Page = 4 header + 8/record; page size 84 -> capacity 10.
+  const auto pages = PagesPerBucket(f, 84).value();
+  ASSERT_EQ(pages.size(), 2u);
+  EXPECT_EQ(pages[0], 3u);  // ceil(25 / 10).
+  EXPECT_EQ(pages[1], 1u);
+  EXPECT_FALSE(PagesPerBucket(f, 4).ok());
+}
+
+TEST(StorageTest, RoundTripLargePageSizes) {
+  const GridFile original = MakeFile(300, 7);
+  for (uint32_t page : {64u, 1024u, 1u << 20}) {
+    std::stringstream buffer;
+    ASSERT_TRUE(SaveGridFile(original, buffer, page).ok()) << page;
+    const GridFile loaded = LoadGridFile(buffer).value();
+    EXPECT_EQ(loaded.num_records(), 300u) << page;
+  }
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,113 @@
+#include "griddecl/theory/strict_optimality.h"
+
+#include <gtest/gtest.h>
+
+namespace griddecl {
+namespace {
+
+TEST(StrictOptimalityTest, Validation) {
+  EXPECT_FALSE(FindStrictlyOptimalAllocation(0, 3, 2).ok());
+  EXPECT_FALSE(FindStrictlyOptimalAllocation(3, 0, 2).ok());
+  EXPECT_FALSE(FindStrictlyOptimalAllocation(3, 3, 0).ok());
+  EXPECT_FALSE(FindStrictlyOptimalAllocation(65, 3, 2).ok());
+}
+
+TEST(StrictOptimalityTest, TrivialOneDisk) {
+  const auto r = FindStrictlyOptimalAllocation(4, 4, 1).value();
+  EXPECT_EQ(r.outcome, SearchOutcome::kFound);
+  EXPECT_TRUE(AllocationIsStrictlyOptimal(4, 4, 1, r.allocation));
+}
+
+TEST(StrictOptimalityTest, FeasibleForTwoThreeFiveDisks) {
+  for (uint32_t m : {2u, 3u, 5u}) {
+    const auto r = FindStrictlyOptimalAllocation(m + 2, m + 2, m).value();
+    EXPECT_EQ(r.outcome, SearchOutcome::kFound) << "M=" << m;
+    EXPECT_TRUE(AllocationIsStrictlyOptimal(m + 2, m + 2, m, r.allocation))
+        << "M=" << m;
+  }
+}
+
+TEST(StrictOptimalityTest, PaperTheoremInfeasibleBeyondFiveDisks) {
+  // The paper's theorem: no strictly optimal method exists for M > 5.
+  // Exhaustive proof on small grids for M = 6, 7, 8.
+  for (uint32_t m : {6u, 7u, 8u}) {
+    const auto r = FindStrictlyOptimalAllocation(m + 2, m + 2, m).value();
+    EXPECT_EQ(r.outcome, SearchOutcome::kInfeasible) << "M=" << m;
+    EXPECT_GT(r.nodes_explored, 0u);
+  }
+}
+
+TEST(StrictOptimalityTest, KnownCoefficientsVerify) {
+  for (uint32_t m : {1u, 2u, 3u, 5u}) {
+    const auto coeffs = KnownStrictlyOptimalCoefficients(m).value();
+    // Build the linear allocation on a grid larger than M and verify
+    // exhaustively.
+    const uint32_t side = 2 * m + 3;
+    std::vector<uint32_t> alloc(side * side);
+    for (uint32_t i = 0; i < side; ++i) {
+      for (uint32_t j = 0; j < side; ++j) {
+        alloc[i * side + j] = (coeffs.first * i + coeffs.second * j) % m;
+      }
+    }
+    EXPECT_TRUE(AllocationIsStrictlyOptimal(side, side, m, alloc))
+        << "M=" << m;
+  }
+}
+
+TEST(StrictOptimalityTest, NoKnownCoefficientsBeyondFive) {
+  for (uint32_t m : {4u, 6u, 7u, 100u}) {
+    EXPECT_FALSE(KnownStrictlyOptimalCoefficients(m).ok()) << m;
+  }
+}
+
+TEST(StrictOptimalityTest, AllocationVerifierRejectsBadAllocation) {
+  // All-zeros on 2 disks: a 1x2 query gets RT 2 > opt 1.
+  std::vector<uint32_t> alloc(4, 0);
+  EXPECT_FALSE(AllocationIsStrictlyOptimal(2, 2, 2, alloc));
+  // Checkerboard on 2 disks is strictly optimal.
+  std::vector<uint32_t> checker = {0, 1, 1, 0};
+  EXPECT_TRUE(AllocationIsStrictlyOptimal(2, 2, 2, checker));
+}
+
+TEST(StrictOptimalityTest, BudgetExhaustion) {
+  StrictOptimalitySearchOptions opts;
+  opts.max_nodes = 3;
+  const auto r = FindStrictlyOptimalAllocation(6, 6, 5, opts).value();
+  EXPECT_EQ(r.outcome, SearchOutcome::kBudgetExhausted);
+  EXPECT_LE(r.nodes_explored, 4u);
+}
+
+TEST(StrictOptimalityTest, NonSquareGrids) {
+  // 1-row grids are trivially feasible for any M (round robin).
+  const auto row = FindStrictlyOptimalAllocation(1, 12, 7).value();
+  EXPECT_EQ(row.outcome, SearchOutcome::kFound);
+  EXPECT_TRUE(AllocationIsStrictlyOptimal(1, 12, 7, row.allocation));
+  // A 2 x M+1 grid for M=6 is already infeasible? Not necessarily — but
+  // 8x8 is (checked in the theorem test); here check a thin feasible case.
+  const auto thin = FindStrictlyOptimalAllocation(2, 6, 4).value();
+  if (thin.outcome == SearchOutcome::kFound) {
+    EXPECT_TRUE(AllocationIsStrictlyOptimal(2, 6, 4, thin.allocation));
+  }
+}
+
+TEST(StrictOptimalityTest, SmallestInfeasibleSquareSide) {
+  bool budget_hit = true;
+  // M = 2: feasible on every side we test.
+  EXPECT_EQ(SmallestInfeasibleSquareSide(2, 5, &budget_hit), 0u);
+  EXPECT_FALSE(budget_hit);
+  // M = 6: infeasible at some small side.
+  const uint32_t side6 = SmallestInfeasibleSquareSide(6, 8, &budget_hit);
+  EXPECT_FALSE(budget_hit);
+  EXPECT_GT(side6, 0u);
+  EXPECT_LE(side6, 8u);
+}
+
+TEST(StrictOptimalityTest, FoundAllocationsAreCanonical) {
+  // Symmetry breaking: first cell must be disk 0.
+  const auto r = FindStrictlyOptimalAllocation(4, 4, 3).value();
+  ASSERT_EQ(r.outcome, SearchOutcome::kFound);
+  EXPECT_EQ(r.allocation[0], 0u);
+}
+
+}  // namespace
+}  // namespace griddecl

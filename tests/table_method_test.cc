@@ -1,0 +1,119 @@
+#include "griddecl/methods/table_method.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "griddecl/methods/registry.h"
+
+namespace griddecl {
+namespace {
+
+TEST(TableMethodTest, CreateValidation) {
+  const GridSpec grid = GridSpec::Create({2, 2}).value();
+  EXPECT_TRUE(TableMethod::Create(grid, 2, {0, 1, 1, 0}).ok());
+  // Wrong length.
+  EXPECT_FALSE(TableMethod::Create(grid, 2, {0, 1, 1}).ok());
+  // Out-of-range disk.
+  EXPECT_FALSE(TableMethod::Create(grid, 2, {0, 1, 2, 0}).ok());
+  EXPECT_FALSE(TableMethod::Create(grid, 0, {0, 0, 0, 0}).ok());
+}
+
+TEST(TableMethodTest, LookupRowMajor) {
+  const GridSpec grid = GridSpec::Create({2, 3}).value();
+  const auto t = TableMethod::Create(grid, 6, {0, 1, 2, 3, 4, 5}).value();
+  EXPECT_EQ(t->DiskOf({0, 0}), 0u);
+  EXPECT_EQ(t->DiskOf({0, 2}), 2u);
+  EXPECT_EQ(t->DiskOf({1, 0}), 3u);
+  EXPECT_EQ(t->DiskOf({1, 2}), 5u);
+}
+
+TEST(TableMethodTest, FromMethodSnapshotsExactly) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto hcam = CreateMethod("hcam", grid, 5).value();
+  const auto table = TableMethod::FromMethod(*hcam).value();
+  EXPECT_EQ(table->name(), "HCAM-table");
+  grid.ForEachBucket([&](const BucketCoords& c) {
+    EXPECT_EQ(table->DiskOf(c), hcam->DiskOf(c));
+  });
+}
+
+TEST(SerializationTest, RoundTripEveryRegisteredMethod) {
+  const GridSpec grid = GridSpec::Create({8, 16}).value();
+  for (const std::string& name : AllMethodNames()) {
+    const auto method = CreateMethod(name, grid, 8).value();
+    std::stringstream buffer;
+    ASSERT_TRUE(SerializeAllocation(*method, buffer).ok()) << name;
+    const auto loaded = DeserializeAllocation(buffer);
+    ASSERT_TRUE(loaded.ok()) << name << ": " << loaded.status().ToString();
+    EXPECT_EQ(loaded.value()->grid(), grid);
+    EXPECT_EQ(loaded.value()->num_disks(), 8u);
+    grid.ForEachBucket([&](const BucketCoords& c) {
+      EXPECT_EQ(loaded.value()->DiskOf(c), method->DiskOf(c)) << name;
+    });
+  }
+}
+
+TEST(SerializationTest, FormatHasHeaderAndComments) {
+  const GridSpec grid = GridSpec::Create({2, 2}).value();
+  const auto t = TableMethod::Create(grid, 2, {0, 1, 1, 0}).value();
+  std::stringstream buffer;
+  ASSERT_TRUE(SerializeAllocation(*t, buffer).ok());
+  const std::string text = buffer.str();
+  EXPECT_EQ(text.rfind("griddecl-allocation v1", 0), 0u) << text;
+  EXPECT_NE(text.find("grid 2x2"), std::string::npos);
+  EXPECT_NE(text.find("disks 2"), std::string::npos);
+}
+
+TEST(SerializationTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream in(
+      "# a comment\n"
+      "griddecl-allocation v1\n"
+      "\n"
+      "grid 2x2\n"
+      "# another\n"
+      "disks 2\n"
+      "0 1\n"
+      "\n"
+      "1 0\n");
+  const auto loaded = DeserializeAllocation(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value()->DiskOf({0, 1}), 1u);
+  EXPECT_EQ(loaded.value()->DiskOf({1, 1}), 0u);
+}
+
+TEST(SerializationTest, RejectsCorruptInputs) {
+  auto parse = [](const std::string& text) {
+    std::stringstream in(text);
+    return DeserializeAllocation(in).ok();
+  };
+  EXPECT_FALSE(parse(""));
+  EXPECT_FALSE(parse("wrong-magic v1\ngrid 2x2\ndisks 2\n0 1 1 0\n"));
+  EXPECT_FALSE(parse("griddecl-allocation v9\ngrid 2x2\ndisks 2\n0 1 1 0\n"));
+  EXPECT_FALSE(parse("griddecl-allocation v1\ngrid 2y2\ndisks 2\n0 1 1 0\n"));
+  EXPECT_FALSE(parse("griddecl-allocation v1\ngrid 2x2\ndisks 0\n0 1 1 0\n"));
+  // Too few entries.
+  EXPECT_FALSE(parse("griddecl-allocation v1\ngrid 2x2\ndisks 2\n0 1 1\n"));
+  // Too many entries.
+  EXPECT_FALSE(
+      parse("griddecl-allocation v1\ngrid 2x2\ndisks 2\n0 1 1 0 1\n"));
+  // Entry out of range.
+  EXPECT_FALSE(parse("griddecl-allocation v1\ngrid 2x2\ndisks 2\n0 1 1 7\n"));
+  // Non-numeric entry.
+  EXPECT_FALSE(parse("griddecl-allocation v1\ngrid 2x2\ndisks 2\n0 1 x 0\n"));
+}
+
+TEST(GridSpecFromStringTest, ParsesAndRejects) {
+  EXPECT_EQ(GridSpec::FromString("32x32").value().ToString(), "32x32");
+  EXPECT_EQ(GridSpec::FromString("8x16x4").value().num_buckets(), 512u);
+  EXPECT_EQ(GridSpec::FromString("7").value().num_dims(), 1u);
+  EXPECT_FALSE(GridSpec::FromString("").ok());
+  EXPECT_FALSE(GridSpec::FromString("x4").ok());
+  EXPECT_FALSE(GridSpec::FromString("4x").ok());
+  EXPECT_FALSE(GridSpec::FromString("4xx4").ok());
+  EXPECT_FALSE(GridSpec::FromString("ax4").ok());
+  EXPECT_FALSE(GridSpec::FromString("0x4").ok());
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,54 @@
+#include "griddecl/common/table.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace griddecl {
+namespace {
+
+TEST(TableTest, TextRenderingAligned) {
+  Table t({"Method", "RT"});
+  t.AddRow({"DM/CMD", "1.50"});
+  t.AddRow({"FX", "1.25"});
+  std::ostringstream os;
+  t.PrintText(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| Method | RT   |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| DM/CMD | 1.50 |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| FX     | 1.25 |"), std::string::npos) << out;
+}
+
+TEST(TableTest, CsvRendering) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"x,y", "he said \"hi\""});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(TableTest, Fmt) {
+  EXPECT_EQ(Table::Fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::Fmt(1.0, 3), "1.000");
+  EXPECT_EQ(Table::Fmt(uint64_t{42}), "42");
+  EXPECT_EQ(Table::Fmt(int64_t{-7}), "-7");
+}
+
+TEST(TableTest, Introspection) {
+  Table t({"x", "y", "z"});
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"a", "b", "c"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.row(0)[2], "c");
+  EXPECT_EQ(t.headers()[0], "x");
+}
+
+TEST(TableDeathTest, WrongArityRowAborts) {
+  Table t({"only"});
+  EXPECT_DEATH(t.AddRow({"a", "b"}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,158 @@
+#include "griddecl/sim/throughput.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "griddecl/common/random.h"
+#include "griddecl/methods/registry.h"
+#include "griddecl/query/generator.h"
+
+namespace griddecl {
+namespace {
+
+DiskParams UnitParams() {
+  DiskParams p;
+  p.avg_seek_ms = 0.0;
+  p.rotational_latency_ms = 0.0;
+  p.transfer_ms_per_kb = 0.125;
+  p.bucket_kb = 8.0;  // 1 ms per bucket, no positioning.
+  p.near_gap_buckets = 0;
+  return p;
+}
+
+Workload OneQuery(const GridSpec& grid, BucketCoords lo, BucketCoords hi) {
+  Workload w;
+  w.queries.push_back(
+      RangeQuery::Create(grid, BucketRect::Create(lo, hi).value()).value());
+  return w;
+}
+
+TEST(ThroughputTest, Validation) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto dm = CreateMethod("dm", grid, 4).value();
+  ThroughputOptions opts;
+  opts.concurrency = 0;
+  Workload w = OneQuery(grid, {0, 0}, {1, 1});
+  EXPECT_FALSE(SimulateThroughput(*dm, w, opts).ok());
+  opts.concurrency = 1;
+  Workload empty;
+  EXPECT_FALSE(SimulateThroughput(*dm, empty, opts).ok());
+}
+
+TEST(ThroughputTest, SingleQueryMatchesMakespanModel) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto dm = CreateMethod("dm", grid, 4).value();
+  ThroughputOptions opts;
+  opts.concurrency = 1;
+  opts.params = UnitParams();
+  // 2x2 query under DM/4: disks {0,1,1,2} -> max batch 2 buckets = 2 ms.
+  const Workload w = OneQuery(grid, {0, 0}, {1, 1});
+  const ThroughputResult r = SimulateThroughput(*dm, w, opts).value();
+  EXPECT_DOUBLE_EQ(r.total_ms, 2.0);
+  EXPECT_DOUBLE_EQ(r.mean_latency_ms, 2.0);
+  EXPECT_EQ(r.num_queries, 1u);
+}
+
+TEST(ThroughputTest, SerialWhenConcurrencyOne) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto hcam = CreateMethod("hcam", grid, 4).value();
+  QueryGenerator gen(grid);
+  Rng rng(1);
+  const Workload w = gen.SampledPlacements({4, 4}, 20, &rng, "w").value();
+  ThroughputOptions opts;
+  opts.params = UnitParams();
+  opts.concurrency = 1;
+  const ThroughputResult serial = SimulateThroughput(*hcam, w, opts).value();
+  // With MPL 1, total time = sum of per-query makespans.
+  double expected = 0;
+  for (const RangeQuery& q : w.queries) {
+    std::vector<uint64_t> counts(4, 0);
+    q.rect().ForEachBucket(
+        [&](const BucketCoords& c) { ++counts[hcam->DiskOf(c)]; });
+    expected += static_cast<double>(
+        *std::max_element(counts.begin(), counts.end()));
+  }
+  EXPECT_NEAR(serial.total_ms, expected, 1e-9);
+}
+
+TEST(ThroughputTest, ConcurrencyImprovesThroughput) {
+  const GridSpec grid = GridSpec::Create({32, 32}).value();
+  const auto hcam = CreateMethod("hcam", grid, 8).value();
+  QueryGenerator gen(grid);
+  Rng rng(2);
+  const Workload w = gen.SampledPlacements({3, 3}, 100, &rng, "w").value();
+  ThroughputOptions opts;
+  opts.params = UnitParams();
+  opts.concurrency = 1;
+  const double serial =
+      SimulateThroughput(*hcam, w, opts).value().total_ms;
+  opts.concurrency = 8;
+  const double parallel =
+      SimulateThroughput(*hcam, w, opts).value().total_ms;
+  EXPECT_LT(parallel, serial);
+}
+
+TEST(ThroughputTest, BetterDeclusteringBetterThroughput) {
+  // Linear puts whole columns on one disk; a column-heavy workload should
+  // get clearly better throughput under HCAM.
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto hcam = CreateMethod("hcam", grid, 8).value();
+  const auto linear = CreateMethod("linear", grid, 8).value();
+  QueryGenerator gen(grid);
+  Rng rng(3);
+  const Workload w = gen.SampledPlacements({8, 1}, 60, &rng, "cols").value();
+  ThroughputOptions opts;
+  opts.params = UnitParams();
+  opts.concurrency = 4;
+  const ThroughputResult rh = SimulateThroughput(*hcam, w, opts).value();
+  const ThroughputResult rl = SimulateThroughput(*linear, w, opts).value();
+  EXPECT_GT(rh.ThroughputQps(), rl.ThroughputQps());
+}
+
+TEST(ThroughputTest, HeterogeneousDisksValidatedAndApplied) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto dm = CreateMethod("dm", grid, 4).value();
+  const Workload w = OneQuery(grid, {0, 0}, {3, 3});
+  ThroughputOptions opts;
+  opts.concurrency = 1;
+  opts.params = UnitParams();
+  opts.slowdown = {1.0, 1.0};  // Wrong arity.
+  EXPECT_FALSE(SimulateThroughput(*dm, w, opts).ok());
+  opts.slowdown = {1.0, -1.0, 1.0, 1.0};
+  EXPECT_FALSE(SimulateThroughput(*dm, w, opts).ok());
+
+  // A slow disk stretches completion: 4x4 query under DM/4 puts 4 buckets
+  // on each disk; slowing one disk 3x makes it the bottleneck.
+  opts.slowdown = {1.0, 1.0, 1.0, 3.0};
+  const double slowed = SimulateThroughput(*dm, w, opts).value().total_ms;
+  opts.slowdown.clear();
+  const double nominal = SimulateThroughput(*dm, w, opts).value().total_ms;
+  EXPECT_DOUBLE_EQ(nominal, 4.0);
+  EXPECT_DOUBLE_EQ(slowed, 12.0);
+}
+
+TEST(ThroughputTest, AccountingInvariants) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto fx = CreateMethod("fx", grid, 8).value();
+  QueryGenerator gen(grid);
+  Rng rng(4);
+  const Workload w = gen.SampledPlacements({4, 4}, 50, &rng, "w").value();
+  ThroughputOptions opts;
+  opts.concurrency = 4;
+  const ThroughputResult r = SimulateThroughput(*fx, w, opts).value();
+  EXPECT_EQ(r.num_queries, 50u);
+  EXPECT_GT(r.total_ms, 0.0);
+  EXPECT_GE(r.max_latency_ms, r.mean_latency_ms);
+  EXPECT_GT(r.ThroughputQps(), 0.0);
+  ASSERT_EQ(r.disk_busy_ms.size(), 8u);
+  const double util = r.MeanDiskUtilization();
+  EXPECT_GT(util, 0.0);
+  EXPECT_LE(util, 1.0 + 1e-9);
+  for (double busy : r.disk_busy_ms) {
+    EXPECT_LE(busy, r.total_ms + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,100 @@
+#include "griddecl/query/trace.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "griddecl/common/random.h"
+#include "griddecl/query/generator.h"
+
+namespace griddecl {
+namespace {
+
+TEST(TraceTest, RoundTrip) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  QueryGenerator gen(grid);
+  Rng rng(5);
+  Workload w = gen.SampledPlacements({3, 4}, 25, &rng, "my trace").value();
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SerializeWorkload(grid, w, buffer).ok());
+  const WorkloadTrace trace = DeserializeWorkload(buffer).value();
+  EXPECT_EQ(trace.grid, grid);
+  EXPECT_EQ(trace.workload.name, "my trace");
+  ASSERT_EQ(trace.workload.size(), w.size());
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_EQ(trace.workload.queries[i].ToString(),
+              w.queries[i].ToString());
+  }
+}
+
+TEST(TraceTest, RoundTrip3D) {
+  const GridSpec grid = GridSpec::Create({4, 6, 8}).value();
+  QueryGenerator gen(grid);
+  Workload w = gen.AllPlacements({2, 3, 4}, "threed").value();
+  std::stringstream buffer;
+  ASSERT_TRUE(SerializeWorkload(grid, w, buffer).ok());
+  const WorkloadTrace trace = DeserializeWorkload(buffer).value();
+  EXPECT_EQ(trace.grid.num_dims(), 3u);
+  EXPECT_EQ(trace.workload.size(), w.size());
+}
+
+TEST(TraceTest, SerializeRejectsOutOfGridQuery) {
+  const GridSpec small = GridSpec::Create({4, 4}).value();
+  const GridSpec big = GridSpec::Create({8, 8}).value();
+  Workload w;
+  w.queries.push_back(
+      RangeQuery::Create(big, BucketRect::Create({0, 0}, {6, 6}).value())
+          .value());
+  std::stringstream buffer;
+  EXPECT_FALSE(SerializeWorkload(small, w, buffer).ok());
+}
+
+TEST(TraceTest, ParsesHandWrittenTrace) {
+  std::stringstream in(
+      "# captured 1994-02-14\n"
+      "griddecl-workload v1\n"
+      "grid 8x8\n"
+      "name legacy\n"
+      "q 0 3 0 3\n"
+      "q 2 2 0 7\n");
+  const WorkloadTrace trace = DeserializeWorkload(in).value();
+  EXPECT_EQ(trace.workload.name, "legacy");
+  ASSERT_EQ(trace.workload.size(), 2u);
+  EXPECT_EQ(trace.workload.queries[0].NumBuckets(), 16u);
+  EXPECT_EQ(trace.workload.queries[1].NumBuckets(), 8u);
+}
+
+TEST(TraceTest, RejectsCorruptTraces) {
+  auto parse = [](const std::string& text) {
+    std::stringstream in(text);
+    return DeserializeWorkload(in).ok();
+  };
+  EXPECT_FALSE(parse(""));
+  EXPECT_FALSE(parse("nope v1\ngrid 4x4\n"));
+  EXPECT_FALSE(parse("griddecl-workload v2\ngrid 4x4\n"));
+  EXPECT_FALSE(parse("griddecl-workload v1\nnogrid\n"));
+  // Query outside the grid.
+  EXPECT_FALSE(parse("griddecl-workload v1\ngrid 4x4\nq 0 5 0 1\n"));
+  // lo > hi.
+  EXPECT_FALSE(parse("griddecl-workload v1\ngrid 4x4\nq 3 1 0 1\n"));
+  // Wrong arity.
+  EXPECT_FALSE(parse("griddecl-workload v1\ngrid 4x4\nq 0 1\n"));
+  EXPECT_FALSE(parse("griddecl-workload v1\ngrid 4x4\nq 0 1 0 1 0 1\n"));
+  // Junk line.
+  EXPECT_FALSE(parse("griddecl-workload v1\ngrid 4x4\nz 0 1 0 1\n"));
+}
+
+TEST(TraceTest, EmptyWorkloadRoundTrips) {
+  const GridSpec grid = GridSpec::Create({4, 4}).value();
+  Workload w;
+  w.name = "empty";
+  std::stringstream buffer;
+  ASSERT_TRUE(SerializeWorkload(grid, w, buffer).ok());
+  const WorkloadTrace trace = DeserializeWorkload(buffer).value();
+  EXPECT_TRUE(trace.workload.empty());
+  EXPECT_EQ(trace.workload.name, "empty");
+}
+
+}  // namespace
+}  // namespace griddecl

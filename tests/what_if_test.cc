@@ -1,0 +1,79 @@
+#include "griddecl/eval/what_if.h"
+
+#include <gtest/gtest.h>
+
+#include "griddecl/common/random.h"
+#include "griddecl/query/generator.h"
+
+namespace griddecl {
+namespace {
+
+Workload SquareWorkload(const GridSpec& grid, uint32_t side) {
+  QueryGenerator gen(grid);
+  return gen.AllPlacements({side, side}, "squares").value();
+}
+
+TEST(WhatIfTest, Validation) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const Workload w = SquareWorkload(grid, 4);
+  Workload empty;
+  EXPECT_FALSE(DiskScalingAnalysis(grid, "dm", empty, {2, 4}).ok());
+  EXPECT_FALSE(DiskScalingAnalysis(grid, "dm", w, {}).ok());
+  EXPECT_FALSE(DiskScalingAnalysis(grid, "dm", w, {4, 2}).ok());
+  EXPECT_FALSE(DiskScalingAnalysis(grid, "dm", w, {0, 2}).ok());
+  EXPECT_FALSE(DiskScalingAnalysis(grid, "bogus", w, {2, 4}).ok());
+  // Query from another grid.
+  const GridSpec big = GridSpec::Create({32, 32}).value();
+  EXPECT_FALSE(
+      DiskScalingAnalysis(grid, "dm", SquareWorkload(big, 20), {2}).ok());
+}
+
+TEST(WhatIfTest, MonotoneScalingForRoundRobinMethod) {
+  // HCAM's mean response on fixed queries never increases with more disks,
+  // and speedup/efficiency are computed against the first point.
+  const GridSpec grid = GridSpec::Create({32, 32}).value();
+  const Workload w = SquareWorkload(grid, 4);
+  const auto points =
+      DiskScalingAnalysis(grid, "hcam", w, {2, 4, 8, 16}).value();
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0].disks, 2u);
+  EXPECT_DOUBLE_EQ(points[0].speedup, 1.0);
+  EXPECT_DOUBLE_EQ(points[0].efficiency, 1.0);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i].mean_response, points[i - 1].mean_response + 1e-9);
+    EXPECT_GE(points[i].speedup, points[i - 1].speedup - 1e-9);
+    EXPECT_LE(points[i].efficiency, 1.0 + 1e-9);
+    EXPECT_LE(points[i].mean_optimal, points[i - 1].mean_optimal + 1e-9);
+  }
+}
+
+TEST(WhatIfTest, SkipsUnsupportedDiskCounts) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const Workload w = SquareWorkload(grid, 3);
+  // ECC exists only at powers of two: 6 and 12 are skipped.
+  const auto points =
+      DiskScalingAnalysis(grid, "ecc", w, {4, 6, 8, 12}).value();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].disks, 4u);
+  EXPECT_EQ(points[1].disks, 8u);
+  // Nothing constructible at all -> error.
+  EXPECT_FALSE(DiskScalingAnalysis(grid, "ecc", w, {3, 6}).ok());
+}
+
+TEST(WhatIfTest, RecommendDiskCount) {
+  const GridSpec grid = GridSpec::Create({32, 32}).value();
+  const Workload w = SquareWorkload(grid, 8);  // 64-bucket queries.
+  // HCAM near-optimal: at M=16 mean RT ~ 64/16*(1+eps) ~ 4.x; at M=8 ~ 8.x.
+  const auto m =
+      RecommendDiskCount(grid, "hcam", w, 6.0, {2, 4, 8, 16, 32}).value();
+  EXPECT_EQ(m, 16u);
+  // Unreachable target.
+  const auto none = RecommendDiskCount(grid, "hcam", w, 0.5, {2, 4, 8});
+  EXPECT_FALSE(none.ok());
+  EXPECT_EQ(none.status().code(), StatusCode::kNotFound);
+  // Bad target.
+  EXPECT_FALSE(RecommendDiskCount(grid, "hcam", w, 0.0, {2}).ok());
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,131 @@
+#include "griddecl/methods/workload_opt.h"
+
+#include <gtest/gtest.h>
+
+#include "griddecl/common/random.h"
+#include "griddecl/eval/metrics.h"
+#include "griddecl/methods/registry.h"
+#include "griddecl/query/generator.h"
+
+namespace griddecl {
+namespace {
+
+TEST(WorkloadCostTest, SumsResponseTimes) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto dm = CreateMethod("dm", grid, 4).value();
+  QueryGenerator gen(grid);
+  const Workload w = gen.AllPlacements({2, 2}, "w").value();
+  uint64_t expected = 0;
+  for (const RangeQuery& q : w.queries) expected += ResponseTime(*dm, q);
+  EXPECT_EQ(WorkloadCost(*dm, w), expected);
+}
+
+TEST(WorkloadOptTest, Validation) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto dm = CreateMethod("dm", grid, 4).value();
+  Workload empty;
+  EXPECT_FALSE(OptimizeForWorkload(*dm, empty).ok());
+
+  // A query from a different (larger) grid is rejected.
+  const GridSpec big = GridSpec::Create({16, 16}).value();
+  Workload alien;
+  alien.queries.push_back(
+      RangeQuery::Create(big, BucketRect::Create({0, 0}, {12, 12}).value())
+          .value());
+  EXPECT_FALSE(OptimizeForWorkload(*dm, alien).ok());
+}
+
+TEST(WorkloadOptTest, NeverWorseAndUsuallyBetter) {
+  // DM is weak on 2x2 queries: the optimizer must strictly improve it.
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto dm = CreateMethod("dm", grid, 4).value();
+  QueryGenerator gen(grid);
+  const Workload w = gen.AllPlacements({2, 2}, "2x2").value();
+
+  WorkloadOptimizeStats stats;
+  const auto optimized = OptimizeForWorkload(*dm, w, {}, &stats).value();
+  EXPECT_EQ(stats.initial_cost, WorkloadCost(*dm, w));
+  EXPECT_EQ(stats.final_cost, WorkloadCost(*optimized, w));
+  EXPECT_LE(stats.final_cost, stats.initial_cost);
+  EXPECT_LT(stats.final_cost, stats.initial_cost);  // DM has obvious slack.
+  EXPECT_GT(stats.moves_applied, 0u);
+  EXPECT_EQ(optimized->name(), "DM/CMD+opt");
+  EXPECT_EQ(optimized->num_disks(), 4u);
+}
+
+TEST(WorkloadOptTest, AlreadyOptimalSeedIsFixpoint) {
+  // The M=2 checkerboard is strictly optimal; no move can improve it.
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto dm = CreateMethod("dm", grid, 2).value();
+  QueryGenerator gen(grid);
+  Workload w = gen.AllPlacements({2, 2}, "2x2").value();
+  w.Append(gen.AllPlacements({1, 2}, "1x2").value());
+
+  WorkloadOptimizeStats stats;
+  const auto optimized = OptimizeForWorkload(*dm, w, {}, &stats).value();
+  EXPECT_EQ(stats.moves_applied, 0u);
+  EXPECT_EQ(stats.final_cost, stats.initial_cost);
+  EXPECT_EQ(stats.passes, 0u);  // First pass found nothing; loop exited.
+  grid.ForEachBucket([&](const BucketCoords& c) {
+    EXPECT_EQ(optimized->DiskOf(c), dm->DiskOf(c));
+  });
+}
+
+TEST(WorkloadOptTest, ImprovesGeneralizationOnHeldOutPlacements) {
+  // Train on a sample of 3x3 placements, evaluate on all: the optimizer
+  // should still beat the seed (structure generalizes across placements).
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto linear = CreateMethod("linear", grid, 8).value();
+  QueryGenerator gen(grid);
+  Rng rng(3);
+  const Workload train =
+      gen.SampledPlacements({3, 3}, 120, &rng, "train").value();
+  const Workload all = gen.AllPlacements({3, 3}, "all").value();
+
+  const auto optimized = OptimizeForWorkload(*linear, train).value();
+  EXPECT_LT(WorkloadCost(*optimized, all), WorkloadCost(*linear, all));
+}
+
+TEST(WorkloadOptTest, DeterministicForSeed) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto dm = CreateMethod("dm", grid, 4).value();
+  QueryGenerator gen(grid);
+  const Workload w = gen.AllPlacements({2, 2}, "w").value();
+  WorkloadOptimizeOptions opts;
+  opts.seed = 11;
+  const auto a = OptimizeForWorkload(*dm, w, opts).value();
+  const auto b = OptimizeForWorkload(*dm, w, opts).value();
+  grid.ForEachBucket([&](const BucketCoords& c) {
+    EXPECT_EQ(a->DiskOf(c), b->DiskOf(c));
+  });
+}
+
+TEST(WorkloadOptTest, PassBudgetRespected) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto random = CreateMethod("random", grid, 8).value();
+  QueryGenerator gen(grid);
+  const Workload w = gen.AllPlacements({4, 4}, "w").value();
+  WorkloadOptimizeOptions opts;
+  opts.max_passes = 1;
+  WorkloadOptimizeStats stats;
+  ASSERT_TRUE(OptimizeForWorkload(*random, w, opts, &stats).ok());
+  EXPECT_LE(stats.passes, 1u);
+}
+
+TEST(WorkloadOptTest, OptimizerReachesNearOptimalOnSmallCase) {
+  // On a tiny grid with all 2x2 queries and M=4, a perfect allocation
+  // (every 2x2 distinct) exists; the climb should get all the way or very
+  // close to cost == num_queries (response 1 each).
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto seed_method = CreateMethod("dm", grid, 4).value();
+  QueryGenerator gen(grid);
+  const Workload w = gen.AllPlacements({2, 2}, "2x2").value();
+  const auto optimized = OptimizeForWorkload(*seed_method, w).value();
+  const double mean =
+      static_cast<double>(WorkloadCost(*optimized, w)) /
+      static_cast<double>(w.size());
+  EXPECT_LT(mean, 1.35);  // Seed DM starts at 2.0.
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,122 @@
+#include "griddecl/theory/worst_case.h"
+
+#include <gtest/gtest.h>
+
+#include "griddecl/eval/metrics.h"
+#include "griddecl/methods/dm.h"
+#include "griddecl/methods/registry.h"
+#include "griddecl/query/query.h"
+#include "griddecl/sim/io_sim.h"
+
+namespace griddecl {
+namespace {
+
+TEST(WorstCaseTest, GuardsAgainstHugeGrids) {
+  const GridSpec grid = GridSpec::Create({2048, 2048}).value();
+  const auto dm = CreateMethod("dm", grid, 4).value();
+  EXPECT_FALSE(FindWorstCaseQuery(*dm).ok());
+}
+
+TEST(WorstCaseTest, StrictlyOptimalMethodHasZeroDeviation) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto gdm = GdmMethod::Create(grid, 5, {1, 2}).value();
+  const WorstCaseResult worst = FindWorstCaseQuery(*gdm).value();
+  EXPECT_EQ(worst.AdditiveDeviation(), 0u);
+  EXPECT_DOUBLE_EQ(worst.Ratio(), 1.0);
+}
+
+TEST(WorstCaseTest, DmWorstCaseIsTheDiagonalTrap) {
+  // DM with M=4 on small squares: a 2x2 query already deviates by 1; on an
+  // 8x8 grid the overall worst ratio is the anti-diagonal effect. The
+  // reported worst query must (a) reproduce its claimed response under the
+  // generic metric and (b) dominate a known-bad query.
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto dm = CreateMethod("dm", grid, 4).value();
+  const WorstCaseResult worst = FindWorstCaseQuery(*dm).value();
+
+  const RangeQuery check = RangeQuery::Create(grid, worst.rect).value();
+  EXPECT_EQ(ResponseTime(*dm, check), worst.response);
+  EXPECT_EQ(OptimalResponseTime(worst.volume, 4), worst.optimal);
+
+  const RangeQuery known_bad =
+      RangeQuery::Create(grid, BucketRect::Create({0, 0}, {1, 1}).value())
+          .value();
+  const uint64_t known_dev =
+      ResponseTime(*dm, known_bad) - OptimalResponseTime(4, 4);
+  EXPECT_GE(worst.AdditiveDeviation(), known_dev);
+  EXPECT_GE(worst.AdditiveDeviation(), 1u);
+}
+
+TEST(WorstCaseTest, VolumeCapRestrictsSearch) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto dm = CreateMethod("dm", grid, 4).value();
+  const WorstCaseResult capped = FindWorstCaseQuery(*dm, 4).value();
+  EXPECT_LE(capped.volume, 4u);
+  const WorstCaseResult full = FindWorstCaseQuery(*dm).value();
+  EXPECT_GE(full.AdditiveDeviation(), capped.AdditiveDeviation());
+}
+
+TEST(WorstCaseTest, ThreeDimensionalGrid) {
+  const GridSpec grid = GridSpec::Create({4, 4, 4}).value();
+  const auto fx = CreateMethod("fx", grid, 4).value();
+  const WorstCaseResult worst = FindWorstCaseQuery(*fx).value();
+  const RangeQuery check = RangeQuery::Create(grid, worst.rect).value();
+  EXPECT_EQ(ResponseTime(*fx, check), worst.response);
+}
+
+TEST(WorstCaseTest, AgreesWithBruteForceOnTinyGrid) {
+  const GridSpec grid = GridSpec::Create({4, 5}).value();
+  const auto rnd = CreateMethod("random", grid, 3).value();
+  const WorstCaseResult fast = FindWorstCaseQuery(*rnd).value();
+  // Brute force every rectangle.
+  uint64_t best_dev = 0;
+  double best_ratio = 0;
+  for (uint32_t lo0 = 0; lo0 < 4; ++lo0) {
+    for (uint32_t hi0 = lo0; hi0 < 4; ++hi0) {
+      for (uint32_t lo1 = 0; lo1 < 5; ++lo1) {
+        for (uint32_t hi1 = lo1; hi1 < 5; ++hi1) {
+          const RangeQuery q =
+              RangeQuery::Create(
+                  grid, BucketRect::Create({lo0, lo1}, {hi0, hi1}).value())
+                  .value();
+          const uint64_t rt = ResponseTime(*rnd, q);
+          const uint64_t opt = OptimalResponseTime(q.NumBuckets(), 3);
+          const uint64_t dev = rt - opt;
+          const double ratio =
+              static_cast<double>(rt) / static_cast<double>(opt);
+          if (dev > best_dev || (dev == best_dev && ratio > best_ratio)) {
+            best_dev = dev;
+            best_ratio = ratio;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(fast.AdditiveDeviation(), best_dev);
+  EXPECT_DOUBLE_EQ(fast.Ratio(), best_ratio);
+}
+
+TEST(HeterogeneousDiskTest, SlowDiskStretchesMakespan) {
+  DiskParams p;
+  p.avg_seek_ms = 0;
+  p.rotational_latency_ms = 0;
+  p.transfer_ms_per_kb = 0.125;
+  p.bucket_kb = 8;  // 1 ms/bucket nominal.
+  ParallelIoSimulator uniform(4, p);
+  ParallelIoSimulator skewed(4, p, {1.0, 1.0, 1.0, 3.0});
+  const std::vector<std::vector<uint64_t>> schedule = {
+      {1, 2}, {10, 11}, {20, 21}, {30, 31}};
+  EXPECT_DOUBLE_EQ(uniform.RunSchedule(schedule).makespan_ms, 2.0);
+  EXPECT_DOUBLE_EQ(skewed.RunSchedule(schedule).makespan_ms, 6.0);
+  EXPECT_DOUBLE_EQ(skewed.slowdown(3), 3.0);
+  EXPECT_DOUBLE_EQ(skewed.slowdown(0), 1.0);
+}
+
+TEST(HeterogeneousDiskDeathTest, BadSlowdownsRejected) {
+  DiskParams p;
+  EXPECT_DEATH(ParallelIoSimulator(4, p, {1.0, 1.0}), "CHECK failed");
+  EXPECT_DEATH(ParallelIoSimulator(2, p, {1.0, 0.0}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,444 @@
+/// declctl: command-line front end for the griddecl library.
+///
+/// Subcommands:
+///
+///   declctl methods
+///       List the registered declustering methods and their restrictions.
+///
+///   declctl eval --grid 64x64 --disks 16 --method hcam --shape 4x4
+///                [--placements 4096] [--seed 42]
+///       Mean response time of one method on all/sampled placements of a
+///       query shape.
+///
+///   declctl compare --grid 64x64 --disks 16 --shape 4x4
+///                [--methods dm,fx-auto,ecc,hcam] [--placements N]
+///       Side-by-side comparison table.
+///
+///   declctl sweep-size --grid 64x64 --disks 16 --areas 1,4,16,64,256
+///       The paper's Experiment 1 at arbitrary parameters.
+///
+///   declctl gen-trace --grid 64x64 --shape 3x3 --count 200 [--seed 7]
+///       Emit a workload trace (stdout) for later use.
+///
+///   declctl advise --trace FILE --disks 16 [--no-optimize]
+///       Score methods against a recorded trace and recommend one.
+///
+///   declctl show --grid 16x16 --disks 8 --method hcam
+///       Render a 2-d allocation as a character grid (one base-36 digit
+///       per bucket).
+///
+///   declctl export --grid 32x32 --disks 8 --method ecc
+///       Print the full allocation in the serializable table format.
+///
+///   declctl optimize --trace FILE --disks 16 [--seed-method hcam]
+///                [--passes 8]
+///       Hill-climb an allocation for a recorded trace; prints the
+///       optimized allocation in the serializable table format.
+///
+///   declctl throughput --trace FILE --disks 16 --method hcam [--mpl 4]
+///       Closed-system multiuser throughput simulation of a trace.
+///
+///   declctl search --disks 6 --rows 8 --cols 8 [--max-nodes N]
+///       Exhaustive strict-optimality search (the paper's theorem).
+///
+/// All output is plain text; exit status is non-zero on usage errors.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "griddecl/common/flags.h"
+#include "griddecl/eval/advisor.h"
+#include "griddecl/griddecl.h"
+#include "griddecl/methods/table_method.h"
+#include "griddecl/methods/workload_opt.h"
+#include "griddecl/query/trace.h"
+#include "griddecl/theory/kd_strict_optimality.h"
+
+namespace griddecl {
+namespace {
+
+int Fail(const std::string& message) {
+  std::cerr << "declctl: " << message << "\n";
+  return 1;
+}
+
+int Usage() {
+  std::cerr <<
+      "usage: declctl <command> [flags]\n"
+      "commands: methods | eval | compare | sweep-size | gen-trace |\n"
+      "          advise | show | export | optimize | throughput | search\n"
+      "see the header of tools/declctl.cc for per-command flags\n";
+  return 2;
+}
+
+Result<GridSpec> GridFromFlags(const Flags& flags) {
+  return GridSpec::FromString(flags.GetString("grid", "64x64"));
+}
+
+Result<QueryShape> ShapeFromFlags(const Flags& flags, const GridSpec& grid) {
+  const std::string shape_str = flags.GetString("shape", "4x4");
+  Result<GridSpec> parsed = GridSpec::FromString(shape_str);
+  if (!parsed.ok()) return parsed.status();
+  if (parsed.value().num_dims() != grid.num_dims()) {
+    return Status::InvalidArgument("shape " + shape_str +
+                                   " does not match grid " + grid.ToString());
+  }
+  QueryShape shape = parsed.value().dims();
+  return shape;
+}
+
+int CmdMethods() {
+  Table t({"Name", "Restrictions"});
+  for (const std::string& name : AllMethodNames()) {
+    t.AddRow({name, MethodRestrictionSummary(name)});
+  }
+  t.PrintText(std::cout);
+  return 0;
+}
+
+int CmdEval(const Flags& flags) {
+  Result<GridSpec> grid = GridFromFlags(flags);
+  if (!grid.ok()) return Fail(grid.status().ToString());
+  const auto disks = flags.GetInt("disks", 16);
+  if (!disks.ok() || disks.value() < 1) return Fail("bad --disks");
+  Result<std::unique_ptr<DeclusteringMethod>> method = CreateMethod(
+      flags.GetString("method", "hcam"), grid.value(),
+      static_cast<uint32_t>(disks.value()));
+  if (!method.ok()) return Fail(method.status().ToString());
+  Result<QueryShape> shape = ShapeFromFlags(flags, grid.value());
+  if (!shape.ok()) return Fail(shape.status().ToString());
+  const auto placements = flags.GetInt("placements", 4096);
+  const auto seed = flags.GetInt("seed", 42);
+  if (!placements.ok() || !seed.ok()) return Fail("bad numeric flag");
+
+  QueryGenerator gen(grid.value());
+  Rng rng(static_cast<uint64_t>(seed.value()));
+  Result<Workload> workload =
+      gen.Placements(shape.value(), static_cast<size_t>(placements.value()),
+                     &rng, "cli");
+  if (!workload.ok()) return Fail(workload.status().ToString());
+  const WorkloadEval e =
+      Evaluator(method.value().get()).EvaluateWorkload(workload.value());
+  std::cout << "method " << method.value()->name() << " on grid "
+            << grid.value().ToString() << ", M=" << disks.value() << "\n"
+            << "queries evaluated: " << e.num_queries << "\n"
+            << "mean response time: " << Table::Fmt(e.MeanResponse(), 4)
+            << " (optimal " << Table::Fmt(e.MeanOptimal(), 4) << ")\n"
+            << "mean RT/optimal:    " << Table::Fmt(e.MeanRatio(), 4) << "\n"
+            << "optimal queries:    "
+            << Table::Fmt(e.FractionOptimal() * 100, 1) << "%\n";
+  return 0;
+}
+
+int CmdCompare(const Flags& flags) {
+  Result<GridSpec> grid = GridFromFlags(flags);
+  if (!grid.ok()) return Fail(grid.status().ToString());
+  const auto disks = flags.GetInt("disks", 16);
+  if (!disks.ok() || disks.value() < 1) return Fail("bad --disks");
+  Result<QueryShape> shape = ShapeFromFlags(flags, grid.value());
+  if (!shape.ok()) return Fail(shape.status().ToString());
+  const auto placements = flags.GetInt("placements", 4096);
+  const auto seed = flags.GetInt("seed", 42);
+  if (!placements.ok() || !seed.ok()) return Fail("bad numeric flag");
+
+  std::vector<std::string> names;
+  {
+    const std::string list =
+        flags.GetString("methods", "dm,fx-auto,ecc,hcam");
+    std::istringstream ss(list);
+    std::string token;
+    while (std::getline(ss, token, ',')) names.push_back(token);
+  }
+  QueryGenerator gen(grid.value());
+  Rng rng(static_cast<uint64_t>(seed.value()));
+  Result<Workload> workload =
+      gen.Placements(shape.value(), static_cast<size_t>(placements.value()),
+                     &rng, "cli");
+  if (!workload.ok()) return Fail(workload.status().ToString());
+
+  Table t({"Method", "Mean RT", "RT/opt", "% optimal"});
+  for (const std::string& name : names) {
+    Result<std::unique_ptr<DeclusteringMethod>> method = CreateMethod(
+        name, grid.value(), static_cast<uint32_t>(disks.value()));
+    if (!method.ok()) {
+      t.AddRow({name, "-", "-", "(" + method.status().ToString() + ")"});
+      continue;
+    }
+    const WorkloadEval e =
+        Evaluator(method.value().get()).EvaluateWorkload(workload.value());
+    t.AddRow({method.value()->name(), Table::Fmt(e.MeanResponse(), 4),
+              Table::Fmt(e.MeanRatio(), 4),
+              Table::Fmt(e.FractionOptimal() * 100, 1)});
+  }
+  t.PrintText(std::cout);
+  return 0;
+}
+
+int CmdSweepSize(const Flags& flags) {
+  Result<GridSpec> grid = GridFromFlags(flags);
+  if (!grid.ok()) return Fail(grid.status().ToString());
+  const auto disks = flags.GetInt("disks", 16);
+  if (!disks.ok() || disks.value() < 1) return Fail("bad --disks");
+  const auto areas32 =
+      flags.GetUint32List("areas", {1, 4, 16, 64, 256, 1024});
+  if (!areas32.ok()) return Fail(areas32.status().ToString());
+  std::vector<uint64_t> areas(areas32.value().begin(),
+                              areas32.value().end());
+  SweepOptions opts;
+  const auto placements = flags.GetInt("placements", 4096);
+  const auto seed = flags.GetInt("seed", 42);
+  if (!placements.ok() || !seed.ok()) return Fail("bad numeric flag");
+  opts.max_placements = static_cast<size_t>(placements.value());
+  opts.seed = static_cast<uint64_t>(seed.value());
+  Result<SweepResult> sweep = QuerySizeSweep(
+      grid.value(), static_cast<uint32_t>(disks.value()), areas, opts);
+  if (!sweep.ok()) return Fail(sweep.status().ToString());
+  sweep.value().ResponseTable().PrintText(std::cout);
+  std::cout << "\n";
+  sweep.value().RatioTable().PrintText(std::cout);
+  return 0;
+}
+
+int CmdGenTrace(const Flags& flags) {
+  Result<GridSpec> grid = GridFromFlags(flags);
+  if (!grid.ok()) return Fail(grid.status().ToString());
+  Result<QueryShape> shape = ShapeFromFlags(flags, grid.value());
+  if (!shape.ok()) return Fail(shape.status().ToString());
+  const auto count = flags.GetInt("count", 200);
+  const auto seed = flags.GetInt("seed", 7);
+  if (!count.ok() || !seed.ok() || count.value() < 1) {
+    return Fail("bad numeric flag");
+  }
+  QueryGenerator gen(grid.value());
+  Rng rng(static_cast<uint64_t>(seed.value()));
+  Result<Workload> workload = gen.SampledPlacements(
+      shape.value(), static_cast<size_t>(count.value()), &rng, "generated");
+  if (!workload.ok()) return Fail(workload.status().ToString());
+  const Status st =
+      SerializeWorkload(grid.value(), workload.value(), std::cout);
+  if (!st.ok()) return Fail(st.ToString());
+  return 0;
+}
+
+int CmdAdvise(const Flags& flags) {
+  const std::string path = flags.GetString("trace", "");
+  if (path.empty()) return Fail("--trace FILE is required");
+  std::ifstream in(path);
+  if (!in.good()) return Fail("cannot open trace file '" + path + "'");
+  Result<WorkloadTrace> trace = DeserializeWorkload(in);
+  if (!trace.ok()) return Fail(trace.status().ToString());
+  const auto disks = flags.GetInt("disks", 16);
+  if (!disks.ok() || disks.value() < 1) return Fail("bad --disks");
+  const auto no_opt = flags.GetBool("no-optimize", false);
+  if (!no_opt.ok()) return Fail(no_opt.status().ToString());
+
+  AdvisorOptions opts;
+  opts.include_optimized = !no_opt.value();
+  Result<Advice> advice = AdviseDeclustering(
+      trace.value().grid, static_cast<uint32_t>(disks.value()),
+      trace.value().workload, opts);
+  if (!advice.ok()) return Fail(advice.status().ToString());
+
+  Table t({"Method", "Train RT", "Test RT", "Test RT/opt", "Test % optimal"});
+  for (const MethodScore& s : advice.value().scores) {
+    t.AddRow({s.name, Table::Fmt(s.train_mean_response, 4),
+              Table::Fmt(s.test_mean_response, 4),
+              Table::Fmt(s.test_mean_ratio, 4),
+              Table::Fmt(s.test_fraction_optimal * 100, 1)});
+  }
+  t.PrintText(std::cout);
+  std::cout << "\nrecommended: " << advice.value().recommended << "\n";
+  return 0;
+}
+
+int CmdExport(const Flags& flags) {
+  Result<GridSpec> grid = GridFromFlags(flags);
+  if (!grid.ok()) return Fail(grid.status().ToString());
+  const auto disks = flags.GetInt("disks", 16);
+  if (!disks.ok() || disks.value() < 1) return Fail("bad --disks");
+  Result<std::unique_ptr<DeclusteringMethod>> method = CreateMethod(
+      flags.GetString("method", "hcam"), grid.value(),
+      static_cast<uint32_t>(disks.value()));
+  if (!method.ok()) return Fail(method.status().ToString());
+  const Status st = SerializeAllocation(*method.value(), std::cout);
+  if (!st.ok()) return Fail(st.ToString());
+  return 0;
+}
+
+int CmdShow(const Flags& flags) {
+  Result<GridSpec> grid = GridFromFlags(flags);
+  if (!grid.ok()) return Fail(grid.status().ToString());
+  if (grid.value().num_dims() != 2) {
+    return Fail("show renders 2-d grids only");
+  }
+  const auto disks = flags.GetInt("disks", 16);
+  if (!disks.ok() || disks.value() < 1) return Fail("bad --disks");
+  Result<std::unique_ptr<DeclusteringMethod>> method = CreateMethod(
+      flags.GetString("method", "hcam"), grid.value(),
+      static_cast<uint32_t>(disks.value()));
+  if (!method.ok()) return Fail(method.status().ToString());
+  // Disk ids rendered base-36 so up to 36 disks stay one column wide.
+  static const char kDigits[] = "0123456789abcdefghijklmnopqrstuvwxyz";
+  std::cout << method.value()->name() << " on " << grid.value().ToString()
+            << ", M=" << disks.value() << "\n";
+  for (uint32_t i = 0; i < grid.value().dim(0); ++i) {
+    for (uint32_t j = 0; j < grid.value().dim(1); ++j) {
+      const uint32_t d = method.value()->DiskOf({i, j});
+      std::cout << (d < 36 ? kDigits[d] : '?') << ' ';
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int CmdOptimize(const Flags& flags) {
+  const std::string path = flags.GetString("trace", "");
+  if (path.empty()) return Fail("--trace FILE is required");
+  std::ifstream in(path);
+  if (!in.good()) return Fail("cannot open trace file '" + path + "'");
+  Result<WorkloadTrace> trace = DeserializeWorkload(in);
+  if (!trace.ok()) return Fail(trace.status().ToString());
+  const auto disks = flags.GetInt("disks", 16);
+  const auto passes = flags.GetInt("passes", 8);
+  if (!disks.ok() || !passes.ok() || disks.value() < 1 || passes.value() < 1) {
+    return Fail("bad numeric flag");
+  }
+  Result<std::unique_ptr<DeclusteringMethod>> seed = CreateMethod(
+      flags.GetString("seed-method", "hcam"), trace.value().grid,
+      static_cast<uint32_t>(disks.value()));
+  if (!seed.ok()) return Fail(seed.status().ToString());
+
+  WorkloadOptimizeOptions opts;
+  opts.max_passes = static_cast<uint32_t>(passes.value());
+  WorkloadOptimizeStats stats;
+  Result<std::unique_ptr<DeclusteringMethod>> optimized =
+      OptimizeForWorkload(*seed.value(), trace.value().workload, opts,
+                          &stats);
+  if (!optimized.ok()) return Fail(optimized.status().ToString());
+  std::cerr << "optimize: cost " << stats.initial_cost << " -> "
+            << stats.final_cost << " (" << stats.moves_applied
+            << " moves, " << stats.passes << " passes)\n";
+  const Status st = SerializeAllocation(*optimized.value(), std::cout);
+  if (!st.ok()) return Fail(st.ToString());
+  return 0;
+}
+
+int CmdThroughput(const Flags& flags) {
+  const std::string path = flags.GetString("trace", "");
+  if (path.empty()) return Fail("--trace FILE is required");
+  std::ifstream in(path);
+  if (!in.good()) return Fail("cannot open trace file '" + path + "'");
+  Result<WorkloadTrace> trace = DeserializeWorkload(in);
+  if (!trace.ok()) return Fail(trace.status().ToString());
+  const auto disks = flags.GetInt("disks", 16);
+  const auto mpl = flags.GetInt("mpl", 4);
+  if (!disks.ok() || !mpl.ok() || disks.value() < 1 || mpl.value() < 1) {
+    return Fail("bad numeric flag");
+  }
+  Result<std::unique_ptr<DeclusteringMethod>> method = CreateMethod(
+      flags.GetString("method", "hcam"), trace.value().grid,
+      static_cast<uint32_t>(disks.value()));
+  if (!method.ok()) return Fail(method.status().ToString());
+  ThroughputOptions opts;
+  opts.concurrency = static_cast<uint32_t>(mpl.value());
+  Result<ThroughputResult> r =
+      SimulateThroughput(*method.value(), trace.value().workload, opts);
+  if (!r.ok()) return Fail(r.status().ToString());
+  std::cout << "method " << method.value()->name() << ", MPL "
+            << mpl.value() << ", " << r.value().num_queries << " queries\n"
+            << "total:        " << Table::Fmt(r.value().total_ms, 1)
+            << " ms\n"
+            << "throughput:   " << Table::Fmt(r.value().ThroughputQps(), 2)
+            << " queries/s\n"
+            << "mean latency: " << Table::Fmt(r.value().mean_latency_ms, 2)
+            << " ms (max " << Table::Fmt(r.value().max_latency_ms, 1)
+            << ")\n"
+            << "disk util:    "
+            << Table::Fmt(r.value().MeanDiskUtilization(), 3) << "\n";
+  return 0;
+}
+
+int CmdReproduce(const Flags& flags) {
+  ReproductionOptions opts;
+  const auto placements = flags.GetInt("placements", 1024);
+  const auto seed = flags.GetInt("seed", 42);
+  const auto theory = flags.GetBool("theory", true);
+  if (!placements.ok() || !seed.ok() || !theory.ok() ||
+      placements.value() < 1) {
+    return Fail("bad flag");
+  }
+  opts.max_placements = static_cast<size_t>(placements.value());
+  opts.seed = static_cast<uint64_t>(seed.value());
+  opts.include_theory = theory.value();
+  const Status st = RunPaperReproduction(std::cout, opts);
+  if (!st.ok()) return Fail(st.ToString());
+  return 0;
+}
+
+int CmdSearch(const Flags& flags) {
+  const auto disks = flags.GetInt("disks", 6);
+  const auto rows = flags.GetInt("rows", 8);
+  const auto cols = flags.GetInt("cols", 8);
+  const auto max_nodes = flags.GetInt("max-nodes", 20'000'000);
+  if (!disks.ok() || !rows.ok() || !cols.ok() || !max_nodes.ok() ||
+      disks.value() < 1 || rows.value() < 1 || cols.value() < 1) {
+    return Fail("bad numeric flag");
+  }
+  StrictOptimalitySearchOptions opts;
+  opts.max_nodes = static_cast<uint64_t>(max_nodes.value());
+  Result<StrictOptimalitySearchResult> r = FindStrictlyOptimalAllocation(
+      static_cast<uint32_t>(rows.value()), static_cast<uint32_t>(cols.value()),
+      static_cast<uint32_t>(disks.value()), opts);
+  if (!r.ok()) return Fail(r.status().ToString());
+  switch (r.value().outcome) {
+    case SearchOutcome::kFound:
+      std::cout << "strictly optimal allocation found ("
+                << r.value().nodes_explored << " nodes):\n";
+      for (int64_t i = 0; i < rows.value(); ++i) {
+        for (int64_t j = 0; j < cols.value(); ++j) {
+          std::cout << r.value().allocation[static_cast<size_t>(
+                           i * cols.value() + j)]
+                    << " ";
+        }
+        std::cout << "\n";
+      }
+      return 0;
+    case SearchOutcome::kInfeasible:
+      std::cout << "no strictly optimal allocation exists for "
+                << rows.value() << "x" << cols.value() << " on "
+                << disks.value() << " disks (exhaustive, "
+                << r.value().nodes_explored << " nodes)\n";
+      return 0;
+    case SearchOutcome::kBudgetExhausted:
+      std::cout << "undecided: node budget exhausted\n";
+      return 0;
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Result<Flags> flags = Flags::Parse(argc - 1, argv + 1);
+  if (!flags.ok()) return Fail(flags.status().ToString());
+
+  if (command == "methods") return CmdMethods();
+  if (command == "eval") return CmdEval(flags.value());
+  if (command == "compare") return CmdCompare(flags.value());
+  if (command == "sweep-size") return CmdSweepSize(flags.value());
+  if (command == "gen-trace") return CmdGenTrace(flags.value());
+  if (command == "advise") return CmdAdvise(flags.value());
+  if (command == "show") return CmdShow(flags.value());
+  if (command == "export") return CmdExport(flags.value());
+  if (command == "optimize") return CmdOptimize(flags.value());
+  if (command == "throughput") return CmdThroughput(flags.value());
+  if (command == "reproduce") return CmdReproduce(flags.value());
+  if (command == "search") return CmdSearch(flags.value());
+  return Usage();
+}
+
+}  // namespace
+}  // namespace griddecl
+
+int main(int argc, char** argv) { return griddecl::Main(argc, argv); }
