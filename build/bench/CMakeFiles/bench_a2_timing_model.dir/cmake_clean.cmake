@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_timing_model.dir/bench_a2_timing_model.cc.o"
+  "CMakeFiles/bench_a2_timing_model.dir/bench_a2_timing_model.cc.o.d"
+  "bench_a2_timing_model"
+  "bench_a2_timing_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_timing_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

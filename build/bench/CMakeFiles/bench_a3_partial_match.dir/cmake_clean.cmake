@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_partial_match.dir/bench_a3_partial_match.cc.o"
+  "CMakeFiles/bench_a3_partial_match.dir/bench_a3_partial_match.cc.o.d"
+  "bench_a3_partial_match"
+  "bench_a3_partial_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_partial_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_workload_opt.dir/bench_a4_workload_opt.cc.o"
+  "CMakeFiles/bench_a4_workload_opt.dir/bench_a4_workload_opt.cc.o.d"
+  "bench_a4_workload_opt"
+  "bench_a4_workload_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_workload_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

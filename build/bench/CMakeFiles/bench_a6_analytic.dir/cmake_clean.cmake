@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a6_analytic.dir/bench_a6_analytic.cc.o"
+  "CMakeFiles/bench_a6_analytic.dir/bench_a6_analytic.cc.o.d"
+  "bench_a6_analytic"
+  "bench_a6_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a6_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

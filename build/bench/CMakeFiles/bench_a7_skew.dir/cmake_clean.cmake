@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a7_skew.dir/bench_a7_skew.cc.o"
+  "CMakeFiles/bench_a7_skew.dir/bench_a7_skew.cc.o.d"
+  "bench_a7_skew"
+  "bench_a7_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a7_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a9_worst_case.dir/bench_a9_worst_case.cc.o"
+  "CMakeFiles/bench_a9_worst_case.dir/bench_a9_worst_case.cc.o.d"
+  "bench_a9_worst_case"
+  "bench_a9_worst_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a9_worst_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

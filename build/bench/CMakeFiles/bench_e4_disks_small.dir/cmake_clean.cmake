@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_disks_small.dir/bench_e4_disks_small.cc.o"
+  "CMakeFiles/bench_e4_disks_small.dir/bench_e4_disks_small.cc.o.d"
+  "bench_e4_disks_small"
+  "bench_e4_disks_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_disks_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e4_disks_small.
+# This may be replaced when dependencies are built.

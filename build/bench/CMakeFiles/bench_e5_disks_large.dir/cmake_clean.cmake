@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_disks_large.dir/bench_e5_disks_large.cc.o"
+  "CMakeFiles/bench_e5_disks_large.dir/bench_e5_disks_large.cc.o.d"
+  "bench_e5_disks_large"
+  "bench_e5_disks_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_disks_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_table1_conditions.dir/bench_e7_table1_conditions.cc.o"
+  "CMakeFiles/bench_e7_table1_conditions.dir/bench_e7_table1_conditions.cc.o.d"
+  "bench_e7_table1_conditions"
+  "bench_e7_table1_conditions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_table1_conditions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

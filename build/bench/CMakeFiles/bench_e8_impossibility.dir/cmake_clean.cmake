@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_impossibility.dir/bench_e8_impossibility.cc.o"
+  "CMakeFiles/bench_e8_impossibility.dir/bench_e8_impossibility.cc.o.d"
+  "bench_e8_impossibility"
+  "bench_e8_impossibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_impossibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

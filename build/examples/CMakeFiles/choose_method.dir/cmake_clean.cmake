@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choose_method.dir/choose_method.cc.o"
+  "CMakeFiles/choose_method.dir/choose_method.cc.o.d"
+  "choose_method"
+  "choose_method.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choose_method.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

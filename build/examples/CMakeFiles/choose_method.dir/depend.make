@@ -1,0 +1,2 @@
+# Empty dependencies file for choose_method.
+# This may be replaced when dependencies are built.

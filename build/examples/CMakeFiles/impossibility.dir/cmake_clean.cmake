@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impossibility.dir/impossibility.cc.o"
+  "CMakeFiles/impossibility.dir/impossibility.cc.o.d"
+  "impossibility"
+  "impossibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impossibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

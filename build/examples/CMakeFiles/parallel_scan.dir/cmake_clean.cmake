@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_scan.dir/parallel_scan.cc.o"
+  "CMakeFiles/parallel_scan.dir/parallel_scan.cc.o.d"
+  "parallel_scan"
+  "parallel_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

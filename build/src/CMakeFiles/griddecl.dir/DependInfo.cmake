@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/griddecl/coding/gf2.cc" "src/CMakeFiles/griddecl.dir/griddecl/coding/gf2.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/coding/gf2.cc.o.d"
+  "/root/repo/src/griddecl/coding/parity_check.cc" "src/CMakeFiles/griddecl.dir/griddecl/coding/parity_check.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/coding/parity_check.cc.o.d"
+  "/root/repo/src/griddecl/common/flags.cc" "src/CMakeFiles/griddecl.dir/griddecl/common/flags.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/common/flags.cc.o.d"
+  "/root/repo/src/griddecl/common/maxflow.cc" "src/CMakeFiles/griddecl.dir/griddecl/common/maxflow.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/common/maxflow.cc.o.d"
+  "/root/repo/src/griddecl/common/random.cc" "src/CMakeFiles/griddecl.dir/griddecl/common/random.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/common/random.cc.o.d"
+  "/root/repo/src/griddecl/common/stats.cc" "src/CMakeFiles/griddecl.dir/griddecl/common/stats.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/common/stats.cc.o.d"
+  "/root/repo/src/griddecl/common/status.cc" "src/CMakeFiles/griddecl.dir/griddecl/common/status.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/common/status.cc.o.d"
+  "/root/repo/src/griddecl/common/table.cc" "src/CMakeFiles/griddecl.dir/griddecl/common/table.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/common/table.cc.o.d"
+  "/root/repo/src/griddecl/curve/hilbert.cc" "src/CMakeFiles/griddecl.dir/griddecl/curve/hilbert.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/curve/hilbert.cc.o.d"
+  "/root/repo/src/griddecl/curve/morton.cc" "src/CMakeFiles/griddecl.dir/griddecl/curve/morton.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/curve/morton.cc.o.d"
+  "/root/repo/src/griddecl/eval/advisor.cc" "src/CMakeFiles/griddecl.dir/griddecl/eval/advisor.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/eval/advisor.cc.o.d"
+  "/root/repo/src/griddecl/eval/analytic.cc" "src/CMakeFiles/griddecl.dir/griddecl/eval/analytic.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/eval/analytic.cc.o.d"
+  "/root/repo/src/griddecl/eval/evaluator.cc" "src/CMakeFiles/griddecl.dir/griddecl/eval/evaluator.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/eval/evaluator.cc.o.d"
+  "/root/repo/src/griddecl/eval/experiment.cc" "src/CMakeFiles/griddecl.dir/griddecl/eval/experiment.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/eval/experiment.cc.o.d"
+  "/root/repo/src/griddecl/eval/metrics.cc" "src/CMakeFiles/griddecl.dir/griddecl/eval/metrics.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/eval/metrics.cc.o.d"
+  "/root/repo/src/griddecl/eval/parallel.cc" "src/CMakeFiles/griddecl.dir/griddecl/eval/parallel.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/eval/parallel.cc.o.d"
+  "/root/repo/src/griddecl/eval/replica_router.cc" "src/CMakeFiles/griddecl.dir/griddecl/eval/replica_router.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/eval/replica_router.cc.o.d"
+  "/root/repo/src/griddecl/eval/reproduction.cc" "src/CMakeFiles/griddecl.dir/griddecl/eval/reproduction.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/eval/reproduction.cc.o.d"
+  "/root/repo/src/griddecl/eval/what_if.cc" "src/CMakeFiles/griddecl.dir/griddecl/eval/what_if.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/eval/what_if.cc.o.d"
+  "/root/repo/src/griddecl/grid/grid_spec.cc" "src/CMakeFiles/griddecl.dir/griddecl/grid/grid_spec.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/grid/grid_spec.cc.o.d"
+  "/root/repo/src/griddecl/grid/partitioner.cc" "src/CMakeFiles/griddecl.dir/griddecl/grid/partitioner.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/grid/partitioner.cc.o.d"
+  "/root/repo/src/griddecl/grid/rect.cc" "src/CMakeFiles/griddecl.dir/griddecl/grid/rect.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/grid/rect.cc.o.d"
+  "/root/repo/src/griddecl/gridfile/adaptive_grid_file.cc" "src/CMakeFiles/griddecl.dir/griddecl/gridfile/adaptive_grid_file.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/gridfile/adaptive_grid_file.cc.o.d"
+  "/root/repo/src/griddecl/gridfile/catalog.cc" "src/CMakeFiles/griddecl.dir/griddecl/gridfile/catalog.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/gridfile/catalog.cc.o.d"
+  "/root/repo/src/griddecl/gridfile/declustered_file.cc" "src/CMakeFiles/griddecl.dir/griddecl/gridfile/declustered_file.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/gridfile/declustered_file.cc.o.d"
+  "/root/repo/src/griddecl/gridfile/grid_file.cc" "src/CMakeFiles/griddecl.dir/griddecl/gridfile/grid_file.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/gridfile/grid_file.cc.o.d"
+  "/root/repo/src/griddecl/gridfile/replicated_file.cc" "src/CMakeFiles/griddecl.dir/griddecl/gridfile/replicated_file.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/gridfile/replicated_file.cc.o.d"
+  "/root/repo/src/griddecl/gridfile/storage.cc" "src/CMakeFiles/griddecl.dir/griddecl/gridfile/storage.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/gridfile/storage.cc.o.d"
+  "/root/repo/src/griddecl/methods/dm.cc" "src/CMakeFiles/griddecl.dir/griddecl/methods/dm.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/methods/dm.cc.o.d"
+  "/root/repo/src/griddecl/methods/ecc.cc" "src/CMakeFiles/griddecl.dir/griddecl/methods/ecc.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/methods/ecc.cc.o.d"
+  "/root/repo/src/griddecl/methods/fx.cc" "src/CMakeFiles/griddecl.dir/griddecl/methods/fx.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/methods/fx.cc.o.d"
+  "/root/repo/src/griddecl/methods/hcam.cc" "src/CMakeFiles/griddecl.dir/griddecl/methods/hcam.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/methods/hcam.cc.o.d"
+  "/root/repo/src/griddecl/methods/lattice.cc" "src/CMakeFiles/griddecl.dir/griddecl/methods/lattice.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/methods/lattice.cc.o.d"
+  "/root/repo/src/griddecl/methods/method.cc" "src/CMakeFiles/griddecl.dir/griddecl/methods/method.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/methods/method.cc.o.d"
+  "/root/repo/src/griddecl/methods/registry.cc" "src/CMakeFiles/griddecl.dir/griddecl/methods/registry.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/methods/registry.cc.o.d"
+  "/root/repo/src/griddecl/methods/replicated.cc" "src/CMakeFiles/griddecl.dir/griddecl/methods/replicated.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/methods/replicated.cc.o.d"
+  "/root/repo/src/griddecl/methods/simple.cc" "src/CMakeFiles/griddecl.dir/griddecl/methods/simple.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/methods/simple.cc.o.d"
+  "/root/repo/src/griddecl/methods/table_method.cc" "src/CMakeFiles/griddecl.dir/griddecl/methods/table_method.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/methods/table_method.cc.o.d"
+  "/root/repo/src/griddecl/methods/workload_opt.cc" "src/CMakeFiles/griddecl.dir/griddecl/methods/workload_opt.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/methods/workload_opt.cc.o.d"
+  "/root/repo/src/griddecl/query/distributions.cc" "src/CMakeFiles/griddecl.dir/griddecl/query/distributions.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/query/distributions.cc.o.d"
+  "/root/repo/src/griddecl/query/generator.cc" "src/CMakeFiles/griddecl.dir/griddecl/query/generator.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/query/generator.cc.o.d"
+  "/root/repo/src/griddecl/query/query.cc" "src/CMakeFiles/griddecl.dir/griddecl/query/query.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/query/query.cc.o.d"
+  "/root/repo/src/griddecl/query/trace.cc" "src/CMakeFiles/griddecl.dir/griddecl/query/trace.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/query/trace.cc.o.d"
+  "/root/repo/src/griddecl/query/workload.cc" "src/CMakeFiles/griddecl.dir/griddecl/query/workload.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/query/workload.cc.o.d"
+  "/root/repo/src/griddecl/sim/event_sim.cc" "src/CMakeFiles/griddecl.dir/griddecl/sim/event_sim.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/sim/event_sim.cc.o.d"
+  "/root/repo/src/griddecl/sim/io_sim.cc" "src/CMakeFiles/griddecl.dir/griddecl/sim/io_sim.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/sim/io_sim.cc.o.d"
+  "/root/repo/src/griddecl/sim/throughput.cc" "src/CMakeFiles/griddecl.dir/griddecl/sim/throughput.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/sim/throughput.cc.o.d"
+  "/root/repo/src/griddecl/theory/kd_strict_optimality.cc" "src/CMakeFiles/griddecl.dir/griddecl/theory/kd_strict_optimality.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/theory/kd_strict_optimality.cc.o.d"
+  "/root/repo/src/griddecl/theory/partial_match_optimality.cc" "src/CMakeFiles/griddecl.dir/griddecl/theory/partial_match_optimality.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/theory/partial_match_optimality.cc.o.d"
+  "/root/repo/src/griddecl/theory/strict_optimality.cc" "src/CMakeFiles/griddecl.dir/griddecl/theory/strict_optimality.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/theory/strict_optimality.cc.o.d"
+  "/root/repo/src/griddecl/theory/worst_case.cc" "src/CMakeFiles/griddecl.dir/griddecl/theory/worst_case.cc.o" "gcc" "src/CMakeFiles/griddecl.dir/griddecl/theory/worst_case.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/adaptive_grid_file_test.cc" "tests/CMakeFiles/griddecl_tests.dir/adaptive_grid_file_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/adaptive_grid_file_test.cc.o.d"
+  "/root/repo/tests/advisor_test.cc" "tests/CMakeFiles/griddecl_tests.dir/advisor_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/advisor_test.cc.o.d"
+  "/root/repo/tests/analytic_test.cc" "tests/CMakeFiles/griddecl_tests.dir/analytic_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/analytic_test.cc.o.d"
+  "/root/repo/tests/bit_util_test.cc" "tests/CMakeFiles/griddecl_tests.dir/bit_util_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/bit_util_test.cc.o.d"
+  "/root/repo/tests/catalog_test.cc" "tests/CMakeFiles/griddecl_tests.dir/catalog_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/catalog_test.cc.o.d"
+  "/root/repo/tests/declustered_file_test.cc" "tests/CMakeFiles/griddecl_tests.dir/declustered_file_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/declustered_file_test.cc.o.d"
+  "/root/repo/tests/distributions_test.cc" "tests/CMakeFiles/griddecl_tests.dir/distributions_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/distributions_test.cc.o.d"
+  "/root/repo/tests/edge_cases_test.cc" "tests/CMakeFiles/griddecl_tests.dir/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/edge_cases_test.cc.o.d"
+  "/root/repo/tests/evaluator_test.cc" "tests/CMakeFiles/griddecl_tests.dir/evaluator_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/evaluator_test.cc.o.d"
+  "/root/repo/tests/event_sim_test.cc" "tests/CMakeFiles/griddecl_tests.dir/event_sim_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/event_sim_test.cc.o.d"
+  "/root/repo/tests/experiment_test.cc" "tests/CMakeFiles/griddecl_tests.dir/experiment_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/experiment_test.cc.o.d"
+  "/root/repo/tests/flags_test.cc" "tests/CMakeFiles/griddecl_tests.dir/flags_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/flags_test.cc.o.d"
+  "/root/repo/tests/format_fuzz_test.cc" "tests/CMakeFiles/griddecl_tests.dir/format_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/format_fuzz_test.cc.o.d"
+  "/root/repo/tests/generator_test.cc" "tests/CMakeFiles/griddecl_tests.dir/generator_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/generator_test.cc.o.d"
+  "/root/repo/tests/gf2_test.cc" "tests/CMakeFiles/griddecl_tests.dir/gf2_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/gf2_test.cc.o.d"
+  "/root/repo/tests/grid_file_test.cc" "tests/CMakeFiles/griddecl_tests.dir/grid_file_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/grid_file_test.cc.o.d"
+  "/root/repo/tests/grid_spec_test.cc" "tests/CMakeFiles/griddecl_tests.dir/grid_spec_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/grid_spec_test.cc.o.d"
+  "/root/repo/tests/hilbert_test.cc" "tests/CMakeFiles/griddecl_tests.dir/hilbert_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/hilbert_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/griddecl_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/io_sim_test.cc" "tests/CMakeFiles/griddecl_tests.dir/io_sim_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/io_sim_test.cc.o.d"
+  "/root/repo/tests/kd_strict_optimality_test.cc" "tests/CMakeFiles/griddecl_tests.dir/kd_strict_optimality_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/kd_strict_optimality_test.cc.o.d"
+  "/root/repo/tests/lattice_test.cc" "tests/CMakeFiles/griddecl_tests.dir/lattice_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/lattice_test.cc.o.d"
+  "/root/repo/tests/math_util_test.cc" "tests/CMakeFiles/griddecl_tests.dir/math_util_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/math_util_test.cc.o.d"
+  "/root/repo/tests/maxflow_test.cc" "tests/CMakeFiles/griddecl_tests.dir/maxflow_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/maxflow_test.cc.o.d"
+  "/root/repo/tests/method_dm_test.cc" "tests/CMakeFiles/griddecl_tests.dir/method_dm_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/method_dm_test.cc.o.d"
+  "/root/repo/tests/method_ecc_test.cc" "tests/CMakeFiles/griddecl_tests.dir/method_ecc_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/method_ecc_test.cc.o.d"
+  "/root/repo/tests/method_fx_test.cc" "tests/CMakeFiles/griddecl_tests.dir/method_fx_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/method_fx_test.cc.o.d"
+  "/root/repo/tests/method_hcam_test.cc" "tests/CMakeFiles/griddecl_tests.dir/method_hcam_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/method_hcam_test.cc.o.d"
+  "/root/repo/tests/method_properties_test.cc" "tests/CMakeFiles/griddecl_tests.dir/method_properties_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/method_properties_test.cc.o.d"
+  "/root/repo/tests/method_simple_test.cc" "tests/CMakeFiles/griddecl_tests.dir/method_simple_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/method_simple_test.cc.o.d"
+  "/root/repo/tests/metrics_test.cc" "tests/CMakeFiles/griddecl_tests.dir/metrics_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/metrics_test.cc.o.d"
+  "/root/repo/tests/morton_test.cc" "tests/CMakeFiles/griddecl_tests.dir/morton_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/morton_test.cc.o.d"
+  "/root/repo/tests/paper_claims_test.cc" "tests/CMakeFiles/griddecl_tests.dir/paper_claims_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/paper_claims_test.cc.o.d"
+  "/root/repo/tests/parallel_eval_test.cc" "tests/CMakeFiles/griddecl_tests.dir/parallel_eval_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/parallel_eval_test.cc.o.d"
+  "/root/repo/tests/parity_check_test.cc" "tests/CMakeFiles/griddecl_tests.dir/parity_check_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/parity_check_test.cc.o.d"
+  "/root/repo/tests/partial_match_optimality_test.cc" "tests/CMakeFiles/griddecl_tests.dir/partial_match_optimality_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/partial_match_optimality_test.cc.o.d"
+  "/root/repo/tests/partitioner_test.cc" "tests/CMakeFiles/griddecl_tests.dir/partitioner_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/partitioner_test.cc.o.d"
+  "/root/repo/tests/query_test.cc" "tests/CMakeFiles/griddecl_tests.dir/query_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/query_test.cc.o.d"
+  "/root/repo/tests/random_test.cc" "tests/CMakeFiles/griddecl_tests.dir/random_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/random_test.cc.o.d"
+  "/root/repo/tests/rect_test.cc" "tests/CMakeFiles/griddecl_tests.dir/rect_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/rect_test.cc.o.d"
+  "/root/repo/tests/registry_test.cc" "tests/CMakeFiles/griddecl_tests.dir/registry_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/registry_test.cc.o.d"
+  "/root/repo/tests/replicated_file_test.cc" "tests/CMakeFiles/griddecl_tests.dir/replicated_file_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/replicated_file_test.cc.o.d"
+  "/root/repo/tests/replicated_test.cc" "tests/CMakeFiles/griddecl_tests.dir/replicated_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/replicated_test.cc.o.d"
+  "/root/repo/tests/reproduction_test.cc" "tests/CMakeFiles/griddecl_tests.dir/reproduction_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/reproduction_test.cc.o.d"
+  "/root/repo/tests/response_properties_test.cc" "tests/CMakeFiles/griddecl_tests.dir/response_properties_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/response_properties_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/griddecl_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/griddecl_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/griddecl_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/strict_optimality_test.cc" "tests/CMakeFiles/griddecl_tests.dir/strict_optimality_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/strict_optimality_test.cc.o.d"
+  "/root/repo/tests/table_method_test.cc" "tests/CMakeFiles/griddecl_tests.dir/table_method_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/table_method_test.cc.o.d"
+  "/root/repo/tests/table_test.cc" "tests/CMakeFiles/griddecl_tests.dir/table_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/table_test.cc.o.d"
+  "/root/repo/tests/throughput_test.cc" "tests/CMakeFiles/griddecl_tests.dir/throughput_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/throughput_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/griddecl_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/trace_test.cc.o.d"
+  "/root/repo/tests/what_if_test.cc" "tests/CMakeFiles/griddecl_tests.dir/what_if_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/what_if_test.cc.o.d"
+  "/root/repo/tests/workload_opt_test.cc" "tests/CMakeFiles/griddecl_tests.dir/workload_opt_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/workload_opt_test.cc.o.d"
+  "/root/repo/tests/worst_case_test.cc" "tests/CMakeFiles/griddecl_tests.dir/worst_case_test.cc.o" "gcc" "tests/CMakeFiles/griddecl_tests.dir/worst_case_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/griddecl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

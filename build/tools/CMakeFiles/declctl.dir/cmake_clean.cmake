@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/declctl.dir/declctl.cc.o"
+  "CMakeFiles/declctl.dir/declctl.cc.o.d"
+  "declctl"
+  "declctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/declctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

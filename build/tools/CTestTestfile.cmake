@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(declctl_methods "/root/repo/build/tools/declctl" "methods")
+set_tests_properties(declctl_methods PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;4;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(declctl_compare "/root/repo/build/tools/declctl" "compare" "--grid" "16x16" "--disks" "8" "--shape" "3x3" "--placements" "64")
+set_tests_properties(declctl_compare PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(declctl_search "/root/repo/build/tools/declctl" "search" "--disks" "6" "--rows" "7" "--cols" "7")
+set_tests_properties(declctl_search PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(declctl_show "/root/repo/build/tools/declctl" "show" "--grid" "8x8" "--disks" "4" "--method" "hcam")
+set_tests_properties(declctl_show PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(declctl_reproduce "/root/repo/build/tools/declctl" "reproduce" "--placements" "64" "--theory" "false")
+set_tests_properties(declctl_reproduce PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
