@@ -1,0 +1,142 @@
+/// Ablation A10 (ours): what does materializing the declustering buy? The
+/// paper's experiments re-evaluate the allocation formula for every bucket
+/// of every query; the batched engine instead builds one dense `DiskMap`
+/// per method per run and scans contiguous rows. This bench pins down the
+/// speedup on the paper's standard configuration (64x64 grid, M = 16,
+/// HCAM, all placements of an 8x8 query) and records it as a benchmark
+/// counter so the JSON output carries the acceptance number.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "bench_util.h"
+#include "griddecl/eval/disk_map.h"
+
+namespace griddecl {
+namespace {
+
+constexpr uint32_t kDisks = 16;
+
+GridSpec Grid() { return GridSpec::Create({64, 64}).value(); }
+
+Workload MakeWorkload(const GridSpec& grid) {
+  QueryGenerator gen(grid);
+  return gen.AllPlacements({8, 8}, "8x8/all").value();
+}
+
+void PrintExperiment() {
+  const GridSpec grid = Grid();
+  const auto hcam = CreateMethod("hcam", grid, kDisks).value();
+  const Workload w = MakeWorkload(grid);
+
+  EvalOptions virtual_opts;
+  virtual_opts.use_disk_map = false;
+  const Evaluator virtual_ev(*hcam, virtual_opts);
+  const Evaluator mapped_ev(*hcam);
+
+  using Clock = std::chrono::steady_clock;
+  // One warm-up pass each, then a timed pass: enough for a stable headline
+  // ratio (the per-iteration benchmarks below do the rigorous timing).
+  (void)virtual_ev.EvaluateWorkload(w);
+  const auto t0 = Clock::now();
+  const WorkloadEval ve = virtual_ev.EvaluateWorkload(w);
+  const auto t1 = Clock::now();
+  (void)mapped_ev.EvaluateWorkload(w);
+  const auto t2 = Clock::now();
+  const WorkloadEval me = mapped_ev.EvaluateWorkload(w);
+  const auto t3 = Clock::now();
+
+  const double virtual_s = std::chrono::duration<double>(t1 - t0).count();
+  const double mapped_s = std::chrono::duration<double>(t3 - t2).count();
+  Table t({"Path", "Queries", "meanRT", "Seconds", "Speedup"});
+  t.AddRow({"virtual DiskOf", std::to_string(ve.num_queries),
+            Table::Fmt(ve.MeanResponse(), 3), Table::Fmt(virtual_s, 5), "1.0"});
+  t.AddRow({"DiskMap", std::to_string(me.num_queries),
+            Table::Fmt(me.MeanResponse(), 3), Table::Fmt(mapped_s, 5),
+            Table::Fmt(virtual_s / mapped_s, 1)});
+  bench::PrintTable("A10: workload evaluation path (64x64, M=16, HCAM, 8x8)",
+                    t);
+}
+
+/// Baseline: per-bucket virtual dispatch, exactly the seed engine's path.
+void BM_WorkloadEval_VirtualPath(benchmark::State& state) {
+  const GridSpec grid = Grid();
+  const auto hcam = CreateMethod("hcam", grid, kDisks).value();
+  const Workload w = MakeWorkload(grid);
+  EvalOptions opts;
+  opts.use_disk_map = false;
+  const Evaluator ev(*hcam, opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ev.EvaluateWorkload(w).MeanResponse());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(w.TotalBuckets()));
+}
+BENCHMARK(BM_WorkloadEval_VirtualPath);
+
+/// Batched engine: one DiskMap built at Evaluator construction (outside the
+/// timed loop, as in a real run), contiguous row scans per query.
+void BM_WorkloadEval_DiskMap(benchmark::State& state) {
+  const GridSpec grid = Grid();
+  const auto hcam = CreateMethod("hcam", grid, kDisks).value();
+  const Workload w = MakeWorkload(grid);
+  const Evaluator ev(*hcam);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ev.EvaluateWorkload(w).MeanResponse());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(w.TotalBuckets()));
+}
+BENCHMARK(BM_WorkloadEval_DiskMap);
+
+/// Head-to-head measurement inside one benchmark so the JSON output records
+/// the ratio directly: counters `virtual_ms`, `diskmap_ms`, and `speedup`
+/// (the acceptance criterion is speedup >= 5 on this configuration).
+void BM_DiskMapSpeedup(benchmark::State& state) {
+  const GridSpec grid = Grid();
+  const auto hcam = CreateMethod("hcam", grid, kDisks).value();
+  const Workload w = MakeWorkload(grid);
+  EvalOptions virtual_opts;
+  virtual_opts.use_disk_map = false;
+  const Evaluator virtual_ev(*hcam, virtual_opts);
+  const Evaluator mapped_ev(*hcam);
+  using Clock = std::chrono::steady_clock;
+  double virtual_s = 0.0;
+  double mapped_s = 0.0;
+  for (auto _ : state) {
+    const auto t0 = Clock::now();
+    benchmark::DoNotOptimize(virtual_ev.EvaluateWorkload(w).MeanResponse());
+    const auto t1 = Clock::now();
+    benchmark::DoNotOptimize(mapped_ev.EvaluateWorkload(w).MeanResponse());
+    const auto t2 = Clock::now();
+    virtual_s += std::chrono::duration<double>(t1 - t0).count();
+    mapped_s += std::chrono::duration<double>(t2 - t1).count();
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["virtual_ms"] = 1e3 * virtual_s / iters;
+  state.counters["diskmap_ms"] = 1e3 * mapped_s / iters;
+  state.counters["speedup"] = virtual_s / mapped_s;
+}
+BENCHMARK(BM_DiskMapSpeedup);
+
+/// Cost of building the map itself — the one-time price a run pays per
+/// method. Amortized over a sweep it is negligible next to evaluation.
+void BM_DiskMapBuild(benchmark::State& state) {
+  const GridSpec grid = Grid();
+  const auto hcam = CreateMethod("hcam", grid, kDisks).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DiskMap::Build(*hcam));
+  }
+}
+BENCHMARK(BM_DiskMapBuild);
+
+}  // namespace
+}  // namespace griddecl
+
+int main(int argc, char** argv) {
+  griddecl::PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -28,7 +28,7 @@ void PrintExperiment() {
     Table t({"Method", "MeanRT (buckets)", "MeanMakespan (ms)",
              "MeanSpeedup", "MeanUtil"});
     for (const auto& m : methods) {
-      const WorkloadEval e = Evaluator(m.get()).EvaluateWorkload(w);
+      const WorkloadEval e = Evaluator(*m).EvaluateWorkload(w);
       RunningStat makespan;
       RunningStat speedup;
       RunningStat util;

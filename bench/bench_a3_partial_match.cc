@@ -29,7 +29,7 @@ void PrintClassTable(const GridSpec& grid, uint32_t m) {
     dims += "}";
     std::vector<std::string> row = {dims, Table::Fmt(uint64_t{w.size()})};
     for (const auto& method : methods) {
-      const WorkloadEval e = Evaluator(method.get()).EvaluateWorkload(w);
+      const WorkloadEval e = Evaluator(*method).EvaluateWorkload(w);
       row.push_back(Table::Fmt(e.MeanRatio(), 4));
     }
     t.AddRow(std::move(row));
@@ -52,7 +52,7 @@ void BM_PartialMatchWorkload(benchmark::State& state) {
   const Workload w = gen.RandomPartialMatch(1, 256, &rng, "pm").value();
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        Evaluator(dm.get()).EvaluateWorkload(w).MeanRatio());
+        Evaluator(*dm).EvaluateWorkload(w).MeanRatio());
   }
 }
 BENCHMARK(BM_PartialMatchWorkload);

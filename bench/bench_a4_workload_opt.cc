@@ -25,8 +25,9 @@ void ReportWorkload(const std::string& title, const GridSpec& grid,
   const DeclusteringMethod* best_seed = nullptr;
   double best_cost = 1e300;
   for (const auto& m : methods) {
-    const WorkloadEval tr = Evaluator(m.get()).EvaluateWorkload(train);
-    const WorkloadEval te = Evaluator(m.get()).EvaluateWorkload(test);
+    const Evaluator ev(*m);
+    const WorkloadEval tr = ev.EvaluateWorkload(train);
+    const WorkloadEval te = ev.EvaluateWorkload(test);
     t.AddRow({m->name(), Table::Fmt(tr.MeanResponse(), 3),
               Table::Fmt(te.MeanResponse(), 3),
               Table::Fmt(te.MeanRatio(), 4)});
@@ -38,8 +39,9 @@ void ReportWorkload(const std::string& title, const GridSpec& grid,
   WorkloadOptimizeStats stats;
   const auto optimized =
       OptimizeForWorkload(*best_seed, train, {}, &stats).value();
-  const WorkloadEval tr = Evaluator(optimized.get()).EvaluateWorkload(train);
-  const WorkloadEval te = Evaluator(optimized.get()).EvaluateWorkload(test);
+  const Evaluator opt_ev(*optimized);
+  const WorkloadEval tr = opt_ev.EvaluateWorkload(train);
+  const WorkloadEval te = opt_ev.EvaluateWorkload(test);
   t.AddRow({optimized->name(), Table::Fmt(tr.MeanResponse(), 3),
             Table::Fmt(te.MeanResponse(), 3), Table::Fmt(te.MeanRatio(), 4)});
   bench::PrintTable(title, t);

@@ -45,7 +45,7 @@ void BM_EvaluateSizePoint(benchmark::State& state) {
   for (auto _ : state) {
     for (const auto& m : methods) {
       benchmark::DoNotOptimize(
-          Evaluator(m.get()).EvaluateWorkload(w).MeanResponse());
+          Evaluator(*m).EvaluateWorkload(w).MeanResponse());
     }
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *

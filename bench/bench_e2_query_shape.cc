@@ -48,7 +48,7 @@ void BM_EvaluateShapePoint(benchmark::State& state) {
   for (auto _ : state) {
     for (const auto& m : methods) {
       benchmark::DoNotOptimize(
-          Evaluator(m.get()).EvaluateWorkload(w).MeanResponse());
+          Evaluator(*m).EvaluateWorkload(w).MeanResponse());
     }
   }
 }

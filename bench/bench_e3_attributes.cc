@@ -72,7 +72,7 @@ void BM_Evaluate3D(benchmark::State& state) {
   for (auto _ : state) {
     for (const auto& m : methods) {
       benchmark::DoNotOptimize(
-          Evaluator(m.get()).EvaluateWorkload(w).MeanResponse());
+          Evaluator(*m).EvaluateWorkload(w).MeanResponse());
     }
   }
 }

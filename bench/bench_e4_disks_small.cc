@@ -42,7 +42,7 @@ void BM_DiskSweepPointSmall(benchmark::State& state) {
   for (auto _ : state) {
     for (const auto& method : methods) {
       benchmark::DoNotOptimize(
-          Evaluator(method.get()).EvaluateWorkload(w).MeanResponse());
+          Evaluator(*method).EvaluateWorkload(w).MeanResponse());
     }
   }
 }

@@ -49,7 +49,7 @@ void PrintExperiment() {
     SweepPoint p;
     p.x = static_cast<double>(grid.num_buckets());
     for (const auto& m : methods) {
-      const WorkloadEval e = Evaluator(m.get()).EvaluateWorkload(w);
+      const WorkloadEval e = Evaluator(*m).EvaluateWorkload(w);
       p.mean_response.push_back(e.MeanResponse());
       p.mean_ratio.push_back(e.MeanRatio());
       p.fraction_optimal.push_back(e.FractionOptimal());
@@ -73,7 +73,7 @@ void BM_DbSizePoint(benchmark::State& state) {
   for (auto _ : state) {
     for (const auto& m : methods) {
       benchmark::DoNotOptimize(
-          Evaluator(m.get()).EvaluateWorkload(w).MeanResponse());
+          Evaluator(*m).EvaluateWorkload(w).MeanResponse());
     }
   }
 }

@@ -57,7 +57,7 @@ int main() {
       continue;
     }
     const WorkloadEval e =
-        Evaluator(method.value().get()).EvaluateWorkload(mix);
+        Evaluator(*method.value()).EvaluateWorkload(mix);
     t.AddRow({method.value()->name(), Table::Fmt(e.MeanResponse(), 3),
               Table::Fmt(e.MeanRatio(), 3),
               Table::Fmt(e.FractionOptimal() * 100, 1),

@@ -41,7 +41,7 @@ int main() {
   const Workload workload = gen.AllPlacements({4, 4}, "4x4").value();
   for (const auto& method : CreatePaperMethods(grid, num_disks)) {
     const WorkloadEval eval =
-        Evaluator(method.get()).EvaluateWorkload(workload);
+        Evaluator(*method).EvaluateWorkload(workload);
     std::cout << "  " << method->name()
               << ": mean RT = " << Table::Fmt(eval.MeanResponse(), 3)
               << ", RT/optimal = " << Table::Fmt(eval.MeanRatio(), 3)

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite.
+# Extra arguments are forwarded to the configure step, e.g.
+#   scripts/run_tier1.sh -DGRIDDECL_SANITIZE=address
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . "$@"
+cmake --build build -j
+cd build && ctest --output-on-failure -j

@@ -17,8 +17,9 @@ MethodScore ScoreMethod(const DeclusteringMethod& method,
                         const Workload& train, const Workload& test) {
   MethodScore score;
   score.name = method.name();
-  const WorkloadEval tr = Evaluator(&method).EvaluateWorkload(train);
-  const WorkloadEval te = Evaluator(&method).EvaluateWorkload(test);
+  const Evaluator evaluator(method);
+  const WorkloadEval tr = evaluator.EvaluateWorkload(train);
+  const WorkloadEval te = evaluator.EvaluateWorkload(test);
   score.train_mean_response = tr.MeanResponse();
   score.test_mean_response = te.MeanResponse();
   score.test_mean_ratio = te.MeanRatio();

@@ -1,0 +1,181 @@
+#include "griddecl/eval/disk_map.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace griddecl {
+
+namespace {
+
+uint32_t WidthForDisks(uint32_t num_disks) {
+  // Disk ids are in [0, M); M itself never appears in the table.
+  if (num_disks <= (1u << 8)) return 1;
+  if (num_disks <= (1u << 16)) return 2;
+  return 4;
+}
+
+template <typename T>
+void FillCells(const DeclusteringMethod& method, std::vector<T>& cells) {
+  cells.resize(static_cast<size_t>(method.grid().num_buckets()));
+  size_t linear = 0;
+  method.grid().ForEachBucket([&](const BucketCoords& c) {
+    cells[linear++] = static_cast<T>(method.DiskOf(c));
+  });
+}
+
+/// Scans one contiguous run of the table into the count buffer.
+template <typename T>
+void CountRow(const T* cells, uint64_t begin, uint64_t length,
+              uint64_t* counts) {
+  const T* p = cells + begin;
+  for (uint64_t j = 0; j < length; ++j) ++counts[p[j]];
+}
+
+/// True when every adjacent intra-row pair of `cells` steps by the same
+/// `stride` mod M. Rows have length `row_len`; the table is row-major, so
+/// intra-row pairs are exactly the adjacent indices not crossing a multiple
+/// of `row_len`.
+template <typename T>
+bool StrideHolds(const std::vector<T>& cells, uint64_t row_len,
+                 uint32_t num_disks, uint32_t stride) {
+  for (size_t i = 0; i + 1 < cells.size(); ++i) {
+    if ((i + 1) % row_len == 0) continue;
+    const uint32_t expect =
+        (static_cast<uint32_t>(cells[i]) + stride) % num_disks;
+    if (static_cast<uint32_t>(cells[i + 1]) != expect) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+DiskMap::DiskMap(GridSpec grid, uint32_t num_disks, uint32_t width)
+    : grid_(std::move(grid)), num_disks_(num_disks), width_(width) {
+  const uint32_t k = grid_.num_dims();
+  dim_stride_.assign(k, 1);
+  for (uint32_t i = k - 1; i > 0; --i) {
+    dim_stride_[i - 1] = dim_stride_[i] * grid_.dim(i);
+  }
+}
+
+uint64_t DiskMap::BytesNeeded(const GridSpec& grid, uint32_t num_disks) {
+  return grid.num_buckets() * static_cast<uint64_t>(WidthForDisks(num_disks));
+}
+
+DiskMap DiskMap::Build(const DeclusteringMethod& method) {
+  DiskMap map(method.grid(), method.num_disks(),
+              WidthForDisks(method.num_disks()));
+  switch (map.width_) {
+    case 1:
+      FillCells(method, map.cells8_);
+      break;
+    case 2:
+      FillCells(method, map.cells16_);
+      break;
+    default:
+      FillCells(method, map.cells32_);
+      break;
+  }
+
+  // Detect a constant additive stride mod M along the last dimension. The
+  // check is empirical over the whole table — any method with modular
+  // row structure (DM/CMD, GDM, linear round robin, and equivalent
+  // table-backed allocations) qualifies, without type-based coupling.
+  const uint64_t row_len = map.grid_.dim(map.grid_.num_dims() - 1);
+  if (row_len < 2) {
+    // Rows of a single bucket: every stride holds vacuously; 0 keeps the
+    // analytic path exact.
+    map.has_row_stride_ = true;
+    map.row_stride_ = 0;
+  } else {
+    const uint32_t stride =
+        (map.DiskAt(1) + map.num_disks_ - map.DiskAt(0)) % map.num_disks_;
+    bool holds;
+    switch (map.width_) {
+      case 1:
+        holds = StrideHolds(map.cells8_, row_len, map.num_disks_, stride);
+        break;
+      case 2:
+        holds = StrideHolds(map.cells16_, row_len, map.num_disks_, stride);
+        break;
+      default:
+        holds = StrideHolds(map.cells32_, row_len, map.num_disks_, stride);
+        break;
+    }
+    if (holds) {
+      map.has_row_stride_ = true;
+      map.row_stride_ = stride;
+    }
+  }
+  if (map.has_row_stride_) {
+    const uint32_t g =
+        map.row_stride_ == 0
+            ? map.num_disks_
+            : std::gcd(map.row_stride_, map.num_disks_);
+    map.stride_period_ = map.num_disks_ / g;
+  }
+  return map;
+}
+
+void DiskMap::AnalyticRowCounts(uint64_t begin, uint64_t length,
+                                uint64_t* counts) const {
+  // Disks along the run form the arithmetic progression
+  // d_t = (base + t*s) mod M, t in [0, L). With period p = M/gcd(s, M) the
+  // progression cycles through p distinct disks: each receives floor(L/p),
+  // and the first L mod p of them (in progression order) one more.
+  const uint32_t base = DiskAt(begin);
+  const uint64_t p = stride_period_;
+  uint32_t d = base;
+  if (length >= p) {
+    const uint64_t whole = length / p;
+    const uint64_t extra = length % p;
+    for (uint64_t t = 0; t < p; ++t) {
+      counts[d] += whole + (t < extra ? 1 : 0);
+      d += row_stride_;
+      if (d >= num_disks_) d -= num_disks_;
+    }
+  } else {
+    for (uint64_t t = 0; t < length; ++t) {
+      ++counts[d];
+      d += row_stride_;
+      if (d >= num_disks_) d -= num_disks_;
+    }
+  }
+}
+
+void DiskMap::CountsForRect(const BucketRect& rect,
+                            std::vector<uint64_t>& counts) const {
+  counts.assign(num_disks_, 0);
+  uint64_t* out = counts.data();
+  if (has_row_stride_) {
+    ForEachRowSpan(rect, [&](uint64_t begin, uint64_t length) {
+      AnalyticRowCounts(begin, length, out);
+    });
+    return;
+  }
+  switch (width_) {
+    case 1:
+      ForEachRowSpan(rect, [&](uint64_t begin, uint64_t length) {
+        CountRow(cells8_.data(), begin, length, out);
+      });
+      break;
+    case 2:
+      ForEachRowSpan(rect, [&](uint64_t begin, uint64_t length) {
+        CountRow(cells16_.data(), begin, length, out);
+      });
+      break;
+    default:
+      ForEachRowSpan(rect, [&](uint64_t begin, uint64_t length) {
+        CountRow(cells32_.data(), begin, length, out);
+      });
+      break;
+  }
+}
+
+uint64_t DiskMap::ResponseTimeForRect(const BucketRect& rect,
+                                      std::vector<uint64_t>& scratch) const {
+  CountsForRect(rect, scratch);
+  return *std::max_element(scratch.begin(), scratch.end());
+}
+
+}  // namespace griddecl

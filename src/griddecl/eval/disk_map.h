@@ -1,0 +1,161 @@
+#ifndef GRIDDECL_EVAL_DISK_MAP_H_
+#define GRIDDECL_EVAL_DISK_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "griddecl/grid/bucket.h"
+#include "griddecl/grid/grid_spec.h"
+#include "griddecl/grid/rect.h"
+#include "griddecl/methods/method.h"
+
+/// \file
+/// `DiskMap`: a declustering method materialized into a dense row-major
+/// array of disk ids.
+///
+/// Every metric the paper reports reduces to counting a query's buckets per
+/// disk, and the generic path pays one virtual `DiskOf` call (plus
+/// coordinate bookkeeping through `std::function`) per bucket. Evaluating a
+/// method as a flat grid→disk array instead — the representation Doerr et
+/// al. use for scheme analysis, and what a grid-file directory looks like
+/// on disk — turns the inner loop into a contiguous scan over 1/2/4-byte
+/// elements:
+///
+///  * the element width is chosen from M (`uint8_t` for M <= 256,
+///    `uint16_t` for M <= 65536, `uint32_t` beyond), so a 64x64 grid costs
+///    4 KiB and stays resident in L1;
+///  * `CountsForRect` walks the rectangle row by row (a row = a contiguous
+///    run along the last dimension) into a caller-owned, reusable per-disk
+///    count buffer — zero allocations per query;
+///  * methods whose allocation is an arithmetic progression along rows
+///    (DM/CMD, GDM, linear round robin — detected at build time, not by
+///    type) get an analytic fast path: a run of length L with stride s mod
+///    M contributes floor(L/p) to each of the p = M/gcd(s,M) reachable
+///    disks plus a remainder walk, O(min(L, M)) per row instead of O(L).
+///
+/// A `DiskMap` is immutable after `Build` and safe to share across threads
+/// for concurrent reads; build it once per method and reuse it for a whole
+/// experiment run (see `Evaluator` / `EvalOptions`).
+
+namespace griddecl {
+
+/// Dense row-major materialization of a `DeclusteringMethod`.
+class DiskMap {
+ public:
+  /// Materializes `method` over its whole grid. O(num_buckets) virtual
+  /// calls, once. The method is not retained; the map owns everything it
+  /// needs afterwards.
+  static DiskMap Build(const DeclusteringMethod& method);
+
+  /// Table bytes `Build` would allocate for this configuration — lets
+  /// callers apply a memory cap before materializing (see
+  /// `EvalOptions::max_disk_map_bytes`).
+  static uint64_t BytesNeeded(const GridSpec& grid, uint32_t num_disks);
+
+  const GridSpec& grid() const { return grid_; }
+  uint32_t num_disks() const { return num_disks_; }
+  /// Bytes per element: 1, 2, or 4, chosen from num_disks().
+  uint32_t element_width() const { return width_; }
+  /// Total table size in bytes.
+  uint64_t SizeBytes() const {
+    return grid_.num_buckets() * static_cast<uint64_t>(width_);
+  }
+
+  /// True when the allocation follows a constant additive stride mod M
+  /// along the last dimension in every row (DM/CMD, GDM, linear round
+  /// robin); enables the analytic counting path.
+  bool has_row_stride() const { return has_row_stride_; }
+  /// The detected stride, reduced mod M. Meaningful only when
+  /// `has_row_stride()`.
+  uint32_t row_stride() const { return row_stride_; }
+
+  /// Disk id at row-major rank `index` (== `grid().Linearize(c)`).
+  uint32_t DiskAt(uint64_t index) const {
+    switch (width_) {
+      case 1:
+        return cells8_[static_cast<size_t>(index)];
+      case 2:
+        return cells16_[static_cast<size_t>(index)];
+      default:
+        return cells32_[static_cast<size_t>(index)];
+    }
+  }
+
+  /// Disk id of bucket `c`; must lie in `grid()`. Matches the materialized
+  /// method's `DiskOf` exactly.
+  uint32_t DiskOf(const BucketCoords& c) const {
+    return DiskAt(grid_.Linearize(c));
+  }
+
+  /// Per-disk bucket counts of `rect` into `counts`, which is resized to
+  /// `num_disks()` and zeroed — reusing the same vector across queries
+  /// makes the call allocation-free. `rect` must lie within `grid()`.
+  void CountsForRect(const BucketRect& rect,
+                     std::vector<uint64_t>& counts) const;
+
+  /// max over `CountsForRect` — the paper's response time. `scratch` is
+  /// the reusable counts buffer.
+  uint64_t ResponseTimeForRect(const BucketRect& rect,
+                               std::vector<uint64_t>& scratch) const;
+
+  /// Calls `fn(begin, length)` for every contiguous row-major run of
+  /// `rect`: `begin` is the flat index of the run's first bucket (== its
+  /// grid-linear address), `length` its bucket count. Runs are emitted in
+  /// row-major order. This is the iteration primitive the I/O simulators
+  /// build per-disk schedules from.
+  template <typename Fn>
+  void ForEachRowSpan(const BucketRect& rect, Fn&& fn) const {
+    GRIDDECL_CHECK(rect.WithinGrid(grid_));
+    const uint32_t k = grid_.num_dims();
+    const uint64_t row_len = rect.Extent(k - 1);
+    uint64_t begin = grid_.Linearize(rect.lo());
+    if (k == 1) {
+      fn(begin, row_len);
+      return;
+    }
+    BucketCoords c = rect.lo();
+    for (;;) {
+      fn(begin, row_len);
+      // Odometer over the leading k-1 dimensions, last-but-one fastest;
+      // `begin` is maintained incrementally from the per-dimension strides.
+      uint32_t dim = k - 1;
+      for (;;) {
+        if (dim == 0) return;
+        --dim;
+        if (++c[dim] <= rect.hi()[dim]) {
+          begin += dim_stride_[dim];
+          break;
+        }
+        begin -= static_cast<uint64_t>(rect.hi()[dim] - rect.lo()[dim]) *
+                 dim_stride_[dim];
+        c[dim] = rect.lo()[dim];
+      }
+    }
+  }
+
+ private:
+  DiskMap(GridSpec grid, uint32_t num_disks, uint32_t width);
+
+  /// Adds the counts of one arithmetic-progression run analytically.
+  void AnalyticRowCounts(uint64_t begin, uint64_t length,
+                         uint64_t* counts) const;
+
+  GridSpec grid_;
+  uint32_t num_disks_;
+  uint32_t width_;
+  bool has_row_stride_ = false;
+  uint32_t row_stride_ = 0;
+  /// Disks reachable per full stride period; p = M / gcd(s, M).
+  uint32_t stride_period_ = 1;
+  /// Row-major linear stride of each dimension (last is 1).
+  std::vector<uint64_t> dim_stride_;
+  /// The table; exactly one of these holds `num_buckets` elements, selected
+  /// by `width_` (typed vectors rather than one punned byte buffer).
+  std::vector<uint8_t> cells8_;
+  std::vector<uint16_t> cells16_;
+  std::vector<uint32_t> cells32_;
+};
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_EVAL_DISK_MAP_H_

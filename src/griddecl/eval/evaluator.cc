@@ -1,10 +1,33 @@
 #include "griddecl/eval/evaluator.h"
 
+#include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include "griddecl/eval/metrics.h"
 
 namespace griddecl {
+
+namespace {
+
+/// Below this many queries the thread-spawn overhead is not worth it.
+constexpr size_t kSerialThreshold = 64;
+
+void MergeInto(WorkloadEval* total, const WorkloadEval& part) {
+  total->num_queries += part.num_queries;
+  total->num_optimal += part.num_optimal;
+  total->response.Merge(part.response);
+  total->optimal.Merge(part.optimal);
+  total->ratio.Merge(part.ratio);
+  total->additive_deviation.Merge(part.additive_deviation);
+}
+
+const DeclusteringMethod& DerefChecked(const DeclusteringMethod* method) {
+  GRIDDECL_CHECK(method != nullptr);
+  return *method;
+}
+
+}  // namespace
 
 double WorkloadEval::ResponseCi95HalfWidth() const {
   if (num_queries < 2) return 0.0;
@@ -12,24 +35,45 @@ double WorkloadEval::ResponseCi95HalfWidth() const {
          std::sqrt(static_cast<double>(num_queries));
 }
 
-Evaluator::Evaluator(const DeclusteringMethod* method) : method_(method) {
-  GRIDDECL_CHECK(method != nullptr);
+Evaluator::Evaluator(const DeclusteringMethod& method, EvalOptions options)
+    : method_(&method), options_(options) {
+  if (options_.use_disk_map &&
+      DiskMap::BytesNeeded(method.grid(), method.num_disks()) <=
+          options_.max_disk_map_bytes) {
+    disk_map_.emplace(DiskMap::Build(method));
+  }
 }
 
-QueryEval Evaluator::EvaluateQuery(const RangeQuery& query) const {
+Evaluator::Evaluator(const DeclusteringMethod* method)
+    : Evaluator(DerefChecked(method)) {}
+
+QueryEval Evaluator::EvaluateQuery(const RangeQuery& query,
+                                   std::vector<uint64_t>& scratch) const {
   QueryEval e;
   e.num_buckets = query.NumBuckets();
-  e.response = ResponseTime(*method_, query);
+  if (disk_map_) {
+    e.response = disk_map_->ResponseTimeForRect(query.rect(), scratch);
+  } else {
+    PerDiskCounts(*method_, query, scratch);
+    e.response = *std::max_element(scratch.begin(), scratch.end());
+  }
   e.optimal = OptimalResponseTime(e.num_buckets, method_->num_disks());
   return e;
 }
 
-WorkloadEval Evaluator::EvaluateWorkload(const Workload& workload) const {
+QueryEval Evaluator::EvaluateQuery(const RangeQuery& query) const {
+  std::vector<uint64_t> scratch;
+  return EvaluateQuery(query, scratch);
+}
+
+WorkloadEval Evaluator::EvaluateRange(const Workload& workload, size_t begin,
+                                      size_t end) const {
   WorkloadEval agg;
   agg.method_name = method_->name();
   agg.workload_name = workload.name;
-  for (const RangeQuery& q : workload.queries) {
-    const QueryEval e = EvaluateQuery(q);
+  std::vector<uint64_t> scratch;
+  for (size_t i = begin; i < end; ++i) {
+    const QueryEval e = EvaluateQuery(workload.queries[i], scratch);
     ++agg.num_queries;
     if (e.response == e.optimal) ++agg.num_optimal;
     agg.response.Add(static_cast<double>(e.response));
@@ -40,24 +84,62 @@ WorkloadEval Evaluator::EvaluateWorkload(const Workload& workload) const {
   return agg;
 }
 
+WorkloadEval Evaluator::EvaluateWorkload(const Workload& workload) const {
+  const size_t n = workload.size();
+  uint32_t num_threads =
+      options_.num_threads == 0
+          ? std::max(1u, std::thread::hardware_concurrency())
+          : options_.num_threads;
+  num_threads = static_cast<uint32_t>(std::min<size_t>(
+      num_threads, (n + kSerialThreshold - 1) / kSerialThreshold));
+  if (num_threads <= 1 || n < kSerialThreshold) {
+    return EvaluateRange(workload, 0, n);
+  }
+
+  // One contiguous index slice per worker; threads share the disk map
+  // (immutable) and each keeps a private scratch buffer inside
+  // EvaluateRange. Partials merge in slice order, so the result is
+  // deterministic for a given thread count.
+  std::vector<WorkloadEval> partials(num_threads);
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  const size_t chunk = (n + num_threads - 1) / num_threads;
+  for (uint32_t t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&, t]() {
+      const size_t begin = static_cast<size_t>(t) * chunk;
+      const size_t end = std::min(n, begin + chunk);
+      partials[t] = EvaluateRange(workload, begin, end);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  WorkloadEval total;
+  total.method_name = method_->name();
+  total.workload_name = workload.name;
+  for (const WorkloadEval& part : partials) MergeInto(&total, part);
+  return total;
+}
+
 std::vector<WorkloadEval> CompareMethods(
     const std::vector<const DeclusteringMethod*>& methods,
-    const Workload& workload) {
+    const Workload& workload, const EvalOptions& options) {
   std::vector<WorkloadEval> out;
   out.reserve(methods.size());
   for (const DeclusteringMethod* m : methods) {
-    out.push_back(Evaluator(m).EvaluateWorkload(workload));
+    out.push_back(
+        Evaluator(DerefChecked(m), options).EvaluateWorkload(workload));
   }
   return out;
 }
 
 Histogram DeviationHistogram(const DeclusteringMethod& method,
-                             const Workload& workload,
-                             uint32_t num_buckets) {
+                             const Workload& workload, uint32_t num_buckets,
+                             const EvalOptions& options) {
   Histogram histogram(num_buckets);
-  Evaluator evaluator(&method);
+  Evaluator evaluator(method, options);
+  std::vector<uint64_t> scratch;
   for (const RangeQuery& q : workload.queries) {
-    histogram.Add(evaluator.EvaluateQuery(q).AdditiveDeviation());
+    histogram.Add(evaluator.EvaluateQuery(q, scratch).AdditiveDeviation());
   }
   return histogram;
 }

@@ -2,10 +2,12 @@
 #define GRIDDECL_EVAL_EVALUATOR_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "griddecl/common/stats.h"
+#include "griddecl/eval/disk_map.h"
 #include "griddecl/methods/method.h"
 #include "griddecl/query/workload.h"
 
@@ -14,6 +16,13 @@
 /// a set of queries and reports the aggregates every experiment plots —
 /// mean response time, mean optimal, deviation from optimality (additive
 /// and multiplicative), and the fraction of queries answered optimally.
+///
+/// The engine is batched: an `Evaluator` materializes its method into a
+/// `DiskMap` once at construction (see eval/disk_map.h) and then answers
+/// every query from the dense table with a reusable count buffer — no
+/// virtual dispatch and no allocation per query. `EvalOptions` controls the
+/// map (it can be disabled, or capped by memory) and the worker-thread
+/// count for `EvaluateWorkload`.
 
 namespace griddecl {
 
@@ -61,41 +70,88 @@ struct WorkloadEval {
   }
 
   /// Half-width of the normal-approximation 95% confidence interval on the
-  /// mean response time: 1.96 * stddev / sqrt(n). Zero for exhaustive
-  /// placement averaging (where the mean is exact) it is still reported —
-  /// it then describes placement-to-placement spread, not sampling error.
+  /// mean response time: 1.96 * stddev / sqrt(n). For exhaustive placement
+  /// averaging the mean is exact — no sampling error — but the value is
+  /// still reported: it then describes placement-to-placement spread of
+  /// the response time, not uncertainty in the mean.
   double ResponseCi95HalfWidth() const;
 };
 
-/// Evaluates one method over queries/workloads. Stateless apart from the
-/// bound method; cheap to construct.
+/// Evaluation-engine knobs.
+struct EvalOptions {
+  /// Materialize the method into a dense `DiskMap` at construction and
+  /// answer queries from it. Disable to force the virtual `DiskOf` path
+  /// (reference semantics for tests and baselines; both paths produce
+  /// identical results).
+  bool use_disk_map = true;
+  /// Skip materialization when the table would exceed this many bytes;
+  /// evaluation then falls back to the virtual path. 256 MiB default.
+  uint64_t max_disk_map_bytes = 256ull << 20;
+  /// Worker threads for `EvaluateWorkload`: 1 = serial (default),
+  /// 0 = std::thread::hardware_concurrency, n = exactly n. Workloads too
+  /// small to amortize thread spawn run serially regardless.
+  uint32_t num_threads = 1;
+};
+
+/// Evaluates one method over queries/workloads. Construction materializes
+/// the method's `DiskMap` (unless disabled or over the memory cap); the
+/// evaluator is immutable afterwards and safe to share across threads for
+/// concurrent reads. Build one per method and reuse it for the whole run.
 class Evaluator {
  public:
   /// `method` must outlive the evaluator.
+  explicit Evaluator(const DeclusteringMethod& method,
+                     EvalOptions options = {});
+
+  /// \deprecated Pointer form retained for source compatibility; forwards
+  /// to the reference constructor with default options.
+  [[deprecated("construct from a reference with EvalOptions")]]  //
   explicit Evaluator(const DeclusteringMethod* method);
 
   const DeclusteringMethod& method() const { return *method_; }
+  const EvalOptions& options() const { return options_; }
+  /// The materialized map, or nullptr when disabled / over the cap.
+  const DiskMap* disk_map() const {
+    return disk_map_ ? &*disk_map_ : nullptr;
+  }
 
+  /// Evaluates one query; `scratch` is a reusable per-disk count buffer
+  /// (resized to M internally), making repeated calls allocation-free.
+  QueryEval EvaluateQuery(const RangeQuery& query,
+                          std::vector<uint64_t>& scratch) const;
+
+  /// Convenience form with a private scratch buffer; allocates per call.
   QueryEval EvaluateQuery(const RangeQuery& query) const;
 
+  /// Aggregates over the workload, using `options().num_threads` workers.
+  /// The integer counters (num_queries, num_optimal, stat counts, min/max)
+  /// are identical for every thread count; floating-point means/variances
+  /// can differ from the serial pass only by summation-order rounding.
   WorkloadEval EvaluateWorkload(const Workload& workload) const;
 
  private:
+  /// Serial aggregation of queries [begin, end).
+  WorkloadEval EvaluateRange(const Workload& workload, size_t begin,
+                             size_t end) const;
+
   const DeclusteringMethod* method_;
+  EvalOptions options_;
+  std::optional<DiskMap> disk_map_;
 };
 
 /// Evaluates every method over the same workload; result order matches
-/// `methods`.
+/// `methods`. One evaluator (and disk map) is built per method.
 std::vector<WorkloadEval> CompareMethods(
     const std::vector<const DeclusteringMethod*>& methods,
-    const Workload& workload);
+    const Workload& workload, const EvalOptions& options = {});
 
 /// Distribution of per-query additive deviation (response - optimal) over
 /// the workload: histogram buckets 0..num_buckets-1 plus overflow. The
 /// paper reports means; the histogram shows the tail (e.g. "what fraction
 /// of queries were answered optimally or one unit off").
 Histogram DeviationHistogram(const DeclusteringMethod& method,
-                             const Workload& workload, uint32_t num_buckets);
+                             const Workload& workload, uint32_t num_buckets,
+                             const EvalOptions& options = {});
 
 }  // namespace griddecl
 

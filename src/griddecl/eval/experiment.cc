@@ -9,14 +9,23 @@ namespace griddecl {
 
 namespace {
 
+/// Materializes one evaluator (and thus one shared DiskMap) per method;
+/// sweeps reuse these across every x-value instead of rebuilding per point.
+std::vector<Evaluator> MakeEvaluators(
+    const std::vector<std::unique_ptr<DeclusteringMethod>>& methods) {
+  std::vector<Evaluator> evaluators;
+  evaluators.reserve(methods.size());
+  for (const auto& m : methods) evaluators.emplace_back(*m);
+  return evaluators;
+}
+
 /// Evaluates all methods on one workload and appends a SweepPoint.
-SweepPoint EvaluatePoint(
-    double x, const std::vector<std::unique_ptr<DeclusteringMethod>>& methods,
-    const Workload& workload) {
+SweepPoint EvaluatePoint(double x, const std::vector<Evaluator>& evaluators,
+                         const Workload& workload) {
   SweepPoint p;
   p.x = x;
-  for (const auto& m : methods) {
-    const WorkloadEval e = Evaluator(m.get()).EvaluateWorkload(workload);
+  for (const Evaluator& ev : evaluators) {
+    const WorkloadEval e = ev.EvaluateWorkload(workload);
     p.mean_response.push_back(e.MeanResponse());
     p.mean_ratio.push_back(e.MeanRatio());
     p.fraction_optimal.push_back(e.FractionOptimal());
@@ -118,6 +127,7 @@ Result<SweepResult> QuerySizeSweep(const GridSpec& grid, uint32_t num_disks,
   SweepResult result;
   result.x_label = "QueryArea";
   result.method_names = MethodDisplayNames(methods.value());
+  const std::vector<Evaluator> evaluators = MakeEvaluators(methods.value());
   for (uint64_t area : areas) {
     Result<QueryShape> shape = gen.SquarishShape(area);
     if (!shape.ok()) return shape.status();
@@ -126,7 +136,7 @@ Result<SweepResult> QuerySizeSweep(const GridSpec& grid, uint32_t num_disks,
                        "area=" + std::to_string(area));
     if (!workload.ok()) return workload.status();
     result.points.push_back(EvaluatePoint(static_cast<double>(area),
-                                          methods.value(), workload.value()));
+                                          evaluators, workload.value()));
   }
   return result;
 }
@@ -146,6 +156,7 @@ Result<SweepResult> QueryShapeSweep(const GridSpec& grid, uint32_t num_disks,
   SweepResult result;
   result.x_label = "Aspect(h/w)";
   result.method_names = MethodDisplayNames(methods.value());
+  const std::vector<Evaluator> evaluators = MakeEvaluators(methods.value());
   for (double aspect : aspects) {
     Result<QueryShape> shape = gen.Shape2D(area, aspect);
     if (!shape.ok()) return shape.status();
@@ -154,7 +165,7 @@ Result<SweepResult> QueryShapeSweep(const GridSpec& grid, uint32_t num_disks,
         "aspect=" + Table::Fmt(aspect, 2));
     if (!workload.ok()) return workload.status();
     result.points.push_back(
-        EvaluatePoint(aspect, methods.value(), workload.value()));
+        EvaluatePoint(aspect, evaluators, workload.value()));
   }
   return result;
 }
@@ -184,7 +195,8 @@ Result<SweepResult> DiskCountSweep(const GridSpec& grid,
     if (result.method_names.empty()) {
       result.method_names = MethodDisplayNames(methods.value());
     }
-    SweepPoint p = EvaluatePoint(static_cast<double>(m), methods.value(),
+    SweepPoint p = EvaluatePoint(static_cast<double>(m),
+                                 MakeEvaluators(methods.value()),
                                  workload.value());
     // Align: pad missing methods with NaN so rows stay rectangular.
     const std::vector<std::string> here = MethodDisplayNames(methods.value());
@@ -242,7 +254,7 @@ Result<SweepResult> DbSizeSweep(const std::vector<GridSpec>& grids,
     if (!workload.ok()) return workload.status();
     result.points.push_back(
         EvaluatePoint(static_cast<double>(grid.num_buckets()),
-                      methods.value(), workload.value()));
+                      MakeEvaluators(methods.value()), workload.value()));
   }
   return result;
 }

@@ -11,18 +11,25 @@ uint64_t OptimalResponseTime(uint64_t num_buckets, uint32_t num_disks) {
   return CeilDiv(num_buckets, num_disks);
 }
 
-std::vector<uint64_t> PerDiskCounts(const DeclusteringMethod& method,
-                                    const RangeQuery& query) {
-  std::vector<uint64_t> counts(method.num_disks(), 0);
+void PerDiskCounts(const DeclusteringMethod& method, const RangeQuery& query,
+                   std::vector<uint64_t>& counts) {
+  counts.assign(method.num_disks(), 0);
   query.rect().ForEachBucket([&](const BucketCoords& c) {
     ++counts[method.DiskOf(c)];
   });
+}
+
+std::vector<uint64_t> PerDiskCounts(const DeclusteringMethod& method,
+                                    const RangeQuery& query) {
+  std::vector<uint64_t> counts;
+  PerDiskCounts(method, query, counts);
   return counts;
 }
 
 uint64_t ResponseTime(const DeclusteringMethod& method,
                       const RangeQuery& query) {
-  const std::vector<uint64_t> counts = PerDiskCounts(method, query);
+  std::vector<uint64_t> counts;
+  PerDiskCounts(method, query, counts);
   return *std::max_element(counts.begin(), counts.end());
 }
 

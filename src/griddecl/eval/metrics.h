@@ -31,9 +31,16 @@ uint64_t OptimalResponseTime(uint64_t num_buckets, uint32_t num_disks);
 uint64_t ResponseTime(const DeclusteringMethod& method,
                       const RangeQuery& query);
 
+/// Per-disk bucket counts for `query` under `method`, written into
+/// `counts`, which is resized to M and zeroed. Reusing one vector across
+/// queries makes the call allocation-free — this is the overload the
+/// evaluation engine's inner loops use.
+void PerDiskCounts(const DeclusteringMethod& method, const RangeQuery& query,
+                   std::vector<uint64_t>& counts);
+
 /// Per-disk bucket counts for `query` under `method` (size = M). The
 /// response time is the max entry; useful for diagnostics and the I/O
-/// simulator.
+/// simulator. Allocates; prefer the scratch overload in hot loops.
 std::vector<uint64_t> PerDiskCounts(const DeclusteringMethod& method,
                                     const RangeQuery& query);
 

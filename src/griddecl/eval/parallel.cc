@@ -1,63 +1,13 @@
 #include "griddecl/eval/parallel.h"
 
-#include <algorithm>
-#include <thread>
-#include <vector>
-
 namespace griddecl {
-
-namespace {
-
-/// Below this many queries the thread-spawn overhead is not worth it.
-constexpr size_t kSerialThreshold = 64;
-
-void MergeInto(WorkloadEval* total, const WorkloadEval& part) {
-  total->num_queries += part.num_queries;
-  total->num_optimal += part.num_optimal;
-  total->response.Merge(part.response);
-  total->optimal.Merge(part.optimal);
-  total->ratio.Merge(part.ratio);
-  total->additive_deviation.Merge(part.additive_deviation);
-}
-
-}  // namespace
 
 WorkloadEval ParallelEvaluateWorkload(const DeclusteringMethod& method,
                                       const Workload& workload,
                                       uint32_t num_threads) {
-  if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  const size_t n = workload.size();
-  if (num_threads == 1 || n < kSerialThreshold) {
-    return Evaluator(&method).EvaluateWorkload(workload);
-  }
-  num_threads = static_cast<uint32_t>(
-      std::min<size_t>(num_threads, (n + kSerialThreshold - 1) /
-                                        kSerialThreshold));
-
-  std::vector<WorkloadEval> partials(num_threads);
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  const size_t chunk = (n + num_threads - 1) / num_threads;
-  for (uint32_t t = 0; t < num_threads; ++t) {
-    workers.emplace_back([&, t]() {
-      const size_t begin = static_cast<size_t>(t) * chunk;
-      const size_t end = std::min(n, begin + chunk);
-      Workload slice;
-      slice.name = workload.name;
-      slice.queries.assign(workload.queries.begin() + begin,
-                           workload.queries.begin() + end);
-      partials[t] = Evaluator(&method).EvaluateWorkload(slice);
-    });
-  }
-  for (std::thread& w : workers) w.join();
-
-  WorkloadEval total;
-  total.method_name = method.name();
-  total.workload_name = workload.name;
-  for (const WorkloadEval& part : partials) MergeInto(&total, part);
-  return total;
+  EvalOptions options;
+  options.num_threads = num_threads;  // 0 = auto in both APIs.
+  return Evaluator(method, options).EvaluateWorkload(workload);
 }
 
 }  // namespace griddecl

@@ -6,11 +6,12 @@
 #include "griddecl/eval/evaluator.h"
 
 /// \file
-/// Multi-threaded workload evaluation. Declustering methods are immutable
-/// after construction (see methods/method.h), so per-query evaluation is
-/// embarrassingly parallel: the workload is split into contiguous chunks,
-/// each thread aggregates its chunk into a local `WorkloadEval`, and the
-/// partials merge via `RunningStat::Merge`. Counters merge exactly;
+/// Multi-threaded workload evaluation — compatibility entry point.
+///
+/// The threaded engine lives inside `Evaluator::EvaluateWorkload` now
+/// (construct with `EvalOptions::num_threads`); one `DiskMap` is built per
+/// method and shared read-only by every worker. This wrapper keeps the
+/// original free-function call site working. Counters merge exactly;
 /// floating-point means/variances can differ from the serial pass only by
 /// summation-order rounding.
 

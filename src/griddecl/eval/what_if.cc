@@ -39,7 +39,7 @@ Result<std::vector<DiskScalingPoint>> DiskScalingAnalysis(
       return method.status();
     }
     const WorkloadEval e =
-        Evaluator(method.value().get()).EvaluateWorkload(workload);
+        Evaluator(*method.value()).EvaluateWorkload(workload);
     DiskScalingPoint p;
     p.disks = m;
     p.mean_response = e.MeanResponse();

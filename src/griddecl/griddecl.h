@@ -16,6 +16,19 @@
 ///     auto query = RangeQuery::Create(grid, rect).value();
 ///     uint64_t rt  = ResponseTime(*hcam, query);         // paper's metric
 ///     uint64_t opt = OptimalResponseTime(query.NumBuckets(), 16);
+///
+/// Workload evaluation goes through `Evaluator`, which materializes the
+/// method into a dense `DiskMap` once and answers every query from it
+/// (`EvalOptions` controls the map and the worker-thread count):
+///
+///     Evaluator eval(*hcam);                 // builds the DiskMap once
+///     Workload w = ...;                      // e.g. QueryGenerator output
+///     WorkloadEval agg = eval.EvaluateWorkload(w);
+///     double mean_rt = agg.MeanResponse();
+///
+///     EvalOptions opts;
+///     opts.num_threads = 0;                  // all hardware threads
+///     WorkloadEval par = Evaluator(*hcam, opts).EvaluateWorkload(w);
 
 #include "griddecl/coding/gf2.h"
 #include "griddecl/coding/parity_check.h"
@@ -30,6 +43,7 @@
 #include "griddecl/curve/morton.h"
 #include "griddecl/eval/advisor.h"
 #include "griddecl/eval/analytic.h"
+#include "griddecl/eval/disk_map.h"
 #include "griddecl/eval/evaluator.h"
 #include "griddecl/eval/experiment.h"
 #include "griddecl/eval/metrics.h"

@@ -62,6 +62,22 @@ SimResult ParallelIoSimulator::RunQuery(const DeclusteringMethod& method,
   return RunSchedule(schedule);
 }
 
+SimResult ParallelIoSimulator::RunQuery(const DiskMap& map,
+                                        const RangeQuery& query) const {
+  GRIDDECL_CHECK_MSG(map.num_disks() == num_disks_,
+                     "map declusters over %u disks, simulator has %u",
+                     map.num_disks(), num_disks_);
+  std::vector<std::vector<uint64_t>> schedule(num_disks_);
+  // A bucket's grid-linear address is its row-major rank — exactly the
+  // map's flat index, so each row span enumerates addresses directly.
+  map.ForEachRowSpan(query.rect(), [&](uint64_t begin, uint64_t length) {
+    for (uint64_t j = 0; j < length; ++j) {
+      schedule[map.DiskAt(begin + j)].push_back(begin + j);
+    }
+  });
+  return RunSchedule(schedule);
+}
+
 SimResult ParallelIoSimulator::RunSchedule(
     const std::vector<std::vector<uint64_t>>& per_disk_addresses) const {
   GRIDDECL_CHECK(per_disk_addresses.size() == num_disks_);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "griddecl/common/status.h"
+#include "griddecl/eval/disk_map.h"
 #include "griddecl/methods/method.h"
 #include "griddecl/query/query.h"
 
@@ -86,6 +87,11 @@ class ParallelIoSimulator {
   /// `method.num_disks()` must equal `num_disks()`.
   SimResult RunQuery(const DeclusteringMethod& method,
                      const RangeQuery& query) const;
+
+  /// Same simulation, reading disk assignments from a materialized
+  /// `DiskMap` instead of virtual dispatch. Build the map once per method
+  /// and reuse it across every simulated query of a run.
+  SimResult RunQuery(const DiskMap& map, const RangeQuery& query) const;
 
   /// Lower-level entry: per-disk lists of grid-linear bucket addresses.
   SimResult RunSchedule(

@@ -1,7 +1,10 @@
 #include "griddecl/sim/throughput.h"
 
 #include <algorithm>
+#include <optional>
 #include <queue>
+
+#include "griddecl/eval/disk_map.h"
 
 namespace griddecl {
 
@@ -58,6 +61,14 @@ Result<ThroughputResult> SimulateThroughput(const DeclusteringMethod& method,
   result.num_queries = workload.size();
   result.disk_busy_ms.assign(m, 0.0);
 
+  // One materialized map serves every query of the run (subject to the
+  // memory cap); bucket grid-linear addresses equal the map's flat indices.
+  std::optional<DiskMap> map;
+  if (options.use_disk_map &&
+      DiskMap::BytesNeeded(grid, m) <= options.max_disk_map_bytes) {
+    map.emplace(DiskMap::Build(method));
+  }
+
   std::vector<double> disk_free(m, 0.0);
   // Completion times of in-flight queries (min-heap).
   std::priority_queue<double, std::vector<double>, std::greater<double>>
@@ -73,9 +84,17 @@ Result<ThroughputResult> SimulateThroughput(const DeclusteringMethod& method,
     }
     // Collect the query's per-disk batches.
     std::vector<std::vector<uint64_t>> batches(m);
-    q.rect().ForEachBucket([&](const BucketCoords& c) {
-      batches[method.DiskOf(c)].push_back(grid.Linearize(c));
-    });
+    if (map) {
+      map->ForEachRowSpan(q.rect(), [&](uint64_t begin, uint64_t length) {
+        for (uint64_t j = 0; j < length; ++j) {
+          batches[map->DiskAt(begin + j)].push_back(begin + j);
+        }
+      });
+    } else {
+      q.rect().ForEachBucket([&](const BucketCoords& c) {
+        batches[method.DiskOf(c)].push_back(grid.Linearize(c));
+      });
+    }
     double completion = admit;  // Queries with zero requests finish at once.
     for (uint32_t d = 0; d < m; ++d) {
       if (batches[d].empty()) continue;

@@ -38,6 +38,12 @@ struct ThroughputOptions {
   /// Optional per-disk service-time multipliers (1.0 = nominal); empty
   /// means a homogeneous array. Must match the method's disk count.
   std::vector<double> slowdown;
+  /// Materialize the method into one `DiskMap` for the whole run and read
+  /// bucket→disk assignments from it (identical results, no per-bucket
+  /// virtual dispatch). Falls back to the virtual path when the table
+  /// would exceed `max_disk_map_bytes`.
+  bool use_disk_map = true;
+  uint64_t max_disk_map_bytes = 256ull << 20;
 };
 
 /// Result of simulating one workload.

@@ -76,8 +76,8 @@ TEST(EdgeCaseTest, SingleRowGrid) {
   QueryGenerator gen(grid);
   for (uint32_t w : {3u, 8u, 20u}) {
     const Workload wl = gen.AllPlacements({1, w}, "row").value();
-    const WorkloadEval e_dm = Evaluator(dm.get()).EvaluateWorkload(wl);
-    const WorkloadEval e_h = Evaluator(hcam.get()).EvaluateWorkload(wl);
+    const WorkloadEval e_dm = Evaluator(*dm).EvaluateWorkload(wl);
+    const WorkloadEval e_h = Evaluator(*hcam).EvaluateWorkload(wl);
     EXPECT_DOUBLE_EQ(e_dm.MeanRatio(), 1.0) << w;
     EXPECT_GE(e_h.MeanRatio(), 1.0) << w;
     EXPECT_LE(e_h.MeanRatio(), 4.0) << w;

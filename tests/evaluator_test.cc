@@ -25,7 +25,7 @@ TEST(QueryEvalTest, DerivedQuantities) {
 TEST(EvaluatorTest, SingleQueryAgainstHandComputation) {
   const GridSpec grid = GridSpec::Create({8, 8}).value();
   const auto dm = CreateMethod("dm", grid, 4).value();
-  Evaluator ev(dm.get());
+  Evaluator ev(*dm);
   const RangeQuery q =
       RangeQuery::Create(grid, BucketRect::Create({0, 0}, {1, 1}).value())
           .value();
@@ -35,12 +35,25 @@ TEST(EvaluatorTest, SingleQueryAgainstHandComputation) {
   EXPECT_EQ(e.response, 2u);  // DM packs a 2x2 onto 3 disks.
 }
 
+TEST(EvaluatorTest, DeprecatedPointerCtorStillWorks) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto dm = CreateMethod("dm", grid, 4).value();
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  Evaluator ev(dm.get());
+#pragma GCC diagnostic pop
+  const RangeQuery q =
+      RangeQuery::Create(grid, BucketRect::Create({0, 0}, {1, 1}).value())
+          .value();
+  EXPECT_EQ(ev.EvaluateQuery(q).response, Evaluator(*dm).EvaluateQuery(q).response);
+}
+
 TEST(EvaluatorTest, WorkloadAggregates) {
   const GridSpec grid = GridSpec::Create({16, 16}).value();
   const auto hcam = CreateMethod("hcam", grid, 4).value();
   QueryGenerator gen(grid);
   const Workload w = gen.AllPlacements({2, 2}, "2x2").value();
-  const WorkloadEval e = Evaluator(hcam.get()).EvaluateWorkload(w);
+  const WorkloadEval e = Evaluator(*hcam).EvaluateWorkload(w);
   EXPECT_EQ(e.num_queries, w.size());
   EXPECT_EQ(e.method_name, "HCAM");
   EXPECT_EQ(e.workload_name, "2x2");
@@ -58,12 +71,12 @@ TEST(EvaluatorTest, FractionOptimalCountsExactly) {
   const auto dm = CreateMethod("dm", grid, 2).value();
   QueryGenerator gen(grid);
   const Workload w = gen.AllPlacements({1, 2}, "1x2").value();
-  const WorkloadEval e = Evaluator(dm.get()).EvaluateWorkload(w);
+  const WorkloadEval e = Evaluator(*dm).EvaluateWorkload(w);
   EXPECT_DOUBLE_EQ(e.FractionOptimal(), 1.0);
   EXPECT_EQ(e.num_optimal, e.num_queries);
   // 2x2 queries (volume 4, opt 2): checkerboard also optimal.
   const Workload w2 = gen.AllPlacements({2, 2}, "2x2").value();
-  const WorkloadEval e2 = Evaluator(dm.get()).EvaluateWorkload(w2);
+  const WorkloadEval e2 = Evaluator(*dm).EvaluateWorkload(w2);
   EXPECT_DOUBLE_EQ(e2.FractionOptimal(), 1.0);
 }
 
@@ -72,7 +85,7 @@ TEST(EvaluatorTest, EmptyWorkload) {
   const auto dm = CreateMethod("dm", grid, 2).value();
   Workload w;
   w.name = "empty";
-  const WorkloadEval e = Evaluator(dm.get()).EvaluateWorkload(w);
+  const WorkloadEval e = Evaluator(*dm).EvaluateWorkload(w);
   EXPECT_EQ(e.num_queries, 0u);
   EXPECT_DOUBLE_EQ(e.FractionOptimal(), 1.0);
   EXPECT_EQ(e.MeanResponse(), 0.0);
@@ -84,13 +97,13 @@ TEST(EvaluatorTest, ConfidenceIntervalHalfWidth) {
   QueryGenerator gen(grid);
   // 2x2 under DM/4 costs exactly 2 everywhere: zero variance, zero CI.
   const Workload uniform = gen.AllPlacements({2, 2}, "2x2").value();
-  const WorkloadEval e1 = Evaluator(dm.get()).EvaluateWorkload(uniform);
+  const WorkloadEval e1 = Evaluator(*dm).EvaluateWorkload(uniform);
   EXPECT_DOUBLE_EQ(e1.ResponseCi95HalfWidth(), 0.0);
   // A mixed workload has spread; the CI must be positive and match the
   // closed form.
   Workload mixed = uniform;
   mixed.Append(gen.AllPlacements({1, 1}, "points").value());
-  const WorkloadEval e2 = Evaluator(dm.get()).EvaluateWorkload(mixed);
+  const WorkloadEval e2 = Evaluator(*dm).EvaluateWorkload(mixed);
   EXPECT_GT(e2.ResponseCi95HalfWidth(), 0.0);
   EXPECT_NEAR(e2.ResponseCi95HalfWidth(),
               1.96 * e2.response.stddev() /

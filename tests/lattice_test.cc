@@ -62,9 +62,9 @@ TEST(LatticeTest, SearchedGdmImprovesSmallSquareWorkloads) {
   const auto searched = CreateMethod("gdm-search", grid, m).value();
   QueryGenerator gen(grid);
   const Workload w = gen.AllPlacements({4, 4}, "4x4").value();
-  const double dm_rt = Evaluator(dm.get()).EvaluateWorkload(w).MeanResponse();
+  const double dm_rt = Evaluator(*dm).EvaluateWorkload(w).MeanResponse();
   const double s_rt =
-      Evaluator(searched.get()).EvaluateWorkload(w).MeanResponse();
+      Evaluator(*searched).EvaluateWorkload(w).MeanResponse();
   EXPECT_LT(s_rt, dm_rt * 0.8);
 }
 

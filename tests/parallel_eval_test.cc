@@ -15,7 +15,7 @@ TEST(ParallelEvalTest, MatchesSerialExactlyOnCounters) {
   QueryGenerator gen(grid);
   Rng rng(1);
   const Workload w = gen.SampledPlacements({4, 4}, 500, &rng, "w").value();
-  const WorkloadEval serial = Evaluator(hcam.get()).EvaluateWorkload(w);
+  const WorkloadEval serial = Evaluator(*hcam).EvaluateWorkload(w);
   for (uint32_t threads : {2u, 3u, 8u}) {
     const WorkloadEval par = ParallelEvaluateWorkload(*hcam, w, threads);
     EXPECT_EQ(par.num_queries, serial.num_queries) << threads;
@@ -36,7 +36,7 @@ TEST(ParallelEvalTest, SmallWorkloadFallsBackToSerial) {
   const auto dm = CreateMethod("dm", grid, 4).value();
   QueryGenerator gen(grid);
   const Workload w = gen.AllPlacements({15, 15}, "tiny").value();  // 4 queries.
-  const WorkloadEval serial = Evaluator(dm.get()).EvaluateWorkload(w);
+  const WorkloadEval serial = Evaluator(*dm).EvaluateWorkload(w);
   const WorkloadEval par = ParallelEvaluateWorkload(*dm, w, 8);
   EXPECT_EQ(par.num_queries, serial.num_queries);
   EXPECT_DOUBLE_EQ(par.MeanResponse(), serial.MeanResponse());

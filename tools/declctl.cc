@@ -119,7 +119,7 @@ int CmdEval(const Flags& flags) {
                      &rng, "cli");
   if (!workload.ok()) return Fail(workload.status().ToString());
   const WorkloadEval e =
-      Evaluator(method.value().get()).EvaluateWorkload(workload.value());
+      Evaluator(*method.value()).EvaluateWorkload(workload.value());
   std::cout << "method " << method.value()->name() << " on grid "
             << grid.value().ToString() << ", M=" << disks.value() << "\n"
             << "queries evaluated: " << e.num_queries << "\n"
@@ -166,7 +166,7 @@ int CmdCompare(const Flags& flags) {
       continue;
     }
     const WorkloadEval e =
-        Evaluator(method.value().get()).EvaluateWorkload(workload.value());
+        Evaluator(*method.value()).EvaluateWorkload(workload.value());
     t.AddRow({method.value()->name(), Table::Fmt(e.MeanResponse(), 4),
               Table::Fmt(e.MeanRatio(), 4),
               Table::Fmt(e.FractionOptimal() * 100, 1)});
