@@ -38,14 +38,15 @@ void PrintExperiment() {
     std::vector<std::string> row = {name};
     for (uint32_t r : {1u, 2u, 3u}) {
       const ReplicatedPlacement p = Make(name, grid, r);
-      row.push_back(
-          Table::Fmt(MeanRoutedResponse(p, w.queries).value(), 3));
+      row.push_back(Table::Fmt(
+          MeanRoutedResponse(p, w.queries).value().mean_response, 3));
     }
     const ReplicatedPlacement p2 = Make(name, grid, 2);
     std::vector<bool> failed(kDisks, false);
     failed[0] = true;
-    row.push_back(
-        Table::Fmt(MeanRoutedResponse(p2, w.queries, &failed).value(), 3));
+    row.push_back(Table::Fmt(
+        MeanRoutedResponse(p2, w.queries, &failed).value().mean_response,
+        3));
     t.AddRow(std::move(row));
   }
   bench::PrintTable(

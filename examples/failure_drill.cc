@@ -32,31 +32,30 @@ int main() {
             << num_disks << "; 200 random 6x6 queries (36 buckets each, "
             << "optimal = " << OptimalResponseTime(36, num_disks) << ")\n\n";
 
-  Table t({"Scenario", "Mean routed RT", "Status"});
-  t.AddRow({"all disks up",
-            Table::Fmt(MeanRoutedResponse(placement, workload.queries)
-                           .value(),
-                       3),
-            "ok"});
+  Table t({"Scenario", "Mean routed RT", "Availability", "Status"});
+  const RoutedWorkloadSummary healthy =
+      MeanRoutedResponse(placement, workload.queries).value();
+  t.AddRow({"all disks up", Table::Fmt(healthy.mean_response, 3),
+            Table::Fmt(healthy.Availability(), 3), "ok"});
   for (uint32_t dead = 1; dead <= 3; ++dead) {
     std::vector<bool> failed(num_disks, false);
     // Fail `dead` non-adjacent disks so chained replicas survive.
     for (uint32_t i = 0; i < dead; ++i) failed[2 * i] = true;
-    const auto mean =
-        MeanRoutedResponse(placement, workload.queries, &failed);
+    const RoutedWorkloadSummary s =
+        MeanRoutedResponse(placement, workload.queries, &failed).value();
     t.AddRow({std::to_string(dead) + " disk(s) down",
-              mean.ok() ? Table::Fmt(mean.value(), 3) : "-",
-              mean.ok() ? "degraded" : mean.status().ToString()});
+              Table::Fmt(s.mean_response, 3),
+              Table::Fmt(s.Availability(), 3), "degraded"});
   }
-  // Adjacent failures kill both replicas of some buckets.
+  // Adjacent failures kill both replicas of some buckets: those queries
+  // are unroutable, but the workload summary still reports the rest.
   std::vector<bool> adjacent(num_disks, false);
   adjacent[0] = adjacent[1] = true;
-  const auto broken =
-      MeanRoutedResponse(placement, workload.queries, &adjacent);
-  t.AddRow({"disks 0 AND 1 down", "-",
-            broken.ok() ? "unexpectedly ok" : "UNROUTABLE (" +
-                                                  broken.status().ToString() +
-                                                  ")"});
+  const RoutedWorkloadSummary broken =
+      MeanRoutedResponse(placement, workload.queries, &adjacent).value();
+  t.AddRow({"disks 0 AND 1 down", Table::Fmt(broken.mean_response, 3),
+            Table::Fmt(broken.Availability(), 3),
+            std::to_string(broken.unroutable) + " queries UNROUTABLE"});
   t.PrintText(std::cout);
 
   std::cout << "\nWithout replication, any single disk failure would make "

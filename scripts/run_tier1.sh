@@ -1,11 +1,28 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the full test suite.
-# Extra arguments are forwarded to the configure step, e.g.
-#   scripts/run_tier1.sh -DGRIDDECL_SANITIZE=address
+#
+#   scripts/run_tier1.sh [--sanitize] [extra cmake configure args...]
+#
+# --sanitize configures an instrumented build (GRIDDECL_SANITIZE=
+# address,undefined) in a separate build directory (build-sanitize) so it
+# never pollutes the regular build tree, then runs ctest under both
+# sanitizers. Remaining arguments are forwarded to the configure step,
+# e.g. scripts/run_tier1.sh -DGRIDDECL_SANITIZE=address
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-cmake -B build -S . "$@"
-cmake --build build -j
-cd build && ctest --output-on-failure -j
+build_dir=build
+configure_args=()
+for arg in "$@"; do
+  if [[ "$arg" == "--sanitize" ]]; then
+    build_dir=build-sanitize
+    configure_args+=("-DGRIDDECL_SANITIZE=address,undefined")
+  else
+    configure_args+=("$arg")
+  fi
+done
+
+cmake -B "$build_dir" -S . ${configure_args+"${configure_args[@]}"}
+cmake --build "$build_dir" -j
+cd "$build_dir" && ctest --output-on-failure -j

@@ -109,19 +109,31 @@ Result<RoutedQuery> RouteQuery(const ReplicatedPlacement& placement,
   return routed;
 }
 
-Result<double> MeanRoutedResponse(const ReplicatedPlacement& placement,
-                                  const std::vector<RangeQuery>& queries,
-                                  const std::vector<bool>* failed_disks) {
+Result<RoutedWorkloadSummary> MeanRoutedResponse(
+    const ReplicatedPlacement& placement,
+    const std::vector<RangeQuery>& queries,
+    const std::vector<bool>* failed_disks) {
   if (queries.empty()) {
     return Status::InvalidArgument("need at least one query");
   }
+  RoutedWorkloadSummary summary;
   double total = 0;
   for (const RangeQuery& q : queries) {
     Result<RoutedQuery> routed = RouteQuery(placement, q, failed_disks);
-    if (!routed.ok()) return routed.status();
-    total += static_cast<double>(routed.value().response);
+    if (routed.ok()) {
+      total += static_cast<double>(routed.value().response);
+      ++summary.routable;
+    } else if (routed.status().code() == StatusCode::kUnsupported) {
+      ++summary.unroutable;
+    } else {
+      return routed.status();
+    }
   }
-  return total / static_cast<double>(queries.size());
+  summary.mean_response =
+      summary.routable == 0
+          ? 0.0
+          : total / static_cast<double>(summary.routable);
+  return summary;
 }
 
 }  // namespace griddecl

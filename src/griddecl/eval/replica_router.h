@@ -42,12 +42,32 @@ Result<RoutedQuery> RouteQuery(const ReplicatedPlacement& placement,
                                const std::vector<bool>* failed_disks =
                                    nullptr);
 
+/// Workload-level routing summary: unroutable queries degrade the summary
+/// instead of failing the whole workload.
+struct RoutedWorkloadSummary {
+  /// Mean optimal-routing response over the routable queries (0 when none
+  /// is routable).
+  double mean_response = 0;
+  uint64_t routable = 0;
+  /// Queries with some bucket whose every replica is on a failed disk.
+  uint64_t unroutable = 0;
+  /// routable / (routable + unroutable), in [0, 1].
+  double Availability() const {
+    const uint64_t total = routable + unroutable;
+    return total == 0 ? 1.0
+                      : static_cast<double>(routable) /
+                            static_cast<double>(total);
+  }
+};
+
 /// Mean optimally-routed response over a workload (convenience for
-/// benches/tests). Same failure semantics as RouteQuery.
-Result<double> MeanRoutedResponse(const ReplicatedPlacement& placement,
-                                  const std::vector<RangeQuery>& queries,
-                                  const std::vector<bool>* failed_disks =
-                                      nullptr);
+/// benches/tests). A query RouteQuery reports kUnsupported for counts as
+/// unroutable rather than failing the call; genuine errors (e.g. a
+/// mis-sized failure mask, an empty workload) still propagate.
+Result<RoutedWorkloadSummary> MeanRoutedResponse(
+    const ReplicatedPlacement& placement,
+    const std::vector<RangeQuery>& queries,
+    const std::vector<bool>* failed_disks = nullptr);
 
 }  // namespace griddecl
 

@@ -77,7 +77,9 @@
 #include "griddecl/query/query.h"
 #include "griddecl/query/trace.h"
 #include "griddecl/query/workload.h"
+#include "griddecl/sim/availability.h"
 #include "griddecl/sim/event_sim.h"
+#include "griddecl/sim/faults.h"
 #include "griddecl/sim/io_sim.h"
 #include "griddecl/sim/throughput.h"
 #include "griddecl/theory/kd_strict_optimality.h"

@@ -1,0 +1,241 @@
+#include "griddecl/sim/availability.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "griddecl/common/random.h"
+#include "griddecl/methods/registry.h"
+#include "griddecl/methods/replicated.h"
+#include "griddecl/query/generator.h"
+
+namespace griddecl {
+
+namespace {
+
+/// Deterministic shortest-roundtrip float formatting ("%.9g" is stable for
+/// identical doubles, which determinism of the sweep guarantees).
+std::string JsonNum(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string JsonUintList(const std::vector<uint32_t>& values) {
+  std::string out = "[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(values[i]);
+  }
+  return out + "]";
+}
+
+Status ValidateSweepOptions(const AvailabilitySweepOptions& o) {
+  if (o.num_disks < 1) {
+    return Status::InvalidArgument("sweep needs at least one disk");
+  }
+  if (o.num_queries < 1) {
+    return Status::InvalidArgument("sweep needs at least one query");
+  }
+  if (o.max_failed >= o.num_disks) {
+    return Status::InvalidArgument(
+        "max_failed must leave at least one disk alive");
+  }
+  for (uint32_t r : o.replication) {
+    if (r < 2 || r > o.num_disks) {
+      return Status::InvalidArgument(
+          "replication degrees must be in [2, num_disks]");
+    }
+  }
+  if (o.sim.faults != nullptr || o.sim.degraded != nullptr) {
+    return Status::InvalidArgument(
+        "sweep options must not pre-set faults/degraded; the sweep "
+        "installs them per point");
+  }
+  return Status::Ok();
+}
+
+/// One simulated point: `f` permanently failed disks under `plan`.
+Result<AvailabilityPoint> RunPoint(const DeclusteringMethod& method,
+                                   const std::string& registry_name,
+                                   const Workload& workload,
+                                   const AvailabilitySweepOptions& options,
+                                   const DegradedPlan& plan,
+                                   const std::vector<uint32_t>& dead_disks,
+                                   std::string strategy, uint32_t replicas) {
+  FaultSpec spec;
+  spec.seed = options.seed;
+  for (uint32_t d : dead_disks) spec.failures.push_back({d, 0.0});
+  Result<FaultModel> fm = FaultModel::Create(method.num_disks(), spec);
+  GRIDDECL_RETURN_IF_ERROR(fm.status());
+
+  ThroughputOptions sim = options.sim;
+  sim.faults = &fm.value();
+  sim.degraded = &plan;
+  Result<ThroughputResult> run = SimulateThroughput(method, workload, sim);
+  GRIDDECL_RETURN_IF_ERROR(run.status());
+  const ThroughputResult& r = run.value();
+
+  AvailabilityPoint point;
+  // The registry name, not the display name: aliases (dm vs cmd, fx vs
+  // fx-auto) stay distinguishable in the report.
+  point.method = registry_name;
+  point.strategy = std::move(strategy);
+  point.replicas = replicas;
+  point.failed_disks = static_cast<uint32_t>(dead_disks.size());
+  point.mean_latency_ms = r.mean_latency_ms;
+  point.total_ms = r.total_ms;
+  point.availability = r.Availability();
+  point.unavailable_queries = r.unavailable_queries;
+  point.rerouted_buckets = r.rerouted_buckets;
+  point.reconstruction_reads = r.reconstruction_reads;
+  point.transient_retries = r.transient_retries;
+  return point;
+}
+
+/// Appends f = 0..max_failed points for one (method, plan-builder) pair and
+/// fills in `degraded_ratio` against the pair's own f = 0 mean.
+template <typename PlanBuilder>
+Status SweepStrategy(const DeclusteringMethod& method,
+                     const std::string& registry_name,
+                     const Workload& workload,
+                     const AvailabilitySweepOptions& options,
+                     const std::vector<uint32_t>& fail_order,
+                     std::string strategy, uint32_t replicas,
+                     const PlanBuilder& build_plan,
+                     std::vector<AvailabilityPoint>* points) {
+  double healthy_mean = 0;
+  for (uint32_t f = 0; f <= options.max_failed; ++f) {
+    const std::vector<uint32_t> dead(fail_order.begin(),
+                                     fail_order.begin() + f);
+    std::vector<bool> mask(method.num_disks(), false);
+    for (uint32_t d : dead) mask[d] = true;
+    Result<DegradedPlan> plan = build_plan(mask);
+    GRIDDECL_RETURN_IF_ERROR(plan.status());
+    Result<AvailabilityPoint> point =
+        RunPoint(method, registry_name, workload, options, plan.value(),
+                 dead, strategy, replicas);
+    GRIDDECL_RETURN_IF_ERROR(point.status());
+    if (f == 0) healthy_mean = point.value().mean_latency_ms;
+    point.value().degraded_ratio =
+        healthy_mean <= 0 ? 0
+                          : point.value().mean_latency_ms / healthy_mean;
+    points->push_back(std::move(point).value());
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<AvailabilitySweep> RunAvailabilitySweep(
+    const AvailabilitySweepOptions& options) {
+  GRIDDECL_RETURN_IF_ERROR(ValidateSweepOptions(options));
+  Result<GridSpec> grid = GridSpec::Create(options.grid_dims);
+  GRIDDECL_RETURN_IF_ERROR(grid.status());
+
+  QueryGenerator gen(grid.value());
+  Rng workload_rng(options.seed);
+  Result<Workload> workload = gen.SampledPlacements(
+      options.query_shape, options.num_queries, &workload_rng, "a11");
+  GRIDDECL_RETURN_IF_ERROR(workload.status());
+
+  // The disks killed at level f are the first f of this permutation: the
+  // failed sets are nested, and identical across runs at the same seed.
+  Rng fail_rng(options.seed);
+  const std::vector<uint32_t> fail_order =
+      fail_rng.Permutation(options.num_disks);
+
+  const std::vector<std::string> names =
+      options.methods.empty() ? AllMethodNames() : options.methods;
+
+  AvailabilitySweep sweep;
+  sweep.options = options;
+  for (const std::string& name : names) {
+    Result<std::unique_ptr<DeclusteringMethod>> made =
+        CreateMethod(name, grid.value(), options.num_disks);
+    if (!made.ok()) {
+      if (options.methods.empty()) continue;  // e.g. ECC off-configuration.
+      return made.status();
+    }
+    const DeclusteringMethod& method = *made.value();
+
+    // r = 1, no redundancy: buckets on dead disks fail their queries.
+    GRIDDECL_RETURN_IF_ERROR(SweepStrategy(
+        method, name, workload.value(), options, fail_order, "plain", 1,
+        [&](std::vector<bool> mask) {
+          return DegradedPlan::ForMethod(method, std::move(mask));
+        },
+        &sweep.points));
+
+    // Replicated placements: optimal re-routing around failures.
+    for (uint32_t r : options.replication) {
+      Result<std::unique_ptr<DeclusteringMethod>> base =
+          CreateMethod(name, grid.value(), options.num_disks);
+      GRIDDECL_RETURN_IF_ERROR(base.status());
+      Result<ReplicatedPlacement> placement = ReplicatedPlacement::Create(
+          std::move(base).value(), r, /*offset=*/1);
+      GRIDDECL_RETURN_IF_ERROR(placement.status());
+      GRIDDECL_RETURN_IF_ERROR(SweepStrategy(
+          method, name, workload.value(), options, fail_order,
+          "replica-r" + std::to_string(r), r,
+          [&](std::vector<bool> mask) {
+            return DegradedPlan::ForReplicated(placement.value(),
+                                               std::move(mask));
+          },
+          &sweep.points));
+    }
+
+    // Parity-group reconstruction, where the method's coding supports it.
+    if (DegradedPlan::ForEcc(method, std::vector<bool>(options.num_disks,
+                                                       false))
+            .ok()) {
+      GRIDDECL_RETURN_IF_ERROR(SweepStrategy(
+          method, name, workload.value(), options, fail_order,
+          "ecc-reconstruct", 1,
+          [&](std::vector<bool> mask) {
+            return DegradedPlan::ForEcc(method, std::move(mask));
+          },
+          &sweep.points));
+    }
+  }
+  return sweep;
+}
+
+std::string AvailabilitySweep::ToJson() const {
+  std::string out;
+  out += "{\n";
+  out += "  \"experiment\": \"a11-degraded\",\n";
+  out += "  \"grid\": " + JsonUintList(options.grid_dims) + ",\n";
+  out += "  \"num_disks\": " + std::to_string(options.num_disks) + ",\n";
+  out += "  \"query_shape\": " + JsonUintList(options.query_shape) + ",\n";
+  out += "  \"num_queries\": " + std::to_string(options.num_queries) + ",\n";
+  out += "  \"max_failed\": " + std::to_string(options.max_failed) + ",\n";
+  out += "  \"replication\": " + JsonUintList(options.replication) + ",\n";
+  out += "  \"seed\": " + std::to_string(options.seed) + ",\n";
+  out +=
+      "  \"concurrency\": " + std::to_string(options.sim.concurrency) + ",\n";
+  out += "  \"points\": [";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const AvailabilityPoint& p = points[i];
+    out += i > 0 ? ",\n    " : "\n    ";
+    out += "{\"method\": \"" + p.method + "\"";
+    out += ", \"strategy\": \"" + p.strategy + "\"";
+    out += ", \"replicas\": " + std::to_string(p.replicas);
+    out += ", \"failed_disks\": " + std::to_string(p.failed_disks);
+    out += ", \"mean_latency_ms\": " + JsonNum(p.mean_latency_ms);
+    out += ", \"total_ms\": " + JsonNum(p.total_ms);
+    out += ", \"availability\": " + JsonNum(p.availability);
+    out += ", \"unavailable_queries\": " +
+           std::to_string(p.unavailable_queries);
+    out += ", \"rerouted_buckets\": " + std::to_string(p.rerouted_buckets);
+    out += ", \"reconstruction_reads\": " +
+           std::to_string(p.reconstruction_reads);
+    out += ", \"transient_retries\": " +
+           std::to_string(p.transient_retries);
+    out += ", \"degraded_ratio\": " + JsonNum(p.degraded_ratio);
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace griddecl

@@ -1,0 +1,98 @@
+#ifndef GRIDDECL_SIM_AVAILABILITY_H_
+#define GRIDDECL_SIM_AVAILABILITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "griddecl/common/status.h"
+#include "griddecl/sim/throughput.h"
+
+/// \file
+/// Availability sweep (experiment A11): mean response and availability as
+/// disks fail, for every registry method under each degraded-read strategy
+/// it supports.
+///
+/// For each method the sweep simulates the same sampled workload through
+/// the closed-system throughput simulator at f = 0..max_failed permanently
+/// failed disks (the failed set is a seeded permutation prefix, so runs
+/// with the same seed fail the same disks), under up to three recovery
+/// configurations:
+///
+///  * `plain` (r = 1)        — no redundancy; dead-disk buckets fail their
+///                             queries (every method);
+///  * `replica-rR`           — chained R-replica placement with optimal
+///                             re-routing (every method, R from
+///                             `replication`);
+///  * `ecc-reconstruct`      — parity-group reconstruction (ECC method
+///                             only; exercises the coding machinery).
+///
+/// Everything is deterministic under `seed`: two runs with the same options
+/// produce byte-identical JSON.
+
+namespace griddecl {
+
+/// One (method, strategy, failed-disk count) measurement.
+struct AvailabilityPoint {
+  std::string method;
+  /// "plain", "replica-r2", "replica-r3", ..., or "ecc-reconstruct".
+  std::string strategy;
+  /// Physical copies per bucket (1 for plain and ecc-reconstruct).
+  uint32_t replicas = 1;
+  uint32_t failed_disks = 0;
+  /// Mean latency over answered queries (ms).
+  double mean_latency_ms = 0;
+  double total_ms = 0;
+  /// Fraction of queries answered, in [0, 1].
+  double availability = 1.0;
+  uint64_t unavailable_queries = 0;
+  uint64_t rerouted_buckets = 0;
+  uint64_t reconstruction_reads = 0;
+  uint64_t transient_retries = 0;
+  /// mean_latency_ms / (same configuration's f = 0 mean); 0 when no query
+  /// was answered.
+  double degraded_ratio = 0;
+};
+
+/// Sweep configuration. Defaults give the standard A11 setup: 32x32 grid,
+/// M = 8 (a power of two, so ECC participates), 4x4 queries.
+struct AvailabilitySweepOptions {
+  std::vector<uint32_t> grid_dims = {32, 32};
+  uint32_t num_disks = 8;
+  std::vector<uint32_t> query_shape = {4, 4};
+  /// Sampled query placements per workload.
+  uint32_t num_queries = 200;
+  /// Sweep failed-disk counts 0..max_failed (each f fails the first f
+  /// entries of a seeded disk permutation).
+  uint32_t max_failed = 2;
+  /// Replication degrees (> 1) to evaluate with replica re-routing.
+  std::vector<uint32_t> replication = {2, 3};
+  /// Seeds workload sampling, the failed-disk permutation, and the fault
+  /// model's transient-error hash.
+  uint64_t seed = 42;
+  /// Methods to sweep; empty selects every registry method.
+  std::vector<std::string> methods;
+  /// Closed-system simulator knobs (faults/degraded are set per point and
+  /// must be null here).
+  ThroughputOptions sim;
+};
+
+/// Sweep output: every point plus enough configuration echo to interpret it.
+struct AvailabilitySweep {
+  AvailabilitySweepOptions options;
+  std::vector<AvailabilityPoint> points;
+
+  /// Deterministic JSON report (stable key order, fixed float formatting):
+  /// identical options => byte-identical text.
+  std::string ToJson() const;
+};
+
+/// Runs the sweep. Methods the configuration cannot construct (e.g. ECC on
+/// a non-power-of-two setup) are skipped silently, mirroring the paper's
+/// treatment; hard simulator errors propagate.
+Result<AvailabilitySweep> RunAvailabilitySweep(
+    const AvailabilitySweepOptions& options);
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_SIM_AVAILABILITY_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <queue>
 
 #include "griddecl/eval/metrics.h"
@@ -11,16 +12,27 @@ namespace griddecl {
 
 namespace {
 
+/// One queued bucket read; `attempt` counts prior transient failures.
+struct PendingRead {
+  uint64_t addr = 0;
+  uint32_t attempt = 0;
+};
+
 /// Per-disk state: one FIFO sub-queue per waiting query, served round
 /// robin; `last_address` drives the locality model.
 struct DiskState {
   /// Query ids with pending requests, in round-robin order.
   std::deque<uint32_t> turn_order;
-  /// Pending request addresses per query (indexed by query id).
-  std::vector<std::deque<uint64_t>> pending;
+  /// Pending requests per query (indexed by query id).
+  std::vector<std::deque<PendingRead>> pending;
   bool busy = false;
-  /// Query whose request is currently in service (valid while busy).
+  /// Request currently in service (valid while busy).
   uint32_t current_query = 0;
+  uint64_t current_addr = 0;
+  uint32_t current_attempt = 0;
+  /// True when the in-service attempt suffers a transient error and must
+  /// re-enqueue on this disk.
+  bool current_failed = false;
   uint64_t last_address = 0;
   bool has_last = false;
   double busy_ms = 0;
@@ -51,31 +63,38 @@ Workload ReorderLongestFirst(const DeclusteringMethod& method,
 Result<ThroughputResult> SimulateInterleaved(
     const DeclusteringMethod& method, const Workload& workload,
     const ThroughputOptions& options) {
-  if (options.concurrency < 1) {
-    return Status::InvalidArgument("concurrency must be >= 1");
-  }
-  if (workload.empty()) {
-    return Status::InvalidArgument("workload must be non-empty");
-  }
   const uint32_t m = method.num_disks();
-  if (!options.slowdown.empty() && options.slowdown.size() != m) {
-    return Status::InvalidArgument("need one slowdown entry per disk");
-  }
-  for (double s : options.slowdown) {
-    if (!(s > 0)) {
-      return Status::InvalidArgument("slowdown factors must be positive");
-    }
-  }
+  GRIDDECL_RETURN_IF_ERROR(
+      ValidateThroughputOptions(options, workload, m));
   const DiskParams& p = options.params;
   const double transfer = p.TransferMs();
   const double position = p.avg_seek_ms + p.rotational_latency_ms;
   const GridSpec& grid = method.grid();
   const uint32_t n = static_cast<uint32_t>(workload.size());
 
+  const FaultModel* fm = options.faults;
+  const bool faulty = (fm != nullptr && !fm->IsNoop()) ||
+                      options.degraded != nullptr;
+  std::optional<DegradedPlan> default_plan;
+  const DegradedPlan* plan = options.degraded;
+  if (fm != nullptr && fm->has_failures() && plan == nullptr) {
+    Result<DegradedPlan> p_plain =
+        DegradedPlan::ForMethod(method, fm->terminal_failed());
+    if (!p_plain.ok()) return p_plain.status();
+    default_plan.emplace(std::move(p_plain).value());
+    plan = &*default_plan;
+  }
+  std::optional<FaultModel> noop_faults;
+  if (faulty && fm == nullptr) {
+    noop_faults.emplace(FaultModel::None(m));
+    fm = &*noop_faults;
+  }
+
   std::vector<DiskState> disks(m);
   for (DiskState& d : disks) d.pending.resize(n);
   std::vector<uint32_t> remaining(n, 0);  // Outstanding requests per query.
   std::vector<double> admit_time(n, 0);
+  std::vector<bool> unavailable(n, false);
 
   ThroughputResult result;
   result.num_queries = n;
@@ -89,6 +108,7 @@ Result<ThroughputResult> SimulateInterleaved(
   uint32_t in_flight = 0;
   double now = 0;
   double latency_sum = 0;
+  uint64_t answered = 0;
 
   auto start_service = [&](uint32_t disk_id) {
     DiskState& d = disks[disk_id];
@@ -96,20 +116,28 @@ Result<ThroughputResult> SimulateInterleaved(
     const uint32_t q = d.turn_order.front();
     d.turn_order.pop_front();
     GRIDDECL_CHECK(!d.pending[q].empty());
-    const uint64_t addr = d.pending[q].front();
+    const PendingRead read = d.pending[q].front();
     d.pending[q].pop_front();
     double seek = position;
-    if (d.has_last && addr >= d.last_address &&
-        addr - d.last_address <= p.near_gap_buckets) {
+    if (d.has_last && read.addr >= d.last_address &&
+        read.addr - d.last_address <= p.near_gap_buckets) {
       seek *= p.near_seek_factor;
     }
-    const double scale =
+    double scale =
         options.slowdown.empty() ? 1.0 : options.slowdown[disk_id];
-    const double service = (seek + transfer) * scale;
-    d.last_address = addr;
+    if (faulty) scale *= fm->SlowdownAt(disk_id, now);
+    double service = (seek + transfer) * scale;
+    d.current_failed =
+        faulty && fm->AttemptFails(disk_id, read.addr, read.attempt);
+    // A failed attempt holds the disk for the service plus a firmware
+    // backoff wait; the retry re-enters this disk's queue at completion.
+    if (d.current_failed) service += fm->spec().retry_backoff_ms;
+    d.last_address = read.addr;
     d.has_last = true;
     d.busy = true;
     d.current_query = q;
+    d.current_addr = read.addr;
+    d.current_attempt = read.attempt;
     d.busy_ms += service;
     // Fair sharing: the query rejoins the tail if it still has requests.
     if (!d.pending[q].empty()) d.turn_order.push_back(q);
@@ -123,14 +151,34 @@ Result<ThroughputResult> SimulateInterleaved(
     admit_time[q] = at;
     ++in_flight;
     std::vector<std::vector<uint64_t>> batches(m);
-    workload.queries[q].rect().ForEachBucket([&](const BucketCoords& c) {
-      batches[method.DiskOf(c)].push_back(grid.Linearize(c));
-    });
+    if (faulty && plan != nullptr) {
+      const std::vector<bool> mask =
+          fm->has_failures() ? fm->FailedMaskAt(at) : plan->failed();
+      Result<DegradedPlan::QueryPlan> qp =
+          plan->ExpandQuery(workload.queries[q], &mask);
+      // Expansion only fails on arity mismatches, which validation
+      // already excluded.
+      GRIDDECL_CHECK_MSG(qp.ok(), "%s", qp.status().ToString().c_str());
+      if (qp.value().unavailable_buckets > 0) {
+        // The query fails at admission: no reads are issued.
+        unavailable[q] = true;
+        remaining[q] = 0;
+        complete_query(q, at);
+        return;
+      }
+      batches = std::move(qp.value().per_disk);
+      result.rerouted_buckets += qp.value().rerouted_buckets;
+      result.reconstruction_reads += qp.value().reconstruction_reads;
+    } else {
+      workload.queries[q].rect().ForEachBucket([&](const BucketCoords& c) {
+        batches[method.DiskOf(c)].push_back(grid.Linearize(c));
+      });
+    }
     uint32_t total = 0;
     for (uint32_t disk_id = 0; disk_id < m; ++disk_id) {
       std::sort(batches[disk_id].begin(), batches[disk_id].end());
       for (uint64_t addr : batches[disk_id]) {
-        disks[disk_id].pending[q].push_back(addr);
+        disks[disk_id].pending[q].push_back({addr, 0});
       }
       if (!batches[disk_id].empty()) {
         disks[disk_id].turn_order.push_back(q);
@@ -148,9 +196,14 @@ Result<ThroughputResult> SimulateInterleaved(
   };
 
   complete_query = [&](uint32_t q, double at) {
-    const double latency = at - admit_time[q];
-    latency_sum += latency;
-    result.max_latency_ms = std::max(result.max_latency_ms, latency);
+    if (unavailable[q]) {
+      ++result.unavailable_queries;
+    } else {
+      const double latency = at - admit_time[q];
+      latency_sum += latency;
+      ++answered;
+      result.max_latency_ms = std::max(result.max_latency_ms, latency);
+    }
     result.total_ms = std::max(result.total_ms, at);
     --in_flight;
     if (next_query < n) {
@@ -172,14 +225,24 @@ Result<ThroughputResult> SimulateInterleaved(
     const uint32_t q = d.current_query;
     d.busy = false;
     GRIDDECL_CHECK(remaining[q] > 0);
-    if (--remaining[q] == 0) complete_query(q, now);
+    if (d.current_failed) {
+      // Transient error: the request re-enqueues at the tail of its
+      // query's sub-queue on this same disk.
+      ++result.transient_retries;
+      if (d.pending[q].empty()) d.turn_order.push_back(q);
+      d.pending[q].push_back({d.current_addr, d.current_attempt + 1});
+      d.current_failed = false;
+    } else if (--remaining[q] == 0) {
+      complete_query(q, now);
+    }
     start_service(disk_id);
   }
 
   for (uint32_t disk_id = 0; disk_id < m; ++disk_id) {
     result.disk_busy_ms[disk_id] = disks[disk_id].busy_ms;
   }
-  result.mean_latency_ms = latency_sum / static_cast<double>(n);
+  result.mean_latency_ms =
+      answered == 0 ? 0.0 : latency_sum / static_cast<double>(answered);
   return result;
 }
 

@@ -44,6 +44,29 @@ ParallelIoSimulator::ParallelIoSimulator(uint32_t num_disks, DiskParams params,
   for (double s : slowdown_) GRIDDECL_CHECK(s > 0);
 }
 
+Result<ParallelIoSimulator> ParallelIoSimulator::Create(
+    uint32_t num_disks, DiskParams params, std::vector<double> slowdown) {
+  if (num_disks < 1) {
+    return Status::InvalidArgument("simulator needs at least one disk");
+  }
+  if (!(params.avg_seek_ms >= 0) || !(params.rotational_latency_ms >= 0) ||
+      !(params.transfer_ms_per_kb >= 0) || !(params.bucket_kb > 0)) {
+    return Status::InvalidArgument("disk service parameters out of domain");
+  }
+  if (!(params.near_seek_factor >= 0) || !(params.near_seek_factor <= 1)) {
+    return Status::InvalidArgument("near_seek_factor must be in [0, 1]");
+  }
+  if (!slowdown.empty() && slowdown.size() != num_disks) {
+    return Status::InvalidArgument("need one slowdown entry per disk");
+  }
+  for (double s : slowdown) {
+    if (!(s > 0)) {
+      return Status::InvalidArgument("slowdown factors must be positive");
+    }
+  }
+  return ParallelIoSimulator(num_disks, params, std::move(slowdown));
+}
+
 double ParallelIoSimulator::slowdown(uint32_t disk) const {
   GRIDDECL_CHECK(disk < num_disks_);
   return slowdown_.empty() ? 1.0 : slowdown_[disk];
@@ -76,6 +99,72 @@ SimResult ParallelIoSimulator::RunQuery(const DiskMap& map,
     }
   });
   return RunSchedule(schedule);
+}
+
+Result<SimResult> ParallelIoSimulator::RunQueryDegraded(
+    const RangeQuery& query, const DegradedPlan& plan,
+    const FaultModel& faults) const {
+  if (plan.num_disks() != num_disks_) {
+    return Status::InvalidArgument(
+        "degraded plan covers " + std::to_string(plan.num_disks()) +
+        " disks, simulator has " + std::to_string(num_disks_));
+  }
+  if (faults.num_disks() != num_disks_) {
+    return Status::InvalidArgument(
+        "fault model covers " + std::to_string(faults.num_disks()) +
+        " disks, simulator has " + std::to_string(num_disks_));
+  }
+  Result<DegradedPlan::QueryPlan> expanded = plan.ExpandQuery(query);
+  if (!expanded.ok()) return expanded.status();
+  const DegradedPlan::QueryPlan& qp = expanded.value();
+  SimResult result = RunScheduleWithFaults(qp.per_disk, faults);
+  result.unavailable_buckets = qp.unavailable_buckets;
+  result.rerouted_buckets = qp.rerouted_buckets;
+  result.reconstruction_reads = qp.reconstruction_reads;
+  return result;
+}
+
+SimResult ParallelIoSimulator::RunScheduleWithFaults(
+    const std::vector<std::vector<uint64_t>>& per_disk_addresses,
+    const FaultModel& faults) const {
+  GRIDDECL_CHECK(per_disk_addresses.size() == num_disks_);
+  SimResult result;
+  result.per_disk.resize(num_disks_);
+  const double transfer = params_.TransferMs();
+  const double position =
+      params_.avg_seek_ms + params_.rotational_latency_ms;
+  for (uint32_t d = 0; d < num_disks_; ++d) {
+    std::vector<uint64_t> addrs = per_disk_addresses[d];
+    std::sort(addrs.begin(), addrs.end());
+    const double base_scale = slowdown(d);
+    double busy = 0.0;
+    bool have_prev = false;
+    uint64_t prev = 0;
+    for (uint64_t addr : addrs) {
+      double seek_cost = position;
+      if (have_prev && addr - prev <= params_.near_gap_buckets) {
+        seek_cost *= params_.near_seek_factor;
+      }
+      const double service = seek_cost + transfer;
+      // k failed attempts pay the full service again plus a firmware-wait
+      // backoff (not scaled by disk speed); the (k+1)-th attempt succeeds.
+      const uint32_t k = faults.TransientRetries(d, addr);
+      for (uint32_t attempt = 0; attempt <= k; ++attempt) {
+        // Straggler windows are evaluated at the attempt's start time on
+        // this disk's serial timeline; with no stragglers the factor is
+        // exactly 1.0, keeping the healthy path bit-identical.
+        busy += service * (base_scale * faults.SlowdownAt(d, busy));
+        if (attempt < k) busy += faults.spec().retry_backoff_ms;
+      }
+      result.transient_retries += k;
+      prev = addr;
+      have_prev = true;
+    }
+    result.per_disk[d].requests = addrs.size();
+    result.per_disk[d].busy_ms = busy;
+    result.makespan_ms = std::max(result.makespan_ms, busy);
+  }
+  return result;
 }
 
 SimResult ParallelIoSimulator::RunSchedule(

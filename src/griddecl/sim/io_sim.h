@@ -8,6 +8,7 @@
 #include "griddecl/eval/disk_map.h"
 #include "griddecl/methods/method.h"
 #include "griddecl/query/query.h"
+#include "griddecl/sim/faults.h"
 
 /// \file
 /// Parallel I/O subsystem simulator.
@@ -56,6 +57,19 @@ struct SimResult {
   double makespan_ms = 0.0;
   std::vector<DiskSimStats> per_disk;
 
+  /// Availability accounting (all zero on the healthy path).
+  /// Buckets that could not be served at all; a query with any is failed.
+  uint64_t unavailable_buckets = 0;
+  /// Buckets served by a non-primary replica (degraded re-routing).
+  uint64_t rerouted_buckets = 0;
+  /// Extra reads issued to rebuild dead-disk buckets from parity groups.
+  uint64_t reconstruction_reads = 0;
+  /// Failed request attempts that were retried (transient errors).
+  uint64_t transient_retries = 0;
+
+  /// True when the query could not be fully answered.
+  bool Unavailable() const { return unavailable_buckets > 0; }
+
   uint64_t TotalRequests() const;
   /// Sum of per-disk busy time: what a single disk would have taken.
   double SerialMs() const;
@@ -78,6 +92,15 @@ class ParallelIoSimulator {
   ParallelIoSimulator(uint32_t num_disks, DiskParams params,
                       std::vector<double> slowdown);
 
+  /// Validated factory: rejects (with kInvalidArgument, instead of the
+  /// constructors' process-fatal checks) num_disks == 0, negative service
+  /// parameters, a slowdown array of the wrong length, and non-positive
+  /// slowdown entries.
+  static Result<ParallelIoSimulator> Create(uint32_t num_disks,
+                                            DiskParams params,
+                                            std::vector<double> slowdown =
+                                                {});
+
   uint32_t num_disks() const { return num_disks_; }
   const DiskParams& params() const { return params_; }
   /// Per-disk service-time multiplier.
@@ -96,6 +119,26 @@ class ParallelIoSimulator {
   /// Lower-level entry: per-disk lists of grid-linear bucket addresses.
   SimResult RunSchedule(
       const std::vector<std::vector<uint64_t>>& per_disk_addresses) const;
+
+  /// Degraded-mode simulation: buckets on failed disks are served per
+  /// `plan` (unavailable / re-routed / reconstructed — reconstruction
+  /// fans out real extra requests that inflate the makespan), transient
+  /// errors retry on the owning disk with backoff, and stragglers scale
+  /// service times at each request's start time. `plan` and `faults` must
+  /// match the simulator's disk count. Permanent failures use the plan's
+  /// terminal mask (this simulator models one query starting at t = 0).
+  /// With a no-op fault model and an all-alive plan the result is
+  /// bit-identical to `RunQuery`.
+  Result<SimResult> RunQueryDegraded(const RangeQuery& query,
+                                     const DegradedPlan& plan,
+                                     const FaultModel& faults) const;
+
+  /// Fault-aware variant of `RunSchedule`: per-request transient retries
+  /// and time-varying straggler slowdowns (evaluated at each request's
+  /// start on its disk's serial timeline).
+  SimResult RunScheduleWithFaults(
+      const std::vector<std::vector<uint64_t>>& per_disk_addresses,
+      const FaultModel& faults) const;
 
  private:
   uint32_t num_disks_;

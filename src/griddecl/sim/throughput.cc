@@ -15,17 +15,16 @@ double ThroughputResult::MeanDiskUtilization() const {
   return sum / static_cast<double>(disk_busy_ms.size());
 }
 
-Result<ThroughputResult> SimulateThroughput(const DeclusteringMethod& method,
-                                            const Workload& workload,
-                                            const ThroughputOptions& options) {
+Status ValidateThroughputOptions(const ThroughputOptions& options,
+                                 const Workload& workload,
+                                 uint32_t num_disks) {
   if (options.concurrency < 1) {
     return Status::InvalidArgument("concurrency must be >= 1");
   }
   if (workload.empty()) {
     return Status::InvalidArgument("workload must be non-empty");
   }
-  const uint32_t m = method.num_disks();
-  if (!options.slowdown.empty() && options.slowdown.size() != m) {
+  if (!options.slowdown.empty() && options.slowdown.size() != num_disks) {
     return Status::InvalidArgument("need one slowdown entry per disk");
   }
   for (double s : options.slowdown) {
@@ -33,6 +32,29 @@ Result<ThroughputResult> SimulateThroughput(const DeclusteringMethod& method,
       return Status::InvalidArgument("slowdown factors must be positive");
     }
   }
+  if (options.faults != nullptr &&
+      options.faults->num_disks() != num_disks) {
+    return Status::InvalidArgument(
+        "fault model covers " +
+        std::to_string(options.faults->num_disks()) + " disks, method has " +
+        std::to_string(num_disks));
+  }
+  if (options.degraded != nullptr &&
+      options.degraded->num_disks() != num_disks) {
+    return Status::InvalidArgument(
+        "degraded plan covers " +
+        std::to_string(options.degraded->num_disks()) +
+        " disks, method has " + std::to_string(num_disks));
+  }
+  return Status::Ok();
+}
+
+Result<ThroughputResult> SimulateThroughput(const DeclusteringMethod& method,
+                                            const Workload& workload,
+                                            const ThroughputOptions& options) {
+  const uint32_t m = method.num_disks();
+  GRIDDECL_RETURN_IF_ERROR(
+      ValidateThroughputOptions(options, workload, m));
   const GridSpec& grid = method.grid();
   const DiskParams& p = options.params;
   const double transfer = p.TransferMs();
@@ -57,6 +79,56 @@ Result<ThroughputResult> SimulateThroughput(const DeclusteringMethod& method,
     return busy;
   };
 
+  // Fault-aware per-batch service: straggler windows evaluated at each
+  // request's start time on the disk's timeline, transient retries re-run
+  // the request on the owning disk with a backoff wait. Reduces exactly to
+  // `batch_service * scale` when the model is a no-op.
+  const FaultModel* fm = options.faults;
+  auto faulty_batch_service = [&](std::vector<uint64_t>& addrs, uint32_t d,
+                                  double start, double base_scale,
+                                  uint64_t& retries) {
+    std::sort(addrs.begin(), addrs.end());
+    double t = start;
+    bool have_prev = false;
+    uint64_t prev = 0;
+    for (uint64_t addr : addrs) {
+      double seek = position;
+      if (have_prev && addr - prev <= p.near_gap_buckets) {
+        seek *= p.near_seek_factor;
+      }
+      const uint32_t k = fm->TransientRetries(d, addr);
+      for (uint32_t attempt = 0; attempt <= k; ++attempt) {
+        t += (seek + transfer) * (base_scale * fm->SlowdownAt(d, t));
+        if (attempt < k) t += fm->spec().retry_backoff_ms;
+      }
+      retries += k;
+      prev = addr;
+      have_prev = true;
+    }
+    return t - start;
+  };
+
+  const bool faulty = (fm != nullptr && !fm->IsNoop()) ||
+                      options.degraded != nullptr;
+  // Failure handling needs a plan; default to the plain-method policy
+  // (dead-disk buckets are unavailable) when the caller gave none.
+  std::optional<DegradedPlan> default_plan;
+  const DegradedPlan* plan = options.degraded;
+  if (fm != nullptr && fm->has_failures() && plan == nullptr) {
+    Result<DegradedPlan> p_plain =
+        DegradedPlan::ForMethod(method, fm->terminal_failed());
+    if (!p_plain.ok()) return p_plain.status();
+    default_plan.emplace(std::move(p_plain).value());
+    plan = &*default_plan;
+  }
+  std::optional<FaultModel> noop_faults;
+  if (faulty && fm == nullptr) {
+    // A degraded plan without a fault model: static failures, no
+    // transients or stragglers.
+    noop_faults.emplace(FaultModel::None(m));
+    fm = &*noop_faults;
+  }
+
   ThroughputResult result;
   result.num_queries = workload.size();
   result.disk_busy_ms.assign(m, 0.0);
@@ -64,7 +136,7 @@ Result<ThroughputResult> SimulateThroughput(const DeclusteringMethod& method,
   // One materialized map serves every query of the run (subject to the
   // memory cap); bucket grid-linear addresses equal the map's flat indices.
   std::optional<DiskMap> map;
-  if (options.use_disk_map &&
+  if (!faulty && options.use_disk_map &&
       DiskMap::BytesNeeded(grid, m) <= options.max_disk_map_bytes) {
     map.emplace(DiskMap::Build(method));
   }
@@ -74,6 +146,7 @@ Result<ThroughputResult> SimulateThroughput(const DeclusteringMethod& method,
   std::priority_queue<double, std::vector<double>, std::greater<double>>
       in_flight;
   double latency_sum = 0;
+  uint64_t answered = 0;
 
   for (const RangeQuery& q : workload.queries) {
     // Admission: wait for a slot.
@@ -84,7 +157,24 @@ Result<ThroughputResult> SimulateThroughput(const DeclusteringMethod& method,
     }
     // Collect the query's per-disk batches.
     std::vector<std::vector<uint64_t>> batches(m);
-    if (map) {
+    if (faulty && plan != nullptr) {
+      // Disk liveness as of this query's admission instant.
+      const std::vector<bool> mask =
+          fm->has_failures() ? fm->FailedMaskAt(admit) : plan->failed();
+      Result<DegradedPlan::QueryPlan> qp = plan->ExpandQuery(q, &mask);
+      if (!qp.ok()) return qp.status();
+      if (qp.value().unavailable_buckets > 0) {
+        // The query fails at admission: no reads are issued, the slot
+        // frees immediately.
+        ++result.unavailable_queries;
+        in_flight.push(admit);
+        result.total_ms = std::max(result.total_ms, admit);
+        continue;
+      }
+      batches = std::move(qp.value().per_disk);
+      result.rerouted_buckets += qp.value().rerouted_buckets;
+      result.reconstruction_reads += qp.value().reconstruction_reads;
+    } else if (map) {
       map->ForEachRowSpan(q.rect(), [&](uint64_t begin, uint64_t length) {
         for (uint64_t j = 0; j < length; ++j) {
           batches[map->DiskAt(begin + j)].push_back(begin + j);
@@ -100,20 +190,24 @@ Result<ThroughputResult> SimulateThroughput(const DeclusteringMethod& method,
       if (batches[d].empty()) continue;
       const double scale =
           options.slowdown.empty() ? 1.0 : options.slowdown[d];
-      const double service = batch_service(batches[d]) * scale;
       const double start = std::max(disk_free[d], admit);
+      const double service =
+          faulty ? faulty_batch_service(batches[d], d, start, scale,
+                                        result.transient_retries)
+                 : batch_service(batches[d]) * scale;
       disk_free[d] = start + service;
       result.disk_busy_ms[d] += service;
       completion = std::max(completion, disk_free[d]);
     }
     in_flight.push(completion);
     const double latency = completion - admit;
+    ++answered;
     latency_sum += latency;
     result.max_latency_ms = std::max(result.max_latency_ms, latency);
     result.total_ms = std::max(result.total_ms, completion);
   }
   result.mean_latency_ms =
-      latency_sum / static_cast<double>(workload.size());
+      answered == 0 ? 0.0 : latency_sum / static_cast<double>(answered);
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "griddecl/query/workload.h"
+#include "griddecl/sim/faults.h"
 #include "griddecl/sim/io_sim.h"
 
 /// \file
@@ -44,6 +45,18 @@ struct ThroughputOptions {
   /// would exceed `max_disk_map_bytes`.
   bool use_disk_map = true;
   uint64_t max_disk_map_bytes = 256ull << 20;
+  /// Optional fault injection (non-owning; must outlive the call and match
+  /// the method's disk count). Disk liveness is evaluated at each query's
+  /// admission time, so a failure `at_ms` mid-run degrades only the
+  /// queries admitted after it. Null means a healthy run — the result is
+  /// then bit-identical to the pre-fault-model simulator.
+  const FaultModel* faults = nullptr;
+  /// How dead-disk buckets are served (non-owning). When `faults` has
+  /// permanent failures and this is null, buckets on dead disks are
+  /// unavailable (the plain-method policy). Degraded reads only target
+  /// disks that never fail (the plan is built against the terminal mask),
+  /// which keeps mid-run failure handling conservative but deterministic.
+  const DegradedPlan* degraded = nullptr;
 };
 
 /// Result of simulating one workload.
@@ -56,13 +69,40 @@ struct ThroughputResult {
     return total_ms <= 0 ? 0 : 1000.0 * static_cast<double>(num_queries) /
                                    total_ms;
   }
+  /// Mean/max latency over *answered* queries (unavailable queries are
+  /// excluded; they fail at admission rather than running).
   double mean_latency_ms = 0;
   double max_latency_ms = 0;
   /// Busy time per disk.
   std::vector<double> disk_busy_ms;
   /// Mean busy/total across disks, in [0, 1].
   double MeanDiskUtilization() const;
+
+  /// Availability accounting (all zero on the healthy path).
+  /// Queries that touched a bucket no strategy could serve.
+  uint64_t unavailable_queries = 0;
+  /// Failed request attempts that were retried (transient errors).
+  uint64_t transient_retries = 0;
+  /// Extra reads issued to rebuild dead-disk buckets from parity groups.
+  uint64_t reconstruction_reads = 0;
+  /// Buckets served by a non-primary replica.
+  uint64_t rerouted_buckets = 0;
+  /// Fraction of queries answered, in [0, 1].
+  double Availability() const {
+    return num_queries == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(unavailable_queries) /
+                           static_cast<double>(num_queries);
+  }
 };
+
+/// Shared validation for the closed-system simulators (`SimulateThroughput`
+/// and `SimulateInterleaved`): concurrency >= 1, non-empty workload,
+/// positive slowdown entries of the right arity, and fault model /
+/// degraded plan disk counts matching `num_disks`.
+Status ValidateThroughputOptions(const ThroughputOptions& options,
+                                 const Workload& workload,
+                                 uint32_t num_disks);
 
 /// Simulates the workload's queries through `method`'s declustering at the
 /// given multiprogramming level. Queries are admitted in workload order.

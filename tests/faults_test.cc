@@ -1,0 +1,506 @@
+#include "griddecl/sim/faults.h"
+
+#include <gtest/gtest.h>
+
+#include "griddecl/methods/registry.h"
+#include "griddecl/methods/replicated.h"
+#include "griddecl/query/generator.h"
+#include "griddecl/sim/event_sim.h"
+#include "griddecl/sim/io_sim.h"
+#include "griddecl/sim/throughput.h"
+
+namespace griddecl {
+namespace {
+
+DiskParams SimpleParams() {
+  DiskParams p;
+  p.avg_seek_ms = 10.0;
+  p.rotational_latency_ms = 0.0;
+  p.transfer_ms_per_kb = 0.125;
+  p.bucket_kb = 8.0;  // 1 ms transfer.
+  p.near_seek_factor = 0.1;
+  p.near_gap_buckets = 4;
+  return p;
+}
+
+// ---------------------------------------------------------------- FaultModel
+
+TEST(FaultModelTest, CreateValidation) {
+  FaultSpec bad_disk;
+  bad_disk.failures = {{7, 0.0}};
+  EXPECT_FALSE(FaultModel::Create(4, bad_disk).ok());
+
+  FaultSpec bad_time;
+  bad_time.failures = {{0, -1.0}};
+  EXPECT_FALSE(FaultModel::Create(4, bad_time).ok());
+
+  FaultSpec bad_prob;
+  bad_prob.transient_error_prob = 1.0;  // Would retry forever.
+  EXPECT_FALSE(FaultModel::Create(4, bad_prob).ok());
+
+  FaultSpec bad_backoff;
+  bad_backoff.retry_backoff_ms = -1.0;
+  EXPECT_FALSE(FaultModel::Create(4, bad_backoff).ok());
+
+  FaultSpec bad_factor;
+  bad_factor.stragglers = {{0, 0.0, 0.0, 10.0}};
+  EXPECT_FALSE(FaultModel::Create(4, bad_factor).ok());
+
+  FaultSpec bad_window;
+  bad_window.stragglers = {{0, 2.0, 10.0, 5.0}};
+  EXPECT_FALSE(FaultModel::Create(4, bad_window).ok());
+
+  EXPECT_FALSE(FaultModel::Create(0, FaultSpec{}).ok());
+  EXPECT_TRUE(FaultModel::Create(4, FaultSpec{}).ok());
+}
+
+TEST(FaultModelTest, FailureTiming) {
+  FaultSpec spec;
+  spec.failures = {{1, 0.0}, {3, 100.0}};
+  const FaultModel fm = FaultModel::Create(4, spec).value();
+  EXPECT_TRUE(fm.has_failures());
+  EXPECT_EQ(fm.num_terminal_failed(), 2u);
+
+  EXPECT_TRUE(fm.FailedAt(1, 0.0));
+  EXPECT_FALSE(fm.FailedAt(3, 99.9));
+  EXPECT_TRUE(fm.FailedAt(3, 100.0));
+  EXPECT_FALSE(fm.FailedAt(0, 1e9));
+
+  const std::vector<bool> early = fm.FailedMaskAt(50.0);
+  EXPECT_EQ(early, (std::vector<bool>{false, true, false, false}));
+  EXPECT_EQ(fm.terminal_failed(),
+            (std::vector<bool>{false, true, false, true}));
+}
+
+TEST(FaultModelTest, StragglerWindowsCompound) {
+  FaultSpec spec;
+  spec.stragglers = {{0, 2.0, 10.0, 20.0}, {0, 3.0, 15.0, 30.0}};
+  const FaultModel fm = FaultModel::Create(2, spec).value();
+  EXPECT_DOUBLE_EQ(fm.SlowdownAt(0, 5.0), 1.0);    // Before both windows.
+  EXPECT_DOUBLE_EQ(fm.SlowdownAt(0, 12.0), 2.0);   // First only.
+  EXPECT_DOUBLE_EQ(fm.SlowdownAt(0, 17.0), 6.0);   // Overlap compounds.
+  EXPECT_DOUBLE_EQ(fm.SlowdownAt(0, 25.0), 3.0);   // Second only.
+  EXPECT_DOUBLE_EQ(fm.SlowdownAt(0, 30.0), 1.0);   // Past both ends.
+  EXPECT_DOUBLE_EQ(fm.SlowdownAt(1, 17.0), 1.0);   // Other disk untouched.
+  EXPECT_FALSE(fm.IsNoop());
+}
+
+TEST(FaultModelTest, TransientErrorsDeterministicAndBounded) {
+  FaultSpec spec;
+  spec.seed = 7;
+  spec.transient_error_prob = 0.5;
+  spec.max_retries = 3;
+  const FaultModel fm = FaultModel::Create(4, spec).value();
+  for (uint64_t addr = 0; addr < 64; ++addr) {
+    const uint32_t k = fm.TransientRetries(1, addr);
+    EXPECT_LE(k, 3u);
+    EXPECT_EQ(k, fm.TransientRetries(1, addr));  // Pure function.
+    // Bounded retry: the attempt after the last allowed failure succeeds.
+    EXPECT_FALSE(fm.AttemptFails(1, addr, 3));
+  }
+  // The same (seed, disk, address) pattern in an independent model.
+  const FaultModel fm2 = FaultModel::Create(4, spec).value();
+  for (uint64_t addr = 0; addr < 64; ++addr) {
+    EXPECT_EQ(fm.TransientRetries(2, addr), fm2.TransientRetries(2, addr));
+  }
+  // Zero probability => noop, regardless of retry settings.
+  FaultSpec clean;
+  clean.max_retries = 5;
+  const FaultModel none = FaultModel::Create(4, clean).value();
+  EXPECT_TRUE(none.IsNoop());
+  EXPECT_EQ(none.TransientRetries(0, 123), 0u);
+}
+
+TEST(FaultModelTest, TransientRateTracksProbability) {
+  FaultSpec spec;
+  spec.seed = 11;
+  spec.transient_error_prob = 0.25;
+  const FaultModel fm = FaultModel::Create(2, spec).value();
+  uint32_t fails = 0;
+  const uint32_t trials = 4000;
+  for (uint64_t addr = 0; addr < trials; ++addr) {
+    fails += fm.AttemptFails(0, addr, 0) ? 1 : 0;
+  }
+  const double rate = static_cast<double>(fails) / trials;
+  EXPECT_NEAR(rate, 0.25, 0.03);
+}
+
+// -------------------------------------------------------------- DegradedPlan
+
+TEST(DegradedPlanTest, PlainMarksDeadBucketsUnavailable) {
+  const GridSpec grid = GridSpec::Create({4, 4}).value();
+  const auto dm = CreateMethod("dm", grid, 4).value();
+  std::vector<bool> failed(4, false);
+  failed[0] = true;
+  const DegradedPlan plan = DegradedPlan::ForMethod(*dm, failed).value();
+  EXPECT_EQ(plan.strategy(), DegradedReadStrategy::kUnavailable);
+
+  const RangeQuery q =
+      RangeQuery::Create(grid, BucketRect::Full(grid)).value();
+  const DegradedPlan::QueryPlan qp = plan.ExpandQuery(q).value();
+  // DM on 4x4 with M=4: (i + j) mod 4 == 0 for exactly 4 buckets.
+  EXPECT_EQ(qp.unavailable_buckets, 4u);
+  EXPECT_TRUE(qp.per_disk[0].empty());
+  uint64_t reads = 0;
+  for (const auto& batch : qp.per_disk) reads += batch.size();
+  EXPECT_EQ(reads, q.NumBuckets() - 4);
+  EXPECT_EQ(qp.rerouted_buckets, 0u);
+  EXPECT_EQ(qp.reconstruction_reads, 0u);
+}
+
+TEST(DegradedPlanTest, ReplicatedReroutesAroundFailure) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  auto base = CreateMethod("dm", grid, 4).value();
+  const ReplicatedPlacement placement =
+      ReplicatedPlacement::Create(std::move(base), 2, 1).value();
+  std::vector<bool> failed(4, false);
+  failed[0] = true;
+  const DegradedPlan plan =
+      DegradedPlan::ForReplicated(placement, failed).value();
+
+  const RangeQuery q =
+      RangeQuery::Create(grid, BucketRect::Full(grid)).value();
+  const DegradedPlan::QueryPlan qp = plan.ExpandQuery(q).value();
+  EXPECT_EQ(qp.unavailable_buckets, 0u);
+  EXPECT_TRUE(qp.per_disk[0].empty());
+  EXPECT_GT(qp.rerouted_buckets, 0u);
+  uint64_t reads = 0;
+  for (const auto& batch : qp.per_disk) reads += batch.size();
+  EXPECT_EQ(reads, q.NumBuckets());
+}
+
+TEST(DegradedPlanTest, ReplicatedWholeQueryUnavailable) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  auto base = CreateMethod("dm", grid, 4).value();
+  const ReplicatedPlacement placement =
+      ReplicatedPlacement::Create(std::move(base), 2, 1).value();
+  // Chained r=2 stores on d and d+1: disks {0, 1} dead kills both copies
+  // of every primary-0 bucket.
+  std::vector<bool> failed = {true, true, false, false};
+  const DegradedPlan plan =
+      DegradedPlan::ForReplicated(placement, failed).value();
+  const RangeQuery q =
+      RangeQuery::Create(grid, BucketRect::Full(grid)).value();
+  const DegradedPlan::QueryPlan qp = plan.ExpandQuery(q).value();
+  EXPECT_EQ(qp.unavailable_buckets, q.NumBuckets());
+}
+
+TEST(DegradedPlanTest, EccRequiresEccMethod) {
+  const GridSpec grid = GridSpec::Create({32, 32}).value();
+  const auto hcam = CreateMethod("hcam", grid, 8).value();
+  const auto r = DegradedPlan::ForEcc(*hcam, std::vector<bool>(8, false));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(DegradedPlanTest, EccReconstructsSingleFailure) {
+  const GridSpec grid = GridSpec::Create({32, 32}).value();
+  const auto ecc = CreateMethod("ecc", grid, 8).value();
+  std::vector<bool> failed(8, false);
+  failed[0] = true;
+  const DegradedPlan plan = DegradedPlan::ForEcc(*ecc, failed).value();
+
+  const RangeQuery q = RangeQuery::Create(
+      grid, BucketRect::Create({0, 0}, {7, 7}).value()).value();
+  uint64_t dead_primaries = 0;
+  q.rect().ForEachBucket([&](const BucketCoords& c) {
+    dead_primaries += ecc->DiskOf(c) == 0 ? 1 : 0;
+  });
+  ASSERT_GT(dead_primaries, 0u);
+
+  const DegradedPlan::QueryPlan qp = plan.ExpandQuery(q).value();
+  // Single failure: distance 3 guarantees every group member survives.
+  EXPECT_EQ(qp.unavailable_buckets, 0u);
+  EXPECT_TRUE(qp.per_disk[0].empty());  // Nothing reads the dead disk.
+  // 32x32 => 10 concatenated coordinate bits => 10 reads per rebuild.
+  EXPECT_EQ(qp.reconstruction_reads, dead_primaries * 10);
+  uint64_t reads = 0;
+  for (const auto& batch : qp.per_disk) reads += batch.size();
+  EXPECT_EQ(reads,
+            q.NumBuckets() - dead_primaries + qp.reconstruction_reads);
+}
+
+TEST(DegradedPlanTest, EccDoubleFailureLosesBuckets) {
+  const GridSpec grid = GridSpec::Create({32, 32}).value();
+  const auto ecc = CreateMethod("ecc", grid, 8).value();
+  std::vector<bool> failed(8, false);
+  failed[0] = true;
+  failed[1] = true;
+  const DegradedPlan plan = DegradedPlan::ForEcc(*ecc, failed).value();
+  const RangeQuery q =
+      RangeQuery::Create(grid, BucketRect::Full(grid)).value();
+  const DegradedPlan::QueryPlan qp = plan.ExpandQuery(q).value();
+  // Beyond the code's single-failure tolerance: buckets are lost.
+  EXPECT_GT(qp.unavailable_buckets, 0u);
+}
+
+TEST(DegradedPlanTest, FailedNowOverridesTerminalMask) {
+  const GridSpec grid = GridSpec::Create({4, 4}).value();
+  const auto dm = CreateMethod("dm", grid, 4).value();
+  std::vector<bool> failed(4, false);
+  failed[0] = true;
+  const DegradedPlan plan = DegradedPlan::ForMethod(*dm, failed).value();
+  const RangeQuery q =
+      RangeQuery::Create(grid, BucketRect::Full(grid)).value();
+  // Before the failure takes effect, everything is readable.
+  const std::vector<bool> alive(4, false);
+  EXPECT_EQ(plan.ExpandQuery(q, &alive).value().unavailable_buckets, 0u);
+  EXPECT_EQ(plan.ExpandQuery(q).value().unavailable_buckets, 4u);
+  // Arity errors are rejected.
+  const std::vector<bool> wrong(3, false);
+  EXPECT_FALSE(plan.ExpandQuery(q, &wrong).ok());
+}
+
+// --------------------------------------------------------- simulator wiring
+
+TEST(SimFaultsTest, SimulatorCreateValidation) {
+  EXPECT_FALSE(ParallelIoSimulator::Create(0, SimpleParams()).ok());
+  DiskParams bad = SimpleParams();
+  bad.avg_seek_ms = -1.0;
+  EXPECT_FALSE(ParallelIoSimulator::Create(2, bad).ok());
+  EXPECT_FALSE(
+      ParallelIoSimulator::Create(2, SimpleParams(), {1.0}).ok());
+  EXPECT_FALSE(
+      ParallelIoSimulator::Create(2, SimpleParams(), {1.0, 0.0}).ok());
+  EXPECT_FALSE(
+      ParallelIoSimulator::Create(2, SimpleParams(), {1.0, -2.0}).ok());
+  EXPECT_TRUE(
+      ParallelIoSimulator::Create(2, SimpleParams(), {1.0, 2.0}).ok());
+}
+
+TEST(SimFaultsTest, ThroughputOptionsValidation) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto dm = CreateMethod("dm", grid, 4).value();
+  QueryGenerator gen(grid);
+  const Workload w = gen.AllPlacements({2, 2}, "w").value();
+
+  ThroughputOptions zero_mpl;
+  zero_mpl.concurrency = 0;
+  EXPECT_FALSE(SimulateThroughput(*dm, w, zero_mpl).ok());
+  EXPECT_FALSE(SimulateInterleaved(*dm, w, zero_mpl).ok());
+
+  ThroughputOptions bad_slow;
+  bad_slow.slowdown = {1.0, 0.0, 1.0, 1.0};
+  EXPECT_FALSE(SimulateThroughput(*dm, w, bad_slow).ok());
+  EXPECT_FALSE(SimulateInterleaved(*dm, w, bad_slow).ok());
+
+  const FaultModel wrong_arity = FaultModel::None(8);
+  ThroughputOptions bad_faults;
+  bad_faults.faults = &wrong_arity;
+  EXPECT_FALSE(SimulateThroughput(*dm, w, bad_faults).ok());
+  EXPECT_FALSE(SimulateInterleaved(*dm, w, bad_faults).ok());
+
+  const auto other = CreateMethod("dm", grid, 8).value();
+  const DegradedPlan wrong_plan =
+      DegradedPlan::ForMethod(*other, std::vector<bool>(8, false)).value();
+  ThroughputOptions bad_plan;
+  bad_plan.degraded = &wrong_plan;
+  EXPECT_FALSE(SimulateThroughput(*dm, w, bad_plan).ok());
+  EXPECT_FALSE(SimulateInterleaved(*dm, w, bad_plan).ok());
+}
+
+TEST(SimFaultsTest, ZeroFaultsBitIdenticalSingleQuery) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto hcam = CreateMethod("hcam", grid, 4).value();
+  const ParallelIoSimulator sim(4, SimpleParams());
+  const FaultModel none = FaultModel::None(4);
+  const DegradedPlan plan =
+      DegradedPlan::ForMethod(*hcam, std::vector<bool>(4, false)).value();
+  const RangeQuery q = RangeQuery::Create(
+      grid, BucketRect::Create({1, 2}, {9, 11}).value()).value();
+
+  const SimResult healthy = sim.RunQuery(*hcam, q);
+  const SimResult degraded = sim.RunQueryDegraded(q, plan, none).value();
+  EXPECT_EQ(healthy.makespan_ms, degraded.makespan_ms);  // Bit-identical.
+  ASSERT_EQ(healthy.per_disk.size(), degraded.per_disk.size());
+  for (size_t d = 0; d < healthy.per_disk.size(); ++d) {
+    EXPECT_EQ(healthy.per_disk[d].busy_ms, degraded.per_disk[d].busy_ms);
+    EXPECT_EQ(healthy.per_disk[d].requests, degraded.per_disk[d].requests);
+  }
+  EXPECT_EQ(degraded.transient_retries, 0u);
+  EXPECT_FALSE(degraded.Unavailable());
+}
+
+TEST(SimFaultsTest, ZeroFaultsMatchesHealthyMultiQuery) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto hcam = CreateMethod("hcam", grid, 4).value();
+  QueryGenerator gen(grid);
+  Rng rng(3);
+  const Workload w = gen.SampledPlacements({3, 3}, 40, &rng, "w").value();
+  const DegradedPlan plan =
+      DegradedPlan::ForMethod(*hcam, std::vector<bool>(4, false)).value();
+
+  ThroughputOptions healthy_opts;
+  ThroughputOptions degraded_opts;
+  degraded_opts.degraded = &plan;  // Forces the fault-aware path.
+
+  const ThroughputResult h =
+      SimulateThroughput(*hcam, w, healthy_opts).value();
+  const ThroughputResult d =
+      SimulateThroughput(*hcam, w, degraded_opts).value();
+  // The fault-aware batch clock accumulates from the batch's start time
+  // rather than zero, so allow rounding in the last few ulps.
+  EXPECT_NEAR(d.total_ms, h.total_ms, 1e-9 * h.total_ms);
+  EXPECT_NEAR(d.mean_latency_ms, h.mean_latency_ms,
+              1e-9 * h.mean_latency_ms);
+  EXPECT_EQ(d.unavailable_queries, 0u);
+  EXPECT_DOUBLE_EQ(d.Availability(), 1.0);
+
+  // The interleaved simulator's per-request arithmetic is unchanged:
+  // bit-identical results through the fault-aware path.
+  const ThroughputResult hi =
+      SimulateInterleaved(*hcam, w, healthy_opts).value();
+  const ThroughputResult di =
+      SimulateInterleaved(*hcam, w, degraded_opts).value();
+  EXPECT_EQ(di.total_ms, hi.total_ms);
+  EXPECT_EQ(di.mean_latency_ms, hi.mean_latency_ms);
+  EXPECT_EQ(di.max_latency_ms, hi.max_latency_ms);
+  EXPECT_EQ(di.unavailable_queries, 0u);
+}
+
+TEST(SimFaultsTest, TransientRetriesInflateMakespanDeterministically) {
+  const ParallelIoSimulator sim(2, SimpleParams());
+  std::vector<std::vector<uint64_t>> schedule = {
+      {0, 10, 20, 30, 40, 50, 60, 70, 80, 90}, {5, 15, 25}};
+  FaultSpec spec;
+  spec.seed = 21;
+  spec.transient_error_prob = 0.3;
+  spec.retry_backoff_ms = 2.0;
+  const FaultModel fm = FaultModel::Create(2, spec).value();
+
+  const SimResult clean = sim.RunSchedule(schedule);
+  const SimResult a = sim.RunScheduleWithFaults(schedule, fm);
+  const SimResult b = sim.RunScheduleWithFaults(schedule, fm);
+  EXPECT_GT(a.transient_retries, 0u);
+  EXPECT_GT(a.makespan_ms, clean.makespan_ms);
+  EXPECT_EQ(a.makespan_ms, b.makespan_ms);  // Same seed, same run.
+  EXPECT_EQ(a.transient_retries, b.transient_retries);
+}
+
+TEST(SimFaultsTest, StragglerWindowScalesService) {
+  const ParallelIoSimulator sim(1, SimpleParams());
+  FaultSpec spec;
+  spec.stragglers = {{0, 2.0}};  // Slow from t=0 forever.
+  const FaultModel fm = FaultModel::Create(1, spec).value();
+  const SimResult clean = sim.RunSchedule({{100}});
+  const SimResult slow = sim.RunScheduleWithFaults({{100}}, fm);
+  EXPECT_DOUBLE_EQ(slow.makespan_ms, 2.0 * clean.makespan_ms);
+}
+
+TEST(SimFaultsTest, PermanentFailureCostsAvailability) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto dm = CreateMethod("dm", grid, 4).value();
+  QueryGenerator gen(grid);
+  const Workload w = gen.AllPlacements({1, 1}, "points").value();
+
+  FaultSpec spec;
+  spec.failures = {{0, 0.0}};
+  const FaultModel fm = FaultModel::Create(4, spec).value();
+  ThroughputOptions opts;
+  opts.faults = &fm;  // No plan: plain policy by default.
+
+  // DM on 8x8 with M=4 puts exactly 16 of 64 point queries on disk 0.
+  const ThroughputResult r = SimulateThroughput(*dm, w, opts).value();
+  EXPECT_EQ(r.unavailable_queries, 16u);
+  EXPECT_DOUBLE_EQ(r.Availability(), 0.75);
+  const ThroughputResult ri = SimulateInterleaved(*dm, w, opts).value();
+  EXPECT_EQ(ri.unavailable_queries, 16u);
+  EXPECT_DOUBLE_EQ(ri.Availability(), 0.75);
+}
+
+TEST(SimFaultsTest, LateFailureOnlyDegradesLaterQueries) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const auto dm = CreateMethod("dm", grid, 4).value();
+  QueryGenerator gen(grid);
+  const Workload w = gen.AllPlacements({1, 1}, "points").value();
+
+  // The failure lands far past the workload's end: admission-time masks
+  // never see it, so every query is answered.
+  FaultSpec spec;
+  spec.failures = {{0, 1e12}};
+  const FaultModel fm = FaultModel::Create(4, spec).value();
+  ThroughputOptions opts;
+  opts.faults = &fm;
+  EXPECT_EQ(SimulateThroughput(*dm, w, opts).value().unavailable_queries,
+            0u);
+  EXPECT_EQ(SimulateInterleaved(*dm, w, opts).value().unavailable_queries,
+            0u);
+}
+
+TEST(SimFaultsTest, ReplicaReroutePreservesAvailability) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  auto base = CreateMethod("dm", grid, 4).value();
+  const ReplicatedPlacement placement =
+      ReplicatedPlacement::Create(std::move(base), 2, 1).value();
+  QueryGenerator gen(grid);
+  const Workload w = gen.AllPlacements({2, 2}, "w").value();
+
+  FaultSpec spec;
+  spec.failures = {{0, 0.0}};
+  const FaultModel fm = FaultModel::Create(4, spec).value();
+  const DegradedPlan plan =
+      DegradedPlan::ForReplicated(placement, fm.terminal_failed()).value();
+  ThroughputOptions opts;
+  opts.faults = &fm;
+  opts.degraded = &plan;
+
+  const ThroughputResult r =
+      SimulateThroughput(placement.base(), w, opts).value();
+  EXPECT_EQ(r.unavailable_queries, 0u);
+  EXPECT_GT(r.rerouted_buckets, 0u);
+  EXPECT_DOUBLE_EQ(r.disk_busy_ms[0], 0.0);  // The dead disk serves nothing.
+}
+
+TEST(SimFaultsTest, EccReconstructionFansOutRealReads) {
+  const GridSpec grid = GridSpec::Create({32, 32}).value();
+  const auto ecc = CreateMethod("ecc", grid, 8).value();
+  QueryGenerator gen(grid);
+  Rng rng(5);
+  const Workload w = gen.SampledPlacements({4, 4}, 30, &rng, "w").value();
+
+  FaultSpec spec;
+  spec.failures = {{2, 0.0}};
+  const FaultModel fm = FaultModel::Create(8, spec).value();
+  const DegradedPlan plan =
+      DegradedPlan::ForEcc(*ecc, fm.terminal_failed()).value();
+  ThroughputOptions opts;
+  opts.faults = &fm;
+  opts.degraded = &plan;
+
+  const ThroughputResult healthy =
+      SimulateInterleaved(*ecc, w, ThroughputOptions{}).value();
+  const ThroughputResult r = SimulateInterleaved(*ecc, w, opts).value();
+  EXPECT_EQ(r.unavailable_queries, 0u);
+  EXPECT_GT(r.reconstruction_reads, 0u);
+  // Reconstruction's extra reads cost real time.
+  EXPECT_GT(r.total_ms, healthy.total_ms);
+  EXPECT_DOUBLE_EQ(r.disk_busy_ms[2], 0.0);
+}
+
+TEST(SimFaultsTest, InterleavedRetriesReenqueueDeterministically) {
+  const GridSpec grid = GridSpec::Create({16, 16}).value();
+  const auto hcam = CreateMethod("hcam", grid, 4).value();
+  QueryGenerator gen(grid);
+  Rng rng(9);
+  const Workload w = gen.SampledPlacements({3, 3}, 25, &rng, "w").value();
+
+  FaultSpec spec;
+  spec.seed = 13;
+  spec.transient_error_prob = 0.2;
+  const FaultModel fm = FaultModel::Create(4, spec).value();
+  ThroughputOptions opts;
+  opts.faults = &fm;
+
+  const ThroughputResult clean =
+      SimulateInterleaved(*hcam, w, ThroughputOptions{}).value();
+  const ThroughputResult a = SimulateInterleaved(*hcam, w, opts).value();
+  const ThroughputResult b = SimulateInterleaved(*hcam, w, opts).value();
+  EXPECT_GT(a.transient_retries, 0u);
+  EXPECT_GT(a.total_ms, clean.total_ms);
+  EXPECT_EQ(a.total_ms, b.total_ms);
+  EXPECT_EQ(a.transient_retries, b.transient_retries);
+  EXPECT_EQ(a.unavailable_queries, 0u);  // Transients never lose queries.
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,112 @@
+/// Randomized properties of `RouteQuery` under failure masks: for any
+/// placement, query, and set of dead disks, the router must (a) succeed
+/// exactly when every bucket keeps a live replica, (b) never assign a dead
+/// disk or a non-replica disk, (c) realize a makespan that equals the max
+/// per-disk load and respects the ceil(n / alive) lower bound.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "griddecl/common/math_util.h"
+#include "griddecl/common/random.h"
+#include "griddecl/eval/replica_router.h"
+#include "griddecl/methods/registry.h"
+#include "griddecl/query/generator.h"
+
+namespace griddecl {
+namespace {
+
+struct Trial {
+  const char* method;
+  uint32_t grid_side;
+  uint32_t num_disks;
+  uint32_t replicas;
+};
+
+TEST(ReplicaRouterPropertyTest, RandomFailureMasks) {
+  const Trial trials[] = {
+      {"dm", 8, 4, 1},   {"dm", 8, 4, 2},    {"dm", 16, 8, 3},
+      {"fx", 16, 8, 2},  {"hcam", 16, 8, 2}, {"hcam", 8, 5, 3},
+      {"linear", 8, 6, 2},
+  };
+  Rng rng(20260806);
+  for (const Trial& trial : trials) {
+    const GridSpec grid =
+        GridSpec::Create({trial.grid_side, trial.grid_side}).value();
+    auto base =
+        CreateMethod(trial.method, grid, trial.num_disks).value();
+    const ReplicatedPlacement placement =
+        ReplicatedPlacement::Create(std::move(base), trial.replicas, 1)
+            .value();
+    QueryGenerator gen(grid);
+
+    for (int round = 0; round < 20; ++round) {
+      // Random failure mask, re-drawn until at least one disk survives.
+      std::vector<bool> failed(trial.num_disks, false);
+      uint32_t alive = 0;
+      do {
+        alive = 0;
+        for (uint32_t d = 0; d < trial.num_disks; ++d) {
+          failed[d] = rng.NextBool(0.35);
+          alive += failed[d] ? 0 : 1;
+        }
+      } while (alive == 0);
+
+      // Random query shape and position.
+      const uint32_t w =
+          static_cast<uint32_t>(rng.NextInRange(1, trial.grid_side));
+      const uint32_t h =
+          static_cast<uint32_t>(rng.NextInRange(1, trial.grid_side));
+      Rng pos(rng.Next());
+      const Workload one =
+          gen.SampledPlacements({w, h}, 1, &pos, "prop").value();
+      const RangeQuery& q = one.queries[0];
+
+      // Ground truth: a query is routable iff every bucket keeps at least
+      // one live replica.
+      bool expect_routable = true;
+      q.rect().ForEachBucket([&](const BucketCoords& c) {
+        bool live = false;
+        for (uint32_t d : placement.DisksOf(c)) live = live || !failed[d];
+        expect_routable = expect_routable && live;
+      });
+
+      const Result<RoutedQuery> routed = RouteQuery(placement, q, &failed);
+      ASSERT_EQ(routed.ok(), expect_routable)
+          << trial.method << " round " << round;
+      if (!routed.ok()) {
+        EXPECT_EQ(routed.status().code(), StatusCode::kUnsupported);
+        continue;
+      }
+
+      const RoutedQuery& r = routed.value();
+      const uint64_t n = q.NumBuckets();
+      EXPECT_EQ(r.lower_bound, CeilDiv(n, alive));
+      EXPECT_GE(r.response, r.lower_bound);
+      ASSERT_EQ(r.assignment.size(), n);
+
+      std::map<uint32_t, uint64_t> load;
+      uint64_t i = 0;
+      q.rect().ForEachBucket([&](const BucketCoords& c) {
+        const uint32_t d = r.assignment[static_cast<size_t>(i++)];
+        EXPECT_FALSE(failed[d]);  // Never a dead disk.
+        const std::vector<uint32_t> replicas = placement.DisksOf(c);
+        EXPECT_NE(std::find(replicas.begin(), replicas.end(), d),
+                  replicas.end());  // Always one of the bucket's replicas.
+        ++load[d];
+      });
+      uint64_t max_load = 0;
+      for (const auto& [disk, count] : load) {
+        max_load = std::max(max_load, count);
+      }
+      // The reported response is realized exactly (it is the optimum, so
+      // no assignment can beat it, and the extracted one achieves it).
+      EXPECT_EQ(max_load, r.response);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace griddecl

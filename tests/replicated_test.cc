@@ -189,9 +189,35 @@ TEST(ReplicaRouterTest, MeanRoutedResponseAggregates) {
   const ReplicatedPlacement p = MakeChained("dm", grid, 4, 2);
   QueryGenerator gen(grid);
   const Workload w = gen.AllPlacements({2, 2}, "w").value();
-  const double mean = MeanRoutedResponse(p, w.queries).value();
-  EXPECT_GE(mean, 1.0);
-  EXPECT_LE(mean, 4.0);
+  const RoutedWorkloadSummary s = MeanRoutedResponse(p, w.queries).value();
+  EXPECT_GE(s.mean_response, 1.0);
+  EXPECT_LE(s.mean_response, 4.0);
+  EXPECT_EQ(s.routable, w.size());
+  EXPECT_EQ(s.unroutable, 0u);
+  EXPECT_DOUBLE_EQ(s.Availability(), 1.0);
+}
+
+TEST(ReplicaRouterTest, MeanRoutedResponseDegradesGracefully) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  const ReplicatedPlacement p = MakeChained("dm", grid, 4, 2);
+  // One full-grid query (loses buckets when disks 0 and 1 die) plus one
+  // point query on a surviving pair.
+  const RangeQuery whole =
+      RangeQuery::Create(grid, BucketRect::Full(grid)).value();
+  const RangeQuery point =
+      RangeQuery::Create(grid, BucketRect::Point({2, 0})).value();
+  std::vector<bool> failed(4, false);
+  failed[0] = true;
+  failed[1] = true;
+  const RoutedWorkloadSummary s =
+      MeanRoutedResponse(p, {whole, point}, &failed).value();
+  EXPECT_EQ(s.unroutable, 1u);
+  EXPECT_EQ(s.routable, 1u);
+  EXPECT_DOUBLE_EQ(s.Availability(), 0.5);
+  EXPECT_GE(s.mean_response, 1.0);
+  // A genuine error (mis-sized mask) still fails the call.
+  std::vector<bool> wrong(3, false);
+  EXPECT_FALSE(MeanRoutedResponse(p, {whole}, &wrong).ok());
 }
 
 }  // namespace

@@ -41,6 +41,14 @@
 ///   declctl search --disks 6 --rows 8 --cols 8 [--max-nodes N]
 ///       Exhaustive strict-optimality search (the paper's theorem).
 ///
+///   declctl degrade --grid 32x32 --disks 8 --shape 4x4 [--queries 200]
+///                [--max-failed 2] [--replication 2,3] [--methods a,b,...]
+///                [--seed 42] [--mpl 4] [--json FILE]
+///       Availability sweep: mean response and availability vs. failed
+///       disks per method and degraded-read strategy (plain, replica
+///       re-routing, ECC reconstruction). `--json -` prints the JSON
+///       report to stdout instead of the table.
+///
 /// All output is plain text; exit status is non-zero on usage errors.
 
 #include <fstream>
@@ -67,7 +75,8 @@ int Usage() {
   std::cerr <<
       "usage: declctl <command> [flags]\n"
       "commands: methods | eval | compare | sweep-size | gen-trace |\n"
-      "          advise | show | export | optimize | throughput | search\n"
+      "          advise | show | export | optimize | throughput | search |\n"
+      "          degrade\n"
       "see the header of tools/declctl.cc for per-command flags\n";
   return 2;
 }
@@ -417,6 +426,68 @@ int CmdSearch(const Flags& flags) {
   return 0;
 }
 
+int CmdDegrade(const Flags& flags) {
+  AvailabilitySweepOptions opts;
+  Result<GridSpec> grid = GridFromFlags(flags);
+  if (!grid.ok()) return Fail(grid.status().ToString());
+  opts.grid_dims = grid.value().dims();
+  const auto disks = flags.GetInt("disks", 8);
+  const auto queries = flags.GetInt("queries", 200);
+  const auto max_failed = flags.GetInt("max-failed", 2);
+  const auto seed = flags.GetInt("seed", 42);
+  const auto mpl = flags.GetInt("mpl", 4);
+  const auto replication = flags.GetUint32List("replication", {2, 3});
+  if (!disks.ok() || !queries.ok() || !max_failed.ok() || !seed.ok() ||
+      !mpl.ok() || !replication.ok() || disks.value() < 1 ||
+      queries.value() < 1 || max_failed.value() < 0 || mpl.value() < 1) {
+    return Fail("bad numeric flag");
+  }
+  opts.num_disks = static_cast<uint32_t>(disks.value());
+  Result<QueryShape> shape = ShapeFromFlags(flags, grid.value());
+  if (!shape.ok()) return Fail(shape.status().ToString());
+  opts.query_shape = shape.value();
+  opts.num_queries = static_cast<uint32_t>(queries.value());
+  opts.max_failed = static_cast<uint32_t>(max_failed.value());
+  opts.replication = replication.value();
+  opts.seed = static_cast<uint64_t>(seed.value());
+  opts.sim.concurrency = static_cast<uint32_t>(mpl.value());
+  const std::string methods = flags.GetString("methods", "");
+  if (!methods.empty()) {
+    std::stringstream ss(methods);
+    std::string name;
+    while (std::getline(ss, name, ',')) {
+      if (!name.empty()) opts.methods.push_back(name);
+    }
+  }
+
+  Result<AvailabilitySweep> sweep = RunAvailabilitySweep(opts);
+  if (!sweep.ok()) return Fail(sweep.status().ToString());
+
+  const std::string json_path = flags.GetString("json", "");
+  if (json_path == "-") {
+    std::cout << sweep.value().ToJson();
+    return 0;
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out.good()) return Fail("cannot write '" + json_path + "'");
+    out << sweep.value().ToJson();
+  }
+
+  Table t({"Method", "Strategy", "Failed", "Mean lat (ms)", "Availability",
+           "Degraded x", "Rerouted", "Reconstr reads"});
+  for (const AvailabilityPoint& p : sweep.value().points) {
+    t.AddRow({p.method, p.strategy, std::to_string(p.failed_disks),
+              Table::Fmt(p.mean_latency_ms, 2),
+              Table::Fmt(p.availability, 3),
+              Table::Fmt(p.degraded_ratio, 2),
+              std::to_string(p.rerouted_buckets),
+              std::to_string(p.reconstruction_reads)});
+  }
+  t.PrintText(std::cout);
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -435,6 +506,7 @@ int Main(int argc, char** argv) {
   if (command == "throughput") return CmdThroughput(flags.value());
   if (command == "reproduce") return CmdReproduce(flags.value());
   if (command == "search") return CmdSearch(flags.value());
+  if (command == "degrade") return CmdDegrade(flags.value());
   return Usage();
 }
 
