@@ -1,23 +1,33 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the full test suite.
 #
-#   scripts/run_tier1.sh [--sanitize] [extra cmake configure args...]
+#   scripts/run_tier1.sh [--sanitize] [--torture] [extra cmake args...]
 #
 # --sanitize configures an instrumented build (GRIDDECL_SANITIZE=
 # address,undefined) in a separate build directory (build-sanitize) so it
 # never pollutes the regular build tree, then runs ctest under both
 # sanitizers. Remaining arguments are forwarded to the configure step,
 # e.g. scripts/run_tier1.sh -DGRIDDECL_SANITIZE=address
+#
+# --torture implies --sanitize but restricts ctest to the durability
+# suites — crash-recovery, corruption, scrub/repair, and format fuzzing
+# (Torture/FormatFuzz/Scrub/Manifest/Storage/StorageEnv/Crc32c plus the
+# declctl mkcatalog+fsck round trip) — so every injected crash point and
+# byte flip also runs under address and undefined-behavior sanitizers.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 build_dir=build
+test_args=()
 configure_args=()
 for arg in "$@"; do
-  if [[ "$arg" == "--sanitize" ]]; then
+  if [[ "$arg" == "--sanitize" || "$arg" == "--torture" ]]; then
     build_dir=build-sanitize
     configure_args+=("-DGRIDDECL_SANITIZE=address,undefined")
+    if [[ "$arg" == "--torture" ]]; then
+      test_args+=("-R" "Torture|FormatFuzz|Scrub|Manifest|Storage|Crc32c|declctl_mkcatalog|declctl_fsck")
+    fi
   else
     configure_args+=("$arg")
   fi
@@ -25,4 +35,6 @@ done
 
 cmake -B "$build_dir" -S . ${configure_args+"${configure_args[@]}"}
 cmake --build "$build_dir" -j
-cd "$build_dir" && ctest --output-on-failure -j
+# test_args must precede the bare -j: ctest would otherwise consume the
+# following -R as -j's optional value and silently drop the filter.
+cd "$build_dir" && ctest --output-on-failure ${test_args+"${test_args[@]}"} -j

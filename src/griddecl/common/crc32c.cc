@@ -1,0 +1,65 @@
+#include "griddecl/common/crc32c.h"
+
+#include <array>
+
+namespace griddecl {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // 0x1EDC6F41 bit-reflected.
+
+/// 8 slice tables: table[0] is the classic byte-at-a-time table; table[t]
+/// advances a byte that sits t positions deeper in the message.
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+};
+
+Tables BuildTables() {
+  Tables tables;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    tables.t[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = tables.t[0][i];
+    for (size_t slice = 1; slice < 8; ++slice) {
+      crc = tables.t[0][crc & 0xFF] ^ (crc >> 8);
+      tables.t[slice][i] = crc;
+    }
+  }
+  return tables;
+}
+
+const Tables& GetTables() {
+  static const Tables tables = BuildTables();
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
+  const Tables& tb = GetTables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  // Slice-by-8 main loop.
+  while (size >= 8) {
+    const uint32_t lo = crc ^ (static_cast<uint32_t>(p[0]) |
+                               static_cast<uint32_t>(p[1]) << 8 |
+                               static_cast<uint32_t>(p[2]) << 16 |
+                               static_cast<uint32_t>(p[3]) << 24);
+    crc = tb.t[7][lo & 0xFF] ^ tb.t[6][(lo >> 8) & 0xFF] ^
+          tb.t[5][(lo >> 16) & 0xFF] ^ tb.t[4][lo >> 24] ^
+          tb.t[3][p[4]] ^ tb.t[2][p[5]] ^ tb.t[1][p[6]] ^ tb.t[0][p[7]];
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = tb.t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace griddecl

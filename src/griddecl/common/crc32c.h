@@ -1,0 +1,29 @@
+#ifndef GRIDDECL_COMMON_CRC32C_H_
+#define GRIDDECL_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+/// \file
+/// CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected form 0x82F63B78) —
+/// the checksum guarding the v2 storage format, the catalog manifest, and
+/// the scrub subsystem. Chosen over CRC32 (IEEE) for its better error
+/// detection on short bursts and because it is what modern storage engines
+/// standardize on; implemented in portable software (slice-by-8) so the
+/// format does not depend on SSE4.2 being present.
+
+namespace griddecl {
+
+/// CRC32C of `data[0, size)`. `seed` chains calls: passing the CRC of a
+/// previous chunk continues the computation as if the chunks were one
+/// buffer (`Crc32c(ab) == Crc32c(b, Crc32c(a))`).
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32c(std::string_view data, uint32_t seed = 0) {
+  return Crc32c(data.data(), data.size(), seed);
+}
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_COMMON_CRC32C_H_

@@ -33,6 +33,7 @@
 #include "griddecl/coding/gf2.h"
 #include "griddecl/coding/parity_check.h"
 #include "griddecl/common/bit_util.h"
+#include "griddecl/common/crc32c.h"
 #include "griddecl/common/flags.h"
 #include "griddecl/common/math_util.h"
 #include "griddecl/common/random.h"
@@ -59,8 +60,11 @@
 #include "griddecl/gridfile/catalog.h"
 #include "griddecl/gridfile/declustered_file.h"
 #include "griddecl/gridfile/grid_file.h"
+#include "griddecl/gridfile/manifest.h"
 #include "griddecl/gridfile/replicated_file.h"
+#include "griddecl/gridfile/scrub.h"
 #include "griddecl/gridfile/storage.h"
+#include "griddecl/gridfile/storage_env.h"
 #include "griddecl/methods/dm.h"
 #include "griddecl/methods/ecc.h"
 #include "griddecl/methods/fx.h"

@@ -15,7 +15,8 @@ Result<DeclusteredFile> DeclusteredFile::Create(GridFile file,
   Result<std::unique_ptr<DeclusteringMethod>> method =
       CreateMethod(method_name, file.grid(), num_disks);
   if (!method.ok()) return method.status();
-  return DeclusteredFile(std::move(file), std::move(method).value(), params);
+  return DeclusteredFile(std::move(file), std::move(method).value(),
+                         method_name, params);
 }
 
 uint32_t DeclusteredFile::DiskOfRecord(RecordId id) const {

@@ -1,0 +1,165 @@
+#ifndef GRIDDECL_GRIDFILE_MANIFEST_H_
+#define GRIDDECL_GRIDFILE_MANIFEST_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "griddecl/gridfile/catalog.h"
+#include "griddecl/gridfile/storage.h"
+#include "griddecl/gridfile/storage_env.h"
+
+/// \file
+/// Atomic, generation-numbered persistence for a whole `Catalog`.
+///
+/// A catalog save writes every relation as a self-verifying grid file
+/// (storage.h, format v2), optional redundancy sidecars (full mirror
+/// copies, or XOR parity pages — the storage-level analogues of the
+/// paper's replication and ECC declustering ideas), and one manifest file
+/// naming them all with sizes and CRC32C checksums. The commit protocol is
+/// the classic write-new-then-flip:
+///
+///   1. pick generation G = 1 + highest generation mentioned by any
+///      existing file (never reuse names — wreckage of a crashed attempt
+///      must not be overwritten);
+///   2. write `rel-<G>-<i>.gd` (+ `.m<k>` mirrors / `.par` parity) for
+///      every relation, then `MANIFEST-<G>`;
+///   3. write `CURRENT.tmp` containing "MANIFEST-<G> <crc>" and atomically
+///      rename it onto `CURRENT` — THE commit point;
+///   4. garbage-collect generations <= G-2 (the immediately previous
+///      generation is retained as a rollback target).
+///
+/// A crash at any step before (3) leaves `CURRENT` pointing at the old
+/// generation; a crash after (3) — including mid-GC — leaves the new one
+/// fully durable. A torn `CURRENT` is detected by its embedded CRC, and
+/// recovery falls back to scanning `MANIFEST-*` files from the highest
+/// generation down, accepting the first whose referenced files all verify.
+/// The torture test drives this through `CrashEnv` at every single
+/// operation index.
+
+namespace griddecl {
+
+/// Name of the commit pointer file.
+inline constexpr char kCurrentFileName[] = "CURRENT";
+
+/// Storage-level redundancy attached to one relation.
+struct RelationRedundancy {
+  enum class Policy : uint32_t {
+    /// Single copy; corruption is detected (CRCs) but not repairable.
+    kNone = 0,
+    /// `copies` full copies of the data file; any page repairs from any
+    /// intact copy of it.
+    kMirror = 1,
+    /// One XOR parity page per stripe of `group_pages` data pages; one
+    /// damaged page per stripe reconstructs from the survivors (the
+    /// page-level counterpart of the ECC method's distance-3 groups).
+    kParity = 2,
+  };
+
+  Policy policy = Policy::kNone;
+  /// Total copies under kMirror (primary included); must be >= 2.
+  uint32_t copies = 2;
+  /// Stripe width under kParity; must be >= 1.
+  uint32_t group_pages = 8;
+};
+
+/// Human-readable policy name ("none", "mirror", "parity").
+const char* RedundancyPolicyName(RelationRedundancy::Policy policy);
+
+/// One relation as recorded in a manifest.
+struct ManifestRelation {
+  std::string name;
+  /// Registry name (methods/registry.h) used to rebuild the method.
+  std::string method;
+  RelationRedundancy redundancy;
+  DiskParams disk_params;
+  /// Size and CRC32C of the data file (and of every mirror copy — mirrors
+  /// are bit-identical).
+  uint64_t data_size = 0;
+  uint32_t data_crc = 0;
+  /// Size and CRC32C of the parity sidecar (0/0 when absent).
+  uint64_t parity_size = 0;
+  uint32_t parity_crc = 0;
+};
+
+/// A parsed manifest: everything needed to reload (and scrub) a catalog.
+struct CatalogManifest {
+  uint64_t generation = 0;
+  uint32_t num_disks = 0;
+  uint32_t page_size_bytes = kDefaultPageSizeBytes;
+  /// Relations sorted by name (the order Catalog::RelationNames uses);
+  /// index in this vector is the index in file names.
+  std::vector<ManifestRelation> relations;
+
+  /// `rel-<gen>-<index>.gd`
+  std::string DataFileName(size_t index) const;
+  /// `rel-<gen>-<index>.m<copy>` — mirror copies, copy in [1, copies).
+  std::string MirrorFileName(size_t index, uint32_t copy) const;
+  /// `rel-<gen>-<index>.par`
+  std::string ParityFileName(size_t index) const;
+};
+
+/// `MANIFEST-<generation, zero-padded>`.
+std::string ManifestFileName(uint64_t generation);
+
+/// Serializes / parses the manifest byte format (binary "GDMF" + CRC
+/// trailer). Exposed for tests; normal callers use the Save/Load API.
+std::string SerializeManifest(const CatalogManifest& manifest);
+Result<CatalogManifest> ParseManifest(std::string_view bytes);
+
+struct ManifestSaveOptions {
+  /// Redundancy for relations not listed in `per_relation`.
+  RelationRedundancy default_redundancy;
+  /// Per-relation overrides, keyed by relation name.
+  std::map<std::string, RelationRedundancy> per_relation;
+  uint32_t page_size_bytes = kDefaultPageSizeBytes;
+};
+
+struct ManifestLoadOptions {
+  /// Verify whole-file CRCs against the manifest and page CRCs while
+  /// parsing. Leave on; off only to time the checksum cost.
+  bool verify_checksums = true;
+};
+
+/// Saves `catalog` into `env` as a new generation and commits it
+/// atomically. Returns the committed generation number. On failure
+/// (including an injected crash) the previously committed generation is
+/// untouched.
+Result<uint64_t> SaveCatalogManifest(const Catalog& catalog, StorageEnv* env,
+                                     const ManifestSaveOptions& options = {});
+
+/// Reads and parses `MANIFEST-<generation>`.
+Result<CatalogManifest> ReadManifest(const StorageEnv& env,
+                                     uint64_t generation);
+
+/// Resolves the committed manifest: follows a valid `CURRENT`, otherwise
+/// scans manifests from the highest generation down for one whose
+/// referenced files all exist with matching size and CRC. kNotFound when
+/// the env holds no usable catalog.
+Result<CatalogManifest> ReadCurrentManifest(const StorageEnv& env);
+
+/// Rebuilds a catalog from an already-resolved manifest.
+Result<Catalog> LoadCatalogFromManifest(const StorageEnv& env,
+                                        const CatalogManifest& manifest,
+                                        const ManifestLoadOptions& options = {});
+
+/// `ReadCurrentManifest` + `LoadCatalogFromManifest`: the one-call
+/// recovery path.
+Result<Catalog> LoadCatalogManifest(const StorageEnv& env,
+                                    const ManifestLoadOptions& options = {});
+
+/// Verifies that every file `manifest` references exists in `env` with the
+/// recorded size and whole-file CRC32C (mirrors included).
+Status VerifyManifestFiles(const StorageEnv& env,
+                           const CatalogManifest& manifest);
+
+/// Builds the parity sidecar bytes for a serialized grid file: one
+/// page-size XOR page per stripe of `group_pages` data pages. Empty when
+/// the file has no pages. Exposed for scrub (reconstruction) and tests.
+Result<std::string> BuildParityBytes(std::string_view data,
+                                     uint32_t group_pages);
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_GRIDFILE_MANIFEST_H_

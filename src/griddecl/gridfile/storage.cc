@@ -2,9 +2,12 @@
 
 #include <cstring>
 #include <istream>
+#include <iterator>
 #include <limits>
 #include <ostream>
 
+#include "griddecl/common/bytes.h"
+#include "griddecl/common/crc32c.h"
 #include "griddecl/common/math_util.h"
 
 namespace griddecl {
@@ -12,198 +15,397 @@ namespace griddecl {
 namespace {
 
 constexpr char kMagic[4] = {'G', 'D', 'C', 'L'};
-constexpr uint32_t kVersion = 1;
-constexpr uint32_t kPageHeaderBytes = 4;
+constexpr char kFooterMagic[4] = {'G', 'D', 'F', 'T'};
 constexpr uint32_t kMaxAttrNameLen = 4096;
-
-void WriteU32(std::ostream& os, uint32_t v) {
-  char buf[4];
-  std::memcpy(buf, &v, 4);
-  os.write(buf, 4);
-}
-
-void WriteU64(std::ostream& os, uint64_t v) {
-  char buf[8];
-  std::memcpy(buf, &v, 8);
-  os.write(buf, 8);
-}
-
-void WriteF64(std::ostream& os, double v) {
-  char buf[8];
-  std::memcpy(buf, &v, 8);
-  os.write(buf, 8);
-}
-
-bool ReadU32(std::istream& is, uint32_t* v) {
-  char buf[4];
-  if (!is.read(buf, 4)) return false;
-  std::memcpy(v, buf, 4);
-  return true;
-}
-
-bool ReadU64(std::istream& is, uint64_t* v) {
-  char buf[8];
-  if (!is.read(buf, 8)) return false;
-  std::memcpy(v, buf, 8);
-  return true;
-}
-
-bool ReadF64(std::istream& is, double* v) {
-  char buf[8];
-  if (!is.read(buf, 8)) return false;
-  std::memcpy(v, buf, 8);
-  return true;
-}
+constexpr uint32_t kMaxBoundaries = uint32_t{1} << 24;
 
 uint32_t RecordBytes(uint32_t num_attrs) { return 8 * num_attrs; }
 
-/// Records that fit in one page after the count header.
-uint32_t PageCapacity(uint32_t page_size, uint32_t num_attrs) {
-  if (page_size <= kPageHeaderBytes) return 0;
-  return (page_size - kPageHeaderBytes) / RecordBytes(num_attrs);
+uint32_t PageHeaderBytes(uint32_t version) {
+  return version == kFormatV1 ? kPageHeaderBytesV1 : kPageHeaderBytesV2;
 }
 
-}  // namespace
-
-Status SaveGridFile(const GridFile& file, std::ostream& os,
-                    uint32_t page_size_bytes) {
-  const uint32_t k = file.schema().num_attributes();
-  const uint32_t capacity = PageCapacity(page_size_bytes, k);
-  if (capacity == 0) {
-    return Status::InvalidArgument(
-        "page size too small for one record of this schema");
-  }
-  os.write(kMagic, 4);
-  WriteU32(os, kVersion);
-  WriteU32(os, page_size_bytes);
-  WriteU32(os, k);
-  for (uint32_t i = 0; i < k; ++i) {
-    const AttributeDef& a = file.schema().attribute(i);
-    WriteU32(os, static_cast<uint32_t>(a.name.size()));
-    os.write(a.name.data(), static_cast<std::streamsize>(a.name.size()));
-    const std::vector<double>& b =
-        file.partitioner().dim(i).raw_boundaries();
-    WriteU32(os, static_cast<uint32_t>(b.size()));
-    for (double v : b) WriteF64(os, v);
-  }
-  WriteU64(os, file.num_records());
-
-  // Pages: records in id order, `capacity` per page, zero-padded.
-  const uint64_t n = file.num_records();
-  for (uint64_t first = 0; first < n; first += capacity) {
-    const uint32_t in_page =
-        static_cast<uint32_t>(std::min<uint64_t>(capacity, n - first));
-    WriteU32(os, in_page);
-    uint32_t written = kPageHeaderBytes;
-    for (uint32_t r = 0; r < in_page; ++r) {
-      const Record& rec = file.record(first + r);
-      for (double v : rec) WriteF64(os, v);
-      written += RecordBytes(k);
-    }
-    for (; written < page_size_bytes; ++written) os.put('\0');
-  }
-  if (!os.good()) return Status::Internal("stream write failed");
-  return Status::Ok();
+/// Records that fit in one page after the per-version page header.
+uint32_t PageCapacity(uint32_t version, uint32_t page_size,
+                      uint32_t num_attrs) {
+  const uint32_t header = PageHeaderBytes(version);
+  if (page_size <= header) return 0;
+  return (page_size - header) / RecordBytes(num_attrs);
 }
 
-Result<GridFile> LoadGridFile(std::istream& is) {
+/// Full header parse: the layout plus the schema/partitioner material the
+/// loader needs (ParseFileLayout discards the latter).
+struct ParsedHeader {
+  FileLayout layout;
+  std::vector<AttributeDef> attrs;
+  std::vector<DomainPartition> parts;
+};
+
+Result<ParsedHeader> ParseHeader(std::string_view bytes) {
+  ByteReader r(bytes);
   char magic[4];
-  if (!is.read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+  if (!r.ReadBytes(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
     return Status::InvalidArgument("bad magic: not a griddecl file");
   }
-  uint32_t version = 0;
-  uint32_t page_size = 0;
+  ParsedHeader h;
+  FileLayout& layout = h.layout;
   uint32_t k = 0;
-  if (!ReadU32(is, &version) || !ReadU32(is, &page_size) || !ReadU32(is, &k)) {
+  if (!r.ReadU32(&layout.format_version) ||
+      !r.ReadU32(&layout.page_size_bytes) || !r.ReadU32(&k)) {
     return Status::InvalidArgument("truncated header");
   }
-  if (version != kVersion) {
-    return Status::InvalidArgument("unsupported version " +
-                                   std::to_string(version));
+  if (layout.format_version != kFormatV1 &&
+      layout.format_version != kFormatV2) {
+    return Status::InvalidArgument(
+        "unsupported version " + std::to_string(layout.format_version));
   }
   if (k < 1 || k > kMaxDims) {
     return Status::InvalidArgument("attribute count out of range");
   }
-  const uint32_t capacity = PageCapacity(page_size, k);
-  if (capacity == 0) {
+  layout.num_attrs = k;
+  if (layout.page_size_bytes > kMaxPageSizeBytes) {
+    return Status::InvalidArgument("page size out of range");
+  }
+  layout.page_capacity =
+      PageCapacity(layout.format_version, layout.page_size_bytes, k);
+  if (layout.page_capacity == 0) {
     return Status::InvalidArgument("page size inconsistent with schema");
   }
 
-  std::vector<AttributeDef> attrs;
-  std::vector<DomainPartition> parts;
   for (uint32_t i = 0; i < k; ++i) {
     uint32_t name_len = 0;
-    if (!ReadU32(is, &name_len) || name_len == 0 ||
+    if (!r.ReadU32(&name_len) || name_len == 0 ||
         name_len > kMaxAttrNameLen) {
       return Status::InvalidArgument("bad attribute name length");
     }
-    std::string name(name_len, '\0');
-    if (!is.read(name.data(), name_len)) {
+    std::string name;
+    if (!r.ReadString(&name, name_len)) {
       return Status::InvalidArgument("truncated attribute name");
     }
     uint32_t num_boundaries = 0;
-    if (!ReadU32(is, &num_boundaries) || num_boundaries < 2 ||
-        num_boundaries > (uint32_t{1} << 24)) {
+    if (!r.ReadU32(&num_boundaries) || num_boundaries < 2 ||
+        num_boundaries > kMaxBoundaries) {
       return Status::InvalidArgument("bad boundary count");
     }
-    std::vector<double> boundaries(num_boundaries);
-    for (double& v : boundaries) {
-      if (!ReadF64(is, &v)) {
-        return Status::InvalidArgument("truncated boundaries");
-      }
+    if (r.remaining() < uint64_t{num_boundaries} * 8) {
+      return Status::InvalidArgument("truncated boundaries");
     }
-    attrs.push_back(
+    std::vector<double> boundaries(num_boundaries);
+    for (double& v : boundaries) r.ReadF64(&v);
+    h.attrs.push_back(
         {std::move(name), boundaries.front(), boundaries.back()});
     Result<DomainPartition> p =
         DomainPartition::FromBoundaries(std::move(boundaries));
     if (!p.ok()) return p.status();
-    parts.push_back(std::move(p).value());
+    h.parts.push_back(std::move(p).value());
   }
-  Result<Schema> schema = Schema::Create(std::move(attrs));
+  if (!r.ReadU64(&layout.num_records)) {
+    return Status::InvalidArgument("truncated record count");
+  }
+  if (layout.format_version == kFormatV2) {
+    const size_t crc_end = r.pos();
+    uint32_t stored_crc = 0;
+    if (!r.ReadU32(&stored_crc)) {
+      return Status::InvalidArgument("truncated header checksum");
+    }
+    if (stored_crc != Crc32c(bytes.substr(0, crc_end))) {
+      return Status::InvalidArgument("header checksum mismatch");
+    }
+  }
+  layout.header_bytes = r.pos();
+
+  const uint64_t n = layout.num_records;
+  layout.num_pages = n == 0 ? 0 : (n - 1) / layout.page_capacity + 1;
+  const uint64_t footer =
+      layout.format_version == kFormatV2 ? kFooterBytesV2 : 0;
+  if (layout.num_pages >
+      (std::numeric_limits<uint64_t>::max() - layout.header_bytes - footer) /
+          layout.page_size_bytes) {
+    return Status::InvalidArgument("record count implies impossible size");
+  }
+  layout.footer_offset =
+      layout.header_bytes + layout.num_pages * layout.page_size_bytes;
+  layout.expected_file_size = layout.footer_offset + footer;
+  return h;
+}
+
+Status VerifyPageImpl(std::string_view bytes, const FileLayout& layout,
+                      uint64_t page, bool check_crc) {
+  if (page >= layout.num_pages) {
+    return Status::InvalidArgument("page index out of range");
+  }
+  const uint64_t off = layout.PageOffset(page);
+  if (off + layout.page_size_bytes > bytes.size()) {
+    return Status::InvalidArgument("page truncated");
+  }
+  uint32_t record_count = 0;
+  std::memcpy(&record_count, bytes.data() + off, 4);
+  if (record_count != layout.PageRecords(page)) {
+    return Status::InvalidArgument("bad page record count");
+  }
+  if (layout.format_version == kFormatV2 && check_crc) {
+    uint32_t stored_crc = 0;
+    std::memcpy(&stored_crc, bytes.data() + off + 4, 4);
+    // CRC of the page with the crc field itself zeroed.
+    const char zeros[4] = {0, 0, 0, 0};
+    uint32_t crc = Crc32c(bytes.data() + off, 4);
+    crc = Crc32c(zeros, 4, crc);
+    crc = Crc32c(bytes.data() + off + 8, layout.page_size_bytes - 8, crc);
+    if (stored_crc != crc) {
+      return Status::InvalidArgument("page checksum mismatch");
+    }
+  }
+  return Status::Ok();
+}
+
+Status VerifyFooterImpl(std::string_view bytes, const FileLayout& layout,
+                        bool check_crc) {
+  if (layout.format_version != kFormatV2) return Status::Ok();
+  const uint64_t off = layout.footer_offset;
+  if (off + kFooterBytesV2 > bytes.size()) {
+    return Status::InvalidArgument("footer truncated");
+  }
+  if (std::memcmp(bytes.data() + off, kFooterMagic, 4) != 0) {
+    return Status::InvalidArgument("bad footer magic");
+  }
+  uint64_t n = 0;
+  uint64_t pages = 0;
+  std::memcpy(&n, bytes.data() + off + 4, 8);
+  std::memcpy(&pages, bytes.data() + off + 12, 8);
+  if (n != layout.num_records || pages != layout.num_pages) {
+    return Status::InvalidArgument("footer disagrees with header");
+  }
+  if (check_crc) {
+    uint32_t file_crc = 0;
+    uint32_t footer_crc = 0;
+    std::memcpy(&file_crc, bytes.data() + off + 20, 4);
+    std::memcpy(&footer_crc, bytes.data() + off + 24, 4);
+    if (footer_crc != Crc32c(bytes.substr(off, kFooterBytesV2 - 4))) {
+      return Status::InvalidArgument("footer checksum mismatch");
+    }
+    if (file_crc != Crc32c(bytes.substr(0, off))) {
+      return Status::InvalidArgument("whole-file checksum mismatch");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+uint32_t FileLayout::PageRecords(uint64_t page) const {
+  if (page >= num_pages) return 0;
+  if (page + 1 < num_pages) return page_capacity;
+  return static_cast<uint32_t>(num_records - page * page_capacity);
+}
+
+Result<FileLayout> ParseFileLayout(std::string_view bytes) {
+  Result<ParsedHeader> h = ParseHeader(bytes);
+  if (!h.ok()) return h.status();
+  return h.value().layout;
+}
+
+Status VerifyFilePage(std::string_view bytes, const FileLayout& layout,
+                      uint64_t page) {
+  return VerifyPageImpl(bytes, layout, page, /*check_crc=*/true);
+}
+
+Status VerifyFileFooter(std::string_view bytes, const FileLayout& layout) {
+  return VerifyFooterImpl(bytes, layout, /*check_crc=*/true);
+}
+
+std::string BuildFileFooter(const FileLayout& layout, std::string_view body) {
+  std::string footer;
+  footer.reserve(kFooterBytesV2);
+  footer.append(kFooterMagic, 4);
+  AppendU64(&footer, layout.num_records);
+  AppendU64(&footer, layout.num_pages);
+  AppendU32(&footer, Crc32c(body));
+  AppendU32(&footer, Crc32c(footer));
+  return footer;
+}
+
+Result<std::string> SerializeGridFile(const GridFile& file,
+                                      const SaveOptions& options) {
+  const uint32_t version = options.format_version;
+  if (version != kFormatV1 && version != kFormatV2) {
+    return Status::InvalidArgument("unsupported format version " +
+                                   std::to_string(version));
+  }
+  const uint32_t page_size = options.page_size_bytes;
+  if (page_size > kMaxPageSizeBytes) {
+    return Status::InvalidArgument("page size out of range");
+  }
+  const uint32_t k = file.schema().num_attributes();
+  const uint32_t capacity = PageCapacity(version, page_size, k);
+  if (capacity == 0) {
+    return Status::InvalidArgument(
+        "page size too small for one record of this schema");
+  }
+
+  std::string out;
+  out.append(kMagic, 4);
+  AppendU32(&out, version);
+  AppendU32(&out, page_size);
+  AppendU32(&out, k);
+  for (uint32_t i = 0; i < k; ++i) {
+    const AttributeDef& a = file.schema().attribute(i);
+    AppendU32(&out, static_cast<uint32_t>(a.name.size()));
+    out.append(a.name);
+    const std::vector<double>& b =
+        file.partitioner().dim(i).raw_boundaries();
+    AppendU32(&out, static_cast<uint32_t>(b.size()));
+    for (double v : b) AppendF64(&out, v);
+  }
+  AppendU64(&out, file.num_records());
+  if (version == kFormatV2) AppendU32(&out, Crc32c(out));
+
+  // Pages: records in id order, `capacity` per page, zero-padded. The
+  // writer always packs pages full so the layout is deterministic.
+  const uint64_t n = file.num_records();
+  for (uint64_t first = 0; first < n; first += capacity) {
+    const uint32_t in_page =
+        static_cast<uint32_t>(std::min<uint64_t>(capacity, n - first));
+    const size_t page_start = out.size();
+    AppendU32(&out, in_page);
+    if (version == kFormatV2) AppendU32(&out, 0);  // CRC patched below.
+    for (uint32_t r = 0; r < in_page; ++r) {
+      const Record& rec = file.record(first + r);
+      for (double v : rec) AppendF64(&out, v);
+    }
+    out.resize(page_start + page_size, '\0');
+    if (version == kFormatV2) {
+      PatchU32(&out, page_start + 4,
+               Crc32c(out.data() + page_start, page_size));
+    }
+  }
+
+  if (version == kFormatV2) {
+    FileLayout layout;
+    layout.num_records = n;
+    layout.num_pages = n == 0 ? 0 : (n - 1) / capacity + 1;
+    out += BuildFileFooter(layout, out);
+  }
+  return out;
+}
+
+Status SaveGridFile(const GridFile& file, std::ostream& os,
+                    const SaveOptions& options) {
+  Result<std::string> bytes = SerializeGridFile(file, options);
+  if (!bytes.ok()) return bytes.status();
+  os.write(bytes.value().data(),
+           static_cast<std::streamsize>(bytes.value().size()));
+  if (!os.good()) return Status::Internal("stream write failed");
+  return Status::Ok();
+}
+
+Status SaveGridFile(const GridFile& file, std::ostream& os,
+                    uint32_t page_size_bytes) {
+  SaveOptions options;
+  options.page_size_bytes = page_size_bytes;
+  return SaveGridFile(file, os, options);
+}
+
+Result<GridFile> ParseGridFile(std::string_view bytes,
+                               const LoadOptions& options,
+                               LoadReport* report) {
+  Result<ParsedHeader> header = ParseHeader(bytes);
+  if (!header.ok()) return header.status();
+  const FileLayout& layout = header.value().layout;
+
+  LoadReport local_report;
+  LoadReport& rep = report != nullptr ? *report : local_report;
+  rep = LoadReport();
+  rep.format_version = layout.format_version;
+  rep.checksummed = layout.format_version == kFormatV2;
+  rep.num_pages = layout.num_pages;
+
+  if (bytes.size() != layout.expected_file_size) {
+    if (!options.best_effort) {
+      return Status::InvalidArgument(
+          bytes.size() < layout.expected_file_size
+              ? "truncated file"
+              : "trailing garbage after final page");
+    }
+    rep.size_ok = false;
+  }
+
+  Result<Schema> schema = Schema::Create(std::move(header.value().attrs));
   if (!schema.ok()) return schema.status();
-  Result<SpacePartitioner> sp = SpacePartitioner::Create(std::move(parts));
+  Result<SpacePartitioner> sp =
+      SpacePartitioner::Create(std::move(header.value().parts));
   if (!sp.ok()) return sp.status();
   Result<GridFile> file = GridFile::CreateWithPartitioner(
       std::move(schema).value(), std::move(sp).value());
   if (!file.ok()) return file.status();
 
-  uint64_t num_records = 0;
-  if (!ReadU64(is, &num_records)) {
-    return Status::InvalidArgument("truncated record count");
-  }
-  uint64_t remaining = num_records;
-  while (remaining > 0) {
-    uint32_t in_page = 0;
-    if (!ReadU32(is, &in_page) || in_page == 0 || in_page > capacity ||
-        in_page > remaining) {
-      return Status::InvalidArgument("bad page header");
+  const uint32_t k = layout.num_attrs;
+  const uint32_t page_header = PageHeaderBytes(layout.format_version);
+  auto report_damage = [&](uint64_t page, const char* reason) {
+    ++rep.damaged_page_count;
+    if (rep.damaged_pages.size() < kMaxReportedDamage) {
+      rep.damaged_pages.push_back({page, reason});
     }
+    rep.records_lost += layout.PageRecords(page);
+  };
+
+  for (uint64_t page = 0; page < layout.num_pages; ++page) {
+    const uint64_t off = layout.PageOffset(page);
+    if (off + layout.page_size_bytes > bytes.size()) {
+      // File ends here; in best-effort mode account for the whole missing
+      // tail at once (a lying v1 record count must not drive a huge loop).
+      if (!options.best_effort) return Status::InvalidArgument("truncated file");
+      rep.damaged_page_count += layout.num_pages - page;
+      if (rep.damaged_pages.size() < kMaxReportedDamage) {
+        rep.damaged_pages.push_back({page, "page truncated"});
+      }
+      rep.records_lost +=
+          layout.num_records - page * uint64_t{layout.page_capacity};
+      break;
+    }
+    const Status page_status =
+        VerifyPageImpl(bytes, layout, page, options.verify_checksums);
+    if (!page_status.ok()) {
+      if (!options.best_effort) return page_status;
+      report_damage(page, page_status.message().c_str());
+      continue;
+    }
+    const uint32_t in_page = layout.PageRecords(page);
+    const char* rec_bytes = bytes.data() + off + page_header;
     for (uint32_t r = 0; r < in_page; ++r) {
       Record rec(k);
-      for (double& v : rec) {
-        if (!ReadF64(is, &v)) {
-          return Status::InvalidArgument("truncated record data");
-        }
-      }
+      std::memcpy(rec.data(), rec_bytes + uint64_t{r} * RecordBytes(k),
+                  RecordBytes(k));
       Result<RecordId> id = file.value().Insert(std::move(rec));
       if (!id.ok()) return id.status();
+      ++rep.records_loaded;
     }
-    // Skip page padding; a well-formed file always carries the full page.
-    const uint32_t used = kPageHeaderBytes + in_page * RecordBytes(k);
-    if (used > page_size) return Status::InvalidArgument("page overflow");
-    is.ignore(page_size - used);
-    if (static_cast<uint32_t>(is.gcount()) != page_size - used) {
-      return Status::InvalidArgument("truncated page padding");
+  }
+
+  if (layout.format_version == kFormatV2) {
+    const Status footer_status =
+        VerifyFooterImpl(bytes, layout, options.verify_checksums);
+    if (!footer_status.ok()) {
+      if (!options.best_effort) return footer_status;
+      rep.footer_ok = false;
     }
-    remaining -= in_page;
   }
   return file;
 }
 
+Result<GridFile> LoadGridFile(std::istream& is, const LoadOptions& options,
+                              LoadReport* report) {
+  std::string bytes(std::istreambuf_iterator<char>(is), {});
+  return ParseGridFile(bytes, options, report);
+}
+
+Result<GridFile> LoadGridFile(std::istream& is) {
+  return LoadGridFile(is, LoadOptions{});
+}
+
 Result<std::vector<uint64_t>> PagesPerBucket(const GridFile& file,
                                              uint32_t page_size_bytes) {
-  const uint32_t capacity =
-      PageCapacity(page_size_bytes, file.schema().num_attributes());
+  const uint32_t capacity = PageCapacity(
+      kFormatV1, page_size_bytes, file.schema().num_attributes());
   if (capacity == 0) {
     return Status::InvalidArgument(
         "page size too small for one record of this schema");

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "griddecl/common/status.h"
@@ -20,15 +22,33 @@
 /// (what the storage engine of a parallel database would use on each
 /// disk), so cost models can charge multi-page buckets properly.
 ///
-/// Format (little-endian, version 1):
+/// Two format versions (both little-endian):
 ///
-///   [magic "GDCL"] [u32 version] [u32 page_size] [u32 num_attrs]
+/// Version 1 (legacy, loaded transparently, written on request):
+///
+///   [magic "GDCL"] [u32 version=1] [u32 page_size] [u32 num_attrs]
 ///   per attribute: [u32 name_len][name bytes][u32 num_boundaries]
 ///                  [f64 boundaries...]
 ///   [u64 num_records]
 ///   pages: each page is exactly page_size bytes:
 ///          [u32 record_count][records: num_attrs f64 each][zero padding]
 ///
+/// Version 2 (default; self-verifying):
+///
+///   header: as v1 with version=2, then [u32 header_crc] — CRC32C of every
+///           preceding header byte.
+///   pages:  each page is exactly page_size bytes:
+///           [u32 record_count][u32 page_crc][records...][zero padding]
+///           page_crc is the CRC32C of the whole page with the crc field
+///           itself zeroed, so a page verifies in isolation.
+///   footer: [magic "GDFT"][u64 num_records][u64 num_pages]
+///           [u32 file_crc]   — CRC32C of every byte before the footer
+///           [u32 footer_crc] — CRC32C of the footer bytes before it
+///
+/// The writer always packs pages full: page i holds exactly
+/// min(capacity, num_records - i * capacity) records, so the byte layout
+/// is a pure function of (schema, boundaries, num_records, page_size) and
+/// both loaders reject partial pages and trailing garbage outright.
 /// Records appear in id order, so reloading preserves ids and (boundaries
 /// being identical) bucket placement.
 
@@ -37,17 +57,149 @@ namespace griddecl {
 /// Default page size; also the `DiskParams::bucket_kb` unit's sibling.
 inline constexpr uint32_t kDefaultPageSizeBytes = 4096;
 
-/// Writes `file` to `os`. `page_size_bytes` must fit the page header plus
-/// at least one record (4 + 8 * num_attrs bytes).
+/// Supported format versions.
+inline constexpr uint32_t kFormatV1 = 1;
+inline constexpr uint32_t kFormatV2 = 2;
+inline constexpr uint32_t kLatestFormatVersion = kFormatV2;
+
+/// Page header sizes per version.
+inline constexpr uint32_t kPageHeaderBytesV1 = 4;
+inline constexpr uint32_t kPageHeaderBytesV2 = 8;
+
+/// Size of the v2 footer: magic + num_records + num_pages + 2 CRCs.
+inline constexpr uint64_t kFooterBytesV2 = 4 + 8 + 8 + 4 + 4;
+
+/// Upper bound on page_size accepted by the parsers (defense against
+/// adversarial headers demanding absurd allocations).
+inline constexpr uint32_t kMaxPageSizeBytes = 1u << 26;
+
+struct SaveOptions {
+  uint32_t page_size_bytes = kDefaultPageSizeBytes;
+  /// kFormatV1 or kFormatV2.
+  uint32_t format_version = kLatestFormatVersion;
+};
+
+/// Serializes `file` to bytes. `page_size_bytes` must fit the page header
+/// plus at least one record.
+Result<std::string> SerializeGridFile(const GridFile& file,
+                                      const SaveOptions& options = {});
+
+/// Writes `file` to `os` in the latest format version.
 Status SaveGridFile(const GridFile& file, std::ostream& os,
                     uint32_t page_size_bytes = kDefaultPageSizeBytes);
 
-/// Reads a grid file previously written by `SaveGridFile`. Fails with
+/// Writes `file` to `os` with explicit format options.
+Status SaveGridFile(const GridFile& file, std::ostream& os,
+                    const SaveOptions& options);
+
+/// One damaged page found while loading in best-effort mode.
+struct PageDamage {
+  uint64_t page_index = 0;
+  std::string reason;
+};
+
+/// How many damaged pages `LoadReport` itemizes before switching to
+/// counting only (bounds report memory on adversarial inputs).
+inline constexpr size_t kMaxReportedDamage = 64;
+
+/// Outcome details of a load, populated on request.
+struct LoadReport {
+  uint32_t format_version = 0;
+  /// True when the file carries checksums (v2).
+  bool checksummed = false;
+  uint64_t num_pages = 0;
+  /// Total damaged pages (best-effort mode); the first kMaxReportedDamage
+  /// are itemized in `damaged_pages`.
+  uint64_t damaged_page_count = 0;
+  std::vector<PageDamage> damaged_pages;
+  uint64_t records_loaded = 0;
+  /// Records residing in damaged (skipped) pages. When non-zero, record
+  /// ids of the returned file are compacted: they no longer match the
+  /// writer's ids (documented salvage semantics).
+  uint64_t records_lost = 0;
+  /// v2 footer verified (structure and, when requested, CRCs).
+  bool footer_ok = true;
+  /// File had exactly the expected byte size (no truncation, no trailing
+  /// garbage).
+  bool size_ok = true;
+
+  bool Clean() const {
+    return damaged_page_count == 0 && records_lost == 0 && footer_ok &&
+           size_ok;
+  }
+};
+
+struct LoadOptions {
+  /// Verify header/page/footer CRCs of v2 files (v1 has none to verify).
+  bool verify_checksums = true;
+  /// Strict mode (false): any damage rejects the whole file. Best-effort
+  /// mode (true): salvage every verifiable page, report the damage; only
+  /// an unusable header region is fatal.
+  bool best_effort = false;
+};
+
+/// Parses a grid file previously written by `SaveGridFile`. Fails with
 /// kInvalidArgument on any malformed or truncated input (never crashes).
+Result<GridFile> ParseGridFile(std::string_view bytes,
+                               const LoadOptions& options = {},
+                               LoadReport* report = nullptr);
+
+/// Reads a grid file from a stream; strict, checksum-verifying.
 Result<GridFile> LoadGridFile(std::istream& is);
+
+/// Reads a grid file from a stream with explicit load options.
+Result<GridFile> LoadGridFile(std::istream& is, const LoadOptions& options,
+                              LoadReport* report = nullptr);
+
+// --- Format introspection (scrub / fsck support) --------------------------
+
+/// Byte-level layout of a serialized grid file, recovered from the header
+/// region alone — valid even when pages or footer are damaged.
+struct FileLayout {
+  uint32_t format_version = 0;
+  uint32_t page_size_bytes = 0;
+  uint32_t num_attrs = 0;
+  uint64_t num_records = 0;
+  /// Records per page.
+  uint32_t page_capacity = 0;
+  uint64_t num_pages = 0;
+  /// Byte offset of page 0 (== size of the header region).
+  uint64_t header_bytes = 0;
+  /// Byte offset of the footer (v2) / end of data (v1).
+  uint64_t footer_offset = 0;
+  /// Exact size a pristine file has.
+  uint64_t expected_file_size = 0;
+
+  uint64_t PageOffset(uint64_t page) const {
+    return header_bytes + page * page_size_bytes;
+  }
+  /// Record count the writer put in `page` (full pages, remainder last).
+  uint32_t PageRecords(uint64_t page) const;
+};
+
+/// Parses and validates the header region of `bytes` (structure, bounds,
+/// and — for v2 — the header CRC). Page and footer bytes are not touched,
+/// so a layout can be recovered from a file with damaged pages.
+Result<FileLayout> ParseFileLayout(std::string_view bytes);
+
+/// Verifies page `page` of `bytes` under `layout`: page in bounds, record
+/// count exactly what the writer lays out, CRC match (v2).
+Status VerifyFilePage(std::string_view bytes, const FileLayout& layout,
+                      uint64_t page);
+
+/// Verifies the v2 footer of `bytes` (structure and CRCs).
+Status VerifyFileFooter(std::string_view bytes, const FileLayout& layout);
+
+/// Serializes the v2 footer for a file whose pre-footer bytes are `body`
+/// (used by scrub to recompute a damaged footer bit-identically).
+std::string BuildFileFooter(const FileLayout& layout, std::string_view body);
+
+// --------------------------------------------------------------------------
 
 /// Number of `page_size_bytes` pages each bucket occupies given its record
 /// count (size = num_buckets, row-major; empty buckets occupy 0 pages).
+/// Stays in the v1 (4-byte header) page unit: this is the cost model's
+/// bucket-clustered layout, not the self-verifying serialization above.
 Result<std::vector<uint64_t>> PagesPerBucket(const GridFile& file,
                                              uint32_t page_size_bytes);
 

@@ -1,0 +1,245 @@
+#include "griddecl/gridfile/manifest.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "griddecl/common/crc32c.h"
+#include "griddecl/common/random.h"
+#include "griddecl/methods/registry.h"
+
+namespace griddecl {
+namespace {
+
+DiskParams TestDiskParams() {
+  DiskParams p;
+  p.avg_seek_ms = 9.5;
+  p.rotational_latency_ms = 4.25;
+  p.transfer_ms_per_kb = 0.125;
+  p.bucket_kb = 16.0;
+  p.near_seek_factor = 0.2;
+  p.near_gap_buckets = 32;
+  return p;
+}
+
+GridFile MakeFile(int num_records, uint64_t seed) {
+  Schema schema = Schema::Create({{"x", 0.0, 1.0}, {"y", 0.0, 1.0}}).value();
+  GridFile f = GridFile::Create(std::move(schema), {8, 8}).value();
+  Rng rng(seed);
+  for (int i = 0; i < num_records; ++i) {
+    EXPECT_TRUE(f.Insert({rng.NextDouble(), rng.NextDouble()}).ok());
+  }
+  return f;
+}
+
+/// A catalog with one relation per registry method (8 disks: a power of
+/// two, so every method including ECC is constructible).
+Catalog MakeCatalog(uint32_t num_disks = 8) {
+  Catalog catalog(num_disks);
+  uint64_t seed = 100;
+  for (const std::string& method : AllMethodNames()) {
+    Result<DeclusteredFile> rel = DeclusteredFile::Create(
+        MakeFile(120, seed++), method, num_disks, TestDiskParams());
+    EXPECT_TRUE(rel.ok()) << method << ": " << rel.status().ToString();
+    if (rel.ok()) {
+      EXPECT_TRUE(catalog.AddRelation(method, std::move(rel).value()).ok());
+    }
+  }
+  return catalog;
+}
+
+ManifestSaveOptions SmallPages() {
+  ManifestSaveOptions options;
+  options.page_size_bytes = 136;  // (136 - 8) / 16 = 8 records per page.
+  return options;
+}
+
+TEST(ManifestTest, SaveCommitsGenerationOne) {
+  const Catalog catalog = MakeCatalog();
+  MemEnv env;
+  const uint64_t gen = SaveCatalogManifest(catalog, &env, SmallPages()).value();
+  EXPECT_EQ(gen, 1u);
+  EXPECT_TRUE(env.Exists(kCurrentFileName));
+  EXPECT_TRUE(env.Exists(ManifestFileName(1)));
+
+  const CatalogManifest m = ReadCurrentManifest(env).value();
+  EXPECT_EQ(m.generation, 1u);
+  EXPECT_EQ(m.num_disks, 8u);
+  EXPECT_EQ(m.relations.size(), AllMethodNames().size());
+  EXPECT_TRUE(VerifyManifestFiles(env, m).ok());
+}
+
+TEST(ManifestTest, CatalogRoundTripsThroughEveryMethod) {
+  // The property test: for a catalog containing a relation per registry
+  // method, save + reload must reproduce bucket placement, record ids,
+  // disk assignment, and query responses exactly.
+  const Catalog original = MakeCatalog();
+  MemEnv env;
+  ASSERT_TRUE(SaveCatalogManifest(original, &env, SmallPages()).ok());
+  const Catalog loaded = LoadCatalogManifest(env).value();
+
+  EXPECT_EQ(loaded.num_disks(), original.num_disks());
+  ASSERT_EQ(loaded.RelationNames(), original.RelationNames());
+  const std::vector<double> lo = {0.2, 0.2};
+  const std::vector<double> hi = {0.7, 0.7};
+  for (const std::string& name : original.RelationNames()) {
+    const DeclusteredFile* a = original.Find(name);
+    const DeclusteredFile* b = loaded.Find(name);
+    ASSERT_NE(b, nullptr) << name;
+    EXPECT_EQ(b->method_name(), a->method_name());
+    EXPECT_EQ(b->disk_params().avg_seek_ms, a->disk_params().avg_seek_ms);
+    EXPECT_EQ(b->disk_params().near_gap_buckets,
+              a->disk_params().near_gap_buckets);
+    ASSERT_EQ(b->file().num_records(), a->file().num_records()) << name;
+    for (RecordId id = 0; id < a->file().num_records(); ++id) {
+      EXPECT_EQ(b->file().record(id), a->file().record(id));
+      EXPECT_EQ(b->file().BucketOfRecord(id), a->file().BucketOfRecord(id));
+      EXPECT_EQ(b->DiskOfRecord(id), a->DiskOfRecord(id)) << name;
+    }
+    const QueryExecution qa = a->ExecuteRange(lo, hi).value();
+    const QueryExecution qb = b->ExecuteRange(lo, hi).value();
+    EXPECT_EQ(qb.matches, qa.matches) << name;
+    EXPECT_EQ(qb.response_units, qa.response_units) << name;
+    EXPECT_EQ(qb.buckets_touched, qa.buckets_touched) << name;
+  }
+}
+
+TEST(ManifestTest, GenerationsAdvanceAndOldOnesAreCollected) {
+  const Catalog catalog = MakeCatalog(4);
+  MemEnv env;
+  EXPECT_EQ(SaveCatalogManifest(catalog, &env).value(), 1u);
+  EXPECT_EQ(SaveCatalogManifest(catalog, &env).value(), 2u);
+  // Generation 1 is retained as the rollback target.
+  EXPECT_TRUE(env.Exists(ManifestFileName(1)));
+  EXPECT_EQ(SaveCatalogManifest(catalog, &env).value(), 3u);
+  // Now generation 1 is gone, generation 2 retained.
+  EXPECT_FALSE(env.Exists(ManifestFileName(1)));
+  EXPECT_FALSE(env.Exists("rel-000001-0.gd"));
+  EXPECT_TRUE(env.Exists(ManifestFileName(2)));
+  EXPECT_EQ(ReadCurrentManifest(env).value().generation, 3u);
+}
+
+TEST(ManifestTest, ManifestRejectsEverySingleByteMutation) {
+  const Catalog catalog = MakeCatalog(4);
+  MemEnv env;
+  ASSERT_TRUE(SaveCatalogManifest(catalog, &env).ok());
+  const std::string bytes = env.ReadFile(ManifestFileName(1)).value();
+  ASSERT_TRUE(ParseManifest(bytes).ok());
+  for (size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::string copy = bytes;
+    copy[pos] = static_cast<char>(copy[pos] ^ 0x04);
+    EXPECT_FALSE(ParseManifest(copy).ok()) << "byte " << pos;
+  }
+  // Truncations and extensions are rejected too.
+  EXPECT_FALSE(ParseManifest(bytes.substr(0, bytes.size() / 2)).ok());
+  EXPECT_FALSE(ParseManifest(bytes + "x").ok());
+  EXPECT_FALSE(ParseManifest("").ok());
+}
+
+TEST(ManifestTest, TornCurrentFallsBackToManifestScan) {
+  const Catalog catalog = MakeCatalog(4);
+  MemEnv env;
+  ASSERT_TRUE(SaveCatalogManifest(catalog, &env).ok());
+  ASSERT_TRUE(SaveCatalogManifest(catalog, &env).ok());
+  // Tear the CURRENT pointer mid-write.
+  const std::string current = env.ReadFile(kCurrentFileName).value();
+  ASSERT_TRUE(env.TruncateFile(kCurrentFileName, current.size() / 2).ok());
+  EXPECT_EQ(ReadCurrentManifest(env).value().generation, 2u);
+  // Remove it entirely: scan still lands on the newest intact generation.
+  ASSERT_TRUE(env.Remove(kCurrentFileName).ok());
+  EXPECT_EQ(ReadCurrentManifest(env).value().generation, 2u);
+}
+
+TEST(ManifestTest, EmptyEnvReportsNotFound) {
+  MemEnv env;
+  EXPECT_EQ(LoadCatalogManifest(env).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ManifestTest, CorruptRelationFailsLoadByName) {
+  const Catalog catalog = MakeCatalog(4);
+  MemEnv env;
+  ASSERT_TRUE(SaveCatalogManifest(catalog, &env, SmallPages()).ok());
+  const CatalogManifest m = ReadCurrentManifest(env).value();
+  // Flip a byte deep inside relation 0's data file.
+  ASSERT_TRUE(env.CorruptByte(m.DataFileName(0), 400, 0x20).ok());
+  const Result<Catalog> loaded = LoadCatalogManifest(env);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find(m.relations[0].name),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(ManifestTest, MirrorPolicyWritesCopies) {
+  const Catalog catalog = MakeCatalog(4);
+  MemEnv env;
+  ManifestSaveOptions options = SmallPages();
+  options.default_redundancy.policy = RelationRedundancy::Policy::kMirror;
+  options.default_redundancy.copies = 3;
+  ASSERT_TRUE(SaveCatalogManifest(catalog, &env, options).ok());
+  const CatalogManifest m = ReadCurrentManifest(env).value();
+  for (size_t i = 0; i < m.relations.size(); ++i) {
+    const std::string data = env.ReadFile(m.DataFileName(i)).value();
+    EXPECT_EQ(env.ReadFile(m.MirrorFileName(i, 1)).value(), data);
+    EXPECT_EQ(env.ReadFile(m.MirrorFileName(i, 2)).value(), data);
+    EXPECT_FALSE(env.Exists(m.ParityFileName(i)));
+  }
+  EXPECT_TRUE(VerifyManifestFiles(env, m).ok());
+}
+
+TEST(ManifestTest, ParityPolicyWritesXorSidecar) {
+  const Catalog catalog = MakeCatalog(4);
+  MemEnv env;
+  ManifestSaveOptions options = SmallPages();
+  options.default_redundancy.policy = RelationRedundancy::Policy::kParity;
+  options.default_redundancy.group_pages = 4;
+  ASSERT_TRUE(SaveCatalogManifest(catalog, &env, options).ok());
+  const CatalogManifest m = ReadCurrentManifest(env).value();
+  for (size_t i = 0; i < m.relations.size(); ++i) {
+    const std::string data = env.ReadFile(m.DataFileName(i)).value();
+    const std::string parity = env.ReadFile(m.ParityFileName(i)).value();
+    const FileLayout layout = ParseFileLayout(data).value();
+    const uint64_t stripes = (layout.num_pages - 1) / 4 + 1;
+    EXPECT_EQ(parity.size(), stripes * layout.page_size_bytes);
+    EXPECT_EQ(parity, BuildParityBytes(data, 4).value());
+    // XOR property: page 0 equals parity(stripe 0) XOR pages 1..3.
+    std::string reconstructed = parity.substr(0, layout.page_size_bytes);
+    for (uint64_t q = 1; q < std::min<uint64_t>(4, layout.num_pages); ++q) {
+      for (uint32_t b = 0; b < layout.page_size_bytes; ++b) {
+        reconstructed[b] ^= data[layout.PageOffset(q) + b];
+      }
+    }
+    EXPECT_EQ(reconstructed,
+              data.substr(layout.PageOffset(0), layout.page_size_bytes));
+  }
+  EXPECT_TRUE(VerifyManifestFiles(env, m).ok());
+}
+
+TEST(ManifestTest, PerRelationRedundancyOverrides) {
+  const Catalog catalog = MakeCatalog(4);
+  MemEnv env;
+  ManifestSaveOptions options = SmallPages();
+  options.per_relation["dm"].policy = RelationRedundancy::Policy::kMirror;
+  ASSERT_TRUE(SaveCatalogManifest(catalog, &env, options).ok());
+  const CatalogManifest m = ReadCurrentManifest(env).value();
+  for (size_t i = 0; i < m.relations.size(); ++i) {
+    const bool is_dm = m.relations[i].name == "dm";
+    EXPECT_EQ(m.relations[i].redundancy.policy,
+              is_dm ? RelationRedundancy::Policy::kMirror
+                    : RelationRedundancy::Policy::kNone);
+    EXPECT_EQ(env.Exists(m.MirrorFileName(i, 1)), is_dm);
+  }
+}
+
+TEST(ManifestTest, InvalidRedundancyRejected) {
+  const Catalog catalog = MakeCatalog(4);
+  MemEnv env;
+  ManifestSaveOptions options;
+  options.default_redundancy.policy = RelationRedundancy::Policy::kMirror;
+  options.default_redundancy.copies = 1;  // Mirror needs >= 2.
+  EXPECT_FALSE(SaveCatalogManifest(catalog, &env, options).ok());
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,0 +1,150 @@
+#include "griddecl/gridfile/storage_env.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace griddecl {
+namespace {
+
+TEST(StorageEnvTest, FileNameValidation) {
+  EXPECT_TRUE(IsValidEnvFileName("MANIFEST-000001"));
+  EXPECT_TRUE(IsValidEnvFileName("rel-000001-0.gd"));
+  EXPECT_TRUE(IsValidEnvFileName("CURRENT.tmp"));
+  EXPECT_FALSE(IsValidEnvFileName(""));
+  EXPECT_FALSE(IsValidEnvFileName("."));
+  EXPECT_FALSE(IsValidEnvFileName(".."));
+  EXPECT_FALSE(IsValidEnvFileName("a/b"));
+  EXPECT_FALSE(IsValidEnvFileName("../escape"));
+  EXPECT_FALSE(IsValidEnvFileName("with space"));
+  EXPECT_FALSE(IsValidEnvFileName(std::string(256, 'a')));
+}
+
+TEST(StorageEnvTest, MemEnvBasics) {
+  MemEnv env;
+  EXPECT_FALSE(env.Exists("a"));
+  EXPECT_EQ(env.ReadFile("a").status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(env.WriteFile("a", "hello").ok());
+  EXPECT_TRUE(env.Exists("a"));
+  EXPECT_EQ(env.ReadFile("a").value(), "hello");
+  ASSERT_TRUE(env.WriteFile("a", "rewritten").ok());
+  EXPECT_EQ(env.ReadFile("a").value(), "rewritten");
+  ASSERT_TRUE(env.Rename("a", "b").ok());
+  EXPECT_FALSE(env.Exists("a"));
+  EXPECT_EQ(env.ReadFile("b").value(), "rewritten");
+  EXPECT_FALSE(env.Rename("a", "c").ok());
+  ASSERT_TRUE(env.WriteFile("a", "x").ok());
+  const auto names = env.ListFiles().value();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");  // Sorted.
+  EXPECT_EQ(names[1], "b");
+  ASSERT_TRUE(env.Remove("a").ok());
+  EXPECT_FALSE(env.Remove("a").ok());
+  EXPECT_FALSE(env.WriteFile("bad/name", "x").ok());
+}
+
+TEST(StorageEnvTest, MemEnvCorruptionHooks) {
+  MemEnv env;
+  ASSERT_TRUE(env.WriteFile("f", "abcdef").ok());
+  ASSERT_TRUE(env.CorruptByte("f", 2, 0x01).ok());
+  EXPECT_EQ(env.ReadFile("f").value(), "abbdef");  // 'c' ^ 0x01 == 'b'.
+  EXPECT_FALSE(env.CorruptByte("f", 100, 0x01).ok());
+  ASSERT_TRUE(env.TruncateFile("f", 3).ok());
+  EXPECT_EQ(env.ReadFile("f").value(), "abb");
+  EXPECT_FALSE(env.TruncateFile("f", 10).ok());
+}
+
+TEST(StorageEnvTest, MemEnvIsCopyable) {
+  MemEnv env;
+  ASSERT_TRUE(env.WriteFile("f", "original").ok());
+  MemEnv snapshot = env;
+  ASSERT_TRUE(env.WriteFile("f", "changed").ok());
+  EXPECT_EQ(snapshot.ReadFile("f").value(), "original");
+}
+
+TEST(StorageEnvTest, DiskEnvRoundTrip) {
+  const std::string root =
+      (std::filesystem::temp_directory_path() /
+       ("griddecl_env_test_" + std::to_string(::getpid())))
+          .string();
+  DiskEnv env = DiskEnv::Create(root).value();
+  ASSERT_TRUE(env.WriteFile("a.bin", std::string("x\0y", 3)).ok());
+  EXPECT_EQ(env.ReadFile("a.bin").value(), std::string("x\0y", 3));
+  ASSERT_TRUE(env.Rename("a.bin", "b.bin").ok());
+  EXPECT_FALSE(env.Exists("a.bin"));
+  EXPECT_TRUE(env.Exists("b.bin"));
+  EXPECT_EQ(env.ListFiles().value(), std::vector<std::string>{"b.bin"});
+  EXPECT_FALSE(env.WriteFile("../escape", "x").ok());
+  EXPECT_FALSE(env.ReadFile("missing").ok());
+  ASSERT_TRUE(env.Remove("b.bin").ok());
+  std::filesystem::remove_all(root);
+}
+
+TEST(StorageEnvTest, CrashEnvPassesThroughBeforeCrashPoint) {
+  MemEnv base;
+  CrashEnv env(&base, /*crash_at_op=*/2, /*seed=*/1);
+  EXPECT_TRUE(env.WriteFile("a", "1").ok());  // op 0
+  EXPECT_TRUE(env.Rename("a", "b").ok());     // op 1
+  EXPECT_FALSE(env.crashed());
+  EXPECT_FALSE(env.WriteFile("c", "2").ok());  // op 2: crash.
+  EXPECT_TRUE(env.crashed());
+  EXPECT_FALSE(env.WriteFile("d", "3").ok());  // Dead.
+  EXPECT_FALSE(env.Remove("b").ok());
+  EXPECT_EQ(env.ops_issued(), 5u);
+  // Reads still see the wreckage.
+  EXPECT_EQ(env.ReadFile("b").value(), "1");
+  EXPECT_FALSE(base.Exists("d"));
+}
+
+TEST(StorageEnvTest, CrashingWriteLeavesTornPrefix) {
+  const std::string payload(100, 'z');
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    MemEnv base;
+    CrashEnv env(&base, /*crash_at_op=*/0, seed);
+    EXPECT_FALSE(env.WriteFile("f", payload).ok());
+    const std::string torn = base.ReadFile("f").value();
+    EXPECT_LE(torn.size(), payload.size());
+    // At most one byte may differ from the corresponding prefix (the
+    // injected bit flip).
+    int diffs = 0;
+    for (size_t i = 0; i < torn.size(); ++i) {
+      if (torn[i] != payload[i]) ++diffs;
+    }
+    EXPECT_LE(diffs, 1) << "seed " << seed;
+  }
+}
+
+TEST(StorageEnvTest, CrashEnvIsDeterministic) {
+  auto run = [](uint64_t seed) {
+    MemEnv base;
+    CrashEnv env(&base, 1, seed);
+    (void)env.WriteFile("a", "first-write-payload");
+    (void)env.WriteFile("b", "second-write-payload-that-crashes");
+    std::string state;
+    const std::vector<std::string> names = base.ListFiles().value();
+    for (const std::string& name : names) {
+      state += name + "=" + base.ReadFile(name).value() + ";";
+    }
+    return state;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_EQ(run(7), run(7));
+}
+
+TEST(StorageEnvTest, CrashEnvNeverCrashesRename) {
+  // Rename is atomic: after a crash at the rename op, the target holds
+  // exactly its old content and the source still exists.
+  MemEnv base;
+  ASSERT_TRUE(base.WriteFile("tmp", "new").ok());
+  ASSERT_TRUE(base.WriteFile("dst", "old").ok());
+  CrashEnv env(&base, /*crash_at_op=*/0, /*seed=*/3);
+  EXPECT_FALSE(env.Rename("tmp", "dst").ok());
+  EXPECT_EQ(base.ReadFile("dst").value(), "old");
+  EXPECT_EQ(base.ReadFile("tmp").value(), "new");
+}
+
+}  // namespace
+}  // namespace griddecl

@@ -1,6 +1,8 @@
 #include "griddecl/gridfile/storage.h"
 
+#include <cstring>
 #include <sstream>
+#include <string_view>
 
 #include <gtest/gtest.h>
 
@@ -76,8 +78,20 @@ TEST(StorageTest, RoundTripAdaptiveBoundaries) {
 TEST(StorageTest, SmallPagesStillWork) {
   const GridFile original = MakeFile(100, 4);
   std::stringstream buffer;
-  // Page fits exactly one 2-attribute record: 4 + 16 padding -> 20+.
-  ASSERT_TRUE(SaveGridFile(original, buffer, 20).ok());
+  // Page fits exactly one 2-attribute record: 8 (v2 header) + 16 -> 24.
+  ASSERT_TRUE(SaveGridFile(original, buffer, 24).ok());
+  const GridFile loaded = LoadGridFile(buffer).value();
+  EXPECT_EQ(loaded.num_records(), 100u);
+  EXPECT_EQ(loaded.record(99), original.record(99));
+}
+
+TEST(StorageTest, SmallPagesStillWorkV1) {
+  const GridFile original = MakeFile(100, 4);
+  std::stringstream buffer;
+  SaveOptions options;
+  options.page_size_bytes = 20;  // 4 (v1 header) + 16: one record per page.
+  options.format_version = kFormatV1;
+  ASSERT_TRUE(SaveGridFile(original, buffer, options).ok());
   const GridFile loaded = LoadGridFile(buffer).value();
   EXPECT_EQ(loaded.num_records(), 100u);
   EXPECT_EQ(loaded.record(99), original.record(99));
@@ -140,6 +154,156 @@ TEST(StorageTest, RoundTripLargePageSizes) {
     const GridFile loaded = LoadGridFile(buffer).value();
     EXPECT_EQ(loaded.num_records(), 300u) << page;
   }
+}
+
+std::string Serialize(const GridFile& file, uint32_t page_size,
+                      uint32_t version) {
+  SaveOptions options;
+  options.page_size_bytes = page_size;
+  options.format_version = version;
+  return SerializeGridFile(file, options).value();
+}
+
+TEST(StorageTest, V1FilesLoadTransparently) {
+  const GridFile original = MakeFile(120, 8);
+  const std::string bytes = Serialize(original, 128, kFormatV1);
+  LoadReport report;
+  const GridFile loaded =
+      ParseGridFile(bytes, LoadOptions{}, &report).value();
+  EXPECT_EQ(report.format_version, kFormatV1);
+  EXPECT_FALSE(report.checksummed);
+  EXPECT_TRUE(report.Clean());
+  EXPECT_EQ(loaded.num_records(), original.num_records());
+  for (RecordId id = 0; id < original.num_records(); ++id) {
+    EXPECT_EQ(loaded.record(id), original.record(id));
+  }
+}
+
+TEST(StorageTest, V2ReportsCleanLoad) {
+  const GridFile original = MakeFile(120, 9);
+  const std::string bytes = Serialize(original, 128, kFormatV2);
+  LoadReport report;
+  ASSERT_TRUE(ParseGridFile(bytes, LoadOptions{}, &report).ok());
+  EXPECT_EQ(report.format_version, kFormatV2);
+  EXPECT_TRUE(report.checksummed);
+  EXPECT_TRUE(report.Clean());
+  EXPECT_EQ(report.records_loaded, 120u);
+  EXPECT_EQ(report.records_lost, 0u);
+}
+
+TEST(StorageTest, V2DetectsEverySingleBitFlip) {
+  // Flip one bit at a stride of offsets across the whole file: the strict
+  // checksum-verifying loader must reject every single one.
+  const GridFile original = MakeFile(60, 10);
+  const std::string bytes = Serialize(original, 128, kFormatV2);
+  for (size_t pos = 0; pos < bytes.size(); pos += 7) {
+    std::string copy = bytes;
+    copy[pos] = static_cast<char>(copy[pos] ^ 0x10);
+    EXPECT_FALSE(ParseGridFile(copy).ok()) << "offset " << pos;
+  }
+}
+
+TEST(StorageTest, BestEffortSalvagesUndamagedPages) {
+  const GridFile original = MakeFile(100, 11);
+  // Page size 88 -> capacity 5 -> 20 pages.
+  const std::string bytes = Serialize(original, 88, kFormatV2);
+  const FileLayout layout = ParseFileLayout(bytes).value();
+  ASSERT_EQ(layout.num_pages, 20u);
+
+  // Smash one byte in the middle of page 3.
+  std::string copy = bytes;
+  copy[layout.PageOffset(3) + 20] ^= 0x40;
+
+  // Strict load rejects...
+  EXPECT_FALSE(ParseGridFile(copy).ok());
+
+  // ...best-effort load salvages the other 19 pages and reports the loss.
+  LoadOptions options;
+  options.best_effort = true;
+  LoadReport report;
+  const GridFile salvaged = ParseGridFile(copy, options, &report).value();
+  EXPECT_FALSE(report.Clean());
+  EXPECT_EQ(report.damaged_page_count, 1u);
+  ASSERT_EQ(report.damaged_pages.size(), 1u);
+  EXPECT_EQ(report.damaged_pages[0].page_index, 3u);
+  EXPECT_EQ(report.records_loaded, 95u);
+  EXPECT_EQ(report.records_lost, 5u);
+  EXPECT_EQ(salvaged.num_records(), 95u);
+}
+
+TEST(StorageTest, BestEffortReportsTruncatedTail) {
+  const GridFile original = MakeFile(50, 12);
+  const std::string bytes = Serialize(original, 88, kFormatV2);
+  const FileLayout layout = ParseFileLayout(bytes).value();
+  // Chop the last two pages and the footer.
+  const std::string chopped =
+      bytes.substr(0, layout.PageOffset(layout.num_pages - 2));
+  EXPECT_FALSE(ParseGridFile(chopped).ok());
+  LoadOptions options;
+  options.best_effort = true;
+  LoadReport report;
+  ASSERT_TRUE(ParseGridFile(chopped, options, &report).ok());
+  EXPECT_FALSE(report.size_ok);
+  EXPECT_EQ(report.damaged_page_count, 2u);
+  EXPECT_EQ(report.records_loaded + report.records_lost, 50u);
+}
+
+TEST(StorageTest, HardenedPageValidation) {
+  const GridFile original = MakeFile(40, 13);
+  // v1 has no checksums, so these structural checks carry the load there.
+  const std::string bytes = Serialize(original, 88, kFormatV1);
+  const FileLayout layout = ParseFileLayout(bytes).value();
+
+  // A page claiming more records than its writer-assigned count must be
+  // rejected, even where it would still fit the page physically.
+  {
+    std::string copy = bytes;
+    const uint32_t lie = layout.PageRecords(0) - 1;
+    std::memcpy(copy.data() + layout.PageOffset(0), &lie, 4);
+    EXPECT_FALSE(ParseGridFile(copy).ok());
+  }
+  {
+    std::string copy = bytes;
+    const uint32_t lie = 1000000;  // Way past physical capacity.
+    std::memcpy(copy.data() + layout.PageOffset(0), &lie, 4);
+    EXPECT_FALSE(ParseGridFile(copy).ok());
+  }
+  // Trailing garbage after the final page is rejected.
+  {
+    std::string copy = bytes + std::string(13, '\0');
+    EXPECT_FALSE(ParseGridFile(copy).ok());
+  }
+  // A partial (truncated) final page is rejected.
+  {
+    const std::string copy = bytes.substr(0, bytes.size() - 1);
+    EXPECT_FALSE(ParseGridFile(copy).ok());
+  }
+}
+
+TEST(StorageTest, FooterIntrospection) {
+  const GridFile original = MakeFile(30, 14);
+  const std::string bytes = Serialize(original, 128, kFormatV2);
+  const FileLayout layout = ParseFileLayout(bytes).value();
+  EXPECT_EQ(layout.expected_file_size, bytes.size());
+  for (uint64_t p = 0; p < layout.num_pages; ++p) {
+    EXPECT_TRUE(VerifyFilePage(bytes, layout, p).ok());
+  }
+  EXPECT_TRUE(VerifyFileFooter(bytes, layout).ok());
+  // The footer is a pure function of the body.
+  EXPECT_EQ(BuildFileFooter(layout,
+                            std::string_view(bytes).substr(
+                                0, layout.footer_offset)),
+            bytes.substr(layout.footer_offset));
+  // A flipped footer byte is caught.
+  std::string copy = bytes;
+  copy[layout.footer_offset + 5] ^= 0x01;
+  EXPECT_FALSE(VerifyFileFooter(copy, layout).ok());
+}
+
+TEST(StorageTest, SerializationIsDeterministic) {
+  const GridFile a = MakeFile(77, 15);
+  const GridFile b = MakeFile(77, 15);
+  EXPECT_EQ(Serialize(a, 256, kFormatV2), Serialize(b, 256, kFormatV2));
 }
 
 }  // namespace

@@ -49,8 +49,24 @@
 ///       re-routing, ECC reconstruction). `--json -` prints the JSON
 ///       report to stdout instead of the table.
 ///
+///   declctl mkcatalog --dir DIR --grid 8x8 --disks 4 [--methods dm,hcam]
+///                [--records 256] [--seed 42] [--page-size 4096]
+///                [--redundancy none|mirror|parity] [--copies 2]
+///                [--group-pages 8]
+///       Build a catalog of synthetic relations (one per method, uniform
+///       random records) and commit it to DIR as a checksummed manifest
+///       generation, optionally with mirror or parity redundancy.
+///
+///   declctl fsck --dir DIR [--dry-run]
+///       Verify every page of every relation in the catalog at DIR
+///       against its checksums; repair damage from mirror/parity
+///       redundancy and heal damaged sidecars. `--dry-run` reports what
+///       would be repaired without writing. Exit status: 0 when the
+///       catalog is (now) intact, 1 when unrepairable damage remains.
+///
 /// All output is plain text; exit status is non-zero on usage errors.
 
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -76,7 +92,7 @@ int Usage() {
       "usage: declctl <command> [flags]\n"
       "commands: methods | eval | compare | sweep-size | gen-trace |\n"
       "          advise | show | export | optimize | throughput | search |\n"
-      "          degrade\n"
+      "          degrade | mkcatalog | fsck\n"
       "see the header of tools/declctl.cc for per-command flags\n";
   return 2;
 }
@@ -472,6 +488,8 @@ int CmdDegrade(const Flags& flags) {
     std::ofstream out(json_path);
     if (!out.good()) return Fail("cannot write '" + json_path + "'");
     out << sweep.value().ToJson();
+    out.flush();
+    if (!out.good()) return Fail("write to '" + json_path + "' failed");
   }
 
   Table t({"Method", "Strategy", "Failed", "Mean lat (ms)", "Availability",
@@ -486,6 +504,120 @@ int CmdDegrade(const Flags& flags) {
   }
   t.PrintText(std::cout);
   return 0;
+}
+
+Result<RelationRedundancy> RedundancyFromFlags(const Flags& flags) {
+  RelationRedundancy r;
+  const std::string policy = flags.GetString("redundancy", "none");
+  if (policy == "none") {
+    r.policy = RelationRedundancy::Policy::kNone;
+  } else if (policy == "mirror") {
+    r.policy = RelationRedundancy::Policy::kMirror;
+  } else if (policy == "parity") {
+    r.policy = RelationRedundancy::Policy::kParity;
+  } else {
+    return Status::InvalidArgument("bad --redundancy '" + policy +
+                                   "' (none|mirror|parity)");
+  }
+  const auto copies = flags.GetInt("copies", 2);
+  const auto group_pages = flags.GetInt("group-pages", 8);
+  if (!copies.ok() || !group_pages.ok() || copies.value() < 1 ||
+      group_pages.value() < 1) {
+    return Status::InvalidArgument("bad --copies / --group-pages");
+  }
+  r.copies = static_cast<uint32_t>(copies.value());
+  r.group_pages = static_cast<uint32_t>(group_pages.value());
+  return r;
+}
+
+int CmdMkCatalog(const Flags& flags) {
+  const std::string dir = flags.GetString("dir", "");
+  if (dir.empty()) return Fail("--dir DIR is required");
+  Result<GridSpec> grid = GridFromFlags(flags);
+  if (!grid.ok()) return Fail(grid.status().ToString());
+  const auto disks = flags.GetInt("disks", 4);
+  const auto records = flags.GetInt("records", 256);
+  const auto seed = flags.GetInt("seed", 42);
+  const auto page_size = flags.GetInt("page-size", 4096);
+  if (!disks.ok() || !records.ok() || !seed.ok() || !page_size.ok() ||
+      disks.value() < 1 || records.value() < 0 || page_size.value() < 1) {
+    return Fail("bad numeric flag");
+  }
+  Result<RelationRedundancy> redundancy = RedundancyFromFlags(flags);
+  if (!redundancy.ok()) return Fail(redundancy.status().ToString());
+
+  std::vector<std::string> names;
+  {
+    const std::string list = flags.GetString("methods", "dm,hcam");
+    std::istringstream ss(list);
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+      if (!token.empty()) names.push_back(token);
+    }
+  }
+  if (names.empty()) return Fail("--methods lists no methods");
+
+  Catalog catalog(static_cast<uint32_t>(disks.value()));
+  Rng rng(static_cast<uint64_t>(seed.value()));
+  for (const std::string& name : names) {
+    std::vector<AttributeDef> attrs;
+    for (uint32_t d = 0; d < grid.value().num_dims(); ++d) {
+      attrs.push_back({"a" + std::to_string(d), 0.0, 1.0});
+    }
+    Result<Schema> schema = Schema::Create(attrs);
+    if (!schema.ok()) return Fail(schema.status().ToString());
+    Result<GridFile> file =
+        GridFile::Create(std::move(schema).value(), grid.value().dims());
+    if (!file.ok()) return Fail(file.status().ToString());
+    for (int64_t i = 0; i < records.value(); ++i) {
+      std::vector<double> point;
+      for (uint32_t d = 0; d < grid.value().num_dims(); ++d) {
+        point.push_back(rng.NextDouble());
+      }
+      const Result<RecordId> id = file.value().Insert(point);
+      if (!id.ok()) {
+        return Fail("insert into '" + name + "': " + id.status().ToString());
+      }
+    }
+    Result<DeclusteredFile> rel = DeclusteredFile::Create(
+        std::move(file).value(), name, static_cast<uint32_t>(disks.value()));
+    if (!rel.ok()) return Fail("method '" + name + "': " +
+                               rel.status().ToString());
+    const Status st = catalog.AddRelation(name, std::move(rel).value());
+    if (!st.ok()) return Fail(st.ToString());
+  }
+
+  Result<DiskEnv> env = DiskEnv::Create(dir);
+  if (!env.ok()) return Fail(env.status().ToString());
+  ManifestSaveOptions options;
+  options.page_size_bytes = static_cast<uint32_t>(page_size.value());
+  options.default_redundancy = redundancy.value();
+  Result<uint64_t> gen = SaveCatalogManifest(catalog, &env.value(), options);
+  if (!gen.ok()) return Fail(gen.status().ToString());
+  std::cout << "committed generation " << gen.value() << ": "
+            << names.size() << " relation(s), " << records.value()
+            << " record(s) each, redundancy "
+            << RedundancyPolicyName(redundancy.value().policy) << "\n";
+  return 0;
+}
+
+int CmdFsck(const Flags& flags) {
+  const std::string dir = flags.GetString("dir", "");
+  if (dir.empty()) return Fail("--dir DIR is required");
+  const auto dry_run = flags.GetBool("dry-run", false);
+  if (!dry_run.ok()) return Fail(dry_run.status().ToString());
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    return Fail("no such catalog directory '" + dir + "'");
+  }
+  Result<DiskEnv> env = DiskEnv::Create(dir);
+  if (!env.ok()) return Fail(env.status().ToString());
+  ScrubOptions options;
+  options.repair = !dry_run.value();
+  Result<ScrubReport> report = ScrubCatalog(&env.value(), options);
+  if (!report.ok()) return Fail(report.status().ToString());
+  std::cout << FormatScrubReport(report.value());
+  return report.value().Clean() ? 0 : 1;
 }
 
 int Main(int argc, char** argv) {
@@ -507,6 +639,8 @@ int Main(int argc, char** argv) {
   if (command == "reproduce") return CmdReproduce(flags.value());
   if (command == "search") return CmdSearch(flags.value());
   if (command == "degrade") return CmdDegrade(flags.value());
+  if (command == "mkcatalog") return CmdMkCatalog(flags.value());
+  if (command == "fsck") return CmdFsck(flags.value());
   return Usage();
 }
 
