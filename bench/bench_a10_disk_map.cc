@@ -131,10 +131,79 @@ void BM_DiskMapBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_DiskMapBuild);
 
+/// CI perf-gate artifact: pinned-repetition kernel timings plus the
+/// deterministic workload counters, written as BENCH_a10_disk_map.json.
+/// Also the registry-overhead smoke check: the diskmap kernel runs once
+/// with a metrics registry attached, and `metrics_overhead_pct` records
+/// the median slowdown vs the registry-absent run (acceptance: < 2%).
+int RunBenchJson(bench::BenchJson& json) {
+  if (!json.enabled()) return 0;
+  const GridSpec grid = Grid();
+  const auto hcam = CreateMethod("hcam", grid, kDisks).value();
+  const Workload w = MakeWorkload(grid);
+
+  // Each timed repetition loops the operation enough to take a few
+  // milliseconds: sub-millisecond reps gate on timer and scheduler noise
+  // rather than on the kernel. Medians are per batch; derived stats
+  // normalize by the iteration counts.
+  constexpr int kVirtualIters = 4;
+  constexpr int kEvalIters = 16;
+  constexpr int kBuildIters = 128;
+
+  EvalOptions virtual_opts;
+  virtual_opts.use_disk_map = false;
+  const Evaluator virtual_ev(*hcam, virtual_opts);
+  const Evaluator mapped_ev(*hcam);
+  json.TimeKernel("workload_eval_virtual", [&] {
+    for (int i = 0; i < kVirtualIters; ++i) {
+      benchmark::DoNotOptimize(virtual_ev.EvaluateWorkload(w).MeanResponse());
+    }
+  });
+  json.TimeKernel("workload_eval_diskmap", [&] {
+    for (int i = 0; i < kEvalIters; ++i) {
+      benchmark::DoNotOptimize(mapped_ev.EvaluateWorkload(w).MeanResponse());
+    }
+  });
+  json.TimeKernel("diskmap_build", [&] {
+    for (int i = 0; i < kBuildIters; ++i) {
+      benchmark::DoNotOptimize(DiskMap::Build(*hcam));
+    }
+  });
+
+  obs::MetricsRegistry registry;
+  EvalOptions metric_opts;
+  metric_opts.metrics = &registry;
+  const Evaluator metric_ev(*hcam, metric_opts);
+  json.TimeKernel("workload_eval_diskmap_metrics", [&] {
+    for (int i = 0; i < kEvalIters; ++i) {
+      benchmark::DoNotOptimize(metric_ev.EvaluateWorkload(w).MeanResponse());
+    }
+  });
+
+  const double plain = json.KernelMedianMs("workload_eval_diskmap");
+  const double metered = json.KernelMedianMs("workload_eval_diskmap_metrics");
+  if (plain > 0) {
+    json.TimingStat("metrics_overhead_pct", 100.0 * (metered - plain) / plain);
+  }
+  json.TimingStat("diskmap_speedup",
+                  (json.KernelMedianMs("workload_eval_virtual") /
+                   kVirtualIters) /
+                      std::max(plain / kEvalIters, 1e-9));
+
+  const WorkloadEval e = mapped_ev.EvaluateWorkload(w);
+  json.Counter("num_queries", static_cast<double>(e.num_queries));
+  json.Counter("mean_response", e.MeanResponse());
+  json.Counter("total_buckets", static_cast<double>(w.TotalBuckets()));
+  json.AttachRegistry(registry);
+  return json.Write();
+}
+
 }  // namespace
 }  // namespace griddecl
 
 int main(int argc, char** argv) {
+  griddecl::bench::BenchJson json("a10_disk_map", &argc, argv);
+  if (json.enabled()) return griddecl::RunBenchJson(json);
   griddecl::PrintExperiment();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -1,8 +1,16 @@
 #ifndef GRIDDECL_BENCH_BENCH_UTIL_H_
 #define GRIDDECL_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
 #include <iostream>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "griddecl/griddecl.h"
 
@@ -10,7 +18,10 @@
 /// Shared output helpers for the experiment benchmarks. Every bench binary
 /// prints (a) the paper-style series as an aligned table, (b) the same data
 /// as CSV for replotting, then (c) runs google-benchmark timings of the
-/// evaluation kernel.
+/// evaluation kernel. Benches wired into the CI perf gate additionally
+/// construct a `BenchJson` and emit a machine-readable `BENCH_<name>.json`
+/// artifact that `scripts/compare_bench.py` diffs against the checked-in
+/// baselines under `bench/baselines/`.
 
 namespace griddecl::bench {
 
@@ -37,6 +48,168 @@ inline void PrintTable(const std::string& title, const Table& table) {
   table.PrintCsv(std::cout);
   std::cout.flush();
 }
+
+/// Machine-readable bench artifact for the CI perf-regression gate.
+///
+/// Construct before `benchmark::Initialize` with the raw argc/argv; the two
+/// gate flags are consumed so google-benchmark never sees them:
+///
+///   --bench-json=PATH        enable the artifact, write it to PATH
+///   --bench-repetitions=N    timed repetitions per kernel (default 5)
+///
+/// Without `--bench-json` every method is a no-op (kernels are not even
+/// run), so plain bench invocations are unaffected. With it, `TimeKernel`
+/// runs one warm-up plus N timed repetitions and records per-rep wall-clock
+/// milliseconds and their median; `Counter` records deterministic scalars
+/// (query counts, simulated totals); `TimingStat` records derived timing
+/// values (speedups); `AttachRegistry` embeds an obs registry snapshot with
+/// wall-clock (`_ms`) keys excluded. Everything except the "kernels" and
+/// "timing_stats" sections is byte-stable across runs at the same seed —
+/// exactly the split compare_bench.py relies on.
+class BenchJson {
+ public:
+  BenchJson(std::string name, int* argc, char** argv) : name_(std::move(name)) {
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--bench-json=", 13) == 0) {
+        path_ = arg + 13;
+      } else if (std::strncmp(arg, "--bench-repetitions=", 20) == 0) {
+        repetitions_ = std::max(1, std::atoi(arg + 20));
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    *argc = out;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+  int repetitions() const { return repetitions_; }
+
+  /// Runs `fn` once untimed (warm-up), then `repetitions()` timed reps.
+  void TimeKernel(const std::string& kernel,
+                  const std::function<void()>& fn) {
+    if (!enabled()) return;
+    using Clock = std::chrono::steady_clock;
+    fn();
+    std::vector<double>& ms = kernels_[kernel];
+    for (int r = 0; r < repetitions_; ++r) {
+      const auto t0 = Clock::now();
+      fn();
+      const auto t1 = Clock::now();
+      ms.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+  }
+
+  /// Median of an already-timed kernel's repetitions (0 when unknown).
+  double KernelMedianMs(const std::string& kernel) const {
+    const auto it = kernels_.find(kernel);
+    return it == kernels_.end() ? 0.0 : Median(it->second);
+  }
+
+  /// Deterministic scalar (counts, simulated-time totals).
+  void Counter(const std::string& key, double value) {
+    if (enabled()) counters_[key] = value;
+  }
+
+  /// Derived wall-clock value (speedup, overhead %) — lives in the
+  /// nondeterministic section next to the kernel timings.
+  void TimingStat(const std::string& key, double value) {
+    if (enabled()) timing_stats_[key] = value;
+  }
+
+  /// Embeds a registry snapshot, wall-clock (`_ms`) keys excluded so the
+  /// section stays byte-stable.
+  void AttachRegistry(const obs::MetricsRegistry& registry) {
+    if (!enabled()) return;
+    obs::JsonOptions json;
+    json.include_timings = false;
+    json.indent = "  ";
+    metrics_json_ = registry.ToJson(json);
+    while (!metrics_json_.empty() &&
+           (metrics_json_.back() == '\n' || metrics_json_.back() == ' ')) {
+      metrics_json_.pop_back();
+    }
+    while (!metrics_json_.empty() &&
+           (metrics_json_.front() == '\n' || metrics_json_.front() == ' ')) {
+      metrics_json_.erase(metrics_json_.begin());
+    }
+  }
+
+  /// Writes `{"bench":..., "repetitions":..., "counters":..., "kernels":...,
+  /// "timing_stats":..., "metrics":...}`. Returns 0, or 1 on I/O failure.
+  int Write() const {
+    if (!enabled()) return 0;
+    std::string out = "{\n  \"bench\": \"" + name_ + "\",\n";
+    out += "  \"repetitions\": " + std::to_string(repetitions_) + ",\n";
+    out += "  \"counters\": {";
+    bool first = true;
+    for (const auto& [key, value] : counters_) {
+      out += first ? "\n" : ",\n";
+      out += "    \"" + key + "\": " + Num(value);
+      first = false;
+    }
+    out += first ? "},\n" : "\n  },\n";
+    out += "  \"kernels\": {";
+    first = true;
+    for (const auto& [kernel, ms] : kernels_) {
+      out += first ? "\n" : ",\n";
+      out += "    \"" + kernel + "\": {\"median_ms\": " + Num(Median(ms)) +
+             ", \"ms\": [";
+      for (size_t i = 0; i < ms.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += Num(ms[i]);
+      }
+      out += "]}";
+      first = false;
+    }
+    out += first ? "},\n" : "\n  },\n";
+    out += "  \"timing_stats\": {";
+    first = true;
+    for (const auto& [key, value] : timing_stats_) {
+      out += first ? "\n" : ",\n";
+      out += "    \"" + key + "\": " + Num(value);
+      first = false;
+    }
+    out += first ? "}" : "\n  }";
+    if (!metrics_json_.empty()) {
+      out += ",\n  \"metrics\": " + metrics_json_;
+    }
+    out += "\n}\n";
+    std::ofstream os(path_);
+    if (!os.good()) {
+      std::cerr << "bench-json: cannot write '" << path_ << "'\n";
+      return 1;
+    }
+    os << out;
+    os.flush();
+    return os.good() ? 0 : 1;
+  }
+
+ private:
+  static std::string Num(double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    return buf;
+  }
+
+  static double Median(const std::vector<double>& values) {
+    if (values.empty()) return 0.0;
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    const size_t n = sorted.size();
+    return n % 2 == 1 ? sorted[n / 2]
+                      : (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0;
+  }
+
+  std::string name_;
+  std::string path_;
+  int repetitions_ = 5;
+  std::map<std::string, double> counters_;
+  std::map<std::string, double> timing_stats_;
+  std::map<std::string, std::vector<double>> kernels_;
+  std::string metrics_json_;
+};
 
 }  // namespace griddecl::bench
 

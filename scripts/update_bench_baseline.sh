@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Regenerate the CI perf-gate baselines under bench/baselines/.
+#
+#   scripts/update_bench_baseline.sh [--repetitions N]
+#
+# Builds Release into build-baseline/ and reruns the gated benches with
+# pinned repetitions, overwriting bench/baselines/BENCH_*.json. Commit the
+# result together with the change that legitimately moved the numbers, and
+# say why in the commit message — the perf job compares every PR against
+# these files.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+repetitions=7
+if [[ "${1-}" == "--repetitions" ]]; then
+  repetitions="$2"
+  shift 2
+fi
+
+cmake -B build-baseline -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-baseline -j --target bench_a10_disk_map bench_a5_throughput
+
+mkdir -p bench/baselines
+build-baseline/bench/bench_a10_disk_map \
+  --bench-json=bench/baselines/BENCH_a10_disk_map.json \
+  --bench-repetitions="$repetitions"
+build-baseline/bench/bench_a5_throughput \
+  --bench-json=bench/baselines/BENCH_a5_throughput.json \
+  --bench-repetitions="$repetitions"
+
+echo "baselines updated:"
+ls -l bench/baselines/

@@ -9,6 +9,7 @@
 #include "griddecl/common/stats.h"
 #include "griddecl/eval/disk_map.h"
 #include "griddecl/methods/method.h"
+#include "griddecl/obs/metrics.h"
 #include "griddecl/query/workload.h"
 
 /// \file
@@ -91,6 +92,16 @@ struct EvalOptions {
   /// 0 = std::thread::hardware_concurrency, n = exactly n. Workloads too
   /// small to amortize thread spawn run serially regardless.
   uint32_t num_threads = 1;
+  /// Optional observability sink (non-owning; must outlive the evaluator).
+  /// `EvaluateWorkload` records `eval.queries`, `eval.buckets_scanned`,
+  /// `eval.fastpath_queries` / `eval.generic_queries` (analytic-stride
+  /// DiskMap vs. everything else), the `eval.response_time` histogram
+  /// (bucket units), and the `eval.workload_ms` wall-clock timer. Parallel
+  /// runs shard per worker and merge in slice order, so counter totals are
+  /// thread-count independent. Null (the default) compiles the
+  /// instrumented path down to no-ops; primary results are bit-identical
+  /// either way.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Evaluates one method over queries/workloads. Construction materializes
@@ -130,9 +141,10 @@ class Evaluator {
   WorkloadEval EvaluateWorkload(const Workload& workload) const;
 
  private:
-  /// Serial aggregation of queries [begin, end).
+  /// Serial aggregation of queries [begin, end); per-query metrics land in
+  /// `sink` (null = none), which workers point at private shards.
   WorkloadEval EvaluateRange(const Workload& workload, size_t begin,
-                             size_t end) const;
+                             size_t end, obs::MetricsRegistry* sink) const;
 
   const DeclusteringMethod* method_;
   EvalOptions options_;

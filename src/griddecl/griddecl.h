@@ -76,6 +76,7 @@
 #include "griddecl/methods/simple.h"
 #include "griddecl/methods/table_method.h"
 #include "griddecl/methods/workload_opt.h"
+#include "griddecl/obs/metrics.h"
 #include "griddecl/query/distributions.h"
 #include "griddecl/query/generator.h"
 #include "griddecl/query/query.h"

@@ -320,6 +320,19 @@ Result<uint64_t> SaveCatalogManifest(const Catalog& catalog, StorageEnv* env,
   m.num_disks = catalog.num_disks();
   m.page_size_bytes = options.page_size_bytes;
 
+  // Write accounting for the observability sink; recorded only once the
+  // generation actually commits.
+  uint64_t files_written = 0;
+  uint64_t bytes_written = 0;
+  auto put = [&](const std::string& name, const std::string& payload) {
+    const Status s = env->WriteFile(name, payload);
+    if (s.ok()) {
+      ++files_written;
+      bytes_written += payload.size();
+    }
+    return s;
+  };
+
   const std::vector<std::string> names = catalog.RelationNames();
   for (size_t i = 0; i < names.size(); ++i) {
     const DeclusteredFile* rel = catalog.Find(names[i]);
@@ -356,32 +369,38 @@ Result<uint64_t> SaveCatalogManifest(const Catalog& catalog, StorageEnv* env,
     }
     m.relations.push_back(std::move(mr));
 
-    Status write = env->WriteFile(m.DataFileName(i), data.value());
+    Status write = put(m.DataFileName(i), data.value());
     if (!write.ok()) return write;
     if (redundancy.policy == RelationRedundancy::Policy::kMirror) {
       for (uint32_t c = 1; c < redundancy.copies; ++c) {
-        write = env->WriteFile(m.MirrorFileName(i, c), data.value());
+        write = put(m.MirrorFileName(i, c), data.value());
         if (!write.ok()) return write;
       }
     }
     if (!parity.empty()) {
-      write = env->WriteFile(m.ParityFileName(i), parity);
+      write = put(m.ParityFileName(i), parity);
       if (!write.ok()) return write;
     }
   }
 
-  Status write = env->WriteFile(ManifestFileName(m.generation),
-                                SerializeManifest(m));
+  Status write = put(ManifestFileName(m.generation), SerializeManifest(m));
   if (!write.ok()) return write;
 
   // The commit point: CURRENT flips atomically onto the new manifest.
   const std::string manifest_name = ManifestFileName(m.generation);
   const std::string pointer =
       manifest_name + " " + U32ToHex(Crc32c(manifest_name)) + "\n";
-  write = env->WriteFile(kCurrentTmpName, pointer);
+  write = put(kCurrentTmpName, pointer);
   if (!write.ok()) return write;
   write = env->Rename(kCurrentTmpName, kCurrentFileName);
   if (!write.ok()) return write;
+
+  if (options.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options.metrics;
+    reg.GetCounter("manifest.generations_committed")->Inc();
+    reg.GetCounter("manifest.files_written")->Inc(files_written);
+    reg.GetCounter("manifest.bytes_written")->Inc(bytes_written);
+  }
 
   // Committed. GC is best-effort (a crash here loses nothing): keep the
   // new generation and its predecessor as a rollback target, drop older.

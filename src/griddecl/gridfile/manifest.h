@@ -114,6 +114,12 @@ struct ManifestSaveOptions {
   /// Per-relation overrides, keyed by relation name.
   std::map<std::string, RelationRedundancy> per_relation;
   uint32_t page_size_bytes = kDefaultPageSizeBytes;
+  /// Optional observability sink (non-owning). A committed save records
+  /// `manifest.generations_committed`, `manifest.files_written` and
+  /// `manifest.bytes_written` (data files, sidecars, manifest and CURRENT
+  /// pointer included). A save that fails before the commit point records
+  /// nothing. The bytes laid down are identical either way.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ManifestLoadOptions {

@@ -111,6 +111,7 @@ RelationScrubReport ScrubRelation(StorageEnv* env,
                     layout.page_size_bytes);
         good[static_cast<size_t>(p)] = 1;
         ++rep.pages_repaired;
+        ++rep.pages_repaired_mirror;
         break;
       }
     }
@@ -147,6 +148,7 @@ RelationScrubReport ScrubRelation(StorageEnv* env,
         if (VerifyFilePage(fixed, layout, p).ok()) {
           good[static_cast<size_t>(p)] = 1;
           ++rep.pages_repaired;
+          ++rep.pages_repaired_parity;
         } else {
           std::memcpy(fixed.data() + layout.PageOffset(p), previous.data(),
                       psz);
@@ -240,6 +242,33 @@ Result<ScrubReport> ScrubManifest(StorageEnv* env,
     if (rel.repaired) ++report.relations_repaired;
     if (rel.unrepairable) ++report.relations_unrepairable;
     report.relations.push_back(std::move(rel));
+  }
+  // Metrics mirror the finished report (single source of truth), so the
+  // scrub outcome is identical with or without a sink.
+  if (options.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options.metrics;
+    uint64_t damaged = 0;
+    uint64_t mirror = 0;
+    uint64_t parity = 0;
+    uint64_t footer = 0;
+    for (const RelationScrubReport& rel : report.relations) {
+      damaged += rel.pages_damaged;
+      mirror += rel.pages_repaired_mirror;
+      parity += rel.pages_repaired_parity;
+      footer += rel.footer_rebuilt ? 1 : 0;
+    }
+    reg.GetCounter("scrub.pages_scanned")->Inc(report.pages_scanned);
+    reg.GetCounter("scrub.pages_damaged")->Inc(damaged);
+    reg.GetCounter("scrub.repairs.mirror")->Inc(mirror);
+    reg.GetCounter("scrub.repairs.parity")->Inc(parity);
+    reg.GetCounter("scrub.repairs.footer")->Inc(footer);
+    reg.GetCounter("scrub.pages_unrepairable")->Inc(report.pages_unrepairable);
+    reg.GetCounter("scrub.sidecars_healed")->Inc(report.sidecars_healed);
+    reg.GetCounter("scrub.relations_scanned")->Inc(report.relations_scanned);
+    reg.GetCounter("scrub.relations_clean")->Inc(report.relations_clean);
+    reg.GetCounter("scrub.relations_repaired")->Inc(report.relations_repaired);
+    reg.GetCounter("scrub.relations_unrepairable")
+        ->Inc(report.relations_unrepairable);
   }
   return report;
 }

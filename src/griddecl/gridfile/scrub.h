@@ -38,6 +38,14 @@ struct ScrubOptions {
   /// Write repaired files back to the env. When false, scrub is a dry run:
   /// same detection and reconstruction work, same report, no writes.
   bool repair = true;
+  /// Optional observability sink (non-owning). `ScrubManifest` records
+  /// `scrub.pages_scanned`, `scrub.pages_damaged`, repair counts by source
+  /// (`scrub.repairs.mirror` / `scrub.repairs.parity` /
+  /// `scrub.repairs.footer`), `scrub.pages_unrepairable`,
+  /// `scrub.sidecars_healed` and per-outcome relation counts — all
+  /// mirrored from the `ScrubReport`, so scrub behaviour is identical
+  /// either way.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Per-relation scrub outcome.
@@ -51,6 +59,9 @@ struct RelationScrubReport {
   uint64_t pages_damaged = 0;
   /// Of those, reconstructed (mirror or parity) and CRC-verified.
   uint64_t pages_repaired = 0;
+  /// Repair-source breakdown: pages_repaired == mirror + parity.
+  uint64_t pages_repaired_mirror = 0;
+  uint64_t pages_repaired_parity = 0;
   uint64_t pages_unrepairable = 0;
   bool header_damaged = false;
   bool header_repaired = false;

@@ -285,6 +285,13 @@ Result<std::string> SerializeGridFile(const GridFile& file,
     layout.num_pages = n == 0 ? 0 : (n - 1) / capacity + 1;
     out += BuildFileFooter(layout, out);
   }
+  if (options.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options.metrics;
+    reg.GetCounter("storage.saves")->Inc();
+    reg.GetCounter("storage.pages_written")
+        ->Inc(n == 0 ? 0 : (n - 1) / capacity + 1);
+    reg.GetCounter("storage.bytes_written")->Inc(out.size());
+  }
   return out;
 }
 
@@ -388,6 +395,17 @@ Result<GridFile> ParseGridFile(std::string_view bytes,
       if (!options.best_effort) return footer_status;
       rep.footer_ok = false;
     }
+  }
+  // Metrics mirror the report on loads that completed the page scan, so
+  // instrumentation provably cannot change what gets parsed.
+  if (options.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *options.metrics;
+    reg.GetCounter("storage.loads")->Inc();
+    reg.GetCounter("storage.pages_read")->Inc(rep.num_pages);
+    reg.GetCounter("storage.pages_damaged")->Inc(rep.damaged_page_count);
+    reg.GetCounter("storage.records_loaded")->Inc(rep.records_loaded);
+    reg.GetCounter("storage.records_lost")->Inc(rep.records_lost);
+    reg.GetCounter("storage.footers_damaged")->Inc(rep.footer_ok ? 0 : 1);
   }
   return file;
 }

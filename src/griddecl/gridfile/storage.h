@@ -9,6 +9,7 @@
 
 #include "griddecl/common/status.h"
 #include "griddecl/gridfile/grid_file.h"
+#include "griddecl/obs/metrics.h"
 
 /// \file
 /// Binary, paged, versioned persistence for `GridFile`.
@@ -77,6 +78,11 @@ struct SaveOptions {
   uint32_t page_size_bytes = kDefaultPageSizeBytes;
   /// kFormatV1 or kFormatV2.
   uint32_t format_version = kLatestFormatVersion;
+  /// Optional observability sink (non-owning). A successful serialization
+  /// records `storage.saves`, `storage.pages_written` and
+  /// `storage.bytes_written`. Null means no instrumentation; the produced
+  /// bytes are identical either way.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Serializes `file` to bytes. `page_size_bytes` must fit the page header
@@ -136,6 +142,14 @@ struct LoadOptions {
   /// mode (true): salvage every verifiable page, report the damage; only
   /// an unusable header region is fatal.
   bool best_effort = false;
+  /// Optional observability sink (non-owning). A load that reaches the
+  /// page scan records `storage.loads`, `storage.pages_read`,
+  /// `storage.pages_damaged`, `storage.records_loaded`,
+  /// `storage.records_lost` and `storage.footers_damaged` — mirrored from
+  /// the `LoadReport`, so the parse result is identical either way. Loads
+  /// rejected before the scan (unusable header, strict-mode damage)
+  /// record nothing.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Parses a grid file previously written by `SaveGridFile`. Fails with

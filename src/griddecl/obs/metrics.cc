@@ -1,0 +1,223 @@
+#include "griddecl/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string_view>
+
+#include "griddecl/common/check.h"
+
+namespace griddecl::obs {
+
+namespace {
+
+/// Fixed shortest-stable float rendering; identical doubles render
+/// identically, which is all snapshot determinism needs.
+std::string JsonNum(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+bool IsTimingKey(const std::string& name) {
+  constexpr std::string_view suffix = "_ms";
+  return name.size() >= suffix.size() &&
+         std::string_view(name).substr(name.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {
+  GRIDDECL_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bound");
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    GRIDDECL_CHECK_MSG(bounds_[i - 1] < bounds_[i],
+                       "histogram bounds must be strictly increasing");
+  }
+}
+
+void Histogram::Observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const double clamped = std::min(100.0, std::max(0.0, p));
+  // Nearest rank: the k-th smallest observation, k >= 1.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::ceil(clamped / 100.0 * static_cast<double>(count_))));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) {
+      // Overflow bucket (or any bucket whose bound exceeds the true max)
+      // answers with the exact observed maximum.
+      if (i == bounds_.size()) return max_;
+      return std::min(bounds_[i], max_);
+    }
+  }
+  return max_;  // Unreachable: cumulative == count_ >= rank by then.
+}
+
+void Histogram::Merge(const Histogram& other) {
+  GRIDDECL_CHECK_MSG(bounds_ == other.bounds_,
+                     "merging histograms with different bounds");
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (other.count_ > 0) {
+    min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+    max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+}
+
+std::vector<double> ExponentialBounds(double start, double factor, size_t n) {
+  GRIDDECL_CHECK(start > 0 && factor > 1 && n >= 1);
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  double edge = start;
+  for (size_t i = 0; i < n; ++i) {
+    bounds.push_back(edge);
+    edge *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> LinearBounds(double start, double step, size_t n) {
+  GRIDDECL_CHECK(step > 0 && n >= 1);
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    bounds.push_back(start + step * static_cast<double>(i));
+  }
+  return bounds;
+}
+
+std::vector<double> DefaultLatencyBoundsMs() {
+  return ExponentialBounds(0.001, 2.0, 24);  // 1 µs .. ~8.4 s.
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
+  return slot.get();
+}
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  GRIDDECL_CHECK_MSG(&other != this, "cannot merge a registry into itself");
+  // Lock ordering: callers merge shards from the owning thread after
+  // workers joined, so other's maps are quiescent.
+  std::scoped_lock lock(mu_, other.mu_);
+  for (const auto& [name, counter] : other.counters_) {
+    auto& slot = counters_[name];
+    if (slot == nullptr) slot = std::make_unique<Counter>();
+    slot->Inc(counter->value());
+  }
+  for (const auto& [name, gauge] : other.gauges_) {
+    if (!gauge->has_value()) continue;
+    auto& slot = gauges_[name];
+    if (slot == nullptr) slot = std::make_unique<Gauge>();
+    slot->Set(gauge->value());
+  }
+  for (const auto& [name, histogram] : other.histograms_) {
+    auto& slot = histograms_[name];
+    if (slot == nullptr) {
+      slot = std::make_unique<Histogram>(histogram->bounds());
+    }
+    slot->Merge(*histogram);
+  }
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::string MetricsRegistry::ToJson(const JsonOptions& options) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string& ind = options.indent;
+  std::string out;
+  out += ind + "{\n";
+
+  auto skip = [&](const std::string& name) {
+    return !options.include_timings && IsTimingKey(name);
+  };
+
+  out += ind + "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (skip(name)) continue;
+    out += first ? "\n" : ",\n";
+    out += ind + "    \"" + name + "\": " + std::to_string(counter->value());
+    first = false;
+  }
+  out += first ? "},\n" : "\n" + ind + "  },\n";
+
+  out += ind + "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (skip(name) || !gauge->has_value()) continue;
+    out += first ? "\n" : ",\n";
+    out += ind + "    \"" + name + "\": " + JsonNum(gauge->value());
+    first = false;
+  }
+  out += first ? "},\n" : "\n" + ind + "  },\n";
+
+  out += ind + "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (skip(name)) continue;
+    out += first ? "\n" : ",\n";
+    out += ind + "    \"" + name + "\": {";
+    out += "\"count\": " + std::to_string(h->count());
+    out += ", \"sum\": " + JsonNum(h->sum());
+    out += ", \"min\": " + JsonNum(h->min());
+    out += ", \"max\": " + JsonNum(h->max());
+    out += ", \"p50\": " + JsonNum(h->p50());
+    out += ", \"p95\": " + JsonNum(h->p95());
+    out += ", \"p99\": " + JsonNum(h->p99());
+    out += ", \"buckets\": [";
+    // Trailing overflow bucket rendered with a null bound.
+    for (size_t i = 0; i <= h->bounds().size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "{\"le\": ";
+      out += i < h->bounds().size() ? JsonNum(h->bounds()[i]) : "null";
+      out += ", \"count\": " + std::to_string(h->bucket_count(i)) + "}";
+    }
+    out += "]}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n" + ind + "  }\n";
+
+  out += ind + "}\n";
+  return out;
+}
+
+}  // namespace griddecl::obs

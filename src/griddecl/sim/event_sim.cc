@@ -7,6 +7,7 @@
 #include <queue>
 
 #include "griddecl/eval/metrics.h"
+#include "griddecl/sim/sim_metrics.h"
 
 namespace griddecl {
 
@@ -100,6 +101,8 @@ Result<ThroughputResult> SimulateInterleaved(
   result.num_queries = n;
   result.disk_busy_ms.assign(m, 0);
 
+  sim_internal::ClosedSystemMetrics obs_sink(options.metrics, m);
+
   // Completion events: (time, disk). A disk has at most one in flight.
   using Event = std::pair<double, uint32_t>;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
@@ -174,6 +177,7 @@ Result<ThroughputResult> SimulateInterleaved(
         batches[method.DiskOf(c)].push_back(grid.Linearize(c));
       });
     }
+    obs_sink.RecordAdmission(batches);
     uint32_t total = 0;
     for (uint32_t disk_id = 0; disk_id < m; ++disk_id) {
       std::sort(batches[disk_id].begin(), batches[disk_id].end());
@@ -202,6 +206,7 @@ Result<ThroughputResult> SimulateInterleaved(
       const double latency = at - admit_time[q];
       latency_sum += latency;
       ++answered;
+      obs::Observe(obs_sink.latency, latency);
       result.max_latency_ms = std::max(result.max_latency_ms, latency);
     }
     result.total_ms = std::max(result.total_ms, at);
@@ -243,6 +248,7 @@ Result<ThroughputResult> SimulateInterleaved(
   }
   result.mean_latency_ms =
       answered == 0 ? 0.0 : latency_sum / static_cast<double>(answered);
+  obs_sink.RecordOutcome(result);
   return result;
 }
 

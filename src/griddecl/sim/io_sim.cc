@@ -1,6 +1,7 @@
 #include "griddecl/sim/io_sim.h"
 
 #include <algorithm>
+#include <string>
 
 namespace griddecl {
 
@@ -70,6 +71,21 @@ Result<ParallelIoSimulator> ParallelIoSimulator::Create(
 double ParallelIoSimulator::slowdown(uint32_t disk) const {
   GRIDDECL_CHECK(disk < num_disks_);
   return slowdown_.empty() ? 1.0 : slowdown_[disk];
+}
+
+void ParallelIoSimulator::RecordRun(const SimResult& result) const {
+  if (metrics_ == nullptr) return;
+  metrics_->GetCounter("sim.io.queries")->Inc();
+  metrics_->GetCounter("sim.io.requests")->Inc(result.TotalRequests());
+  metrics_->GetCounter("sim.io.transient_retries")
+      ->Inc(result.transient_retries);
+  metrics_
+      ->GetHistogram("sim.io.makespan", obs::ExponentialBounds(1, 2, 20))
+      ->Observe(result.makespan_ms);
+  for (uint32_t d = 0; d < num_disks_; ++d) {
+    metrics_->GetCounter("sim.io.disk_requests." + std::to_string(d))
+        ->Inc(result.per_disk[d].requests);
+  }
 }
 
 SimResult ParallelIoSimulator::RunQuery(const DeclusteringMethod& method,
@@ -164,6 +180,7 @@ SimResult ParallelIoSimulator::RunScheduleWithFaults(
     result.per_disk[d].busy_ms = busy;
     result.makespan_ms = std::max(result.makespan_ms, busy);
   }
+  RecordRun(result);
   return result;
 }
 
@@ -195,6 +212,7 @@ SimResult ParallelIoSimulator::RunSchedule(
     result.per_disk[d].busy_ms = busy;
     result.makespan_ms = std::max(result.makespan_ms, busy);
   }
+  RecordRun(result);
   return result;
 }
 

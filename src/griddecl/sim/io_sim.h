@@ -7,6 +7,7 @@
 #include "griddecl/common/status.h"
 #include "griddecl/eval/disk_map.h"
 #include "griddecl/methods/method.h"
+#include "griddecl/obs/metrics.h"
 #include "griddecl/query/query.h"
 #include "griddecl/sim/faults.h"
 
@@ -80,7 +81,8 @@ struct SimResult {
 };
 
 /// Simulates parallel bucket fetches for queries under a declustering
-/// method. Stateless; safe for concurrent use.
+/// method. Stateless (safe for concurrent use) unless a metrics sink is
+/// attached via `set_metrics`.
 class ParallelIoSimulator {
  public:
   ParallelIoSimulator(uint32_t num_disks, DiskParams params);
@@ -105,6 +107,17 @@ class ParallelIoSimulator {
   const DiskParams& params() const { return params_; }
   /// Per-disk service-time multiplier.
   double slowdown(uint32_t disk) const;
+
+  /// Attaches an observability sink (non-owning; null detaches). Every
+  /// schedule run then records `sim.io.queries` / `sim.io.requests` /
+  /// `sim.io.transient_retries` counters, per-disk request counts
+  /// (`sim.io.disk_requests.<d>`), and the `sim.io.makespan` histogram
+  /// (simulated ms — deterministic, hence no `_ms` suffix). Metrics are
+  /// derived from the finished `SimResult`, so simulation output is
+  /// bit-identical with or without a sink. Recording is unsynchronized:
+  /// concurrent RunQuery calls are only safe with no sink attached.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
 
   /// Simulates fetching every bucket of `query` as declustered by `method`.
   /// `method.num_disks()` must equal `num_disks()`.
@@ -141,10 +154,15 @@ class ParallelIoSimulator {
       const FaultModel& faults) const;
 
  private:
+  /// Tallies one finished schedule into `metrics_` (no-op when null).
+  void RecordRun(const SimResult& result) const;
+
   uint32_t num_disks_;
   DiskParams params_;
   /// Empty means homogeneous (all 1.0).
   std::vector<double> slowdown_;
+  /// Optional observability sink (non-owning); see `set_metrics`.
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace griddecl

@@ -1,0 +1,78 @@
+#ifndef GRIDDECL_SIM_SIM_METRICS_H_
+#define GRIDDECL_SIM_SIM_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "griddecl/obs/metrics.h"
+#include "griddecl/sim/throughput.h"
+
+/// \file
+/// Shared metric handles for the two closed-system simulators
+/// (`SimulateThroughput`, `SimulateInterleaved`). Internal to sim/ — the
+/// public contract is documented on `ThroughputOptions::metrics`.
+///
+/// Keys live under `sim.throughput.` for both models (they answer the same
+/// question of the same workload; the caller knows which model ran), with
+/// per-disk request counts suffixed by the decimal disk index. Latency
+/// values are *simulated* milliseconds — deterministic model output, so
+/// the keys deliberately avoid the `_ms` wall-clock suffix.
+
+namespace griddecl::sim_internal {
+
+struct ClosedSystemMetrics {
+  ClosedSystemMetrics(obs::MetricsRegistry* registry, uint32_t num_disks) {
+    if (registry == nullptr) return;
+    enabled = true;
+    admitted = registry->GetCounter("sim.throughput.admitted_queries");
+    requests = registry->GetCounter("sim.throughput.requests");
+    latency = registry->GetHistogram("sim.throughput.latency",
+                                     obs::ExponentialBounds(1, 2, 20));
+    disk_requests.reserve(num_disks);
+    for (uint32_t d = 0; d < num_disks; ++d) {
+      disk_requests.push_back(registry->GetCounter(
+          "sim.throughput.disk_requests." + std::to_string(d)));
+    }
+    unavailable = registry->GetCounter("sim.throughput.unavailable_queries");
+    retries = registry->GetCounter("sim.throughput.transient_retries");
+    rerouted = registry->GetCounter("sim.throughput.rerouted_buckets");
+    reconstructions =
+        registry->GetCounter("sim.throughput.reconstruction_reads");
+  }
+
+  /// Per-query bookkeeping: one admission plus its per-disk batch sizes.
+  void RecordAdmission(const std::vector<std::vector<uint64_t>>& batches) {
+    if (!enabled) return;
+    admitted->Inc();
+    uint64_t total = 0;
+    for (size_t d = 0; d < batches.size(); ++d) {
+      disk_requests[d]->Inc(batches[d].size());
+      total += batches[d].size();
+    }
+    requests->Inc(total);
+  }
+
+  /// Availability tallies copied from the finished result (the simulators
+  /// already aggregate them exactly; mirroring keeps one source of truth).
+  void RecordOutcome(const ThroughputResult& result) {
+    if (!enabled) return;
+    unavailable->Inc(result.unavailable_queries);
+    retries->Inc(result.transient_retries);
+    rerouted->Inc(result.rerouted_buckets);
+    reconstructions->Inc(result.reconstruction_reads);
+  }
+
+  bool enabled = false;
+  obs::Counter* admitted = nullptr;
+  obs::Counter* requests = nullptr;
+  obs::Counter* unavailable = nullptr;
+  obs::Counter* retries = nullptr;
+  obs::Counter* rerouted = nullptr;
+  obs::Counter* reconstructions = nullptr;
+  obs::Histogram* latency = nullptr;
+  std::vector<obs::Counter*> disk_requests;
+};
+
+}  // namespace griddecl::sim_internal
+
+#endif  // GRIDDECL_SIM_SIM_METRICS_H_

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "griddecl/eval/disk_map.h"
+#include "griddecl/sim/sim_metrics.h"
 
 namespace griddecl {
 
@@ -133,6 +134,8 @@ Result<ThroughputResult> SimulateThroughput(const DeclusteringMethod& method,
   result.num_queries = workload.size();
   result.disk_busy_ms.assign(m, 0.0);
 
+  sim_internal::ClosedSystemMetrics obs_sink(options.metrics, m);
+
   // One materialized map serves every query of the run (subject to the
   // memory cap); bucket grid-linear addresses equal the map's flat indices.
   std::optional<DiskMap> map;
@@ -185,6 +188,7 @@ Result<ThroughputResult> SimulateThroughput(const DeclusteringMethod& method,
         batches[method.DiskOf(c)].push_back(grid.Linearize(c));
       });
     }
+    obs_sink.RecordAdmission(batches);
     double completion = admit;  // Queries with zero requests finish at once.
     for (uint32_t d = 0; d < m; ++d) {
       if (batches[d].empty()) continue;
@@ -203,11 +207,13 @@ Result<ThroughputResult> SimulateThroughput(const DeclusteringMethod& method,
     const double latency = completion - admit;
     ++answered;
     latency_sum += latency;
+    obs::Observe(obs_sink.latency, latency);
     result.max_latency_ms = std::max(result.max_latency_ms, latency);
     result.total_ms = std::max(result.total_ms, completion);
   }
   result.mean_latency_ms =
       answered == 0 ? 0.0 : latency_sum / static_cast<double>(answered);
+  obs_sink.RecordOutcome(result);
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "griddecl/obs/metrics.h"
 #include "griddecl/query/workload.h"
 #include "griddecl/sim/faults.h"
 #include "griddecl/sim/io_sim.h"
@@ -57,6 +58,15 @@ struct ThroughputOptions {
   /// disks that never fail (the plan is built against the terminal mask),
   /// which keeps mid-run failure handling conservative but deterministic.
   const DegradedPlan* degraded = nullptr;
+  /// Optional observability sink (non-owning, single simulation at a time).
+  /// Both closed-system simulators record admissions / unavailability /
+  /// retry / reroute / reconstruction counters, per-disk request counts
+  /// (`sim.throughput.disk_requests.<d>`), and the simulated per-query
+  /// latency histogram `sim.throughput.latency` (simulated ms — a model
+  /// output, deterministic, hence no `_ms` suffix). Null compiles the
+  /// instrumentation to no-ops; simulation results are bit-identical
+  /// either way.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Result of simulating one workload.

@@ -1,0 +1,297 @@
+#include "griddecl/obs/metrics.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace griddecl::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, HasValueOnlyAfterSet) {
+  Gauge g;
+  EXPECT_FALSE(g.has_value());
+  EXPECT_EQ(g.value(), 0.0);
+  g.Set(3.5);
+  EXPECT_TRUE(g.has_value());
+  EXPECT_EQ(g.value(), 3.5);
+  g.Set(-1.0);
+  EXPECT_EQ(g.value(), -1.0);
+}
+
+TEST(HistogramTest, BucketAssignmentInclusiveUpperEdges) {
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  // Bound values land in the bucket they bound (inclusive upper edge).
+  h.Observe(0.5);   // bucket 0
+  h.Observe(1.0);   // bucket 0 (== bound)
+  h.Observe(1.5);   // bucket 1
+  h.Observe(3.0);   // bucket 2
+  h.Observe(3.0);   // bucket 2
+  h.Observe(5.0);   // bucket 3
+  h.Observe(7.0);   // bucket 3
+  h.Observe(9.0);   // overflow
+  h.Observe(20.0);  // overflow
+
+  EXPECT_EQ(h.count(), 9u);
+  EXPECT_DOUBLE_EQ(h.sum(), 50.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 20.0);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(3), 2u);
+  EXPECT_EQ(h.bucket_count(4), 2u);  // overflow bucket
+}
+
+TEST(HistogramTest, NearestRankPercentiles) {
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  for (double v : {0.5, 1.0, 1.5, 3.0, 3.0, 5.0, 7.0, 9.0, 20.0}) {
+    h.Observe(v);
+  }
+  // count = 9; rank = max(1, ceil(p/100 * 9)).
+  // p0  -> rank 1 -> bucket 0 -> bound 1.0
+  // p50 -> rank 5 -> bucket 2 (cumulative 2,3,5) -> bound 4.0
+  // p95 -> rank 9 -> overflow bucket -> exact max
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 4.0);
+  EXPECT_DOUBLE_EQ(h.p95(), 20.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 20.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), h.max());
+}
+
+TEST(HistogramTest, PercentileClampsToObservedMax) {
+  // The single observation sits in the (2, 4] bucket, but the answer must
+  // be the exact max, not the bucket's upper bound.
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  h.Observe(3.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 3.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 3.0);
+}
+
+TEST(HistogramTest, AllOverflowStillAnswersWithMax) {
+  Histogram h({1.0});
+  h.Observe(10.0);
+  h.Observe(30.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 30.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 30.0);
+}
+
+TEST(HistogramTest, EmptyHistogramReturnsZeros) {
+  Histogram h({1.0, 2.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 0.0);
+}
+
+TEST(HistogramTest, MergeAddsBucketsAndTracksExtremes) {
+  Histogram a({1.0, 2.0, 4.0});
+  Histogram b({1.0, 2.0, 4.0});
+  a.Observe(0.5);
+  a.Observe(3.0);
+  b.Observe(1.5);
+  b.Observe(10.0);
+
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 10.0);
+  EXPECT_EQ(a.bucket_count(0), 1u);  // 0.5
+  EXPECT_EQ(a.bucket_count(1), 1u);  // 1.5
+  EXPECT_EQ(a.bucket_count(2), 1u);  // 3.0
+  EXPECT_EQ(a.bucket_count(3), 1u);  // 10.0 (overflow)
+}
+
+TEST(HistogramTest, MergeIntoEmptyAdoptsOtherExtremes) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 2.0});
+  b.Observe(1.5);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 1.5);
+  EXPECT_DOUBLE_EQ(a.max(), 1.5);
+  // Merging an empty histogram changes nothing.
+  Histogram empty({1.0, 2.0});
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 1.5);
+}
+
+TEST(BoundsTest, ExponentialAndLinearEdges) {
+  EXPECT_EQ(ExponentialBounds(1.0, 2.0, 4),
+            (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  EXPECT_EQ(LinearBounds(10.0, 5.0, 3),
+            (std::vector<double>{10.0, 15.0, 20.0}));
+  const std::vector<double> latency = DefaultLatencyBoundsMs();
+  ASSERT_EQ(latency.size(), 24u);
+  EXPECT_DOUBLE_EQ(latency.front(), 0.001);
+  for (size_t i = 1; i < latency.size(); ++i) {
+    EXPECT_DOUBLE_EQ(latency[i], latency[i - 1] * 2.0);
+  }
+}
+
+TEST(RegistryTest, FindOrCreateReturnsStablePointers) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("a.count");
+  EXPECT_EQ(reg.GetCounter("a.count"), c);
+  Histogram* h = reg.GetHistogram("a.hist", {1.0, 2.0});
+  EXPECT_EQ(reg.GetHistogram("a.hist", {99.0}), h);  // bounds kept
+  EXPECT_EQ(h->bounds(), (std::vector<double>{1.0, 2.0}));
+  Gauge* g = reg.GetGauge("a.gauge");
+  EXPECT_EQ(reg.GetGauge("a.gauge"), g);
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(RegistryTest, JsonIndependentOfCreationOrder) {
+  auto fill = [](MetricsRegistry& reg, bool reversed) {
+    const std::vector<std::string> counters = {"b.count", "a.count",
+                                               "c.count"};
+    for (size_t i = 0; i < counters.size(); ++i) {
+      const std::string& name =
+          reversed ? counters[counters.size() - 1 - i] : counters[i];
+      reg.GetCounter(name)->Inc(7);
+    }
+    reg.GetGauge("z.gauge")->Set(2.25);
+    reg.GetHistogram("m.hist", {1.0, 4.0})->Observe(3.0);
+  };
+  MetricsRegistry forward;
+  MetricsRegistry backward;
+  fill(forward, false);
+  fill(backward, true);
+  EXPECT_EQ(forward.ToJson(), backward.ToJson());
+}
+
+TEST(RegistryTest, JsonDropsTimingKeysOnRequest) {
+  MetricsRegistry reg;
+  reg.GetCounter("eval.queries")->Inc(5);
+  reg.GetCounter("eval.elapsed_ms")->Inc(123);
+  reg.GetGauge("build.wall_ms")->Set(9.5);
+  reg.GetHistogram("eval.latency_ms", {1.0})->Observe(0.5);
+  reg.GetHistogram("sim.latency", {1.0})->Observe(0.5);
+
+  const std::string with = reg.ToJson();
+  EXPECT_NE(with.find("eval.elapsed_ms"), std::string::npos);
+
+  JsonOptions opts;
+  opts.include_timings = false;
+  const std::string without = reg.ToJson(opts);
+  EXPECT_NE(without.find("eval.queries"), std::string::npos);
+  EXPECT_NE(without.find("sim.latency"), std::string::npos);
+  EXPECT_EQ(without.find("eval.elapsed_ms"), std::string::npos);
+  EXPECT_EQ(without.find("build.wall_ms"), std::string::npos);
+  EXPECT_EQ(without.find("eval.latency_ms"), std::string::npos);
+}
+
+TEST(RegistryTest, JsonIndentPrefixesEveryLine) {
+  MetricsRegistry reg;
+  reg.GetCounter("a")->Inc();
+  JsonOptions opts;
+  opts.indent = "    ";
+  const std::string json = reg.ToJson(opts);
+  EXPECT_EQ(json.rfind("    {", 0), 0u);
+  EXPECT_EQ(json.find("\n{"), std::string::npos);
+}
+
+TEST(RegistryTest, UnsetGaugesAreOmittedFromJson) {
+  MetricsRegistry reg;
+  reg.GetGauge("never.set");
+  EXPECT_EQ(reg.ToJson().find("never.set"), std::string::npos);
+}
+
+TEST(RegistryTest, MergeAddsCountersOverwritesGaugesMergesHistograms) {
+  MetricsRegistry main;
+  MetricsRegistry shard;
+  main.GetCounter("shared")->Inc(2);
+  shard.GetCounter("shared")->Inc(3);
+  shard.GetCounter("only.shard")->Inc(4);
+  main.GetGauge("g")->Set(1.0);
+  shard.GetGauge("g")->Set(2.0);
+  shard.GetGauge("unset");  // never Set -> must not clobber or appear
+  main.GetHistogram("h", {1.0, 2.0})->Observe(0.5);
+  shard.GetHistogram("h", {1.0, 2.0})->Observe(1.5);
+  shard.GetHistogram("shard.h", {4.0})->Observe(3.0);
+
+  main.Merge(shard);
+  EXPECT_EQ(main.GetCounter("shared")->value(), 5u);
+  EXPECT_EQ(main.GetCounter("only.shard")->value(), 4u);
+  EXPECT_EQ(main.GetGauge("g")->value(), 2.0);
+  EXPECT_FALSE(main.GetGauge("unset")->has_value());
+  Histogram* h = main.GetHistogram("h", {1.0, 2.0});
+  EXPECT_EQ(h->count(), 2u);
+  EXPECT_DOUBLE_EQ(h->max(), 1.5);
+  // Histogram absent in main is created with the shard's bounds.
+  Histogram* created = main.GetHistogram("shard.h", {});
+  EXPECT_EQ(created->bounds(), (std::vector<double>{4.0}));
+  EXPECT_EQ(created->count(), 1u);
+}
+
+TEST(RegistryTest, ShardMergeMatchesSingleRegistry) {
+  // The sharded threading model: per-worker registries merged afterwards
+  // must equal one registry that saw every update.
+  MetricsRegistry single;
+  MetricsRegistry merged;
+  std::vector<std::unique_ptr<MetricsRegistry>> shards;
+  for (int s = 0; s < 3; ++s) {
+    shards.push_back(std::make_unique<MetricsRegistry>());
+  }
+  for (int i = 0; i < 30; ++i) {
+    MetricsRegistry& shard = *shards[static_cast<size_t>(i % 3)];
+    shard.GetCounter("work.items")->Inc();
+    shard.GetHistogram("work.cost", {1.0, 10.0, 100.0})->Observe(i * 1.5);
+    single.GetCounter("work.items")->Inc();
+    single.GetHistogram("work.cost", {1.0, 10.0, 100.0})->Observe(i * 1.5);
+  }
+  for (const auto& shard : shards) merged.Merge(*shard);
+  EXPECT_EQ(merged.ToJson(), single.ToJson());
+}
+
+TEST(NullSafeHelpersTest, NullRegistryYieldsNullMetrics) {
+  MetricsRegistry* none = nullptr;
+  Counter* c = GetCounter(none, "x");
+  Gauge* g = GetGauge(none, "x");
+  Histogram* h = GetHistogram(none, "x", {1.0});
+  EXPECT_EQ(c, nullptr);
+  EXPECT_EQ(g, nullptr);
+  EXPECT_EQ(h, nullptr);
+  // All helpers are no-ops on null — must not crash.
+  Inc(c);
+  Inc(c, 10);
+  Set(g, 1.0);
+  Observe(h, 1.0);
+}
+
+TEST(NullSafeHelpersTest, NonNullRegistryRoutesThrough) {
+  MetricsRegistry reg;
+  Inc(GetCounter(&reg, "c"), 3);
+  Set(GetGauge(&reg, "g"), 4.0);
+  Observe(GetHistogram(&reg, "h", {10.0}), 2.0);
+  EXPECT_EQ(reg.GetCounter("c")->value(), 3u);
+  EXPECT_EQ(reg.GetGauge("g")->value(), 4.0);
+  EXPECT_EQ(reg.GetHistogram("h", {10.0})->count(), 1u);
+}
+
+TEST(ScopedTimerTest, RecordsElapsedIntoSink) {
+  Histogram sink(DefaultLatencyBoundsMs());
+  {
+    ScopedTimer timer(&sink);
+  }
+  EXPECT_EQ(sink.count(), 1u);
+  EXPECT_GE(sink.max(), 0.0);
+}
+
+TEST(ScopedTimerTest, NullSinkIsNoOp) {
+  ScopedTimer timer(nullptr);  // must not crash or read the clock
+}
+
+}  // namespace
+}  // namespace griddecl::obs

@@ -64,6 +64,13 @@
 ///       would be repaired without writing. Exit status: 0 when the
 ///       catalog is (now) intact, 1 when unrepairable damage remains.
 ///
+/// Commands that drive the evaluator, a simulator, or the storage stack
+/// (eval, compare, throughput, degrade, mkcatalog, fsck) also accept
+/// `--metrics-json=PATH` ("-" = stdout): the library's observability
+/// counters and histograms (obs/metrics.h) are snapshotted to JSON after
+/// the work finishes. Without the flag no registry exists and the
+/// instrumentation is a no-op.
+///
 /// All output is plain text; exit status is non-zero on usage errors.
 
 #include <filesystem>
@@ -86,6 +93,38 @@ int Fail(const std::string& message) {
   std::cerr << "declctl: " << message << "\n";
   return 1;
 }
+
+/// `--metrics-json=PATH` support ("-" = stdout). Commands pass `registry()`
+/// into library options — null when the flag is absent, which compiles the
+/// library's instrumentation down to no-ops — and call `Flush()` once the
+/// work is done to write the deterministic JSON snapshot.
+struct MetricsSink {
+  explicit MetricsSink(const Flags& flags)
+      : path(flags.GetString("metrics-json", "")) {}
+
+  obs::MetricsRegistry* registry() { return path.empty() ? nullptr : &reg; }
+
+  /// Writes the snapshot; returns non-zero on I/O failure (usable as the
+  /// command's exit status).
+  int Flush() {
+    if (path.empty()) return 0;
+    obs::JsonOptions json;
+    json.indent = "  ";
+    if (path == "-") {
+      std::cout << reg.ToJson(json) << "\n";
+      return 0;
+    }
+    std::ofstream out(path);
+    if (!out.good()) return Fail("cannot write '" + path + "'");
+    out << reg.ToJson(json) << "\n";
+    out.flush();
+    if (!out.good()) return Fail("write to '" + path + "' failed");
+    return 0;
+  }
+
+  std::string path;
+  obs::MetricsRegistry reg;
+};
 
 int Usage() {
   std::cerr <<
@@ -143,8 +182,11 @@ int CmdEval(const Flags& flags) {
       gen.Placements(shape.value(), static_cast<size_t>(placements.value()),
                      &rng, "cli");
   if (!workload.ok()) return Fail(workload.status().ToString());
-  const WorkloadEval e =
-      Evaluator(*method.value()).EvaluateWorkload(workload.value());
+  MetricsSink sink(flags);
+  EvalOptions eval_options;
+  eval_options.metrics = sink.registry();
+  const WorkloadEval e = Evaluator(*method.value(), eval_options)
+                             .EvaluateWorkload(workload.value());
   std::cout << "method " << method.value()->name() << " on grid "
             << grid.value().ToString() << ", M=" << disks.value() << "\n"
             << "queries evaluated: " << e.num_queries << "\n"
@@ -153,7 +195,7 @@ int CmdEval(const Flags& flags) {
             << "mean RT/optimal:    " << Table::Fmt(e.MeanRatio(), 4) << "\n"
             << "optimal queries:    "
             << Table::Fmt(e.FractionOptimal() * 100, 1) << "%\n";
-  return 0;
+  return sink.Flush();
 }
 
 int CmdCompare(const Flags& flags) {
@@ -182,6 +224,9 @@ int CmdCompare(const Flags& flags) {
                      &rng, "cli");
   if (!workload.ok()) return Fail(workload.status().ToString());
 
+  MetricsSink sink(flags);
+  EvalOptions eval_options;
+  eval_options.metrics = sink.registry();
   Table t({"Method", "Mean RT", "RT/opt", "% optimal"});
   for (const std::string& name : names) {
     Result<std::unique_ptr<DeclusteringMethod>> method = CreateMethod(
@@ -190,14 +235,14 @@ int CmdCompare(const Flags& flags) {
       t.AddRow({name, "-", "-", "(" + method.status().ToString() + ")"});
       continue;
     }
-    const WorkloadEval e =
-        Evaluator(*method.value()).EvaluateWorkload(workload.value());
+    const WorkloadEval e = Evaluator(*method.value(), eval_options)
+                               .EvaluateWorkload(workload.value());
     t.AddRow({method.value()->name(), Table::Fmt(e.MeanResponse(), 4),
               Table::Fmt(e.MeanRatio(), 4),
               Table::Fmt(e.FractionOptimal() * 100, 1)});
   }
   t.PrintText(std::cout);
-  return 0;
+  return sink.Flush();
 }
 
 int CmdSweepSize(const Flags& flags) {
@@ -365,8 +410,10 @@ int CmdThroughput(const Flags& flags) {
       flags.GetString("method", "hcam"), trace.value().grid,
       static_cast<uint32_t>(disks.value()));
   if (!method.ok()) return Fail(method.status().ToString());
+  MetricsSink sink(flags);
   ThroughputOptions opts;
   opts.concurrency = static_cast<uint32_t>(mpl.value());
+  opts.metrics = sink.registry();
   Result<ThroughputResult> r =
       SimulateThroughput(*method.value(), trace.value().workload, opts);
   if (!r.ok()) return Fail(r.status().ToString());
@@ -381,7 +428,7 @@ int CmdThroughput(const Flags& flags) {
             << ")\n"
             << "disk util:    "
             << Table::Fmt(r.value().MeanDiskUtilization(), 3) << "\n";
-  return 0;
+  return sink.Flush();
 }
 
 int CmdReproduce(const Flags& flags) {
@@ -467,6 +514,8 @@ int CmdDegrade(const Flags& flags) {
   opts.replication = replication.value();
   opts.seed = static_cast<uint64_t>(seed.value());
   opts.sim.concurrency = static_cast<uint32_t>(mpl.value());
+  MetricsSink sink(flags);
+  opts.sim.metrics = sink.registry();
   const std::string methods = flags.GetString("methods", "");
   if (!methods.empty()) {
     std::stringstream ss(methods);
@@ -482,7 +531,7 @@ int CmdDegrade(const Flags& flags) {
   const std::string json_path = flags.GetString("json", "");
   if (json_path == "-") {
     std::cout << sweep.value().ToJson();
-    return 0;
+    return sink.Flush();
   }
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -503,7 +552,7 @@ int CmdDegrade(const Flags& flags) {
               std::to_string(p.reconstruction_reads)});
   }
   t.PrintText(std::cout);
-  return 0;
+  return sink.Flush();
 }
 
 Result<RelationRedundancy> RedundancyFromFlags(const Flags& flags) {
@@ -589,16 +638,18 @@ int CmdMkCatalog(const Flags& flags) {
 
   Result<DiskEnv> env = DiskEnv::Create(dir);
   if (!env.ok()) return Fail(env.status().ToString());
+  MetricsSink sink(flags);
   ManifestSaveOptions options;
   options.page_size_bytes = static_cast<uint32_t>(page_size.value());
   options.default_redundancy = redundancy.value();
+  options.metrics = sink.registry();
   Result<uint64_t> gen = SaveCatalogManifest(catalog, &env.value(), options);
   if (!gen.ok()) return Fail(gen.status().ToString());
   std::cout << "committed generation " << gen.value() << ": "
             << names.size() << " relation(s), " << records.value()
             << " record(s) each, redundancy "
             << RedundancyPolicyName(redundancy.value().policy) << "\n";
-  return 0;
+  return sink.Flush();
 }
 
 int CmdFsck(const Flags& flags) {
@@ -612,11 +663,14 @@ int CmdFsck(const Flags& flags) {
   }
   Result<DiskEnv> env = DiskEnv::Create(dir);
   if (!env.ok()) return Fail(env.status().ToString());
+  MetricsSink sink(flags);
   ScrubOptions options;
   options.repair = !dry_run.value();
+  options.metrics = sink.registry();
   Result<ScrubReport> report = ScrubCatalog(&env.value(), options);
   if (!report.ok()) return Fail(report.status().ToString());
   std::cout << FormatScrubReport(report.value());
+  if (const int rc = sink.Flush(); rc != 0) return rc;
   return report.value().Clean() ? 0 : 1;
 }
 
