@@ -1,13 +1,20 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the full test suite.
 #
-#   scripts/run_tier1.sh [--sanitize] [--torture] [extra cmake args...]
+#   scripts/run_tier1.sh [--sanitize] [--sanitize=tsan] [--torture] \
+#       [extra cmake args...]
 #
 # --sanitize configures an instrumented build (GRIDDECL_SANITIZE=
 # address,undefined) in a separate build directory (build-sanitize) so it
 # never pollutes the regular build tree, then runs ctest under both
 # sanitizers. Remaining arguments are forwarded to the configure step,
 # e.g. scripts/run_tier1.sh -DGRIDDECL_SANITIZE=address
+#
+# --sanitize=tsan builds with GRIDDECL_SANITIZE=thread in build-tsan and
+# restricts ctest to the concurrent suites — the serving layer, its chaos
+# soak, breakers, backoff, and the fault-injecting env — where data races
+# could actually live. TSan is incompatible with ASan, hence the separate
+# mode and tree.
 #
 # --torture implies --sanitize but restricts ctest to the durability
 # suites — crash-recovery, corruption, scrub/repair, and format fuzzing
@@ -28,6 +35,10 @@ for arg in "$@"; do
     if [[ "$arg" == "--torture" ]]; then
       test_args+=("-R" "Torture|FormatFuzz|Scrub|Manifest|Storage|Crc32c|declctl_mkcatalog|declctl_fsck")
     fi
+  elif [[ "$arg" == "--sanitize=tsan" ]]; then
+    build_dir=build-tsan
+    configure_args+=("-DGRIDDECL_SANITIZE=thread")
+    test_args+=("-R" "QueryService|Serve|Chaos|Breaker|Backoff|FaultyEnv|DiskFault")
   else
     configure_args+=("$arg")
   fi

@@ -14,6 +14,12 @@ const char* StatusCodeName(StatusCode code) {
       return "unsupported";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
   }
   return "unknown";
 }

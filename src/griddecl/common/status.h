@@ -28,6 +28,15 @@ enum class StatusCode {
   kUnsupported,
   /// An internal invariant failed in a recoverable context.
   kInternal,
+  /// A resource is (possibly transiently) unreachable — a failed disk, a
+  /// tripped circuit breaker, an injected read fault. Retrying or a
+  /// degraded read path may succeed.
+  kUnavailable,
+  /// The operation's deadline expired before it completed.
+  kDeadlineExceeded,
+  /// A bounded resource (e.g. the admission queue) is full; the request
+  /// was shed rather than queued unboundedly.
+  kResourceExhausted,
 };
 
 /// Returns a stable lowercase name for `code` ("ok", "invalid_argument", ...).
@@ -59,6 +68,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

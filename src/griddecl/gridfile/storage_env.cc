@@ -39,6 +39,24 @@ bool IsValidEnvFileName(std::string_view name) {
   return name != "." && name != "..";
 }
 
+// --- StorageEnv defaults --------------------------------------------------
+
+Result<std::string> StorageEnv::ReadAt(const std::string& name,
+                                       uint64_t offset,
+                                       uint64_t length) const {
+  Result<std::string> data = ReadFile(name);
+  if (!data.ok()) return data.status();
+  if (offset > data.value().size() ||
+      length > data.value().size() - offset) {
+    return Status::InvalidArgument(
+        "read of [" + std::to_string(offset) + ", " +
+        std::to_string(offset + length) + ") past end of '" + name + "' (" +
+        std::to_string(data.value().size()) + " bytes)");
+  }
+  return data.value().substr(static_cast<size_t>(offset),
+                             static_cast<size_t>(length));
+}
+
 // --- MemEnv ---------------------------------------------------------------
 
 Result<std::string> MemEnv::ReadFile(const std::string& name) const {
@@ -143,6 +161,34 @@ Result<std::string> DiskEnv::ReadFile(const std::string& name) const {
   }
   std::string data(std::istreambuf_iterator<char>(in), {});
   if (in.bad()) return Status::Internal("read failed for '" + name + "'");
+  return data;
+}
+
+Result<std::string> DiskEnv::ReadAt(const std::string& name, uint64_t offset,
+                                    uint64_t length) const {
+  Result<std::string> path = PathOf(name);
+  if (!path.ok()) return path.status();
+  std::ifstream in(path.value(), std::ios::binary);
+  if (!in.good()) {
+    return Status::NotFound("no file named '" + name + "'");
+  }
+  in.seekg(0, std::ios::end);
+  const uint64_t size = static_cast<uint64_t>(in.tellg());
+  if (offset > size || length > size - offset) {
+    return Status::InvalidArgument(
+        "read of [" + std::to_string(offset) + ", " +
+        std::to_string(offset + length) + ") past end of '" + name + "' (" +
+        std::to_string(size) + " bytes)");
+  }
+  in.seekg(static_cast<std::streamoff>(offset));
+  std::string data(static_cast<size_t>(length), '\0');
+  in.read(data.data(), static_cast<std::streamsize>(length));
+  if (!in.good() && !in.eof()) {
+    return Status::Internal("read failed for '" + name + "'");
+  }
+  if (static_cast<uint64_t>(in.gcount()) != length) {
+    return Status::Internal("short read for '" + name + "'");
+  }
   return data;
 }
 

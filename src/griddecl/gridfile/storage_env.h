@@ -40,6 +40,16 @@ class StorageEnv {
   /// Full contents of `name`; kNotFound when absent.
   virtual Result<std::string> ReadFile(const std::string& name) const = 0;
 
+  /// Exactly `length` bytes of `name` starting at `offset` — the
+  /// page-granular read unit the serving layer issues. kNotFound when the
+  /// file is absent; kInvalidArgument when the range extends past the end
+  /// (a well-formed reader never asks, so a short read is a bug, not a
+  /// partial result). The default implementation slices `ReadFile`;
+  /// `DiskEnv` overrides it with a positioned read, and `FaultyEnv`
+  /// (faulty_env.h) makes it the fault-injection point.
+  virtual Result<std::string> ReadAt(const std::string& name, uint64_t offset,
+                                     uint64_t length) const;
+
   /// Creates or replaces `name`. NOT atomic under crashes (a torn prefix
   /// may remain); writers that need atomicity write a temp name and
   /// `Rename` over the target.
@@ -87,6 +97,8 @@ class DiskEnv : public StorageEnv {
   static Result<DiskEnv> Create(const std::string& root);
 
   Result<std::string> ReadFile(const std::string& name) const override;
+  Result<std::string> ReadAt(const std::string& name, uint64_t offset,
+                             uint64_t length) const override;
   Status WriteFile(const std::string& name, std::string_view data) override;
   Status Rename(const std::string& from, const std::string& to) override;
   Status Remove(const std::string& name) override;

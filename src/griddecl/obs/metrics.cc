@@ -82,6 +82,14 @@ void Histogram::Merge(const Histogram& other) {
   }
 }
 
+void Histogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
 std::vector<double> ExponentialBounds(double start, double factor, size_t n) {
   GRIDDECL_CHECK(start > 0 && factor > 1 && n >= 1);
   std::vector<double> bounds;

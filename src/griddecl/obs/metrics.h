@@ -53,6 +53,11 @@ class Counter {
   void Inc(uint64_t n = 1) { value_ += n; }
   uint64_t value() const { return value_; }
 
+  /// Back to zero. For publishers that re-export *absolute* totals into a
+  /// scratch registry on every snapshot (Reset + Inc) rather than deltas —
+  /// see QueryService::SnapshotMetrics.
+  void Reset() { value_ = 0; }
+
  private:
   uint64_t value_ = 0;
 };
@@ -66,6 +71,12 @@ class Gauge {
   }
   double value() const { return value_; }
   bool has_value() const { return has_value_; }
+
+  /// Back to the unset state (drops the value from JSON snapshots).
+  void Reset() {
+    value_ = 0.0;
+    has_value_ = false;
+  }
 
  private:
   double value_ = 0.0;
@@ -107,6 +118,9 @@ class Histogram {
 
   /// Adds `other`'s observations; bounds must match (checked).
   void Merge(const Histogram& other);
+
+  /// Drops every observation; bounds are kept.
+  void Reset();
 
  private:
   std::vector<double> bounds_;

@@ -1,0 +1,93 @@
+#include "griddecl/serve/script.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace griddecl::serve {
+
+namespace {
+
+/// Splits `text` on whitespace runs.
+std::vector<std::string> Tokens(std::string_view text) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+    size_t start = i;
+    while (i < text.size() && text[i] != ' ' && text[i] != '\t') ++i;
+    if (i > start) tokens.emplace_back(text.substr(start, i - start));
+  }
+  return tokens;
+}
+
+Status ParseDoubles(const std::string& list, size_t line_no,
+                    std::vector<double>* out) {
+  size_t pos = 0;
+  while (pos <= list.size()) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string piece = list.substr(pos, comma - pos);
+    char* end = nullptr;
+    const double v = std::strtod(piece.c_str(), &end);
+    if (piece.empty() || end != piece.c_str() + piece.size()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": bad number '" + piece + "'");
+    }
+    out->push_back(v);
+    pos = comma + 1;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::vector<QueryRequest>> ParseServeScript(std::string_view text) {
+  std::vector<QueryRequest> requests;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    const std::vector<std::string> tokens = Tokens(line);
+    if (tokens.empty() || tokens[0][0] == '#') continue;
+    if (tokens[0] != "query") {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": unknown directive '" + tokens[0] +
+                                     "' (expected 'query')");
+    }
+    if (tokens.size() < 4 || tokens.size() > 5) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) +
+          ": expected 'query <relation> <lo,..> <hi,..> [deadline_ms]'");
+    }
+    QueryRequest req;
+    req.relation = tokens[1];
+    Status st = ParseDoubles(tokens[2], line_no, &req.lo);
+    if (!st.ok()) return st;
+    st = ParseDoubles(tokens[3], line_no, &req.hi);
+    if (!st.ok()) return st;
+    if (req.lo.size() != req.hi.size()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": lo has " +
+          std::to_string(req.lo.size()) + " attributes but hi has " +
+          std::to_string(req.hi.size()));
+    }
+    if (tokens.size() == 5) {
+      char* end = nullptr;
+      req.deadline_ms = std::strtod(tokens[4].c_str(), &end);
+      if (end != tokens[4].c_str() + tokens[4].size() ||
+          !(req.deadline_ms > 0.0)) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": bad deadline '" + tokens[4] + "'");
+      }
+    }
+    requests.push_back(std::move(req));
+  }
+  return requests;
+}
+
+}  // namespace griddecl::serve

@@ -1,0 +1,33 @@
+#ifndef GRIDDECL_SERVE_SCRIPT_H_
+#define GRIDDECL_SERVE_SCRIPT_H_
+
+#include <string_view>
+#include <vector>
+
+#include "griddecl/common/status.h"
+#include "griddecl/serve/service.h"
+
+/// \file
+/// Text format for driving `declctl serve` with a batch of range queries.
+///
+/// One query per line:
+///
+///     query <relation> <lo1,lo2,...> <hi1,hi2,...> [deadline_ms]
+///
+/// `lo`/`hi` are comma-separated per-attribute bounds (no spaces inside a
+/// list); the optional trailing number is a per-query deadline in
+/// milliseconds. Blank lines and lines starting with `#` are skipped.
+///
+///     # two-attribute relation, 50 ms deadline on the second query
+///     query uniform 0.1,0.2 0.4,0.9
+///     query uniform 0.0,0.0 1.0,1.0 50
+
+namespace griddecl::serve {
+
+/// Parses a serve script into requests, in file order. Fails with
+/// kInvalidArgument naming the offending line on any malformed input.
+Result<std::vector<QueryRequest>> ParseServeScript(std::string_view text);
+
+}  // namespace griddecl::serve
+
+#endif  // GRIDDECL_SERVE_SCRIPT_H_

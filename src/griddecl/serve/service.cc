@@ -1,0 +1,780 @@
+#include "griddecl/serve/service.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "griddecl/common/crc32c.h"
+#include "griddecl/methods/registry.h"
+
+namespace griddecl::serve {
+
+namespace {
+
+constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashString(uint64_t h, const std::string& s) {
+  for (char c : s) h = Mix64(h ^ static_cast<uint8_t>(c));
+  return h;
+}
+
+/// Verifies standalone page bytes exactly as `VerifyFilePage` verifies
+/// them in situ: record count matches the writer's layout, and (v2) the
+/// page CRC with the crc field zeroed.
+Status VerifyPageBytes(const std::string& page_bytes, const FileLayout& layout,
+                       uint64_t page) {
+  if (page_bytes.size() != layout.page_size_bytes) {
+    return Status::Internal("short page read");
+  }
+  uint32_t record_count = 0;
+  std::memcpy(&record_count, page_bytes.data(), 4);
+  if (record_count != layout.PageRecords(page)) {
+    return Status::InvalidArgument("bad page record count");
+  }
+  if (layout.format_version == kFormatV2) {
+    uint32_t stored_crc = 0;
+    std::memcpy(&stored_crc, page_bytes.data() + 4, 4);
+    const char zeros[4] = {0, 0, 0, 0};
+    uint32_t crc = Crc32c(page_bytes.data(), 4);
+    crc = Crc32c(zeros, 4, crc);
+    crc = Crc32c(page_bytes.data() + 8, layout.page_size_bytes - 8, crc);
+    if (stored_crc != crc) {
+      return Status::InvalidArgument("page checksum mismatch");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+QueryService::QueryService(const StorageEnv* env, ServeOptions options,
+                           uint32_t num_disks)
+    : env_(env),
+      options_(options),
+      num_disks_(num_disks),
+      start_(std::chrono::steady_clock::now()),
+      latency_ms_(obs::DefaultLatencyBoundsMs()) {
+  breakers_.assign(num_disks_, CircuitBreaker(options_.breaker));
+}
+
+Result<std::unique_ptr<QueryService>> QueryService::Create(
+    const StorageEnv* env, ServeOptions options) {
+  if (env == nullptr) {
+    return Status::InvalidArgument("QueryService needs a storage env");
+  }
+  if (options.num_threads < 1 || options.num_threads > 256) {
+    return Status::InvalidArgument("num_threads must be in [1, 256]");
+  }
+  if (options.max_queue < 1) {
+    return Status::InvalidArgument("max_queue must be >= 1");
+  }
+  if (!(options.default_deadline_ms >= 0.0)) {
+    return Status::InvalidArgument("default_deadline_ms must be >= 0");
+  }
+  if (!(options.drain_deadline_ms >= 0.0)) {
+    return Status::InvalidArgument("drain_deadline_ms must be >= 0");
+  }
+  {
+    Status st = ValidateBackoffPolicy(options.retry);
+    if (!st.ok()) return st;
+    st = ValidateBreakerOptions(options.breaker);
+    if (!st.ok()) return st;
+  }
+  Result<CatalogManifest> manifest = ReadCurrentManifest(*env);
+  if (!manifest.ok()) return manifest.status();
+  const CatalogManifest& m = manifest.value();
+  if (m.num_disks < 1) {
+    return Status::InvalidArgument("manifest declusters over zero disks");
+  }
+  std::unique_ptr<QueryService> service(
+      new QueryService(env, options, m.num_disks));
+  for (size_t i = 0; i < m.relations.size(); ++i) {
+    Result<Relation> rel = LoadRelation(*env, m, i);
+    if (!rel.ok()) return rel.status();
+    std::string name = rel.value().name;
+    service->relations_.emplace(std::move(name), std::move(rel).value());
+  }
+  QueryService* self = service.get();
+  for (uint32_t t = 0; t < options.num_threads; ++t) {
+    service->workers_.emplace_back([self, t] { self->WorkerLoop(t); });
+  }
+  return service;
+}
+
+QueryService::~QueryService() { (void)Shutdown(); }
+
+Result<QueryService::Relation> QueryService::LoadRelation(
+    const StorageEnv& env, const CatalogManifest& manifest, size_t index) {
+  const ManifestRelation& mr = manifest.relations[index];
+  Relation rel;
+  rel.name = mr.name;
+  rel.redundancy = mr.redundancy;
+  const std::string data_name = manifest.DataFileName(index);
+  Result<std::string> bytes = env.ReadFile(data_name);
+  if (!bytes.ok()) return bytes.status();
+  Result<FileLayout> layout = ParseFileLayout(bytes.value());
+  if (!layout.ok()) return layout.status();
+  rel.layout = layout.value();
+  Result<GridFile> file = ParseGridFile(bytes.value());
+  if (!file.ok()) return file.status();
+  rel.file = std::make_unique<GridFile>(std::move(file).value());
+  Result<std::unique_ptr<DeclusteringMethod>> method =
+      CreateMethod(mr.method, rel.file->grid(), manifest.num_disks);
+  if (!method.ok()) return method.status();
+  rel.method = std::move(method).value();
+  rel.disk_map = std::make_unique<DiskMap>(DiskMap::Build(*rel.method));
+  rel.copy_files.push_back(data_name);
+  if (mr.redundancy.policy == RelationRedundancy::Policy::kMirror) {
+    for (uint32_t c = 1; c < mr.redundancy.copies; ++c) {
+      rel.copy_files.push_back(manifest.MirrorFileName(index, c));
+    }
+    // The mirror copies realize chained declustering: copy r of a bucket
+    // is served from replica r's disk, (primary + r) mod M.
+    Result<std::unique_ptr<DeclusteringMethod>> base =
+        CreateMethod(mr.method, rel.file->grid(), manifest.num_disks);
+    if (!base.ok()) return base.status();
+    Result<ReplicatedPlacement> placement = ReplicatedPlacement::Create(
+        std::move(base).value(), mr.redundancy.copies, /*offset=*/1);
+    if (!placement.ok()) return placement.status();
+    rel.placement =
+        std::make_unique<ReplicatedPlacement>(std::move(placement).value());
+  } else if (mr.redundancy.policy == RelationRedundancy::Policy::kParity) {
+    rel.parity_file = manifest.ParityFileName(index);
+  }
+  const GridSpec& grid = rel.file->grid();
+  rel.bucket_pages.assign(static_cast<size_t>(grid.num_buckets()), {});
+  const uint32_t capacity = rel.layout.page_capacity;
+  for (RecordId id = 0; id < rel.file->num_records(); ++id) {
+    const uint64_t bucket = grid.Linearize(rel.file->BucketOfRecord(id));
+    const uint64_t page = id / capacity;
+    std::vector<uint64_t>& pages =
+        rel.bucket_pages[static_cast<size_t>(bucket)];
+    // Ids within a bucket ascend, so pages arrive sorted; dedupe inline.
+    if (pages.empty() || pages.back() != page) pages.push_back(page);
+  }
+  return rel;
+}
+
+double QueryService::NowMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+Result<std::future<QueryResult>> QueryService::Submit(QueryRequest request) {
+  Pending p;
+  p.request = std::move(request);
+  const double now = NowMs();
+  p.submitted_ms = now;
+  const double budget = p.request.deadline_ms > 0.0
+                            ? p.request.deadline_ms
+                            : options_.default_deadline_ms;
+  p.deadline_ms = budget > 0.0 ? now + budget : kNoDeadline;
+  std::future<QueryResult> future = p.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (draining_) {
+      return Status::Unavailable("service is shutting down");
+    }
+    if (queue_.size() >= options_.max_queue) {
+      std::lock_guard<std::mutex> m(metrics_mu_);
+      shed_++;
+      return Status::ResourceExhausted(
+          "admission queue full (" + std::to_string(options_.max_queue) +
+          " queued); request shed");
+    }
+    queue_.push_back(std::move(p));
+    queue_max_depth_ =
+        std::max<uint64_t>(queue_max_depth_, queue_.size());
+  }
+  {
+    std::lock_guard<std::mutex> m(metrics_mu_);
+    admitted_++;
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+QueryResult QueryService::Execute(QueryRequest request) {
+  Result<std::future<QueryResult>> future = Submit(std::move(request));
+  if (!future.ok()) {
+    QueryResult r;
+    r.status = future.status();
+    return r;
+  }
+  return future.value().get();
+}
+
+void QueryService::WorkerLoop(uint32_t /*worker_id*/) {
+  for (;;) {
+    Pending p;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return !queue_.empty() || draining_; });
+      if (queue_.empty()) return;  // draining_ and nothing left to do.
+      p = std::move(queue_.front());
+      queue_.pop_front();
+      if (hard_stop_.load()) {
+        lock.unlock();
+        QueryResult r;
+        r.status = Status::Unavailable(
+            "shed at shutdown: drain deadline exceeded");
+        {
+          std::lock_guard<std::mutex> m(metrics_mu_);
+          failed_++;
+        }
+        p.promise.set_value(std::move(r));
+        drained_cv_.notify_all();
+        continue;
+      }
+      in_flight_++;
+    }
+    QueryResult result = RunQuery(p);
+    {
+      std::lock_guard<std::mutex> m(metrics_mu_);
+      if (result.status.ok()) {
+        completed_++;
+      } else {
+        failed_++;
+      }
+      retries_ += result.retries;
+      rerouted_buckets_ += result.rerouted_buckets;
+      failover_reads_ += result.failover_reads;
+      reconstructed_pages_ += result.reconstructed_pages;
+      latency_ms_.Observe(result.total_ms);
+    }
+    p.promise.set_value(std::move(result));
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      in_flight_--;
+      if (queue_.empty() && in_flight_ == 0) drained_cv_.notify_all();
+    }
+  }
+}
+
+QueryResult QueryService::RunQuery(const Pending& p) {
+  QueryResult result;
+  const double started = NowMs();
+  result.queue_ms = started - p.submitted_ms;
+  const auto finish = [&](Status st) -> QueryResult {
+    result.status = std::move(st);
+    if (!result.status.ok()) result.matches.clear();
+    result.total_ms = NowMs() - p.submitted_ms;
+    return std::move(result);
+  };
+
+  if (p.deadline_ms != kNoDeadline && started > p.deadline_ms) {
+    return finish(Status::DeadlineExceeded("deadline expired while queued"));
+  }
+  const auto it = relations_.find(p.request.relation);
+  if (it == relations_.end()) {
+    return finish(
+        Status::NotFound("no relation named '" + p.request.relation + "'"));
+  }
+  const Relation& rel = it->second;
+  Result<RangeQuery> resolved =
+      rel.file->ResolveRange(p.request.lo, p.request.hi);
+  if (!resolved.ok()) return finish(resolved.status());
+  const RangeQuery& query = resolved.value();
+  result.buckets_touched = query.NumBuckets();
+  const GridSpec& grid = rel.file->grid();
+
+  // --- Plan: assign every touched bucket a (disk, copy) --------------------
+  // The mask routed around is "breakers that would refuse right now",
+  // probed without consuming half-open slots; actual admission happens per
+  // batch below.
+  std::vector<bool> touched(num_disks_, false);
+  rel.disk_map->ForEachRowSpan(query.rect(), [&](uint64_t begin,
+                                                 uint64_t length) {
+    for (uint64_t j = 0; j < length; ++j) {
+      touched[rel.disk_map->DiskAt(begin + j)] = true;
+    }
+  });
+  std::vector<bool> refused(num_disks_, false);
+  bool any_refused = false;
+  {
+    std::lock_guard<std::mutex> lock(breaker_mu_);
+    const double now = NowMs();
+    for (uint32_t d = 0; d < num_disks_; ++d) {
+      if (touched[d] && breakers_[d].WouldRefuse(now)) {
+        refused[d] = true;
+        any_refused = true;
+      }
+    }
+  }
+
+  struct Assign {
+    uint32_t disk = 0;
+    uint32_t copy = 0;
+    bool reconstruct = false;
+  };
+  std::unordered_map<uint64_t, Assign> assignment;
+  assignment.reserve(static_cast<size_t>(result.buckets_touched));
+
+  const RelationRedundancy::Policy policy = rel.redundancy.policy;
+  if (any_refused && policy == RelationRedundancy::Policy::kMirror) {
+    // Plan-time reroute through the same machinery the simulator uses.
+    Result<DegradedPlan> plan =
+        DegradedPlan::ForReplicated(*rel.placement, refused);
+    if (!plan.ok()) return finish(plan.status());
+    Result<DegradedPlan::QueryPlan> expanded =
+        plan.value().ExpandQuery(query);
+    if (!expanded.ok()) return finish(expanded.status());
+    const DegradedPlan::QueryPlan& qp = expanded.value();
+    if (qp.unavailable_buckets > 0) {
+      return finish(Status::Unavailable(
+          std::to_string(qp.unavailable_buckets) +
+          " buckets have no live replica"));
+    }
+    result.rerouted_buckets = qp.rerouted_buckets;
+    for (uint32_t d = 0; d < num_disks_; ++d) {
+      for (uint64_t addr : qp.per_disk[d]) {
+        const std::vector<uint32_t> disks =
+            rel.placement->DisksOf(grid.Delinearize(addr));
+        uint32_t copy = 0;
+        while (copy < disks.size() && disks[copy] != d) ++copy;
+        if (copy == disks.size()) {
+          return finish(Status::Internal(
+              "replica plan assigned a bucket to a non-replica disk"));
+        }
+        assignment[addr] = {d, copy, false};
+      }
+    }
+  } else {
+    // Primary placement. A refused disk's buckets reconstruct from parity
+    // when the relation has it; without redundancy the query fails.
+    uint64_t dead_buckets = 0;
+    rel.disk_map->ForEachRowSpan(query.rect(), [&](uint64_t begin,
+                                                   uint64_t length) {
+      for (uint64_t j = 0; j < length; ++j) {
+        const uint64_t addr = begin + j;
+        const uint32_t d = rel.disk_map->DiskAt(addr);
+        Assign a{d, 0, false};
+        if (refused[d]) {
+          if (policy == RelationRedundancy::Policy::kParity) {
+            a.reconstruct = true;
+          } else {
+            dead_buckets++;
+          }
+        }
+        assignment[addr] = a;
+      }
+    });
+    if (dead_buckets > 0) {
+      return finish(Status::Unavailable(
+          std::to_string(dead_buckets) +
+          " buckets on tripped disks and the relation has no redundancy"));
+    }
+  }
+
+  // --- Gather page reads, grouped per disk (the breaker unit) --------------
+  struct PageRead {
+    uint32_t copy = 0;
+    uint64_t page = 0;
+    bool reconstruct = false;
+  };
+  std::map<uint32_t, std::map<std::pair<uint32_t, uint64_t>, bool>> by_disk;
+  for (const auto& [addr, a] : assignment) {
+    for (uint64_t page : rel.bucket_pages[static_cast<size_t>(addr)]) {
+      bool& recon = by_disk[a.disk][{a.copy, page}];
+      recon = recon || a.reconstruct;
+    }
+  }
+
+  const uint32_t num_attrs = rel.layout.num_attrs;
+  const uint32_t header = rel.layout.format_version == kFormatV2
+                              ? kPageHeaderBytesV2
+                              : kPageHeaderBytesV1;
+  std::vector<double> values(num_attrs);
+  const auto matches_predicate = [&] {
+    for (uint32_t i = 0; i < num_attrs; ++i) {
+      if (values[i] < p.request.lo[i] || values[i] > p.request.hi[i]) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // --- Execute, disk by disk ----------------------------------------------
+  for (const auto& [disk, reads] : by_disk) {
+    if (hard_stop_.load()) {
+      return finish(Status::Unavailable("service shutting down"));
+    }
+    if (p.deadline_ms != kNoDeadline && NowMs() > p.deadline_ms) {
+      return finish(
+          Status::DeadlineExceeded("deadline expired between disk batches"));
+    }
+    // Admission: false either because the plan already routed around this
+    // disk, or because its breaker tripped (or lost the probe race) since
+    // planning — then every page goes straight to the degraded path.
+    const bool admitted = AllowDisk(disk);
+    bool direct_ok = true;
+    for (const auto& [key, reconstruct] : reads) {
+      const auto& [copy, page] = key;
+      Result<std::string> bytes = ReadPageResilient(
+          rel, copy, page, p.deadline_ms,
+          /*try_direct=*/admitted && !reconstruct, &direct_ok, &result);
+      if (!bytes.ok()) {
+        if (admitted) RecordDiskOutcome(disk, false);
+        return finish(bytes.status());
+      }
+      // Decode: accept records whose bucket this (disk, copy) serves.
+      const uint32_t in_page = rel.layout.PageRecords(page);
+      for (uint32_t slot = 0; slot < in_page; ++slot) {
+        std::memcpy(values.data(),
+                    bytes.value().data() + header +
+                        static_cast<size_t>(slot) * num_attrs * 8,
+                    static_cast<size_t>(num_attrs) * 8);
+        const uint64_t addr =
+            grid.Linearize(rel.file->partitioner().BucketOf(values));
+        const auto assigned = assignment.find(addr);
+        if (assigned == assignment.end() ||
+            assigned->second.disk != disk || assigned->second.copy != copy) {
+          continue;
+        }
+        if (!matches_predicate()) continue;
+        result.matches.push_back(page * rel.layout.page_capacity + slot);
+      }
+    }
+    if (admitted) RecordDiskOutcome(disk, direct_ok);
+  }
+
+  std::sort(result.matches.begin(), result.matches.end());
+  return finish(Status::Ok());
+}
+
+Result<std::string> QueryService::ReadPageResilient(
+    const Relation& rel, uint32_t assigned_copy, uint64_t page,
+    double deadline_ms, bool try_direct, bool* direct_ok,
+    QueryResult* result) {
+  Status direct_status =
+      Status::Unavailable("disk routed around; direct read skipped");
+  if (try_direct) {
+    Result<std::string> direct =
+        ReadPageWithRetries(rel, assigned_copy, page, deadline_ms, result);
+    if (direct.ok()) return direct;
+    *direct_ok = false;
+    if (direct.status().code() != StatusCode::kUnavailable) {
+      return direct.status();  // Deadline / malformed request: no failover.
+    }
+    direct_status = direct.status();
+  }
+  if (rel.redundancy.policy == RelationRedundancy::Policy::kMirror) {
+    for (uint32_t copy = 0; copy < rel.copy_files.size(); ++copy) {
+      if (copy == assigned_copy) continue;
+      Result<std::string> alt =
+          ReadPageWithRetries(rel, copy, page, deadline_ms, result);
+      if (alt.ok()) {
+        result->failover_reads++;
+        return alt;
+      }
+      if (alt.status().code() != StatusCode::kUnavailable) {
+        return alt.status();
+      }
+    }
+    return Status::Unavailable("page " + std::to_string(page) +
+                               " unreadable on every mirror copy");
+  }
+  if (rel.redundancy.policy == RelationRedundancy::Policy::kParity) {
+    return ReconstructPage(rel, page, deadline_ms, result);
+  }
+  return direct_status;
+}
+
+Result<std::string> QueryService::ReadPageWithRetries(const Relation& rel,
+                                                      uint32_t copy,
+                                                      uint64_t page,
+                                                      double deadline_ms,
+                                                      QueryResult* result) {
+  Result<std::string> bytes = ReadRangeWithRetries(
+      rel.copy_files[copy], rel.layout.PageOffset(page),
+      rel.layout.page_size_bytes, deadline_ms, result);
+  if (!bytes.ok()) return bytes.status();
+  Status verify = VerifyPageBytes(bytes.value(), rel.layout, page);
+  if (!verify.ok()) {
+    // Corruption reads as unavailability: the degraded paths repair it.
+    return Status::Unavailable("page " + std::to_string(page) + " of '" +
+                               rel.copy_files[copy] +
+                               "': " + verify.message());
+  }
+  return bytes;
+}
+
+Result<std::string> QueryService::ReadRangeWithRetries(
+    const std::string& file, uint64_t offset, uint64_t length,
+    double deadline_ms, QueryResult* result) {
+  const uint64_t token = Mix64(HashString(Mix64(0x5e7e5e7eull), file) ^ offset);
+  for (uint32_t attempt = 0;; ++attempt) {
+    if (hard_stop_.load()) {
+      return Status::Unavailable("service shutting down");
+    }
+    if (deadline_ms != kNoDeadline && NowMs() > deadline_ms) {
+      return Status::DeadlineExceeded("deadline expired before read");
+    }
+    Result<std::string> bytes = env_->ReadAt(file, offset, length);
+    if (bytes.ok()) {
+      result->pages_read++;
+      return bytes;
+    }
+    if (bytes.status().code() != StatusCode::kUnavailable) {
+      return bytes.status();  // Only transient unavailability retries.
+    }
+    if (attempt + 1 >= options_.retry.max_attempts) return bytes.status();
+    result->retries++;
+    SleepMs(BackoffDelayMs(options_.retry, options_.seed, token, attempt),
+            deadline_ms);
+  }
+}
+
+Result<std::string> QueryService::ReconstructPage(const Relation& rel,
+                                                  uint64_t page,
+                                                  double deadline_ms,
+                                                  QueryResult* result) {
+  if (rel.parity_file.empty()) {
+    return Status::Unavailable("page " + std::to_string(page) +
+                               " unreadable and relation has no parity");
+  }
+  const uint32_t group = rel.redundancy.group_pages;
+  const uint64_t stripe = page / group;
+  const uint64_t first = stripe * group;
+  const uint64_t last =
+      std::min<uint64_t>(first + group, rel.layout.num_pages);
+  const auto degrade = [&](const Status& st) -> Status {
+    if (st.code() == StatusCode::kDeadlineExceeded) return st;
+    return Status::Unavailable("reconstruction of page " +
+                               std::to_string(page) +
+                               " failed: " + st.message());
+  };
+  Result<std::string> acc = ReadRangeWithRetries(
+      rel.parity_file, stripe * rel.layout.page_size_bytes,
+      rel.layout.page_size_bytes, deadline_ms, result);
+  if (!acc.ok()) return degrade(acc.status());
+  std::string rebuilt = std::move(acc).value();
+  for (uint64_t sibling = first; sibling < last; ++sibling) {
+    if (sibling == page) continue;
+    Result<std::string> bytes = ReadRangeWithRetries(
+        rel.copy_files[0], rel.layout.PageOffset(sibling),
+        rel.layout.page_size_bytes, deadline_ms, result);
+    if (!bytes.ok()) return degrade(bytes.status());
+    const std::string& src = bytes.value();
+    for (uint32_t b = 0; b < rel.layout.page_size_bytes; ++b) {
+      rebuilt[b] = static_cast<char>(rebuilt[b] ^ src[b]);
+    }
+  }
+  Status verify = VerifyPageBytes(rebuilt, rel.layout, page);
+  if (!verify.ok()) return degrade(verify);
+  result->reconstructed_pages++;
+  return rebuilt;
+}
+
+void QueryService::SleepMs(double delay_ms, double deadline_ms) const {
+  if (deadline_ms != kNoDeadline) {
+    delay_ms = std::min(delay_ms, deadline_ms - NowMs());
+  }
+  while (delay_ms > 0.0 && !hard_stop_.load()) {
+    const double slice = std::min(delay_ms, 5.0);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(slice));
+    delay_ms -= slice;
+  }
+}
+
+bool QueryService::AllowDisk(uint32_t disk) {
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  return breakers_[disk].AllowRequest(NowMs());
+}
+
+void QueryService::RecordDiskOutcome(uint32_t disk, bool success) {
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  if (success) {
+    breakers_[disk].RecordSuccess(NowMs());
+  } else {
+    breakers_[disk].RecordFailure(NowMs());
+  }
+}
+
+Status QueryService::Shutdown() {
+  std::lock_guard<std::mutex> serialize(shutdown_mu_);
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    if (shutdown_done_) return shutdown_status_;
+    draining_ = true;
+    queue_cv_.notify_all();
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(
+                options_.drain_deadline_ms));
+    const bool drained = drained_cv_.wait_until(lock, deadline, [&] {
+      return queue_.empty() && in_flight_ == 0;
+    });
+    if (drained) {
+      shutdown_status_ = Status::Ok();
+    } else {
+      hard_stop_.store(true);
+      queue_cv_.notify_all();
+      drained_cv_.wait(lock,
+                       [&] { return queue_.empty() && in_flight_ == 0; });
+      shutdown_status_ = Status::DeadlineExceeded(
+          "drain deadline exceeded; remaining work was failed");
+    }
+    shutdown_done_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  return shutdown_status_;
+}
+
+void QueryService::SnapshotMetrics(MetricsRegistry* out) const {
+  if (out == nullptr) return;
+  const auto set_counter = [out](const char* name, uint64_t v) {
+    obs::Counter* c = out->GetCounter(name);
+    c->Reset();
+    c->Inc(v);
+  };
+  uint64_t max_depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    max_depth = queue_max_depth_;
+  }
+  const BreakerCounters totals = BreakerTotals();
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    set_counter("serve.admitted", admitted_);
+    set_counter("serve.shed", shed_);
+    set_counter("serve.completed", completed_);
+    set_counter("serve.failed", failed_);
+    set_counter("serve.retries", retries_);
+    set_counter("serve.rerouted_buckets", rerouted_buckets_);
+    set_counter("serve.failover_reads", failover_reads_);
+    set_counter("serve.reconstructed_pages", reconstructed_pages_);
+    obs::Histogram* h =
+        out->GetHistogram("serve.latency_ms", latency_ms_.bounds());
+    h->Reset();
+    h->Merge(latency_ms_);
+  }
+  set_counter("serve.breaker.opened", totals.opened);
+  set_counter("serve.breaker.half_opened", totals.half_opened);
+  set_counter("serve.breaker.closed", totals.closed);
+  set_counter("serve.breaker.reopened", totals.reopened);
+  out->GetGauge("serve.queue.max_depth")
+      ->Set(static_cast<double>(max_depth));
+}
+
+BreakerState QueryService::BreakerStateOf(uint32_t disk) const {
+  GRIDDECL_CHECK(disk < num_disks_);
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  return breakers_[disk].state();
+}
+
+BreakerCounters QueryService::BreakerTotals() const {
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  BreakerCounters totals;
+  for (const CircuitBreaker& b : breakers_) {
+    totals.opened += b.counters().opened;
+    totals.half_opened += b.counters().half_opened;
+    totals.closed += b.counters().closed;
+    totals.reopened += b.counters().reopened;
+  }
+  return totals;
+}
+
+std::vector<std::string> QueryService::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<std::vector<FaultRange>> DiskFaultSchedule(const StorageEnv& env,
+                                                  const std::string& relation,
+                                                  uint32_t disk) {
+  Result<CatalogManifest> manifest = ReadCurrentManifest(env);
+  if (!manifest.ok()) return manifest.status();
+  const CatalogManifest& m = manifest.value();
+  size_t index = m.relations.size();
+  for (size_t i = 0; i < m.relations.size(); ++i) {
+    if (m.relations[i].name == relation) {
+      index = i;
+      break;
+    }
+  }
+  if (index == m.relations.size()) {
+    return Status::NotFound("no relation named '" + relation + "'");
+  }
+  if (disk >= m.num_disks) {
+    return Status::InvalidArgument("disk index out of range");
+  }
+  const ManifestRelation& mr = m.relations[index];
+  const std::string data_name = m.DataFileName(index);
+  Result<std::string> bytes = env.ReadFile(data_name);
+  if (!bytes.ok()) return bytes.status();
+  Result<FileLayout> layout = ParseFileLayout(bytes.value());
+  if (!layout.ok()) return layout.status();
+  const FileLayout& l = layout.value();
+  Result<GridFile> file = ParseGridFile(bytes.value());
+  if (!file.ok()) return file.status();
+  const GridFile& gf = file.value();
+  Result<std::unique_ptr<DeclusteringMethod>> method =
+      CreateMethod(mr.method, gf.grid(), m.num_disks);
+  if (!method.ok()) return method.status();
+  std::unique_ptr<ReplicatedPlacement> placement;
+  if (mr.redundancy.policy == RelationRedundancy::Policy::kMirror) {
+    Result<std::unique_ptr<DeclusteringMethod>> base =
+        CreateMethod(mr.method, gf.grid(), m.num_disks);
+    if (!base.ok()) return base.status();
+    Result<ReplicatedPlacement> p = ReplicatedPlacement::Create(
+        std::move(base).value(), mr.redundancy.copies, /*offset=*/1);
+    if (!p.ok()) return p.status();
+    placement = std::make_unique<ReplicatedPlacement>(std::move(p).value());
+  }
+
+  std::vector<FaultRange> ranges;
+  for (uint64_t page = 0; page < l.num_pages; ++page) {
+    const uint32_t in_page = l.PageRecords(page);
+    if (in_page == 0) continue;
+    // The page's disk is its records' bucket's disk — require the layout
+    // to be bucket-clustered so that is well-defined.
+    const RecordId first_id = page * l.page_capacity;
+    const BucketCoords first_bucket = gf.BucketOfRecord(first_id);
+    const uint32_t primary = method.value()->DiskOf(first_bucket);
+    for (uint32_t slot = 1; slot < in_page; ++slot) {
+      if (method.value()->DiskOf(gf.BucketOfRecord(first_id + slot)) !=
+          primary) {
+        return Status::Unsupported(
+            "page " + std::to_string(page) +
+            " mixes buckets of different disks; DiskFaultSchedule needs a "
+            "bucket-clustered layout (insert bucket by bucket, pick a page "
+            "size whose capacity divides the per-bucket record count)");
+      }
+    }
+    if (primary == disk) {
+      ranges.push_back({data_name, l.PageOffset(page), l.page_size_bytes});
+    }
+    if (placement != nullptr) {
+      const std::vector<uint32_t> disks = placement->DisksOf(first_bucket);
+      for (uint32_t copy = 1; copy < disks.size(); ++copy) {
+        if (disks[copy] == disk) {
+          ranges.push_back({m.MirrorFileName(index, copy),
+                            l.PageOffset(page), l.page_size_bytes});
+        }
+      }
+    }
+  }
+  return ranges;
+}
+
+}  // namespace griddecl::serve

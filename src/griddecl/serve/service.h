@@ -1,0 +1,306 @@
+#ifndef GRIDDECL_SERVE_SERVICE_H_
+#define GRIDDECL_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "griddecl/common/backoff.h"
+#include "griddecl/common/status.h"
+#include "griddecl/eval/disk_map.h"
+#include "griddecl/gridfile/faulty_env.h"
+#include "griddecl/gridfile/manifest.h"
+#include "griddecl/gridfile/storage.h"
+#include "griddecl/gridfile/storage_env.h"
+#include "griddecl/methods/replicated.h"
+#include "griddecl/obs/metrics.h"
+#include "griddecl/serve/circuit_breaker.h"
+#include "griddecl/sim/faults.h"
+
+/// \file
+/// Resilient in-process query service over a manifest-committed catalog.
+///
+/// Everything below the evaluator in this repo either simulates I/O
+/// (sim/) or reads whole files synchronously (gridfile/). This layer is
+/// the missing production shape: a multi-threaded service that executes
+/// range queries end to end — plan buckets with the declustering method's
+/// `DiskMap`, read the pages that hold them through a `StorageEnv`, decode
+/// and filter records — while staying up when the env misbehaves:
+///
+///  * **Bounded admission.** `Submit` enqueues up to `max_queue` requests;
+///    beyond that it sheds with kResourceExhausted immediately. The service
+///    never blocks a caller and never queues unboundedly.
+///  * **Deadlines.** A per-query deadline (or the service default) is
+///    checked on dequeue, between per-disk read batches, and before every
+///    retry sleep; an expired query fails with kDeadlineExceeded instead of
+///    holding a worker.
+///  * **Retries.** Transient (kUnavailable) page-read errors retry under
+///    the shared seeded-jitter exponential backoff (common/backoff.h);
+///    any other error fails fast.
+///  * **Circuit breakers.** One breaker per (virtual) disk, fed one
+///    outcome per (query, disk) batch. An open breaker removes its disk
+///    from planning: mirrored relations re-route through
+///    `DegradedPlan::ForReplicated` exactly as the simulator does, parity
+///    relations reconstruct the disk's pages from stripe survivors, plain
+///    relations fail those queries with kUnavailable. Half-open admits one
+///    probe batch at a time.
+///  * **Graceful drain.** `Shutdown` stops admission, lets workers finish
+///    queued work until `drain_deadline_ms`, then fails what remains with
+///    a well-formed status. In-flight queries observe the hard stop
+///    between batches.
+///
+/// ## The virtual-disk read model
+///
+/// A committed relation is ONE data file with records packed in id order —
+/// there is no per-disk file to lose. The service therefore treats the
+/// manifest's `num_disks` as *virtual fault domains*: every bucket belongs
+/// to the disk its declustering method assigns, every page read is
+/// attributed to the bucket's disk, and fault injection / breakers operate
+/// on those domains. `DiskFaultSchedule` computes the byte ranges of a
+/// relation's files that constitute one virtual disk, so a `FaultyEnv` can
+/// "kill disk d" precisely; this is exact when the relation is
+/// bucket-clustered (each page holds records of a single bucket — arrange
+/// insertion order and page size accordingly in tests).
+///
+/// Record payloads returned by a query are always decoded from the page
+/// bytes read through the env — the in-memory catalog is used only for
+/// schema, partitioning, and the bucket -> pages index — so a query's
+/// matches genuinely travelled the storage path under test.
+///
+/// ## Determinism contract
+///
+/// With a seeded `FaultyEnv`, fixed fault schedule, no deadlines, a queue
+/// deep enough not to shed, and breakers pinned open once tripped
+/// (`open_ms` huge), per-query *outcomes* (status + matched records) are a
+/// pure function of the schedule — independent of thread count and
+/// interleaving. Retry counts and timings may vary; the chaos soak asserts
+/// outcomes only.
+
+namespace griddecl::serve {
+
+using obs::MetricsRegistry;
+
+struct ServeOptions {
+  /// Worker threads executing queries.
+  uint32_t num_threads = 4;
+  /// Admission queue bound; a Submit past it sheds.
+  uint32_t max_queue = 64;
+  /// Deadline applied to requests that do not carry one; 0 = none.
+  double default_deadline_ms = 0.0;
+  /// Page-read retry policy (transient errors only). `max_attempts` counts
+  /// the first try; keep it above a FaultyEnv's max_transient_attempts so
+  /// injected transients always eventually succeed.
+  BackoffPolicy retry{0.1, 2.0, 5.0, 1.0, 4};
+  BreakerOptions breaker;
+  /// Budget Shutdown gives queued + in-flight work before hard-failing it.
+  double drain_deadline_ms = 2000.0;
+  /// Seed for retry jitter (decorrelates concurrent retriers).
+  uint64_t seed = 0;
+};
+
+struct QueryRequest {
+  std::string relation;
+  /// Value-space predicate: lo[i] <= attr_i <= hi[i].
+  std::vector<double> lo;
+  std::vector<double> hi;
+  /// Per-query deadline in ms from submission; <= 0 uses the service
+  /// default.
+  double deadline_ms = 0.0;
+};
+
+/// Outcome of one query. `status` is always well-formed: kOk with the
+/// sorted matching record ids, or an error with empty matches.
+struct QueryResult {
+  Status status;
+  std::vector<RecordId> matches;
+  uint64_t buckets_touched = 0;
+  uint64_t pages_read = 0;
+  /// Transient-read retries performed.
+  uint64_t retries = 0;
+  /// Buckets served by a non-primary mirror copy (plan-time reroute).
+  uint64_t rerouted_buckets = 0;
+  /// Page reads that failed over to a surviving mirror copy inline.
+  uint64_t failover_reads = 0;
+  /// Pages rebuilt from parity stripes.
+  uint64_t reconstructed_pages = 0;
+  double queue_ms = 0.0;
+  double total_ms = 0.0;
+};
+
+/// Multi-threaded query service; see file comment. Thread-safe.
+class QueryService {
+ public:
+  /// Loads the committed manifest from `env` and starts `num_threads`
+  /// workers. `env` must outlive the service. Fails when the env holds no
+  /// loadable catalog or an option is out of domain.
+  static Result<std::unique_ptr<QueryService>> Create(
+      const StorageEnv* env, ServeOptions options);
+
+  /// Drains and joins (with the configured drain deadline).
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Admits a query. kResourceExhausted when the queue is full (shed),
+  /// kUnavailable once shutdown began. The future is fulfilled exactly
+  /// once, always with a well-formed QueryResult.
+  Result<std::future<QueryResult>> Submit(QueryRequest request);
+
+  /// Submit + wait: the synchronous convenience path.
+  QueryResult Execute(QueryRequest request);
+
+  /// Graceful drain: stop admitting, finish queued + in-flight work, hard
+  /// -fail the rest once `drain_deadline_ms` expires. Idempotent. Returns
+  /// Ok when everything drained in time, kDeadlineExceeded otherwise.
+  Status Shutdown();
+
+  /// Publishes absolute totals since start into `out` (fresh names are
+  /// created, existing ones Reset first, so repeated snapshots do not
+  /// double-count). Keys: serve.admitted, serve.shed, serve.completed,
+  /// serve.failed, serve.retries, serve.rerouted_buckets,
+  /// serve.failover_reads, serve.reconstructed_pages,
+  /// serve.breaker.opened / .half_opened / .closed / .reopened,
+  /// serve.queue.max_depth (gauge), serve.latency_ms (histogram).
+  void SnapshotMetrics(MetricsRegistry* out) const;
+
+  /// Current state of disk `d`'s breaker (diagnostics / tests).
+  BreakerState BreakerStateOf(uint32_t disk) const;
+  /// Summed transition counters across all disk breakers.
+  BreakerCounters BreakerTotals() const;
+
+  uint32_t num_disks() const { return num_disks_; }
+  std::vector<std::string> RelationNames() const;
+
+ private:
+  /// Everything needed to serve one relation, immutable after Create.
+  struct Relation {
+    std::string name;
+    RelationRedundancy redundancy;
+    /// Parsed catalog copy: schema, partitioner, and bucket index; record
+    /// payloads served to clients come from page reads, not from here.
+    std::unique_ptr<GridFile> file;
+    std::unique_ptr<DeclusteringMethod> method;
+    std::unique_ptr<DiskMap> disk_map;
+    /// Mirror relations only: the chained-declustering placement the
+    /// mirror copies realize (copy r of a bucket lives on replica r's
+    /// disk).
+    std::unique_ptr<ReplicatedPlacement> placement;
+    FileLayout layout;
+    /// data file first, then mirror copies 1..copies-1.
+    std::vector<std::string> copy_files;
+    std::string parity_file;  ///< Empty unless kParity.
+    /// Grid-linear bucket -> sorted distinct pages holding its records.
+    std::vector<std::vector<uint64_t>> bucket_pages;
+  };
+
+  struct Pending {
+    QueryRequest request;
+    std::promise<QueryResult> promise;
+    /// Absolute deadline on the service clock; +inf when none.
+    double deadline_ms = 0.0;
+    double submitted_ms = 0.0;
+  };
+
+  QueryService(const StorageEnv* env, ServeOptions options,
+               uint32_t num_disks);
+
+  static Result<Relation> LoadRelation(const StorageEnv& env,
+                                       const CatalogManifest& manifest,
+                                       size_t index);
+
+  /// Milliseconds since service start (steady clock).
+  double NowMs() const;
+
+  void WorkerLoop(uint32_t worker_id);
+  QueryResult RunQuery(const Pending& p);
+
+  /// One page serving the query: direct read with retries when
+  /// `try_direct`, then the relation's degraded path (mirror failover /
+  /// parity reconstruction). `*direct_ok` is cleared when the direct read
+  /// did not cleanly succeed (feeds the disk's breaker outcome).
+  /// Accounting goes into `result`.
+  Result<std::string> ReadPageResilient(const Relation& rel,
+                                        uint32_t assigned_copy, uint64_t page,
+                                        double deadline_ms, bool try_direct,
+                                        bool* direct_ok, QueryResult* result);
+  /// Page read + verification (record count, CRC) with retries on one
+  /// copy file; verification failure reads as kUnavailable so degraded
+  /// paths engage.
+  Result<std::string> ReadPageWithRetries(const Relation& rel, uint32_t copy,
+                                          uint64_t page, double deadline_ms,
+                                          QueryResult* result);
+  /// Raw range read with seeded-jitter backoff retries on kUnavailable.
+  Result<std::string> ReadRangeWithRetries(const std::string& file,
+                                           uint64_t offset, uint64_t length,
+                                           double deadline_ms,
+                                           QueryResult* result);
+  /// Rebuilds `page` by XORing its stripe siblings and the parity page.
+  Result<std::string> ReconstructPage(const Relation& rel, uint64_t page,
+                                      double deadline_ms,
+                                      QueryResult* result);
+  /// Interruptible sleep: hard stop and the deadline cut it short.
+  void SleepMs(double delay_ms, double deadline_ms) const;
+
+  bool AllowDisk(uint32_t disk);
+  void RecordDiskOutcome(uint32_t disk, bool success);
+
+  const StorageEnv* env_;
+  ServeOptions options_;
+  uint32_t num_disks_;
+  std::chrono::steady_clock::time_point start_;
+  std::unordered_map<std::string, Relation> relations_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool draining_ = false;
+  std::atomic<bool> hard_stop_{false};
+  uint32_t in_flight_ = 0;
+  std::condition_variable drained_cv_;
+  uint64_t queue_max_depth_ = 0;
+  bool shutdown_done_ = false;
+  Status shutdown_status_;
+  /// Serializes Shutdown callers (taken before queue_mu_).
+  std::mutex shutdown_mu_;
+
+  mutable std::mutex breaker_mu_;
+  std::vector<CircuitBreaker> breakers_;
+
+  /// Totals guarded by metrics_mu_ (workers update per query, not per
+  /// page, so contention is negligible).
+  mutable std::mutex metrics_mu_;
+  uint64_t admitted_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t rerouted_buckets_ = 0;
+  uint64_t failover_reads_ = 0;
+  uint64_t reconstructed_pages_ = 0;
+  obs::Histogram latency_ms_;
+
+  std::vector<std::thread> workers_;
+};
+
+/// Byte ranges of `relation`'s committed files that make up virtual disk
+/// `disk` — feed them to `FaultyEnvOptions::permanent` to fail that disk.
+/// Data-file pages of buckets whose primary is `disk`, plus (mirror
+/// relations) mirror-copy-r pages of buckets whose replica r lands on
+/// `disk`. Requires a bucket-clustered layout: kUnsupported when any
+/// non-empty page mixes records of buckets on different disks.
+Result<std::vector<FaultRange>> DiskFaultSchedule(const StorageEnv& env,
+                                                  const std::string& relation,
+                                                  uint32_t disk);
+
+}  // namespace griddecl::serve
+
+#endif  // GRIDDECL_SERVE_SERVICE_H_

@@ -36,9 +36,9 @@ Status ValidateSweepOptions(const AvailabilitySweepOptions& o) {
   if (o.num_queries < 1) {
     return Status::InvalidArgument("sweep needs at least one query");
   }
-  if (o.max_failed >= o.num_disks) {
+  if (o.max_failed > o.num_disks) {
     return Status::InvalidArgument(
-        "max_failed must leave at least one disk alive");
+        "max_failed must be <= num_disks");
   }
   for (uint32_t r : o.replication) {
     if (r < 2 || r > o.num_disks) {

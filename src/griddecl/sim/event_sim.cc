@@ -134,7 +134,7 @@ Result<ThroughputResult> SimulateInterleaved(
         faulty && fm->AttemptFails(disk_id, read.addr, read.attempt);
     // A failed attempt holds the disk for the service plus a firmware
     // backoff wait; the retry re-enters this disk's queue at completion.
-    if (d.current_failed) service += fm->spec().retry_backoff_ms;
+    if (d.current_failed) service += fm->RetryDelayMs(read.attempt);
     d.last_address = read.addr;
     d.has_last = true;
     d.busy = true;

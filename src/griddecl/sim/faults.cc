@@ -36,6 +36,14 @@ FaultModel::FaultModel(uint32_t num_disks, FaultSpec spec)
       spec_(std::move(spec)),
       fail_at_(num_disks, std::numeric_limits<double>::infinity()),
       terminal_failed_(num_disks, false) {
+  // Degenerate shared-backoff policy: constant wait, no jitter — keeps the
+  // charged delay exactly `retry_backoff_ms` (bit-identical to the
+  // pre-extraction inline charge).
+  retry_policy_.base_ms = spec_.retry_backoff_ms;
+  retry_policy_.multiplier = 1.0;
+  retry_policy_.cap_ms = spec_.retry_backoff_ms;
+  retry_policy_.jitter = 0.0;
+  retry_policy_.max_attempts = spec_.max_retries + 1;
   for (const DiskFailure& f : spec_.failures) {
     fail_at_[f.disk] = std::min(fail_at_[f.disk], f.at_ms);
     terminal_failed_[f.disk] = true;

@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "griddecl/common/backoff.h"
 #include "griddecl/common/status.h"
 #include "griddecl/eval/replica_router.h"
 #include "griddecl/methods/method.h"
@@ -141,11 +142,26 @@ class FaultModel {
   /// before succeeding, in [0, max_retries].
   uint32_t TransientRetries(uint32_t disk, uint64_t address) const;
 
+  /// The retry/backoff policy the simulators charge: the shared
+  /// implementation (common/backoff.h) with a degenerate configuration —
+  /// constant `retry_backoff_ms` per retry, no jitter — so simulator and
+  /// serving layer draw delays from one audited source.
+  const BackoffPolicy& retry_policy() const { return retry_policy_; }
+
+  /// Firmware-style wait charged before retry `retry` (0-based). Exactly
+  /// `spec().retry_backoff_ms` for every retry under the degenerate
+  /// policy; routed through `BackoffDelayMs` so the charge and the serving
+  /// layer's real sleeps share an implementation.
+  double RetryDelayMs(uint32_t retry) const {
+    return BackoffDelayMs(retry_policy_, spec_.seed, 0, retry);
+  }
+
  private:
   FaultModel(uint32_t num_disks, FaultSpec spec);
 
   uint32_t num_disks_;
   FaultSpec spec_;
+  BackoffPolicy retry_policy_;
   /// Earliest failure time per disk; +inf when the disk never fails.
   std::vector<double> fail_at_;
   std::vector<bool> terminal_failed_;

@@ -170,7 +170,7 @@ SimResult ParallelIoSimulator::RunScheduleWithFaults(
         // this disk's serial timeline; with no stragglers the factor is
         // exactly 1.0, keeping the healthy path bit-identical.
         busy += service * (base_scale * faults.SlowdownAt(d, busy));
-        if (attempt < k) busy += faults.spec().retry_backoff_ms;
+        if (attempt < k) busy += faults.RetryDelayMs(attempt);
       }
       result.transient_retries += k;
       prev = addr;

@@ -100,7 +100,7 @@ Result<ThroughputResult> SimulateThroughput(const DeclusteringMethod& method,
       const uint32_t k = fm->TransientRetries(d, addr);
       for (uint32_t attempt = 0; attempt <= k; ++attempt) {
         t += (seek + transfer) * (base_scale * fm->SlowdownAt(d, t));
-        if (attempt < k) t += fm->spec().retry_backoff_ms;
+        if (attempt < k) t += fm->RetryDelayMs(attempt);
       }
       retries += k;
       prev = addr;

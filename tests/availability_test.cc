@@ -21,9 +21,10 @@ AvailabilitySweepOptions SmallOptions() {
 }
 
 TEST(AvailabilitySweepTest, Validation) {
-  AvailabilitySweepOptions all_dead = SmallOptions();
-  all_dead.max_failed = 4;
-  EXPECT_FALSE(RunAvailabilitySweep(all_dead).ok());
+  // max_failed == num_disks is a valid (fully dead) sweep; past it is not.
+  AvailabilitySweepOptions too_dead = SmallOptions();
+  too_dead.max_failed = 5;
+  EXPECT_FALSE(RunAvailabilitySweep(too_dead).ok());
 
   AvailabilitySweepOptions bad_r = SmallOptions();
   bad_r.replication = {1};
@@ -90,6 +91,32 @@ TEST(AvailabilitySweepTest, StrategiesBehaveAsDesigned) {
     }
   }
   EXPECT_TRUE(saw_ecc_reconstruct);
+}
+
+TEST(AvailabilitySweepTest, AllDisksFailedIsCleanZeroAvailability) {
+  // The f == M edge: every strategy — plain, chained replicas, and the
+  // parity/ECC reconstruct path with its whole group dead — must report a
+  // clean zero, not divide by zero or walk out of bounds.
+  AvailabilitySweepOptions opts = SmallOptions();
+  opts.max_failed = 4;
+  const AvailabilitySweep sweep = RunAvailabilitySweep(opts).value();
+  int all_dead_points = 0;
+  for (const AvailabilityPoint& p : sweep.points) {
+    EXPECT_GE(p.availability, 0.0);
+    EXPECT_LE(p.availability, 1.0);
+    EXPECT_EQ(p.mean_latency_ms, p.mean_latency_ms) << "NaN latency";
+    EXPECT_EQ(p.degraded_ratio, p.degraded_ratio) << "NaN degraded ratio";
+    if (p.failed_disks == 4) {
+      all_dead_points++;
+      EXPECT_DOUBLE_EQ(p.availability, 0.0) << p.strategy;
+      EXPECT_DOUBLE_EQ(p.mean_latency_ms, 0.0) << p.strategy;
+      EXPECT_DOUBLE_EQ(p.degraded_ratio, 0.0) << p.strategy;
+      EXPECT_EQ(p.unavailable_queries, 25u) << p.strategy;
+    }
+  }
+  // One fully-dead point per (method, strategy) pair: 3 methods x plain
+  // and replica-r2, plus ecc-reconstruct for the one ECC method.
+  EXPECT_EQ(all_dead_points, 7);
 }
 
 TEST(AvailabilitySweepTest, JsonShape) {

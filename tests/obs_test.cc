@@ -293,5 +293,40 @@ TEST(ScopedTimerTest, NullSinkIsNoOp) {
   ScopedTimer timer(nullptr);  // must not crash or read the clock
 }
 
+TEST(MetricsResetTest, ResetReturnsInstrumentsToTheirEmptyState) {
+  // Reset is what lets a publisher re-export absolute totals into a
+  // long-lived registry on every snapshot without double-counting.
+  Counter c;
+  c.Inc(5);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.Inc(2);
+  EXPECT_EQ(c.value(), 2u);
+
+  Gauge g;
+  g.Set(3.5);
+  ASSERT_TRUE(g.has_value());
+  g.Reset();
+  EXPECT_FALSE(g.has_value());
+  EXPECT_EQ(g.value(), 0.0);
+
+  Histogram h(DefaultLatencyBoundsMs());
+  h.Observe(1.0);
+  h.Observe(2.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  // Bounds survive, so the histogram keeps observing (and merging).
+  h.Observe(4.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), 4.0);
+  Histogram other(DefaultLatencyBoundsMs());
+  other.Observe(8.0);
+  h.Merge(other);
+  EXPECT_EQ(h.count(), 2u);
+}
+
 }  // namespace
 }  // namespace griddecl::obs

@@ -58,6 +58,21 @@ TEST(ResultTest, MutableAndMoveAccess) {
   EXPECT_EQ(moved, "hello world");
 }
 
+TEST(StatusTest, ServingCodesRoundTrip) {
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "unavailable");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "deadline_exceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "resource_exhausted");
+  EXPECT_EQ(Status::Unavailable("disk 2 down").ToString(),
+            "unavailable: disk 2 down");
+}
+
 TEST(ResultTest, ReturnIfErrorMacro) {
   auto fails = []() -> Status { return Status::Internal("boom"); };
   auto wrapper = [&]() -> Status {

@@ -83,6 +83,40 @@ TEST(StorageEnvTest, DiskEnvRoundTrip) {
   std::filesystem::remove_all(root);
 }
 
+TEST(StorageEnvTest, MemEnvReadAtSlicesAndBoundsChecks) {
+  MemEnv env;
+  ASSERT_TRUE(env.WriteFile("f", "0123456789").ok());
+  EXPECT_EQ(env.ReadAt("f", 0, 10).value(), "0123456789");
+  EXPECT_EQ(env.ReadAt("f", 3, 4).value(), "3456");
+  EXPECT_EQ(env.ReadAt("f", 10, 0).value(), "");
+  const Result<std::string> past = env.ReadAt("f", 8, 4);
+  ASSERT_FALSE(past.ok());
+  EXPECT_EQ(past.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(past.status().message(),
+            "read of [8, 12) past end of 'f' (10 bytes)");
+  EXPECT_EQ(env.ReadAt("missing", 0, 1).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(StorageEnvTest, DiskEnvReadAtMatchesMemEnvSemantics) {
+  const std::string root =
+      (std::filesystem::temp_directory_path() /
+       ("griddecl_readat_test_" + std::to_string(::getpid())))
+          .string();
+  DiskEnv env = DiskEnv::Create(root).value();
+  ASSERT_TRUE(env.WriteFile("f", "0123456789").ok());
+  EXPECT_EQ(env.ReadAt("f", 3, 4).value(), "3456");
+  EXPECT_EQ(env.ReadAt("f", 0, 10).value(), "0123456789");
+  const Result<std::string> past = env.ReadAt("f", 9, 2);
+  ASSERT_FALSE(past.ok());
+  EXPECT_EQ(past.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(past.status().message(),
+            "read of [9, 11) past end of 'f' (10 bytes)");
+  EXPECT_EQ(env.ReadAt("missing", 0, 1).status().code(),
+            StatusCode::kNotFound);
+  std::filesystem::remove_all(root);
+}
+
 TEST(StorageEnvTest, CrashEnvPassesThroughBeforeCrashPoint) {
   MemEnv base;
   CrashEnv env(&base, /*crash_at_op=*/2, /*seed=*/1);

@@ -52,10 +52,13 @@
 ///   declctl mkcatalog --dir DIR --grid 8x8 --disks 4 [--methods dm,hcam]
 ///                [--records 256] [--seed 42] [--page-size 4096]
 ///                [--redundancy none|mirror|parity] [--copies 2]
-///                [--group-pages 8]
+///                [--group-pages 8] [--clustered]
 ///       Build a catalog of synthetic relations (one per method, uniform
 ///       random records) and commit it to DIR as a checksummed manifest
 ///       generation, optionally with mirror or parity redundancy.
+///       `--clustered` inserts records bucket by bucket with per-bucket
+///       counts padded to a page-capacity multiple, producing the
+///       bucket-clustered layout `serve --fail-disk` requires.
 ///
 ///   declctl fsck --dir DIR [--dry-run]
 ///       Verify every page of every relation in the catalog at DIR
@@ -63,6 +66,22 @@
 ///       redundancy and heal damaged sidecars. `--dry-run` reports what
 ///       would be repaired without writing. Exit status: 0 when the
 ///       catalog is (now) intact, 1 when unrepairable damage remains.
+///
+///   declctl serve --dir DIR --script FILE [--threads 4] [--queue 64]
+///                [--deadline MS] [--drain MS] [--seed S]
+///                [--transient-prob P] [--fault-seed S]
+///                [--max-transient-attempts K] [--latency MS]
+///                [--fail-disk D --fail-relation NAME]
+///       Run the resilient query service (serve/service.h) over the
+///       catalog at DIR and execute the range queries in FILE (format:
+///       serve/script.h — `query <relation> <lo,..> <hi,..>
+///       [deadline_ms]`). Optional fault injection wraps the catalog in a
+///       FaultyEnv: `--transient-prob` injects seeded transient read
+///       faults (exercising retries), `--fail-disk`/`--fail-relation`
+///       permanently fails one virtual disk of one relation (exercising
+///       breakers and degraded reads; requires a bucket-clustered
+///       layout). Prints one outcome line per query and a summary; exit
+///       status 0 iff every query succeeded.
 ///
 /// Commands that drive the evaluator, a simulator, or the storage stack
 /// (eval, compare, throughput, degrade, mkcatalog, fsck) also accept
@@ -84,6 +103,8 @@
 #include "griddecl/methods/table_method.h"
 #include "griddecl/methods/workload_opt.h"
 #include "griddecl/query/trace.h"
+#include "griddecl/serve/script.h"
+#include "griddecl/serve/service.h"
 #include "griddecl/theory/kd_strict_optimality.h"
 
 namespace griddecl {
@@ -131,7 +152,7 @@ int Usage() {
       "usage: declctl <command> [flags]\n"
       "commands: methods | eval | compare | sweep-size | gen-trace |\n"
       "          advise | show | export | optimize | throughput | search |\n"
-      "          degrade | mkcatalog | fsck\n"
+      "          degrade | mkcatalog | fsck | serve\n"
       "see the header of tools/declctl.cc for per-command flags\n";
   return 2;
 }
@@ -594,6 +615,8 @@ int CmdMkCatalog(const Flags& flags) {
   }
   Result<RelationRedundancy> redundancy = RedundancyFromFlags(flags);
   if (!redundancy.ok()) return Fail(redundancy.status().ToString());
+  const auto clustered = flags.GetBool("clustered", false);
+  if (!clustered.ok()) return Fail(clustered.status().ToString());
 
   std::vector<std::string> names;
   {
@@ -618,14 +641,45 @@ int CmdMkCatalog(const Flags& flags) {
     Result<GridFile> file =
         GridFile::Create(std::move(schema).value(), grid.value().dims());
     if (!file.ok()) return Fail(file.status().ToString());
-    for (int64_t i = 0; i < records.value(); ++i) {
-      std::vector<double> point;
-      for (uint32_t d = 0; d < grid.value().num_dims(); ++d) {
-        point.push_back(rng.NextDouble());
+    if (clustered.value()) {
+      // Bucket-clustered layout: insert bucket by bucket, padding each
+      // bucket's count to a page-capacity multiple so no storage page
+      // mixes buckets — the layout `serve --fail-disk` requires.
+      const uint32_t record_bytes = grid.value().num_dims() * 8;
+      const uint32_t capacity =
+          (static_cast<uint32_t>(page_size.value()) - 8) / record_bytes;
+      if (capacity < 1) return Fail("--page-size too small for --clustered");
+      const uint64_t num_buckets = grid.value().num_buckets();
+      uint64_t per_bucket =
+          (static_cast<uint64_t>(records.value()) + num_buckets - 1) /
+          num_buckets;
+      per_bucket = std::max<uint64_t>(
+          capacity, (per_bucket + capacity - 1) / capacity * capacity);
+      for (uint64_t b = 0; b < num_buckets; ++b) {
+        const BucketCoords c = grid.value().Delinearize(b);
+        for (uint64_t k = 0; k < per_bucket; ++k) {
+          std::vector<double> point;
+          for (uint32_t d = 0; d < grid.value().num_dims(); ++d) {
+            const double width = 1.0 / grid.value().dims()[d];
+            point.push_back((c[d] + rng.NextDouble()) * width);
+          }
+          const Result<RecordId> id = file.value().Insert(point);
+          if (!id.ok()) {
+            return Fail("insert into '" + name + "': " +
+                        id.status().ToString());
+          }
+        }
       }
-      const Result<RecordId> id = file.value().Insert(point);
-      if (!id.ok()) {
-        return Fail("insert into '" + name + "': " + id.status().ToString());
+    } else {
+      for (int64_t i = 0; i < records.value(); ++i) {
+        std::vector<double> point;
+        for (uint32_t d = 0; d < grid.value().num_dims(); ++d) {
+          point.push_back(rng.NextDouble());
+        }
+        const Result<RecordId> id = file.value().Insert(point);
+        if (!id.ok()) {
+          return Fail("insert into '" + name + "': " + id.status().ToString());
+        }
       }
     }
     Result<DeclusteredFile> rel = DeclusteredFile::Create(
@@ -650,6 +704,133 @@ int CmdMkCatalog(const Flags& flags) {
             << " record(s) each, redundancy "
             << RedundancyPolicyName(redundancy.value().policy) << "\n";
   return sink.Flush();
+}
+
+int CmdServe(const Flags& flags) {
+  const std::string dir = flags.GetString("dir", "");
+  if (dir.empty()) return Fail("--dir DIR is required");
+  const std::string script_path = flags.GetString("script", "");
+  if (script_path.empty()) return Fail("--script FILE is required");
+
+  serve::ServeOptions options;
+  const auto threads = flags.GetInt("threads", 4);
+  const auto queue = flags.GetInt("queue", 64);
+  const auto deadline = flags.GetDouble("deadline", 0.0);
+  const auto drain = flags.GetDouble("drain", 2000.0);
+  const auto seed = flags.GetInt("seed", 0);
+  const auto prob = flags.GetDouble("transient-prob", 0.0);
+  const auto fault_seed = flags.GetInt("fault-seed", 1);
+  const auto max_transient = flags.GetInt("max-transient-attempts", 3);
+  const auto latency = flags.GetDouble("latency", 0.0);
+  const auto fail_disk = flags.GetInt("fail-disk", -1);
+  if (!threads.ok() || !queue.ok() || !deadline.ok() || !drain.ok() ||
+      !seed.ok() || !prob.ok() || !fault_seed.ok() || !max_transient.ok() ||
+      !latency.ok() || !fail_disk.ok() || threads.value() < 1 ||
+      queue.value() < 1) {
+    return Fail("bad numeric flag");
+  }
+  options.num_threads = static_cast<uint32_t>(threads.value());
+  options.max_queue = static_cast<uint32_t>(queue.value());
+  options.default_deadline_ms = deadline.value();
+  options.drain_deadline_ms = drain.value();
+  options.seed = static_cast<uint64_t>(seed.value());
+
+  std::ifstream script_in(script_path);
+  if (!script_in.good()) {
+    return Fail("cannot read script '" + script_path + "'");
+  }
+  std::ostringstream script_text;
+  script_text << script_in.rdbuf();
+  Result<std::vector<serve::QueryRequest>> requests =
+      serve::ParseServeScript(script_text.str());
+  if (!requests.ok()) {
+    return Fail(script_path + ": " + requests.status().ToString());
+  }
+
+  Result<DiskEnv> env = DiskEnv::Create(dir);
+  if (!env.ok()) return Fail(env.status().ToString());
+
+  FaultyEnvOptions fault_opts;
+  fault_opts.seed = static_cast<uint64_t>(fault_seed.value());
+  fault_opts.transient_error_prob = prob.value();
+  fault_opts.max_transient_attempts =
+      static_cast<uint32_t>(max_transient.value());
+  fault_opts.latency_ms = latency.value();
+  if (fail_disk.value() >= 0) {
+    const std::string relation = flags.GetString("fail-relation", "");
+    if (relation.empty()) {
+      return Fail("--fail-disk needs --fail-relation NAME");
+    }
+    Result<std::vector<FaultRange>> schedule = serve::DiskFaultSchedule(
+        env.value(), relation, static_cast<uint32_t>(fail_disk.value()));
+    if (!schedule.ok()) return Fail(schedule.status().ToString());
+    fault_opts.permanent = std::move(schedule).value();
+    std::cout << "failing disk " << fail_disk.value() << " of '" << relation
+              << "': " << fault_opts.permanent.size()
+              << " page range(s) unreadable\n";
+  }
+  Result<std::unique_ptr<FaultyEnv>> faulty =
+      FaultyEnv::Create(&env.value(), fault_opts);
+  if (!faulty.ok()) return Fail(faulty.status().ToString());
+
+  MetricsSink sink(flags);
+  Result<std::unique_ptr<serve::QueryService>> service =
+      serve::QueryService::Create(faulty.value().get(), options);
+  if (!service.ok()) return Fail(service.status().ToString());
+
+  // Submit everything up front (the admission queue may shed), then wait.
+  std::vector<std::pair<size_t, std::future<serve::QueryResult>>> futures;
+  uint64_t shed = 0;
+  for (size_t i = 0; i < requests.value().size(); ++i) {
+    Result<std::future<serve::QueryResult>> f =
+        service.value()->Submit(requests.value()[i]);
+    if (f.ok()) {
+      futures.emplace_back(i, std::move(f).value());
+    } else {
+      shed++;
+      std::cout << "query " << i << ": " << f.status().ToString() << "\n";
+    }
+  }
+  uint64_t failed = shed;
+  for (auto& [i, future] : futures) {
+    const serve::QueryResult r = future.get();
+    std::cout << "query " << i << ": ";
+    if (r.status.ok()) {
+      std::cout << r.matches.size() << " match(es), " << r.pages_read
+                << " page(s)";
+      if (r.retries > 0) std::cout << ", " << r.retries << " retries";
+      if (r.rerouted_buckets > 0) {
+        std::cout << ", " << r.rerouted_buckets << " rerouted";
+      }
+      if (r.failover_reads > 0) {
+        std::cout << ", " << r.failover_reads << " failovers";
+      }
+      if (r.reconstructed_pages > 0) {
+        std::cout << ", " << r.reconstructed_pages << " reconstructed";
+      }
+      std::cout << "\n";
+    } else {
+      failed++;
+      std::cout << r.status.ToString() << "\n";
+    }
+  }
+  const Status drained = service.value()->Shutdown();
+  if (sink.registry() != nullptr) {
+    service.value()->SnapshotMetrics(sink.registry());
+  }
+  const BreakerCounters breakers = service.value()->BreakerTotals();
+  std::cout << requests.value().size() - failed << "/"
+            << requests.value().size() << " queries ok";
+  if (shed > 0) std::cout << " (" << shed << " shed)";
+  if (breakers.opened > 0) {
+    std::cout << "; breakers: " << breakers.opened << " opened, "
+              << breakers.half_opened << " half-opened, " << breakers.closed
+              << " closed, " << breakers.reopened << " reopened";
+  }
+  std::cout << "\n";
+  if (!drained.ok()) std::cout << "drain: " << drained.ToString() << "\n";
+  if (const int rc = sink.Flush(); rc != 0) return rc;
+  return failed == 0 ? 0 : 1;
 }
 
 int CmdFsck(const Flags& flags) {
@@ -695,6 +876,7 @@ int Main(int argc, char** argv) {
   if (command == "degrade") return CmdDegrade(flags.value());
   if (command == "mkcatalog") return CmdMkCatalog(flags.value());
   if (command == "fsck") return CmdFsck(flags.value());
+  if (command == "serve") return CmdServe(flags.value());
   return Usage();
 }
 
