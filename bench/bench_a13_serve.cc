@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -30,10 +31,10 @@ constexpr uint32_t kRecordsPerBucket = 8;
 constexpr int kNumQueries = 1000;
 constexpr uint32_t kDeadDisk = 2;
 
-/// Bucket-clustered data: with 136-byte pages (capacity 8) and 8 records
-/// inserted per bucket in linearization order, every storage page holds
-/// exactly one bucket, which is the layout DiskFaultSchedule requires to
-/// translate "disk d died" into byte ranges.
+/// Bucket-clustered data: with 168-byte v3 pages (capacity 8) and 8
+/// records inserted per bucket in linearization order, every storage page
+/// holds exactly one bucket, which is the layout DiskFaultSchedule
+/// requires to translate "disk d died" into byte ranges.
 GridFile MakeClusteredFile(uint64_t seed) {
   Schema schema = Schema::Create({{"x", 0.0, 1.0}, {"y", 0.0, 1.0}}).value();
   GridFile f =
@@ -61,7 +62,7 @@ MemEnv MakeMirrorEnv() {
           .ok());
   MemEnv env;
   ManifestSaveOptions options;
-  options.page_size_bytes = 136;
+  options.page_size_bytes = 168;
   options.default_redundancy.policy = RelationRedundancy::Policy::kMirror;
   options.default_redundancy.copies = 2;
   GRIDDECL_CHECK(SaveCatalogManifest(catalog, &env, options).ok());
@@ -93,11 +94,10 @@ struct PassStats {
   uint64_t matches = 0;
 };
 
-/// One end-to-end pass: fresh service, submit everything, wait, drain.
+/// Submits the whole workload to an existing service and drains it.
 /// Queries refused at admission count as shed, not failed.
-PassStats RunPass(StorageEnv* env, const serve::ServeOptions& options,
-                  const std::vector<serve::QueryRequest>& queries) {
-  auto service = serve::QueryService::Create(env, options).value();
+PassStats RunPassOn(serve::QueryService* service,
+                    const std::vector<serve::QueryRequest>& queries) {
   std::vector<std::future<serve::QueryResult>> futures;
   PassStats stats;
   for (const serve::QueryRequest& q : queries) {
@@ -116,6 +116,15 @@ PassStats RunPass(StorageEnv* env, const serve::ServeOptions& options,
       stats.matches += r.matches.size();
     }
   }
+  return stats;
+}
+
+/// One end-to-end pass: fresh service (cold buffer pool), submit
+/// everything, wait, drain.
+PassStats RunPass(StorageEnv* env, const serve::ServeOptions& options,
+                  const std::vector<serve::QueryRequest>& queries) {
+  auto service = serve::QueryService::Create(env, options).value();
+  const PassStats stats = RunPassOn(service.get(), queries);
   GRIDDECL_CHECK(service->Shutdown().ok());
   return stats;
 }
@@ -171,6 +180,63 @@ int RunBenchJson(bench::BenchJson& json) {
   if (healthy_ms > 0.0) {
     json.TimingStat("degraded_overhead_pct",
                     100.0 * (dead_ms - healthy_ms) / healthy_ms);
+  }
+
+  // Steady-state repeated-query pass: one long-lived service replaying
+  // the same workload, so after TimeKernel's untimed warmup every page
+  // read is a buffer-pool hit (no I/O, no re-verify, no re-decode).
+  {
+    auto warm = serve::QueryService::Create(&env, SerialPipe()).value();
+    json.TimeKernel("serve_warm_pool", [&] {
+      const PassStats s = RunPassOn(warm.get(), queries);
+      GRIDDECL_CHECK(s.ok == healthy.ok && s.matches == healthy.matches);
+    });
+    GRIDDECL_CHECK(warm->Shutdown().ok());
+  }
+
+  // Warm-pool speedup under a device-latency model: FaultyEnv charges
+  // 50 us per physical page read, the price MemEnv's free reads hide. A
+  // warm pool answers a repeated pass without issuing a single read;
+  // pool_pages = 0 pays the device on every page visit. Sleep-based
+  // latency is too environment-sensitive for a gated kernel, so the
+  // passes are timed directly and reported as timing stats — the ratio
+  // is governed by the deterministic count of physical reads avoided.
+  {
+    FaultyEnvOptions device_model;
+    device_model.latency_ms = 0.05;
+    auto device = FaultyEnv::Create(&env, device_model).value();
+    const std::vector<serve::QueryRequest> sample(queries.begin(),
+                                                  queries.begin() + 100);
+
+    auto timed_pass = [&sample](serve::QueryService* service) {
+      const auto start = std::chrono::steady_clock::now();
+      const PassStats s = RunPassOn(service, sample);
+      const auto stop = std::chrono::steady_clock::now();
+      GRIDDECL_CHECK(s.ok == sample.size());
+      return std::make_pair(
+          std::chrono::duration<double, std::milli>(stop - start).count(),
+          s.matches);
+    };
+
+    auto warm =
+        serve::QueryService::Create(device.get(), SerialPipe()).value();
+    (void)RunPassOn(warm.get(), sample);  // Fill the pool.
+    const auto [warm_ms, warm_matches] = timed_pass(warm.get());
+    GRIDDECL_CHECK(warm->Shutdown().ok());
+
+    serve::ServeOptions no_pool = SerialPipe();
+    no_pool.pool_pages = 0;
+    auto cold =
+        serve::QueryService::Create(device.get(), no_pool).value();
+    const auto [no_pool_ms, no_pool_matches] = timed_pass(cold.get());
+    GRIDDECL_CHECK(cold->Shutdown().ok());
+
+    GRIDDECL_CHECK(warm_matches == no_pool_matches);
+    json.TimingStat("warm_pool_pass_ms", warm_ms);
+    json.TimingStat("no_pool_pass_ms", no_pool_ms);
+    if (warm_ms > 0.0) {
+      json.TimingStat("warm_pool_speedup", no_pool_ms / warm_ms);
+    }
   }
 
   // Overload: one slow worker (1 ms per page read) behind a queue of 8.
@@ -230,6 +296,15 @@ void PrintExperiment() {
     t.AddRow({"one disk dead (mirrored)", std::to_string(kNumQueries),
               std::to_string(dead.ok), std::to_string(dead.shed),
               std::to_string(dead.matches)});
+  }
+  {
+    auto service = serve::QueryService::Create(&env, WidePipe()).value();
+    (void)RunPassOn(service.get(), queries);  // Warm the buffer pool.
+    const PassStats warm = RunPassOn(service.get(), queries);
+    GRIDDECL_CHECK(service->Shutdown().ok());
+    t.AddRow({"repeated pass (warm buffer pool)",
+              std::to_string(kNumQueries), std::to_string(warm.ok),
+              std::to_string(warm.shed), std::to_string(warm.matches)});
   }
   {
     FaultyEnvOptions fault;

@@ -12,7 +12,8 @@
 #
 # --sanitize=tsan builds with GRIDDECL_SANITIZE=thread in build-tsan and
 # restricts ctest to the concurrent suites — the serving layer, its chaos
-# soak, breakers, backoff, and the fault-injecting env — where data races
+# soak, breakers, backoff, the fault-injecting env, and the buffer
+# pool / page store (concurrent pin/unpin/eviction) — where data races
 # could actually live. TSan is incompatible with ASan, hence the separate
 # mode and tree.
 #
@@ -38,7 +39,7 @@ for arg in "$@"; do
   elif [[ "$arg" == "--sanitize=tsan" ]]; then
     build_dir=build-tsan
     configure_args+=("-DGRIDDECL_SANITIZE=thread")
-    test_args+=("-R" "QueryService|Serve|Chaos|Breaker|Backoff|FaultyEnv|DiskFault")
+    test_args+=("-R" "QueryService|Serve|Chaos|Breaker|Backoff|FaultyEnv|DiskFault|BufferPool|PageStore")
   else
     configure_args+=("$arg")
   fi

@@ -19,7 +19,7 @@ if [[ "${1-}" == "--repetitions" ]]; then
 fi
 
 cmake -B build-baseline -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-baseline -j --target bench_a10_disk_map bench_a5_throughput bench_a13_serve
+cmake --build build-baseline -j --target bench_a10_disk_map bench_a5_throughput bench_a13_serve bench_a14_pagescan
 
 mkdir -p bench/baselines
 build-baseline/bench/bench_a10_disk_map \
@@ -30,6 +30,9 @@ build-baseline/bench/bench_a5_throughput \
   --bench-repetitions="$repetitions"
 build-baseline/bench/bench_a13_serve \
   --bench-json=bench/baselines/BENCH_a13_serve.json \
+  --bench-repetitions="$repetitions"
+build-baseline/bench/bench_a14_pagescan \
+  --bench-json=bench/baselines/BENCH_a14_pagescan.json \
   --bench-repetitions="$repetitions"
 
 echo "baselines updated:"

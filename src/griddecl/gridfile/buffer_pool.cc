@@ -1,0 +1,105 @@
+#include "griddecl/gridfile/buffer_pool.h"
+
+#include <algorithm>
+
+namespace griddecl {
+
+BufferPool::BufferPool(size_t capacity_pages)
+    : capacity_(std::max<size_t>(1, capacity_pages)),
+      probation_capacity_(std::max<size_t>(1, capacity_ / 4)),
+      protected_capacity_(std::max<size_t>(1, capacity_ - probation_capacity_)) {}
+
+BufferPool::FramePtr BufferPool::Lookup(std::string_view file,
+                                        uint64_t page) {
+  const Key key(std::string(file), page);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frames_.find(key);
+  if (it == frames_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  Entry& entry = it->second;
+  if (entry.in_protected) {
+    entry.referenced = true;
+  } else {
+    // Second touch: promote out of probation into the protected segment.
+    probation_.erase(entry.pos);
+    if (protected_.size() >= protected_capacity_) EvictProtectedLocked();
+    protected_.push_back(it->first);
+    entry.pos = std::prev(protected_.end());
+    entry.in_protected = true;
+    entry.referenced = false;
+    ++stats_.promotions;
+  }
+  return entry.frame;
+}
+
+BufferPool::FramePtr BufferPool::Admit(FramePtr frame) {
+  if (frame == nullptr) return nullptr;
+  const Key key(frame->file, frame->page);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frames_.find(key);
+  if (it != frames_.end()) return it->second.frame;  // Raced; incumbent wins.
+  if (probation_.size() >= probation_capacity_) EvictProbationLocked();
+  probation_.push_back(key);
+  Entry entry;
+  entry.frame = frame;
+  entry.pos = std::prev(probation_.end());
+  frames_.emplace(key, std::move(entry));
+  ++stats_.admissions;
+  return frame;
+}
+
+void BufferPool::EvictProbationLocked() {
+  if (probation_.empty()) return;
+  frames_.erase(probation_.front());
+  probation_.pop_front();
+  ++stats_.evictions;
+}
+
+void BufferPool::EvictProtectedLocked() {
+  // Second-chance CLOCK: recycle referenced frames to the tail (clearing
+  // the bit), evict the first cold frame. Bounded: after one full lap
+  // every bit is clear, so the loop terminates.
+  while (!protected_.empty()) {
+    auto it = frames_.find(protected_.front());
+    if (it != frames_.end() && it->second.referenced) {
+      it->second.referenced = false;
+      protected_.push_back(protected_.front());
+      it->second.pos = std::prev(protected_.end());
+      protected_.pop_front();
+      continue;
+    }
+    if (it != frames_.end()) frames_.erase(it);
+    protected_.pop_front();
+    ++stats_.evictions;
+    return;
+  }
+}
+
+void BufferPool::Invalidate(std::string_view file) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto sweep = [&](std::list<Key>& list) {
+    for (auto it = list.begin(); it != list.end();) {
+      if (it->first == file) {
+        frames_.erase(*it);
+        it = list.erase(it);
+        ++stats_.evictions;
+      } else {
+        ++it;
+      }
+    }
+  };
+  sweep(probation_);
+  sweep(protected_);
+}
+
+BufferPool::Stats BufferPool::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats = stats_;
+  stats.resident = frames_.size();
+  return stats;
+}
+
+}  // namespace griddecl

@@ -1,0 +1,118 @@
+#ifndef GRIDDECL_GRIDFILE_BUFFER_POOL_H_
+#define GRIDDECL_GRIDFILE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "griddecl/gridfile/storage.h"
+
+/// \file
+/// Bounded, scan-resistant page cache keyed by (file, page).
+///
+/// Admission/eviction is segmented (2Q/SLRU-flavored):
+///
+///  * A page enters a small **probation** FIFO (a quarter of capacity).
+///    Pages touched exactly once — a sequential scan — march through
+///    probation and fall out the far end without ever displacing the
+///    working set.
+///  * A probation hit **promotes** the page to the **protected** segment
+///    (the remaining three quarters), which evicts by second-chance
+///    CLOCK: a hit sets the frame's reference bit; the eviction hand
+///    clears set bits and recycles the frame to the tail, evicting the
+///    first frame found cold.
+///
+/// Pin safety is structural, not counted: frames are immutable
+/// `shared_ptr<const Frame>` payloads. Eviction merely drops the pool's
+/// reference — any outstanding pin keeps the decoded page alive, so
+/// pin/unpin/evict need no coordination beyond the pool's single mutex
+/// and readers never observe a frame mid-mutation.
+
+namespace griddecl {
+
+class BufferPool {
+ public:
+  /// One cached page: its raw bytes plus the decoded columnar view.
+  /// Immutable after construction.
+  struct Frame {
+    std::string file;
+    uint64_t page = 0;
+    std::string raw;
+    DecodedPage decoded;
+  };
+  using FramePtr = std::shared_ptr<const Frame>;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t admissions = 0;
+    uint64_t evictions = 0;
+    uint64_t promotions = 0;
+    /// Frames currently resident (gauge, not a counter).
+    uint64_t resident = 0;
+  };
+
+  /// `capacity_pages` must be >= 1; the probation segment gets
+  /// max(1, capacity/4) frames and the protected segment the rest.
+  explicit BufferPool(size_t capacity_pages);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns the cached frame (counting a hit and updating recency
+  /// state) or null (counting a miss).
+  FramePtr Lookup(std::string_view file, uint64_t page);
+
+  /// Inserts `frame`, evicting if full. If the key is already resident
+  /// (two readers raced on the same miss) the incumbent wins and is
+  /// returned; the caller's copy is dropped. Never fails.
+  FramePtr Admit(FramePtr frame);
+
+  /// Drops every resident frame of `file` (after a repair rewrites it).
+  /// Outstanding pins stay valid; they just reference pre-repair bytes.
+  void Invalidate(std::string_view file);
+
+  Stats GetStats() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry;
+  using Key = std::pair<std::string, uint64_t>;
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<std::string>()(k.first) * 1000003u +
+             std::hash<uint64_t>()(k.second);
+    }
+  };
+  struct Entry {
+    FramePtr frame;
+    bool in_protected = false;
+    bool referenced = false;
+    std::list<Key>::iterator pos;
+  };
+
+  void EvictProbationLocked();
+  void EvictProtectedLocked();
+
+  const size_t capacity_;
+  const size_t probation_capacity_;
+  const size_t protected_capacity_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, Entry, KeyHash> frames_;
+  /// Front = oldest. Probation evicts strictly front-first (FIFO);
+  /// protected scans front-first giving referenced frames a second
+  /// chance at the tail.
+  std::list<Key> probation_;
+  std::list<Key> protected_;
+  Stats stats_;
+};
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_GRIDFILE_BUFFER_POOL_H_

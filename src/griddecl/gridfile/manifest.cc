@@ -13,7 +13,10 @@ namespace griddecl {
 namespace {
 
 constexpr char kManifestMagic[4] = {'G', 'D', 'M', 'F'};
-constexpr uint32_t kManifestVersion = 1;
+/// Version 1 predates the page-format tag (those generations are always
+/// kFormatV2 pages); version 2 records the format after page_size_bytes.
+constexpr uint32_t kManifestVersionV1 = 1;
+constexpr uint32_t kManifestVersion = 2;
 constexpr char kCurrentTmpName[] = "CURRENT.tmp";
 constexpr char kManifestPrefix[] = "MANIFEST-";
 constexpr size_t kManifestPrefixLen = 9;
@@ -169,6 +172,7 @@ std::string SerializeManifest(const CatalogManifest& manifest) {
   AppendU64(&out, manifest.generation);
   AppendU32(&out, manifest.num_disks);
   AppendU32(&out, manifest.page_size_bytes);
+  AppendU32(&out, manifest.format_version);
   AppendU32(&out, static_cast<uint32_t>(manifest.relations.size()));
   for (const ManifestRelation& rel : manifest.relations) {
     AppendU32(&out, static_cast<uint32_t>(rel.name.size()));
@@ -215,13 +219,27 @@ Result<CatalogManifest> ParseManifest(std::string_view bytes) {
   CatalogManifest m;
   uint32_t num_relations = 0;
   if (!r.ReadU32(&version) || !r.ReadU64(&m.generation) ||
-      !r.ReadU32(&m.num_disks) || !r.ReadU32(&m.page_size_bytes) ||
-      !r.ReadU32(&num_relations)) {
+      !r.ReadU32(&m.num_disks) || !r.ReadU32(&m.page_size_bytes)) {
     return Status::InvalidArgument("manifest truncated");
   }
-  if (version != kManifestVersion) {
+  if (version != kManifestVersionV1 && version != kManifestVersion) {
     return Status::InvalidArgument("unsupported manifest version " +
                                    std::to_string(version));
+  }
+  if (version >= kManifestVersion) {
+    if (!r.ReadU32(&m.format_version)) {
+      return Status::InvalidArgument("manifest truncated");
+    }
+  } else {
+    // Version-1 manifests predate the tag; they were always written v2.
+    m.format_version = kFormatV2;
+  }
+  if (m.format_version != kFormatV2 && m.format_version != kFormatV3) {
+    return Status::InvalidArgument("manifest names unknown page format " +
+                                   std::to_string(m.format_version));
+  }
+  if (!r.ReadU32(&num_relations)) {
+    return Status::InvalidArgument("manifest truncated");
   }
   if (m.generation == 0) {
     return Status::InvalidArgument("manifest generation must be positive");
@@ -315,10 +333,18 @@ Result<uint64_t> SaveCatalogManifest(const Catalog& catalog, StorageEnv* env,
   Result<uint64_t> next = NextGeneration(*env);
   if (!next.ok()) return next.status();
 
+  if (options.format_version != kFormatV2 &&
+      options.format_version != kFormatV3) {
+    return Status::InvalidArgument(
+        "manifest saves require format v2 or v3, got " +
+        std::to_string(options.format_version));
+  }
+
   CatalogManifest m;
   m.generation = next.value();
   m.num_disks = catalog.num_disks();
   m.page_size_bytes = options.page_size_bytes;
+  m.format_version = options.format_version;
 
   // Write accounting for the observability sink; recorded only once the
   // generation actually commits.
@@ -346,7 +372,7 @@ Result<uint64_t> SaveCatalogManifest(const Catalog& catalog, StorageEnv* env,
 
     SaveOptions save;
     save.page_size_bytes = options.page_size_bytes;
-    save.format_version = kFormatV2;
+    save.format_version = options.format_version;
     Result<std::string> data = SerializeGridFile(rel->file(), save);
     if (!data.ok()) return data.status();
 
@@ -503,7 +529,7 @@ Result<Catalog> LoadCatalogFromManifest(const StorageEnv& env,
           "' data file fails its manifest checksum (run fsck)");
     }
     LoadOptions load;
-    load.verify_checksums = options.verify_checksums;
+    load.policy.verify = options.verify_checksums;
     Result<GridFile> file = ParseGridFile(data.value(), load);
     if (!file.ok()) {
       return Status::InvalidArgument("relation '" + rel.name +

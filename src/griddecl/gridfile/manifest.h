@@ -88,6 +88,9 @@ struct CatalogManifest {
   uint64_t generation = 0;
   uint32_t num_disks = 0;
   uint32_t page_size_bytes = kDefaultPageSizeBytes;
+  /// Grid-file page format every relation of this generation was written
+  /// in (manifest version 1, which predates the tag, implies kFormatV2).
+  uint32_t format_version = kLatestFormatVersion;
   /// Relations sorted by name (the order Catalog::RelationNames uses);
   /// index in this vector is the index in file names.
   std::vector<ManifestRelation> relations;
@@ -114,6 +117,10 @@ struct ManifestSaveOptions {
   /// Per-relation overrides, keyed by relation name.
   std::map<std::string, RelationRedundancy> per_relation;
   uint32_t page_size_bytes = kDefaultPageSizeBytes;
+  /// Grid-file page format to write relations in (kFormatV2 or the
+  /// columnar kFormatV3). Recorded in the manifest so loaders and scrub
+  /// know the generation's layout without sniffing page headers.
+  uint32_t format_version = kLatestFormatVersion;
   /// Optional observability sink (non-owning). A committed save records
   /// `manifest.generations_committed`, `manifest.files_written` and
   /// `manifest.bytes_written` (data files, sidecars, manifest and CURRENT

@@ -1,0 +1,169 @@
+#ifndef GRIDDECL_GRIDFILE_PAGE_STORE_H_
+#define GRIDDECL_GRIDFILE_PAGE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "griddecl/common/status.h"
+#include "griddecl/gridfile/buffer_pool.h"
+#include "griddecl/gridfile/read_policy.h"
+#include "griddecl/gridfile/storage.h"
+#include "griddecl/gridfile/storage_env.h"
+#include "griddecl/obs/metrics.h"
+
+/// \file
+/// The one page-read path: `GetPage(file, page, ReadPolicy)` fetches a
+/// page through the scan-resistant `BufferPool`, retries transient env
+/// errors under seeded-jitter backoff, CRC-verifies **once at
+/// admission**, and hands back a `PinnedPage` whose decoded column
+/// vectors are shared by every subsequent reader of the same page.
+///
+/// Before PageStore, the read→verify→decode dance lived three times —
+/// the bulk loader, scrub, and the serve path — each with its own retry
+/// and damage conventions. Now all of them call here and only the
+/// `ReadPolicy` differs:
+///
+///  * serve: `pin=kPool`, `on_damage=kFail` — a damaged page reads as
+///    kUnavailable so mirror failover / parity rebuild engage; cached
+///    pages skip I/O, verification and decode entirely.
+///  * scrub / fsck: `pin=kBypass`, `on_damage=kReport` — every read
+///    touches the real bytes and damage comes back as data, not error.
+///
+/// Interruption (shutdown hard-stop, query deadlines) is injected as a
+/// callable checked before every read attempt and between backoff sleep
+/// slices, so the owner keeps its exact error wording without PageStore
+/// knowing about deadlines.
+
+namespace griddecl {
+
+/// A decoded page held alive by the caller. Copyable; the underlying
+/// frame is immutable and shared with the pool (eviction never
+/// invalidates a pin). In `OnDamage::kReport` mode a damaged page comes
+/// back with `damaged() == true`, the raw bytes as read, and an empty
+/// decode.
+class PinnedPage {
+ public:
+  PinnedPage() = default;
+  /// Wraps a frame obtained out of band (e.g. a parity-reconstructed
+  /// page a caller chose not to pool).
+  explicit PinnedPage(BufferPool::FramePtr frame)
+      : frame_(std::move(frame)) {}
+
+  bool valid() const { return frame_ != nullptr; }
+  /// Columnar view (empty when damaged).
+  const DecodedPage& decoded() const { return frame_->decoded; }
+  /// The page's bytes exactly as fetched (parity XOR, scrub).
+  std::string_view raw() const { return frame_->raw; }
+  bool damaged() const { return damaged_; }
+  const std::string& damage_reason() const { return damage_reason_; }
+
+ private:
+  friend class PageStore;
+  BufferPool::FramePtr frame_;
+  bool damaged_ = false;
+  std::string damage_reason_;
+};
+
+/// Per-call accounting, for callers that charge reads to a query.
+struct PageReadStats {
+  /// Successful physical reads issued to the env (0 on a pool hit).
+  uint64_t physical_reads = 0;
+  /// Transient-error retries performed.
+  uint64_t retries = 0;
+  /// The page came straight from the pool.
+  bool cache_hit = false;
+};
+
+/// Caller-supplied interruption check: non-Ok aborts the read (and any
+/// backoff sleep) with exactly that status.
+using InterruptFn = std::function<Status()>;
+
+class PageStore {
+ public:
+  struct Options {
+    /// Buffer-pool capacity in pages; 0 disables caching entirely
+    /// (every GetPage is a physical read).
+    size_t pool_pages = 1024;
+    /// Seed for retry-backoff jitter (decorrelates concurrent retriers).
+    uint64_t seed = 0;
+  };
+
+  /// `env` must outlive the store.
+  PageStore(const StorageEnv* env, const Options& options);
+
+  PageStore(const PageStore&) = delete;
+  PageStore& operator=(const PageStore&) = delete;
+
+  /// Declares `file`'s layout so GetPage can turn page numbers into byte
+  /// ranges. Re-registering replaces the layout and drops the file's
+  /// cached pages.
+  void RegisterFile(const std::string& file, const FileLayout& layout);
+
+  /// Layout previously registered for `file`; null when unknown.
+  const FileLayout* GetLayout(const std::string& file) const;
+
+  /// Fetches page `page` of `file` per `policy`. Pool hit: returns the
+  /// cached frame, no I/O, no re-verification. Miss: reads the page with
+  /// retries on kUnavailable, verifies (policy.verify), decodes, and —
+  /// policy.pin permitting — admits the frame to the pool. A page that
+  /// fails verification returns kUnavailable ("page N of 'file': why")
+  /// under OnDamage::kFail, or a damaged PinnedPage (never pooled) under
+  /// kSalvage/kReport.
+  Result<PinnedPage> GetPage(const std::string& file, uint64_t page,
+                             const ReadPolicy& policy,
+                             PageReadStats* stats = nullptr,
+                             const InterruptFn& interrupt = {});
+
+  /// Uncached raw range read with the same retry/interrupt machinery
+  /// (parity pages, which have no grid-file layout of their own).
+  Result<std::string> ReadRaw(const std::string& file, uint64_t offset,
+                              uint64_t length, const ReadPolicy& policy,
+                              PageReadStats* stats = nullptr,
+                              const InterruptFn& interrupt = {});
+
+  /// Verifies, decodes and pools a page obtained out of band (parity
+  /// reconstruction), so later readers hit cache instead of rebuilding.
+  /// Fails with the verify/decode status when `page_bytes` is not a
+  /// pristine page.
+  Result<PinnedPage> AdmitReconstructed(const std::string& file,
+                                        uint64_t page,
+                                        std::string page_bytes);
+
+  /// Drops `file`'s cached pages (after scrub rewrote it).
+  void Invalidate(const std::string& file);
+
+  /// Pool counters (zeros when the pool is disabled).
+  BufferPool::Stats PoolStats() const;
+
+  /// Publishes absolute totals into `out` (Reset + Inc, so repeated
+  /// snapshots do not double-count): storage.pool.hits / .misses /
+  /// .admissions / .evictions / .promotions counters plus
+  /// storage.pool.resident and storage.pool.capacity gauges.
+  void PublishMetrics(obs::MetricsRegistry* out) const;
+
+ private:
+  Result<std::string> ReadWithRetries(const std::string& file,
+                                      uint64_t offset, uint64_t length,
+                                      const ReadPolicy& policy,
+                                      PageReadStats* stats,
+                                      const InterruptFn& interrupt) const;
+  Result<PinnedPage> BuildPinned(const std::string& file, uint64_t page,
+                                 const FileLayout& layout,
+                                 std::string page_bytes,
+                                 const ReadPolicy& policy);
+
+  const StorageEnv* env_;
+  const Options options_;
+  std::unique_ptr<BufferPool> pool_;  ///< Null when pool_pages == 0.
+
+  mutable std::mutex layouts_mu_;
+  std::unordered_map<std::string, FileLayout> layouts_;
+};
+
+}  // namespace griddecl
+
+#endif  // GRIDDECL_GRIDFILE_PAGE_STORE_H_

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "griddecl/common/crc32c.h"
+#include "griddecl/gridfile/page_store.h"
 
 namespace griddecl {
 
@@ -27,7 +28,7 @@ Status AtomicWrite(StorageEnv* env, const std::string& name,
 
 /// Scrubs relation `i` of `manifest`. Never fails outright: any problem is
 /// recorded in the returned report.
-RelationScrubReport ScrubRelation(StorageEnv* env,
+RelationScrubReport ScrubRelation(StorageEnv* env, PageStore* store,
                                   const CatalogManifest& manifest, size_t i,
                                   const ScrubOptions& options) {
   const ManifestRelation& rel = manifest.relations[i];
@@ -95,11 +96,18 @@ RelationScrubReport ScrubRelation(StorageEnv* env,
       std::memcpy(fixed.data(), mirrors[donor].data(), layout.header_bytes);
     }
 
-    // Pass 1: verify every page in place; pull damaged ones from mirrors
-    // (each candidate must pass the page's own CRC before acceptance).
+    // Pass 1: damage census through the unified read path. The scrub
+    // policy bypasses the pool, so every probe reads the bytes actually
+    // on disk; kReport makes a CRC failure come back as a damaged
+    // PinnedPage rather than an error, and a hard read failure (the file
+    // is truncated below this page) counts as damage too. Repairs pull
+    // from mirrors, each candidate gated by the page's own CRC.
+    store->RegisterFile(data_name, layout);
     std::vector<char> good(static_cast<size_t>(layout.num_pages), 0);
     for (uint64_t p = 0; p < layout.num_pages; ++p) {
-      if (VerifyFilePage(fixed, layout, p).ok()) {
+      Result<PinnedPage> probe =
+          store->GetPage(data_name, p, options.policy);
+      if (probe.ok() && !probe.value().damaged()) {
         good[static_cast<size_t>(p)] = 1;
         continue;
       }
@@ -161,8 +169,9 @@ RelationScrubReport ScrubRelation(StorageEnv* env,
     }
 
     if (rep.pages_unrepairable == 0) {
-      // Body intact again; the v2 footer is a pure function of it.
-      if (layout.format_version == kFormatV2) {
+      // Body intact again; the checksummed (v2/v3) footer is a pure
+      // function of it.
+      if (layout.format_version != kFormatV1) {
         const std::string footer = BuildFileFooter(
             layout, std::string_view(fixed).substr(0, layout.footer_offset));
         if (std::string_view(fixed).substr(layout.footer_offset) != footer) {
@@ -231,8 +240,13 @@ Result<ScrubReport> ScrubManifest(StorageEnv* env,
   }
   ScrubReport report;
   report.generation = manifest.generation;
+  // Pool disabled: a scrub that served its census from cache would
+  // certify bytes nobody read. Every GetPage is a physical read.
+  PageStore::Options store_options;
+  store_options.pool_pages = 0;
+  PageStore store(env, store_options);
   for (size_t i = 0; i < manifest.relations.size(); ++i) {
-    RelationScrubReport rel = ScrubRelation(env, manifest, i, options);
+    RelationScrubReport rel = ScrubRelation(env, &store, manifest, i, options);
     ++report.relations_scanned;
     report.pages_scanned += rel.num_pages;
     report.pages_repaired += rel.pages_repaired;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "griddecl/gridfile/manifest.h"
+#include "griddecl/gridfile/read_policy.h"
 
 /// \file
 /// Scrub-and-repair: walk a committed catalog, verify every page of every
@@ -38,6 +39,13 @@ struct ScrubOptions {
   /// Write repaired files back to the env. When false, scrub is a dry run:
   /// same detection and reconstruction work, same report, no writes.
   bool repair = true;
+  /// Read behavior for the damage census. The census runs through
+  /// `PageStore` under this policy; the default (`ScrubReadPolicy()`)
+  /// bypasses the pool — every probe reads the real bytes on disk — and
+  /// reports damage as data instead of failing. `policy.retry` governs
+  /// transient env errors during the census. Scrub never pools pages
+  /// regardless of `policy.pin`.
+  ReadPolicy policy = ScrubReadPolicy();
   /// Optional observability sink (non-owning). `ScrubManifest` records
   /// `scrub.pages_scanned`, `scrub.pages_damaged`, repair counts by source
   /// (`scrub.repairs.mirror` / `scrub.repairs.parity` /

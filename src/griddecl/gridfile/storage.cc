@@ -25,12 +25,25 @@ uint32_t PageHeaderBytes(uint32_t version) {
   return version == kFormatV1 ? kPageHeaderBytesV1 : kPageHeaderBytesV2;
 }
 
-/// Records that fit in one page after the per-version page header.
+bool KnownVersion(uint32_t version) {
+  return version == kFormatV1 || version == kFormatV2 ||
+         version == kFormatV3;
+}
+
+/// Bytes of fixed per-page overhead before record data: the page header
+/// plus, for v3, the zone-map block.
+uint32_t PageOverheadBytes(uint32_t version, uint32_t num_attrs) {
+  uint32_t overhead = PageHeaderBytes(version);
+  if (version == kFormatV3) overhead += kZoneMapBytesPerAttr * num_attrs;
+  return overhead;
+}
+
+/// Records that fit in one page after the per-version fixed overhead.
 uint32_t PageCapacity(uint32_t version, uint32_t page_size,
                       uint32_t num_attrs) {
-  const uint32_t header = PageHeaderBytes(version);
-  if (page_size <= header) return 0;
-  return (page_size - header) / RecordBytes(num_attrs);
+  const uint32_t overhead = PageOverheadBytes(version, num_attrs);
+  if (page_size <= overhead) return 0;
+  return (page_size - overhead) / RecordBytes(num_attrs);
 }
 
 /// Full header parse: the layout plus the schema/partitioner material the
@@ -54,8 +67,7 @@ Result<ParsedHeader> ParseHeader(std::string_view bytes) {
       !r.ReadU32(&layout.page_size_bytes) || !r.ReadU32(&k)) {
     return Status::InvalidArgument("truncated header");
   }
-  if (layout.format_version != kFormatV1 &&
-      layout.format_version != kFormatV2) {
+  if (!KnownVersion(layout.format_version)) {
     return Status::InvalidArgument(
         "unsupported version " + std::to_string(layout.format_version));
   }
@@ -102,7 +114,7 @@ Result<ParsedHeader> ParseHeader(std::string_view bytes) {
   if (!r.ReadU64(&layout.num_records)) {
     return Status::InvalidArgument("truncated record count");
   }
-  if (layout.format_version == kFormatV2) {
+  if (layout.format_version != kFormatV1) {
     const size_t crc_end = r.pos();
     uint32_t stored_crc = 0;
     if (!r.ReadU32(&stored_crc)) {
@@ -117,7 +129,7 @@ Result<ParsedHeader> ParseHeader(std::string_view bytes) {
   const uint64_t n = layout.num_records;
   layout.num_pages = n == 0 ? 0 : (n - 1) / layout.page_capacity + 1;
   const uint64_t footer =
-      layout.format_version == kFormatV2 ? kFooterBytesV2 : 0;
+      layout.format_version != kFormatV1 ? kFooterBytesV2 : 0;
   if (layout.num_pages >
       (std::numeric_limits<uint64_t>::max() - layout.header_bytes - footer) /
           layout.page_size_bytes) {
@@ -129,6 +141,37 @@ Result<ParsedHeader> ParseHeader(std::string_view bytes) {
   return h;
 }
 
+/// Core verify over exactly one page's bytes; shared by the whole-file
+/// and single-page entry points.
+Status VerifyPageBytesImpl(std::string_view page_bytes,
+                           const FileLayout& layout, uint64_t page,
+                           bool check_crc) {
+  if (page >= layout.num_pages) {
+    return Status::InvalidArgument("page index out of range");
+  }
+  if (page_bytes.size() != layout.page_size_bytes) {
+    return Status::Internal("short page read");
+  }
+  uint32_t record_count = 0;
+  std::memcpy(&record_count, page_bytes.data(), 4);
+  if (record_count != layout.PageRecords(page)) {
+    return Status::InvalidArgument("bad page record count");
+  }
+  if (layout.format_version != kFormatV1 && check_crc) {
+    uint32_t stored_crc = 0;
+    std::memcpy(&stored_crc, page_bytes.data() + 4, 4);
+    // CRC of the page with the crc field itself zeroed.
+    const char zeros[4] = {0, 0, 0, 0};
+    uint32_t crc = Crc32c(page_bytes.data(), 4);
+    crc = Crc32c(zeros, 4, crc);
+    crc = Crc32c(page_bytes.data() + 8, layout.page_size_bytes - 8, crc);
+    if (stored_crc != crc) {
+      return Status::InvalidArgument("page checksum mismatch");
+    }
+  }
+  return Status::Ok();
+}
+
 Status VerifyPageImpl(std::string_view bytes, const FileLayout& layout,
                       uint64_t page, bool check_crc) {
   if (page >= layout.num_pages) {
@@ -138,29 +181,13 @@ Status VerifyPageImpl(std::string_view bytes, const FileLayout& layout,
   if (off + layout.page_size_bytes > bytes.size()) {
     return Status::InvalidArgument("page truncated");
   }
-  uint32_t record_count = 0;
-  std::memcpy(&record_count, bytes.data() + off, 4);
-  if (record_count != layout.PageRecords(page)) {
-    return Status::InvalidArgument("bad page record count");
-  }
-  if (layout.format_version == kFormatV2 && check_crc) {
-    uint32_t stored_crc = 0;
-    std::memcpy(&stored_crc, bytes.data() + off + 4, 4);
-    // CRC of the page with the crc field itself zeroed.
-    const char zeros[4] = {0, 0, 0, 0};
-    uint32_t crc = Crc32c(bytes.data() + off, 4);
-    crc = Crc32c(zeros, 4, crc);
-    crc = Crc32c(bytes.data() + off + 8, layout.page_size_bytes - 8, crc);
-    if (stored_crc != crc) {
-      return Status::InvalidArgument("page checksum mismatch");
-    }
-  }
-  return Status::Ok();
+  return VerifyPageBytesImpl(bytes.substr(off, layout.page_size_bytes),
+                             layout, page, check_crc);
 }
 
 Status VerifyFooterImpl(std::string_view bytes, const FileLayout& layout,
                         bool check_crc) {
-  if (layout.format_version != kFormatV2) return Status::Ok();
+  if (layout.format_version == kFormatV1) return Status::Ok();
   const uint64_t off = layout.footer_offset;
   if (off + kFooterBytesV2 > bytes.size()) {
     return Status::InvalidArgument("footer truncated");
@@ -204,9 +231,86 @@ Result<FileLayout> ParseFileLayout(std::string_view bytes) {
   return h.value().layout;
 }
 
+uint32_t PageCapacityFor(uint32_t format_version, uint32_t page_size_bytes,
+                         uint32_t num_attrs) {
+  if (!KnownVersion(format_version) || num_attrs == 0) return 0;
+  return PageCapacity(format_version, page_size_bytes, num_attrs);
+}
+
 Status VerifyFilePage(std::string_view bytes, const FileLayout& layout,
                       uint64_t page) {
   return VerifyPageImpl(bytes, layout, page, /*check_crc=*/true);
+}
+
+Status VerifyPageBytes(std::string_view page_bytes, const FileLayout& layout,
+                       uint64_t page) {
+  return VerifyPageBytesImpl(page_bytes, layout, page, /*check_crc=*/true);
+}
+
+bool DecodedPage::MayMatch(const std::vector<double>& lo,
+                           const std::vector<double>& hi) const {
+  if (num_records == 0) return false;
+  for (uint32_t a = 0; a < num_attrs && a < lo.size() && a < hi.size();
+       ++a) {
+    if (zone_max[a] < lo[a] || zone_min[a] > hi[a]) return false;
+  }
+  return true;
+}
+
+Result<DecodedPage> DecodePageBytes(std::string_view page_bytes,
+                                    const FileLayout& layout,
+                                    uint64_t page) {
+  if (page >= layout.num_pages) {
+    return Status::InvalidArgument("page index out of range");
+  }
+  if (page_bytes.size() != layout.page_size_bytes) {
+    return Status::Internal("short page read");
+  }
+  const uint32_t k = layout.num_attrs;
+  DecodedPage out;
+  out.num_records = layout.PageRecords(page);
+  out.num_attrs = k;
+  out.columns.resize(uint64_t{out.num_records} * k);
+  out.zone_min.assign(k, 0.0);
+  out.zone_max.assign(k, 0.0);
+  if (out.num_records == 0) return out;
+
+  if (layout.format_version == kFormatV3) {
+    // Columns are already contiguous on disk; zone maps are stored.
+    const char* zones = page_bytes.data() + kPageHeaderBytesV3;
+    const char* segments = zones + uint64_t{k} * kZoneMapBytesPerAttr;
+    for (uint32_t a = 0; a < k; ++a) {
+      std::memcpy(&out.zone_min[a], zones + uint64_t{a} * 16, 8);
+      std::memcpy(&out.zone_max[a], zones + uint64_t{a} * 16 + 8, 8);
+      std::memcpy(out.columns.data() + uint64_t{a} * out.num_records,
+                  segments + uint64_t{a} * layout.page_capacity * 8,
+                  uint64_t{out.num_records} * 8);
+    }
+    return out;
+  }
+
+  // v1/v2: transpose the row-major records and derive zone maps.
+  const char* rows =
+      page_bytes.data() + PageHeaderBytes(layout.format_version);
+  for (uint32_t a = 0; a < k; ++a) {
+    double* col = out.columns.data() + uint64_t{a} * out.num_records;
+    double lo = 0.0;
+    double hi = 0.0;
+    for (uint32_t r = 0; r < out.num_records; ++r) {
+      double v = 0.0;
+      std::memcpy(&v, rows + (uint64_t{r} * k + a) * 8, 8);
+      col[r] = v;
+      if (r == 0) {
+        lo = hi = v;
+      } else {
+        if (v < lo) lo = v;
+        if (v > hi) hi = v;
+      }
+    }
+    out.zone_min[a] = lo;
+    out.zone_max[a] = hi;
+  }
+  return out;
 }
 
 Status VerifyFileFooter(std::string_view bytes, const FileLayout& layout) {
@@ -227,7 +331,7 @@ std::string BuildFileFooter(const FileLayout& layout, std::string_view body) {
 Result<std::string> SerializeGridFile(const GridFile& file,
                                       const SaveOptions& options) {
   const uint32_t version = options.format_version;
-  if (version != kFormatV1 && version != kFormatV2) {
+  if (!KnownVersion(version)) {
     return Status::InvalidArgument("unsupported format version " +
                                    std::to_string(version));
   }
@@ -257,7 +361,7 @@ Result<std::string> SerializeGridFile(const GridFile& file,
     for (double v : b) AppendF64(&out, v);
   }
   AppendU64(&out, file.num_records());
-  if (version == kFormatV2) AppendU32(&out, Crc32c(out));
+  if (version != kFormatV1) AppendU32(&out, Crc32c(out));
 
   // Pages: records in id order, `capacity` per page, zero-padded. The
   // writer always packs pages full so the layout is deterministic.
@@ -267,19 +371,41 @@ Result<std::string> SerializeGridFile(const GridFile& file,
         static_cast<uint32_t>(std::min<uint64_t>(capacity, n - first));
     const size_t page_start = out.size();
     AppendU32(&out, in_page);
-    if (version == kFormatV2) AppendU32(&out, 0);  // CRC patched below.
-    for (uint32_t r = 0; r < in_page; ++r) {
-      const Record& rec = file.record(first + r);
-      for (double v : rec) AppendF64(&out, v);
+    if (version != kFormatV1) AppendU32(&out, 0);  // CRC patched below.
+    if (version == kFormatV3) {
+      // Zone maps, then column segments at capacity stride.
+      for (uint32_t a = 0; a < k; ++a) {
+        double lo = file.record(first)[a];
+        double hi = lo;
+        for (uint32_t r = 1; r < in_page; ++r) {
+          const double v = file.record(first + r)[a];
+          if (v < lo) lo = v;
+          if (v > hi) hi = v;
+        }
+        AppendF64(&out, lo);
+        AppendF64(&out, hi);
+      }
+      for (uint32_t a = 0; a < k; ++a) {
+        const size_t segment_start = out.size();
+        for (uint32_t r = 0; r < in_page; ++r) {
+          AppendF64(&out, file.record(first + r)[a]);
+        }
+        out.resize(segment_start + uint64_t{capacity} * 8, '\0');
+      }
+    } else {
+      for (uint32_t r = 0; r < in_page; ++r) {
+        const Record& rec = file.record(first + r);
+        for (double v : rec) AppendF64(&out, v);
+      }
     }
     out.resize(page_start + page_size, '\0');
-    if (version == kFormatV2) {
+    if (version != kFormatV1) {
       PatchU32(&out, page_start + 4,
-               Crc32c(out.data() + page_start, page_size));
+               Crc32c(std::string_view(out).substr(page_start, page_size)));
     }
   }
 
-  if (version == kFormatV2) {
+  if (version != kFormatV1) {
     FileLayout layout;
     layout.num_records = n;
     layout.num_pages = n == 0 ? 0 : (n - 1) / capacity + 1;
@@ -318,16 +444,20 @@ Result<GridFile> ParseGridFile(std::string_view bytes,
   Result<ParsedHeader> header = ParseHeader(bytes);
   if (!header.ok()) return header.status();
   const FileLayout& layout = header.value().layout;
+  // Strict unless the policy asks for salvage/report semantics.
+  const bool salvage =
+      options.policy.on_damage != ReadPolicy::OnDamage::kFail;
+  const bool verify = options.policy.verify;
 
   LoadReport local_report;
   LoadReport& rep = report != nullptr ? *report : local_report;
   rep = LoadReport();
   rep.format_version = layout.format_version;
-  rep.checksummed = layout.format_version == kFormatV2;
+  rep.checksummed = layout.format_version != kFormatV1;
   rep.num_pages = layout.num_pages;
 
   if (bytes.size() != layout.expected_file_size) {
-    if (!options.best_effort) {
+    if (!salvage) {
       return Status::InvalidArgument(
           bytes.size() < layout.expected_file_size
               ? "truncated file"
@@ -358,9 +488,9 @@ Result<GridFile> ParseGridFile(std::string_view bytes,
   for (uint64_t page = 0; page < layout.num_pages; ++page) {
     const uint64_t off = layout.PageOffset(page);
     if (off + layout.page_size_bytes > bytes.size()) {
-      // File ends here; in best-effort mode account for the whole missing
+      // File ends here; in salvage mode account for the whole missing
       // tail at once (a lying v1 record count must not drive a huge loop).
-      if (!options.best_effort) return Status::InvalidArgument("truncated file");
+      if (!salvage) return Status::InvalidArgument("truncated file");
       rep.damaged_page_count += layout.num_pages - page;
       if (rep.damaged_pages.size() < kMaxReportedDamage) {
         rep.damaged_pages.push_back({page, "page truncated"});
@@ -369,30 +499,45 @@ Result<GridFile> ParseGridFile(std::string_view bytes,
           layout.num_records - page * uint64_t{layout.page_capacity};
       break;
     }
-    const Status page_status =
-        VerifyPageImpl(bytes, layout, page, options.verify_checksums);
+    const Status page_status = VerifyPageImpl(bytes, layout, page, verify);
     if (!page_status.ok()) {
-      if (!options.best_effort) return page_status;
+      if (!salvage) return page_status;
       report_damage(page, page_status.message().c_str());
       continue;
     }
     const uint32_t in_page = layout.PageRecords(page);
-    const char* rec_bytes = bytes.data() + off + page_header;
-    for (uint32_t r = 0; r < in_page; ++r) {
-      Record rec(k);
-      std::memcpy(rec.data(), rec_bytes + uint64_t{r} * RecordBytes(k),
-                  RecordBytes(k));
-      Result<RecordId> id = file.value().Insert(std::move(rec));
-      if (!id.ok()) return id.status();
-      ++rep.records_loaded;
+    if (layout.format_version == kFormatV3) {
+      // Gather each record across the page's column segments.
+      const char* segments = bytes.data() + off + kPageHeaderBytesV3 +
+                             uint64_t{k} * kZoneMapBytesPerAttr;
+      for (uint32_t r = 0; r < in_page; ++r) {
+        Record rec(k);
+        for (uint32_t a = 0; a < k; ++a) {
+          std::memcpy(
+              &rec[a],
+              segments + (uint64_t{a} * layout.page_capacity + r) * 8, 8);
+        }
+        Result<RecordId> id = file.value().Insert(std::move(rec));
+        if (!id.ok()) return id.status();
+        ++rep.records_loaded;
+      }
+    } else {
+      const char* rec_bytes = bytes.data() + off + page_header;
+      for (uint32_t r = 0; r < in_page; ++r) {
+        Record rec(k);
+        std::memcpy(rec.data(), rec_bytes + uint64_t{r} * RecordBytes(k),
+                    RecordBytes(k));
+        Result<RecordId> id = file.value().Insert(std::move(rec));
+        if (!id.ok()) return id.status();
+        ++rep.records_loaded;
+      }
     }
   }
 
-  if (layout.format_version == kFormatV2) {
-    const Status footer_status =
-        VerifyFooterImpl(bytes, layout, options.verify_checksums);
+  if (layout.format_version != kFormatV1) {
+    const Status footer_status = VerifyFooterImpl(bytes, layout, verify);
     if (!footer_status.ok()) {
-      if (!options.best_effort) return footer_status;
+      if (!salvage) return footer_status;
       rep.footer_ok = false;
     }
   }

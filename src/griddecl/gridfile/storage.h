@@ -9,6 +9,7 @@
 
 #include "griddecl/common/status.h"
 #include "griddecl/gridfile/grid_file.h"
+#include "griddecl/gridfile/read_policy.h"
 #include "griddecl/obs/metrics.h"
 
 /// \file
@@ -23,7 +24,7 @@
 /// (what the storage engine of a parallel database would use on each
 /// disk), so cost models can charge multi-page buckets properly.
 ///
-/// Two format versions (both little-endian):
+/// Three format versions (all little-endian):
 ///
 /// Version 1 (legacy, loaded transparently, written on request):
 ///
@@ -34,7 +35,7 @@
 ///   pages: each page is exactly page_size bytes:
 ///          [u32 record_count][records: num_attrs f64 each][zero padding]
 ///
-/// Version 2 (default; self-verifying):
+/// Version 2 (self-verifying, row-major):
 ///
 ///   header: as v1 with version=2, then [u32 header_crc] — CRC32C of every
 ///           preceding header byte.
@@ -46,10 +47,26 @@
 ///           [u32 file_crc]   — CRC32C of every byte before the footer
 ///           [u32 footer_crc] — CRC32C of the footer bytes before it
 ///
+/// Version 3 (default; self-verifying, column-major with zone maps):
+///
+///   header and footer: identical to v2 (version=3).
+///   pages:  each page is exactly page_size bytes:
+///           [u32 record_count][u32 page_crc]
+///           zone maps, one per attribute: [f64 min][f64 max]
+///           column segments, one per attribute: capacity f64 slots
+///           (first record_count hold that attribute's values in id
+///           order, rest zero), then zero padding.
+///           page_crc as in v2. Segments sit at a fixed stride —
+///           attribute a's values start at byte
+///           8 + 16*num_attrs + a*capacity*8 — so a scan reads each
+///           attribute as a contiguous vector and the per-page min/max
+///           lets range predicates skip whole pages without touching the
+///           columns.
+///
 /// The writer always packs pages full: page i holds exactly
 /// min(capacity, num_records - i * capacity) records, so the byte layout
 /// is a pure function of (schema, boundaries, num_records, page_size) and
-/// both loaders reject partial pages and trailing garbage outright.
+/// all loaders reject partial pages and trailing garbage outright.
 /// Records appear in id order, so reloading preserves ids and (boundaries
 /// being identical) bucket placement.
 
@@ -61,22 +78,33 @@ inline constexpr uint32_t kDefaultPageSizeBytes = 4096;
 /// Supported format versions.
 inline constexpr uint32_t kFormatV1 = 1;
 inline constexpr uint32_t kFormatV2 = 2;
-inline constexpr uint32_t kLatestFormatVersion = kFormatV2;
+inline constexpr uint32_t kFormatV3 = 3;
+inline constexpr uint32_t kLatestFormatVersion = kFormatV3;
 
-/// Page header sizes per version.
+/// Page header sizes per version (v3 shares the v2 header).
 inline constexpr uint32_t kPageHeaderBytesV1 = 4;
 inline constexpr uint32_t kPageHeaderBytesV2 = 8;
+inline constexpr uint32_t kPageHeaderBytesV3 = 8;
 
-/// Size of the v2 footer: magic + num_records + num_pages + 2 CRCs.
+/// Per-attribute zone-map bytes in a v3 page: [f64 min][f64 max].
+inline constexpr uint32_t kZoneMapBytesPerAttr = 16;
+
+/// Size of the v2/v3 footer: magic + num_records + num_pages + 2 CRCs.
 inline constexpr uint64_t kFooterBytesV2 = 4 + 8 + 8 + 4 + 4;
 
 /// Upper bound on page_size accepted by the parsers (defense against
 /// adversarial headers demanding absurd allocations).
 inline constexpr uint32_t kMaxPageSizeBytes = 1u << 26;
 
+/// Records that fit in one page of the given format: the page size minus
+/// the page header (and, for v3, the zone-map block) divided by the
+/// record width. 0 when the page cannot hold a single record.
+uint32_t PageCapacityFor(uint32_t format_version, uint32_t page_size_bytes,
+                         uint32_t num_attrs);
+
 struct SaveOptions {
   uint32_t page_size_bytes = kDefaultPageSizeBytes;
-  /// kFormatV1 or kFormatV2.
+  /// kFormatV1, kFormatV2 or kFormatV3.
   uint32_t format_version = kLatestFormatVersion;
   /// Optional observability sink (non-owning). A successful serialization
   /// records `storage.saves`, `storage.pages_written` and
@@ -136,12 +164,13 @@ struct LoadReport {
 };
 
 struct LoadOptions {
-  /// Verify header/page/footer CRCs of v2 files (v1 has none to verify).
-  bool verify_checksums = true;
-  /// Strict mode (false): any damage rejects the whole file. Best-effort
-  /// mode (true): salvage every verifiable page, report the damage; only
-  /// an unusable header region is fatal.
-  bool best_effort = false;
+  /// How the load reads: `policy.verify` gates CRC checks of v2/v3 files
+  /// (v1 has none to verify); `policy.on_damage` picks strict (kFail:
+  /// any damage rejects the whole file) versus salvage (kSalvage /
+  /// kReport: keep every verifiable page, report the damage; only an
+  /// unusable header region is fatal). `policy.pin` and `policy.retry`
+  /// are ignored here — a bulk load owns its bytes already.
+  ReadPolicy policy;
   /// Optional observability sink (non-owning). A load that reaches the
   /// page scan records `storage.loads`, `storage.pages_read`,
   /// `storage.pages_damaged`, `storage.records_loaded`,
@@ -197,16 +226,52 @@ struct FileLayout {
 Result<FileLayout> ParseFileLayout(std::string_view bytes);
 
 /// Verifies page `page` of `bytes` under `layout`: page in bounds, record
-/// count exactly what the writer lays out, CRC match (v2).
+/// count exactly what the writer lays out, CRC match (v2/v3).
 Status VerifyFilePage(std::string_view bytes, const FileLayout& layout,
                       uint64_t page);
 
-/// Verifies the v2 footer of `bytes` (structure and CRCs).
+/// Verifies one page given only that page's bytes (the unit a resilient
+/// reader fetches with `ReadAt`): exact page size, record count, CRC
+/// match (v2/v3). The single verify path shared by load, scrub and serve.
+Status VerifyPageBytes(std::string_view page_bytes, const FileLayout& layout,
+                       uint64_t page);
+
+/// Verifies the v2/v3 footer of `bytes` (structure and CRCs).
 Status VerifyFileFooter(std::string_view bytes, const FileLayout& layout);
 
-/// Serializes the v2 footer for a file whose pre-footer bytes are `body`
-/// (used by scrub to recompute a damaged footer bit-identically).
+/// Serializes the v2/v3 footer for a file whose pre-footer bytes are
+/// `body` (used by scrub to recompute a damaged footer bit-identically).
 std::string BuildFileFooter(const FileLayout& layout, std::string_view body);
+
+// --- Page decode (the unit the serve scan consumes) -----------------------
+
+/// One page decoded to columnar form: attribute-major value vectors plus
+/// per-attribute min/max. v3 pages memcpy their column segments and read
+/// the stored zone maps; v1/v2 pages are transposed and their zone maps
+/// computed on the fly, so every format answers the same scan interface.
+struct DecodedPage {
+  uint32_t num_records = 0;
+  uint32_t num_attrs = 0;
+  /// Attribute-major: attribute `a`'s values occupy
+  /// [a * num_records, (a + 1) * num_records).
+  std::vector<double> columns;
+  /// Per-attribute minimum/maximum over the page's records.
+  std::vector<double> zone_min;
+  std::vector<double> zone_max;
+
+  const double* column(uint32_t a) const {
+    return columns.data() + uint64_t{a} * num_records;
+  }
+  /// False when the zone maps prove no record can fall inside the closed
+  /// box [lo, hi] — the page-skip test of a range scan.
+  bool MayMatch(const std::vector<double>& lo,
+                const std::vector<double>& hi) const;
+};
+
+/// Decodes one page from its bytes (exactly `layout.page_size_bytes`).
+/// Purely structural — callers verify first if they want CRC protection.
+Result<DecodedPage> DecodePageBytes(std::string_view page_bytes,
+                                    const FileLayout& layout, uint64_t page);
 
 // --------------------------------------------------------------------------
 

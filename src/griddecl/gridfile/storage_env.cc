@@ -67,6 +67,23 @@ Result<std::string> MemEnv::ReadFile(const std::string& name) const {
   return it->second;
 }
 
+Result<std::string> MemEnv::ReadAt(const std::string& name, uint64_t offset,
+                                   uint64_t length) const {
+  const auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Status::NotFound("no file named '" + name + "'");
+  }
+  const std::string& data = it->second;
+  if (offset > data.size() || length > data.size() - offset) {
+    return Status::InvalidArgument(
+        "read of [" + std::to_string(offset) + ", " +
+        std::to_string(offset + length) + ") past end of '" + name + "' (" +
+        std::to_string(data.size()) + " bytes)");
+  }
+  return data.substr(static_cast<size_t>(offset),
+                     static_cast<size_t>(length));
+}
+
 Status MemEnv::WriteFile(const std::string& name, std::string_view data) {
   if (!IsValidEnvFileName(name)) return InvalidName(name);
   files_[name] = std::string(data);

@@ -73,6 +73,11 @@ class StorageEnv {
 class MemEnv : public StorageEnv {
  public:
   Result<std::string> ReadFile(const std::string& name) const override;
+  /// Positioned read without the base class's whole-file copy — MemEnv
+  /// backs the page-serving benchmarks, where a full-file copy per page
+  /// read would dominate every miss path being measured.
+  Result<std::string> ReadAt(const std::string& name, uint64_t offset,
+                             uint64_t length) const override;
   Status WriteFile(const std::string& name, std::string_view data) override;
   Status Rename(const std::string& from, const std::string& to) override;
   Status Remove(const std::string& name) override;

@@ -7,53 +7,17 @@
 #include <tuple>
 #include <utility>
 
-#include "griddecl/common/crc32c.h"
 #include "griddecl/methods/registry.h"
 
 namespace griddecl::serve {
 
+// Page verification and decode live in gridfile/storage.h now
+// (VerifyPageBytes / DecodePageBytes), invoked once at pool admission by
+// the PageStore every read below goes through.
+
 namespace {
 
 constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
-
-uint64_t Mix64(uint64_t x) {
-  x += 0x9E3779B97F4A7C15ull;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-  return x ^ (x >> 31);
-}
-
-uint64_t HashString(uint64_t h, const std::string& s) {
-  for (char c : s) h = Mix64(h ^ static_cast<uint8_t>(c));
-  return h;
-}
-
-/// Verifies standalone page bytes exactly as `VerifyFilePage` verifies
-/// them in situ: record count matches the writer's layout, and (v2) the
-/// page CRC with the crc field zeroed.
-Status VerifyPageBytes(const std::string& page_bytes, const FileLayout& layout,
-                       uint64_t page) {
-  if (page_bytes.size() != layout.page_size_bytes) {
-    return Status::Internal("short page read");
-  }
-  uint32_t record_count = 0;
-  std::memcpy(&record_count, page_bytes.data(), 4);
-  if (record_count != layout.PageRecords(page)) {
-    return Status::InvalidArgument("bad page record count");
-  }
-  if (layout.format_version == kFormatV2) {
-    uint32_t stored_crc = 0;
-    std::memcpy(&stored_crc, page_bytes.data() + 4, 4);
-    const char zeros[4] = {0, 0, 0, 0};
-    uint32_t crc = Crc32c(page_bytes.data(), 4);
-    crc = Crc32c(zeros, 4, crc);
-    crc = Crc32c(page_bytes.data() + 8, layout.page_size_bytes - 8, crc);
-    if (stored_crc != crc) {
-      return Status::InvalidArgument("page checksum mismatch");
-    }
-  }
-  return Status::Ok();
-}
 
 }  // namespace
 
@@ -65,6 +29,10 @@ QueryService::QueryService(const StorageEnv* env, ServeOptions options,
       start_(std::chrono::steady_clock::now()),
       latency_ms_(obs::DefaultLatencyBoundsMs()) {
   breakers_.assign(num_disks_, CircuitBreaker(options_.breaker));
+  PageStore::Options store_options;
+  store_options.pool_pages = options_.pool_pages;
+  store_options.seed = options_.seed;
+  store_ = std::make_unique<PageStore>(env_, store_options);
 }
 
 Result<std::unique_ptr<QueryService>> QueryService::Create(
@@ -85,10 +53,15 @@ Result<std::unique_ptr<QueryService>> QueryService::Create(
     return Status::InvalidArgument("drain_deadline_ms must be >= 0");
   }
   {
-    Status st = ValidateBackoffPolicy(options.retry);
+    Status st = ValidateBackoffPolicy(options.read.retry);
     if (!st.ok()) return st;
     st = ValidateBreakerOptions(options.breaker);
     if (!st.ok()) return st;
+  }
+  if (options.read.on_damage != ReadPolicy::OnDamage::kFail) {
+    return Status::InvalidArgument(
+        "serve requires ReadPolicy::OnDamage::kFail (damage must surface "
+        "as kUnavailable so the degraded paths engage)");
   }
   Result<CatalogManifest> manifest = ReadCurrentManifest(*env);
   if (!manifest.ok()) return manifest.status();
@@ -102,7 +75,14 @@ Result<std::unique_ptr<QueryService>> QueryService::Create(
     Result<Relation> rel = LoadRelation(*env, m, i);
     if (!rel.ok()) return rel.status();
     std::string name = rel.value().name;
-    service->relations_.emplace(std::move(name), std::move(rel).value());
+    const auto emplaced =
+        service->relations_.emplace(std::move(name), std::move(rel).value());
+    // Every copy shares the primary's layout (mirrors are byte-identical);
+    // registering them lets the PageStore serve any copy from the pool.
+    const Relation& r = emplaced.first->second;
+    for (const std::string& file : r.copy_files) {
+      service->store_->RegisterFile(file, r.layout);
+    }
   }
   QueryService* self = service.get();
   for (uint32_t t = 0; t < options.num_threads; ++t) {
@@ -251,6 +231,8 @@ void QueryService::WorkerLoop(uint32_t /*worker_id*/) {
       rerouted_buckets_ += result.rerouted_buckets;
       failover_reads_ += result.failover_reads;
       reconstructed_pages_ += result.reconstructed_pages;
+      pool_hits_ += result.pool_hits;
+      zone_map_skips_ += result.zone_map_skips;
       latency_ms_.Observe(result.total_ms);
     }
     p.promise.set_value(std::move(result));
@@ -392,18 +374,8 @@ QueryResult QueryService::RunQuery(const Pending& p) {
   }
 
   const uint32_t num_attrs = rel.layout.num_attrs;
-  const uint32_t header = rel.layout.format_version == kFormatV2
-                              ? kPageHeaderBytesV2
-                              : kPageHeaderBytesV1;
   std::vector<double> values(num_attrs);
-  const auto matches_predicate = [&] {
-    for (uint32_t i = 0; i < num_attrs; ++i) {
-      if (values[i] < p.request.lo[i] || values[i] > p.request.hi[i]) {
-        return false;
-      }
-    }
-    return true;
-  };
+  std::vector<uint8_t> match_mask;
 
   // --- Execute, disk by disk ----------------------------------------------
   for (const auto& [disk, reads] : by_disk) {
@@ -421,20 +393,41 @@ QueryResult QueryService::RunQuery(const Pending& p) {
     bool direct_ok = true;
     for (const auto& [key, reconstruct] : reads) {
       const auto& [copy, page] = key;
-      Result<std::string> bytes = ReadPageResilient(
+      Result<PinnedPage> pinned = ReadPageResilient(
           rel, copy, page, p.deadline_ms,
           /*try_direct=*/admitted && !reconstruct, &direct_ok, &result);
-      if (!bytes.ok()) {
+      if (!pinned.ok()) {
         if (admitted) RecordDiskOutcome(disk, false);
-        return finish(bytes.status());
+        return finish(pinned.status());
       }
-      // Decode: accept records whose bucket this (disk, copy) serves.
-      const uint32_t in_page = rel.layout.PageRecords(page);
+      const DecodedPage& decoded = pinned.value().decoded();
+      // Zone-map skip: min/max prove no record intersects the predicate
+      // box, so the whole page needs no filtering.
+      if (!decoded.MayMatch(p.request.lo, p.request.hi)) {
+        result.zone_map_skips++;
+        continue;
+      }
+      // Branch-free columnar filter: AND per-attribute range masks over
+      // the column vectors, then resolve bucket assignment only for the
+      // surviving slots (accept records whose bucket this (disk, copy)
+      // serves).
+      const uint32_t in_page = decoded.num_records;
+      match_mask.assign(in_page, 1);
+      for (uint32_t a = 0; a < num_attrs; ++a) {
+        const double lo = p.request.lo[a];
+        const double hi = p.request.hi[a];
+        const double* col = decoded.column(a);
+        uint8_t* mask = match_mask.data();
+        for (uint32_t slot = 0; slot < in_page; ++slot) {
+          mask[slot] &=
+              static_cast<uint8_t>(col[slot] >= lo && col[slot] <= hi);
+        }
+      }
       for (uint32_t slot = 0; slot < in_page; ++slot) {
-        std::memcpy(values.data(),
-                    bytes.value().data() + header +
-                        static_cast<size_t>(slot) * num_attrs * 8,
-                    static_cast<size_t>(num_attrs) * 8);
+        if (!match_mask[slot]) continue;
+        for (uint32_t a = 0; a < num_attrs; ++a) {
+          values[a] = decoded.column(a)[slot];
+        }
         const uint64_t addr =
             grid.Linearize(rel.file->partitioner().BucketOf(values));
         const auto assigned = assignment.find(addr);
@@ -442,7 +435,6 @@ QueryResult QueryService::RunQuery(const Pending& p) {
             assigned->second.disk != disk || assigned->second.copy != copy) {
           continue;
         }
-        if (!matches_predicate()) continue;
         result.matches.push_back(page * rel.layout.page_capacity + slot);
       }
     }
@@ -453,15 +445,27 @@ QueryResult QueryService::RunQuery(const Pending& p) {
   return finish(Status::Ok());
 }
 
-Result<std::string> QueryService::ReadPageResilient(
+InterruptFn QueryService::MakeInterrupt(double deadline_ms) const {
+  return [this, deadline_ms]() -> Status {
+    if (hard_stop_.load()) {
+      return Status::Unavailable("service shutting down");
+    }
+    if (deadline_ms != kNoDeadline && NowMs() > deadline_ms) {
+      return Status::DeadlineExceeded("deadline expired before read");
+    }
+    return Status::Ok();
+  };
+}
+
+Result<PinnedPage> QueryService::ReadPageResilient(
     const Relation& rel, uint32_t assigned_copy, uint64_t page,
     double deadline_ms, bool try_direct, bool* direct_ok,
     QueryResult* result) {
   Status direct_status =
       Status::Unavailable("disk routed around; direct read skipped");
   if (try_direct) {
-    Result<std::string> direct =
-        ReadPageWithRetries(rel, assigned_copy, page, deadline_ms, result);
+    Result<PinnedPage> direct =
+        ReadPagePinned(rel, assigned_copy, page, deadline_ms, result);
     if (direct.ok()) return direct;
     *direct_ok = false;
     if (direct.status().code() != StatusCode::kUnavailable) {
@@ -472,8 +476,8 @@ Result<std::string> QueryService::ReadPageResilient(
   if (rel.redundancy.policy == RelationRedundancy::Policy::kMirror) {
     for (uint32_t copy = 0; copy < rel.copy_files.size(); ++copy) {
       if (copy == assigned_copy) continue;
-      Result<std::string> alt =
-          ReadPageWithRetries(rel, copy, page, deadline_ms, result);
+      Result<PinnedPage> alt =
+          ReadPagePinned(rel, copy, page, deadline_ms, result);
       if (alt.ok()) {
         result->failover_reads++;
         return alt;
@@ -491,55 +495,27 @@ Result<std::string> QueryService::ReadPageResilient(
   return direct_status;
 }
 
-Result<std::string> QueryService::ReadPageWithRetries(const Relation& rel,
-                                                      uint32_t copy,
-                                                      uint64_t page,
-                                                      double deadline_ms,
-                                                      QueryResult* result) {
-  Result<std::string> bytes = ReadRangeWithRetries(
-      rel.copy_files[copy], rel.layout.PageOffset(page),
-      rel.layout.page_size_bytes, deadline_ms, result);
-  if (!bytes.ok()) return bytes.status();
-  Status verify = VerifyPageBytes(bytes.value(), rel.layout, page);
-  if (!verify.ok()) {
-    // Corruption reads as unavailability: the degraded paths repair it.
-    return Status::Unavailable("page " + std::to_string(page) + " of '" +
-                               rel.copy_files[copy] +
-                               "': " + verify.message());
+Result<PinnedPage> QueryService::ReadPagePinned(const Relation& rel,
+                                                uint32_t copy,
+                                                uint64_t page,
+                                                double deadline_ms,
+                                                QueryResult* result) {
+  PageReadStats stats;
+  Result<PinnedPage> pinned =
+      store_->GetPage(rel.copy_files[copy], page, options_.read, &stats,
+                      MakeInterrupt(deadline_ms));
+  result->retries += stats.retries;
+  if (pinned.ok()) {
+    result->pages_read++;
+    if (stats.cache_hit) result->pool_hits++;
   }
-  return bytes;
+  return pinned;
 }
 
-Result<std::string> QueryService::ReadRangeWithRetries(
-    const std::string& file, uint64_t offset, uint64_t length,
-    double deadline_ms, QueryResult* result) {
-  const uint64_t token = Mix64(HashString(Mix64(0x5e7e5e7eull), file) ^ offset);
-  for (uint32_t attempt = 0;; ++attempt) {
-    if (hard_stop_.load()) {
-      return Status::Unavailable("service shutting down");
-    }
-    if (deadline_ms != kNoDeadline && NowMs() > deadline_ms) {
-      return Status::DeadlineExceeded("deadline expired before read");
-    }
-    Result<std::string> bytes = env_->ReadAt(file, offset, length);
-    if (bytes.ok()) {
-      result->pages_read++;
-      return bytes;
-    }
-    if (bytes.status().code() != StatusCode::kUnavailable) {
-      return bytes.status();  // Only transient unavailability retries.
-    }
-    if (attempt + 1 >= options_.retry.max_attempts) return bytes.status();
-    result->retries++;
-    SleepMs(BackoffDelayMs(options_.retry, options_.seed, token, attempt),
-            deadline_ms);
-  }
-}
-
-Result<std::string> QueryService::ReconstructPage(const Relation& rel,
-                                                  uint64_t page,
-                                                  double deadline_ms,
-                                                  QueryResult* result) {
+Result<PinnedPage> QueryService::ReconstructPage(const Relation& rel,
+                                                 uint64_t page,
+                                                 double deadline_ms,
+                                                 QueryResult* result) {
   if (rel.parity_file.empty()) {
     return Status::Unavailable("page " + std::to_string(page) +
                                " unreadable and relation has no parity");
@@ -555,38 +531,43 @@ Result<std::string> QueryService::ReconstructPage(const Relation& rel,
                                std::to_string(page) +
                                " failed: " + st.message());
   };
-  Result<std::string> acc = ReadRangeWithRetries(
+  // Parity pages carry no grid-file layout of their own: raw uncached
+  // read with the same retry/interrupt machinery.
+  PageReadStats parity_stats;
+  Result<std::string> acc = store_->ReadRaw(
       rel.parity_file, stripe * rel.layout.page_size_bytes,
-      rel.layout.page_size_bytes, deadline_ms, result);
+      rel.layout.page_size_bytes, options_.read, &parity_stats,
+      MakeInterrupt(deadline_ms));
+  result->retries += parity_stats.retries;
   if (!acc.ok()) return degrade(acc.status());
+  result->pages_read++;
   std::string rebuilt = std::move(acc).value();
   for (uint64_t sibling = first; sibling < last; ++sibling) {
     if (sibling == page) continue;
-    Result<std::string> bytes = ReadRangeWithRetries(
-        rel.copy_files[0], rel.layout.PageOffset(sibling),
-        rel.layout.page_size_bytes, deadline_ms, result);
+    // Stripe siblings are ordinary data pages: pooled reads, so repeated
+    // reconstructions of a stripe fetch each survivor once.
+    Result<PinnedPage> bytes =
+        ReadPagePinned(rel, 0, sibling, deadline_ms, result);
     if (!bytes.ok()) return degrade(bytes.status());
-    const std::string& src = bytes.value();
+    const std::string_view src = bytes.value().raw();
     for (uint32_t b = 0; b < rel.layout.page_size_bytes; ++b) {
       rebuilt[b] = static_cast<char>(rebuilt[b] ^ src[b]);
     }
   }
+  // Self-check, decode, and pin — without admitting under the data file's
+  // key (see header: breakers must keep observing the real fault). The
+  // verify doubles as the reconstruction's integrity proof.
   Status verify = VerifyPageBytes(rebuilt, rel.layout, page);
   if (!verify.ok()) return degrade(verify);
+  Result<DecodedPage> decoded = DecodePageBytes(rebuilt, rel.layout, page);
+  if (!decoded.ok()) return degrade(decoded.status());
+  auto frame = std::make_shared<BufferPool::Frame>();
+  frame->file = rel.copy_files[0];
+  frame->page = page;
+  frame->raw = std::move(rebuilt);
+  frame->decoded = std::move(decoded).value();
   result->reconstructed_pages++;
-  return rebuilt;
-}
-
-void QueryService::SleepMs(double delay_ms, double deadline_ms) const {
-  if (deadline_ms != kNoDeadline) {
-    delay_ms = std::min(delay_ms, deadline_ms - NowMs());
-  }
-  while (delay_ms > 0.0 && !hard_stop_.load()) {
-    const double slice = std::min(delay_ms, 5.0);
-    std::this_thread::sleep_for(
-        std::chrono::duration<double, std::milli>(slice));
-    delay_ms -= slice;
-  }
+  return PinnedPage(std::move(frame));
 }
 
 bool QueryService::AllowDisk(uint32_t disk) {
@@ -660,6 +641,8 @@ void QueryService::SnapshotMetrics(MetricsRegistry* out) const {
     set_counter("serve.rerouted_buckets", rerouted_buckets_);
     set_counter("serve.failover_reads", failover_reads_);
     set_counter("serve.reconstructed_pages", reconstructed_pages_);
+    set_counter("serve.pool_hits", pool_hits_);
+    set_counter("serve.zone_map_skips", zone_map_skips_);
     obs::Histogram* h =
         out->GetHistogram("serve.latency_ms", latency_ms_.bounds());
     h->Reset();
@@ -671,6 +654,9 @@ void QueryService::SnapshotMetrics(MetricsRegistry* out) const {
   set_counter("serve.breaker.reopened", totals.reopened);
   out->GetGauge("serve.queue.max_depth")
       ->Set(static_cast<double>(max_depth));
+  // Storage-layer pool counters ride along in the same snapshot, so a
+  // `declctl serve --metrics-json` dump shows the whole read path.
+  store_->PublishMetrics(out);
 }
 
 BreakerState QueryService::BreakerStateOf(uint32_t disk) const {

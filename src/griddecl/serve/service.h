@@ -18,6 +18,8 @@
 #include "griddecl/eval/disk_map.h"
 #include "griddecl/gridfile/faulty_env.h"
 #include "griddecl/gridfile/manifest.h"
+#include "griddecl/gridfile/page_store.h"
+#include "griddecl/gridfile/read_policy.h"
 #include "griddecl/gridfile/storage.h"
 #include "griddecl/gridfile/storage_env.h"
 #include "griddecl/methods/replicated.h"
@@ -43,8 +45,14 @@
 ///    retry sleep; an expired query fails with kDeadlineExceeded instead of
 ///    holding a worker.
 ///  * **Retries.** Transient (kUnavailable) page-read errors retry under
-///    the shared seeded-jitter exponential backoff (common/backoff.h);
-///    any other error fails fast.
+///    the shared seeded-jitter exponential backoff (common/backoff.h),
+///    configured by `ServeOptions::read.retry` and executed below the
+///    buffer pool by `PageStore`; any other error fails fast.
+///  * **Buffer pool + columnar scan.** Every page read goes through a
+///    shared `PageStore`: a scan-resistant pool caches decoded pages
+///    (verified once at admission), per-page zone maps skip pages whose
+///    min/max exclude the predicate, and the filter runs as a branch-free
+///    loop over column vectors. `pool_pages = 0` turns caching off.
 ///  * **Circuit breakers.** One breaker per (virtual) disk, fed one
 ///    outcome per (query, disk) batch. An open breaker removes its disk
 ///    from planning: mirrored relations re-route through
@@ -81,8 +89,11 @@
 /// deep enough not to shed, and breakers pinned open once tripped
 /// (`open_ms` huge), per-query *outcomes* (status + matched records) are a
 /// pure function of the schedule — independent of thread count and
-/// interleaving. Retry counts and timings may vary; the chaos soak asserts
-/// outcomes only.
+/// interleaving. Retry counts, pool hit counts and timings may vary (a
+/// page another query already admitted serves from cache); the chaos soak
+/// asserts outcomes only. Caching cannot flip an outcome: only pages that
+/// verified clean are ever admitted, and permanently faulted pages are
+/// never cached under their direct-read key.
 
 namespace griddecl::serve {
 
@@ -95,10 +106,14 @@ struct ServeOptions {
   uint32_t max_queue = 64;
   /// Deadline applied to requests that do not carry one; 0 = none.
   double default_deadline_ms = 0.0;
-  /// Page-read retry policy (transient errors only). `max_attempts` counts
+  /// Page-read policy: verification, damage reaction, and the retry
+  /// schedule (transient errors only). `read.retry.max_attempts` counts
   /// the first try; keep it above a FaultyEnv's max_transient_attempts so
   /// injected transients always eventually succeed.
-  BackoffPolicy retry{0.1, 2.0, 5.0, 1.0, 4};
+  ReadPolicy read = ServeReadPolicy();
+  /// Buffer-pool capacity in pages, shared across relations and copies;
+  /// 0 disables caching (every page read is physical).
+  size_t pool_pages = 1024;
   BreakerOptions breaker;
   /// Budget Shutdown gives queued + in-flight work before hard-failing it.
   double drain_deadline_ms = 2000.0;
@@ -131,6 +146,11 @@ struct QueryResult {
   uint64_t failover_reads = 0;
   /// Pages rebuilt from parity stripes.
   uint64_t reconstructed_pages = 0;
+  /// Pages served straight from the buffer pool (no physical I/O).
+  uint64_t pool_hits = 0;
+  /// Pages whose zone maps excluded the predicate box, skipping the
+  /// record filter entirely.
+  uint64_t zone_map_skips = 0;
   double queue_ms = 0.0;
   double total_ms = 0.0;
 };
@@ -167,9 +187,13 @@ class QueryService {
   /// created, existing ones Reset first, so repeated snapshots do not
   /// double-count). Keys: serve.admitted, serve.shed, serve.completed,
   /// serve.failed, serve.retries, serve.rerouted_buckets,
-  /// serve.failover_reads, serve.reconstructed_pages,
+  /// serve.failover_reads, serve.reconstructed_pages, serve.pool_hits,
+  /// serve.zone_map_skips,
   /// serve.breaker.opened / .half_opened / .closed / .reopened,
-  /// serve.queue.max_depth (gauge), serve.latency_ms (histogram).
+  /// serve.queue.max_depth (gauge), serve.latency_ms (histogram) — plus
+  /// the storage layer's pool counters (storage.pool.hits / .misses /
+  /// .admissions / .evictions / .promotions and the .resident /
+  /// .capacity gauges), so one snapshot carries the whole read path.
   void SnapshotMetrics(MetricsRegistry* out) const;
 
   /// Current state of disk `d`'s breaker (diagnostics / tests).
@@ -223,38 +247,38 @@ class QueryService {
   void WorkerLoop(uint32_t worker_id);
   QueryResult RunQuery(const Pending& p);
 
-  /// One page serving the query: direct read with retries when
-  /// `try_direct`, then the relation's degraded path (mirror failover /
-  /// parity reconstruction). `*direct_ok` is cleared when the direct read
-  /// did not cleanly succeed (feeds the disk's breaker outcome).
-  /// Accounting goes into `result`.
-  Result<std::string> ReadPageResilient(const Relation& rel,
-                                        uint32_t assigned_copy, uint64_t page,
-                                        double deadline_ms, bool try_direct,
-                                        bool* direct_ok, QueryResult* result);
-  /// Page read + verification (record count, CRC) with retries on one
-  /// copy file; verification failure reads as kUnavailable so degraded
-  /// paths engage.
-  Result<std::string> ReadPageWithRetries(const Relation& rel, uint32_t copy,
-                                          uint64_t page, double deadline_ms,
-                                          QueryResult* result);
-  /// Raw range read with seeded-jitter backoff retries on kUnavailable.
-  Result<std::string> ReadRangeWithRetries(const std::string& file,
-                                           uint64_t offset, uint64_t length,
-                                           double deadline_ms,
-                                           QueryResult* result);
+  /// One page serving the query: direct pooled read when `try_direct`,
+  /// then the relation's degraded path (mirror failover / parity
+  /// reconstruction). `*direct_ok` is cleared when the direct read did
+  /// not cleanly succeed (feeds the disk's breaker outcome). Accounting
+  /// goes into `result`.
+  Result<PinnedPage> ReadPageResilient(const Relation& rel,
+                                       uint32_t assigned_copy, uint64_t page,
+                                       double deadline_ms, bool try_direct,
+                                       bool* direct_ok, QueryResult* result);
+  /// One copy file's page through the PageStore (pool lookup, retries,
+  /// verify-at-admission); verification failure reads as kUnavailable so
+  /// degraded paths engage.
+  Result<PinnedPage> ReadPagePinned(const Relation& rel, uint32_t copy,
+                                    uint64_t page, double deadline_ms,
+                                    QueryResult* result);
   /// Rebuilds `page` by XORing its stripe siblings and the parity page.
-  Result<std::string> ReconstructPage(const Relation& rel, uint64_t page,
-                                      double deadline_ms,
-                                      QueryResult* result);
-  /// Interruptible sleep: hard stop and the deadline cut it short.
-  void SleepMs(double delay_ms, double deadline_ms) const;
+  /// The rebuilt page is deliberately NOT admitted to the pool under the
+  /// data file's key: a later direct read must touch the disk again, so
+  /// breakers keep observing the real fault.
+  Result<PinnedPage> ReconstructPage(const Relation& rel, uint64_t page,
+                                     double deadline_ms,
+                                     QueryResult* result);
+  /// Interrupt hook handed to PageStore: hard stop and the query's
+  /// deadline abort reads and backoff sleeps with serve's own statuses.
+  InterruptFn MakeInterrupt(double deadline_ms) const;
 
   bool AllowDisk(uint32_t disk);
   void RecordDiskOutcome(uint32_t disk, bool success);
 
   const StorageEnv* env_;
   ServeOptions options_;
+  std::unique_ptr<PageStore> store_;
   uint32_t num_disks_;
   std::chrono::steady_clock::time_point start_;
   std::unordered_map<std::string, Relation> relations_;
@@ -286,6 +310,8 @@ class QueryService {
   uint64_t rerouted_buckets_ = 0;
   uint64_t failover_reads_ = 0;
   uint64_t reconstructed_pages_ = 0;
+  uint64_t pool_hits_ = 0;
+  uint64_t zone_map_skips_ = 0;
   obs::Histogram latency_ms_;
 
   std::vector<std::thread> workers_;

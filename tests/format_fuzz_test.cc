@@ -138,16 +138,17 @@ void ExpectParseSafe(const std::string& bytes) {
   }
   // Best-effort mode must be equally crash-free on the same input.
   LoadOptions best_effort;
-  best_effort.best_effort = true;
+  best_effort.policy = SalvageReadPolicy();
   LoadReport report;
   (void)ParseGridFile(bytes, best_effort, &report);
 }
 
 TEST(FormatFuzzTest, SystematicHeaderByteSweep) {
-  // Every single-byte mutation over the entire header region, both
-  // formats, several XOR masks: no crash, no sanitizer report, and for v2
-  // (checksummed header) every mutation must be rejected outright.
-  for (uint32_t version : {kFormatV1, kFormatV2}) {
+  // Every single-byte mutation over the entire header region, all three
+  // formats, several XOR masks: no crash, no sanitizer report, and for
+  // the checksummed formats (v2/v3 header CRC) every mutation must be
+  // rejected outright.
+  for (uint32_t version : {kFormatV1, kFormatV2, kFormatV3}) {
     const std::string bytes = SerializeSmallGridFile(version);
     const FileLayout layout = ParseFileLayout(bytes).value();
     for (size_t pos = 0; pos < layout.header_bytes; ++pos) {
@@ -155,9 +156,10 @@ TEST(FormatFuzzTest, SystematicHeaderByteSweep) {
         std::string copy = bytes;
         copy[pos] = static_cast<char>(copy[pos] ^ mask);
         ExpectParseSafe(copy);
-        if (version == kFormatV2) {
+        if (version != kFormatV1) {
           EXPECT_FALSE(ParseGridFile(copy).ok())
-              << "v2 header mutation accepted at byte " << pos;
+              << "v" << version << " header mutation accepted at byte "
+              << pos;
         }
       }
     }
@@ -167,14 +169,14 @@ TEST(FormatFuzzTest, SystematicHeaderByteSweep) {
 TEST(FormatFuzzTest, TruncationAtEveryByteBoundary) {
   // A strict load of any proper prefix must fail cleanly (the only valid
   // size is the exact one), and best-effort must stay crash-free.
-  for (uint32_t version : {kFormatV1, kFormatV2}) {
+  for (uint32_t version : {kFormatV1, kFormatV2, kFormatV3}) {
     const std::string bytes = SerializeSmallGridFile(version);
     for (size_t len = 0; len < bytes.size(); ++len) {
       const std::string prefix = bytes.substr(0, len);
       EXPECT_FALSE(ParseGridFile(prefix).ok())
           << "v" << version << " len=" << len;
       LoadOptions best_effort;
-      best_effort.best_effort = true;
+      best_effort.policy = SalvageReadPolicy();
       (void)ParseGridFile(prefix, best_effort);
     }
   }

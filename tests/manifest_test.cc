@@ -52,7 +52,7 @@ Catalog MakeCatalog(uint32_t num_disks = 8) {
 
 ManifestSaveOptions SmallPages() {
   ManifestSaveOptions options;
-  options.page_size_bytes = 136;  // (136 - 8) / 16 = 8 records per page.
+  options.page_size_bytes = 168;  // v3: (168 - 8 - 32) / 16 = 8 records per page.
   return options;
 }
 

@@ -275,7 +275,7 @@ TEST(ObsEquivalenceTest, StorageBestEffortLoadMirrorsReport) {
   bytes[layout.PageOffset(1) + 20] ^= 0x55;  // damage one page
 
   LoadOptions plain_opts;
-  plain_opts.best_effort = true;
+  plain_opts.policy = SalvageReadPolicy();
   LoadReport plain_report;
   const GridFile plain =
       ParseGridFile(bytes, plain_opts, &plain_report).value();
@@ -315,7 +315,7 @@ MemEnv MakeDamagedMirrorEnv() {
                   .ok());
   MemEnv env;
   ManifestSaveOptions options;
-  options.page_size_bytes = 136;
+  options.page_size_bytes = 168;
   options.default_redundancy.policy = RelationRedundancy::Policy::kMirror;
   options.default_redundancy.copies = 2;
   EXPECT_TRUE(SaveCatalogManifest(catalog, &env, options).ok());

@@ -32,7 +32,7 @@ MemEnv MakeEnv(RelationRedundancy redundancy, uint64_t seed = 50) {
                   .ok());
   MemEnv env;
   ManifestSaveOptions options;
-  options.page_size_bytes = 136;  // 8 records per page -> 15 pages.
+  options.page_size_bytes = 168;  // 8 records per page -> 15 pages.
   options.default_redundancy = redundancy;
   EXPECT_TRUE(SaveCatalogManifest(catalog, &env, options).ok());
   return env;

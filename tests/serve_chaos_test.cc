@@ -50,7 +50,7 @@ void CommitMirrorCatalog(MemEnv* env) {
                                  .value())
           .ok());
   ManifestSaveOptions options;
-  options.page_size_bytes = 136;
+  options.page_size_bytes = 168;
   options.default_redundancy.policy = RelationRedundancy::Policy::kMirror;
   options.default_redundancy.copies = 2;
   ASSERT_TRUE(SaveCatalogManifest(catalog, env, options).ok());
@@ -96,9 +96,9 @@ std::vector<Outcome> RunSoak(MemEnv* env, const FaultyEnvOptions& fault,
   options.max_queue = static_cast<uint32_t>(queries.size());
   // Retries outlast injected transients: transient reads always succeed
   // within the budget, so only permanent faults surface to outcomes.
-  options.retry.max_attempts = fault.max_transient_attempts + 2;
-  options.retry.base_ms = 0.01;
-  options.retry.cap_ms = 0.1;
+  options.read.retry.max_attempts = fault.max_transient_attempts + 2;
+  options.read.retry.base_ms = 0.01;
+  options.read.retry.cap_ms = 0.1;
   // Breakers trip fast and stay open: one deterministic transition per
   // genuinely dead disk, none from interleaving noise.
   options.breaker.min_events = 4;

@@ -18,7 +18,7 @@ namespace serve {
 namespace {
 
 /// 4x4 grid, 8 records per bucket inserted bucket by bucket: with
-/// 136-byte pages (capacity (136 - 8) / 16 = 8) every storage page holds
+/// 168-byte v3 pages (capacity (168 - 8 - 2*16) / 16 = 8) every storage page holds
 /// exactly one bucket — the bucket-clustered layout DiskFaultSchedule
 /// requires.
 GridFile MakeClusteredFile(uint64_t seed) {
@@ -47,7 +47,7 @@ Catalog CommitCatalog(MemEnv* env, RelationRedundancy redundancy,
   EXPECT_TRUE(rel.ok()) << rel.status().ToString();
   EXPECT_TRUE(catalog.AddRelation("dm", std::move(rel).value()).ok());
   ManifestSaveOptions options;
-  options.page_size_bytes = 136;
+  options.page_size_bytes = 168;
   options.default_redundancy = redundancy;
   EXPECT_TRUE(SaveCatalogManifest(catalog, env, options).ok());
   return catalog;
@@ -96,7 +96,7 @@ TEST(QueryServiceTest, CreateValidatesOptionsAndEnv) {
   bad.max_queue = 0;
   EXPECT_FALSE(QueryService::Create(&env, bad).ok());
   bad = {};
-  bad.retry.max_attempts = 0;
+  bad.read.retry.max_attempts = 0;
   EXPECT_FALSE(QueryService::Create(&env, bad).ok());
   bad = {};
   bad.breaker.failure_ratio = 2.0;
@@ -332,7 +332,7 @@ TEST(QueryServiceTest, HalfOpenProbeRecoversARepairedDisk) {
   fault.max_transient_attempts = 1;
   auto faulty = FaultyEnv::Create(&env, fault).value();
   ServeOptions options;
-  options.retry.max_attempts = 1;
+  options.read.retry.max_attempts = 1;
   options.breaker.min_events = 1;
   options.breaker.window = 1;
   options.breaker.failure_ratio = 0.5;
@@ -450,7 +450,7 @@ TEST(DiskFaultScheduleTest, CoversDataAndMirrorRanges) {
     bool has_data = false;
     bool has_mirror = false;
     for (const FaultRange& r : ranges) {
-      EXPECT_EQ(r.length, 136u);
+      EXPECT_EQ(r.length, 168u);
       if (r.file == manifest.DataFileName(0)) has_data = true;
       if (r.file == manifest.MirrorFileName(0, 1)) has_mirror = true;
     }
@@ -480,7 +480,7 @@ TEST(DiskFaultScheduleTest, RejectsNonClusteredLayouts) {
                        DeclusteredFile::Create(std::move(f), "dm", 4).value())
           .ok());
   ManifestSaveOptions options;
-  options.page_size_bytes = 136;
+  options.page_size_bytes = 168;
   ASSERT_TRUE(SaveCatalogManifest(catalog, &env, options).ok());
   EXPECT_EQ(DiskFaultSchedule(env, "dm", 0).status().code(),
             StatusCode::kUnsupported);

@@ -1,5 +1,6 @@
 #include "griddecl/gridfile/storage.h"
 
+#include <algorithm>
 #include <cstring>
 #include <sstream>
 #include <string_view>
@@ -78,11 +79,22 @@ TEST(StorageTest, RoundTripAdaptiveBoundaries) {
 TEST(StorageTest, SmallPagesStillWork) {
   const GridFile original = MakeFile(100, 4);
   std::stringstream buffer;
-  // Page fits exactly one 2-attribute record: 8 (v2 header) + 16 -> 24.
-  ASSERT_TRUE(SaveGridFile(original, buffer, 24).ok());
+  // Page fits exactly one 2-attribute record under the default (v3)
+  // format: 8 (header) + 2*16 (zone maps) + 16 (record) -> 56.
+  ASSERT_TRUE(SaveGridFile(original, buffer, 56).ok());
   const GridFile loaded = LoadGridFile(buffer).value();
   EXPECT_EQ(loaded.num_records(), 100u);
   EXPECT_EQ(loaded.record(99), original.record(99));
+}
+
+TEST(StorageTest, PageCapacityForMath) {
+  // v2: (page - 8) / 8k; v3 additionally reserves 16 bytes of zone map
+  // per attribute. Too-small pages report capacity 0.
+  EXPECT_EQ(PageCapacityFor(kFormatV2, 136, 2), 8u);
+  EXPECT_EQ(PageCapacityFor(kFormatV3, 136, 2), 6u);
+  EXPECT_EQ(PageCapacityFor(kFormatV3, 168, 2), 8u);
+  EXPECT_EQ(PageCapacityFor(kFormatV1, 84, 1), 10u);
+  EXPECT_EQ(PageCapacityFor(kFormatV3, 40, 2), 0u);
 }
 
 TEST(StorageTest, SmallPagesStillWorkV1) {
@@ -195,11 +207,92 @@ TEST(StorageTest, V2DetectsEverySingleBitFlip) {
   // Flip one bit at a stride of offsets across the whole file: the strict
   // checksum-verifying loader must reject every single one.
   const GridFile original = MakeFile(60, 10);
-  const std::string bytes = Serialize(original, 128, kFormatV2);
-  for (size_t pos = 0; pos < bytes.size(); pos += 7) {
-    std::string copy = bytes;
-    copy[pos] = static_cast<char>(copy[pos] ^ 0x10);
-    EXPECT_FALSE(ParseGridFile(copy).ok()) << "offset " << pos;
+  for (uint32_t version : {kFormatV2, kFormatV3}) {
+    const std::string bytes = Serialize(original, 160, version);
+    for (size_t pos = 0; pos < bytes.size(); pos += 7) {
+      std::string copy = bytes;
+      copy[pos] = static_cast<char>(copy[pos] ^ 0x10);
+      EXPECT_FALSE(ParseGridFile(copy).ok())
+          << "version " << version << " offset " << pos;
+    }
+  }
+}
+
+TEST(StorageTest, V3RoundTripPreservesRecords) {
+  const GridFile original = MakeFile(120, 21);
+  const std::string bytes = Serialize(original, 168, kFormatV3);
+  LoadReport report;
+  const GridFile loaded =
+      ParseGridFile(bytes, LoadOptions{}, &report).value();
+  EXPECT_EQ(report.format_version, kFormatV3);
+  EXPECT_TRUE(report.checksummed);
+  EXPECT_TRUE(report.Clean());
+  ASSERT_EQ(loaded.num_records(), original.num_records());
+  for (RecordId id = 0; id < original.num_records(); ++id) {
+    EXPECT_EQ(loaded.record(id), original.record(id));
+    EXPECT_EQ(loaded.BucketOfRecord(id), original.BucketOfRecord(id));
+  }
+}
+
+TEST(StorageTest, V3DecodedPageExposesColumnsAndZoneMaps) {
+  const GridFile original = MakeFile(40, 22);
+  // Capacity (168 - 8 - 32) / 16 = 8 -> 5 pages.
+  const std::string bytes = Serialize(original, 168, kFormatV3);
+  const FileLayout layout = ParseFileLayout(bytes).value();
+  ASSERT_EQ(layout.page_capacity, 8u);
+  ASSERT_EQ(layout.num_pages, 5u);
+  for (uint64_t p = 0; p < layout.num_pages; ++p) {
+    const std::string_view page_bytes =
+        std::string_view(bytes).substr(layout.PageOffset(p),
+                                       layout.page_size_bytes);
+    const DecodedPage page =
+        DecodePageBytes(page_bytes, layout, p).value();
+    ASSERT_EQ(page.num_records, layout.PageRecords(p));
+    ASSERT_EQ(page.num_attrs, 2u);
+    for (uint32_t a = 0; a < 2; ++a) {
+      double lo = page.column(a)[0];
+      double hi = lo;
+      for (uint32_t r = 0; r < page.num_records; ++r) {
+        const RecordId id = p * layout.page_capacity + r;
+        EXPECT_EQ(page.column(a)[r], original.record(id)[a]);
+        lo = std::min(lo, page.column(a)[r]);
+        hi = std::max(hi, page.column(a)[r]);
+      }
+      // Stored zone maps are exactly the per-page column min/max.
+      EXPECT_EQ(page.zone_min[a], lo);
+      EXPECT_EQ(page.zone_max[a], hi);
+    }
+    // MayMatch: a box covering the zone maps intersects; a disjoint box
+    // (above every x) cannot.
+    EXPECT_TRUE(page.MayMatch({page.zone_min[0], page.zone_min[1]},
+                              {page.zone_max[0], page.zone_max[1]}));
+    EXPECT_FALSE(page.MayMatch({page.zone_max[0] + 1.0, -5.0},
+                               {page.zone_max[0] + 2.0, 5.0}));
+  }
+}
+
+TEST(StorageTest, V2DecodedPageComputesZoneMapsInline) {
+  // v1/v2 pages carry no stored zone maps; DecodePageBytes computes them
+  // from the rows so zone-map skipping works on legacy files too.
+  const GridFile original = MakeFile(30, 23);
+  const std::string bytes = Serialize(original, 136, kFormatV2);
+  const FileLayout layout = ParseFileLayout(bytes).value();
+  const std::string_view page0 =
+      std::string_view(bytes).substr(layout.PageOffset(0),
+                                     layout.page_size_bytes);
+  const DecodedPage page = DecodePageBytes(page0, layout, 0).value();
+  ASSERT_EQ(page.num_attrs, 2u);
+  for (uint32_t a = 0; a < 2; ++a) {
+    double lo = page.column(a)[0];
+    double hi = lo;
+    for (uint32_t r = 0; r < page.num_records; ++r) {
+      EXPECT_EQ(page.column(a)[r],
+                original.record(layout.page_capacity * 0 + r)[a]);
+      lo = std::min(lo, page.column(a)[r]);
+      hi = std::max(hi, page.column(a)[r]);
+    }
+    EXPECT_EQ(page.zone_min[a], lo);
+    EXPECT_EQ(page.zone_max[a], hi);
   }
 }
 
@@ -219,7 +312,7 @@ TEST(StorageTest, BestEffortSalvagesUndamagedPages) {
 
   // ...best-effort load salvages the other 19 pages and reports the loss.
   LoadOptions options;
-  options.best_effort = true;
+  options.policy = SalvageReadPolicy();
   LoadReport report;
   const GridFile salvaged = ParseGridFile(copy, options, &report).value();
   EXPECT_FALSE(report.Clean());
@@ -240,7 +333,7 @@ TEST(StorageTest, BestEffortReportsTruncatedTail) {
       bytes.substr(0, layout.PageOffset(layout.num_pages - 2));
   EXPECT_FALSE(ParseGridFile(chopped).ok());
   LoadOptions options;
-  options.best_effort = true;
+  options.policy = SalvageReadPolicy();
   LoadReport report;
   ASSERT_TRUE(ParseGridFile(chopped, options, &report).ok());
   EXPECT_FALSE(report.size_ok);

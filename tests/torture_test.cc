@@ -60,7 +60,7 @@ Catalog MakeCatalogB() {
 
 ManifestSaveOptions TortureSaveOptions() {
   ManifestSaveOptions options;
-  options.page_size_bytes = 136;  // 8 records per page.
+  options.page_size_bytes = 168;  // 8 records per page.
   options.default_redundancy.policy = RelationRedundancy::Policy::kMirror;
   options.default_redundancy.copies = 2;
   options.per_relation["beta"].policy = RelationRedundancy::Policy::kParity;
@@ -74,7 +74,7 @@ ManifestSaveOptions TortureSaveOptions() {
 std::string Fingerprint(const Catalog& catalog) {
   std::string fp = std::to_string(catalog.num_disks());
   SaveOptions save;
-  save.page_size_bytes = 136;
+  save.page_size_bytes = 168;
   for (const std::string& name : catalog.RelationNames()) {
     const DeclusteredFile* rel = catalog.Find(name);
     fp += "|" + name + ":" + rel->method_name() + ":" +
@@ -166,7 +166,7 @@ TEST(TortureTest, EveryPageCorruptionOfProtectedRelationRepairs) {
                     .ok());
     MemEnv base;
     ManifestSaveOptions options;
-    options.page_size_bytes = 136;
+    options.page_size_bytes = 168;
     options.default_redundancy.policy = policy;
     options.default_redundancy.group_pages = 4;
     ASSERT_TRUE(SaveCatalogManifest(catalog, &base, options).ok());
@@ -205,7 +205,7 @@ TEST(TortureTest, EveryPageCorruptionOfUnprotectedRelationIsReported) {
                   .ok());
   MemEnv base;
   ManifestSaveOptions options;
-  options.page_size_bytes = 136;
+  options.page_size_bytes = 168;
   ASSERT_TRUE(SaveCatalogManifest(catalog, &base, options).ok());
   const CatalogManifest m = ReadCurrentManifest(base).value();
   const std::string pristine = base.ReadFile(m.DataFileName(0)).value();

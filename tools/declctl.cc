@@ -51,14 +51,16 @@
 ///
 ///   declctl mkcatalog --dir DIR --grid 8x8 --disks 4 [--methods dm,hcam]
 ///                [--records 256] [--seed 42] [--page-size 4096]
-///                [--redundancy none|mirror|parity] [--copies 2]
-///                [--group-pages 8] [--clustered]
+///                [--format 2|3] [--redundancy none|mirror|parity]
+///                [--copies 2] [--group-pages 8] [--clustered]
 ///       Build a catalog of synthetic relations (one per method, uniform
 ///       random records) and commit it to DIR as a checksummed manifest
 ///       generation, optionally with mirror or parity redundancy.
-///       `--clustered` inserts records bucket by bucket with per-bucket
-///       counts padded to a page-capacity multiple, producing the
-///       bucket-clustered layout `serve --fail-disk` requires.
+///       `--format` picks the page layout (3 = columnar with zone maps,
+///       the default; 2 = the row-major v2 format). `--clustered`
+///       inserts records bucket by bucket with per-bucket counts padded
+///       to a page-capacity multiple, producing the bucket-clustered
+///       layout `serve --fail-disk` requires.
 ///
 ///   declctl fsck --dir DIR [--dry-run]
 ///       Verify every page of every relation in the catalog at DIR
@@ -69,7 +71,7 @@
 ///
 ///   declctl serve --dir DIR --script FILE [--threads 4] [--queue 64]
 ///                [--deadline MS] [--drain MS] [--seed S]
-///                [--transient-prob P] [--fault-seed S]
+///                [--pool-pages N] [--transient-prob P] [--fault-seed S]
 ///                [--max-transient-attempts K] [--latency MS]
 ///                [--fail-disk D --fail-relation NAME]
 ///       Run the resilient query service (serve/service.h) over the
@@ -80,8 +82,11 @@
 ///       faults (exercising retries), `--fail-disk`/`--fail-relation`
 ///       permanently fails one virtual disk of one relation (exercising
 ///       breakers and degraded reads; requires a bucket-clustered
-///       layout). Prints one outcome line per query and a summary; exit
-///       status 0 iff every query succeeded.
+///       layout). `--pool-pages` sizes the scan-resistant buffer pool (0
+///       disables caching). Prints one outcome line per query and a
+///       summary; exit status 0 iff every query succeeded. With
+///       `--metrics-json` the snapshot includes the pool's
+///       `storage.pool.*` hit/miss/eviction counters.
 ///
 /// Commands that drive the evaluator, a simulator, or the storage stack
 /// (eval, compare, throughput, degrade, mkcatalog, fsck) also accept
@@ -609,9 +614,14 @@ int CmdMkCatalog(const Flags& flags) {
   const auto records = flags.GetInt("records", 256);
   const auto seed = flags.GetInt("seed", 42);
   const auto page_size = flags.GetInt("page-size", 4096);
+  const auto format = flags.GetInt("format", kLatestFormatVersion);
   if (!disks.ok() || !records.ok() || !seed.ok() || !page_size.ok() ||
-      disks.value() < 1 || records.value() < 0 || page_size.value() < 1) {
+      !format.ok() || disks.value() < 1 || records.value() < 0 ||
+      page_size.value() < 1) {
     return Fail("bad numeric flag");
+  }
+  if (format.value() != kFormatV2 && format.value() != kFormatV3) {
+    return Fail("--format must be 2 or 3");
   }
   Result<RelationRedundancy> redundancy = RedundancyFromFlags(flags);
   if (!redundancy.ok()) return Fail(redundancy.status().ToString());
@@ -645,9 +655,10 @@ int CmdMkCatalog(const Flags& flags) {
       // Bucket-clustered layout: insert bucket by bucket, padding each
       // bucket's count to a page-capacity multiple so no storage page
       // mixes buckets — the layout `serve --fail-disk` requires.
-      const uint32_t record_bytes = grid.value().num_dims() * 8;
       const uint32_t capacity =
-          (static_cast<uint32_t>(page_size.value()) - 8) / record_bytes;
+          PageCapacityFor(static_cast<uint32_t>(format.value()),
+                          static_cast<uint32_t>(page_size.value()),
+                          grid.value().num_dims());
       if (capacity < 1) return Fail("--page-size too small for --clustered");
       const uint64_t num_buckets = grid.value().num_buckets();
       uint64_t per_bucket =
@@ -695,6 +706,7 @@ int CmdMkCatalog(const Flags& flags) {
   MetricsSink sink(flags);
   ManifestSaveOptions options;
   options.page_size_bytes = static_cast<uint32_t>(page_size.value());
+  options.format_version = static_cast<uint32_t>(format.value());
   options.default_redundancy = redundancy.value();
   options.metrics = sink.registry();
   Result<uint64_t> gen = SaveCatalogManifest(catalog, &env.value(), options);
@@ -723,10 +735,11 @@ int CmdServe(const Flags& flags) {
   const auto max_transient = flags.GetInt("max-transient-attempts", 3);
   const auto latency = flags.GetDouble("latency", 0.0);
   const auto fail_disk = flags.GetInt("fail-disk", -1);
+  const auto pool_pages = flags.GetInt("pool-pages", 1024);
   if (!threads.ok() || !queue.ok() || !deadline.ok() || !drain.ok() ||
       !seed.ok() || !prob.ok() || !fault_seed.ok() || !max_transient.ok() ||
-      !latency.ok() || !fail_disk.ok() || threads.value() < 1 ||
-      queue.value() < 1) {
+      !latency.ok() || !fail_disk.ok() || !pool_pages.ok() ||
+      threads.value() < 1 || queue.value() < 1 || pool_pages.value() < 0) {
     return Fail("bad numeric flag");
   }
   options.num_threads = static_cast<uint32_t>(threads.value());
@@ -734,6 +747,7 @@ int CmdServe(const Flags& flags) {
   options.default_deadline_ms = deadline.value();
   options.drain_deadline_ms = drain.value();
   options.seed = static_cast<uint64_t>(seed.value());
+  options.pool_pages = static_cast<size_t>(pool_pages.value());
 
   std::ifstream script_in(script_path);
   if (!script_in.good()) {
@@ -807,6 +821,12 @@ int CmdServe(const Flags& flags) {
       }
       if (r.reconstructed_pages > 0) {
         std::cout << ", " << r.reconstructed_pages << " reconstructed";
+      }
+      if (r.pool_hits > 0) {
+        std::cout << ", " << r.pool_hits << " pool hits";
+      }
+      if (r.zone_map_skips > 0) {
+        std::cout << ", " << r.zone_map_skips << " pages zone-skipped";
       }
       std::cout << "\n";
     } else {
