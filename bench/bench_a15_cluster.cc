@@ -1,0 +1,341 @@
+/// Ablation A15 (ours): multi-node scatter-gather cluster. The coordinator
+/// fans each range query out as per-node sub-queries and prices the three
+/// cluster mechanisms on top of the single-node service: (a) the healthy
+/// scatter-gather pass, (b) a whole node dead behind 3-way chained mirrors
+/// — every route to the dead node replans onto a replica holder and results
+/// stay complete — and (c) a live re-declustering migration (copy, stage,
+/// verify, atomic cutover). The hedging payoff is measured separately as
+/// timing stats: with one slow node, a kFirstSuccess hedge to the replica
+/// holder must cut the per-query p99 at least 2x.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "griddecl/cluster/cluster.h"
+
+namespace griddecl {
+namespace {
+
+constexpr uint32_t kGridSide = 16;
+constexpr uint32_t kNumDisks = 8;
+constexpr uint32_t kNumNodes = 4;
+constexpr uint32_t kCopies = 3;
+constexpr uint32_t kRecordsPerBucket = 8;
+constexpr int kNumQueries = 400;
+constexpr int kHedgeQueries = 150;
+constexpr uint32_t kDeadNode = 1;
+constexpr uint32_t kSlowNode = 1;
+
+/// Bucket-clustered data: 168-byte v3 pages hold exactly the 8 records
+/// inserted per bucket, so "node n died" maps to whole pages and the
+/// migrator copies bucket-aligned units.
+GridFile MakeClusteredFile(uint64_t seed) {
+  Schema schema = Schema::Create({{"x", 0.0, 1.0}, {"y", 0.0, 1.0}}).value();
+  GridFile f =
+      GridFile::Create(std::move(schema), {kGridSide, kGridSide}).value();
+  const GridSpec grid = f.grid();
+  Rng rng(seed);
+  for (uint64_t b = 0; b < grid.num_buckets(); ++b) {
+    const BucketCoords c = grid.Delinearize(b);
+    for (uint32_t k = 0; k < kRecordsPerBucket; ++k) {
+      const std::vector<double> point = {(c[0] + rng.NextDouble()) / kGridSide,
+                                         (c[1] + rng.NextDouble()) / kGridSide};
+      GRIDDECL_CHECK(f.Insert(point).ok());
+    }
+  }
+  return f;
+}
+
+/// Chained mirrors place copy c of disk d on disk (d + c) % 8. With two
+/// disks per node, copy 1 can land on the owner's own node; copy 2 always
+/// crosses nodes — so 3 copies is the minimum that keeps a whole-node
+/// death complete, and the hedge always has an off-node replica target.
+MemEnv MakeClusterEnv() {
+  Catalog catalog(kNumDisks);
+  GRIDDECL_CHECK(
+      catalog
+          .AddRelation("dm", DeclusteredFile::Create(MakeClusteredFile(1),
+                                                     "dm", kNumDisks)
+                                 .value())
+          .ok());
+  MemEnv env;
+  ManifestSaveOptions options;
+  options.page_size_bytes = 168;
+  options.default_redundancy.policy = RelationRedundancy::Policy::kMirror;
+  options.default_redundancy.copies = kCopies;
+  GRIDDECL_CHECK(SaveCatalogManifest(catalog, &env, options).ok());
+  return env;
+}
+
+std::vector<serve::QueryRequest> MakeWorkload(uint64_t seed, int count) {
+  std::vector<serve::QueryRequest> queries;
+  Rng rng(seed);
+  for (int q = 0; q < count; ++q) {
+    serve::QueryRequest req;
+    req.relation = "dm";
+    req.lo.resize(2);
+    req.hi.resize(2);
+    for (int d = 0; d < 2; ++d) {
+      const double a = rng.NextDouble();
+      const double b = rng.NextDouble();
+      req.lo[d] = std::min(a, b);
+      req.hi[d] = std::max(a, b);
+    }
+    queries.push_back(std::move(req));
+  }
+  return queries;
+}
+
+cluster::ClusterOptions BaseOptions() {
+  cluster::ClusterOptions options;
+  options.num_nodes = kNumNodes;
+  options.node.seed = 42;
+  options.node.max_queue = kNumQueries;
+  options.hedging = false;
+  options.seed = 42;
+  return options;
+}
+
+struct PassStats {
+  uint64_t complete = 0;
+  uint64_t matches = 0;
+};
+
+/// One coordinator thread driving the whole workload; `expect_complete`
+/// asserts the cluster contract the kernel is pricing.
+PassStats RunPass(cluster::Cluster* c,
+                  const std::vector<serve::QueryRequest>& queries,
+                  bool expect_complete) {
+  PassStats stats;
+  for (const serve::QueryRequest& q : queries) {
+    const cluster::ClusterQueryResult r = c->Execute(q);
+    GRIDDECL_CHECK(r.status.ok());
+    GRIDDECL_CHECK(!expect_complete || r.complete);
+    stats.complete += r.complete ? 1 : 0;
+    stats.matches += r.matches.size();
+  }
+  return stats;
+}
+
+/// Sorted per-query wall-clock p-quantile in ms.
+double PercentileMs(std::vector<double> ms, double q) {
+  GRIDDECL_CHECK(!ms.empty());
+  std::sort(ms.begin(), ms.end());
+  const size_t idx = static_cast<size_t>(q * (ms.size() - 1));
+  return ms[idx];
+}
+
+std::vector<double> PerQueryMs(cluster::Cluster* c,
+                               const std::vector<serve::QueryRequest>& queries,
+                               uint64_t* matches) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<double> ms;
+  ms.reserve(queries.size());
+  for (const serve::QueryRequest& q : queries) {
+    const auto t0 = Clock::now();
+    const cluster::ClusterQueryResult r = c->Execute(q);
+    const auto t1 = Clock::now();
+    GRIDDECL_CHECK(r.status.ok() && r.complete);
+    *matches += r.matches.size();
+    ms.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return ms;
+}
+
+int RunBenchJson(bench::BenchJson& json) {
+  const MemEnv env = MakeClusterEnv();
+  const std::vector<serve::QueryRequest> queries =
+      MakeWorkload(17, kNumQueries);
+
+  // Reference answer from one healthy pass; every later pass — degraded,
+  // hedged, post-migration — must reproduce it exactly.
+  auto healthy = cluster::Cluster::Create(env, BaseOptions()).value();
+  const PassStats reference = RunPass(healthy.get(), queries, true);
+  GRIDDECL_CHECK(reference.complete == static_cast<uint64_t>(kNumQueries));
+
+  json.TimeKernel("cluster_healthy", [&] {
+    const PassStats s = RunPass(healthy.get(), queries, true);
+    GRIDDECL_CHECK(s.matches == reference.matches);
+  });
+
+  // One node dead behind 3-way mirrors: every route to it replans onto a
+  // replica holder, so the pass stays complete and byte-identical — only
+  // latency moves.
+  {
+    auto degraded = cluster::Cluster::Create(env, BaseOptions()).value();
+    GRIDDECL_CHECK(degraded->KillNode(kDeadNode).ok());
+    json.TimeKernel("cluster_one_node_dead", [&] {
+      const PassStats s = RunPass(degraded.get(), queries, true);
+      GRIDDECL_CHECK(s.matches == reference.matches);
+    });
+  }
+
+  const double healthy_ms = json.KernelMedianMs("cluster_healthy");
+  const double dead_ms = json.KernelMedianMs("cluster_one_node_dead");
+  if (healthy_ms > 0.0) {
+    json.TimingStat("node_dead_overhead_pct",
+                    100.0 * (dead_ms - healthy_ms) / healthy_ms);
+  }
+
+  // Live re-declustering: each rep copies the whole relation into a new
+  // generation under the next method, double-reads the verify sample and
+  // cuts over atomically. The cluster keeps serving throughout; a rep
+  // that aborted or saw a divergent verify read fails the bench.
+  uint64_t buckets_copied = 0;
+  {
+    auto migrating = cluster::Cluster::Create(env, BaseOptions()).value();
+    json.TimeKernel("cluster_migration", [&] {
+      cluster::MigrationOptions mo;
+      mo.new_method = migrating->generation() % 2 == 1 ? "fx" : "dm";
+      mo.new_num_disks = kNumDisks;
+      const cluster::MigrationReport report =
+          migrating->Migrate(mo).value();
+      GRIDDECL_CHECK(report.committed);
+      GRIDDECL_CHECK(report.verify_mismatches == 0);
+      buckets_copied = report.buckets_copied;
+      const PassStats s = RunPass(migrating.get(), queries, true);
+      GRIDDECL_CHECK(s.matches == reference.matches);
+    });
+  }
+
+  // Hedging payoff, reported as timing stats (sleep-injected latency is
+  // too environment-sensitive for a gated kernel): node 1 serves every
+  // page read 1 ms late; a kFirstSuccess hedge fires to the off-node
+  // replica holder after 0.25 ms. The slow node stops dominating the
+  // tail: per-query p99 must drop at least 2x.
+  {
+    const std::vector<serve::QueryRequest> sample(
+        queries.begin(), queries.begin() + kHedgeQueries);
+    cluster::ClusterOptions slow = BaseOptions();
+    slow.node_latency_ms.assign(kNumNodes, 0.0);
+    slow.node_latency_ms[kSlowNode] = 1.0;
+
+    auto unhedged = cluster::Cluster::Create(env, slow).value();
+    uint64_t unhedged_matches = 0;
+    const std::vector<double> unhedged_ms =
+        PerQueryMs(unhedged.get(), sample, &unhedged_matches);
+
+    slow.hedging = true;
+    slow.hedge_policy = cluster::HedgePolicy::kFirstSuccess;
+    slow.hedge_delay_ms = 0.25;
+    auto hedged = cluster::Cluster::Create(env, slow).value();
+    uint64_t hedged_matches = 0;
+    const std::vector<double> hedged_ms =
+        PerQueryMs(hedged.get(), sample, &hedged_matches);
+    GRIDDECL_CHECK(hedged_matches == unhedged_matches);
+
+    const double p99_unhedged = PercentileMs(unhedged_ms, 0.99);
+    const double p99_hedged = PercentileMs(hedged_ms, 0.99);
+    json.TimingStat("hedge_p99_unhedged_ms", p99_unhedged);
+    json.TimingStat("hedge_p99_hedged_ms", p99_hedged);
+    json.TimingStat("hedge_p50_unhedged_ms", PercentileMs(unhedged_ms, 0.5));
+    json.TimingStat("hedge_p50_hedged_ms", PercentileMs(hedged_ms, 0.5));
+    GRIDDECL_CHECK(p99_hedged > 0.0);
+    const double speedup = p99_unhedged / p99_hedged;
+    json.TimingStat("hedge_p99_speedup", speedup);
+    GRIDDECL_CHECK(speedup >= 2.0);
+  }
+
+  json.Counter("num_queries", kNumQueries);
+  json.Counter("total_matches", static_cast<double>(reference.matches));
+  json.Counter("num_disks", kNumDisks);
+  json.Counter("num_nodes", kNumNodes);
+  json.Counter("mirror_copies", kCopies);
+  json.Counter("grid_buckets", kGridSide * kGridSide);
+  json.Counter("migration_buckets_copied",
+               static_cast<double>(buckets_copied));
+
+  // Registry snapshot from a dedicated deterministic pass: hedging off,
+  // healthy nodes, one coordinator thread — every count is defined by
+  // the workload alone.
+  {
+    auto c = cluster::Cluster::Create(env, BaseOptions()).value();
+    const PassStats s = RunPass(c.get(), queries, true);
+    GRIDDECL_CHECK(s.matches == reference.matches);
+    obs::MetricsRegistry registry;
+    c->SnapshotMetrics(&registry);
+    json.AttachRegistry(registry);
+  }
+  return json.Write();
+}
+
+void PrintExperiment() {
+  const MemEnv env = MakeClusterEnv();
+  const std::vector<serve::QueryRequest> queries =
+      MakeWorkload(17, kNumQueries);
+  auto healthy = cluster::Cluster::Create(env, BaseOptions()).value();
+  const PassStats reference = RunPass(healthy.get(), queries, true);
+
+  Table t({"Scenario", "Queries", "Complete", "Matches"});
+  t.AddRow({"healthy", std::to_string(kNumQueries),
+            std::to_string(reference.complete),
+            std::to_string(reference.matches)});
+  {
+    auto degraded = cluster::Cluster::Create(env, BaseOptions()).value();
+    GRIDDECL_CHECK(degraded->KillNode(kDeadNode).ok());
+    const PassStats s = RunPass(degraded.get(), queries, true);
+    t.AddRow({"node 1 dead (3-way mirrors)", std::to_string(kNumQueries),
+              std::to_string(s.complete), std::to_string(s.matches)});
+  }
+  {
+    auto migrating = cluster::Cluster::Create(env, BaseOptions()).value();
+    cluster::MigrationOptions mo;
+    mo.new_method = "fx";
+    mo.new_num_disks = kNumDisks;
+    const cluster::MigrationReport report = migrating->Migrate(mo).value();
+    GRIDDECL_CHECK(report.committed);
+    const PassStats s = RunPass(migrating.get(), queries, true);
+    t.AddRow({"after live dm->fx migration", std::to_string(kNumQueries),
+              std::to_string(s.complete), std::to_string(s.matches)});
+  }
+  bench::PrintTable(
+      "A15 — cluster scatter-gather: degraded routing and live migration",
+      t);
+}
+
+void BM_ClusterHealthyPass(benchmark::State& state) {
+  const MemEnv env = MakeClusterEnv();
+  const std::vector<serve::QueryRequest> queries =
+      MakeWorkload(17, kNumQueries);
+  auto c = cluster::Cluster::Create(env, BaseOptions()).value();
+  for (auto _ : state) {
+    const PassStats s = RunPass(c.get(), queries, true);
+    benchmark::DoNotOptimize(s.matches);
+  }
+  state.SetItemsProcessed(state.iterations() * kNumQueries);
+}
+BENCHMARK(BM_ClusterHealthyPass)->Unit(benchmark::kMillisecond);
+
+void BM_ClusterDegradedPass(benchmark::State& state) {
+  const MemEnv env = MakeClusterEnv();
+  const std::vector<serve::QueryRequest> queries =
+      MakeWorkload(17, kNumQueries);
+  auto c = cluster::Cluster::Create(env, BaseOptions()).value();
+  GRIDDECL_CHECK(c->KillNode(kDeadNode).ok());
+  for (auto _ : state) {
+    const PassStats s = RunPass(c.get(), queries, true);
+    benchmark::DoNotOptimize(s.matches);
+  }
+  state.SetItemsProcessed(state.iterations() * kNumQueries);
+}
+BENCHMARK(BM_ClusterDegradedPass)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace griddecl
+
+int main(int argc, char** argv) {
+  griddecl::bench::BenchJson json("a15_cluster", &argc, argv);
+  if (json.enabled()) return griddecl::RunBenchJson(json);
+  griddecl::PrintExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

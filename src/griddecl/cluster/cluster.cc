@@ -1,0 +1,738 @@
+#include "griddecl/cluster/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <utility>
+
+#include "griddecl/cluster/migrator.h"
+
+namespace griddecl::cluster {
+
+namespace {
+
+/// SplitMix64 finalizer — the repo's standard deterministic hash (same
+/// construction backoff jitter and fault schedules use).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from a hash of (seed, a, b).
+double HashUnit(uint64_t seed, uint64_t a, uint64_t b) {
+  const uint64_t h = Mix64(seed ^ Mix64(a ^ Mix64(b)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+Result<std::unique_ptr<Cluster>> Cluster::Create(const StorageEnv& seed,
+                                                 ClusterOptions options) {
+  if (options.num_nodes == 0) {
+    return Status::InvalidArgument("cluster needs at least one node");
+  }
+  if (options.quorum_fraction < 0.0 || options.quorum_fraction >= 1.0) {
+    return Status::InvalidArgument("quorum_fraction must be in [0, 1)");
+  }
+  if (options.hedge_factor <= 0.0 || options.hedge_min_ms < 0.0) {
+    return Status::InvalidArgument("hedge parameters out of domain");
+  }
+  if (options.node.generation != 0) {
+    return Status::InvalidArgument(
+        "ClusterOptions::node.generation must be 0; nodes follow the "
+        "cluster's committed generation");
+  }
+  GRIDDECL_RETURN_IF_ERROR(ValidateBreakerOptions(options.node_breaker));
+  for (const NodeFaultWindow& w : options.node_windows) {
+    if (w.node >= options.num_nodes) {
+      return Status::InvalidArgument("node fault window names node " +
+                                     std::to_string(w.node) + " of " +
+                                     std::to_string(options.num_nodes));
+    }
+  }
+
+  auto manifest = ReadCurrentManifest(seed);
+  if (!manifest.ok()) return manifest.status();
+  if (options.num_nodes > manifest.value().num_disks) {
+    return Status::InvalidArgument(
+        "more nodes than virtual disks: " + std::to_string(options.num_nodes) +
+        " > " + std::to_string(manifest.value().num_disks));
+  }
+
+  auto files = seed.ListFiles();
+  if (!files.ok()) return files.status();
+
+  std::unique_ptr<Cluster> cluster(new Cluster());
+  cluster->options_ = std::move(options);
+  const ClusterOptions& opts = cluster->options_;
+  cluster->start_ = std::chrono::steady_clock::now();
+
+  std::vector<std::shared_ptr<serve::QueryService>> services;
+  for (uint32_t n = 0; n < opts.num_nodes; ++n) {
+    auto node = std::make_unique<Node>();
+    for (const std::string& name : files.value()) {
+      auto bytes = seed.ReadFile(name);
+      if (!bytes.ok()) return bytes.status();
+      GRIDDECL_RETURN_IF_ERROR(node->env.WriteFile(name, bytes.value()));
+    }
+    FaultyEnvOptions fo;
+    fo.seed = opts.fault_seed + n;
+    fo.transient_error_prob = opts.node_transient_prob;
+    fo.max_transient_attempts = opts.node_max_transient_attempts;
+    fo.latency_ms =
+        n < opts.node_latency_ms.size() ? opts.node_latency_ms[n] : 0.0;
+    for (const NodeFaultWindow& w : opts.node_windows) {
+      if (w.node != n) continue;
+      fo.permanent.push_back(FaultRange{
+          "", 0, std::numeric_limits<uint64_t>::max(), w.from_ms, w.until_ms});
+    }
+    auto faulty = FaultyEnv::Create(&node->env, std::move(fo));
+    if (!faulty.ok()) return faulty.status();
+    node->faulty = std::move(faulty.value());
+
+    serve::ServeOptions so = opts.node;
+    so.seed += n;  // decorrelate retry jitter across nodes
+    auto service = serve::QueryService::Create(node->faulty.get(), so);
+    if (!service.ok()) return service.status();
+    node->service =
+        std::shared_ptr<serve::QueryService>(std::move(service.value()));
+    services.push_back(node->service);
+    cluster->nodes_.push_back(std::move(node));
+  }
+
+  for (uint32_t n = 0; n < opts.num_nodes; ++n) {
+    cluster->node_breakers_.emplace_back(opts.node_breaker);
+    cluster->node_query_ms_.emplace_back(obs::DefaultLatencyBoundsMs());
+  }
+
+  auto epoch =
+      cluster->BuildEpoch(manifest.value().generation, std::move(services));
+  if (!epoch.ok()) return epoch.status();
+  cluster->epoch_ = std::move(epoch.value());
+  return cluster;
+}
+
+Cluster::~Cluster() = default;
+
+Result<std::shared_ptr<const Cluster::Epoch>> Cluster::BuildEpoch(
+    uint64_t generation,
+    std::vector<std::shared_ptr<serve::QueryService>> services) const {
+  // All node envs hold identical catalog files by construction; node 0's
+  // raw MemEnv (not the faulty wrapper) keeps epoch builds fault-free.
+  const StorageEnv& env = nodes_[0]->env;
+  auto manifest = ReadManifest(env, generation);
+  if (!manifest.ok()) return manifest.status();
+  auto catalog = LoadCatalogFromManifest(env, manifest.value());
+  if (!catalog.ok()) return catalog.status();
+
+  auto routing = std::make_shared<Routing>(std::move(catalog.value()));
+  for (const ManifestRelation& mr : manifest.value().relations) {
+    const DeclusteredFile* df = routing->catalog.Find(mr.name);
+    if (df == nullptr) {
+      return Status::Internal("manifest relation missing from catalog: " +
+                              mr.name);
+    }
+    const uint32_t copies =
+        mr.redundancy.policy == RelationRedundancy::Policy::kMirror
+            ? mr.redundancy.copies
+            : 1;
+    routing->relations.emplace(
+        mr.name, EpochRelation{df, mr.redundancy, DiskMap::Build(df->method()),
+                               copies});
+  }
+
+  auto epoch = std::make_shared<Epoch>();
+  epoch->generation = manifest.value().generation;
+  epoch->num_disks = manifest.value().num_disks;
+  epoch->disk_node.resize(epoch->num_disks);
+  const uint64_t n = nodes_.size();
+  for (uint32_t d = 0; d < epoch->num_disks; ++d) {
+    epoch->disk_node[d] = static_cast<uint32_t>(static_cast<uint64_t>(d) * n /
+                                                epoch->num_disks);
+  }
+  epoch->services = std::move(services);
+  epoch->routing = std::move(routing);
+  return std::shared_ptr<const Epoch>(std::move(epoch));
+}
+
+std::shared_ptr<const Cluster::Epoch> Cluster::CurrentEpoch() const {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  return epoch_;
+}
+
+std::shared_ptr<const Cluster::Epoch> Cluster::StagingEpoch() const {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  return staging_epoch_;
+}
+
+void Cluster::SetStagingEpoch(std::shared_ptr<const Epoch> epoch) {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  staging_epoch_ = std::move(epoch);
+}
+
+void Cluster::AdoptEpoch(std::shared_ptr<const Epoch> epoch) {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    nodes_[n]->service = epoch->services[n];
+  }
+  epoch_ = std::move(epoch);
+  staging_epoch_.reset();
+}
+
+uint32_t Cluster::num_disks() const { return CurrentEpoch()->num_disks; }
+
+uint64_t Cluster::generation() const { return CurrentEpoch()->generation; }
+
+std::vector<std::string> Cluster::RelationNames() const {
+  auto epoch = CurrentEpoch();
+  std::vector<std::string> names;
+  names.reserve(epoch->routing->relations.size());
+  for (const auto& [name, rel] : epoch->routing->relations) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+BreakerState Cluster::NodeBreakerState(uint32_t node) const {
+  GRIDDECL_CHECK(node < node_breakers_.size());
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  return node_breakers_[node].state();
+}
+
+bool Cluster::NodeAlive(uint32_t node) const {
+  return NodeAliveAt(node, virtual_now_ms_.load());
+}
+
+bool Cluster::NodeAliveAt(uint32_t node, double virtual_now) const {
+  if (node >= nodes_.size()) return false;
+  if (nodes_[node]->killed.load()) return false;
+  for (const NodeFaultWindow& w : options_.node_windows) {
+    if (w.node == node && virtual_now >= w.from_ms &&
+        virtual_now < w.until_ms) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Cluster::NodeWouldRefuse(uint32_t node) const {
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  return node_breakers_[node].WouldRefuse(SteadyNowMs());
+}
+
+bool Cluster::NodeAdmit(uint32_t node) {
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  return node_breakers_[node].AllowRequest(SteadyNowMs());
+}
+
+void Cluster::RecordNodeOutcome(uint32_t node, bool success) {
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  if (success) {
+    node_breakers_[node].RecordSuccess(SteadyNowMs());
+  } else {
+    node_breakers_[node].RecordFailure(SteadyNowMs());
+  }
+}
+
+void Cluster::ObserveNodeLatency(uint32_t node, double ms) {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  node_query_ms_[node].Observe(ms);
+}
+
+double Cluster::HedgeDelayMs(uint32_t node, uint64_t seq) const {
+  if (!options_.hedging) return kInf;
+  double base = options_.hedge_delay_ms;
+  if (base < 0.0) {
+    double p95 = 0.0;
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      const obs::Histogram& h = node_query_ms_[node];
+      if (h.count() >= 8) p95 = h.Percentile(95);
+    }
+    base = std::max(options_.hedge_min_ms, p95 * options_.hedge_factor);
+  }
+  // Up to 25% seeded jitter decorrelates hedges across concurrent queries.
+  return base * (1.0 + 0.25 * HashUnit(options_.seed, node, seq));
+}
+
+double Cluster::SteadyNowMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+void Cluster::AdvanceTimeMs(double now_ms) {
+  virtual_now_ms_.store(now_ms);
+  for (const auto& node : nodes_) {
+    node->faulty->SetNowMs(now_ms);
+  }
+}
+
+Status Cluster::KillNode(uint32_t node) {
+  if (node >= nodes_.size()) {
+    return Status::InvalidArgument("no node " + std::to_string(node));
+  }
+  nodes_[node]->killed.store(true);
+  return Status::Ok();
+}
+
+Status Cluster::ReviveNode(uint32_t node) {
+  if (node >= nodes_.size()) {
+    return Status::InvalidArgument("no node " + std::to_string(node));
+  }
+  Node& nd = *nodes_[node];
+  auto epoch = CurrentEpoch();
+  if (nd.service == nullptr || nd.service->generation() != epoch->generation) {
+    // The cluster committed a newer generation while the node was down:
+    // reload the node's service at CURRENT before readmitting it.
+    serve::ServeOptions so = options_.node;
+    so.seed += node;
+    auto service = serve::QueryService::Create(nd.faulty.get(), so);
+    if (!service.ok()) return service.status();
+    nd.service =
+        std::shared_ptr<serve::QueryService>(std::move(service.value()));
+    auto fresh = std::make_shared<Epoch>(*epoch);
+    fresh->services[node] = nd.service;
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    epoch_ = std::move(fresh);
+  }
+  nd.killed.store(false);
+  return Status::Ok();
+}
+
+ClusterQueryResult Cluster::Execute(const serve::QueryRequest& request) {
+  const double t0 = SteadyNowMs();
+  auto epoch = CurrentEpoch();
+  ClusterQueryResult result =
+      ExecuteOnEpoch(*epoch, request, /*allow_hedge=*/options_.hedging);
+
+  // Live double-read while a migration's staging epoch is installed: run
+  // every complete query against the new layout too and compare bytes. A
+  // mismatch is divergence — flagged here, acted on by the migrator.
+  auto staging = StagingEpoch();
+  if (staging != nullptr && result.status.ok() && result.complete) {
+    ClusterQueryResult shadow =
+        ExecuteOnEpoch(*staging, request, /*allow_hedge=*/false);
+    bool mismatch = false;
+    if (shadow.status.ok() && shadow.complete &&
+        shadow.matches != result.matches) {
+      mismatch = true;
+      divergence_.store(true);
+    }
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    ++verify_reads_;
+    if (mismatch) ++verify_mismatches_;
+  }
+
+  result.total_ms = SteadyNowMs() - t0;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    ++queries_;
+    if (!result.status.ok()) {
+      ++failed_;
+    } else if (result.complete) {
+      ++complete_;
+    } else {
+      ++partial_;
+    }
+    sub_queries_ += result.sub_queries;
+    hedges_fired_ += result.hedges_fired;
+    hedge_wins_ += result.hedge_wins;
+    hedges_cancelled_ += result.hedges_cancelled;
+    rerouted_subqueries_ += result.rerouted_subqueries;
+    unavailable_buckets_ += result.unavailable_buckets;
+    query_ms_.Observe(result.total_ms);
+  }
+  return result;
+}
+
+ClusterQueryResult Cluster::ExecuteOnEpoch(const Epoch& epoch,
+                                           const serve::QueryRequest& request,
+                                           bool allow_hedge) {
+  ClusterQueryResult result;
+  result.generation = epoch.generation;
+  const double vnow = virtual_now_ms_.load();
+
+  // Quorum gate: with a majority (per quorum_fraction) of nodes down, a
+  // "partial" result would be mostly holes — refuse loudly instead.
+  uint32_t alive = 0;
+  for (uint32_t n = 0; n < nodes_.size(); ++n) {
+    if (NodeAliveAt(n, vnow)) ++alive;
+  }
+  const uint32_t needed =
+      static_cast<uint32_t>(
+          std::floor(nodes_.size() * options_.quorum_fraction)) +
+      1;
+  if (alive < needed) {
+    result.status = Status::Unavailable(
+        "quorum lost: " + std::to_string(alive) + " of " +
+        std::to_string(nodes_.size()) + " nodes alive, need " +
+        std::to_string(needed));
+    result.complete = false;
+    result.availability = 0.0;
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    ++quorum_rejections_;
+    return result;
+  }
+
+  auto it = epoch.routing->relations.find(request.relation);
+  if (it == epoch.routing->relations.end()) {
+    result.status = Status::NotFound("no relation " + request.relation);
+    result.complete = false;
+    return result;
+  }
+  const EpochRelation& rel = it->second;
+
+  auto rq = rel.df->file().ResolveRange(request.lo, request.hi);
+  if (!rq.ok()) {
+    result.status = rq.status();
+    result.complete = false;
+    return result;
+  }
+  result.buckets_touched = rq.value().NumBuckets();
+
+  std::vector<uint64_t> counts;
+  rel.disk_map.CountsForRect(rq.value().rect(), counts);
+  const uint32_t num_disks = epoch.num_disks;
+
+  // Plan: one route per (node, copy). A disk whose owner is dead or
+  // breaker-refused reroutes to the first alive replica-holding node
+  // (mirror relations); plain and parity relations lose those buckets —
+  // parity repairs a disk *within* a node, not a whole node.
+  std::map<std::pair<uint32_t, uint32_t>, Route> routes;
+  for (uint32_t d = 0; d < num_disks; ++d) {
+    if (counts[d] == 0) continue;
+    const uint32_t owner = epoch.disk_node[d];
+    uint32_t target_node = owner;
+    uint32_t target_copy = 0;
+    bool placed = NodeAliveAt(owner, vnow) && !NodeWouldRefuse(owner);
+    if (!placed) {
+      for (uint32_t c = 1; c < rel.copies && !placed; ++c) {
+        const uint32_t rn = epoch.disk_node[(d + c) % num_disks];
+        if (rn != owner && NodeAliveAt(rn, vnow) && !NodeWouldRefuse(rn)) {
+          target_node = rn;
+          target_copy = c;
+          placed = true;
+        }
+      }
+    }
+    if (!placed) {
+      result.unavailable_buckets += counts[d];
+      result.winners.push_back('u');
+      continue;
+    }
+    Route& r = routes[{target_node, target_copy}];
+    r.node = target_node;
+    r.copy = target_copy;
+    r.disks.push_back(d);
+    r.buckets += counts[d];
+    r.rerouted = r.rerouted || target_copy != 0;
+  }
+
+  // Scatter everything up front so nodes work in parallel; routes whose
+  // breaker admission or submit fails fall to the failover path below.
+  struct InFlight {
+    const Route* route = nullptr;
+    std::future<serve::QueryResult> future;
+    bool submitted = false;
+  };
+  auto make_sub = [&](const Route& route,
+                      uint32_t copy) -> serve::QueryRequest {
+    serve::QueryRequest sub;
+    sub.relation = request.relation;
+    sub.lo = request.lo;
+    sub.hi = request.hi;
+    sub.deadline_ms = request.deadline_ms;
+    sub.disks = route.disks;
+    sub.serve_copy = copy;
+    sub.expected_generation = epoch.generation;
+    return sub;
+  };
+  std::vector<InFlight> flights;
+  flights.reserve(routes.size());
+  for (const auto& [key, route] : routes) {
+    InFlight fl;
+    fl.route = &route;
+    if (NodeAdmit(route.node)) {
+      auto submitted =
+          epoch.services[route.node]->Submit(make_sub(route, route.copy));
+      if (submitted.ok()) {
+        fl.future = std::move(submitted.value());
+        fl.submitted = true;
+        ++result.sub_queries;
+      }
+    }
+    if (route.rerouted) ++result.rerouted_subqueries;
+    flights.push_back(std::move(fl));
+  }
+
+  // Gather in deterministic route order.
+  const uint64_t seq = query_seq_.fetch_add(1);
+  for (InFlight& fl : flights) {
+    const Route& route = *fl.route;
+    auto resubmit = [&](uint32_t node, uint32_t copy)
+        -> Result<std::future<serve::QueryResult>> {
+      if (!NodeAdmit(node)) {
+        return Status::Unavailable("node breaker open");
+      }
+      auto f = epoch.services[node]->Submit(make_sub(route, copy));
+      if (f.ok()) ++result.sub_queries;
+      return f;
+    };
+    auto take = [&](const serve::QueryResult& r) {
+      result.matches.insert(result.matches.end(), r.matches.begin(),
+                            r.matches.end());
+    };
+    // The deterministic first-replica target: the node holding the next
+    // alive copy of the route's first disk. Hedge and first failover both
+    // go here, so "served by the first replica" has one winner letter
+    // ('h') whether the attempt launched before or after the primary
+    // failed — that keeps winners schedule-deterministic under
+    // kPrimaryPreferred.
+    uint32_t alt_node = route.node;
+    uint32_t alt_copy = 0;
+    if (rel.copies > 1 && !route.disks.empty()) {
+      const uint32_t d0 = route.disks.front();
+      for (uint32_t c = 1; c < rel.copies; ++c) {
+        const uint32_t rn = epoch.disk_node[(d0 + c) % num_disks];
+        if (rn != route.node && NodeAliveAt(rn, vnow) &&
+            !NodeWouldRefuse(rn)) {
+          alt_node = rn;
+          alt_copy = c;
+          break;
+        }
+      }
+    }
+    const bool have_alt = alt_copy != 0;
+
+    bool route_served = false;
+    bool primary_failed_observed = false;
+    std::future<serve::QueryResult> hedge;
+    bool hedge_fired = false;
+    bool hedge_failed_observed = false;
+
+    if (fl.submitted) {
+      const double delay = allow_hedge && route.copy == 0 && have_alt
+                               ? HedgeDelayMs(route.node, seq)
+                               : kInf;
+      if (std::isfinite(delay)) {
+        const auto wait = std::chrono::duration<double, std::milli>(delay);
+        if (fl.future.wait_for(wait) != std::future_status::ready) {
+          auto h = resubmit(alt_node, alt_copy);
+          if (h.ok()) {
+            hedge = std::move(h.value());
+            hedge_fired = true;
+            ++result.hedges_fired;
+          }
+        }
+      }
+      if (options_.hedge_policy == HedgePolicy::kFirstSuccess && hedge_fired) {
+        // Race primary vs hedge; the first success wins and the loser's
+        // future is dropped unread (cooperative cancel: never merged,
+        // never fed to the breakers).
+        bool primary_done = false;
+        bool hedge_done = false;
+        serve::QueryResult pr;
+        serve::QueryResult hr;
+        const auto slice = std::chrono::microseconds(50);
+        while (!route_served && !(primary_done && hedge_done)) {
+          if (!primary_done &&
+              fl.future.wait_for(slice) == std::future_status::ready) {
+            pr = fl.future.get();
+            primary_done = true;
+            RecordNodeOutcome(route.node, pr.status.ok());
+            ObserveNodeLatency(route.node, pr.total_ms);
+            if (pr.status.ok()) {
+              take(pr);
+              result.winners.push_back('p');
+              if (!hedge_done) ++result.hedges_cancelled;
+              route_served = true;
+              break;
+            }
+            primary_failed_observed = true;
+          }
+          if (!hedge_done && hedge.wait_for(std::chrono::seconds(0)) ==
+                                 std::future_status::ready) {
+            hedge_done = true;
+            hr = hedge.get();
+            RecordNodeOutcome(alt_node, hr.status.ok());
+            ObserveNodeLatency(alt_node, hr.total_ms);
+            if (hr.status.ok()) {
+              take(hr);
+              ++result.hedge_wins;
+              result.winners.push_back('h');
+              route_served = true;
+              break;
+            }
+            hedge_failed_observed = true;
+          }
+          if (primary_done && !hedge_done) {
+            // Primary failed and only the hedge remains: block on it.
+            hr = hedge.get();
+            hedge_done = true;
+            RecordNodeOutcome(alt_node, hr.status.ok());
+            ObserveNodeLatency(alt_node, hr.total_ms);
+            if (hr.status.ok()) {
+              take(hr);
+              ++result.hedge_wins;
+              result.winners.push_back('h');
+              route_served = true;
+            } else {
+              hedge_failed_observed = true;
+            }
+          }
+        }
+      } else {
+        // kPrimaryPreferred (or no hedge in flight): the primary's result
+        // is authoritative whenever it succeeds, so winner selection is a
+        // pure function of the fault schedule.
+        serve::QueryResult pr = fl.future.get();
+        RecordNodeOutcome(route.node, pr.status.ok());
+        ObserveNodeLatency(route.node, pr.total_ms);
+        if (pr.status.ok()) {
+          if (hedge_fired) ++result.hedges_cancelled;
+          take(pr);
+          result.winners.push_back('p');
+          route_served = true;
+        } else {
+          primary_failed_observed = true;
+          if (hedge_fired) {
+            serve::QueryResult hr = hedge.get();
+            RecordNodeOutcome(alt_node, hr.status.ok());
+            ObserveNodeLatency(alt_node, hr.total_ms);
+            if (hr.status.ok()) {
+              take(hr);
+              ++result.hedge_wins;
+              result.winners.push_back('h');
+              route_served = true;
+            } else {
+              hedge_failed_observed = true;
+            }
+          }
+        }
+      }
+    }
+    (void)primary_failed_observed;
+    if (route_served) continue;
+
+    // Failover: the primary (and any hedge) failed or was never
+    // submitted. Try the deterministic first replica unless it already
+    // failed as the hedge, then the remaining copies in order.
+    for (uint32_t c = 1; c < rel.copies && !route_served; ++c) {
+      if (route.disks.empty()) break;
+      if (hedge_failed_observed && c == alt_copy) continue;
+      const uint32_t rn =
+          epoch.disk_node[(route.disks.front() + c) % num_disks];
+      if (rn == route.node || !NodeAliveAt(rn, vnow)) continue;
+      auto f = resubmit(rn, c);
+      if (!f.ok()) continue;
+      serve::QueryResult fr = f.value().get();
+      RecordNodeOutcome(rn, fr.status.ok());
+      ObserveNodeLatency(rn, fr.total_ms);
+      if (fr.status.ok()) {
+        take(fr);
+        ++result.rerouted_subqueries;
+        result.winners.push_back(c == alt_copy ? 'h' : 'r');
+        route_served = true;
+      }
+    }
+    if (!route_served) {
+      result.unavailable_buckets += route.buckets;
+      result.winners.push_back('u');
+    }
+  }
+
+  // Merge: sub-queries cover disjoint primary-disk sets, so their match
+  // sets are disjoint; one sort restores global record-id order.
+  std::sort(result.matches.begin(), result.matches.end());
+
+  if (result.buckets_touched > 0) {
+    result.availability =
+        1.0 - static_cast<double>(result.unavailable_buckets) /
+                  static_cast<double>(result.buckets_touched);
+  }
+  result.complete = result.unavailable_buckets == 0;
+  if (!result.complete &&
+      result.unavailable_buckets == result.buckets_touched &&
+      result.buckets_touched > 0) {
+    result.status = Status::Unavailable("no live route to any touched bucket");
+    result.matches.clear();
+    result.availability = 0.0;
+  } else {
+    result.status = Status::Ok();
+  }
+  return result;
+}
+
+Result<MigrationReport> Cluster::Migrate(const MigrationOptions& options) {
+  bool expected = false;
+  if (!migrating_.compare_exchange_strong(expected, true)) {
+    return Status::FailedPrecondition("a migration is already running");
+  }
+  abort_migration_.store(false);
+  divergence_.store(false);
+  Migrator migrator(this);
+  auto report = migrator.Run(options);
+  SetStagingEpoch(nullptr);
+  migrating_.store(false);
+  if (report.ok()) {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    if (report.value().committed) {
+      ++migrations_committed_;
+    } else {
+      ++migrations_aborted_;
+    }
+    migration_buckets_copied_ += report.value().buckets_copied;
+  }
+  return report;
+}
+
+void Cluster::SnapshotMetrics(obs::MetricsRegistry* out) const {
+  if (out == nullptr) return;
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  const auto set = [out](const char* name, uint64_t v) {
+    obs::Counter* c = out->GetCounter(name);
+    c->Reset();
+    c->Inc(v);
+  };
+  set("cluster.queries", queries_);
+  set("cluster.complete", complete_);
+  set("cluster.partial", partial_);
+  set("cluster.failed", failed_);
+  set("cluster.sub_queries", sub_queries_);
+  set("cluster.hedges_fired", hedges_fired_);
+  set("cluster.hedge_wins", hedge_wins_);
+  set("cluster.hedges_cancelled", hedges_cancelled_);
+  set("cluster.rerouted_subqueries", rerouted_subqueries_);
+  set("cluster.unavailable_buckets", unavailable_buckets_);
+  set("cluster.quorum_rejections", quorum_rejections_);
+  set("cluster.verify_reads", verify_reads_);
+  set("cluster.verify_mismatches", verify_mismatches_);
+  set("cluster.migrations_committed", migrations_committed_);
+  set("cluster.migrations_aborted", migrations_aborted_);
+  set("cluster.migration_buckets_copied", migration_buckets_copied_);
+  obs::Histogram* h = out->GetHistogram("cluster.query_ms", query_ms_.bounds());
+  h->Reset();
+  h->Merge(query_ms_);
+
+  BreakerCounters totals;
+  {
+    std::lock_guard<std::mutex> block(breaker_mu_);
+    for (const auto& b : node_breakers_) {
+      totals.opened += b.counters().opened;
+      totals.half_opened += b.counters().half_opened;
+      totals.closed += b.counters().closed;
+      totals.reopened += b.counters().reopened;
+    }
+  }
+  set("cluster.node_breaker.opened", totals.opened);
+  set("cluster.node_breaker.half_opened", totals.half_opened);
+  set("cluster.node_breaker.closed", totals.closed);
+  set("cluster.node_breaker.reopened", totals.reopened);
+}
+
+}  // namespace griddecl::cluster

@@ -1,0 +1,387 @@
+#ifndef GRIDDECL_CLUSTER_CLUSTER_H_
+#define GRIDDECL_CLUSTER_CLUSTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "griddecl/common/status.h"
+#include "griddecl/eval/disk_map.h"
+#include "griddecl/gridfile/catalog.h"
+#include "griddecl/gridfile/faulty_env.h"
+#include "griddecl/gridfile/manifest.h"
+#include "griddecl/gridfile/storage_env.h"
+#include "griddecl/obs/metrics.h"
+#include "griddecl/serve/circuit_breaker.h"
+#include "griddecl/serve/service.h"
+#include "griddecl/sim/faults.h"
+
+/// \file
+/// Multi-node scatter-gather over the single-node query service.
+///
+/// A `Cluster` simulates N nodes. Each node owns a contiguous slice of the
+/// catalog's M virtual disks (node k owns [k*M/N, (k+1)*M/N)), a private
+/// `MemEnv` materialization of the committed catalog, a `FaultyEnv` that
+/// can crash the whole node on a seeded schedule (`NodeFaultWindow` ->
+/// wildcard fault ranges, sim/faults.h), and a `serve::QueryService` over
+/// that env. Ownership is a *routing* convention: every node's env holds
+/// every file, so re-owning a disk never moves bytes — exactly the virtual
+/// fault-domain model serve already uses, lifted one level.
+///
+/// The coordinator (`Execute`, caller-thread, concurrency-safe) plans one
+/// sub-query per (node, copy) from the relation's `DiskMap`, scatters them
+/// tagged with the routing epoch's catalog generation (the fence), and
+/// gathers:
+///
+///  * **Quorum-aware degraded routing.** A sub-query for a dead or
+///    breaker-refused node reroutes to the replica-holding node of each
+///    affected disk (mirror copy c of a bucket on disk d lives on disk
+///    (d+c) mod M, chained declustering — the same placement serve's
+///    DegradedPlan re-expansion realizes). Buckets with no live route are
+///    reported, not served: the query returns a partial result with an
+///    explicit `availability` fraction instead of failing. Below quorum
+///    (alive nodes <= quorum_fraction * N) the cluster refuses outright
+///    with kUnavailable.
+///  * **Hedged requests.** When a primary sub-query is still running after
+///    a per-node hedge delay — the node's observed sub-query p95 times
+///    `hedge_factor`, plus seeded jitter, floored at `hedge_min_ms`, or a
+///    fixed `hedge_delay_ms` — the coordinator re-issues it to a
+///    replica-holding node with `serve_copy` pinned to that node's copy.
+///    `HedgePolicy::kFirstSuccess` takes whichever completes first
+///    (tail-latency mode); `kPrimaryPreferred` always takes the primary's
+///    result when the primary succeeds, making *winner selection* a pure
+///    function of the fault schedule (the determinism property tests run
+///    this mode). Result BYTES are identical either way — mirror copies
+///    are byte-identical and serve outcomes are schedule-determined — so
+///    the policies differ only in which route's latency you pay and which
+///    counter ticks. The loser is cancelled cooperatively: its result is
+///    discarded and never merged, never fed to breakers.
+///  * **Node-level failure detection.** One circuit breaker per node, fed
+///    one outcome per observed primary sub-query completion. An open
+///    breaker removes the node from planning exactly like a death, until
+///    its half-open probe heals it.
+///  * **Live migration.** `Migrate` (cluster/migrator.h) copies the
+///    catalog to a staged generation under a new method / disk count while
+///    `Execute` keeps serving, double-reads old vs new layouts, and cuts
+///    over atomically via the manifest generation fence. While a staging
+///    epoch is installed, every complete query is double-read against it
+///    and byte-compared — a mismatch flags divergence and aborts the
+///    migration, never serves mixed data.
+///
+/// ## Determinism contract
+///
+/// With seeded FaultyEnvs, `hedge_policy = kPrimaryPreferred`, node
+/// breakers pinned open once tripped, per-node services configured per the
+/// serve determinism contract, and a fixed kill/window schedule, each
+/// query's outcome — status, completeness, matches, unavailable-bucket
+/// count, and per-route winner selection — is a pure function of the
+/// schedule, independent of how many coordinator threads call Execute.
+/// Latencies, hedge firing counts and pool hits may vary; the property
+/// test asserts outcomes and winners only. Under `kFirstSuccess`, winner
+/// selection becomes timing-dependent (that is its purpose) but matches
+/// are still byte-identical.
+
+namespace griddecl::cluster {
+
+/// Who wins when a hedge and its primary both complete. See file comment.
+enum class HedgePolicy {
+  /// First successful completion wins — minimizes tail latency.
+  kFirstSuccess,
+  /// The primary wins whenever it succeeds; the hedge only covers primary
+  /// failure. Winner selection is schedule-deterministic.
+  kPrimaryPreferred,
+};
+
+struct ClusterOptions {
+  uint32_t num_nodes = 4;
+  /// Per-node service template. `seed` is offset by the node index so
+  /// retry jitter decorrelates across nodes; `generation` must stay 0
+  /// (nodes follow the cluster's committed generation).
+  serve::ServeOptions node;
+  /// Node-level breaker (distinct from the per-disk breakers inside each
+  /// node's service).
+  BreakerOptions node_breaker;
+
+  bool hedging = true;
+  HedgePolicy hedge_policy = HedgePolicy::kFirstSuccess;
+  /// Fixed hedge delay in ms; < 0 selects the adaptive per-node-p95 delay.
+  /// 0 hedges immediately (useful in tests).
+  double hedge_delay_ms = -1.0;
+  /// Adaptive mode: delay = max(hedge_min_ms, p95 * hedge_factor) plus up
+  /// to 25% seeded jitter.
+  double hedge_factor = 3.0;
+  double hedge_min_ms = 0.2;
+
+  /// Execute refuses (kUnavailable) unless alive > num_nodes * fraction.
+  double quorum_fraction = 0.5;
+
+  /// Seed for hedge jitter.
+  uint64_t seed = 0;
+
+  /// Whole-node crash windows, evaluated against the virtual clock
+  /// (`AdvanceTimeMs`). A node inside a window is routed around AND its
+  /// env fails every read (wildcard FaultRange).
+  std::vector<NodeFaultWindow> node_windows;
+  /// Per-node injected read latency in ms (index = node id, missing = 0).
+  /// The knob the slow-node hedging benchmark turns.
+  std::vector<double> node_latency_ms;
+  /// Per-node transient-fault injection, forwarded to each FaultyEnv.
+  double node_transient_prob = 0.0;
+  uint32_t node_max_transient_attempts = 3;
+  uint64_t fault_seed = 0;
+};
+
+/// Outcome of one cluster query. Contract: `status` is kOk with `complete
+/// = true` and full matches, kOk with `complete = false` and an explicit
+/// availability deficit (quorum-degraded partial — never silently short),
+/// or an error with no matches.
+struct ClusterQueryResult {
+  Status status;
+  bool complete = true;
+  uint64_t buckets_touched = 0;
+  uint64_t unavailable_buckets = 0;
+  /// Served fraction of touched buckets (1.0 when complete).
+  double availability = 1.0;
+  std::vector<RecordId> matches;
+
+  uint64_t sub_queries = 0;
+  uint64_t hedges_fired = 0;
+  uint64_t hedge_wins = 0;
+  uint64_t hedges_cancelled = 0;
+  /// Sub-queries planned or failed over to a replica-holding node.
+  uint64_t rerouted_subqueries = 0;
+  /// Catalog generation the query was served at.
+  uint64_t generation = 0;
+  /// How each slice of the plan was finally served: one 'u' per disk
+  /// dropped at plan time (no alive owner or replica holder), then one
+  /// letter per route in route order — 'p' primary, 'h' hedge, 'r'
+  /// post-failure reroute, 'u' every failover exhausted at gather time.
+  /// Deterministic under kPrimaryPreferred; part of the property-test
+  /// fingerprint.
+  std::string winners;
+  double total_ms = 0.0;
+};
+
+struct MigrationOptions {
+  /// Registry name of the target declustering method.
+  std::string new_method;
+  /// Target virtual-disk count M'.
+  uint32_t new_num_disks = 0;
+  /// Double-read sample run old-vs-new before cutover. Empty = a default
+  /// sample (full-range plus quadrant queries per relation).
+  std::vector<serve::QueryRequest> verify_requests;
+  /// Pages copied between abort checks during the copy phase.
+  uint32_t copy_batch_pages = 64;
+  /// Test hook: called at phase boundaries ("copy", "staged", "verify",
+  /// "commit", "committed") on the migrating thread. Kills injected here
+  /// exercise the abort paths deterministically.
+  std::function<void(const std::string&)> on_phase;
+};
+
+struct MigrationReport {
+  bool committed = false;
+  /// Set when `committed` is false: why the migration aborted. An aborted
+  /// migration leaves the old generation fully intact and serving.
+  std::string abort_reason;
+  uint64_t old_generation = 0;
+  uint64_t new_generation = 0;
+  uint64_t buckets_copied = 0;
+  uint64_t files_copied = 0;
+  uint64_t verify_queries = 0;
+  uint64_t verify_mismatches = 0;
+};
+
+class Migrator;
+
+/// N simulated nodes + coordinator; see file comment. Thread-safe:
+/// Execute may be called from any number of threads, concurrently with
+/// KillNode / AdvanceTimeMs / Migrate.
+class Cluster {
+ public:
+  /// Materializes `seed` (a committed catalog env) into every node and
+  /// starts the per-node services. Requires num_nodes >= 1 and
+  /// num_nodes <= the catalog's disk count.
+  static Result<std::unique_ptr<Cluster>> Create(const StorageEnv& seed,
+                                                 ClusterOptions options);
+
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Scatter-gather one query; see file comment for the routing rules.
+  ClusterQueryResult Execute(const serve::QueryRequest& request);
+
+  /// Imperative node death: the node is routed around from now on.
+  /// (Schedule-driven deaths use ClusterOptions::node_windows instead.)
+  Status KillNode(uint32_t node);
+  /// Revives a killed node. Reloads its service when the cluster moved to
+  /// a newer committed generation while the node was down.
+  Status ReviveNode(uint32_t node);
+
+  /// Advances the virtual clock all node fault windows are evaluated
+  /// against (monotonically, by convention).
+  void AdvanceTimeMs(double now_ms);
+  double VirtualNowMs() const { return virtual_now_ms_.load(); }
+
+  /// Live re-declustering; see cluster/migrator.h. One at a time; returns
+  /// kFailedPrecondition when a migration is already running. A
+  /// non-committed report (clean abort) is an Ok result.
+  Result<MigrationReport> Migrate(const MigrationOptions& options);
+  /// Requests a clean abort of the running migration (no-op when idle).
+  void AbortMigration() { abort_migration_.store(true); }
+
+  uint32_t num_nodes() const { return static_cast<uint32_t>(nodes_.size()); }
+  uint32_t num_disks() const;
+  /// Committed catalog generation the current routing epoch serves.
+  uint64_t generation() const;
+  std::vector<std::string> RelationNames() const;
+  /// True while a staging epoch is installed (double-read window).
+  bool migrating() const { return migrating_.load(); }
+
+  BreakerState NodeBreakerState(uint32_t node) const;
+  bool NodeAlive(uint32_t node) const;
+
+  /// Test hook: the raw (fault-free) storage env backing `node`, or
+  /// nullptr when out of range. Chaos tests corrupt staged files through
+  /// it to drive the migration verify/abort paths deterministically.
+  MemEnv* node_env_for_test(uint32_t node) {
+    return node < nodes_.size() ? &nodes_[node]->env : nullptr;
+  }
+
+  /// Publishes absolute totals (cluster.* keys plus each node's breaker
+  /// transitions summed under cluster.node_breaker.*).
+  void SnapshotMetrics(obs::MetricsRegistry* out) const;
+
+ private:
+  friend class Migrator;
+
+  struct Node {
+    MemEnv env;
+    std::unique_ptr<FaultyEnv> faulty;
+    std::shared_ptr<serve::QueryService> service;
+    std::atomic<bool> killed{false};
+  };
+
+  /// Immutable per-relation routing state (part of a Routing table).
+  struct EpochRelation {
+    /// Points into the owning Routing's catalog.
+    const DeclusteredFile* df = nullptr;
+    RelationRedundancy redundancy;
+    DiskMap disk_map;
+    uint32_t copies = 1;  ///< 1 unless kMirror.
+  };
+
+  /// The generation's catalog plus per-relation routing state. Shared
+  /// between epochs that differ only in their service snapshot (e.g. after
+  /// a node revival), so rebuilding an epoch never re-parses files.
+  struct Routing {
+    Catalog catalog;
+    std::map<std::string, EpochRelation> relations;
+    explicit Routing(Catalog c) : catalog(std::move(c)) {}
+  };
+
+  /// One immutable routing view: generation, disk ownership, relation
+  /// maps, and the per-node service snapshot. Cutover swaps the shared_ptr
+  /// atomically; in-flight queries finish on the epoch they grabbed.
+  struct Epoch {
+    uint64_t generation = 0;
+    uint32_t num_disks = 0;
+    /// disk d -> owning node (contiguous slices: d * N / M).
+    std::vector<uint32_t> disk_node;
+    std::vector<std::shared_ptr<serve::QueryService>> services;
+    std::shared_ptr<const Routing> routing;
+  };
+
+  /// One planned sub-query: a set of primary disk ids served from mirror
+  /// copy `copy` by `node`.
+  struct Route {
+    uint32_t node = 0;
+    uint32_t copy = 0;
+    std::vector<uint32_t> disks;
+    uint64_t buckets = 0;
+    /// Planned onto a replica because the owner was dead or refused.
+    bool rerouted = false;
+  };
+
+  Cluster() = default;
+
+  /// Builds a routing epoch for `generation` from node 0's env (all node
+  /// envs are identical by construction) over the given services.
+  Result<std::shared_ptr<const Epoch>> BuildEpoch(
+      uint64_t generation,
+      std::vector<std::shared_ptr<serve::QueryService>> services) const;
+
+  std::shared_ptr<const Epoch> CurrentEpoch() const;
+  std::shared_ptr<const Epoch> StagingEpoch() const;
+  void SetStagingEpoch(std::shared_ptr<const Epoch> epoch);
+  /// Cutover: publishes `epoch` as current, points every node's service at
+  /// its epoch service, clears staging.
+  void AdoptEpoch(std::shared_ptr<const Epoch> epoch);
+
+  ClusterQueryResult ExecuteOnEpoch(const Epoch& epoch,
+                                    const serve::QueryRequest& request,
+                                    bool allow_hedge);
+
+  bool NodeAliveAt(uint32_t node, double virtual_now) const;
+  bool NodeWouldRefuse(uint32_t node) const;
+  /// Breaker admission for one sub-query (may consume the half-open probe
+  /// slot); false = treat the node as refused.
+  bool NodeAdmit(uint32_t node);
+  void RecordNodeOutcome(uint32_t node, bool success);
+  void ObserveNodeLatency(uint32_t node, double ms);
+  /// Hedge delay for `node` on coordinator sequence number `seq`; +inf
+  /// when hedging is off.
+  double HedgeDelayMs(uint32_t node, uint64_t seq) const;
+  /// Milliseconds since cluster start (steady clock; breakers + stats).
+  double SteadyNowMs() const;
+
+  ClusterOptions options_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<double> virtual_now_ms_{0.0};
+
+  mutable std::mutex epoch_mu_;
+  std::shared_ptr<const Epoch> epoch_;
+  std::shared_ptr<const Epoch> staging_epoch_;
+
+  mutable std::mutex breaker_mu_;
+  std::vector<CircuitBreaker> node_breakers_;
+
+  std::atomic<bool> migrating_{false};
+  std::atomic<bool> abort_migration_{false};
+  /// Set by a live double-read mismatch; checked by the migrator.
+  std::atomic<bool> divergence_{false};
+
+  mutable std::mutex metrics_mu_;
+  uint64_t queries_ = 0;
+  uint64_t complete_ = 0;
+  uint64_t partial_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t sub_queries_ = 0;
+  uint64_t hedges_fired_ = 0;
+  uint64_t hedge_wins_ = 0;
+  uint64_t hedges_cancelled_ = 0;
+  uint64_t rerouted_subqueries_ = 0;
+  uint64_t unavailable_buckets_ = 0;
+  uint64_t quorum_rejections_ = 0;
+  uint64_t verify_reads_ = 0;
+  uint64_t verify_mismatches_ = 0;
+  uint64_t migrations_committed_ = 0;
+  uint64_t migrations_aborted_ = 0;
+  uint64_t migration_buckets_copied_ = 0;
+  obs::Histogram query_ms_{obs::DefaultLatencyBoundsMs()};
+  /// Per-node sub-query latency (adaptive hedge delay reads its p95).
+  std::vector<obs::Histogram> node_query_ms_;
+  std::atomic<uint64_t> query_seq_{0};
+};
+
+}  // namespace griddecl::cluster
+
+#endif  // GRIDDECL_CLUSTER_CLUSTER_H_

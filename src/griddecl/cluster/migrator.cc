@@ -1,0 +1,261 @@
+#include "griddecl/cluster/migrator.h"
+
+#include <utility>
+
+#include "griddecl/methods/registry.h"
+
+namespace griddecl::cluster {
+
+const char* Migrator::AbortTrigger() const {
+  if (cluster_->abort_migration_.load()) return "externally aborted";
+  if (cluster_->divergence_.load()) return "live double-read divergence";
+  for (uint32_t n = 0; n < cluster_->num_nodes(); ++n) {
+    if (!cluster_->NodeAlive(n)) return "node lost";
+  }
+  return nullptr;
+}
+
+Result<MigrationReport> Migrator::Abort(MigrationReport report,
+                                        std::string reason,
+                                        uint64_t staged_generation) {
+  cluster_->SetStagingEpoch(nullptr);
+  if (staged_generation != 0) {
+    for (const auto& node : cluster_->nodes_) {
+      // Best effort: a node that died mid-migration still drops its staged
+      // files (the simulated env stays writable); real deployments would
+      // re-run the drop on recovery, which recovery's wreckage scan makes
+      // safe anyway.
+      (void)DropStagedManifest(&node->env, staged_generation);
+    }
+  }
+  report.committed = false;
+  report.abort_reason = std::move(reason);
+  return report;
+}
+
+Result<MigrationReport> Migrator::Run(const MigrationOptions& options) {
+  MigrationReport report;
+  const auto phase = [&options](const char* p) {
+    if (options.on_phase) options.on_phase(p);
+  };
+
+  auto old_epoch = cluster_->CurrentEpoch();
+  report.old_generation = old_epoch->generation;
+
+  // Hard validation: a target the new layout cannot express is a caller
+  // error, not an abort.
+  if (options.new_num_disks == 0) {
+    return Status::InvalidArgument("new_num_disks must be >= 1");
+  }
+  if (cluster_->num_nodes() > options.new_num_disks) {
+    return Status::InvalidArgument(
+        "new_num_disks " + std::to_string(options.new_num_disks) +
+        " < cluster nodes " + std::to_string(cluster_->num_nodes()));
+  }
+  for (const auto& [name, rel] : old_epoch->routing->relations) {
+    auto method = CreateMethod(options.new_method, rel.df->file().grid(),
+                               options.new_num_disks);
+    if (!method.ok()) {
+      return Status::InvalidArgument(
+          "method '" + options.new_method + "' invalid for relation '" + name +
+          "': " + method.status().ToString());
+    }
+    if (rel.redundancy.policy == RelationRedundancy::Policy::kMirror &&
+        rel.redundancy.copies > options.new_num_disks) {
+      return Status::InvalidArgument(
+          "relation '" + name + "' has " +
+          std::to_string(rel.redundancy.copies) + " mirror copies but only " +
+          std::to_string(options.new_num_disks) + " target disks");
+    }
+  }
+
+  if (const char* trigger = AbortTrigger()) {
+    return Abort(std::move(report), trigger, 0);
+  }
+
+  // --- Phase 1: copy -----------------------------------------------------
+  phase("copy");
+  const StorageEnv& env0 = cluster_->nodes_[0]->env;
+  auto old_manifest = ReadManifest(env0, report.old_generation);
+  if (!old_manifest.ok()) return old_manifest.status();
+  auto next = NextManifestGeneration(env0);
+  if (!next.ok()) return next.status();
+  report.new_generation = next.value();
+
+  // The new manifest: same relations, sizes, and CRCs (the files are
+  // byte-identical copies); only generation, disk count, and method move.
+  CatalogManifest staged = old_manifest.value();
+  staged.generation = report.new_generation;
+  staged.num_disks = options.new_num_disks;
+  for (ManifestRelation& mr : staged.relations) {
+    mr.method = options.new_method;
+  }
+
+  for (size_t i = 0; i < staged.relations.size(); ++i) {
+    const ManifestRelation& mr = staged.relations[i];
+    std::vector<std::pair<std::string, std::string>> copies;
+    copies.emplace_back(old_manifest.value().DataFileName(i),
+                        staged.DataFileName(i));
+    if (mr.redundancy.policy == RelationRedundancy::Policy::kMirror) {
+      for (uint32_t c = 1; c < mr.redundancy.copies; ++c) {
+        copies.emplace_back(old_manifest.value().MirrorFileName(i, c),
+                            staged.MirrorFileName(i, c));
+      }
+    }
+    if (mr.parity_size > 0) {
+      copies.emplace_back(old_manifest.value().ParityFileName(i),
+                          staged.ParityFileName(i));
+    }
+    for (const auto& [from, to] : copies) {
+      if (const char* trigger = AbortTrigger()) {
+        return Abort(std::move(report), trigger, report.new_generation);
+      }
+      auto bytes = env0.ReadFile(from);
+      if (!bytes.ok()) {
+        return Abort(std::move(report),
+                     "copy failed: " + bytes.status().ToString(),
+                     report.new_generation);
+      }
+      for (const auto& node : cluster_->nodes_) {
+        Status w = node->env.WriteFile(to, bytes.value());
+        if (!w.ok()) {
+          return Abort(std::move(report), "copy failed: " + w.ToString(),
+                       report.new_generation);
+        }
+      }
+      ++report.files_copied;
+    }
+    const auto& rel = old_epoch->routing->relations.at(mr.name);
+    report.buckets_copied += rel.df->file().grid().num_buckets();
+  }
+
+  const std::string manifest_bytes = SerializeManifest(staged);
+  for (const auto& node : cluster_->nodes_) {
+    Status w = node->env.WriteFile(ManifestFileName(report.new_generation),
+                                   manifest_bytes);
+    if (!w.ok()) {
+      return Abort(std::move(report), "staging manifest: " + w.ToString(),
+                   report.new_generation);
+    }
+  }
+  phase("staged");
+  if (const char* trigger = AbortTrigger()) {
+    return Abort(std::move(report), trigger, report.new_generation);
+  }
+
+  // --- Phase 2: verify ---------------------------------------------------
+  phase("verify");
+  std::vector<std::shared_ptr<serve::QueryService>> staging_services;
+  for (uint32_t n = 0; n < cluster_->num_nodes(); ++n) {
+    serve::ServeOptions so = cluster_->options_.node;
+    so.seed += n;
+    so.generation = report.new_generation;
+    auto service =
+        serve::QueryService::Create(cluster_->nodes_[n]->faulty.get(), so);
+    if (!service.ok()) {
+      return Abort(std::move(report),
+                   "staging service on node " + std::to_string(n) + ": " +
+                       service.status().ToString(),
+                   report.new_generation);
+    }
+    staging_services.emplace_back(std::move(service.value()));
+  }
+  auto staging_epoch =
+      cluster_->BuildEpoch(report.new_generation, std::move(staging_services));
+  if (!staging_epoch.ok()) {
+    return Abort(std::move(report),
+                 "staging epoch: " + staging_epoch.status().ToString(),
+                 report.new_generation);
+  }
+  // From here on, every complete live query is double-read against the
+  // staging epoch (Cluster::Execute) — traffic itself verifies the copy.
+  cluster_->SetStagingEpoch(staging_epoch.value());
+
+  std::vector<serve::QueryRequest> sample = options.verify_requests;
+  if (sample.empty()) {
+    // Default sample per relation: the full box plus each attribute's
+    // lower half (exercises multi-disk routing in every dimension).
+    for (const auto& [name, rel] : old_epoch->routing->relations) {
+      const Schema& schema = rel.df->file().schema();
+      serve::QueryRequest full;
+      full.relation = name;
+      for (uint32_t a = 0; a < schema.num_attributes(); ++a) {
+        full.lo.push_back(schema.attribute(a).lo);
+        full.hi.push_back(schema.attribute(a).hi);
+      }
+      sample.push_back(full);
+      for (uint32_t a = 0; a < schema.num_attributes(); ++a) {
+        serve::QueryRequest half = full;
+        half.hi[a] =
+            (schema.attribute(a).lo + schema.attribute(a).hi) / 2.0;
+        sample.push_back(std::move(half));
+      }
+    }
+  }
+  for (const serve::QueryRequest& vq : sample) {
+    if (const char* trigger = AbortTrigger()) {
+      return Abort(std::move(report), trigger, report.new_generation);
+    }
+    ClusterQueryResult old_r =
+        cluster_->ExecuteOnEpoch(*old_epoch, vq, /*allow_hedge=*/false);
+    ClusterQueryResult new_r = cluster_->ExecuteOnEpoch(
+        *staging_epoch.value(), vq, /*allow_hedge=*/false);
+    ++report.verify_queries;
+    if (!old_r.status.ok() || !old_r.complete) {
+      return Abort(std::move(report),
+                   "verify query failed on old layout: " +
+                       old_r.status.ToString(),
+                   report.new_generation);
+    }
+    if (!new_r.status.ok() || !new_r.complete) {
+      return Abort(std::move(report),
+                   "verify query failed on new layout: " +
+                       new_r.status.ToString(),
+                   report.new_generation);
+    }
+    if (old_r.matches != new_r.matches) {
+      ++report.verify_mismatches;
+      return Abort(std::move(report),
+                   "divergence: old and new layouts disagree on '" +
+                       vq.relation + "'",
+                   report.new_generation);
+    }
+  }
+
+  // --- Phase 3: commit ---------------------------------------------------
+  phase("commit");
+  if (const char* trigger = AbortTrigger()) {
+    return Abort(std::move(report), trigger, report.new_generation);
+  }
+  std::vector<uint32_t> committed;
+  for (uint32_t n = 0; n < cluster_->num_nodes(); ++n) {
+    Status s = CommitStagedManifest(&cluster_->nodes_[n]->env,
+                                    report.new_generation);
+    if (!s.ok()) {
+      // Fence the cutover back out: nodes that already flipped return to
+      // the old generation, then the staged files are dropped everywhere.
+      for (uint32_t j : committed) {
+        (void)RollbackToGeneration(&cluster_->nodes_[j]->env,
+                                   report.old_generation);
+      }
+      return Abort(std::move(report),
+                   "commit failed on node " + std::to_string(n) + ": " +
+                       s.ToString(),
+                   report.new_generation);
+    }
+    committed.push_back(n);
+  }
+  // The atomic cutover point for routing: new services, new disk map, new
+  // generation in one epoch swap. In-flight queries finish on the old
+  // epoch; their sub-queries still carry the old generation fence and the
+  // old services keep serving them until the last shared_ptr drops.
+  cluster_->AdoptEpoch(staging_epoch.value());
+  for (const auto& node : cluster_->nodes_) {
+    GarbageCollectManifests(&node->env, report.new_generation);
+  }
+  phase("committed");
+  report.committed = true;
+  return report;
+}
+
+}  // namespace griddecl::cluster

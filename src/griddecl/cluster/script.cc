@@ -1,0 +1,140 @@
+#include "griddecl/cluster/script.h"
+
+#include <cstdlib>
+#include <utility>
+
+namespace griddecl::cluster {
+
+namespace {
+
+/// Splits `text` on whitespace runs.
+std::vector<std::string> Tokens(std::string_view text) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+    size_t start = i;
+    while (i < text.size() && text[i] != ' ' && text[i] != '\t') ++i;
+    if (i > start) tokens.emplace_back(text.substr(start, i - start));
+  }
+  return tokens;
+}
+
+Status ParseDoubles(const std::string& list, size_t line_no,
+                    std::vector<double>* out) {
+  size_t pos = 0;
+  while (pos <= list.size()) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string piece = list.substr(pos, comma - pos);
+    char* end = nullptr;
+    const double v = std::strtod(piece.c_str(), &end);
+    if (piece.empty() || end != piece.c_str() + piece.size()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": bad number '" + piece + "'");
+    }
+    out->push_back(v);
+    pos = comma + 1;
+  }
+  return Status::Ok();
+}
+
+Result<uint32_t> ParseU32(const std::string& token, size_t line_no,
+                          const char* what) {
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(token.c_str(), &end, 10);
+  if (token.empty() || end != token.c_str() + token.size() ||
+      v > 0xffffffffUL) {
+    return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                   ": bad " + what + " '" + token + "'");
+  }
+  return static_cast<uint32_t>(v);
+}
+
+}  // namespace
+
+Result<std::vector<ClusterCommand>> ParseClusterScript(std::string_view text) {
+  std::vector<ClusterCommand> commands;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    const std::vector<std::string> tokens = Tokens(line);
+    if (tokens.empty() || tokens[0][0] == '#') continue;
+    ClusterCommand cmd;
+    if (tokens[0] == "query") {
+      if (tokens.size() < 4 || tokens.size() > 5) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) +
+            ": expected 'query <relation> <lo,..> <hi,..> [deadline_ms]'");
+      }
+      cmd.kind = ClusterCommand::Kind::kQuery;
+      cmd.query.relation = tokens[1];
+      GRIDDECL_RETURN_IF_ERROR(ParseDoubles(tokens[2], line_no, &cmd.query.lo));
+      GRIDDECL_RETURN_IF_ERROR(ParseDoubles(tokens[3], line_no, &cmd.query.hi));
+      if (cmd.query.lo.size() != cmd.query.hi.size()) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) + ": lo has " +
+            std::to_string(cmd.query.lo.size()) + " attributes but hi has " +
+            std::to_string(cmd.query.hi.size()));
+      }
+      if (tokens.size() == 5) {
+        char* end = nullptr;
+        cmd.query.deadline_ms = std::strtod(tokens[4].c_str(), &end);
+        if (end != tokens[4].c_str() + tokens[4].size() ||
+            !(cmd.query.deadline_ms > 0.0)) {
+          return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                         ": bad deadline '" + tokens[4] + "'");
+        }
+      }
+    } else if (tokens[0] == "kill-node" || tokens[0] == "revive-node") {
+      if (tokens.size() != 2) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": expected '" + tokens[0] +
+                                       " <node>'");
+      }
+      auto node = ParseU32(tokens[1], line_no, "node");
+      if (!node.ok()) return node.status();
+      cmd.kind = tokens[0] == "kill-node" ? ClusterCommand::Kind::kKillNode
+                                          : ClusterCommand::Kind::kReviveNode;
+      cmd.node = node.value();
+    } else if (tokens[0] == "advance-ms") {
+      if (tokens.size() != 2) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": expected 'advance-ms <ms>'");
+      }
+      char* end = nullptr;
+      cmd.advance_ms = std::strtod(tokens[1].c_str(), &end);
+      if (end != tokens[1].c_str() + tokens[1].size() ||
+          cmd.advance_ms < 0.0) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": bad time '" + tokens[1] + "'");
+      }
+      cmd.kind = ClusterCommand::Kind::kAdvance;
+    } else if (tokens[0] == "migrate") {
+      if (tokens.size() != 3) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) +
+            ": expected 'migrate <method> <num_disks>'");
+      }
+      auto disks = ParseU32(tokens[2], line_no, "disk count");
+      if (!disks.ok()) return disks.status();
+      cmd.kind = ClusterCommand::Kind::kMigrate;
+      cmd.migrate_method = tokens[1];
+      cmd.migrate_disks = disks.value();
+    } else {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": unknown directive '" + tokens[0] +
+                                     "'");
+    }
+    commands.push_back(std::move(cmd));
+  }
+  return commands;
+}
+
+}  // namespace griddecl::cluster

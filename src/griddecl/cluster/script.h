@@ -1,0 +1,61 @@
+#ifndef GRIDDECL_CLUSTER_SCRIPT_H_
+#define GRIDDECL_CLUSTER_SCRIPT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "griddecl/common/status.h"
+#include "griddecl/serve/service.h"
+
+/// \file
+/// Text format for driving `declctl cluster`: the serve script's query
+/// lines plus cluster control directives, executed strictly in file order.
+///
+///     query <relation> <lo1,..> <hi1,..> [deadline_ms]
+///     kill-node <node>
+///     revive-node <node>
+///     advance-ms <virtual_ms>
+///     migrate <method> <num_disks>
+///
+/// Blank lines and lines starting with `#` are skipped. Example — kill a
+/// node mid-traffic, then re-decluster to FX on 8 disks:
+///
+///     query uniform 0.0,0.0 1.0,1.0
+///     kill-node 2
+///     query uniform 0.0,0.0 1.0,1.0
+///     revive-node 2
+///     migrate fx 8
+///     query uniform 0.0,0.0 1.0,1.0
+
+namespace griddecl::cluster {
+
+struct ClusterCommand {
+  enum class Kind {
+    kQuery,
+    kKillNode,
+    kReviveNode,
+    kAdvance,
+    kMigrate,
+  };
+
+  Kind kind = Kind::kQuery;
+  /// kQuery only.
+  serve::QueryRequest query;
+  /// kKillNode / kReviveNode.
+  uint32_t node = 0;
+  /// kAdvance: the new virtual time in ms.
+  double advance_ms = 0.0;
+  /// kMigrate.
+  std::string migrate_method;
+  uint32_t migrate_disks = 0;
+};
+
+/// Parses a cluster script, in file order. Fails with kInvalidArgument
+/// naming the offending line on any malformed input.
+Result<std::vector<ClusterCommand>> ParseClusterScript(std::string_view text);
+
+}  // namespace griddecl::cluster
+
+#endif  // GRIDDECL_CLUSTER_SCRIPT_H_

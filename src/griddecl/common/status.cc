@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "deadline_exceeded";
     case StatusCode::kResourceExhausted:
       return "resource_exhausted";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
   }
   return "unknown";
 }

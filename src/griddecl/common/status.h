@@ -37,6 +37,10 @@ enum class StatusCode {
   /// A bounded resource (e.g. the admission queue) is full; the request
   /// was shed rather than queued unboundedly.
   kResourceExhausted,
+  /// The system is not in the state the operation requires — e.g. a
+  /// generation-fenced request reached a node serving a different catalog
+  /// generation. Retrying against refreshed state may succeed.
+  kFailedPrecondition,
 };
 
 /// Returns a stable lowercase name for `code` ("ok", "invalid_argument", ...).
@@ -77,6 +81,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -42,6 +42,10 @@ Result<std::unique_ptr<FaultyEnv>> FaultyEnv::Create(StorageEnv* target,
       return Status::InvalidArgument("permanent fault ranges must be "
                                      "non-empty");
     }
+    if (!(r.from_ms >= 0.0) || !(r.until_ms > r.from_ms)) {
+      return Status::InvalidArgument("fault window must satisfy "
+                                     "0 <= from_ms < until_ms");
+    }
   }
   return std::unique_ptr<FaultyEnv>(new FaultyEnv(target, std::move(opts)));
 }
@@ -60,9 +64,16 @@ bool FaultyEnv::TransientFails(const std::string& file, uint64_t offset,
 
 bool FaultyEnv::PermanentlyFaulted(const std::string& file, uint64_t offset,
                                    uint64_t length) const {
+  const double now = now_ms_.load();
   for (const FaultRange& r : opts_.permanent) {
-    if (r.file != file) continue;
-    if (offset < r.offset + r.length && r.offset < offset + length) {
+    if (!r.file.empty() && r.file != file) continue;
+    if (now < r.from_ms || now >= r.until_ms) continue;
+    const uint64_t r_end = (r.length > UINT64_MAX - r.offset)
+                               ? UINT64_MAX
+                               : r.offset + r.length;
+    const uint64_t end =
+        (length > UINT64_MAX - offset) ? UINT64_MAX : offset + length;
+    if (offset < r_end && r.offset < end) {
       return true;
     }
   }

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -32,10 +33,20 @@
 namespace griddecl {
 
 /// A permanently unreadable byte range of one env file.
+///
+/// An empty `file` is a wildcard matching every file — combined with the
+/// window fields below it expresses a whole-node crash ("every read on this
+/// node fails from T until T'"). The window is evaluated against the env's
+/// *virtual* clock (`SetNowMs`), never wall time, so fault schedules replay
+/// identically run over run. Defaults keep the pre-window semantics: a range
+/// with no window set is faulted forever.
 struct FaultRange {
   std::string file;
   uint64_t offset = 0;
   uint64_t length = 0;
+  /// The range is faulted while from_ms <= now < until_ms.
+  double from_ms = 0.0;
+  double until_ms = std::numeric_limits<double>::infinity();
 };
 
 struct FaultyEnvOptions {
@@ -84,10 +95,16 @@ class FaultyEnv : public StorageEnv {
   bool TransientFails(const std::string& file, uint64_t offset,
                       uint32_t attempt) const;
 
-  /// True iff [offset, offset+length) overlaps any permanent fault range
-  /// of `file`.
+  /// True iff [offset, offset+length) overlaps any fault range of `file`
+  /// (or a wildcard range) whose window contains the current virtual time.
   bool PermanentlyFaulted(const std::string& file, uint64_t offset,
                           uint64_t length) const;
+
+  /// Advances the virtual clock that windowed fault ranges are evaluated
+  /// against. The clock only ever moves by explicit calls — fault windows
+  /// open and close deterministically, never from wall time.
+  void SetNowMs(double now_ms) { now_ms_.store(now_ms); }
+  double NowMs() const { return now_ms_.load(); }
 
   /// Observability for tests: total ReadAt calls / injected failures.
   uint64_t reads_issued() const { return reads_issued_.load(); }
@@ -111,6 +128,7 @@ class FaultyEnv : public StorageEnv {
   mutable std::atomic<uint64_t> reads_issued_{0};
   mutable std::atomic<uint64_t> transient_faults_{0};
   mutable std::atomic<uint64_t> permanent_faults_{0};
+  std::atomic<double> now_ms_{0.0};
 };
 
 }  // namespace griddecl

@@ -165,6 +165,10 @@ std::string ManifestFileName(uint64_t generation) {
   return kManifestPrefix + FormatGen(generation);
 }
 
+Result<uint64_t> NextManifestGeneration(const StorageEnv& env) {
+  return NextGeneration(env);
+}
+
 std::string SerializeManifest(const CatalogManifest& manifest) {
   std::string out;
   out.append(kManifestMagic, 4);
@@ -325,8 +329,15 @@ Result<std::string> BuildParityBytes(std::string_view data,
   return parity;
 }
 
-Result<uint64_t> SaveCatalogManifest(const Catalog& catalog, StorageEnv* env,
-                                     const ManifestSaveOptions& options) {
+namespace {
+
+/// Steps (1) and (2): writes every file of a new generation except the
+/// CURRENT pointer. Accumulates write accounting into the out-params so
+/// the committing caller can report it once the generation actually lands.
+Result<uint64_t> StageInternal(const Catalog& catalog, StorageEnv* env,
+                               const ManifestSaveOptions& options,
+                               uint64_t* files_written,
+                               uint64_t* bytes_written) {
   if (env == nullptr) {
     return Status::InvalidArgument("null storage env");
   }
@@ -346,15 +357,11 @@ Result<uint64_t> SaveCatalogManifest(const Catalog& catalog, StorageEnv* env,
   m.page_size_bytes = options.page_size_bytes;
   m.format_version = options.format_version;
 
-  // Write accounting for the observability sink; recorded only once the
-  // generation actually commits.
-  uint64_t files_written = 0;
-  uint64_t bytes_written = 0;
   auto put = [&](const std::string& name, const std::string& payload) {
     const Status s = env->WriteFile(name, payload);
     if (s.ok()) {
-      ++files_written;
-      bytes_written += payload.size();
+      ++*files_written;
+      *bytes_written += payload.size();
     }
     return s;
   };
@@ -411,15 +418,50 @@ Result<uint64_t> SaveCatalogManifest(const Catalog& catalog, StorageEnv* env,
 
   Status write = put(ManifestFileName(m.generation), SerializeManifest(m));
   if (!write.ok()) return write;
+  return m.generation;
+}
 
-  // The commit point: CURRENT flips atomically onto the new manifest.
-  const std::string manifest_name = ManifestFileName(m.generation);
+/// Step (3): writes CURRENT.tmp naming `generation` and renames it onto
+/// CURRENT — THE commit point.
+Status WriteCurrentPointer(StorageEnv* env, uint64_t generation,
+                           uint64_t* files_written, uint64_t* bytes_written) {
+  const std::string manifest_name = ManifestFileName(generation);
   const std::string pointer =
       manifest_name + " " + U32ToHex(Crc32c(manifest_name)) + "\n";
-  write = put(kCurrentTmpName, pointer);
+  Status write = env->WriteFile(kCurrentTmpName, pointer);
   if (!write.ok()) return write;
-  write = env->Rename(kCurrentTmpName, kCurrentFileName);
-  if (!write.ok()) return write;
+  if (files_written != nullptr) {
+    ++*files_written;
+    *bytes_written += pointer.size();
+  }
+  return env->Rename(kCurrentTmpName, kCurrentFileName);
+}
+
+/// Generation CURRENT currently resolves to, or nullopt when CURRENT is
+/// missing or torn (the fence treats that as "nothing committed").
+std::optional<uint64_t> CommittedGeneration(const StorageEnv& env) {
+  Result<std::string> current = env.ReadFile(kCurrentFileName);
+  if (!current.ok()) return std::nullopt;
+  Result<uint64_t> gen = ParseCurrentPointer(current.value());
+  if (!gen.ok()) return std::nullopt;
+  return gen.value();
+}
+
+}  // namespace
+
+Result<uint64_t> SaveCatalogManifest(const Catalog& catalog, StorageEnv* env,
+                                     const ManifestSaveOptions& options) {
+  // Write accounting for the observability sink; recorded only once the
+  // generation actually commits.
+  uint64_t files_written = 0;
+  uint64_t bytes_written = 0;
+  Result<uint64_t> staged =
+      StageInternal(catalog, env, options, &files_written, &bytes_written);
+  if (!staged.ok()) return staged.status();
+
+  const Status committed =
+      WriteCurrentPointer(env, staged.value(), &files_written, &bytes_written);
+  if (!committed.ok()) return committed;
 
   if (options.metrics != nullptr) {
     obs::MetricsRegistry& reg = *options.metrics;
@@ -430,16 +472,81 @@ Result<uint64_t> SaveCatalogManifest(const Catalog& catalog, StorageEnv* env,
 
   // Committed. GC is best-effort (a crash here loses nothing): keep the
   // new generation and its predecessor as a rollback target, drop older.
-  Result<std::vector<std::string>> files = env->ListFiles();
-  if (files.ok()) {
-    for (const std::string& name : files.value()) {
-      const std::optional<uint64_t> gen = GenerationOfFileName(name);
-      if (gen.has_value() && *gen + 1 < m.generation) {
-        (void)env->Remove(name);
-      }
+  GarbageCollectManifests(env, staged.value());
+  return staged.value();
+}
+
+Result<uint64_t> StageCatalogManifest(const Catalog& catalog, StorageEnv* env,
+                                      const ManifestSaveOptions& options) {
+  uint64_t files_written = 0;
+  uint64_t bytes_written = 0;
+  return StageInternal(catalog, env, options, &files_written, &bytes_written);
+}
+
+Status CommitStagedManifest(StorageEnv* env, uint64_t generation) {
+  if (env == nullptr) {
+    return Status::InvalidArgument("null storage env");
+  }
+  // The staged manifest must exist and parse before CURRENT may name it.
+  Result<CatalogManifest> m = ReadManifest(*env, generation);
+  if (!m.ok()) return m.status();
+  const std::optional<uint64_t> committed = CommittedGeneration(*env);
+  if (committed.has_value()) {
+    if (*committed == generation) return Status::Ok();
+    if (*committed > generation) {
+      return Status::FailedPrecondition(
+          "generation fence: CURRENT is at generation " +
+          std::to_string(*committed) + ", refusing stale commit of " +
+          std::to_string(generation));
     }
   }
-  return m.generation;
+  return WriteCurrentPointer(env, generation, nullptr, nullptr);
+}
+
+Status DropStagedManifest(StorageEnv* env, uint64_t generation) {
+  if (env == nullptr) {
+    return Status::InvalidArgument("null storage env");
+  }
+  const std::optional<uint64_t> committed = CommittedGeneration(*env);
+  if (committed.has_value() && *committed == generation) {
+    return Status::FailedPrecondition(
+        "refusing to drop generation " + std::to_string(generation) +
+        ": CURRENT points at it (committed generations are retired by GC, "
+        "not abort)");
+  }
+  Result<std::vector<std::string>> files = env->ListFiles();
+  if (!files.ok()) return files.status();
+  for (const std::string& name : files.value()) {
+    const std::optional<uint64_t> gen = GenerationOfFileName(name);
+    if (gen.has_value() && *gen == generation) {
+      const Status removed = env->Remove(name);
+      if (!removed.ok()) return removed;
+    }
+  }
+  return Status::Ok();
+}
+
+Status RollbackToGeneration(StorageEnv* env, uint64_t generation) {
+  if (env == nullptr) {
+    return Status::InvalidArgument("null storage env");
+  }
+  Result<CatalogManifest> m = ReadManifest(*env, generation);
+  if (!m.ok()) return m.status();
+  const Status verified = VerifyManifestFiles(*env, m.value());
+  if (!verified.ok()) return verified;
+  return WriteCurrentPointer(env, generation, nullptr, nullptr);
+}
+
+void GarbageCollectManifests(StorageEnv* env, uint64_t committed_generation) {
+  if (env == nullptr) return;
+  Result<std::vector<std::string>> files = env->ListFiles();
+  if (!files.ok()) return;
+  for (const std::string& name : files.value()) {
+    const std::optional<uint64_t> gen = GenerationOfFileName(name);
+    if (gen.has_value() && *gen + 1 < committed_generation) {
+      (void)env->Remove(name);
+    }
+  }
 }
 
 Result<CatalogManifest> ReadManifest(const StorageEnv& env,
@@ -553,6 +660,30 @@ Result<Catalog> LoadCatalogManifest(const StorageEnv& env,
   Result<CatalogManifest> manifest = ReadCurrentManifest(env);
   if (!manifest.ok()) return manifest.status();
   return LoadCatalogFromManifest(env, manifest.value(), options);
+}
+
+Result<Catalog> LoadCatalogManifestConsistent(
+    const StorageEnv& env, const ManifestLoadOptions& options,
+    uint32_t max_retries) {
+  Result<CatalogManifest> manifest = ReadCurrentManifest(env);
+  if (!manifest.ok()) return manifest.status();
+  for (uint32_t attempt = 0;; ++attempt) {
+    Result<Catalog> catalog =
+        LoadCatalogFromManifest(env, manifest.value(), options);
+    if (catalog.ok()) return catalog;
+    // A load that resolved generation G can fail because a concurrent
+    // commit advanced CURRENT and GC swept G's files mid-read (per-file
+    // CRCs turn any such race into an error, never a silent mix).
+    // Re-resolve: if the committed generation moved, the failure is
+    // explained — retry at the new generation.
+    Result<CatalogManifest> again = ReadCurrentManifest(env);
+    if (!again.ok() ||
+        again.value().generation == manifest.value().generation ||
+        attempt >= max_retries) {
+      return catalog.status();
+    }
+    manifest = std::move(again);
+  }
 }
 
 }  // namespace griddecl

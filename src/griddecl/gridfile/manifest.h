@@ -106,6 +106,12 @@ struct CatalogManifest {
 /// `MANIFEST-<generation, zero-padded>`.
 std::string ManifestFileName(uint64_t generation);
 
+/// First unused generation number in `env`: one past the highest
+/// generation any existing file (committed or wreckage) mentions.
+/// Exposed for migrators that stage file-for-file copies of an existing
+/// generation rather than re-serializing a Catalog.
+Result<uint64_t> NextManifestGeneration(const StorageEnv& env);
+
 /// Serializes / parses the manifest byte format (binary "GDMF" + CRC
 /// trailer). Exposed for tests; normal callers use the Save/Load API.
 std::string SerializeManifest(const CatalogManifest& manifest);
@@ -138,9 +144,50 @@ struct ManifestLoadOptions {
 /// Saves `catalog` into `env` as a new generation and commits it
 /// atomically. Returns the committed generation number. On failure
 /// (including an injected crash) the previously committed generation is
-/// untouched.
+/// untouched. Equivalent to Stage + Commit + GC below.
 Result<uint64_t> SaveCatalogManifest(const Catalog& catalog, StorageEnv* env,
                                      const ManifestSaveOptions& options = {});
+
+/// Stages `catalog` into `env` as a new generation WITHOUT flipping
+/// `CURRENT` — steps (1) and (2) of the commit protocol only. The staged
+/// generation is durable but uncommitted: `ReadCurrentManifest` keeps
+/// resolving the old one (staged files look exactly like the wreckage of a
+/// crashed save, which the recovery scan already skips). This is the
+/// migrator's copy phase: new-layout files land while the old generation
+/// keeps serving. Commit with `CommitStagedManifest`, discard with
+/// `DropStagedManifest`. Returns the staged generation number.
+Result<uint64_t> StageCatalogManifest(const Catalog& catalog, StorageEnv* env,
+                                      const ManifestSaveOptions& options = {});
+
+/// Step (3) for a previously staged generation: atomically flips `CURRENT`
+/// onto `MANIFEST-<generation>`. Generation fence: refuses with
+/// kFailedPrecondition when `CURRENT` already names a *newer* generation —
+/// a racing commit won, and flipping back would silently roll the catalog
+/// back. Committing the already-current generation is an idempotent no-op.
+/// Never garbage-collects; callers decide when old generations die
+/// (`GarbageCollectManifests`).
+Status CommitStagedManifest(StorageEnv* env, uint64_t generation);
+
+/// Removes every file of an *uncommitted* staged generation
+/// (`rel-<generation>-*` and `MANIFEST-<generation>`). Refuses with
+/// kFailedPrecondition when `CURRENT` resolves to `generation` — committed
+/// generations are retired by GC, never by abort. This is the migrator's
+/// rollback: after a drop the env serves exactly the files it served
+/// before the stage.
+Status DropStagedManifest(StorageEnv* env, uint64_t generation);
+
+/// Re-points `CURRENT` at an older, still-present generation whose
+/// manifest and referenced files all verify. The explicit rollback
+/// primitive for a cutover that must be undone after a partial commit —
+/// unlike `CommitStagedManifest` it deliberately bypasses the
+/// newer-generation fence.
+Status RollbackToGeneration(StorageEnv* env, uint64_t generation);
+
+/// Best-effort sweep of generation-numbered files older than
+/// `committed_generation - 1` (the immediate predecessor survives as a
+/// rollback target) — exactly the GC `SaveCatalogManifest` runs after its
+/// commit point, exposed for migrators that commit staged generations.
+void GarbageCollectManifests(StorageEnv* env, uint64_t committed_generation);
 
 /// Reads and parses `MANIFEST-<generation>`.
 Result<CatalogManifest> ReadManifest(const StorageEnv& env,
@@ -161,6 +208,18 @@ Result<Catalog> LoadCatalogFromManifest(const StorageEnv& env,
 /// recovery path.
 Result<Catalog> LoadCatalogManifest(const StorageEnv& env,
                                     const ManifestLoadOptions& options = {});
+
+/// `LoadCatalogManifest` hardened against concurrent commits. A reader
+/// that resolves generation G can fail mid-load when a committer flips
+/// CURRENT to G+1 and GC sweeps G's files out from under it; per-file
+/// checksums guarantee such a race surfaces as an error, never as silently
+/// mixed generations. This wrapper re-resolves CURRENT after a failed
+/// load and, if the committed generation moved, retries at the new one (up
+/// to `max_retries` times) — so a load under concurrent commits either
+/// returns one consistent generation or the underlying error.
+Result<Catalog> LoadCatalogManifestConsistent(
+    const StorageEnv& env, const ManifestLoadOptions& options = {},
+    uint32_t max_retries = 3);
 
 /// Verifies that every file `manifest` references exists in `env` with the
 /// recorded size and whole-file CRC32C (mirrors included).

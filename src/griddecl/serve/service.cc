@@ -63,32 +63,53 @@ Result<std::unique_ptr<QueryService>> QueryService::Create(
         "serve requires ReadPolicy::OnDamage::kFail (damage must surface "
         "as kUnavailable so the degraded paths engage)");
   }
-  Result<CatalogManifest> manifest = ReadCurrentManifest(*env);
-  if (!manifest.ok()) return manifest.status();
-  const CatalogManifest& m = manifest.value();
-  if (m.num_disks < 1) {
-    return Status::InvalidArgument("manifest declusters over zero disks");
-  }
-  std::unique_ptr<QueryService> service(
-      new QueryService(env, options, m.num_disks));
-  for (size_t i = 0; i < m.relations.size(); ++i) {
-    Result<Relation> rel = LoadRelation(*env, m, i);
-    if (!rel.ok()) return rel.status();
-    std::string name = rel.value().name;
-    const auto emplaced =
-        service->relations_.emplace(std::move(name), std::move(rel).value());
-    // Every copy shares the primary's layout (mirrors are byte-identical);
-    // registering them lets the PageStore serve any copy from the pool.
-    const Relation& r = emplaced.first->second;
-    for (const std::string& file : r.copy_files) {
-      service->store_->RegisterFile(file, r.layout);
+  for (uint32_t attempt = 0;; ++attempt) {
+    Result<CatalogManifest> manifest =
+        options.generation != 0 ? ReadManifest(*env, options.generation)
+                                : ReadCurrentManifest(*env);
+    if (!manifest.ok()) return manifest.status();
+    const CatalogManifest& m = manifest.value();
+    if (m.num_disks < 1) {
+      return Status::InvalidArgument("manifest declusters over zero disks");
     }
+    std::unique_ptr<QueryService> service(
+        new QueryService(env, options, m.num_disks));
+    service->generation_ = m.generation;
+    Status load_error = Status::Ok();
+    for (size_t i = 0; i < m.relations.size(); ++i) {
+      Result<Relation> rel = LoadRelation(*env, m, i);
+      if (!rel.ok()) {
+        load_error = rel.status();
+        break;
+      }
+      std::string name = rel.value().name;
+      const auto emplaced = service->relations_.emplace(
+          std::move(name), std::move(rel).value());
+      // Every copy shares the primary's layout (mirrors are byte-identical);
+      // registering them lets the PageStore serve any copy from the pool.
+      const Relation& r = emplaced.first->second;
+      for (const std::string& file : r.copy_files) {
+        service->store_->RegisterFile(file, r.layout);
+      }
+    }
+    if (!load_error.ok()) {
+      // The same concurrent-commit race LoadCatalogManifestConsistent
+      // absorbs: a commit can advance CURRENT and GC generation G's files
+      // mid-load. If the committed generation moved, retry at the new one;
+      // otherwise the failure is real.
+      if (options.generation != 0 || attempt >= 3) return load_error;
+      Result<CatalogManifest> again = ReadCurrentManifest(*env);
+      if (!again.ok() || again.value().generation == m.generation) {
+        return load_error;
+      }
+      continue;
+    }
+    QueryService* self = service.get();
+    for (uint32_t t = 0; t < options.num_threads; ++t) {
+      service->workers_.emplace_back([self, t] { self->WorkerLoop(t); });
+    }
+    return service;
   }
-  QueryService* self = service.get();
-  for (uint32_t t = 0; t < options.num_threads; ++t) {
-    service->workers_.emplace_back([self, t] { self->WorkerLoop(t); });
-  }
-  return service;
 }
 
 QueryService::~QueryService() { (void)Shutdown(); }
@@ -258,6 +279,15 @@ QueryResult QueryService::RunQuery(const Pending& p) {
   if (p.deadline_ms != kNoDeadline && started > p.deadline_ms) {
     return finish(Status::DeadlineExceeded("deadline expired while queued"));
   }
+  // The cutover fence: a fenced request must land on the generation its
+  // coordinator planned against, before any page is read.
+  if (p.request.expected_generation != 0 &&
+      p.request.expected_generation != generation_) {
+    return finish(Status::FailedPrecondition(
+        "generation fence: request expects catalog generation " +
+        std::to_string(p.request.expected_generation) +
+        " but this service serves " + std::to_string(generation_)));
+  }
   const auto it = relations_.find(p.request.relation);
   if (it == relations_.end()) {
     return finish(
@@ -270,6 +300,33 @@ QueryResult QueryService::RunQuery(const Pending& p) {
   const RangeQuery& query = resolved.value();
   result.buckets_touched = query.NumBuckets();
   const GridSpec& grid = rel.file->grid();
+  const RelationRedundancy::Policy policy = rel.redundancy.policy;
+
+  // Coordinator extensions: a disk-ownership filter and/or a pinned mirror
+  // copy route the query through the per-bucket planning path below.
+  const bool filtered = !p.request.disks.empty();
+  const uint32_t pinned_copy = p.request.serve_copy;
+  const bool per_bucket_path = filtered || pinned_copy > 0;
+  std::vector<bool> allowed;
+  if (filtered) {
+    allowed.assign(num_disks_, false);
+    for (uint32_t d : p.request.disks) {
+      if (d >= num_disks_) {
+        return finish(Status::InvalidArgument(
+            "request disk " + std::to_string(d) + " out of range [0, " +
+            std::to_string(num_disks_) + ")"));
+      }
+      allowed[d] = true;
+    }
+  }
+  if (pinned_copy > 0) {
+    if (policy != RelationRedundancy::Policy::kMirror ||
+        pinned_copy >= rel.copy_files.size()) {
+      return finish(Status::InvalidArgument(
+          "serve_copy " + std::to_string(pinned_copy) +
+          " needs a mirror relation with more copies"));
+    }
+  }
 
   // --- Plan: assign every touched bucket a (disk, copy) --------------------
   // The mask routed around is "breakers that would refuse right now",
@@ -288,7 +345,9 @@ QueryResult QueryService::RunQuery(const Pending& p) {
     std::lock_guard<std::mutex> lock(breaker_mu_);
     const double now = NowMs();
     for (uint32_t d = 0; d < num_disks_; ++d) {
-      if (touched[d] && breakers_[d].WouldRefuse(now)) {
+      // The per-bucket path may assign replica disks the primary sweep
+      // never touched, so it needs the full mask.
+      if ((touched[d] || per_bucket_path) && breakers_[d].WouldRefuse(now)) {
         refused[d] = true;
         any_refused = true;
       }
@@ -303,8 +362,8 @@ QueryResult QueryService::RunQuery(const Pending& p) {
   std::unordered_map<uint64_t, Assign> assignment;
   assignment.reserve(static_cast<size_t>(result.buckets_touched));
 
-  const RelationRedundancy::Policy policy = rel.redundancy.policy;
-  if (any_refused && policy == RelationRedundancy::Policy::kMirror) {
+  if (!per_bucket_path && any_refused &&
+      policy == RelationRedundancy::Policy::kMirror) {
     // Plan-time reroute through the same machinery the simulator uses.
     Result<DegradedPlan> plan =
         DegradedPlan::ForReplicated(*rel.placement, refused);
@@ -333,18 +392,41 @@ QueryResult QueryService::RunQuery(const Pending& p) {
       }
     }
   } else {
-    // Primary placement. A refused disk's buckets reconstruct from parity
-    // when the relation has it; without redundancy the query fails.
+    // Primary (or pinned-copy) placement, one bucket at a time. A refused
+    // disk's buckets reconstruct from parity when the relation has it,
+    // reroute to an un-refused mirror replica, or fail the query.
     uint64_t dead_buckets = 0;
     rel.disk_map->ForEachRowSpan(query.rect(), [&](uint64_t begin,
                                                    uint64_t length) {
       for (uint64_t j = 0; j < length; ++j) {
         const uint64_t addr = begin + j;
-        const uint32_t d = rel.disk_map->DiskAt(addr);
-        Assign a{d, 0, false};
-        if (refused[d]) {
+        const uint32_t primary = rel.disk_map->DiskAt(addr);
+        if (filtered && !allowed[primary]) continue;
+        Assign a{primary, 0, false};
+        if (pinned_copy > 0) {
+          a.copy = pinned_copy;
+          a.disk = rel.placement->DisksOf(grid.Delinearize(addr))[pinned_copy];
+        }
+        if (refused[a.disk]) {
           if (policy == RelationRedundancy::Policy::kParity) {
             a.reconstruct = true;
+          } else if (policy == RelationRedundancy::Policy::kMirror) {
+            // Reroute this bucket to its first un-refused replica (the
+            // whole-query re-expansion above is primary-placement only).
+            const std::vector<uint32_t> disks =
+                rel.placement->DisksOf(grid.Delinearize(addr));
+            for (uint32_t step = 1; step < disks.size(); ++step) {
+              const uint32_t c =
+                  (a.copy + step) % static_cast<uint32_t>(disks.size());
+              if (!refused[disks[c]]) {
+                a.copy = c;
+                a.disk = disks[c];
+                result.rerouted_buckets++;
+                break;
+              }
+            }
+            // Every replica refused: keep the assignment — inline mirror
+            // failover still tries each copy at read time.
           } else {
             dead_buckets++;
           }
@@ -357,6 +439,7 @@ QueryResult QueryService::RunQuery(const Pending& p) {
           std::to_string(dead_buckets) +
           " buckets on tripped disks and the relation has no redundancy"));
     }
+    if (per_bucket_path) result.buckets_touched = assignment.size();
   }
 
   // --- Gather page reads, grouped per disk (the breaker unit) --------------
@@ -688,6 +771,15 @@ std::vector<std::string> QueryService::RelationNames() const {
 Result<std::vector<FaultRange>> DiskFaultSchedule(const StorageEnv& env,
                                                   const std::string& relation,
                                                   uint32_t disk) {
+  return DiskFaultSchedule(env, relation, disk, 0.0,
+                           std::numeric_limits<double>::infinity());
+}
+
+Result<std::vector<FaultRange>> DiskFaultSchedule(const StorageEnv& env,
+                                                  const std::string& relation,
+                                                  uint32_t disk,
+                                                  double from_ms,
+                                                  double until_ms) {
   Result<CatalogManifest> manifest = ReadCurrentManifest(env);
   if (!manifest.ok()) return manifest.status();
   const CatalogManifest& m = manifest.value();
@@ -748,14 +840,16 @@ Result<std::vector<FaultRange>> DiskFaultSchedule(const StorageEnv& env,
       }
     }
     if (primary == disk) {
-      ranges.push_back({data_name, l.PageOffset(page), l.page_size_bytes});
+      ranges.push_back({data_name, l.PageOffset(page), l.page_size_bytes,
+                        from_ms, until_ms});
     }
     if (placement != nullptr) {
       const std::vector<uint32_t> disks = placement->DisksOf(first_bucket);
       for (uint32_t copy = 1; copy < disks.size(); ++copy) {
         if (disks[copy] == disk) {
           ranges.push_back({m.MirrorFileName(index, copy),
-                            l.PageOffset(page), l.page_size_bytes});
+                            l.PageOffset(page), l.page_size_bytes, from_ms,
+                            until_ms});
         }
       }
     }

@@ -119,6 +119,11 @@ struct ServeOptions {
   double drain_deadline_ms = 2000.0;
   /// Seed for retry jitter (decorrelates concurrent retriers).
   uint64_t seed = 0;
+  /// Catalog generation to serve: 0 resolves CURRENT (the normal path);
+  /// nonzero loads `MANIFEST-<generation>` directly, committed or merely
+  /// staged — how a migrator brings up verification services over a
+  /// staged, not-yet-committed layout.
+  uint64_t generation = 0;
 };
 
 struct QueryRequest {
@@ -129,6 +134,22 @@ struct QueryRequest {
   /// Per-query deadline in ms from submission; <= 0 uses the service
   /// default.
   double deadline_ms = 0.0;
+  /// Empty serves the whole query (the normal path). Non-empty restricts
+  /// it to buckets whose PRIMARY disk is in this set — how a cluster
+  /// coordinator carves one query into per-node sub-queries along disk
+  /// ownership. Matches outside the set are silently not served, so the
+  /// union of sub-queries over a disk partition equals the full query.
+  std::vector<uint32_t> disks;
+  /// 0 reads primary placement. c > 0 (mirror relations only) serves every
+  /// selected bucket from mirror copy c — its replica disk (primary + c)
+  /// mod M — which is how a sub-query rerouted or hedged to a
+  /// replica-holding node reads that node's own copy.
+  uint32_t serve_copy = 0;
+  /// 0 = unfenced. Nonzero requires this service to be serving exactly
+  /// this catalog generation; a mismatch fails with kFailedPrecondition
+  /// before any page is read. The cutover fence: a coordinator that moved
+  /// to generation G+1 cannot accidentally read a node still on G.
+  uint64_t expected_generation = 0;
 };
 
 /// Outcome of one query. `status` is always well-formed: kOk with the
@@ -202,6 +223,8 @@ class QueryService {
   BreakerCounters BreakerTotals() const;
 
   uint32_t num_disks() const { return num_disks_; }
+  /// Catalog generation this service loaded (fences compare against it).
+  uint64_t generation() const { return generation_; }
   std::vector<std::string> RelationNames() const;
 
  private:
@@ -280,6 +303,7 @@ class QueryService {
   ServeOptions options_;
   std::unique_ptr<PageStore> store_;
   uint32_t num_disks_;
+  uint64_t generation_ = 0;
   std::chrono::steady_clock::time_point start_;
   std::unordered_map<std::string, Relation> relations_;
 
@@ -326,6 +350,15 @@ class QueryService {
 Result<std::vector<FaultRange>> DiskFaultSchedule(const StorageEnv& env,
                                                   const std::string& relation,
                                                   uint32_t disk);
+
+/// Windowed variant: the same ranges, active only while
+/// from_ms <= virtual now < until_ms — a disk that dies at T and recovers
+/// at T', in the schedule language `FaultyEnv::SetNowMs` evaluates.
+Result<std::vector<FaultRange>> DiskFaultSchedule(const StorageEnv& env,
+                                                  const std::string& relation,
+                                                  uint32_t disk,
+                                                  double from_ms,
+                                                  double until_ms);
 
 }  // namespace griddecl::serve
 

@@ -67,6 +67,18 @@ struct DiskFailure {
   double at_ms = 0.0;
 };
 
+/// A whole-node crash window: every disk the node owns is unreadable while
+/// from_ms <= now < until_ms, then the node recovers. This is the
+/// cluster-level sibling of DiskFailure, expressed in the same seeded,
+/// virtual-time schedule language — `cluster::Cluster` lowers each window
+/// into a wildcard `FaultRange` on the node's FaultyEnv, and
+/// `AdvanceTimeMs` moves the clock the windows are evaluated against.
+struct NodeFaultWindow {
+  uint32_t node = 0;
+  double from_ms = 0.0;
+  double until_ms = std::numeric_limits<double>::infinity();
+};
+
 /// A time-windowed service-time multiplier on one disk.
 struct Straggler {
   uint32_t disk = 0;

@@ -1,0 +1,564 @@
+#include "griddecl/cluster/cluster.h"
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "griddecl/cluster/script.h"
+#include "griddecl/common/random.h"
+#include "griddecl/gridfile/catalog.h"
+#include "griddecl/gridfile/declustered_file.h"
+
+namespace griddecl {
+namespace cluster {
+namespace {
+
+/// 4x4 grid, 8 records per bucket inserted bucket by bucket: with
+/// 168-byte v3 pages every storage page holds exactly one bucket. Under
+/// "dm" over 4 disks bucket (cx, cy) lives on disk (cx + cy) mod 4, and
+/// with 4 nodes over 4 disks every disk is its own node — the smallest
+/// cluster where killing one node is visible and chained mirror copies
+/// (copy c of disk d on disk (d + c) mod 4) always land on another node.
+GridFile MakeClusteredFile(uint64_t seed) {
+  Schema schema = Schema::Create({{"x", 0.0, 1.0}, {"y", 0.0, 1.0}}).value();
+  GridFile f = GridFile::Create(std::move(schema), {4, 4}).value();
+  const GridSpec grid = f.grid();
+  Rng rng(seed);
+  for (uint64_t b = 0; b < grid.num_buckets(); ++b) {
+    const BucketCoords c = grid.Delinearize(b);
+    for (uint32_t k = 0; k < 8; ++k) {
+      const std::vector<double> point = {
+          (c[0] + rng.NextDouble()) / 4.0, (c[1] + rng.NextDouble()) / 4.0};
+      EXPECT_TRUE(f.Insert(point).ok());
+    }
+  }
+  return f;
+}
+
+Catalog CommitCatalog(MemEnv* env, RelationRedundancy redundancy,
+                      uint64_t seed = 1) {
+  Catalog catalog(4);
+  Result<DeclusteredFile> rel =
+      DeclusteredFile::Create(MakeClusteredFile(seed), "dm", 4);
+  EXPECT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_TRUE(catalog.AddRelation("dm", std::move(rel).value()).ok());
+  ManifestSaveOptions options;
+  options.page_size_bytes = 168;
+  options.default_redundancy = redundancy;
+  EXPECT_TRUE(SaveCatalogManifest(catalog, env, options).ok());
+  return catalog;
+}
+
+RelationRedundancy Mirror2() {
+  RelationRedundancy r;
+  r.policy = RelationRedundancy::Policy::kMirror;
+  r.copies = 2;
+  return r;
+}
+
+serve::QueryRequest Range(std::vector<double> lo, std::vector<double> hi) {
+  serve::QueryRequest req;
+  req.relation = "dm";
+  req.lo = std::move(lo);
+  req.hi = std::move(hi);
+  return req;
+}
+
+std::vector<RecordId> Sorted(std::vector<RecordId> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<RecordId> Direct(const Catalog& catalog,
+                             const serve::QueryRequest& req) {
+  return Sorted(
+      catalog.Find("dm")->ExecuteRange(req.lo, req.hi).value().matches);
+}
+
+/// Deterministic baseline: no hedging, node breakers pinned closed, no
+/// injected faults — outcomes depend only on kills/windows.
+ClusterOptions Deterministic(uint32_t num_nodes = 4) {
+  ClusterOptions o;
+  o.num_nodes = num_nodes;
+  o.hedging = false;
+  o.node_breaker.min_events = 1000000;
+  o.node_breaker.window = 1000000;
+  o.node.breaker.min_events = 1000000;
+  o.node.breaker.window = 1000000;
+  return o;
+}
+
+TEST(ClusterTest, CreateValidatesOptionsAndSeedEnv) {
+  MemEnv empty;
+  EXPECT_EQ(Cluster::Create(empty, Deterministic()).status().code(),
+            StatusCode::kNotFound);
+
+  MemEnv env;
+  CommitCatalog(&env, {});
+  ClusterOptions bad = Deterministic();
+  bad.num_nodes = 0;
+  EXPECT_FALSE(Cluster::Create(env, bad).ok());
+  bad = Deterministic();
+  bad.quorum_fraction = 1.0;
+  EXPECT_FALSE(Cluster::Create(env, bad).ok());
+  bad = Deterministic();
+  bad.hedge_factor = 0.0;
+  EXPECT_FALSE(Cluster::Create(env, bad).ok());
+  bad = Deterministic();
+  bad.node.generation = 2;
+  EXPECT_FALSE(Cluster::Create(env, bad).ok());
+  bad = Deterministic();
+  NodeFaultWindow w;
+  w.node = 7;
+  bad.node_windows.push_back(w);
+  EXPECT_FALSE(Cluster::Create(env, bad).ok());
+  bad = Deterministic();
+  bad.num_nodes = 5;  // More nodes than the catalog's 4 virtual disks.
+  EXPECT_FALSE(Cluster::Create(env, bad).ok());
+
+  auto cluster = Cluster::Create(env, Deterministic()).value();
+  EXPECT_EQ(cluster->num_nodes(), 4u);
+  EXPECT_EQ(cluster->num_disks(), 4u);
+  EXPECT_EQ(cluster->generation(), 1u);
+  EXPECT_EQ(cluster->RelationNames(), std::vector<std::string>{"dm"});
+  EXPECT_FALSE(cluster->migrating());
+  for (uint32_t n = 0; n < 4; ++n) {
+    EXPECT_TRUE(cluster->NodeAlive(n));
+    EXPECT_EQ(cluster->NodeBreakerState(n), BreakerState::kClosed);
+  }
+  EXPECT_EQ(cluster->KillNode(99).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(cluster->ReviveNode(99).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ClusterTest, HealthyClusterMatchesDirectExecutionExactly) {
+  MemEnv env;
+  const Catalog catalog = CommitCatalog(&env, Mirror2());
+  auto cluster = Cluster::Create(env, Deterministic()).value();
+
+  Rng rng(7);
+  uint64_t sub_queries = 0;
+  for (int q = 0; q < 20; ++q) {
+    std::vector<double> lo(2), hi(2);
+    for (int d = 0; d < 2; ++d) {
+      const double a = rng.NextDouble();
+      const double b = rng.NextDouble();
+      lo[d] = std::min(a, b);
+      hi[d] = std::max(a, b);
+    }
+    const serve::QueryRequest req = Range(lo, hi);
+    const ClusterQueryResult r = cluster->Execute(req);
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_TRUE(r.complete);
+    EXPECT_EQ(r.availability, 1.0);
+    EXPECT_EQ(r.unavailable_buckets, 0u);
+    EXPECT_EQ(r.generation, 1u);
+    EXPECT_EQ(r.rerouted_subqueries, 0u);
+    EXPECT_EQ(r.matches, Direct(catalog, req)) << "query " << q;
+    EXPECT_GE(r.sub_queries, 1u);
+    sub_queries += r.sub_queries;
+    for (const char w : r.winners) EXPECT_EQ(w, 'p');
+  }
+
+  obs::MetricsRegistry reg;
+  cluster->SnapshotMetrics(&reg);
+  cluster->SnapshotMetrics(&reg);  // Re-snapshot must not double-count.
+  EXPECT_EQ(reg.GetCounter("cluster.queries")->value(), 20u);
+  EXPECT_EQ(reg.GetCounter("cluster.complete")->value(), 20u);
+  EXPECT_EQ(reg.GetCounter("cluster.partial")->value(), 0u);
+  EXPECT_EQ(reg.GetCounter("cluster.failed")->value(), 0u);
+  EXPECT_EQ(reg.GetCounter("cluster.sub_queries")->value(), sub_queries);
+  EXPECT_EQ(reg.GetCounter("cluster.hedges_fired")->value(), 0u);
+  EXPECT_EQ(
+      reg.GetHistogram("cluster.query_ms", obs::DefaultLatencyBoundsMs())
+          ->count(),
+      20u);
+}
+
+TEST(ClusterTest, MirrorRerouteServesCompleteResultsOffADeadNode) {
+  MemEnv env;
+  const Catalog catalog = CommitCatalog(&env, Mirror2());
+  auto cluster = Cluster::Create(env, Deterministic()).value();
+  ASSERT_TRUE(cluster->KillNode(2).ok());
+  EXPECT_FALSE(cluster->NodeAlive(2));
+
+  const serve::QueryRequest full = Range({0.0, 0.0}, {1.0, 1.0});
+  const ClusterQueryResult r = cluster->Execute(full);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.availability, 1.0);
+  EXPECT_GT(r.rerouted_subqueries, 0u);
+  EXPECT_EQ(r.matches, Direct(catalog, full));
+  EXPECT_EQ(r.winners.find('u'), std::string::npos) << r.winners;
+
+  // Revival restores primary-only service.
+  ASSERT_TRUE(cluster->ReviveNode(2).ok());
+  EXPECT_TRUE(cluster->NodeAlive(2));
+  const ClusterQueryResult healed = cluster->Execute(full);
+  ASSERT_TRUE(healed.status.ok());
+  EXPECT_TRUE(healed.complete);
+  EXPECT_EQ(healed.rerouted_subqueries, 0u);
+  for (const char w : healed.winners) EXPECT_EQ(w, 'p');
+}
+
+TEST(ClusterTest, NoRedundancyDeadNodeFlagsPartialNeverSilentlyShort) {
+  MemEnv env;
+  const Catalog catalog = CommitCatalog(&env, {});
+  auto cluster = Cluster::Create(env, Deterministic()).value();
+  ASSERT_TRUE(cluster->KillNode(1).ok());
+
+  // The full box touches all 16 buckets, 4 of which live on disk 1 = node
+  // 1. The result must be explicitly partial: exactly the surviving
+  // records, with the deficit accounted bucket by bucket.
+  const serve::QueryRequest full = Range({0.0, 0.0}, {1.0, 1.0});
+  const ClusterQueryResult r = cluster->Execute(full);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.buckets_touched, 16u);
+  EXPECT_EQ(r.unavailable_buckets, 4u);
+  EXPECT_DOUBLE_EQ(r.availability, 0.75);
+  EXPECT_NE(r.winners.find('u'), std::string::npos) << r.winners;
+
+  std::vector<RecordId> want;
+  for (const RecordId id : Direct(catalog, full)) {
+    if (catalog.Find("dm")->DiskOfRecord(id) != 1) want.push_back(id);
+  }
+  EXPECT_EQ(r.matches, want);
+
+  // A probe confined to the dead node's buckets fails loudly: bucket
+  // (0, 1) lives on disk (0 + 1) mod 4 = 1.
+  const ClusterQueryResult dead =
+      cluster->Execute(Range({0.05, 0.3}, {0.1, 0.35}));
+  EXPECT_EQ(dead.status.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(dead.matches.empty());
+  EXPECT_EQ(dead.availability, 0.0);
+
+  obs::MetricsRegistry reg;
+  cluster->SnapshotMetrics(&reg);
+  EXPECT_EQ(reg.GetCounter("cluster.partial")->value(), 1u);
+  EXPECT_EQ(reg.GetCounter("cluster.failed")->value(), 1u);
+  EXPECT_EQ(reg.GetCounter("cluster.unavailable_buckets")->value(), 5u);
+}
+
+TEST(ClusterTest, QuorumLossRefusesLoudly) {
+  MemEnv env;
+  const Catalog catalog = CommitCatalog(&env, Mirror2());
+  auto cluster = Cluster::Create(env, Deterministic()).value();
+  // quorum_fraction 0.5 over 4 nodes: need floor(4 * 0.5) + 1 = 3 alive.
+  ASSERT_TRUE(cluster->KillNode(2).ok());
+  ASSERT_TRUE(cluster->KillNode(3).ok());
+
+  const serve::QueryRequest full = Range({0.0, 0.0}, {1.0, 1.0});
+  const ClusterQueryResult r = cluster->Execute(full);
+  EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(r.complete);
+  EXPECT_TRUE(r.matches.empty());
+  EXPECT_EQ(r.sub_queries, 0u);
+
+  // One revival restores quorum; the still-dead node reroutes via mirrors.
+  ASSERT_TRUE(cluster->ReviveNode(3).ok());
+  const ClusterQueryResult back = cluster->Execute(full);
+  ASSERT_TRUE(back.status.ok()) << back.status.ToString();
+  EXPECT_TRUE(back.complete);
+  EXPECT_EQ(back.matches, Direct(catalog, full));
+
+  obs::MetricsRegistry reg;
+  cluster->SnapshotMetrics(&reg);
+  EXPECT_EQ(reg.GetCounter("cluster.quorum_rejections")->value(), 1u);
+}
+
+TEST(ClusterTest, WindowedNodeDeathFollowsTheVirtualClock) {
+  MemEnv env;
+  const Catalog catalog = CommitCatalog(&env, Mirror2());
+  ClusterOptions options = Deterministic();
+  NodeFaultWindow w;
+  w.node = 1;
+  w.from_ms = 100.0;
+  w.until_ms = 200.0;
+  options.node_windows.push_back(w);
+  auto cluster = Cluster::Create(env, options).value();
+  const serve::QueryRequest full = Range({0.0, 0.0}, {1.0, 1.0});
+  const std::vector<RecordId> want = Direct(catalog, full);
+
+  // Before the window: healthy primaries everywhere.
+  const ClusterQueryResult before = cluster->Execute(full);
+  ASSERT_TRUE(before.status.ok());
+  EXPECT_TRUE(before.complete);
+  EXPECT_EQ(before.rerouted_subqueries, 0u);
+  EXPECT_EQ(before.matches, want);
+
+  // Inside the window the node is dead: planner reroutes, result whole.
+  cluster->AdvanceTimeMs(150.0);
+  EXPECT_FALSE(cluster->NodeAlive(1));
+  const ClusterQueryResult inside = cluster->Execute(full);
+  ASSERT_TRUE(inside.status.ok()) << inside.status.ToString();
+  EXPECT_TRUE(inside.complete);
+  EXPECT_GT(inside.rerouted_subqueries, 0u);
+  EXPECT_EQ(inside.matches, want);
+
+  // Past the window the node recovers on its own.
+  cluster->AdvanceTimeMs(250.0);
+  EXPECT_TRUE(cluster->NodeAlive(1));
+  const ClusterQueryResult after = cluster->Execute(full);
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_EQ(after.rerouted_subqueries, 0u);
+  EXPECT_EQ(after.matches, want);
+}
+
+TEST(ClusterHedgeTest, PrimaryPreferredHedgesFireButNeverChangeTheAnswer) {
+  MemEnv env;
+  const Catalog catalog = CommitCatalog(&env, Mirror2());
+  ClusterOptions options = Deterministic();
+  options.hedging = true;
+  options.hedge_policy = HedgePolicy::kPrimaryPreferred;
+  options.hedge_delay_ms = 0.0;  // Hedge immediately.
+  options.node_latency_ms = {0.05, 0.05, 0.05, 0.05};
+  auto cluster = Cluster::Create(env, options).value();
+
+  const serve::QueryRequest full = Range({0.0, 0.0}, {1.0, 1.0});
+  const std::vector<RecordId> want = Direct(catalog, full);
+  uint64_t fired = 0;
+  uint64_t cancelled = 0;
+  for (int q = 0; q < 10; ++q) {
+    const ClusterQueryResult r = cluster->Execute(full);
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_TRUE(r.complete);
+    EXPECT_EQ(r.matches, want);
+    // Healthy primaries are authoritative: every fired hedge is cancelled,
+    // none wins, winners stay all-primary.
+    EXPECT_EQ(r.hedge_wins, 0u);
+    EXPECT_EQ(r.hedges_cancelled, r.hedges_fired);
+    for (const char w : r.winners) EXPECT_EQ(w, 'p');
+    fired += r.hedges_fired;
+    cancelled += r.hedges_cancelled;
+  }
+  // An immediate hedge delay against 0.05 ms/page reads: hedges do fire.
+  EXPECT_GT(fired, 0u);
+  obs::MetricsRegistry reg;
+  cluster->SnapshotMetrics(&reg);
+  EXPECT_EQ(reg.GetCounter("cluster.hedges_fired")->value(), fired);
+  EXPECT_EQ(reg.GetCounter("cluster.hedges_cancelled")->value(), cancelled);
+  EXPECT_EQ(reg.GetCounter("cluster.hedge_wins")->value(), 0u);
+}
+
+TEST(ClusterHedgeTest, FirstSuccessHedgeWinsPastASlowNode) {
+  MemEnv env;
+  const Catalog catalog = CommitCatalog(&env, Mirror2());
+  ClusterOptions options = Deterministic();
+  options.hedging = true;
+  options.hedge_policy = HedgePolicy::kFirstSuccess;
+  options.hedge_delay_ms = 0.5;
+  options.node_latency_ms = {0.0, 25.0, 0.0, 0.0};  // Node 1 is a straggler.
+  auto cluster = Cluster::Create(env, options).value();
+
+  const serve::QueryRequest full = Range({0.0, 0.0}, {1.0, 1.0});
+  const ClusterQueryResult r = cluster->Execute(full);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.matches, Direct(catalog, full));
+  // The slow node's route is hedged to its replica holder, which finishes
+  // first; the straggler's result is dropped unread.
+  EXPECT_GE(r.hedges_fired, 1u);
+  EXPECT_GE(r.hedge_wins, 1u);
+  EXPECT_NE(r.winners.find('h'), std::string::npos) << r.winners;
+}
+
+TEST(ClusterBreakerTest, NodeBreakersTripAndRemoveNodesFromPlanning) {
+  MemEnv env;
+  CommitCatalog(&env, Mirror2());
+  ClusterOptions options;
+  options.num_nodes = 4;
+  options.hedging = false;
+  // Every read fails, services never retry: each observed sub-query
+  // completion feeds its node breaker one failure.
+  options.node_transient_prob = 1.0;
+  options.node_max_transient_attempts = 1000000;
+  options.node.read.retry.max_attempts = 1;
+  options.node.breaker.min_events = 1000000;  // Per-disk breakers stay out.
+  options.node.breaker.window = 1000000;
+  options.node_breaker.min_events = 1;
+  options.node_breaker.window = 1;
+  options.node_breaker.failure_ratio = 0.5;
+  options.node_breaker.open_ms = 1e18;  // Once open, stays open.
+  auto cluster = Cluster::Create(env, options).value();
+
+  const serve::QueryRequest full = Range({0.0, 0.0}, {1.0, 1.0});
+  const ClusterQueryResult first = cluster->Execute(full);
+  EXPECT_EQ(first.status.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(first.matches.empty());
+  EXPECT_GT(first.sub_queries, 0u);
+
+  // At least the first gathered route's primary and failover targets were
+  // observed failing, so their breakers opened.
+  uint32_t open = 0;
+  for (uint32_t n = 0; n < 4; ++n) {
+    if (cluster->NodeBreakerState(n) == BreakerState::kOpen) ++open;
+  }
+  EXPECT_GT(open, 0u);
+
+  // The first query's gather fed every node's breaker at least one
+  // observed failure (each primary plus the next node as failover), so all
+  // four are now open. Open breakers are planned around exactly like
+  // deaths: with every node refused the query never scatters at all.
+  for (uint32_t n = 0; n < 4; ++n) {
+    EXPECT_EQ(cluster->NodeBreakerState(n), BreakerState::kOpen) << n;
+  }
+  const ClusterQueryResult refused = cluster->Execute(full);
+  EXPECT_EQ(refused.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(refused.sub_queries, 0u);
+
+  obs::MetricsRegistry reg;
+  cluster->SnapshotMetrics(&reg);
+  EXPECT_GT(reg.GetCounter("cluster.node_breaker.opened")->value(), 0u);
+}
+
+/// The determinism fingerprint: everything the property test asserts is
+/// identical across coordinator thread counts. Latencies and hedge-fire
+/// counts are deliberately excluded.
+struct Fingerprint {
+  StatusCode code = StatusCode::kOk;
+  bool complete = false;
+  uint64_t buckets_touched = 0;
+  uint64_t unavailable_buckets = 0;
+  std::string winners;
+  std::vector<RecordId> matches;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+Fingerprint FingerprintOf(const ClusterQueryResult& r) {
+  Fingerprint f;
+  f.code = r.status.code();
+  f.complete = r.complete;
+  f.buckets_touched = r.buckets_touched;
+  f.unavailable_buckets = r.unavailable_buckets;
+  f.winners = r.winners;
+  f.matches = r.matches;
+  return f;
+}
+
+std::vector<serve::QueryRequest> PropertyQueries() {
+  std::vector<serve::QueryRequest> queries;
+  queries.push_back(Range({0.0, 0.0}, {1.0, 1.0}));
+  queries.push_back(Range({0.0, 0.0}, {0.49, 0.49}));
+  queries.push_back(Range({0.5, 0.0}, {1.0, 0.49}));
+  queries.push_back(Range({0.0, 0.5}, {0.49, 1.0}));
+  queries.push_back(Range({0.5, 0.5}, {1.0, 1.0}));
+  queries.push_back(Range({0.05, 0.3}, {0.1, 0.35}));   // Single bucket.
+  queries.push_back(Range({0.3, 0.3}, {0.7, 0.7}));
+  queries.push_back(Range({0.0, 0.4}, {1.0, 0.6}));     // Row strip.
+  queries.push_back(Range({0.4, 0.0}, {0.6, 1.0}));     // Column strip.
+  queries.push_back(Range({0.8, 0.8}, {0.9, 0.9}));
+  queries.push_back(Range({0.1, 0.1}, {0.9, 0.2}));
+  queries.push_back(Range({0.2, 0.6}, {0.8, 0.95}));
+  return queries;
+}
+
+/// Runs the fixed three-phase kill schedule with `threads` coordinator
+/// threads and returns one fingerprint per (phase, query).
+std::vector<Fingerprint> RunPropertySchedule(const MemEnv& env,
+                                             uint32_t threads) {
+  ClusterOptions options = Deterministic();
+  options.hedging = true;  // Hedges may fire; winners must not move.
+  options.hedge_policy = HedgePolicy::kPrimaryPreferred;
+  options.hedge_delay_ms = 0.0;
+  options.seed = 11;
+  auto cluster = Cluster::Create(env, options).value();
+  const std::vector<serve::QueryRequest> queries = PropertyQueries();
+  std::vector<Fingerprint> out(queries.size() * 3);
+
+  const auto run_phase = [&](size_t phase) {
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> pool;
+    for (uint32_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        for (size_t i = next.fetch_add(1); i < queries.size();
+             i = next.fetch_add(1)) {
+          out[phase * queries.size() + i] =
+              FingerprintOf(cluster->Execute(queries[i]));
+        }
+      });
+    }
+    for (std::thread& th : pool) th.join();
+  };
+
+  run_phase(0);  // All healthy.
+  EXPECT_TRUE(cluster->KillNode(1).ok());
+  run_phase(1);  // One node dead: mirror reroutes, still complete.
+  EXPECT_TRUE(cluster->KillNode(2).ok());
+  run_phase(2);  // Quorum lost: everything refused.
+  return out;
+}
+
+TEST(ClusterPropertyTest, SameScheduleSameOutcomeAcrossThreadCounts) {
+  MemEnv env;
+  CommitCatalog(&env, Mirror2());
+  const std::vector<Fingerprint> reference = RunPropertySchedule(env, 1);
+
+  // Sanity on the reference itself: phase 0 complete, phase 2 refused.
+  const size_t q = PropertyQueries().size();
+  for (size_t i = 0; i < q; ++i) {
+    EXPECT_TRUE(reference[i].complete) << i;
+    EXPECT_EQ(reference[2 * q + i].code, StatusCode::kUnavailable) << i;
+    EXPECT_TRUE(reference[2 * q + i].matches.empty()) << i;
+  }
+
+  for (const uint32_t threads : {4u, 16u}) {
+    const std::vector<Fingerprint> got = RunPropertySchedule(env, threads);
+    ASSERT_EQ(got.size(), reference.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], reference[i])
+          << threads << " threads, phase " << i / q << ", query " << i % q;
+    }
+  }
+}
+
+TEST(ClusterScriptTest, ParsesEveryDirective) {
+  const auto commands = ParseClusterScript(
+      "# comment\n"
+      "\n"
+      "query dm 0.1,0.2 0.6,0.9\n"
+      "query dm 0,0 1,1 250\r\n"
+      "kill-node 2\n"
+      "revive-node 2\n"
+      "advance-ms 150.5\n"
+      "migrate fx 8\n").value();
+  ASSERT_EQ(commands.size(), 6u);
+  EXPECT_EQ(commands[0].kind, ClusterCommand::Kind::kQuery);
+  EXPECT_EQ(commands[0].query.relation, "dm");
+  EXPECT_EQ(commands[0].query.lo, (std::vector<double>{0.1, 0.2}));
+  EXPECT_EQ(commands[0].query.hi, (std::vector<double>{0.6, 0.9}));
+  EXPECT_EQ(commands[1].query.deadline_ms, 250.0);
+  EXPECT_EQ(commands[2].kind, ClusterCommand::Kind::kKillNode);
+  EXPECT_EQ(commands[2].node, 2u);
+  EXPECT_EQ(commands[3].kind, ClusterCommand::Kind::kReviveNode);
+  EXPECT_EQ(commands[4].kind, ClusterCommand::Kind::kAdvance);
+  EXPECT_EQ(commands[4].advance_ms, 150.5);
+  EXPECT_EQ(commands[5].kind, ClusterCommand::Kind::kMigrate);
+  EXPECT_EQ(commands[5].migrate_method, "fx");
+  EXPECT_EQ(commands[5].migrate_disks, 8u);
+}
+
+TEST(ClusterScriptTest, RejectsMalformedLinesByNumber) {
+  EXPECT_FALSE(ParseClusterScript("frobnicate\n").ok());
+  EXPECT_FALSE(ParseClusterScript("query dm 0,0\n").ok());
+  EXPECT_FALSE(ParseClusterScript("query dm 0,x 1,1\n").ok());
+  EXPECT_FALSE(ParseClusterScript("query dm 0,0 1,1,1\n").ok());
+  EXPECT_FALSE(ParseClusterScript("query dm 0,0 1,1 -5\n").ok());
+  EXPECT_FALSE(ParseClusterScript("kill-node\n").ok());
+  EXPECT_FALSE(ParseClusterScript("kill-node x\n").ok());
+  EXPECT_FALSE(ParseClusterScript("advance-ms -1\n").ok());
+  EXPECT_FALSE(ParseClusterScript("migrate fx\n").ok());
+  EXPECT_FALSE(ParseClusterScript("migrate fx eight\n").ok());
+  const Status st =
+      ParseClusterScript("query dm 0,0 1,1\nbad\n").status();
+  EXPECT_NE(st.message().find("line 2"), std::string::npos) << st.ToString();
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace griddecl

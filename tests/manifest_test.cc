@@ -1,7 +1,9 @@
 #include "griddecl/gridfile/manifest.h"
 
 #include <algorithm>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -229,6 +231,153 @@ TEST(ManifestTest, PerRelationRedundancyOverrides) {
               is_dm ? RelationRedundancy::Policy::kMirror
                     : RelationRedundancy::Policy::kNone);
     EXPECT_EQ(env.Exists(m.MirrorFileName(i, 1)), is_dm);
+  }
+}
+
+TEST(ManifestTest, StagedGenerationStaysInvisibleUntilCommit) {
+  const Catalog catalog = MakeCatalog(4);
+  MemEnv env;
+  ASSERT_TRUE(SaveCatalogManifest(catalog, &env).ok());
+  const uint64_t staged = StageCatalogManifest(catalog, &env).value();
+  EXPECT_EQ(staged, 2u);
+  // Durable but uncommitted: the files exist, CURRENT still resolves 1,
+  // and the recovery scan skips the stage like crashed-save wreckage.
+  EXPECT_TRUE(env.Exists(ManifestFileName(2)));
+  EXPECT_EQ(ReadCurrentManifest(env).value().generation, 1u);
+
+  EXPECT_TRUE(CommitStagedManifest(&env, 2).ok());
+  EXPECT_EQ(ReadCurrentManifest(env).value().generation, 2u);
+  // Committing the already-current generation is an idempotent no-op.
+  EXPECT_TRUE(CommitStagedManifest(&env, 2).ok());
+  // A committed generation can only be retired by GC, never dropped.
+  EXPECT_EQ(DropStagedManifest(&env, 2).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ManifestTest, CommitFenceRefusesOvertakenStagedGeneration) {
+  const Catalog catalog = MakeCatalog(4);
+  MemEnv env;
+  ASSERT_TRUE(SaveCatalogManifest(catalog, &env).ok());
+  const uint64_t staged = StageCatalogManifest(catalog, &env).value();
+  EXPECT_EQ(staged, 2u);
+  // A racing committer lands generation 3 (staged generations are visible
+  // to NextManifestGeneration, so the racer numbers past the stage).
+  EXPECT_EQ(SaveCatalogManifest(catalog, &env).value(), 3u);
+  // The fence: flipping CURRENT back onto 2 would silently roll the
+  // catalog backwards, so the stale commit must refuse.
+  EXPECT_EQ(CommitStagedManifest(&env, 2).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ReadCurrentManifest(env).value().generation, 3u);
+  // The loser's stage is still cleanly droppable.
+  EXPECT_TRUE(DropStagedManifest(&env, 2).ok());
+  EXPECT_FALSE(env.Exists(ManifestFileName(2)));
+  EXPECT_FALSE(env.Exists("rel-000002-0.gd"));
+}
+
+TEST(ManifestTest, DropStagedRestoresTheExactFileSet) {
+  const Catalog catalog = MakeCatalog(4);
+  MemEnv env;
+  ASSERT_TRUE(SaveCatalogManifest(catalog, &env).ok());
+  const std::vector<std::string> before = env.ListFiles().value();
+  const uint64_t staged = StageCatalogManifest(catalog, &env).value();
+  EXPECT_GT(env.ListFiles().value().size(), before.size());
+  EXPECT_TRUE(DropStagedManifest(&env, staged).ok());
+  EXPECT_EQ(env.ListFiles().value(), before);
+  EXPECT_TRUE(LoadCatalogManifest(env).ok());
+}
+
+TEST(ManifestTest, RollbackToGenerationBypassesTheFence) {
+  const Catalog catalog = MakeCatalog(4);
+  MemEnv env;
+  ASSERT_TRUE(SaveCatalogManifest(catalog, &env).ok());
+  ASSERT_TRUE(SaveCatalogManifest(catalog, &env).ok());
+  ASSERT_EQ(ReadCurrentManifest(env).value().generation, 2u);
+  // Generation 1 survives as the rollback target; the explicit rollback
+  // primitive deliberately steps the fence backwards.
+  EXPECT_TRUE(RollbackToGeneration(&env, 1).ok());
+  EXPECT_EQ(ReadCurrentManifest(env).value().generation, 1u);
+  EXPECT_TRUE(LoadCatalogManifest(env).ok());
+  // Rolling back onto a generation whose files are gone must refuse.
+  EXPECT_FALSE(RollbackToGeneration(&env, 7).ok());
+}
+
+/// Interposes on reads to commit new generations mid-load: the first
+/// `fire_after` reads of relation files pass through, then the hook runs
+/// once before the next relation-file read — simulating a committer whose
+/// GC sweeps the resolved generation out from under a slow reader.
+class RacingEnv : public StorageEnv {
+ public:
+  RacingEnv(MemEnv* target, std::function<void()> hook, int fire_after = 0)
+      : target_(target), hook_(std::move(hook)), fuse_(fire_after) {}
+
+  Result<std::string> ReadFile(const std::string& name) const override {
+    MaybeFire(name);
+    return target_->ReadFile(name);
+  }
+  Result<std::string> ReadAt(const std::string& name, uint64_t offset,
+                             uint64_t length) const override {
+    MaybeFire(name);
+    return target_->ReadAt(name, offset, length);
+  }
+  Status WriteFile(const std::string& name, std::string_view data) override {
+    return target_->WriteFile(name, data);
+  }
+  Status Rename(const std::string& from, const std::string& to) override {
+    return target_->Rename(from, to);
+  }
+  Status Remove(const std::string& name) override {
+    return target_->Remove(name);
+  }
+  bool Exists(const std::string& name) const override {
+    return target_->Exists(name);
+  }
+  Result<std::vector<std::string>> ListFiles() const override {
+    return target_->ListFiles();
+  }
+
+ private:
+  void MaybeFire(const std::string& name) const {
+    if (hook_ == nullptr || name.rfind("rel-", 0) != 0) return;
+    if (fuse_-- > 0) return;
+    auto hook = std::move(hook_);
+    hook_ = nullptr;
+    hook();
+  }
+
+  MemEnv* target_;
+  mutable std::function<void()> hook_;
+  mutable int fuse_;
+};
+
+TEST(ManifestTest, ConsistentLoadSurvivesConcurrentCommitAndGc) {
+  // Regression for the concurrent-generation race: a reader resolves
+  // CURRENT = 2, then a committer lands generations 3 and 4 — whose GC
+  // retires generation 2's files — before the reader touches them. The
+  // plain load fails (checksummed reads can never mix generations); the
+  // consistent wrapper re-resolves and retries at the new CURRENT.
+  const Catalog catalog = MakeCatalog(4);
+  MemEnv env;
+  ASSERT_TRUE(SaveCatalogManifest(catalog, &env).ok());
+  ASSERT_TRUE(SaveCatalogManifest(catalog, &env).ok());
+
+  // Two commits: each save lands a new generation and its GC retires
+  // everything but the new generation and its predecessor — so the
+  // generation the racing reader resolved is swept mid-load.
+  const auto race = [&catalog, &env] {
+    EXPECT_TRUE(SaveCatalogManifest(catalog, &env).ok());
+    EXPECT_TRUE(SaveCatalogManifest(catalog, &env).ok());
+  };
+
+  {
+    RacingEnv racing(&env, race);
+    EXPECT_FALSE(LoadCatalogManifest(racing).ok());
+    EXPECT_FALSE(env.Exists("rel-000002-0.gd"));  // GC swept the reader's gen.
+  }
+  {
+    RacingEnv racing(&env, race);
+    const Result<Catalog> loaded = LoadCatalogManifestConsistent(racing);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded.value().RelationNames(), catalog.RelationNames());
   }
 }
 

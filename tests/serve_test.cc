@@ -486,6 +486,110 @@ TEST(DiskFaultScheduleTest, RejectsNonClusteredLayouts) {
             StatusCode::kUnsupported);
 }
 
+TEST(QueryServiceTest, DiskFilterPartitionsTheFullAnswer) {
+  // The coordinator extension clusters are built on: sub-queries
+  // restricted to disjoint primary-disk sets must union to exactly the
+  // unrestricted answer, with no overlap.
+  MemEnv env;
+  const Catalog catalog = CommitCatalog(&env, {});
+  auto service = QueryService::Create(&env, {}).value();
+  const std::vector<double> lo = {0.1, 0.1};
+  const std::vector<double> hi = {0.9, 0.9};
+  const std::vector<RecordId> want =
+      Sorted(catalog.Find("dm")->ExecuteRange(lo, hi).value().matches);
+
+  std::vector<RecordId> merged;
+  for (uint32_t d = 0; d < 4; ++d) {
+    QueryRequest sub = Range(lo, hi);
+    sub.disks = {d};
+    const QueryResult r = service->Execute(sub);
+    ASSERT_TRUE(r.status.ok()) << "disk " << d << ": " << r.status.ToString();
+    merged.insert(merged.end(), r.matches.begin(), r.matches.end());
+  }
+  EXPECT_EQ(Sorted(merged), want);
+
+  // Out-of-range disks are request errors, and an empty intersection is a
+  // clean empty result, not a failure.
+  QueryRequest bad = Range(lo, hi);
+  bad.disks = {9};
+  EXPECT_EQ(service->Execute(bad).status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QueryServiceTest, ServeCopyPinsEveryReadToOneMirror) {
+  MemEnv env;
+  const Catalog catalog = CommitCatalog(&env, Mirror2());
+  auto service = QueryService::Create(&env, {}).value();
+  const std::vector<double> lo = {0.0, 0.0};
+  const std::vector<double> hi = {1.0, 1.0};
+  const std::vector<RecordId> want =
+      Sorted(catalog.Find("dm")->ExecuteRange(lo, hi).value().matches);
+
+  QueryRequest pinned = Range(lo, hi);
+  pinned.serve_copy = 1;
+  const QueryResult r = service->Execute(pinned);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.matches, want);  // Mirror copies are byte-identical.
+
+  // Pinning past the relation's copies, or on a non-mirrored relation,
+  // is a request error.
+  pinned.serve_copy = 2;
+  EXPECT_EQ(service->Execute(pinned).status.code(),
+            StatusCode::kInvalidArgument);
+  MemEnv plain_env;
+  CommitCatalog(&plain_env, {});
+  auto plain = QueryService::Create(&plain_env, {}).value();
+  QueryRequest on_plain = Range(lo, hi);
+  on_plain.serve_copy = 1;
+  EXPECT_EQ(plain->Execute(on_plain).status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QueryServiceTest, GenerationFenceFailsFastOnMismatch) {
+  MemEnv env;
+  CommitCatalog(&env, {});
+  auto service = QueryService::Create(&env, {}).value();
+  EXPECT_EQ(service->generation(), 1u);
+
+  QueryRequest fenced = Range({0.0, 0.0}, {1.0, 1.0});
+  fenced.expected_generation = 1;  // Matching fence passes.
+  EXPECT_TRUE(service->Execute(fenced).status.ok());
+  fenced.expected_generation = 2;  // A coordinator one cutover ahead.
+  const QueryResult r = service->Execute(fenced);
+  EXPECT_EQ(r.status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(r.matches.empty());
+  fenced.expected_generation = 0;  // Unfenced requests never check.
+  EXPECT_TRUE(service->Execute(fenced).status.ok());
+}
+
+TEST(QueryServiceTest, ServeOptionsGenerationLoadsStagedCatalogs) {
+  MemEnv env;
+  const Catalog catalog = CommitCatalog(&env, {});
+  // Stage generation 2 without committing: CURRENT still names 1.
+  ManifestSaveOptions save;
+  save.page_size_bytes = 168;
+  EXPECT_EQ(StageCatalogManifest(catalog, &env, save).value(), 2u);
+  EXPECT_EQ(ReadCurrentManifest(env).value().generation, 1u);
+
+  auto current = QueryService::Create(&env, {}).value();
+  EXPECT_EQ(current->generation(), 1u);
+  ServeOptions at2;
+  at2.generation = 2;
+  auto staged = QueryService::Create(&env, at2).value();
+  EXPECT_EQ(staged->generation(), 2u);
+
+  const QueryRequest full = Range({0.0, 0.0}, {1.0, 1.0});
+  const QueryResult a = current->Execute(full);
+  const QueryResult b = staged->Execute(full);
+  ASSERT_TRUE(a.status.ok());
+  ASSERT_TRUE(b.status.ok());
+  EXPECT_EQ(a.matches, b.matches);
+
+  ServeOptions at9;
+  at9.generation = 9;
+  EXPECT_FALSE(QueryService::Create(&env, at9).ok());
+}
+
 TEST(ServeScriptTest, ParsesQueriesCommentsAndDeadlines) {
   const auto requests = ParseServeScript(
       "# comment\n"

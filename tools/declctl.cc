@@ -88,6 +88,24 @@
 ///       `--metrics-json` the snapshot includes the pool's
 ///       `storage.pool.*` hit/miss/eviction counters.
 ///
+///   declctl cluster --dir DIR --script FILE [--nodes 4] [--threads 4]
+///                [--hedge-delay MS] [--no-hedge] [--first-success]
+///                [--quorum F] [--seed S] [--latency n0,n1,...]
+///                [--transient-prob P] [--fault-seed S]
+///       Simulate an N-node scatter-gather cluster (cluster/cluster.h)
+///       over the catalog at DIR: every node gets a private in-memory
+///       copy of the catalog behind a FaultyEnv and a serve::QueryService;
+///       the coordinator plans per-node sub-queries along virtual-disk
+///       ownership, hedges stragglers to replica-holding nodes, routes
+///       around dead or breaker-tripped nodes, and returns partial
+///       results with an explicit availability fraction when buckets have
+///       no live route. The script (cluster/script.h) extends the serve
+///       format with `kill-node N`, `revive-node N`, `advance-ms T`, and
+///       `migrate <method> <disks>` (live re-declustering with atomic
+///       cutover). `--latency` injects per-node read latency in ms (the
+///       slow-node hedging demo). Exit status 0 iff every query returned
+///       complete and every migrate committed.
+///
 /// Commands that drive the evaluator, a simulator, or the storage stack
 /// (eval, compare, throughput, degrade, mkcatalog, fsck) also accept
 /// `--metrics-json=PATH` ("-" = stdout): the library's observability
@@ -102,6 +120,8 @@
 #include <iostream>
 #include <sstream>
 
+#include "griddecl/cluster/cluster.h"
+#include "griddecl/cluster/script.h"
 #include "griddecl/common/flags.h"
 #include "griddecl/eval/advisor.h"
 #include "griddecl/griddecl.h"
@@ -157,7 +177,7 @@ int Usage() {
       "usage: declctl <command> [flags]\n"
       "commands: methods | eval | compare | sweep-size | gen-trace |\n"
       "          advise | show | export | optimize | throughput | search |\n"
-      "          degrade | mkcatalog | fsck | serve\n"
+      "          degrade | mkcatalog | fsck | serve | cluster\n"
       "see the header of tools/declctl.cc for per-command flags\n";
   return 2;
 }
@@ -853,6 +873,159 @@ int CmdServe(const Flags& flags) {
   return failed == 0 ? 0 : 1;
 }
 
+int CmdCluster(const Flags& flags) {
+  const std::string dir = flags.GetString("dir", "");
+  if (dir.empty()) return Fail("--dir DIR is required");
+  const std::string script_path = flags.GetString("script", "");
+  if (script_path.empty()) return Fail("--script FILE is required");
+
+  const auto nodes = flags.GetInt("nodes", 4);
+  const auto threads = flags.GetInt("threads", 4);
+  const auto hedge_delay = flags.GetDouble("hedge-delay", -1.0);
+  const auto no_hedge = flags.GetBool("no-hedge", false);
+  const auto first_success = flags.GetBool("first-success", false);
+  const auto quorum = flags.GetDouble("quorum", 0.5);
+  const auto seed = flags.GetInt("seed", 0);
+  const auto prob = flags.GetDouble("transient-prob", 0.0);
+  const auto fault_seed = flags.GetInt("fault-seed", 1);
+  if (!nodes.ok() || !threads.ok() || !hedge_delay.ok() || !no_hedge.ok() ||
+      !first_success.ok() || !quorum.ok() || !seed.ok() || !prob.ok() ||
+      !fault_seed.ok() || nodes.value() < 1 || threads.value() < 1) {
+    return Fail("bad numeric flag");
+  }
+
+  cluster::ClusterOptions options;
+  options.num_nodes = static_cast<uint32_t>(nodes.value());
+  options.node.num_threads = static_cast<uint32_t>(threads.value());
+  options.hedging = !no_hedge.value();
+  options.hedge_policy = first_success.value()
+                             ? cluster::HedgePolicy::kFirstSuccess
+                             : cluster::HedgePolicy::kPrimaryPreferred;
+  options.hedge_delay_ms = hedge_delay.value();
+  options.quorum_fraction = quorum.value();
+  options.seed = static_cast<uint64_t>(seed.value());
+  options.node.seed = static_cast<uint64_t>(seed.value());
+  options.node_transient_prob = prob.value();
+  options.fault_seed = static_cast<uint64_t>(fault_seed.value());
+  {
+    const std::string latency = flags.GetString("latency", "");
+    std::istringstream ss(latency);
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+      char* end = nullptr;
+      const double v = std::strtod(token.c_str(), &end);
+      if (token.empty() || end != token.c_str() + token.size() || v < 0.0) {
+        return Fail("bad --latency entry '" + token + "'");
+      }
+      options.node_latency_ms.push_back(v);
+    }
+  }
+
+  std::ifstream script_in(script_path);
+  if (!script_in.good()) {
+    return Fail("cannot read script '" + script_path + "'");
+  }
+  std::ostringstream script_text;
+  script_text << script_in.rdbuf();
+  Result<std::vector<cluster::ClusterCommand>> commands =
+      cluster::ParseClusterScript(script_text.str());
+  if (!commands.ok()) {
+    return Fail(script_path + ": " + commands.status().ToString());
+  }
+
+  Result<DiskEnv> env = DiskEnv::Create(dir);
+  if (!env.ok()) return Fail(env.status().ToString());
+  Result<std::unique_ptr<cluster::Cluster>> cl =
+      cluster::Cluster::Create(env.value(), std::move(options));
+  if (!cl.ok()) return Fail(cl.status().ToString());
+  std::cout << "cluster: " << cl.value()->num_nodes() << " node(s), "
+            << cl.value()->num_disks() << " virtual disk(s), generation "
+            << cl.value()->generation() << "\n";
+
+  MetricsSink sink(flags);
+  uint64_t incomplete = 0;
+  size_t query_no = 0;
+  for (const cluster::ClusterCommand& cmd : commands.value()) {
+    using Kind = cluster::ClusterCommand::Kind;
+    switch (cmd.kind) {
+      case Kind::kQuery: {
+        const cluster::ClusterQueryResult r = cl.value()->Execute(cmd.query);
+        std::cout << "query " << query_no++ << ": ";
+        if (!r.status.ok()) {
+          ++incomplete;
+          std::cout << r.status.ToString() << "\n";
+          break;
+        }
+        std::cout << r.matches.size() << " match(es), " << r.sub_queries
+                  << " sub-quer" << (r.sub_queries == 1 ? "y" : "ies");
+        if (r.hedges_fired > 0) {
+          std::cout << ", " << r.hedges_fired << " hedged (" << r.hedge_wins
+                    << " won)";
+        }
+        if (r.rerouted_subqueries > 0) {
+          std::cout << ", " << r.rerouted_subqueries << " rerouted";
+        }
+        if (!r.complete) {
+          ++incomplete;
+          std::cout << ", PARTIAL availability "
+                    << Table::Fmt(r.availability * 100, 1) << "% ("
+                    << r.unavailable_buckets << "/" << r.buckets_touched
+                    << " buckets unavailable)";
+        }
+        std::cout << "\n";
+        break;
+      }
+      case Kind::kKillNode: {
+        const Status st = cl.value()->KillNode(cmd.node);
+        if (!st.ok()) return Fail(st.ToString());
+        std::cout << "killed node " << cmd.node << "\n";
+        break;
+      }
+      case Kind::kReviveNode: {
+        const Status st = cl.value()->ReviveNode(cmd.node);
+        if (!st.ok()) return Fail(st.ToString());
+        std::cout << "revived node " << cmd.node << "\n";
+        break;
+      }
+      case Kind::kAdvance:
+        cl.value()->AdvanceTimeMs(cmd.advance_ms);
+        std::cout << "advanced virtual time to " << cmd.advance_ms << " ms\n";
+        break;
+      case Kind::kMigrate: {
+        cluster::MigrationOptions mo;
+        mo.new_method = cmd.migrate_method;
+        mo.new_num_disks = cmd.migrate_disks;
+        Result<cluster::MigrationReport> report = cl.value()->Migrate(mo);
+        if (!report.ok()) return Fail(report.status().ToString());
+        if (report.value().committed) {
+          std::cout << "migrated to " << cmd.migrate_method << "/M="
+                    << cmd.migrate_disks << ": generation "
+                    << report.value().old_generation << " -> "
+                    << report.value().new_generation << ", "
+                    << report.value().files_copied << " file(s) copied, "
+                    << report.value().verify_queries
+                    << " verify quer(ies) clean\n";
+        } else {
+          ++incomplete;
+          std::cout << "migration aborted: " << report.value().abort_reason
+                    << " (old generation " << report.value().old_generation
+                    << " intact)\n";
+        }
+        break;
+      }
+    }
+  }
+  if (sink.registry() != nullptr) {
+    cl.value()->SnapshotMetrics(sink.registry());
+  }
+  std::cout << (incomplete == 0 ? "all commands clean"
+                                : std::to_string(incomplete) +
+                                      " command(s) degraded or failed")
+            << "\n";
+  if (const int rc = sink.Flush(); rc != 0) return rc;
+  return incomplete == 0 ? 0 : 1;
+}
+
 int CmdFsck(const Flags& flags) {
   const std::string dir = flags.GetString("dir", "");
   if (dir.empty()) return Fail("--dir DIR is required");
@@ -897,6 +1070,7 @@ int Main(int argc, char** argv) {
   if (command == "mkcatalog") return CmdMkCatalog(flags.value());
   if (command == "fsck") return CmdFsck(flags.value());
   if (command == "serve") return CmdServe(flags.value());
+  if (command == "cluster") return CmdCluster(flags.value());
   return Usage();
 }
 
