@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <future>
 #include <utility>
 
@@ -63,13 +64,60 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(const StorageEnv& seed,
         " > " + std::to_string(manifest.value().num_disks));
   }
 
+  // Resolve the placement spec: an explicit override wins, else the
+  // manifest's persisted record, else chained over a flat topology —
+  // exactly the pre-placement behavior.
+  PlacementSpec spec;
+  if (options.placement.has_value()) {
+    spec = *options.placement;
+  } else if (manifest.value().placement.has_value()) {
+    auto from = FromManifestPlacement(*manifest.value().placement);
+    if (!from.ok()) return from.status();
+    spec = std::move(from).value();
+  } else {
+    spec.policy = PlacementPolicy::kChained;
+    spec.topology = Topology::Flat(options.num_nodes);
+    spec.seed = options.seed;
+  }
+  GRIDDECL_RETURN_IF_ERROR(spec.topology.Validate());
+  if (spec.topology.num_nodes() != options.num_nodes) {
+    return Status::InvalidArgument(
+        "placement topology describes " +
+        std::to_string(spec.topology.num_nodes()) + " nodes, cluster has " +
+        std::to_string(options.num_nodes));
+  }
+  for (const ZoneFaultWindow& w : options.zone_windows) {
+    if (w.zone >= spec.topology.num_zones()) {
+      return Status::InvalidArgument(
+          "zone fault window names zone " + std::to_string(w.zone) + " of " +
+          std::to_string(spec.topology.num_zones()));
+    }
+  }
+
   auto files = seed.ListFiles();
   if (!files.ok()) return files.status();
 
   std::unique_ptr<Cluster> cluster(new Cluster());
   cluster->options_ = std::move(options);
   const ClusterOptions& opts = cluster->options_;
+  cluster->placement_spec_ = std::move(spec);
   cluster->start_ = std::chrono::steady_clock::now();
+
+  // One effective window list — node windows plus zone windows expanded
+  // to their member nodes — shared by NodeAliveAt (routing) and the
+  // FaultyEnv wildcard ranges (reads), so a zone kill is both routed
+  // around and enforced at the storage layer.
+  cluster->effective_windows_ = opts.node_windows;
+  for (const ZoneFaultWindow& w : opts.zone_windows) {
+    for (uint32_t n = 0; n < opts.num_nodes; ++n) {
+      if (cluster->placement_spec_.topology.zone_of(n) == w.zone) {
+        cluster->effective_windows_.push_back(
+            NodeFaultWindow{n, w.from_ms, w.until_ms});
+      }
+    }
+  }
+  cluster->node_inflight_ =
+      std::make_unique<std::atomic<int64_t>[]>(opts.num_nodes);
 
   std::vector<std::shared_ptr<serve::QueryService>> services;
   for (uint32_t n = 0; n < opts.num_nodes; ++n) {
@@ -85,7 +133,7 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(const StorageEnv& seed,
     fo.max_transient_attempts = opts.node_max_transient_attempts;
     fo.latency_ms =
         n < opts.node_latency_ms.size() ? opts.node_latency_ms[n] : 0.0;
-    for (const NodeFaultWindow& w : opts.node_windows) {
+    for (const NodeFaultWindow& w : cluster->effective_windows_) {
       if (w.node != n) continue;
       fo.permanent.push_back(FaultRange{
           "", 0, std::numeric_limits<uint64_t>::max(), w.from_ms, w.until_ms});
@@ -113,6 +161,29 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(const StorageEnv& seed,
       cluster->BuildEpoch(manifest.value().generation, std::move(services));
   if (!epoch.ok()) return epoch.status();
   cluster->epoch_ = std::move(epoch.value());
+
+  // Self-colocation check: warn (loudly, once, at construction) about any
+  // mirror relation whose placement puts two copies of some disk on one
+  // node — the chained trap where a single node kill can take every
+  // replica of a bucket down at once.
+  for (const auto& [name, rel] : cluster->epoch_->routing->relations) {
+    if (rel.copies < 2) continue;
+    const std::vector<uint32_t> colocated =
+        cluster->epoch_->placement.SelfColocatedDisks(rel.copies);
+    if (colocated.empty()) continue;
+    std::string disks;
+    for (uint32_t d : colocated) {
+      if (!disks.empty()) disks += ",";
+      disks += std::to_string(d);
+    }
+    std::string warning =
+        "placement warning: relation '" + name + "' (" +
+        PlacementPolicyName(cluster->placement_spec_.policy) + ", copies=" +
+        std::to_string(rel.copies) + ") co-locates copies of disk(s) " +
+        disks + " on one node; a single node loss can drop those buckets";
+    std::fprintf(stderr, "%s\n", warning.c_str());
+    cluster->placement_warnings_.push_back(std::move(warning));
+  }
   return cluster;
 }
 
@@ -154,6 +225,14 @@ Result<std::shared_ptr<const Cluster::Epoch>> Cluster::BuildEpoch(
     epoch->disk_node[d] = static_cast<uint32_t>(static_cast<uint64_t>(d) * n /
                                                 epoch->num_disks);
   }
+  uint32_t max_copies = 1;
+  for (const auto& [name, rel] : routing->relations) {
+    max_copies = std::max(max_copies, rel.copies);
+  }
+  auto placement =
+      PlacementMap::Build(placement_spec_, epoch->disk_node, max_copies);
+  if (!placement.ok()) return placement.status();
+  epoch->placement = std::move(placement).value();
   epoch->services = std::move(services);
   epoch->routing = std::move(routing);
   return std::shared_ptr<const Epoch>(std::move(epoch));
@@ -210,7 +289,7 @@ bool Cluster::NodeAlive(uint32_t node) const {
 bool Cluster::NodeAliveAt(uint32_t node, double virtual_now) const {
   if (node >= nodes_.size()) return false;
   if (nodes_[node]->killed.load()) return false;
-  for (const NodeFaultWindow& w : options_.node_windows) {
+  for (const NodeFaultWindow& w : effective_windows_) {
     if (w.node == node && virtual_now >= w.from_ms &&
         virtual_now < w.until_ms) {
       return false;
@@ -301,6 +380,30 @@ Status Cluster::ReviveNode(uint32_t node) {
     epoch_ = std::move(fresh);
   }
   nd.killed.store(false);
+  return Status::Ok();
+}
+
+Status Cluster::KillZone(uint32_t zone) {
+  if (zone >= placement_spec_.topology.num_zones()) {
+    return Status::InvalidArgument("no zone " + std::to_string(zone));
+  }
+  for (uint32_t n = 0; n < nodes_.size(); ++n) {
+    if (placement_spec_.topology.zone_of(n) == zone) {
+      GRIDDECL_RETURN_IF_ERROR(KillNode(n));
+    }
+  }
+  return Status::Ok();
+}
+
+Status Cluster::ReviveZone(uint32_t zone) {
+  if (zone >= placement_spec_.topology.num_zones()) {
+    return Status::InvalidArgument("no zone " + std::to_string(zone));
+  }
+  for (uint32_t n = 0; n < nodes_.size(); ++n) {
+    if (placement_spec_.topology.zone_of(n) == zone) {
+      GRIDDECL_RETURN_IF_ERROR(ReviveNode(n));
+    }
+  }
   return Status::Ok();
 }
 
@@ -400,9 +503,12 @@ ClusterQueryResult Cluster::ExecuteOnEpoch(const Epoch& epoch,
   const uint32_t num_disks = epoch.num_disks;
 
   // Plan: one route per (node, copy). A disk whose owner is dead or
-  // breaker-refused reroutes to the first alive replica-holding node
-  // (mirror relations); plain and parity relations lose those buckets —
-  // parity repairs a disk *within* a node, not a whole node.
+  // breaker-refused reroutes to the least-loaded alive replica-holding
+  // node per the epoch's placement (ties to the lowest copy index, which
+  // is the deterministic first-alive choice whenever loads are equal —
+  // always the case single-threaded or at copies=2); plain and parity
+  // relations lose those buckets — parity repairs a disk *within* a node,
+  // not a whole node.
   std::map<std::pair<uint32_t, uint32_t>, Route> routes;
   for (uint32_t d = 0; d < num_disks; ++d) {
     if (counts[d] == 0) continue;
@@ -411,11 +517,17 @@ ClusterQueryResult Cluster::ExecuteOnEpoch(const Epoch& epoch,
     uint32_t target_copy = 0;
     bool placed = NodeAliveAt(owner, vnow) && !NodeWouldRefuse(owner);
     if (!placed) {
-      for (uint32_t c = 1; c < rel.copies && !placed; ++c) {
-        const uint32_t rn = epoch.disk_node[(d + c) % num_disks];
-        if (rn != owner && NodeAliveAt(rn, vnow) && !NodeWouldRefuse(rn)) {
+      int64_t best_load = 0;
+      for (uint32_t c = 1; c < rel.copies; ++c) {
+        const uint32_t rn = epoch.placement.NodeOf(d, c);
+        if (rn == owner || !NodeAliveAt(rn, vnow) || NodeWouldRefuse(rn)) {
+          continue;
+        }
+        const int64_t load = node_inflight_[rn].load();
+        if (!placed || load < best_load) {
           target_node = rn;
           target_copy = c;
+          best_load = load;
           placed = true;
         }
       }
@@ -452,6 +564,10 @@ ClusterQueryResult Cluster::ExecuteOnEpoch(const Epoch& epoch,
     sub.expected_generation = epoch.generation;
     return sub;
   };
+  // In-flight load accounting: every submitted sub-query charges its
+  // bucket count to the serving node until its future is consumed (or the
+  // route finishes, for hedges dropped unread) — the signal the planner's
+  // least-loaded replica choice balances on.
   std::vector<InFlight> flights;
   flights.reserve(routes.size());
   for (const auto& [key, route] : routes) {
@@ -464,6 +580,8 @@ ClusterQueryResult Cluster::ExecuteOnEpoch(const Epoch& epoch,
         fl.future = std::move(submitted.value());
         fl.submitted = true;
         ++result.sub_queries;
+        node_inflight_[route.node].fetch_add(
+            static_cast<int64_t>(route.buckets));
       }
     }
     if (route.rerouted) ++result.rerouted_subqueries;
@@ -498,7 +616,7 @@ ClusterQueryResult Cluster::ExecuteOnEpoch(const Epoch& epoch,
     if (rel.copies > 1 && !route.disks.empty()) {
       const uint32_t d0 = route.disks.front();
       for (uint32_t c = 1; c < rel.copies; ++c) {
-        const uint32_t rn = epoch.disk_node[(d0 + c) % num_disks];
+        const uint32_t rn = epoch.placement.NodeOf(d0, c);
         if (rn != route.node && NodeAliveAt(rn, vnow) &&
             !NodeWouldRefuse(rn)) {
           alt_node = rn;
@@ -527,6 +645,8 @@ ClusterQueryResult Cluster::ExecuteOnEpoch(const Epoch& epoch,
             hedge = std::move(h.value());
             hedge_fired = true;
             ++result.hedges_fired;
+            node_inflight_[alt_node].fetch_add(
+                static_cast<int64_t>(route.buckets));
           }
         }
       }
@@ -617,6 +737,16 @@ ClusterQueryResult Cluster::ExecuteOnEpoch(const Epoch& epoch,
       }
     }
     (void)primary_failed_observed;
+    // The route's in-flight charges are settled here whether its futures
+    // were consumed or dropped (a cancelled hedge's work is nearly done
+    // by the time its future is discarded).
+    if (fl.submitted) {
+      node_inflight_[route.node].fetch_sub(
+          static_cast<int64_t>(route.buckets));
+    }
+    if (hedge_fired) {
+      node_inflight_[alt_node].fetch_sub(static_cast<int64_t>(route.buckets));
+    }
     if (route_served) continue;
 
     // Failover: the primary (and any hedge) failed or was never
@@ -625,12 +755,13 @@ ClusterQueryResult Cluster::ExecuteOnEpoch(const Epoch& epoch,
     for (uint32_t c = 1; c < rel.copies && !route_served; ++c) {
       if (route.disks.empty()) break;
       if (hedge_failed_observed && c == alt_copy) continue;
-      const uint32_t rn =
-          epoch.disk_node[(route.disks.front() + c) % num_disks];
+      const uint32_t rn = epoch.placement.NodeOf(route.disks.front(), c);
       if (rn == route.node || !NodeAliveAt(rn, vnow)) continue;
       auto f = resubmit(rn, c);
       if (!f.ok()) continue;
+      node_inflight_[rn].fetch_add(static_cast<int64_t>(route.buckets));
       serve::QueryResult fr = f.value().get();
+      node_inflight_[rn].fetch_sub(static_cast<int64_t>(route.buckets));
       RecordNodeOutcome(rn, fr.status.ok());
       ObserveNodeLatency(rn, fr.total_ms);
       if (fr.status.ok()) {

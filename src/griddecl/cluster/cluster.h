@@ -9,9 +9,11 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "griddecl/cluster/placement.h"
 #include "griddecl/common/status.h"
 #include "griddecl/eval/disk_map.h"
 #include "griddecl/gridfile/catalog.h"
@@ -41,14 +43,18 @@
 /// gathers:
 ///
 ///  * **Quorum-aware degraded routing.** A sub-query for a dead or
-///    breaker-refused node reroutes to the replica-holding node of each
-///    affected disk (mirror copy c of a bucket on disk d lives on disk
-///    (d+c) mod M, chained declustering — the same placement serve's
-///    DegradedPlan re-expansion realizes). Buckets with no live route are
-///    reported, not served: the query returns a partial result with an
-///    explicit `availability` fraction instead of failing. Below quorum
-///    (alive nodes <= quorum_fraction * N) the cluster refuses outright
-///    with kUnavailable.
+///    breaker-refused node reroutes to a replica-holding node of each
+///    affected disk, per the epoch's `PlacementMap` (cluster/placement.h:
+///    chained `(d+c) mod M`, spread, or zone_aware, as recorded in the
+///    manifest). Among the alive replica holders the coordinator picks the
+///    *least-loaded* one (fewest in-flight bucket reads, ties to the
+///    lowest copy index — which degenerates to the deterministic
+///    first-alive choice at copies=2 or single-threaded). Buckets with no
+///    live route are reported, not served: the query returns a partial
+///    result with an explicit `availability` fraction instead of failing.
+///    Below quorum (alive nodes <= quorum_fraction * N) the cluster
+///    refuses outright with kUnavailable. Whole failure domains die
+///    together via `ZoneFaultWindow` schedules or imperative `KillZone`.
 ///  * **Hedged requests.** When a primary sub-query is still running after
 ///    a per-node hedge delay — the node's observed sub-query p95 times
 ///    `hedge_factor`, plus seeded jitter, floored at `hedge_min_ms`, or a
@@ -125,10 +131,19 @@ struct ClusterOptions {
   /// Seed for hedge jitter.
   uint64_t seed = 0;
 
+  /// Replica-placement override. Absent = the catalog manifest's
+  /// placement record, or chained over a flat topology when the manifest
+  /// predates placement — exactly the pre-placement behavior. When set,
+  /// the topology's node count must equal num_nodes.
+  std::optional<PlacementSpec> placement;
+
   /// Whole-node crash windows, evaluated against the virtual clock
   /// (`AdvanceTimeMs`). A node inside a window is routed around AND its
   /// env fails every read (wildcard FaultRange).
   std::vector<NodeFaultWindow> node_windows;
+  /// Whole-zone crash windows: expanded against the placement topology
+  /// into one NodeFaultWindow per member node at Create.
+  std::vector<ZoneFaultWindow> zone_windows;
   /// Per-node injected read latency in ms (index = node id, missing = 0).
   /// The knob the slow-node hedging benchmark turns.
   std::vector<double> node_latency_ms;
@@ -179,6 +194,23 @@ struct MigrationOptions {
   std::vector<serve::QueryRequest> verify_requests;
   /// Pages copied between abort checks during the copy phase.
   uint32_t copy_batch_pages = 64;
+  /// Copy-phase pacing budget in bytes/sec (token bucket against the wall
+  /// clock): the migrating thread sleeps whenever the copied bytes run
+  /// ahead of the budget, so bulk copy traffic fits inside spare bandwidth
+  /// instead of saturating the device concurrent queries share. 0 =
+  /// unpaced (copy as fast as possible).
+  double copy_bytes_per_sec = 0.0;
+  /// Simulated copy-device throughput in bytes/sec: each copied file
+  /// charges size/rate of wall-clock transfer time, so the copy phase has
+  /// real duration for concurrent traffic to overlap. 0 = instantaneous
+  /// (the pre-pacing behavior).
+  double copy_device_bytes_per_sec = 0.0;
+  /// Extra per-read latency (ms) injected on EVERY node for the duration
+  /// of an *unpaced* copy phase — the contention an unthrottled bulk copy
+  /// inflicts on concurrent queries at the shared device. A paced copy
+  /// (copy_bytes_per_sec > 0) fits in spare bandwidth and injects
+  /// nothing. 0 disables the contention model.
+  double copy_contention_ms = 0.0;
   /// Test hook: called at phase boundaries ("copy", "staged", "verify",
   /// "commit", "committed") on the migrating thread. Kills injected here
   /// exercise the abort paths deterministically.
@@ -194,6 +226,12 @@ struct MigrationReport {
   uint64_t new_generation = 0;
   uint64_t buckets_copied = 0;
   uint64_t files_copied = 0;
+  /// Payload bytes moved by the copy phase (each file counted once, not
+  /// per node — one read fanned out to N writes).
+  uint64_t bytes_copied = 0;
+  /// Total wall-clock milliseconds the copy phase slept to stay under
+  /// `copy_bytes_per_sec`. 0 when unpaced.
+  double pacing_wait_ms = 0.0;
   uint64_t verify_queries = 0;
   uint64_t verify_mismatches = 0;
 };
@@ -224,6 +262,10 @@ class Cluster {
   /// Revives a killed node. Reloads its service when the cluster moved to
   /// a newer committed generation while the node was down.
   Status ReviveNode(uint32_t node);
+  /// Kills / revives every node in the placement topology's zone `zone`
+  /// at once — the imperative form of a ZoneFaultWindow.
+  Status KillZone(uint32_t zone);
+  Status ReviveZone(uint32_t zone);
 
   /// Advances the virtual clock all node fault windows are evaluated
   /// against (monotonically, by convention).
@@ -247,6 +289,22 @@ class Cluster {
 
   BreakerState NodeBreakerState(uint32_t node) const;
   bool NodeAlive(uint32_t node) const;
+
+  /// The placement spec the cluster resolved at Create (override >
+  /// manifest record > chained over a flat topology).
+  const PlacementSpec& placement_spec() const { return placement_spec_; }
+  /// Self-colocation warnings computed at Create: one line per mirror
+  /// relation whose placement puts two copies of some disk on one node
+  /// (the chained trap). Empty = every relation survives any single node
+  /// loss placement-wise.
+  const std::vector<std::string>& PlacementWarnings() const {
+    return placement_warnings_;
+  }
+  /// In-flight bucket-read weight currently charged to `node` (the load
+  /// signal degraded routing balances on). Test/observability hook.
+  int64_t NodeInflight(uint32_t node) const {
+    return node < nodes_.size() ? node_inflight_[node].load() : 0;
+  }
 
   /// Test hook: the raw (fault-free) storage env backing `node`, or
   /// nullptr when out of range. Chaos tests corrupt staged files through
@@ -295,6 +353,10 @@ class Cluster {
     uint32_t num_disks = 0;
     /// disk d -> owning node (contiguous slices: d * N / M).
     std::vector<uint32_t> disk_node;
+    /// (disk, copy) -> node under the resolved placement spec; row 0 ==
+    /// disk_node. Built per epoch because M (and so the table) changes
+    /// across migrations.
+    PlacementMap placement;
     std::vector<std::shared_ptr<serve::QueryService>> services;
     std::shared_ptr<const Routing> routing;
   };
@@ -343,7 +405,16 @@ class Cluster {
   double SteadyNowMs() const;
 
   ClusterOptions options_;
+  /// Resolved at Create: options_.placement > manifest record > chained.
+  PlacementSpec placement_spec_;
+  std::vector<std::string> placement_warnings_;
+  /// node_windows plus every zone window expanded to its member nodes —
+  /// the one list NodeAliveAt and the FaultyEnv wildcard ranges share.
+  std::vector<NodeFaultWindow> effective_windows_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  /// Per-node in-flight bucket-read weight (degraded routing's load
+  /// signal). unique_ptr array: atomics are not movable.
+  std::unique_ptr<std::atomic<int64_t>[]> node_inflight_;
   std::chrono::steady_clock::time_point start_;
   std::atomic<double> virtual_now_ms_{0.0};
 

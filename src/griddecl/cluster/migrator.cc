@@ -1,10 +1,43 @@
 #include "griddecl/cluster/migrator.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "griddecl/methods/registry.h"
 
 namespace griddecl::cluster {
+
+namespace {
+
+/// Raises every node's FaultyEnv extra read latency for the lifetime of
+/// the guard — the contention an unpaced bulk copy inflicts on concurrent
+/// queries at the shared device. Destructor-managed so every abort return
+/// inside the copy phase clears it.
+class ContentionGuard {
+ public:
+  ContentionGuard() = default;
+  ContentionGuard(const ContentionGuard&) = delete;
+  ContentionGuard& operator=(const ContentionGuard&) = delete;
+  ~ContentionGuard() { Release(); }
+
+  void Engage(const std::vector<std::unique_ptr<FaultyEnv>*>& envs,
+              double ms) {
+    envs_ = envs;
+    for (auto* env : envs_) (*env)->SetExtraLatencyMs(ms);
+  }
+
+  void Release() {
+    for (auto* env : envs_) (*env)->SetExtraLatencyMs(0.0);
+    envs_.clear();
+  }
+
+ private:
+  std::vector<std::unique_ptr<FaultyEnv>*> envs_;
+};
+
+}  // namespace
 
 const char* Migrator::AbortTrigger() const {
   if (cluster_->abort_migration_.load()) return "externally aborted";
@@ -69,12 +102,46 @@ Result<MigrationReport> Migrator::Run(const MigrationOptions& options) {
     }
   }
 
+  if (options.copy_bytes_per_sec < 0.0 ||
+      options.copy_device_bytes_per_sec < 0.0 ||
+      options.copy_contention_ms < 0.0) {
+    return Status::InvalidArgument(
+        "copy pacing rates and contention must be >= 0");
+  }
+
   if (const char* trigger = AbortTrigger()) {
     return Abort(std::move(report), trigger, 0);
   }
 
   // --- Phase 1: copy -----------------------------------------------------
   phase("copy");
+
+  // Pacing: a token bucket over the wall clock keeps the copy inside its
+  // bytes/sec budget (sleeps are sliced so aborts stay responsive). The
+  // bucket banks up to 50 ms of budget so pacing throttles the sustained
+  // rate, not every single small file.
+  TokenBucket bucket(options.copy_bytes_per_sec,
+                     options.copy_bytes_per_sec * 0.05);
+  const auto abortable_sleep = [&](double ms) -> const char* {
+    double remaining = ms;
+    while (remaining > 0.0) {
+      if (const char* trigger = AbortTrigger()) return trigger;
+      const double slice = std::min(remaining, 5.0);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(slice));
+      remaining -= slice;
+    }
+    return AbortTrigger();
+  };
+  // An unpaced copy saturates the shared device: every read on every node
+  // pays the contention penalty until the copy phase ends. A paced copy
+  // fits in spare bandwidth and injects nothing.
+  ContentionGuard contention;
+  if (options.copy_bytes_per_sec <= 0.0 && options.copy_contention_ms > 0.0) {
+    std::vector<std::unique_ptr<FaultyEnv>*> envs;
+    for (const auto& node : cluster_->nodes_) envs.push_back(&node->faulty);
+    contention.Engage(envs, options.copy_contention_ms);
+  }
   const StorageEnv& env0 = cluster_->nodes_[0]->env;
   auto old_manifest = ReadManifest(env0, report.old_generation);
   if (!old_manifest.ok()) return old_manifest.status();
@@ -116,6 +183,27 @@ Result<MigrationReport> Migrator::Run(const MigrationOptions& options) {
                      "copy failed: " + bytes.status().ToString(),
                      report.new_generation);
       }
+      const double size = static_cast<double>(bytes.value().size());
+      // Pace BEFORE the transfer: the budget gates when bytes enter the
+      // device, so a paced copy never bursts ahead of its rate.
+      if (options.copy_bytes_per_sec > 0.0) {
+        const double wait =
+            bucket.ConsumeDelayMs(size, cluster_->SteadyNowMs());
+        if (wait > 0.0) {
+          report.pacing_wait_ms += wait;
+          if (const char* trigger = abortable_sleep(wait)) {
+            return Abort(std::move(report), trigger, report.new_generation);
+          }
+        }
+      }
+      // Simulated device transfer time for this file's bytes.
+      if (options.copy_device_bytes_per_sec > 0.0) {
+        const double transfer_ms =
+            size * 1000.0 / options.copy_device_bytes_per_sec;
+        if (const char* trigger = abortable_sleep(transfer_ms)) {
+          return Abort(std::move(report), trigger, report.new_generation);
+        }
+      }
       for (const auto& node : cluster_->nodes_) {
         Status w = node->env.WriteFile(to, bytes.value());
         if (!w.ok()) {
@@ -124,6 +212,7 @@ Result<MigrationReport> Migrator::Run(const MigrationOptions& options) {
         }
       }
       ++report.files_copied;
+      report.bytes_copied += bytes.value().size();
     }
     const auto& rel = old_epoch->routing->relations.at(mr.name);
     report.buckets_copied += rel.df->file().grid().num_buckets();
@@ -138,6 +227,8 @@ Result<MigrationReport> Migrator::Run(const MigrationOptions& options) {
                    report.new_generation);
     }
   }
+  // Copy traffic is done: lift the contention penalty before verify.
+  contention.Release();
   phase("staged");
   if (const char* trigger = AbortTrigger()) {
     return Abort(std::move(report), trigger, report.new_generation);

@@ -44,6 +44,45 @@
 
 namespace griddecl::cluster {
 
+/// Clock-agnostic token bucket: tokens accrue at `rate_per_sec` up to a
+/// `burst` bank (the bucket starts empty, so the first consume already
+/// pays for itself); consumption may run the balance negative (debt), and
+/// the returned delay is how long the consumer must stall for the balance
+/// to recover to zero. The caller supplies timestamps, so the same bucket
+/// paces wall-clock migrations and virtual-clock tests identically.
+class TokenBucket {
+ public:
+  /// `rate_per_sec` <= 0 disables pacing (every consume returns 0).
+  TokenBucket(double rate_per_sec, double burst)
+      : rate_(rate_per_sec), burst_(burst < 0.0 ? 0.0 : burst) {}
+
+  /// Consumes `amount` tokens at time `now_ms` (monotone by convention)
+  /// and returns the milliseconds to wait before proceeding — 0 whenever
+  /// the bucket held enough.
+  double ConsumeDelayMs(double amount, double now_ms) {
+    if (rate_ <= 0.0) return 0.0;
+    if (!initialized_) {
+      last_ms_ = now_ms;
+      initialized_ = true;
+    }
+    tokens_ += (now_ms - last_ms_) * rate_ / 1000.0;
+    if (tokens_ > burst_) tokens_ = burst_;
+    last_ms_ = now_ms;
+    tokens_ -= amount;
+    if (tokens_ >= 0.0) return 0.0;
+    return -tokens_ * 1000.0 / rate_;
+  }
+
+  double tokens() const { return tokens_; }
+
+ private:
+  double rate_;
+  double burst_;
+  double tokens_ = 0.0;
+  double last_ms_ = 0.0;
+  bool initialized_ = false;
+};
+
 /// One migration run against a live cluster. Constructed and driven by
 /// `Cluster::Migrate`, which guarantees single-flight.
 class Migrator {

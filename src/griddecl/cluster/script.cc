@@ -103,6 +103,17 @@ Result<std::vector<ClusterCommand>> ParseClusterScript(std::string_view text) {
       cmd.kind = tokens[0] == "kill-node" ? ClusterCommand::Kind::kKillNode
                                           : ClusterCommand::Kind::kReviveNode;
       cmd.node = node.value();
+    } else if (tokens[0] == "kill-zone" || tokens[0] == "revive-zone") {
+      if (tokens.size() != 2) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": expected '" + tokens[0] +
+                                       " <zone>'");
+      }
+      auto zone = ParseU32(tokens[1], line_no, "zone");
+      if (!zone.ok()) return zone.status();
+      cmd.kind = tokens[0] == "kill-zone" ? ClusterCommand::Kind::kKillZone
+                                          : ClusterCommand::Kind::kReviveZone;
+      cmd.zone = zone.value();
     } else if (tokens[0] == "advance-ms") {
       if (tokens.size() != 2) {
         return Status::InvalidArgument("line " + std::to_string(line_no) +

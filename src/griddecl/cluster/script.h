@@ -16,8 +16,14 @@
 ///     query <relation> <lo1,..> <hi1,..> [deadline_ms]
 ///     kill-node <node>
 ///     revive-node <node>
+///     kill-zone <zone>
+///     revive-zone <zone>
 ///     advance-ms <virtual_ms>
 ///     migrate <method> <num_disks>
+///
+/// `kill-zone`/`revive-zone` act on every node of the failure domain at
+/// once (the cluster's topology decides membership) — the script-level
+/// face of correlated failures.
 ///
 /// Blank lines and lines starting with `#` are skipped. Example — kill a
 /// node mid-traffic, then re-decluster to FX on 8 disks:
@@ -36,6 +42,8 @@ struct ClusterCommand {
     kQuery,
     kKillNode,
     kReviveNode,
+    kKillZone,
+    kReviveZone,
     kAdvance,
     kMigrate,
   };
@@ -45,6 +53,8 @@ struct ClusterCommand {
   serve::QueryRequest query;
   /// kKillNode / kReviveNode.
   uint32_t node = 0;
+  /// kKillZone / kReviveZone.
+  uint32_t zone = 0;
   /// kAdvance: the new virtual time in ms.
   double advance_ms = 0.0;
   /// kMigrate.

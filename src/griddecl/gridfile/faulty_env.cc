@@ -84,9 +84,10 @@ Result<std::string> FaultyEnv::ReadAt(const std::string& name,
                                       uint64_t offset,
                                       uint64_t length) const {
   reads_issued_.fetch_add(1);
-  if (opts_.latency_ms > 0.0) {
+  const double delay_ms = opts_.latency_ms + extra_latency_ms_.load();
+  if (delay_ms > 0.0) {
     std::this_thread::sleep_for(
-        std::chrono::duration<double, std::milli>(opts_.latency_ms));
+        std::chrono::duration<double, std::milli>(delay_ms));
   }
   if (PermanentlyFaulted(name, offset, length)) {
     permanent_faults_.fetch_add(1);

@@ -106,6 +106,16 @@ class FaultyEnv : public StorageEnv {
   void SetNowMs(double now_ms) { now_ms_.store(now_ms); }
   double NowMs() const { return now_ms_.load(); }
 
+  /// Additional real wall-clock delay on every ReadAt, on top of
+  /// `latency_ms`, adjustable at runtime (negative values clamp to 0).
+  /// Models transient device contention — the migrator raises it on every
+  /// node while an unpaced bulk copy saturates the shared "device", and
+  /// drops it back when the copy finishes or is paced under budget.
+  void SetExtraLatencyMs(double ms) {
+    extra_latency_ms_.store(ms < 0.0 ? 0.0 : ms);
+  }
+  double ExtraLatencyMs() const { return extra_latency_ms_.load(); }
+
   /// Observability for tests: total ReadAt calls / injected failures.
   uint64_t reads_issued() const { return reads_issued_.load(); }
   uint64_t transient_faults_injected() const {
@@ -129,6 +139,7 @@ class FaultyEnv : public StorageEnv {
   mutable std::atomic<uint64_t> transient_faults_{0};
   mutable std::atomic<uint64_t> permanent_faults_{0};
   std::atomic<double> now_ms_{0.0};
+  std::atomic<double> extra_latency_ms_{0.0};
 };
 
 }  // namespace griddecl

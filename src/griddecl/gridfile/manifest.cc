@@ -14,9 +14,13 @@ namespace {
 
 constexpr char kManifestMagic[4] = {'G', 'D', 'M', 'F'};
 /// Version 1 predates the page-format tag (those generations are always
-/// kFormatV2 pages); version 2 records the format after page_size_bytes.
+/// kFormatV2 pages); version 2 records the format after page_size_bytes;
+/// version 3 appends an optional replica-placement record after the
+/// relation list. Absent record (and every pre-3 manifest) = chained
+/// placement.
 constexpr uint32_t kManifestVersionV1 = 1;
-constexpr uint32_t kManifestVersion = 2;
+constexpr uint32_t kManifestVersionV2 = 2;
+constexpr uint32_t kManifestVersion = 3;
 constexpr char kCurrentTmpName[] = "CURRENT.tmp";
 constexpr char kManifestPrefix[] = "MANIFEST-";
 constexpr size_t kManifestPrefixLen = 9;
@@ -27,6 +31,8 @@ constexpr uint32_t kMaxMethodLen = 256;
 constexpr uint32_t kMaxMirrorCopies = 64;
 constexpr uint32_t kMaxGroupPages = 1u << 20;
 constexpr uint32_t kMaxNumDisks = 1u << 20;
+constexpr uint32_t kMaxTopologyNodes = 1u << 20;
+constexpr uint32_t kMaxPlacementPolicy = 2;  // cluster::PlacementPolicy max.
 
 std::string FormatGen(uint64_t generation) {
   char buf[32];
@@ -197,6 +203,16 @@ std::string SerializeManifest(const CatalogManifest& manifest) {
     AppendU64(&out, rel.parity_size);
     AppendU32(&out, rel.parity_crc);
   }
+  AppendU32(&out, manifest.placement.has_value() ? 1u : 0u);
+  if (manifest.placement.has_value()) {
+    const ManifestPlacement& p = *manifest.placement;
+    AppendU32(&out, p.policy);
+    AppendU64(&out, p.seed);
+    AppendU32(&out, static_cast<uint32_t>(p.node_rack.size()));
+    for (uint32_t rack : p.node_rack) AppendU32(&out, rack);
+    AppendU32(&out, static_cast<uint32_t>(p.rack_zone.size()));
+    for (uint32_t zone : p.rack_zone) AppendU32(&out, zone);
+  }
   AppendU32(&out, Crc32c(out));
   return out;
 }
@@ -226,11 +242,12 @@ Result<CatalogManifest> ParseManifest(std::string_view bytes) {
       !r.ReadU32(&m.num_disks) || !r.ReadU32(&m.page_size_bytes)) {
     return Status::InvalidArgument("manifest truncated");
   }
-  if (version != kManifestVersionV1 && version != kManifestVersion) {
+  if (version != kManifestVersionV1 && version != kManifestVersionV2 &&
+      version != kManifestVersion) {
     return Status::InvalidArgument("unsupported manifest version " +
                                    std::to_string(version));
   }
-  if (version >= kManifestVersion) {
+  if (version >= kManifestVersionV2) {
     if (!r.ReadU32(&m.format_version)) {
       return Status::InvalidArgument("manifest truncated");
     }
@@ -294,6 +311,50 @@ Result<CatalogManifest> ParseManifest(std::string_view bytes) {
     }
     m.relations.push_back(std::move(rel));
   }
+  if (version >= kManifestVersion) {
+    uint32_t has_placement = 0;
+    if (!r.ReadU32(&has_placement) || has_placement > 1) {
+      return Status::InvalidArgument("bad placement flag in manifest");
+    }
+    if (has_placement == 1) {
+      ManifestPlacement p;
+      uint32_t num_nodes = 0;
+      if (!r.ReadU32(&p.policy) || !r.ReadU64(&p.seed) ||
+          !r.ReadU32(&num_nodes)) {
+        return Status::InvalidArgument("manifest truncated");
+      }
+      if (p.policy > kMaxPlacementPolicy) {
+        return Status::InvalidArgument("unknown placement policy in manifest");
+      }
+      if (num_nodes < 1 || num_nodes > kMaxTopologyNodes) {
+        return Status::InvalidArgument(
+            "placement node count out of range in manifest");
+      }
+      p.node_rack.resize(num_nodes);
+      for (uint32_t n = 0; n < num_nodes; ++n) {
+        if (!r.ReadU32(&p.node_rack[n])) {
+          return Status::InvalidArgument("manifest truncated");
+        }
+      }
+      uint32_t num_racks = 0;
+      if (!r.ReadU32(&num_racks) || num_racks < 1 || num_racks > num_nodes) {
+        return Status::InvalidArgument(
+            "placement rack count out of range in manifest");
+      }
+      p.rack_zone.resize(num_racks);
+      for (uint32_t k = 0; k < num_racks; ++k) {
+        if (!r.ReadU32(&p.rack_zone[k]) || p.rack_zone[k] >= num_racks) {
+          return Status::InvalidArgument("placement zone id out of range");
+        }
+      }
+      for (uint32_t rack : p.node_rack) {
+        if (rack >= num_racks) {
+          return Status::InvalidArgument("placement rack id out of range");
+        }
+      }
+      m.placement = std::move(p);
+    }
+  }
   if (r.remaining() != 0) {
     return Status::InvalidArgument("trailing garbage in manifest");
   }
@@ -356,6 +417,7 @@ Result<uint64_t> StageInternal(const Catalog& catalog, StorageEnv* env,
   m.num_disks = catalog.num_disks();
   m.page_size_bytes = options.page_size_bytes;
   m.format_version = options.format_version;
+  m.placement = options.placement;
 
   auto put = [&](const std::string& name, const std::string& payload) {
     const Status s = env->WriteFile(name, payload);

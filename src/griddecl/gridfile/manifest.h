@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -83,6 +84,23 @@ struct ManifestRelation {
   uint32_t parity_crc = 0;
 };
 
+/// Replica-placement record (manifest version 3): the policy, cluster
+/// topology and seed under which the generation's mirror copies were (or
+/// are meant to be) placed across nodes. Plain serialized data here; the
+/// semantics — and the PlacementSpec conversions — live in
+/// cluster/placement.h. A manifest without the record implies chained
+/// placement over a flat topology, exactly the pre-placement behavior.
+struct ManifestPlacement {
+  /// cluster::PlacementPolicy value (0 chained, 1 spread, 2 zone_aware).
+  uint32_t policy = 0;
+  /// Tie-break seed for zone_aware placement.
+  uint64_t seed = 0;
+  /// node_rack[n] = rack of node n; size = number of nodes.
+  std::vector<uint32_t> node_rack;
+  /// rack_zone[r] = zone of rack r; size = number of racks.
+  std::vector<uint32_t> rack_zone;
+};
+
 /// A parsed manifest: everything needed to reload (and scrub) a catalog.
 struct CatalogManifest {
   uint64_t generation = 0;
@@ -94,6 +112,9 @@ struct CatalogManifest {
   /// Relations sorted by name (the order Catalog::RelationNames uses);
   /// index in this vector is the index in file names.
   std::vector<ManifestRelation> relations;
+  /// Replica placement record (manifest version 3+). Absent on manifests
+  /// written before version 3 — loaders treat that as chained placement.
+  std::optional<ManifestPlacement> placement;
 
   /// `rel-<gen>-<index>.gd`
   std::string DataFileName(size_t index) const;
@@ -127,6 +148,9 @@ struct ManifestSaveOptions {
   /// columnar kFormatV3). Recorded in the manifest so loaders and scrub
   /// know the generation's layout without sniffing page headers.
   uint32_t format_version = kLatestFormatVersion;
+  /// Replica placement record to persist with the generation (absent =
+  /// chained, the backward-compatible default).
+  std::optional<ManifestPlacement> placement;
   /// Optional observability sink (non-owning). A committed save records
   /// `manifest.generations_committed`, `manifest.files_written` and
   /// `manifest.bytes_written` (data files, sidecars, manifest and CURRENT

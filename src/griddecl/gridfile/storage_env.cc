@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <mutex>
 #include <system_error>
 
 namespace griddecl {
@@ -59,7 +60,25 @@ Result<std::string> StorageEnv::ReadAt(const std::string& name,
 
 // --- MemEnv ---------------------------------------------------------------
 
+MemEnv::MemEnv(const MemEnv& other) {
+  std::shared_lock lock(other.mu_);
+  files_ = other.files_;
+}
+
+MemEnv& MemEnv::operator=(const MemEnv& other) {
+  if (this == &other) return *this;
+  std::map<std::string, std::string> copy;
+  {
+    std::shared_lock lock(other.mu_);
+    copy = other.files_;
+  }
+  std::unique_lock lock(mu_);
+  files_ = std::move(copy);
+  return *this;
+}
+
 Result<std::string> MemEnv::ReadFile(const std::string& name) const {
+  std::shared_lock lock(mu_);
   const auto it = files_.find(name);
   if (it == files_.end()) {
     return Status::NotFound("no file named '" + name + "'");
@@ -69,6 +88,7 @@ Result<std::string> MemEnv::ReadFile(const std::string& name) const {
 
 Result<std::string> MemEnv::ReadAt(const std::string& name, uint64_t offset,
                                    uint64_t length) const {
+  std::shared_lock lock(mu_);
   const auto it = files_.find(name);
   if (it == files_.end()) {
     return Status::NotFound("no file named '" + name + "'");
@@ -86,12 +106,14 @@ Result<std::string> MemEnv::ReadAt(const std::string& name, uint64_t offset,
 
 Status MemEnv::WriteFile(const std::string& name, std::string_view data) {
   if (!IsValidEnvFileName(name)) return InvalidName(name);
+  std::unique_lock lock(mu_);
   files_[name] = std::string(data);
   return Status::Ok();
 }
 
 Status MemEnv::Rename(const std::string& from, const std::string& to) {
   if (!IsValidEnvFileName(to)) return InvalidName(to);
+  std::unique_lock lock(mu_);
   const auto it = files_.find(from);
   if (it == files_.end()) {
     return Status::NotFound("no file named '" + from + "'");
@@ -102,6 +124,7 @@ Status MemEnv::Rename(const std::string& from, const std::string& to) {
 }
 
 Status MemEnv::Remove(const std::string& name) {
+  std::unique_lock lock(mu_);
   if (files_.erase(name) == 0) {
     return Status::NotFound("no file named '" + name + "'");
   }
@@ -109,10 +132,12 @@ Status MemEnv::Remove(const std::string& name) {
 }
 
 bool MemEnv::Exists(const std::string& name) const {
+  std::shared_lock lock(mu_);
   return files_.count(name) > 0;
 }
 
 Result<std::vector<std::string>> MemEnv::ListFiles() const {
+  std::shared_lock lock(mu_);
   std::vector<std::string> names;
   names.reserve(files_.size());
   for (const auto& [name, data] : files_) names.push_back(name);
@@ -121,6 +146,7 @@ Result<std::vector<std::string>> MemEnv::ListFiles() const {
 
 Status MemEnv::CorruptByte(const std::string& name, uint64_t offset,
                            uint8_t xor_mask) {
+  std::unique_lock lock(mu_);
   const auto it = files_.find(name);
   if (it == files_.end()) {
     return Status::NotFound("no file named '" + name + "'");
@@ -134,6 +160,7 @@ Status MemEnv::CorruptByte(const std::string& name, uint64_t offset,
 }
 
 Status MemEnv::TruncateFile(const std::string& name, uint64_t new_size) {
+  std::unique_lock lock(mu_);
   const auto it = files_.find(name);
   if (it == files_.end()) {
     return Status::NotFound("no file named '" + name + "'");

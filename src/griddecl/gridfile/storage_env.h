@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -69,9 +70,15 @@ class StorageEnv {
 };
 
 /// In-memory environment; copyable, so tests can snapshot a state and
-/// replay different fault schedules against it.
+/// replay different fault schedules against it. Thread-safe (reader/writer
+/// lock): a cluster node's service reads pages out of its env while the
+/// migrator concurrently writes staged files into it.
 class MemEnv : public StorageEnv {
  public:
+  MemEnv() = default;
+  MemEnv(const MemEnv& other);
+  MemEnv& operator=(const MemEnv& other);
+
   Result<std::string> ReadFile(const std::string& name) const override;
   /// Positioned read without the base class's whole-file copy — MemEnv
   /// backs the page-serving benchmarks, where a full-file copy per page
@@ -90,6 +97,9 @@ class MemEnv : public StorageEnv {
   Status TruncateFile(const std::string& name, uint64_t new_size);
 
  private:
+  /// Guards files_. shared_lock on the read paths keeps the concurrent
+  /// page-serving benchmarks cheap; copies take the source's lock.
+  mutable std::shared_mutex mu_;
   std::map<std::string, std::string> files_;
 };
 

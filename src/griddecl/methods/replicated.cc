@@ -37,10 +37,52 @@ Result<ReplicatedPlacement> ReplicatedPlacement::Create(
   return ReplicatedPlacement(std::move(base), num_replicas, offset);
 }
 
+Result<ReplicatedPlacement> ReplicatedPlacement::CreateWithTable(
+    std::unique_ptr<DeclusteringMethod> base,
+    std::vector<std::vector<uint32_t>> replica_disks) {
+  if (base == nullptr) {
+    return Status::InvalidArgument("base method must be non-null");
+  }
+  const uint32_t m = base->num_disks();
+  if (replica_disks.size() != m) {
+    return Status::InvalidArgument(
+        "replica table has " + std::to_string(replica_disks.size()) +
+        " rows for M=" + std::to_string(m));
+  }
+  const size_t r = replica_disks.empty() ? 0 : replica_disks[0].size();
+  if (r < 1 || r > m) {
+    return Status::InvalidArgument("replica table rows must have 1..M disks");
+  }
+  for (uint32_t primary = 0; primary < m; ++primary) {
+    const std::vector<uint32_t>& row = replica_disks[primary];
+    if (row.size() != r) {
+      return Status::InvalidArgument("replica table rows must be equal-size");
+    }
+    if (row[0] != primary) {
+      return Status::InvalidArgument(
+          "replica table row " + std::to_string(primary) +
+          " must start with its primary disk");
+    }
+    std::set<uint32_t> distinct;
+    for (uint32_t d : row) {
+      if (d >= m || !distinct.insert(d).second) {
+        return Status::InvalidArgument(
+            "replica table row " + std::to_string(primary) +
+            " has an out-of-range or duplicate disk");
+      }
+    }
+  }
+  ReplicatedPlacement placement(std::move(base), static_cast<uint32_t>(r),
+                                /*offset=*/0);
+  placement.table_ = std::move(replica_disks);
+  return placement;
+}
+
 std::vector<uint32_t> ReplicatedPlacement::DisksOf(
     const BucketCoords& c) const {
-  const uint32_t m = base_->num_disks();
   const uint32_t primary = base_->DiskOf(c);
+  if (!table_.empty()) return table_[primary];
+  const uint32_t m = base_->num_disks();
   std::vector<uint32_t> disks(num_replicas_);
   for (uint32_t i = 0; i < num_replicas_; ++i) {
     disks[i] = static_cast<uint32_t>(

@@ -36,6 +36,17 @@ class ReplicatedPlacement {
       std::unique_ptr<DeclusteringMethod> base, uint32_t num_replicas,
       uint32_t offset = 1);
 
+  /// Table-driven factory: `replica_disks[primary]` lists the disks
+  /// holding every bucket whose base disk is `primary` (element 0 must be
+  /// `primary` itself; all entries distinct and < M). This is how
+  /// topology-aware cluster placements (cluster/placement.h) are lowered
+  /// into the simulator: the node-level policy decides a per-primary-disk
+  /// replica set, and the sweep evaluates it with the same degraded
+  /// router the arithmetic `offset` placements use.
+  static Result<ReplicatedPlacement> CreateWithTable(
+      std::unique_ptr<DeclusteringMethod> base,
+      std::vector<std::vector<uint32_t>> replica_disks);
+
   const DeclusteringMethod& base() const { return *base_; }
   uint32_t num_replicas() const { return num_replicas_; }
   uint32_t num_disks() const { return base_->num_disks(); }
@@ -59,6 +70,8 @@ class ReplicatedPlacement {
   std::unique_ptr<DeclusteringMethod> base_;
   uint32_t num_replicas_;
   uint32_t offset_;
+  /// Non-empty iff built by CreateWithTable; indexed by primary disk.
+  std::vector<std::vector<uint32_t>> table_;
 };
 
 }  // namespace griddecl

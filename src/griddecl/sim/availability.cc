@@ -1,6 +1,8 @@
 #include "griddecl/sim/availability.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <set>
 #include <utility>
 
 #include "griddecl/common/random.h"
@@ -9,6 +11,25 @@
 #include "griddecl/query/generator.h"
 
 namespace griddecl {
+
+const char* FailureDomainName(FailureDomain domain) {
+  switch (domain) {
+    case FailureDomain::kDisk: return "disk";
+    case FailureDomain::kNode: return "node";
+    case FailureDomain::kRack: return "rack";
+    case FailureDomain::kZone: return "zone";
+  }
+  return "disk";
+}
+
+Result<FailureDomain> ParseFailureDomain(const std::string& name) {
+  if (name == "disk") return FailureDomain::kDisk;
+  if (name == "node") return FailureDomain::kNode;
+  if (name == "rack") return FailureDomain::kRack;
+  if (name == "zone") return FailureDomain::kZone;
+  return Status::InvalidArgument("unknown failure domain '" + name +
+                                 "' (want disk|node|rack|zone)");
+}
 
 namespace {
 
@@ -51,7 +72,107 @@ Status ValidateSweepOptions(const AvailabilitySweepOptions& o) {
         "sweep options must not pre-set faults/degraded; the sweep "
         "installs them per point");
   }
+  if (o.failure_domain != FailureDomain::kDisk) {
+    GRIDDECL_RETURN_IF_ERROR(o.topology.Validate());
+    if (o.topology.num_nodes() > o.num_disks) {
+      return Status::InvalidArgument(
+          "correlated sweep needs num_nodes <= num_disks");
+    }
+    for (cluster::PlacementPolicy p : o.placement_policies) {
+      if (static_cast<uint32_t>(p) > 2) {
+        return Status::InvalidArgument("unknown placement policy");
+      }
+    }
+  } else if (!o.forced_domain_order.empty() ||
+             !o.placement_policies.empty()) {
+    return Status::InvalidArgument(
+        "forced_domain_order / placement_policies require a correlated "
+        "failure_domain");
+  }
   return Status::Ok();
+}
+
+/// Domain count for the correlated failure unit.
+uint32_t DomainCount(const AvailabilitySweepOptions& o) {
+  switch (o.failure_domain) {
+    case FailureDomain::kDisk: return o.num_disks;
+    case FailureDomain::kNode: return o.topology.num_nodes();
+    case FailureDomain::kRack: return o.topology.num_racks();
+    case FailureDomain::kZone: return o.topology.num_zones();
+  }
+  return o.num_disks;
+}
+
+/// The domain id hosting node `n` under the sweep's failure unit.
+uint32_t DomainOfNode(const AvailabilitySweepOptions& o, uint32_t n) {
+  switch (o.failure_domain) {
+    case FailureDomain::kDisk:
+    case FailureDomain::kNode: return n;
+    case FailureDomain::kRack: return o.topology.rack_of(n);
+    case FailureDomain::kZone: return o.topology.zone_of(n);
+  }
+  return n;
+}
+
+/// Contiguous disk -> node deal, identical to the cluster coordinator's
+/// (cluster.cc): disk d lives on node d * N / M.
+std::vector<uint32_t> DealDisks(uint32_t num_disks, uint32_t num_nodes) {
+  std::vector<uint32_t> disk_node(num_disks);
+  for (uint32_t d = 0; d < num_disks; ++d) {
+    disk_node[d] = static_cast<uint32_t>(
+        static_cast<uint64_t>(d) * num_nodes / num_disks);
+  }
+  return disk_node;
+}
+
+/// Lowers a node-level placement map to a per-primary-disk replica table
+/// for ReplicatedPlacement::CreateWithTable: copy c of disk d goes to a
+/// disk owned by the node the policy chose, probing within that node's
+/// slice (then globally) to keep the row's disks distinct. A same-node
+/// copy (chained self-colocation) stays on the node — exactly the
+/// correlated-loss behaviour the experiment measures.
+Result<std::vector<std::vector<uint32_t>>> LowerPlacementToDisks(
+    const cluster::PlacementMap& map, const std::vector<uint32_t>& disk_node,
+    uint32_t replicas) {
+  const uint32_t m = static_cast<uint32_t>(disk_node.size());
+  // Node -> [first disk, disk count] of its contiguous slice.
+  std::vector<uint32_t> lo(m, 0), count(m, 0);
+  std::vector<bool> seen(m, false);
+  for (uint32_t d = 0; d < m; ++d) {
+    const uint32_t n = disk_node[d];
+    if (!seen[n]) {
+      seen[n] = true;
+      lo[n] = d;
+    }
+    ++count[n];
+  }
+  std::vector<std::vector<uint32_t>> table(m);
+  for (uint32_t d = 0; d < m; ++d) {
+    std::vector<uint32_t>& row = table[d];
+    row.push_back(d);
+    for (uint32_t c = 1; c < replicas; ++c) {
+      const uint32_t n = map.NodeOf(d, c);
+      uint32_t disk = m;  // sentinel: unplaced
+      for (uint32_t k = 0; k < count[n]; ++k) {
+        const uint32_t candidate = lo[n] + (d + k) % count[n];
+        if (std::find(row.begin(), row.end(), candidate) == row.end()) {
+          disk = candidate;
+          break;
+        }
+      }
+      for (uint32_t k = 0; disk == m && k < m; ++k) {
+        const uint32_t candidate = (d + 1 + k) % m;
+        if (std::find(row.begin(), row.end(), candidate) == row.end()) {
+          disk = candidate;
+        }
+      }
+      if (disk == m) {
+        return Status::Internal("replica lowering could not place a copy");
+      }
+      row.push_back(disk);
+    }
+  }
+  return table;
 }
 
 /// One simulated point: `f` permanently failed disks under `plan`.
@@ -94,19 +215,20 @@ Result<AvailabilityPoint> RunPoint(const DeclusteringMethod& method,
 
 /// Appends f = 0..max_failed points for one (method, plan-builder) pair and
 /// fills in `degraded_ratio` against the pair's own f = 0 mean.
+/// `dead_sets[f]` is the full failed-disk set at level f (a prefix chain:
+/// each level's set contains the previous one's).
 template <typename PlanBuilder>
 Status SweepStrategy(const DeclusteringMethod& method,
                      const std::string& registry_name,
                      const Workload& workload,
                      const AvailabilitySweepOptions& options,
-                     const std::vector<uint32_t>& fail_order,
+                     const std::vector<std::vector<uint32_t>>& dead_sets,
                      std::string strategy, uint32_t replicas,
                      const PlanBuilder& build_plan,
                      std::vector<AvailabilityPoint>* points) {
   double healthy_mean = 0;
   for (uint32_t f = 0; f <= options.max_failed; ++f) {
-    const std::vector<uint32_t> dead(fail_order.begin(),
-                                     fail_order.begin() + f);
+    const std::vector<uint32_t>& dead = dead_sets[f];
     std::vector<bool> mask(method.num_disks(), false);
     for (uint32_t d : dead) mask[d] = true;
     Result<DegradedPlan> plan = build_plan(mask);
@@ -116,6 +238,7 @@ Status SweepStrategy(const DeclusteringMethod& method,
                  dead, strategy, replicas);
     GRIDDECL_RETURN_IF_ERROR(point.status());
     if (f == 0) healthy_mean = point.value().mean_latency_ms;
+    point.value().failed_domains = f;
     point.value().degraded_ratio =
         healthy_mean <= 0 ? 0
                           : point.value().mean_latency_ms / healthy_mean;
@@ -138,11 +261,53 @@ Result<AvailabilitySweep> RunAvailabilitySweep(
       options.query_shape, options.num_queries, &workload_rng, "a11");
   GRIDDECL_RETURN_IF_ERROR(workload.status());
 
-  // The disks killed at level f are the first f of this permutation: the
-  // failed sets are nested, and identical across runs at the same seed.
-  Rng fail_rng(options.seed);
-  const std::vector<uint32_t> fail_order =
-      fail_rng.Permutation(options.num_disks);
+  // The failed set at level f nests the one at f - 1, and is identical
+  // across runs at the same seed. Classic mode kills the first f disks of
+  // a seeded permutation; correlated mode kills the first f whole domains
+  // (seeded permutation of domain ids, unless the caller forced an order).
+  const bool correlated = options.failure_domain != FailureDomain::kDisk;
+  std::vector<std::vector<uint32_t>> dead_sets(options.max_failed + 1);
+  if (!correlated) {
+    Rng fail_rng(options.seed);
+    const std::vector<uint32_t> fail_order =
+        fail_rng.Permutation(options.num_disks);
+    for (uint32_t f = 1; f <= options.max_failed; ++f) {
+      dead_sets[f].assign(fail_order.begin(), fail_order.begin() + f);
+    }
+  } else {
+    const uint32_t domains = DomainCount(options);
+    if (options.max_failed > domains) {
+      return Status::InvalidArgument(
+          "max_failed exceeds the correlated domain count");
+    }
+    std::vector<uint32_t> order = options.forced_domain_order;
+    if (order.empty()) {
+      Rng fail_rng(options.seed);
+      order = fail_rng.Permutation(domains);
+    } else {
+      std::set<uint32_t> distinct;
+      for (uint32_t id : order) {
+        if (id >= domains || !distinct.insert(id).second) {
+          return Status::InvalidArgument(
+              "forced_domain_order entries must be distinct domain ids");
+        }
+      }
+      if (order.size() < options.max_failed) {
+        return Status::InvalidArgument(
+            "forced_domain_order must cover max_failed domains");
+      }
+    }
+    const std::vector<uint32_t> disk_node =
+        DealDisks(options.num_disks, options.topology.num_nodes());
+    for (uint32_t f = 1; f <= options.max_failed; ++f) {
+      dead_sets[f] = dead_sets[f - 1];
+      for (uint32_t d = 0; d < options.num_disks; ++d) {
+        if (DomainOfNode(options, disk_node[d]) == order[f - 1]) {
+          dead_sets[f].push_back(d);
+        }
+      }
+    }
+  }
 
   const std::vector<std::string> names =
       options.methods.empty() ? AllMethodNames() : options.methods;
@@ -160,41 +325,88 @@ Result<AvailabilitySweep> RunAvailabilitySweep(
 
     // r = 1, no redundancy: buckets on dead disks fail their queries.
     GRIDDECL_RETURN_IF_ERROR(SweepStrategy(
-        method, name, workload.value(), options, fail_order, "plain", 1,
+        method, name, workload.value(), options, dead_sets, "plain", 1,
         [&](std::vector<bool> mask) {
           return DegradedPlan::ForMethod(method, std::move(mask));
         },
         &sweep.points));
 
-    // Replicated placements: optimal re-routing around failures.
-    for (uint32_t r : options.replication) {
-      Result<std::unique_ptr<DeclusteringMethod>> base =
-          CreateMethod(name, grid.value(), options.num_disks);
-      GRIDDECL_RETURN_IF_ERROR(base.status());
-      Result<ReplicatedPlacement> placement = ReplicatedPlacement::Create(
-          std::move(base).value(), r, /*offset=*/1);
-      GRIDDECL_RETURN_IF_ERROR(placement.status());
-      GRIDDECL_RETURN_IF_ERROR(SweepStrategy(
-          method, name, workload.value(), options, fail_order,
-          "replica-r" + std::to_string(r), r,
-          [&](std::vector<bool> mask) {
-            return DegradedPlan::ForReplicated(placement.value(),
-                                               std::move(mask));
-          },
-          &sweep.points));
-    }
+    if (!correlated) {
+      // Replicated placements: optimal re-routing around failures.
+      for (uint32_t r : options.replication) {
+        Result<std::unique_ptr<DeclusteringMethod>> base =
+            CreateMethod(name, grid.value(), options.num_disks);
+        GRIDDECL_RETURN_IF_ERROR(base.status());
+        Result<ReplicatedPlacement> placement = ReplicatedPlacement::Create(
+            std::move(base).value(), r, /*offset=*/1);
+        GRIDDECL_RETURN_IF_ERROR(placement.status());
+        GRIDDECL_RETURN_IF_ERROR(SweepStrategy(
+            method, name, workload.value(), options, dead_sets,
+            "replica-r" + std::to_string(r), r,
+            [&](std::vector<bool> mask) {
+              return DegradedPlan::ForReplicated(placement.value(),
+                                                 std::move(mask));
+            },
+            &sweep.points));
+      }
 
-    // Parity-group reconstruction, where the method's coding supports it.
-    if (DegradedPlan::ForEcc(method, std::vector<bool>(options.num_disks,
-                                                       false))
-            .ok()) {
-      GRIDDECL_RETURN_IF_ERROR(SweepStrategy(
-          method, name, workload.value(), options, fail_order,
-          "ecc-reconstruct", 1,
-          [&](std::vector<bool> mask) {
-            return DegradedPlan::ForEcc(method, std::move(mask));
-          },
-          &sweep.points));
+      // Parity-group reconstruction, where the method's coding supports
+      // it. (Correlated mode skips ECC: parity groups are not
+      // topology-aware, so a whole-domain kill defeats them by design.)
+      if (DegradedPlan::ForEcc(method, std::vector<bool>(options.num_disks,
+                                                         false))
+              .ok()) {
+        GRIDDECL_RETURN_IF_ERROR(SweepStrategy(
+            method, name, workload.value(), options, dead_sets,
+            "ecc-reconstruct", 1,
+            [&](std::vector<bool> mask) {
+              return DegradedPlan::ForEcc(method, std::move(mask));
+            },
+            &sweep.points));
+      }
+    } else {
+      // Topology-aware replica placements: the cluster's node-level
+      // policies lowered to disk-level tables, routed optimally.
+      std::vector<cluster::PlacementPolicy> policies =
+          options.placement_policies;
+      if (policies.empty()) {
+        policies = {cluster::PlacementPolicy::kChained,
+                    cluster::PlacementPolicy::kSpread,
+                    cluster::PlacementPolicy::kZoneAware};
+      }
+      const std::vector<uint32_t> disk_node =
+          DealDisks(options.num_disks, options.topology.num_nodes());
+      for (cluster::PlacementPolicy policy : policies) {
+        for (uint32_t r : options.replication) {
+          cluster::PlacementSpec spec;
+          spec.policy = policy;
+          spec.topology = options.topology;
+          spec.seed = options.placement_seed;
+          Result<cluster::PlacementMap> map =
+              cluster::PlacementMap::Build(spec, disk_node, r);
+          GRIDDECL_RETURN_IF_ERROR(map.status());
+          Result<std::vector<std::vector<uint32_t>>> table =
+              LowerPlacementToDisks(map.value(), disk_node, r);
+          GRIDDECL_RETURN_IF_ERROR(table.status());
+          Result<std::unique_ptr<DeclusteringMethod>> base =
+              CreateMethod(name, grid.value(), options.num_disks);
+          GRIDDECL_RETURN_IF_ERROR(base.status());
+          Result<ReplicatedPlacement> placement =
+              ReplicatedPlacement::CreateWithTable(
+                  std::move(base).value(), std::move(table).value());
+          GRIDDECL_RETURN_IF_ERROR(placement.status());
+          GRIDDECL_RETURN_IF_ERROR(SweepStrategy(
+              method, name, workload.value(), options, dead_sets,
+              std::string(cluster::PlacementPolicyName(policy)) + "-r" +
+                  std::to_string(r),
+              r,
+              [&](std::vector<bool> mask) {
+                return DegradedPlan::ForReplicated(placement.value(),
+                                                   std::move(mask));
+              },
+              &sweep.points));
+        }
+      }
     }
   }
   return sweep;
@@ -210,6 +422,28 @@ std::string AvailabilitySweep::ToJson() const {
   out += "  \"num_queries\": " + std::to_string(options.num_queries) + ",\n";
   out += "  \"max_failed\": " + std::to_string(options.max_failed) + ",\n";
   out += "  \"replication\": " + JsonUintList(options.replication) + ",\n";
+  const bool correlated = options.failure_domain != FailureDomain::kDisk;
+  if (correlated) {
+    out += "  \"failure_domain\": \"" +
+           std::string(FailureDomainName(options.failure_domain)) + "\",\n";
+    out += "  \"topology\": \"" + std::to_string(options.topology.num_nodes()) +
+           "x" + std::to_string(options.topology.num_racks()) + "x" +
+           std::to_string(options.topology.num_zones()) + "\",\n";
+    std::vector<cluster::PlacementPolicy> policies =
+        options.placement_policies;
+    if (policies.empty()) {
+      policies = {cluster::PlacementPolicy::kChained,
+                  cluster::PlacementPolicy::kSpread,
+                  cluster::PlacementPolicy::kZoneAware};
+    }
+    out += "  \"policies\": [";
+    for (size_t i = 0; i < policies.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + std::string(cluster::PlacementPolicyName(policies[i])) +
+             "\"";
+    }
+    out += "],\n";
+  }
   out += "  \"seed\": " + std::to_string(options.seed) + ",\n";
   out +=
       "  \"concurrency\": " + std::to_string(options.sim.concurrency) + ",\n";
@@ -221,6 +455,9 @@ std::string AvailabilitySweep::ToJson() const {
     out += ", \"strategy\": \"" + p.strategy + "\"";
     out += ", \"replicas\": " + std::to_string(p.replicas);
     out += ", \"failed_disks\": " + std::to_string(p.failed_disks);
+    if (correlated) {
+      out += ", \"failed_domains\": " + std::to_string(p.failed_domains);
+    }
     out += ", \"mean_latency_ms\": " + JsonNum(p.mean_latency_ms);
     out += ", \"total_ms\": " + JsonNum(p.total_ms);
     out += ", \"availability\": " + JsonNum(p.availability);

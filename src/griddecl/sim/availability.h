@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "griddecl/cluster/placement.h"
 #include "griddecl/common/status.h"
 #include "griddecl/sim/throughput.h"
 
@@ -29,8 +30,31 @@
 ///
 /// Everything is deterministic under `seed`: two runs with the same options
 /// produce byte-identical JSON.
+///
+/// **Correlated-failure mode (experiment A16).** Setting `failure_domain`
+/// to node/rack/zone switches the sweep from independent disk deaths to
+/// whole-domain kills: disks are dealt onto `topology` nodes in the same
+/// contiguous slices the cluster coordinator uses, the failed set at level
+/// f is every disk on the first f killed domains, and the replica
+/// strategies become the cluster's placement policies (chained / spread /
+/// zone_aware) lowered to per-primary-disk replica tables. The classic
+/// kDisk report stays byte-identical; correlated reports add
+/// `failure_domain`, `topology`, `policies`, and per-point
+/// `failed_domains` fields.
 
 namespace griddecl {
+
+/// Unit of correlated failure. kDisk is the classic A11 sweep (disks die
+/// independently); the others kill every disk hosted by the domain.
+enum class FailureDomain : uint32_t {
+  kDisk = 0,
+  kNode = 1,
+  kRack = 2,
+  kZone = 3,
+};
+
+const char* FailureDomainName(FailureDomain domain);
+Result<FailureDomain> ParseFailureDomain(const std::string& name);
 
 /// One (method, strategy, failed-disk count) measurement.
 struct AvailabilityPoint {
@@ -40,6 +64,9 @@ struct AvailabilityPoint {
   /// Physical copies per bucket (1 for plain and ecc-reconstruct).
   uint32_t replicas = 1;
   uint32_t failed_disks = 0;
+  /// Correlated mode: how many whole domains were killed to produce
+  /// `failed_disks` (equal to `failed_disks` in classic kDisk mode).
+  uint32_t failed_domains = 0;
   /// Mean latency over answered queries (ms).
   double mean_latency_ms = 0;
   double total_ms = 0;
@@ -75,6 +102,23 @@ struct AvailabilitySweepOptions {
   /// Closed-system simulator knobs (faults/degraded are set per point and
   /// must be null here).
   ThroughputOptions sim;
+
+  /// kDisk keeps the classic sweep; node/rack/zone switch to correlated
+  /// whole-domain kills (see file comment).
+  FailureDomain failure_domain = FailureDomain::kDisk;
+  /// Correlated mode only: the node -> rack -> zone topology disks are
+  /// dealt onto. Must validate and have num_nodes <= num_disks.
+  cluster::Topology topology;
+  /// Correlated mode only: placement policies to evaluate (each crossed
+  /// with every `replication` degree). Empty selects all three.
+  std::vector<cluster::PlacementPolicy> placement_policies;
+  /// Correlated mode only: seeds the zone_aware tie-break hash.
+  uint64_t placement_seed = 1;
+  /// Correlated mode only: explicit kill order over domain ids, overriding
+  /// the seeded permutation (entries distinct, < domain count, and at
+  /// least max_failed of them). Lets callers probe a specific worst-case
+  /// domain instead of the seeded one.
+  std::vector<uint32_t> forced_domain_order;
 };
 
 /// Sweep output: every point plus enough configuration echo to interpret it.

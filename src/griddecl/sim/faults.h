@@ -79,6 +79,17 @@ struct NodeFaultWindow {
   double until_ms = std::numeric_limits<double>::infinity();
 };
 
+/// A whole-zone crash window: every node whose topology zone matches goes
+/// down together while from_ms <= now < until_ms. The correlated-failure
+/// sibling of NodeFaultWindow — `cluster::Cluster` expands each zone
+/// window into per-node windows against its placement topology, so one
+/// entry models a power/network domain failing as a unit.
+struct ZoneFaultWindow {
+  uint32_t zone = 0;
+  double from_ms = 0.0;
+  double until_ms = std::numeric_limits<double>::infinity();
+};
+
 /// A time-windowed service-time multiplier on one disk.
 struct Straggler {
   uint32_t disk = 0;

@@ -1,5 +1,7 @@
 #include "griddecl/sim/availability.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 namespace griddecl {
@@ -131,6 +133,112 @@ TEST(AvailabilitySweepTest, JsonShape) {
   EXPECT_NE(json.find("\"availability\": "), std::string::npos);
   EXPECT_EQ(json.front(), '{');
   EXPECT_EQ(json.back(), '\n');
+  // Byte-compatibility guard: the classic kDisk report must not grow the
+  // correlated-mode fields.
+  EXPECT_EQ(json.find("failure_domain"), std::string::npos);
+  EXPECT_EQ(json.find("failed_domains"), std::string::npos);
+  EXPECT_EQ(json.find("policies"), std::string::npos);
+}
+
+/// Base configuration for the correlated (A16) sweeps: 8 disks over 4
+/// nodes in two 2-node zones — the topology where chained self-colocates,
+/// spread keeps same-zone copies, and zone_aware spans both zones.
+AvailabilitySweepOptions CorrelatedOptions() {
+  AvailabilitySweepOptions opts;
+  opts.grid_dims = {8, 8};
+  opts.num_disks = 8;
+  opts.query_shape = {2, 2};
+  opts.num_queries = 40;
+  opts.max_failed = 1;
+  opts.replication = {2};
+  opts.seed = 42;
+  opts.methods = {"dm"};
+  opts.failure_domain = FailureDomain::kZone;
+  opts.topology = cluster::Topology::Grid(4, 2, 2).value();
+  return opts;
+}
+
+TEST(AvailabilitySweepTest, CorrelatedModeValidation) {
+  // Correlated mode needs a valid topology.
+  AvailabilitySweepOptions no_topo = CorrelatedOptions();
+  no_topo.topology = cluster::Topology();
+  EXPECT_FALSE(RunAvailabilitySweep(no_topo).ok());
+
+  // max_failed counts domains now: 3 > the 2 zones.
+  AvailabilitySweepOptions too_dead = CorrelatedOptions();
+  too_dead.max_failed = 3;
+  EXPECT_FALSE(RunAvailabilitySweep(too_dead).ok());
+
+  // forced_domain_order ids must be distinct and in range.
+  AvailabilitySweepOptions bad_order = CorrelatedOptions();
+  bad_order.forced_domain_order = {5};
+  EXPECT_FALSE(RunAvailabilitySweep(bad_order).ok());
+  bad_order.forced_domain_order = {1, 1};
+  EXPECT_FALSE(RunAvailabilitySweep(bad_order).ok());
+
+  // Correlated-only knobs are rejected in classic mode.
+  AvailabilitySweepOptions classic = SmallOptions();
+  classic.forced_domain_order = {0};
+  EXPECT_FALSE(RunAvailabilitySweep(classic).ok());
+  classic = SmallOptions();
+  classic.placement_policies = {cluster::PlacementPolicy::kSpread};
+  EXPECT_FALSE(RunAvailabilitySweep(classic).ok());
+}
+
+TEST(AvailabilitySweepTest, CorrelatedJsonCarriesTheDomainFields) {
+  const AvailabilitySweep sweep =
+      RunAvailabilitySweep(CorrelatedOptions()).value();
+  const std::string json = sweep.ToJson();
+  EXPECT_NE(json.find("\"failure_domain\": \"zone\""), std::string::npos);
+  EXPECT_NE(json.find("\"topology\": \"4x2x2\""), std::string::npos);
+  EXPECT_NE(json.find("\"policies\": [\"chained\", \"spread\", "
+                      "\"zone_aware\"]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"failed_domains\": 1"), std::string::npos);
+  // Strategies are the placement policies, not the chained offsets; ECC
+  // does not participate in correlated mode.
+  EXPECT_NE(json.find("\"strategy\": \"zone_aware-r2\""), std::string::npos);
+  EXPECT_EQ(json.find("ecc-reconstruct"), std::string::npos);
+
+  // Determinism carries over to the correlated mode.
+  const AvailabilitySweep again =
+      RunAvailabilitySweep(CorrelatedOptions()).value();
+  EXPECT_EQ(json, again.ToJson());
+}
+
+/// Worst-case (over all single-zone kills) availability of one policy at
+/// copies=2, probing each zone explicitly via forced_domain_order.
+double WorstZoneKillAvailability(cluster::PlacementPolicy policy) {
+  double worst = 1.0;
+  for (uint32_t zone = 0; zone < 2; ++zone) {
+    AvailabilitySweepOptions opts = CorrelatedOptions();
+    opts.placement_policies = {policy};
+    opts.forced_domain_order = {zone};
+    const AvailabilitySweep sweep = RunAvailabilitySweep(opts).value();
+    for (const AvailabilityPoint& p : sweep.points) {
+      if (p.strategy == "plain" || p.failed_domains == 0) continue;
+      worst = std::min(worst, p.availability);
+    }
+  }
+  return worst;
+}
+
+TEST(AvailabilitySweepTest, ZoneAwareBeatsSpreadBeatsChainedOnZoneKills) {
+  // The A16 property at copies=2: zone_aware places every bucket's copies
+  // in both zones, so any single-zone kill leaves availability at 1.0;
+  // spread only guarantees distinct *nodes* (same-zone neighbors), and
+  // chained self-colocates even-disk copies — strictly worse again.
+  const double chained =
+      WorstZoneKillAvailability(cluster::PlacementPolicy::kChained);
+  const double spread =
+      WorstZoneKillAvailability(cluster::PlacementPolicy::kSpread);
+  const double zone_aware =
+      WorstZoneKillAvailability(cluster::PlacementPolicy::kZoneAware);
+
+  EXPECT_DOUBLE_EQ(zone_aware, 1.0);
+  EXPECT_GE(zone_aware, spread);
+  EXPECT_GE(spread, chained);
+  EXPECT_LT(chained, 1.0);
 }
 
 }  // namespace

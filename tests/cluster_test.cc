@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "griddecl/cluster/migrator.h"
 #include "griddecl/cluster/script.h"
 #include "griddecl/common/random.h"
 #include "griddecl/gridfile/catalog.h"
@@ -525,9 +526,11 @@ TEST(ClusterScriptTest, ParsesEveryDirective) {
       "query dm 0,0 1,1 250\r\n"
       "kill-node 2\n"
       "revive-node 2\n"
+      "kill-zone 1\n"
+      "revive-zone 1\n"
       "advance-ms 150.5\n"
       "migrate fx 8\n").value();
-  ASSERT_EQ(commands.size(), 6u);
+  ASSERT_EQ(commands.size(), 8u);
   EXPECT_EQ(commands[0].kind, ClusterCommand::Kind::kQuery);
   EXPECT_EQ(commands[0].query.relation, "dm");
   EXPECT_EQ(commands[0].query.lo, (std::vector<double>{0.1, 0.2}));
@@ -536,11 +539,15 @@ TEST(ClusterScriptTest, ParsesEveryDirective) {
   EXPECT_EQ(commands[2].kind, ClusterCommand::Kind::kKillNode);
   EXPECT_EQ(commands[2].node, 2u);
   EXPECT_EQ(commands[3].kind, ClusterCommand::Kind::kReviveNode);
-  EXPECT_EQ(commands[4].kind, ClusterCommand::Kind::kAdvance);
-  EXPECT_EQ(commands[4].advance_ms, 150.5);
-  EXPECT_EQ(commands[5].kind, ClusterCommand::Kind::kMigrate);
-  EXPECT_EQ(commands[5].migrate_method, "fx");
-  EXPECT_EQ(commands[5].migrate_disks, 8u);
+  EXPECT_EQ(commands[4].kind, ClusterCommand::Kind::kKillZone);
+  EXPECT_EQ(commands[4].zone, 1u);
+  EXPECT_EQ(commands[5].kind, ClusterCommand::Kind::kReviveZone);
+  EXPECT_EQ(commands[5].zone, 1u);
+  EXPECT_EQ(commands[6].kind, ClusterCommand::Kind::kAdvance);
+  EXPECT_EQ(commands[6].advance_ms, 150.5);
+  EXPECT_EQ(commands[7].kind, ClusterCommand::Kind::kMigrate);
+  EXPECT_EQ(commands[7].migrate_method, "fx");
+  EXPECT_EQ(commands[7].migrate_disks, 8u);
 }
 
 TEST(ClusterScriptTest, RejectsMalformedLinesByNumber) {
@@ -551,12 +558,223 @@ TEST(ClusterScriptTest, RejectsMalformedLinesByNumber) {
   EXPECT_FALSE(ParseClusterScript("query dm 0,0 1,1 -5\n").ok());
   EXPECT_FALSE(ParseClusterScript("kill-node\n").ok());
   EXPECT_FALSE(ParseClusterScript("kill-node x\n").ok());
+  EXPECT_FALSE(ParseClusterScript("kill-zone\n").ok());
+  EXPECT_FALSE(ParseClusterScript("kill-zone two\n").ok());
+  EXPECT_FALSE(ParseClusterScript("revive-zone\n").ok());
   EXPECT_FALSE(ParseClusterScript("advance-ms -1\n").ok());
   EXPECT_FALSE(ParseClusterScript("migrate fx\n").ok());
   EXPECT_FALSE(ParseClusterScript("migrate fx eight\n").ok());
   const Status st =
       ParseClusterScript("query dm 0,0 1,1\nbad\n").status();
   EXPECT_NE(st.message().find("line 2"), std::string::npos) << st.ToString();
+}
+
+/// 8x8 grid on 8 virtual disks over 4 nodes (two disks per node): the
+/// smallest cluster exhibiting the chained self-colocation trap, and the
+/// topology the zone tests use (nodes {0,1} = zone 0, nodes {2,3} =
+/// zone 1 under Grid(4, 2, 2)).
+Catalog CommitWideCatalog(MemEnv* env, uint64_t seed = 1) {
+  Schema schema = Schema::Create({{"x", 0.0, 1.0}, {"y", 0.0, 1.0}}).value();
+  GridFile f = GridFile::Create(std::move(schema), {8, 8}).value();
+  const GridSpec grid = f.grid();
+  Rng rng(seed);
+  for (uint64_t b = 0; b < grid.num_buckets(); ++b) {
+    const BucketCoords c = grid.Delinearize(b);
+    for (uint32_t k = 0; k < 8; ++k) {
+      const std::vector<double> point = {
+          (c[0] + rng.NextDouble()) / 8.0, (c[1] + rng.NextDouble()) / 8.0};
+      EXPECT_TRUE(f.Insert(point).ok());
+    }
+  }
+  Catalog catalog(8);
+  Result<DeclusteredFile> rel =
+      DeclusteredFile::Create(std::move(f), "dm", 8);
+  EXPECT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_TRUE(catalog.AddRelation("dm", std::move(rel).value()).ok());
+  ManifestSaveOptions options;
+  options.page_size_bytes = 168;
+  options.default_redundancy = Mirror2();
+  EXPECT_TRUE(SaveCatalogManifest(catalog, env, options).ok());
+  return catalog;
+}
+
+/// 4 nodes over 8 disks, 2-node zones, quorum low enough that killing a
+/// whole zone (2 of 4 nodes) still leaves the coordinator serving.
+ClusterOptions ZonedOptions(PlacementPolicy policy) {
+  ClusterOptions options = Deterministic(4);
+  options.quorum_fraction = 0.25;
+  PlacementSpec spec;
+  spec.policy = policy;
+  spec.topology = Topology::Grid(4, 2, 2).value();
+  spec.seed = 7;
+  options.placement = spec;
+  return options;
+}
+
+TEST(ClusterPlacementTest, ChainedSelfColocationWarnsAtConstruction) {
+  MemEnv env;
+  CommitWideCatalog(&env);
+  auto chained =
+      Cluster::Create(env, ZonedOptions(PlacementPolicy::kChained)).value();
+  // Two disks per node: chained copy 1 of every even disk stays on the
+  // owner's node. The warning names the trapped disks.
+  ASSERT_FALSE(chained->PlacementWarnings().empty());
+  EXPECT_NE(chained->PlacementWarnings()[0].find("0,2,4,6"),
+            std::string::npos)
+      << chained->PlacementWarnings()[0];
+
+  auto zoned =
+      Cluster::Create(env, ZonedOptions(PlacementPolicy::kZoneAware)).value();
+  EXPECT_TRUE(zoned->PlacementWarnings().empty());
+  EXPECT_EQ(zoned->placement_spec().policy, PlacementPolicy::kZoneAware);
+}
+
+TEST(ClusterPlacementTest, ZoneAwareSurvivesZoneKillWhereChainedCannot) {
+  // The acceptance demo: identical catalog, identical zone kill; the
+  // zone_aware layout answers everything, the chained layout drops the
+  // buckets whose both copies lived in the dead zone.
+  MemEnv env;
+  const Catalog catalog = CommitWideCatalog(&env);
+  const serve::QueryRequest full = Range({0.0, 0.0}, {1.0, 1.0});
+  const std::vector<RecordId> want = Direct(catalog, full);
+
+  auto zoned =
+      Cluster::Create(env, ZonedOptions(PlacementPolicy::kZoneAware)).value();
+  ASSERT_TRUE(zoned->KillZone(1).ok());
+  EXPECT_TRUE(zoned->NodeAlive(0));
+  EXPECT_TRUE(zoned->NodeAlive(1));
+  EXPECT_FALSE(zoned->NodeAlive(2));
+  EXPECT_FALSE(zoned->NodeAlive(3));
+  const ClusterQueryResult safe = zoned->Execute(full);
+  ASSERT_TRUE(safe.status.ok()) << safe.status.ToString();
+  EXPECT_TRUE(safe.complete);
+  EXPECT_EQ(safe.unavailable_buckets, 0u);
+  EXPECT_EQ(safe.matches, want);
+  ASSERT_TRUE(zoned->ReviveZone(1).ok());
+  EXPECT_TRUE(zoned->NodeAlive(2));
+
+  auto chained =
+      Cluster::Create(env, ZonedOptions(PlacementPolicy::kChained)).value();
+  ASSERT_TRUE(chained->KillZone(1).ok());
+  const ClusterQueryResult lossy = chained->Execute(full);
+  EXPECT_FALSE(lossy.complete);
+  EXPECT_GT(lossy.unavailable_buckets, 0u);
+
+  EXPECT_EQ(zoned->KillZone(9).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(zoned->ReviveZone(9).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ClusterPlacementTest, ZoneWindowsFollowTheVirtualClock) {
+  MemEnv env;
+  const Catalog catalog = CommitWideCatalog(&env);
+  ClusterOptions options = ZonedOptions(PlacementPolicy::kZoneAware);
+  ZoneFaultWindow w;
+  w.zone = 1;
+  w.from_ms = 100.0;
+  w.until_ms = 200.0;
+  options.zone_windows.push_back(w);
+  auto cluster = Cluster::Create(env, options).value();
+  const serve::QueryRequest full = Range({0.0, 0.0}, {1.0, 1.0});
+  const std::vector<RecordId> want = Direct(catalog, full);
+
+  const ClusterQueryResult before = cluster->Execute(full);
+  ASSERT_TRUE(before.status.ok());
+  EXPECT_TRUE(before.complete);
+  EXPECT_EQ(before.rerouted_subqueries, 0u);
+
+  // Inside the window the whole zone (nodes 2 and 3) is down, but the
+  // zone-aware copies keep the answer whole.
+  cluster->AdvanceTimeMs(150.0);
+  EXPECT_TRUE(cluster->NodeAlive(1));
+  EXPECT_FALSE(cluster->NodeAlive(2));
+  EXPECT_FALSE(cluster->NodeAlive(3));
+  const ClusterQueryResult inside = cluster->Execute(full);
+  ASSERT_TRUE(inside.status.ok()) << inside.status.ToString();
+  EXPECT_TRUE(inside.complete);
+  EXPECT_GT(inside.rerouted_subqueries, 0u);
+  EXPECT_EQ(inside.matches, want);
+
+  cluster->AdvanceTimeMs(250.0);
+  EXPECT_TRUE(cluster->NodeAlive(2));
+  const ClusterQueryResult after = cluster->Execute(full);
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_TRUE(after.complete);
+
+  // A zone window referencing a zone outside the topology is rejected.
+  ClusterOptions bad = ZonedOptions(PlacementPolicy::kZoneAware);
+  ZoneFaultWindow out;
+  out.zone = 5;
+  bad.zone_windows.push_back(out);
+  EXPECT_FALSE(Cluster::Create(env, bad).ok());
+}
+
+TEST(ClusterPlacementTest, InflightAccountingSettlesToZero) {
+  MemEnv env;
+  CommitWideCatalog(&env);
+  auto cluster =
+      Cluster::Create(env, ZonedOptions(PlacementPolicy::kZoneAware)).value();
+  ASSERT_TRUE(cluster->KillNode(2).ok());
+  for (int q = 0; q < 5; ++q) {
+    const ClusterQueryResult r =
+        cluster->Execute(Range({0.0, 0.0}, {1.0, 1.0}));
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_TRUE(r.complete);
+  }
+  // Load-aware routing adds in-flight buckets on submit and settles every
+  // route exactly once; at rest the gauges are all back to zero.
+  for (uint32_t n = 0; n < 4; ++n) {
+    EXPECT_EQ(cluster->NodeInflight(n), 0) << "node " << n;
+  }
+}
+
+TEST(TokenBucketTest, DebtBasedPacingMath) {
+  // 1000 tokens/sec, 50-token burst bank, starting empty: the first
+  // consume goes straight into debt and must wait amount/rate.
+  TokenBucket bucket(1000.0, 50.0);
+  EXPECT_DOUBLE_EQ(bucket.ConsumeDelayMs(100.0, 0.0), 100.0);
+  // 100 ms later the debt is repaid; 25 more tokens accrue by 125 ms, so
+  // a 25-token consume is free.
+  EXPECT_DOUBLE_EQ(bucket.ConsumeDelayMs(25.0, 125.0), 0.0);
+  // Refill is capped at the burst bank: after a long idle stretch only 50
+  // tokens are available, so consuming 150 owes 100 tokens -> 100 ms.
+  EXPECT_DOUBLE_EQ(bucket.ConsumeDelayMs(150.0, 100000.0), 100.0);
+
+  // rate <= 0 disables pacing entirely.
+  TokenBucket unpaced(0.0, 50.0);
+  EXPECT_DOUBLE_EQ(unpaced.ConsumeDelayMs(1e9, 0.0), 0.0);
+}
+
+TEST(MigrationPacingTest, PacedCopyReportsBytesAndWaits) {
+  MemEnv env;
+  CommitCatalog(&env, Mirror2());
+  auto cluster = Cluster::Create(env, Deterministic()).value();
+
+  MigrationOptions mo;
+  mo.new_method = "fx";
+  mo.new_num_disks = 4;
+  mo.copy_bytes_per_sec = 4e6;  // Pace, but keep the test fast.
+  const MigrationReport report = cluster->Migrate(mo).value();
+  ASSERT_TRUE(report.committed) << report.abort_reason;
+  EXPECT_GT(report.bytes_copied, 0u);
+  // The bucket starts empty, so a paced copy always records some wait.
+  EXPECT_GT(report.pacing_wait_ms, 0.0);
+
+  // Unpaced: same copy, no pacing debt.
+  MigrationOptions fast;
+  fast.new_method = "dm";
+  fast.new_num_disks = 4;
+  const MigrationReport unpaced = cluster->Migrate(fast).value();
+  ASSERT_TRUE(unpaced.committed) << unpaced.abort_reason;
+  EXPECT_GT(unpaced.bytes_copied, 0u);
+  EXPECT_DOUBLE_EQ(unpaced.pacing_wait_ms, 0.0);
+
+  // Negative pacing knobs are validation errors, not silent no-ops.
+  MigrationOptions bad;
+  bad.new_method = "fx";
+  bad.new_num_disks = 4;
+  bad.copy_bytes_per_sec = -1.0;
+  EXPECT_EQ(cluster->Migrate(bad).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -220,5 +220,57 @@ TEST(ReplicaRouterTest, MeanRoutedResponseDegradesGracefully) {
   EXPECT_FALSE(MeanRoutedResponse(p, {whole}, &wrong).ok());
 }
 
+TEST(ReplicatedPlacementTest, TableDrivenPlacementOverridesArithmetic) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  // An arbitrary (non-arithmetic) table: primary first, mate from the
+  // "other half" of the disks.
+  std::vector<std::vector<uint32_t>> table;
+  for (uint32_t d = 0; d < 4; ++d) {
+    table.push_back({d, 3 - d});  // mirror-image mate, never the primary
+  }
+  auto base = CreateMethod("dm", grid, 4).value();
+  const ReplicatedPlacement p =
+      ReplicatedPlacement::CreateWithTable(std::move(base), table).value();
+  EXPECT_EQ(p.num_replicas(), 2u);
+  const auto check = CreateMethod("dm", grid, 4).value();
+  grid.ForEachBucket([&](const BucketCoords& c) {
+    EXPECT_EQ(p.DisksOf(c), table[check->DiskOf(c)]);
+  });
+  // DiskLoadHistogram walks the table rows, not the offset arithmetic.
+  uint64_t total = 0;
+  for (uint64_t l : p.DiskLoadHistogram()) total += l;
+  EXPECT_EQ(total, 2 * grid.num_buckets());
+}
+
+TEST(ReplicatedPlacementTest, TableValidation) {
+  const GridSpec grid = GridSpec::Create({8, 8}).value();
+  auto make = [&] { return CreateMethod("dm", grid, 4).value(); };
+  EXPECT_FALSE(
+      ReplicatedPlacement::CreateWithTable(nullptr, {{0}, {1}, {2}, {3}})
+          .ok());
+  // Wrong row count for M=4.
+  EXPECT_FALSE(
+      ReplicatedPlacement::CreateWithTable(make(), {{0}, {1}}).ok());
+  // Row 1 does not start with its primary.
+  EXPECT_FALSE(ReplicatedPlacement::CreateWithTable(
+                   make(), {{0, 1}, {2, 1}, {2, 3}, {3, 0}})
+                   .ok());
+  // Duplicate disk within a row.
+  EXPECT_FALSE(ReplicatedPlacement::CreateWithTable(
+                   make(), {{0, 0}, {1, 2}, {2, 3}, {3, 0}})
+                   .ok());
+  // Out-of-range disk.
+  EXPECT_FALSE(ReplicatedPlacement::CreateWithTable(
+                   make(), {{0, 9}, {1, 2}, {2, 3}, {3, 0}})
+                   .ok());
+  // Ragged rows.
+  EXPECT_FALSE(ReplicatedPlacement::CreateWithTable(
+                   make(), {{0, 1}, {1}, {2, 3}, {3, 0}})
+                   .ok());
+  EXPECT_TRUE(ReplicatedPlacement::CreateWithTable(
+                  make(), {{0, 2}, {1, 3}, {2, 0}, {3, 1}})
+                  .ok());
+}
+
 }  // namespace
 }  // namespace griddecl

@@ -44,15 +44,24 @@
 ///   declctl degrade --grid 32x32 --disks 8 --shape 4x4 [--queries 200]
 ///                [--max-failed 2] [--replication 2,3] [--methods a,b,...]
 ///                [--seed 42] [--mpl 4] [--json FILE]
+///                [--failure-domain node|rack|zone --topology NxRxZ]
+///                [--policies chained,spread,zone_aware]
+///                [--placement-seed S]
 ///       Availability sweep: mean response and availability vs. failed
 ///       disks per method and degraded-read strategy (plain, replica
 ///       re-routing, ECC reconstruction). `--json -` prints the JSON
-///       report to stdout instead of the table.
+///       report to stdout instead of the table. With `--failure-domain`
+///       the sweep kills whole nodes/racks/zones of `--topology` instead
+///       of single disks and evaluates the cluster placement policies
+///       (chained, spread, zone_aware) as the replica strategies — the
+///       A16 correlated-failure experiment.
 ///
 ///   declctl mkcatalog --dir DIR --grid 8x8 --disks 4 [--methods dm,hcam]
 ///                [--records 256] [--seed 42] [--page-size 4096]
 ///                [--format 2|3] [--redundancy none|mirror|parity]
 ///                [--copies 2] [--group-pages 8] [--clustered]
+///                [--placement chained|spread|zone_aware
+///                 --topology N[xR[xZ]] [--placement-seed S]]
 ///       Build a catalog of synthetic relations (one per method, uniform
 ///       random records) and commit it to DIR as a checksummed manifest
 ///       generation, optionally with mirror or parity redundancy.
@@ -92,6 +101,8 @@
 ///                [--hedge-delay MS] [--no-hedge] [--first-success]
 ///                [--quorum F] [--seed S] [--latency n0,n1,...]
 ///                [--transient-prob P] [--fault-seed S]
+///                [--placement chained|spread|zone_aware
+///                 --topology N[xR[xZ]] [--placement-seed S]]
 ///       Simulate an N-node scatter-gather cluster (cluster/cluster.h)
 ///       over the catalog at DIR: every node gets a private in-memory
 ///       copy of the catalog behind a FaultyEnv and a serve::QueryService;
@@ -100,11 +111,14 @@
 ///       around dead or breaker-tripped nodes, and returns partial
 ///       results with an explicit availability fraction when buckets have
 ///       no live route. The script (cluster/script.h) extends the serve
-///       format with `kill-node N`, `revive-node N`, `advance-ms T`, and
-///       `migrate <method> <disks>` (live re-declustering with atomic
-///       cutover). `--latency` injects per-node read latency in ms (the
-///       slow-node hedging demo). Exit status 0 iff every query returned
-///       complete and every migrate committed.
+///       format with `kill-node N`, `revive-node N`, `kill-zone Z`,
+///       `revive-zone Z`, `advance-ms T`, and `migrate <method> <disks>`
+///       (live re-declustering with atomic cutover). `--latency` injects
+///       per-node read latency in ms (the slow-node hedging demo).
+///       `--placement`/`--topology` override the replica placement policy
+///       recorded in the manifest (chained when absent); self-colocating
+///       chained placements are reported as warnings. Exit status 0 iff
+///       every query returned complete and every migrate committed.
 ///
 /// Commands that drive the evaluator, a simulator, or the storage stack
 /// (eval, compare, throughput, degrade, mkcatalog, fsck) also accept
@@ -560,6 +574,40 @@ int CmdDegrade(const Flags& flags) {
   opts.replication = replication.value();
   opts.seed = static_cast<uint64_t>(seed.value());
   opts.sim.concurrency = static_cast<uint32_t>(mpl.value());
+  {
+    // Correlated-failure mode (A16): kill whole nodes/racks/zones of a
+    // topology and evaluate the cluster placement policies.
+    const std::string domain = flags.GetString("failure-domain", "");
+    if (!domain.empty()) {
+      Result<FailureDomain> parsed = ParseFailureDomain(domain);
+      if (!parsed.ok()) return Fail(parsed.status().ToString());
+      opts.failure_domain = parsed.value();
+    }
+    const std::string topology = flags.GetString("topology", "");
+    if (opts.failure_domain != FailureDomain::kDisk && topology.empty()) {
+      return Fail("--failure-domain needs --topology N[xR[xZ]]");
+    }
+    if (!topology.empty()) {
+      Result<cluster::Topology> topo = cluster::ParseTopology(topology);
+      if (!topo.ok()) return Fail(topo.status().ToString());
+      opts.topology = std::move(topo).value();
+    }
+    const std::string policies = flags.GetString("policies", "");
+    if (!policies.empty()) {
+      std::stringstream ss(policies);
+      std::string name;
+      while (std::getline(ss, name, ',')) {
+        if (name.empty()) continue;
+        Result<cluster::PlacementPolicy> p =
+            cluster::ParsePlacementPolicy(name);
+        if (!p.ok()) return Fail(p.status().ToString());
+        opts.placement_policies.push_back(p.value());
+      }
+    }
+    const auto pseed = flags.GetInt("placement-seed", 1);
+    if (!pseed.ok()) return Fail("bad --placement-seed");
+    opts.placement_seed = static_cast<uint64_t>(pseed.value());
+  }
   MetricsSink sink(flags);
   opts.sim.metrics = sink.registry();
   const std::string methods = flags.GetString("methods", "");
@@ -587,15 +635,26 @@ int CmdDegrade(const Flags& flags) {
     if (!out.good()) return Fail("write to '" + json_path + "' failed");
   }
 
-  Table t({"Method", "Strategy", "Failed", "Mean lat (ms)", "Availability",
-           "Degraded x", "Rerouted", "Reconstr reads"});
+  const bool correlated = opts.failure_domain != FailureDomain::kDisk;
+  Table t(correlated
+              ? std::vector<std::string>{"Method", "Strategy", "Domains",
+                                         "Failed disks", "Mean lat (ms)",
+                                         "Availability", "Degraded x",
+                                         "Rerouted", "Reconstr reads"}
+              : std::vector<std::string>{"Method", "Strategy", "Failed",
+                                         "Mean lat (ms)", "Availability",
+                                         "Degraded x", "Rerouted",
+                                         "Reconstr reads"});
   for (const AvailabilityPoint& p : sweep.value().points) {
-    t.AddRow({p.method, p.strategy, std::to_string(p.failed_disks),
-              Table::Fmt(p.mean_latency_ms, 2),
-              Table::Fmt(p.availability, 3),
-              Table::Fmt(p.degraded_ratio, 2),
-              std::to_string(p.rerouted_buckets),
-              std::to_string(p.reconstruction_reads)});
+    std::vector<std::string> row{p.method, p.strategy};
+    if (correlated) row.push_back(std::to_string(p.failed_domains));
+    row.push_back(std::to_string(p.failed_disks));
+    row.push_back(Table::Fmt(p.mean_latency_ms, 2));
+    row.push_back(Table::Fmt(p.availability, 3));
+    row.push_back(Table::Fmt(p.degraded_ratio, 2));
+    row.push_back(std::to_string(p.rerouted_buckets));
+    row.push_back(std::to_string(p.reconstruction_reads));
+    t.AddRow(row);
   }
   t.PrintText(std::cout);
   return sink.Flush();
@@ -625,6 +684,41 @@ Result<RelationRedundancy> RedundancyFromFlags(const Flags& flags) {
   return r;
 }
 
+/// `--placement chained|spread|zone_aware --topology N[xR[xZ]]
+/// [--placement-seed S]` -> a PlacementSpec; nullopt when neither
+/// placement flag is present.
+Result<std::optional<cluster::PlacementSpec>> PlacementFromFlags(
+    const Flags& flags) {
+  const std::string policy = flags.GetString("placement", "");
+  const std::string topology = flags.GetString("topology", "");
+  const auto pseed = flags.GetInt("placement-seed", 0);
+  if (!pseed.ok()) return pseed.status();
+  if (policy.empty() && topology.empty()) {
+    return std::optional<cluster::PlacementSpec>();
+  }
+  if (topology.empty()) {
+    return Status::InvalidArgument(
+        "--placement requires --topology N[xR[xZ]]");
+  }
+  cluster::PlacementSpec spec;
+  if (!policy.empty()) {
+    Result<cluster::PlacementPolicy> parsed =
+        cluster::ParsePlacementPolicy(policy);
+    GRIDDECL_RETURN_IF_ERROR(parsed.status());
+    spec.policy = parsed.value();
+  }
+  Result<cluster::Topology> topo = cluster::ParseTopology(topology);
+  GRIDDECL_RETURN_IF_ERROR(topo.status());
+  spec.topology = std::move(topo).value();
+  spec.seed = static_cast<uint64_t>(pseed.value());
+  return std::optional<cluster::PlacementSpec>(std::move(spec));
+}
+
+std::string TopologyString(const cluster::Topology& t) {
+  return std::to_string(t.num_nodes()) + "x" + std::to_string(t.num_racks()) +
+         "x" + std::to_string(t.num_zones());
+}
+
 int CmdMkCatalog(const Flags& flags) {
   const std::string dir = flags.GetString("dir", "");
   if (dir.empty()) return Fail("--dir DIR is required");
@@ -645,6 +739,9 @@ int CmdMkCatalog(const Flags& flags) {
   }
   Result<RelationRedundancy> redundancy = RedundancyFromFlags(flags);
   if (!redundancy.ok()) return Fail(redundancy.status().ToString());
+  Result<std::optional<cluster::PlacementSpec>> placement =
+      PlacementFromFlags(flags);
+  if (!placement.ok()) return Fail(placement.status().ToString());
   const auto clustered = flags.GetBool("clustered", false);
   if (!clustered.ok()) return Fail(clustered.status().ToString());
 
@@ -729,12 +826,21 @@ int CmdMkCatalog(const Flags& flags) {
   options.format_version = static_cast<uint32_t>(format.value());
   options.default_redundancy = redundancy.value();
   options.metrics = sink.registry();
+  if (placement.value().has_value()) {
+    options.placement = cluster::ToManifestPlacement(*placement.value());
+  }
   Result<uint64_t> gen = SaveCatalogManifest(catalog, &env.value(), options);
   if (!gen.ok()) return Fail(gen.status().ToString());
   std::cout << "committed generation " << gen.value() << ": "
             << names.size() << " relation(s), " << records.value()
             << " record(s) each, redundancy "
             << RedundancyPolicyName(redundancy.value().policy) << "\n";
+  if (placement.value().has_value()) {
+    std::cout << "placement: "
+              << cluster::PlacementPolicyName(placement.value()->policy)
+              << ", topology " << TopologyString(placement.value()->topology)
+              << "\n";
+  }
   return sink.Flush();
 }
 
@@ -908,6 +1014,12 @@ int CmdCluster(const Flags& flags) {
   options.node_transient_prob = prob.value();
   options.fault_seed = static_cast<uint64_t>(fault_seed.value());
   {
+    Result<std::optional<cluster::PlacementSpec>> placement =
+        PlacementFromFlags(flags);
+    if (!placement.ok()) return Fail(placement.status().ToString());
+    options.placement = std::move(placement).value();
+  }
+  {
     const std::string latency = flags.GetString("latency", "");
     std::istringstream ss(latency);
     std::string token;
@@ -941,6 +1053,14 @@ int CmdCluster(const Flags& flags) {
   std::cout << "cluster: " << cl.value()->num_nodes() << " node(s), "
             << cl.value()->num_disks() << " virtual disk(s), generation "
             << cl.value()->generation() << "\n";
+  {
+    const cluster::PlacementSpec& ps = cl.value()->placement_spec();
+    std::cout << "placement: " << cluster::PlacementPolicyName(ps.policy)
+              << ", topology " << TopologyString(ps.topology) << "\n";
+    for (const std::string& w : cl.value()->PlacementWarnings()) {
+      std::cout << w << "\n";
+    }
+  }
 
   MetricsSink sink(flags);
   uint64_t incomplete = 0;
@@ -985,6 +1105,18 @@ int CmdCluster(const Flags& flags) {
         const Status st = cl.value()->ReviveNode(cmd.node);
         if (!st.ok()) return Fail(st.ToString());
         std::cout << "revived node " << cmd.node << "\n";
+        break;
+      }
+      case Kind::kKillZone: {
+        const Status st = cl.value()->KillZone(cmd.zone);
+        if (!st.ok()) return Fail(st.ToString());
+        std::cout << "killed zone " << cmd.zone << "\n";
+        break;
+      }
+      case Kind::kReviveZone: {
+        const Status st = cl.value()->ReviveZone(cmd.zone);
+        if (!st.ok()) return Fail(st.ToString());
+        std::cout << "revived zone " << cmd.zone << "\n";
         break;
       }
       case Kind::kAdvance:
@@ -1044,6 +1176,17 @@ int CmdFsck(const Flags& flags) {
   Result<ScrubReport> report = ScrubCatalog(&env.value(), options);
   if (!report.ok()) return Fail(report.status().ToString());
   std::cout << FormatScrubReport(report.value());
+  if (Result<CatalogManifest> manifest = ReadCurrentManifest(env.value());
+      manifest.ok() && manifest.value().placement.has_value()) {
+    Result<cluster::PlacementSpec> spec =
+        cluster::FromManifestPlacement(*manifest.value().placement);
+    if (spec.ok()) {
+      std::cout << "placement: "
+                << cluster::PlacementPolicyName(spec.value().policy)
+                << ", topology " << TopologyString(spec.value().topology)
+                << ", seed " << spec.value().seed << "\n";
+    }
+  }
   if (const int rc = sink.Flush(); rc != 0) return rc;
   return report.value().Clean() ? 0 : 1;
 }
