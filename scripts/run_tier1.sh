@@ -34,12 +34,12 @@ for arg in "$@"; do
     build_dir=build-sanitize
     configure_args+=("-DGRIDDECL_SANITIZE=address,undefined")
     if [[ "$arg" == "--torture" ]]; then
-      test_args+=("-R" "Torture|FormatFuzz|Scrub|Manifest|Storage|Crc32c|Migration|Placement|declctl_mkcatalog|declctl_fsck")
+      test_args+=("-R" "Torture|FormatFuzz|Scrub|Manifest|Storage|Crc32c|Migration|Placement|Repair|Heartbeat|declctl_mkcatalog|declctl_fsck")
     fi
   elif [[ "$arg" == "--sanitize=tsan" ]]; then
     build_dir=build-tsan
     configure_args+=("-DGRIDDECL_SANITIZE=thread")
-    test_args+=("-R" "QueryService|Serve|Chaos|Breaker|Backoff|FaultyEnv|DiskFault|BufferPool|PageStore|Cluster|Hedge|Migration|Placement|TokenBucket")
+    test_args+=("-R" "QueryService|Serve|Chaos|Breaker|Backoff|FaultyEnv|DiskFault|BufferPool|PageStore|Cluster|Hedge|Migration|Placement|TokenBucket|Repair|Heartbeat")
   else
     configure_args+=("$arg")
   fi

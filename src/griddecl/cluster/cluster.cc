@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "griddecl/cluster/migrator.h"
+#include "griddecl/cluster/repair.h"
 
 namespace griddecl::cluster {
 
@@ -48,6 +49,11 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(const StorageEnv& seed,
         "cluster's committed generation");
   }
   GRIDDECL_RETURN_IF_ERROR(ValidateBreakerOptions(options.node_breaker));
+  GRIDDECL_RETURN_IF_ERROR(ValidateHeartbeatOptions(options.heartbeat));
+  if (options.retry_budget_per_query > (1u << 20) ||
+      options.hedge_budget_fraction < 0.0) {
+    return Status::InvalidArgument("budget options out of domain");
+  }
   for (const NodeFaultWindow& w : options.node_windows) {
     if (w.node >= options.num_nodes) {
       return Status::InvalidArgument("node fault window names node " +
@@ -116,8 +122,13 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(const StorageEnv& seed,
       }
     }
   }
+  // Preallocate every slot up to max_nodes so AddNode never reallocates
+  // state concurrent Execute calls index into.
+  const uint32_t max_nodes = std::max(opts.max_nodes, opts.num_nodes);
   cluster->node_inflight_ =
-      std::make_unique<std::atomic<int64_t>[]>(opts.num_nodes);
+      std::make_unique<std::atomic<int64_t>[]>(max_nodes);
+  cluster->heartbeat_ =
+      std::make_unique<HeartbeatDetector>(opts.heartbeat, max_nodes);
 
   std::vector<std::shared_ptr<serve::QueryService>> services;
   for (uint32_t n = 0; n < opts.num_nodes; ++n) {
@@ -150,9 +161,18 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(const StorageEnv& seed,
         std::shared_ptr<serve::QueryService>(std::move(service.value()));
     services.push_back(node->service);
     cluster->nodes_.push_back(std::move(node));
+    cluster->heartbeat_->Track(n);
   }
+  for (uint32_t n = opts.num_nodes; n < max_nodes; ++n) {
+    // Empty growth slot: env/service materialize in AddNode. Killed until
+    // then so no path ever routes to it.
+    auto node = std::make_unique<Node>();
+    node->killed.store(true);
+    cluster->nodes_.push_back(std::move(node));
+  }
+  cluster->active_nodes_.store(opts.num_nodes);
 
-  for (uint32_t n = 0; n < opts.num_nodes; ++n) {
+  for (uint32_t n = 0; n < max_nodes; ++n) {
     cluster->node_breakers_.emplace_back(opts.node_breaker);
     cluster->node_query_ms_.emplace_back(obs::DefaultLatencyBoundsMs());
   }
@@ -191,10 +211,12 @@ Cluster::~Cluster() = default;
 
 Result<std::shared_ptr<const Cluster::Epoch>> Cluster::BuildEpoch(
     uint64_t generation,
-    std::vector<std::shared_ptr<serve::QueryService>> services) const {
-  // All node envs hold identical catalog files by construction; node 0's
-  // raw MemEnv (not the faulty wrapper) keeps epoch builds fault-free.
-  const StorageEnv& env = nodes_[0]->env;
+    std::vector<std::shared_ptr<serve::QueryService>> services,
+    const StorageEnv* src) const {
+  // Live node envs hold identical catalog files by construction; a raw
+  // MemEnv (not the faulty wrapper) keeps epoch builds fault-free. Node 0
+  // by default; repair passes a live node because node 0 may be dead.
+  const StorageEnv& env = src != nullptr ? *src : nodes_[0]->env;
   auto manifest = ReadManifest(env, generation);
   if (!manifest.ok()) return manifest.status();
   auto catalog = LoadCatalogFromManifest(env, manifest.value());
@@ -219,18 +241,37 @@ Result<std::shared_ptr<const Cluster::Epoch>> Cluster::BuildEpoch(
   auto epoch = std::make_shared<Epoch>();
   epoch->generation = manifest.value().generation;
   epoch->num_disks = manifest.value().num_disks;
-  epoch->disk_node.resize(epoch->num_disks);
-  const uint64_t n = nodes_.size();
-  for (uint32_t d = 0; d < epoch->num_disks; ++d) {
-    epoch->disk_node[d] = static_cast<uint32_t>(static_cast<uint64_t>(d) * n /
-                                                epoch->num_disks);
+
+  // Placement resolution per generation: a manifest record carrying an
+  // explicit table is repair ground truth and wins outright (its row 0 IS
+  // the disk ownership map); otherwise the cluster's current spec applies
+  // with any stale table cleared (a migration changes M, invalidating old
+  // tables) and contiguous disk ownership.
+  PlacementSpec spec = placement_spec();
+  if (manifest.value().placement.has_value() &&
+      !manifest.value().placement->table.empty()) {
+    auto from = FromManifestPlacement(*manifest.value().placement);
+    if (!from.ok()) return from.status();
+    spec = std::move(from).value();
+  } else {
+    spec.table.clear();
+  }
+  if (!spec.table.empty() && spec.table[0].size() == epoch->num_disks) {
+    epoch->disk_node = spec.table[0];
+  } else {
+    spec.table.clear();
+    epoch->disk_node.resize(epoch->num_disks);
+    const uint64_t n = num_nodes();
+    for (uint32_t d = 0; d < epoch->num_disks; ++d) {
+      epoch->disk_node[d] = static_cast<uint32_t>(
+          static_cast<uint64_t>(d) * n / epoch->num_disks);
+    }
   }
   uint32_t max_copies = 1;
   for (const auto& [name, rel] : routing->relations) {
     max_copies = std::max(max_copies, rel.copies);
   }
-  auto placement =
-      PlacementMap::Build(placement_spec_, epoch->disk_node, max_copies);
+  auto placement = PlacementMap::Build(spec, epoch->disk_node, max_copies);
   if (!placement.ok()) return placement.status();
   epoch->placement = std::move(placement).value();
   epoch->services = std::move(services);
@@ -255,7 +296,9 @@ void Cluster::SetStagingEpoch(std::shared_ptr<const Epoch> epoch) {
 
 void Cluster::AdoptEpoch(std::shared_ptr<const Epoch> epoch) {
   std::lock_guard<std::mutex> lock(epoch_mu_);
-  for (size_t n = 0; n < nodes_.size(); ++n) {
+  // A repair epoch carries null services for the dead nodes it planned
+  // around; those nodes re-enter through ReviveNode's catch-up fence.
+  for (size_t n = 0; n < epoch->services.size() && n < nodes_.size(); ++n) {
     nodes_[n]->service = epoch->services[n];
   }
   epoch_ = std::move(epoch);
@@ -287,8 +330,10 @@ bool Cluster::NodeAlive(uint32_t node) const {
 }
 
 bool Cluster::NodeAliveAt(uint32_t node, double virtual_now) const {
-  if (node >= nodes_.size()) return false;
-  if (nodes_[node]->killed.load()) return false;
+  if (node >= num_nodes()) return false;
+  if (nodes_[node]->killed.load() || nodes_[node]->removed.load()) {
+    return false;
+  }
   for (const NodeFaultWindow& w : effective_windows_) {
     if (w.node == node && virtual_now >= w.from_ms &&
         virtual_now < w.until_ms) {
@@ -346,13 +391,92 @@ double Cluster::SteadyNowMs() const {
 
 void Cluster::AdvanceTimeMs(double now_ms) {
   virtual_now_ms_.store(now_ms);
-  for (const auto& node : nodes_) {
-    node->faulty->SetNowMs(now_ms);
+  const uint32_t active = num_nodes();
+  for (uint32_t n = 0; n < active; ++n) {
+    nodes_[n]->faulty->SetNowMs(now_ms);
   }
+  // Drive the failure detector over every heartbeat tick in the advanced
+  // span. The probe answers iff the node was reachable at that virtual
+  // instant — a pure function of the kill/window schedule, so detector
+  // verdicts are deterministic and replayable.
+  std::lock_guard<std::mutex> lock(hb_mu_);
+  heartbeat_->AdvanceTo(now_ms, [this](uint32_t n, double t) {
+    if (n >= num_nodes()) return false;
+    const Node& nd = *nodes_[n];
+    if (nd.killed.load() || nd.removed.load()) return false;
+    for (const NodeFaultWindow& w : effective_windows_) {
+      if (w.node == n && t >= w.from_ms && t < w.until_ms) return false;
+    }
+    return true;
+  });
+}
+
+std::vector<uint32_t> Cluster::DeadNodesForRepair() const {
+  std::vector<uint32_t> dead;
+  {
+    std::lock_guard<std::mutex> lock(hb_mu_);
+    dead = heartbeat_->DeadNodes();
+  }
+  const uint32_t active = num_nodes();
+  for (uint32_t n = 0; n < active; ++n) {
+    if (nodes_[n]->removed.load() &&
+        std::find(dead.begin(), dead.end(), n) == dead.end()) {
+      dead.push_back(n);
+    }
+  }
+  std::sort(dead.begin(), dead.end());
+  dead.erase(std::remove_if(dead.begin(), dead.end(),
+                            [this](uint32_t n) { return n >= num_nodes(); }),
+             dead.end());
+  return dead;
+}
+
+double Cluster::NodeDeadSinceMs(uint32_t node) const {
+  std::lock_guard<std::mutex> lock(hb_mu_);
+  return heartbeat_->DeadSinceMs(node);
+}
+
+NodeHealth Cluster::NodeHealthOf(uint32_t node) const {
+  if (node >= num_nodes()) return NodeHealth::kRemoved;
+  if (nodes_[node]->removed.load()) return NodeHealth::kRemoved;
+  std::lock_guard<std::mutex> lock(hb_mu_);
+  return heartbeat_->HealthOf(node);
+}
+
+HeartbeatDetector::Counters Cluster::HeartbeatCounters() const {
+  std::lock_guard<std::mutex> lock(hb_mu_);
+  return heartbeat_->counters();
+}
+
+PlacementSpec Cluster::placement_spec() const {
+  std::lock_guard<std::mutex> lock(spec_mu_);
+  return placement_spec_;
+}
+
+void Cluster::SetPlacementTable(std::vector<std::vector<uint32_t>> table) {
+  std::lock_guard<std::mutex> lock(spec_mu_);
+  placement_spec_.table = std::move(table);
+}
+
+bool Cluster::AdmitExtraSub(bool is_hedge) {
+  if (options_.hedge_budget_fraction <= 0.0) return true;
+  const uint64_t extra = extra_subs_.fetch_add(1) + 1;
+  const double cap = options_.hedge_budget_fraction *
+                     static_cast<double>(primary_subs_.load());
+  if (static_cast<double>(extra) > cap) {
+    extra_subs_.fetch_sub(1);
+    if (is_hedge) {
+      hedge_budget_denied_.fetch_add(1);
+    } else {
+      retry_budget_denied_.fetch_add(1);
+    }
+    return false;
+  }
+  return true;
 }
 
 Status Cluster::KillNode(uint32_t node) {
-  if (node >= nodes_.size()) {
+  if (node >= num_nodes()) {
     return Status::InvalidArgument("no node " + std::to_string(node));
   }
   nodes_[node]->killed.store(true);
@@ -360,11 +484,50 @@ Status Cluster::KillNode(uint32_t node) {
 }
 
 Status Cluster::ReviveNode(uint32_t node) {
-  if (node >= nodes_.size()) {
+  if (node >= num_nodes()) {
     return Status::InvalidArgument("no node " + std::to_string(node));
   }
   Node& nd = *nodes_[node];
+  if (nd.removed.load()) {
+    return Status::FailedPrecondition("node " + std::to_string(node) +
+                                      " was decommissioned");
+  }
   auto epoch = CurrentEpoch();
+
+  // Catch-up fence: while the node was down a repair may have committed a
+  // newer generation staged only to the live nodes, so this node's env
+  // can lack CURRENT entirely. Copy the committed state from a live peer
+  // before reloading the service — never readmit a stale route.
+  auto current = ReadCurrentManifest(nd.env);
+  if (!current.ok() || current.value().generation != epoch->generation) {
+    int peer = -1;
+    for (uint32_t p = 0; p < num_nodes(); ++p) {
+      if (p == node || !NodeAlive(p)) continue;
+      auto pm = ReadCurrentManifest(nodes_[p]->env);
+      if (pm.ok() && pm.value().generation == epoch->generation) {
+        peer = static_cast<int>(p);
+        break;
+      }
+    }
+    if (peer < 0) {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      ++revive_fenced_;
+      return Status::Unavailable(
+          "no live peer at the committed generation to catch node " +
+          std::to_string(node) + " up; revival refused");
+    }
+    auto files = nodes_[peer]->env.ListFiles();
+    if (!files.ok()) return files.status();
+    for (const std::string& name : files.value()) {
+      auto bytes = nodes_[peer]->env.ReadFile(name);
+      if (!bytes.ok()) return bytes.status();
+      GRIDDECL_RETURN_IF_ERROR(nd.env.WriteFile(name, bytes.value()));
+    }
+    nd.service.reset();  // force a reload below — the catalog moved
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    ++revive_catchups_;
+  }
+
   if (nd.service == nullptr || nd.service->generation() != epoch->generation) {
     // The cluster committed a newer generation while the node was down:
     // reload the node's service at CURRENT before readmitting it.
@@ -372,23 +535,40 @@ Status Cluster::ReviveNode(uint32_t node) {
     so.seed += node;
     auto service = serve::QueryService::Create(nd.faulty.get(), so);
     if (!service.ok()) return service.status();
+    if (service.value()->generation() != epoch->generation) {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      ++revive_fenced_;
+      return Status::Internal(
+          "node " + std::to_string(node) +
+          " reloaded at generation " +
+          std::to_string(service.value()->generation()) +
+          " but the cluster serves " + std::to_string(epoch->generation) +
+          "; revival refused");
+    }
     nd.service =
         std::shared_ptr<serve::QueryService>(std::move(service.value()));
     auto fresh = std::make_shared<Epoch>(*epoch);
-    fresh->services[node] = nd.service;
+    if (node < fresh->services.size()) {
+      fresh->services[node] = nd.service;
+    }
     std::lock_guard<std::mutex> lock(epoch_mu_);
     epoch_ = std::move(fresh);
   }
   nd.killed.store(false);
+  {
+    std::lock_guard<std::mutex> lock(hb_mu_);
+    heartbeat_->Reset(node);
+  }
   return Status::Ok();
 }
 
 Status Cluster::KillZone(uint32_t zone) {
-  if (zone >= placement_spec_.topology.num_zones()) {
+  const PlacementSpec spec = placement_spec();
+  if (zone >= spec.topology.num_zones()) {
     return Status::InvalidArgument("no zone " + std::to_string(zone));
   }
-  for (uint32_t n = 0; n < nodes_.size(); ++n) {
-    if (placement_spec_.topology.zone_of(n) == zone) {
+  for (uint32_t n = 0; n < num_nodes(); ++n) {
+    if (spec.topology.zone_of(n) == zone) {
       GRIDDECL_RETURN_IF_ERROR(KillNode(n));
     }
   }
@@ -396,13 +576,133 @@ Status Cluster::KillZone(uint32_t zone) {
 }
 
 Status Cluster::ReviveZone(uint32_t zone) {
-  if (zone >= placement_spec_.topology.num_zones()) {
+  const PlacementSpec spec = placement_spec();
+  if (zone >= spec.topology.num_zones()) {
     return Status::InvalidArgument("no zone " + std::to_string(zone));
   }
-  for (uint32_t n = 0; n < nodes_.size(); ++n) {
-    if (placement_spec_.topology.zone_of(n) == zone) {
+  for (uint32_t n = 0; n < num_nodes(); ++n) {
+    if (spec.topology.zone_of(n) == zone) {
       GRIDDECL_RETURN_IF_ERROR(ReviveNode(n));
     }
+  }
+  return Status::Ok();
+}
+
+Result<uint32_t> Cluster::AddNode(uint32_t rack, uint32_t zone) {
+  std::lock_guard<std::mutex> lock(spec_mu_);
+  const uint32_t id = active_nodes_.load();
+  if (id >= nodes_.size()) {
+    return Status::FailedPrecondition(
+        "cluster is at max_nodes (" + std::to_string(nodes_.size()) +
+        "); create with a larger ClusterOptions::max_nodes to grow");
+  }
+  Topology topo = placement_spec_.topology;
+  if (rack > topo.num_racks()) {
+    return Status::InvalidArgument(
+        "rack " + std::to_string(rack) + " out of range (have " +
+        std::to_string(topo.num_racks()) + " racks; == appends)");
+  }
+  if (rack == topo.num_racks()) {
+    if (zone > topo.num_zones()) {
+      return Status::InvalidArgument(
+          "zone " + std::to_string(zone) + " out of range (have " +
+          std::to_string(topo.num_zones()) + " zones; == opens a new one)");
+    }
+    topo.rack_zone.push_back(zone);
+  } else if (zone != topo.rack_zone[rack]) {
+    return Status::InvalidArgument(
+        "rack " + std::to_string(rack) + " is in zone " +
+        std::to_string(topo.rack_zone[rack]) + ", not " +
+        std::to_string(zone));
+  }
+  topo.node_rack.push_back(rack);
+  GRIDDECL_RETURN_IF_ERROR(topo.Validate());
+
+  // Seed the new node's env from a live peer at the committed generation.
+  auto epoch = CurrentEpoch();
+  int peer = -1;
+  for (uint32_t p = 0; p < id; ++p) {
+    if (!NodeAlive(p)) continue;
+    auto pm = ReadCurrentManifest(nodes_[p]->env);
+    if (pm.ok() && pm.value().generation == epoch->generation) {
+      peer = static_cast<int>(p);
+      break;
+    }
+  }
+  if (peer < 0) {
+    return Status::Unavailable(
+        "no live peer at the committed generation to seed the new node");
+  }
+
+  Node& nd = *nodes_[id];
+  auto files = nodes_[peer]->env.ListFiles();
+  if (!files.ok()) return files.status();
+  for (const std::string& name : files.value()) {
+    auto bytes = nodes_[peer]->env.ReadFile(name);
+    if (!bytes.ok()) return bytes.status();
+    GRIDDECL_RETURN_IF_ERROR(nd.env.WriteFile(name, bytes.value()));
+  }
+  FaultyEnvOptions fo;
+  fo.seed = options_.fault_seed + id;
+  fo.transient_error_prob = options_.node_transient_prob;
+  fo.max_transient_attempts = options_.node_max_transient_attempts;
+  fo.latency_ms = id < options_.node_latency_ms.size()
+                      ? options_.node_latency_ms[id]
+                      : 0.0;
+  auto faulty = FaultyEnv::Create(&nd.env, std::move(fo));
+  if (!faulty.ok()) return faulty.status();
+  nd.faulty = std::move(faulty.value());
+  nd.faulty->SetNowMs(virtual_now_ms_.load());
+  serve::ServeOptions so = options_.node;
+  so.seed += id;
+  auto service = serve::QueryService::Create(nd.faulty.get(), so);
+  if (!service.ok()) return service.status();
+  nd.service =
+      std::shared_ptr<serve::QueryService>(std::move(service.value()));
+
+  // Publish: topology first, then the node (release on active_nodes_ so
+  // any reader that sees the new count sees a fully built slot). Existing
+  // placement is untouched — the new node takes traffic only after the
+  // next Repair / Migrate re-places.
+  placement_spec_.topology = std::move(topo);
+  {
+    auto fresh = std::make_shared<Epoch>(*epoch);
+    fresh->services.push_back(nd.service);
+    std::lock_guard<std::mutex> elock(epoch_mu_);
+    epoch_ = std::move(fresh);
+  }
+  nd.killed.store(false);
+  nd.removed.store(false);
+  active_nodes_.store(id + 1);
+  {
+    std::lock_guard<std::mutex> hlock(hb_mu_);
+    heartbeat_->Track(id);
+  }
+  {
+    std::lock_guard<std::mutex> mlock(metrics_mu_);
+    ++nodes_added_;
+  }
+  return id;
+}
+
+Status Cluster::RemoveNode(uint32_t node) {
+  if (node >= num_nodes()) {
+    return Status::InvalidArgument("no node " + std::to_string(node));
+  }
+  Node& nd = *nodes_[node];
+  if (nd.removed.exchange(true)) {
+    return Status::FailedPrecondition("node " + std::to_string(node) +
+                                      " already removed");
+  }
+  nd.killed.store(true);
+  removed_count_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(hb_mu_);
+    heartbeat_->MarkRemoved(node);
+  }
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    ++nodes_removed_;
   }
   return Status::Ok();
 }
@@ -462,18 +762,21 @@ ClusterQueryResult Cluster::ExecuteOnEpoch(const Epoch& epoch,
 
   // Quorum gate: with a majority (per quorum_fraction) of nodes down, a
   // "partial" result would be mostly holes — refuse loudly instead.
+  // Decommissioned nodes leave the denominator: a shrunk cluster is not
+  // permanently degraded.
+  const uint32_t active = num_nodes();
+  const uint32_t members = active - std::min(active, removed_count_.load());
   uint32_t alive = 0;
-  for (uint32_t n = 0; n < nodes_.size(); ++n) {
+  for (uint32_t n = 0; n < active; ++n) {
     if (NodeAliveAt(n, vnow)) ++alive;
   }
   const uint32_t needed =
-      static_cast<uint32_t>(
-          std::floor(nodes_.size() * options_.quorum_fraction)) +
+      static_cast<uint32_t>(std::floor(members * options_.quorum_fraction)) +
       1;
   if (alive < needed) {
     result.status = Status::Unavailable(
         "quorum lost: " + std::to_string(alive) + " of " +
-        std::to_string(nodes_.size()) + " nodes alive, need " +
+        std::to_string(members) + " nodes alive, need " +
         std::to_string(needed));
     result.complete = false;
     result.availability = 0.0;
@@ -573,13 +876,16 @@ ClusterQueryResult Cluster::ExecuteOnEpoch(const Epoch& epoch,
   for (const auto& [key, route] : routes) {
     InFlight fl;
     fl.route = &route;
-    if (NodeAdmit(route.node)) {
+    // A repair epoch carries null services for the nodes it planned
+    // around — planning already avoids them, but guard the submit.
+    if (epoch.services[route.node] != nullptr && NodeAdmit(route.node)) {
       auto submitted =
           epoch.services[route.node]->Submit(make_sub(route, route.copy));
       if (submitted.ok()) {
         fl.future = std::move(submitted.value());
         fl.submitted = true;
         ++result.sub_queries;
+        primary_subs_.fetch_add(1);
         node_inflight_[route.node].fetch_add(
             static_cast<int64_t>(route.buckets));
       }
@@ -590,10 +896,14 @@ ClusterQueryResult Cluster::ExecuteOnEpoch(const Epoch& epoch,
 
   // Gather in deterministic route order.
   const uint64_t seq = query_seq_.fetch_add(1);
+  uint32_t retries_used = 0;
   for (InFlight& fl : flights) {
     const Route& route = *fl.route;
     auto resubmit = [&](uint32_t node, uint32_t copy)
         -> Result<std::future<serve::QueryResult>> {
+      if (epoch.services[node] == nullptr) {
+        return Status::Unavailable("no service on node");
+      }
       if (!NodeAdmit(node)) {
         return Status::Unavailable("node breaker open");
       }
@@ -639,7 +949,8 @@ ClusterQueryResult Cluster::ExecuteOnEpoch(const Epoch& epoch,
                                : kInf;
       if (std::isfinite(delay)) {
         const auto wait = std::chrono::duration<double, std::milli>(delay);
-        if (fl.future.wait_for(wait) != std::future_status::ready) {
+        if (fl.future.wait_for(wait) != std::future_status::ready &&
+            AdmitExtraSub(/*is_hedge=*/true)) {
           auto h = resubmit(alt_node, alt_copy);
           if (h.ok()) {
             hedge = std::move(h.value());
@@ -757,6 +1068,15 @@ ClusterQueryResult Cluster::ExecuteOnEpoch(const Epoch& epoch,
       if (hedge_failed_observed && c == alt_copy) continue;
       const uint32_t rn = epoch.placement.NodeOf(route.disks.front(), c);
       if (rn == route.node || !NodeAliveAt(rn, vnow)) continue;
+      // Retry budgets: a per-query cap on failover resubmits, then the
+      // cluster-wide extra-sub-query budget. Both default off.
+      if (options_.retry_budget_per_query > 0 &&
+          retries_used >= options_.retry_budget_per_query) {
+        retry_budget_denied_.fetch_add(1);
+        break;
+      }
+      if (!AdmitExtraSub(/*is_hedge=*/false)) break;
+      ++retries_used;
       auto f = resubmit(rn, c);
       if (!f.ok()) continue;
       node_inflight_[rn].fetch_add(static_cast<int64_t>(route.buckets));
@@ -811,6 +1131,11 @@ Result<MigrationReport> Cluster::Migrate(const MigrationOptions& options) {
   SetStagingEpoch(nullptr);
   migrating_.store(false);
   if (report.ok()) {
+    if (report.value().committed) {
+      // A migration re-places by policy under the new disk count; any
+      // explicit repair table from before it is stale now.
+      SetPlacementTable({});
+    }
     std::lock_guard<std::mutex> lock(metrics_mu_);
     if (report.value().committed) {
       ++migrations_committed_;
@@ -818,6 +1143,31 @@ Result<MigrationReport> Cluster::Migrate(const MigrationOptions& options) {
       ++migrations_aborted_;
     }
     migration_buckets_copied_ += report.value().buckets_copied;
+  }
+  return report;
+}
+
+Result<RepairReport> Cluster::Repair(const RepairOptions& options) {
+  bool expected = false;
+  if (!migrating_.compare_exchange_strong(expected, true)) {
+    return Status::FailedPrecondition(
+        "a migration or repair is already running");
+  }
+  abort_migration_.store(false);
+  divergence_.store(false);
+  Repairer repairer(this);
+  auto report = repairer.Run(options);
+  SetStagingEpoch(nullptr);
+  migrating_.store(false);
+  if (report.ok()) {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    if (report.value().committed) {
+      ++repairs_committed_;
+      repair_replicas_rebuilt_ += report.value().replicas_retargeted;
+      repair_bytes_copied_ += report.value().bytes_copied;
+    } else if (!report.value().already_healthy) {
+      ++repairs_aborted_;
+    }
   }
   return report;
 }
@@ -846,6 +1196,28 @@ void Cluster::SnapshotMetrics(obs::MetricsRegistry* out) const {
   set("cluster.migrations_committed", migrations_committed_);
   set("cluster.migrations_aborted", migrations_aborted_);
   set("cluster.migration_buckets_copied", migration_buckets_copied_);
+  set("cluster.repairs_committed", repairs_committed_);
+  set("cluster.repairs_aborted", repairs_aborted_);
+  set("cluster.repair_replicas_rebuilt", repair_replicas_rebuilt_);
+  set("cluster.repair_bytes_copied", repair_bytes_copied_);
+  set("cluster.revive_catchups", revive_catchups_);
+  set("cluster.revive_fenced", revive_fenced_);
+  set("cluster.nodes_added", nodes_added_);
+  set("cluster.nodes_removed", nodes_removed_);
+  set("cluster.hedge_budget_denied", hedge_budget_denied_.load());
+  set("cluster.retry_budget_denied", retry_budget_denied_.load());
+  {
+    HeartbeatDetector::Counters hb;
+    {
+      std::lock_guard<std::mutex> hlock(hb_mu_);
+      hb = heartbeat_->counters();
+    }
+    set("cluster.heartbeat.beats", hb.beats);
+    set("cluster.heartbeat.missed", hb.missed);
+    set("cluster.heartbeat.suspected", hb.suspected);
+    set("cluster.heartbeat.died", hb.died);
+    set("cluster.heartbeat.recovered", hb.recovered);
+  }
   obs::Histogram* h = out->GetHistogram("cluster.query_ms", query_ms_.bounds());
   h->Reset();
   h->Merge(query_ms_);

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "griddecl/cluster/heartbeat.h"
 #include "griddecl/cluster/placement.h"
 #include "griddecl/common/status.h"
 #include "griddecl/eval/disk_map.h"
@@ -107,6 +108,10 @@ enum class HedgePolicy {
 
 struct ClusterOptions {
   uint32_t num_nodes = 4;
+  /// Slot capacity for topology growth (`AddNode`). 0 = num_nodes (no
+  /// growth). Node slots beyond num_nodes are preallocated empty so adding
+  /// a node never reallocates state concurrent Execute calls read.
+  uint32_t max_nodes = 0;
   /// Per-node service template. `seed` is offset by the node index so
   /// retry jitter decorrelates across nodes; `generation` must stay 0
   /// (nodes follow the cluster's committed generation).
@@ -127,6 +132,21 @@ struct ClusterOptions {
 
   /// Execute refuses (kUnavailable) unless alive > num_nodes * fraction.
   double quorum_fraction = 0.5;
+
+  /// Per-query cap on failover resubmits (post-failure reroutes). 0 =
+  /// unlimited (the default; preserves the determinism contract).
+  uint32_t retry_budget_per_query = 0;
+  /// Cluster-wide cap on extra sub-queries (hedges + failover retries) as
+  /// a fraction of primary sub-queries submitted so far: a storm of
+  /// retries cannot more than (1 + fraction)x the offered load. 0 =
+  /// unlimited (the default). The budget is a cluster-lifetime ratio
+  /// enforced with atomics, so under concurrency admission is approximate
+  /// by design.
+  double hedge_budget_fraction = 0.0;
+
+  /// Virtual-clock failure detector driven by AdvanceTimeMs; see
+  /// cluster/heartbeat.h. Repair acts on detector-dead nodes only.
+  HeartbeatOptions heartbeat;
 
   /// Seed for hedge jitter.
   uint64_t seed = 0;
@@ -236,11 +256,64 @@ struct MigrationReport {
   uint64_t verify_mismatches = 0;
 };
 
+/// One paced, staged re-replication repair run; see cluster/repair.h for
+/// the planner and executor. Shares the migration machinery: token-bucket
+/// pacing, contention modeling, staged-manifest protocol, live double-read
+/// verify, fenced cutover.
+struct RepairOptions {
+  /// Copy-phase pacing budget in bytes/sec; 0 = unpaced. Semantics match
+  /// MigrationOptions::copy_bytes_per_sec, but repair charges only the
+  /// *rebuilt share* of each file (retargeted replicas / total replicas).
+  double copy_bytes_per_sec = 0.0;
+  /// Simulated copy-device throughput in bytes/sec; 0 = instantaneous.
+  double copy_device_bytes_per_sec = 0.0;
+  /// Extra per-read latency (ms) on every live node while an *unpaced*
+  /// repair copies; 0 disables the contention model.
+  double copy_contention_ms = 0.0;
+  /// Double-read sample run old-vs-repaired before cutover. Empty = the
+  /// default sample (full-range plus half-range queries per relation).
+  std::vector<serve::QueryRequest> verify_requests;
+  /// Test hook: phase boundaries ("plan", "copy", "staged", "verify",
+  /// "commit", "committed") on the repairing thread.
+  std::function<void(const std::string&)> on_phase;
+};
+
+struct RepairReport {
+  bool committed = false;
+  /// The cluster was already fully placed: nothing to do, no new
+  /// generation. Reported with committed = false and no abort_reason.
+  bool already_healthy = false;
+  /// Set when committed is false and not already_healthy: why the repair
+  /// aborted. An aborted repair leaves the old generation serving and
+  /// drops every staged file — placement is exactly what it was.
+  std::string abort_reason;
+  uint64_t old_generation = 0;
+  uint64_t new_generation = 0;
+  /// Nodes the repair planned around (detector-dead plus removed).
+  std::vector<uint32_t> dead_nodes;
+  /// (disk, copy) replica assignments moved off dead/removed nodes or
+  /// re-spread across zones.
+  uint64_t replicas_retargeted = 0;
+  uint64_t files_copied = 0;
+  /// Modeled rebuilt bytes (file sizes scaled by the rebuilt share).
+  uint64_t bytes_copied = 0;
+  double pacing_wait_ms = 0.0;
+  uint64_t verify_queries = 0;
+  uint64_t verify_mismatches = 0;
+  /// Redundancy-restored-by, virtual clock: commit-time virtual now minus
+  /// the earliest heartbeat death among the repaired nodes. 0 when no
+  /// repaired node had a detector death timestamp.
+  double mttr_virtual_ms = 0.0;
+  /// Wall-clock repair duration (plan to commit).
+  double mttr_wall_ms = 0.0;
+};
+
 class Migrator;
+class Repairer;
 
 /// N simulated nodes + coordinator; see file comment. Thread-safe:
 /// Execute may be called from any number of threads, concurrently with
-/// KillNode / AdvanceTimeMs / Migrate.
+/// KillNode / AdvanceTimeMs / Migrate / Repair.
 class Cluster {
  public:
   /// Materializes `seed` (a committed catalog env) into every node and
@@ -259,8 +332,12 @@ class Cluster {
   /// Imperative node death: the node is routed around from now on.
   /// (Schedule-driven deaths use ClusterOptions::node_windows instead.)
   Status KillNode(uint32_t node);
-  /// Revives a killed node. Reloads its service when the cluster moved to
-  /// a newer committed generation while the node was down.
+  /// Revives a killed node behind a catch-up fence: when the cluster
+  /// committed a newer generation while the node was down (a repair stages
+  /// only to live nodes), the node's env is first caught up from a live
+  /// peer at CURRENT and its service force-reloaded; if no live peer can
+  /// supply CURRENT the revival is refused (the node stays dead) rather
+  /// than readmitting a stale route.
   Status ReviveNode(uint32_t node);
   /// Kills / revives every node in the placement topology's zone `zone`
   /// at once — the imperative form of a ZoneFaultWindow.
@@ -276,10 +353,35 @@ class Cluster {
   /// kFailedPrecondition when a migration is already running. A
   /// non-committed report (clean abort) is an Ok result.
   Result<MigrationReport> Migrate(const MigrationOptions& options);
-  /// Requests a clean abort of the running migration (no-op when idle).
+  /// Requests a clean abort of the running migration or repair (no-op
+  /// when idle).
   void AbortMigration() { abort_migration_.store(true); }
 
-  uint32_t num_nodes() const { return static_cast<uint32_t>(nodes_.size()); }
+  /// Paced re-replication repair; see cluster/repair.h. Diffs the current
+  /// placement against the live topology (heartbeat-dead plus removed
+  /// nodes), re-targets lost / zone-violating replicas zone-aware, stages
+  /// the repaired placement to the live nodes, verifies, and commits
+  /// behind the generation fence. Mutually exclusive with Migrate (same
+  /// single-flight slot). A clean abort is an Ok, non-committed report.
+  Result<RepairReport> Repair(const RepairOptions& options);
+
+  /// Grows the cluster by one node in rack `rack` (== num_racks appends a
+  /// new rack in zone `zone`; `zone` == num_zones then opens a new zone).
+  /// The node's env is seeded from a live peer at CURRENT; existing
+  /// placement is untouched until the next Repair/Migrate re-places.
+  /// Returns the new node id. Requires a free slot (ClusterOptions::
+  /// max_nodes) and a live peer.
+  Result<uint32_t> AddNode(uint32_t rack, uint32_t zone);
+  /// Marks a node as permanently decommissioned: it is routed around like
+  /// a death, excluded from quorum, and the next Repair evacuates every
+  /// replica assignment it held. Irreversible (ReviveNode refuses).
+  Status RemoveNode(uint32_t node);
+
+  /// Heartbeat verdict for `node` (kRemoved when out of range).
+  NodeHealth NodeHealthOf(uint32_t node) const;
+  HeartbeatDetector::Counters HeartbeatCounters() const;
+
+  uint32_t num_nodes() const { return active_nodes_.load(); }
   uint32_t num_disks() const;
   /// Committed catalog generation the current routing epoch serves.
   uint64_t generation() const;
@@ -290,9 +392,11 @@ class Cluster {
   BreakerState NodeBreakerState(uint32_t node) const;
   bool NodeAlive(uint32_t node) const;
 
-  /// The placement spec the cluster resolved at Create (override >
-  /// manifest record > chained over a flat topology).
-  const PlacementSpec& placement_spec() const { return placement_spec_; }
+  /// The placement spec the cluster currently routes by: resolved at
+  /// Create (override > manifest record > chained over a flat topology),
+  /// extended by AddNode, and given an explicit table by a committed
+  /// Repair. Returned by value under the spec lock — the spec mutates.
+  PlacementSpec placement_spec() const;
   /// Self-colocation warnings computed at Create: one line per mirror
   /// relation whose placement puts two copies of some disk on one node
   /// (the chained trap). Empty = every relation survives any single node
@@ -303,14 +407,14 @@ class Cluster {
   /// In-flight bucket-read weight currently charged to `node` (the load
   /// signal degraded routing balances on). Test/observability hook.
   int64_t NodeInflight(uint32_t node) const {
-    return node < nodes_.size() ? node_inflight_[node].load() : 0;
+    return node < num_nodes() ? node_inflight_[node].load() : 0;
   }
 
   /// Test hook: the raw (fault-free) storage env backing `node`, or
   /// nullptr when out of range. Chaos tests corrupt staged files through
   /// it to drive the migration verify/abort paths deterministically.
   MemEnv* node_env_for_test(uint32_t node) {
-    return node < nodes_.size() ? &nodes_[node]->env : nullptr;
+    return node < num_nodes() ? &nodes_[node]->env : nullptr;
   }
 
   /// Publishes absolute totals (cluster.* keys plus each node's breaker
@@ -319,12 +423,16 @@ class Cluster {
 
  private:
   friend class Migrator;
+  friend class Repairer;
 
   struct Node {
     MemEnv env;
     std::unique_ptr<FaultyEnv> faulty;
     std::shared_ptr<serve::QueryService> service;
     std::atomic<bool> killed{false};
+    /// Decommissioned via RemoveNode: permanently dead for routing and
+    /// quorum, evacuated by the next repair. The slot (and node id) stays.
+    std::atomic<bool> removed{false};
   };
 
   /// Immutable per-relation routing state (part of a Routing table).
@@ -374,11 +482,17 @@ class Cluster {
 
   Cluster() = default;
 
-  /// Builds a routing epoch for `generation` from node 0's env (all node
-  /// envs are identical by construction) over the given services.
+  /// Builds a routing epoch for `generation` over the given services,
+  /// reading the catalog from `src` (nullptr = node 0's env; repair passes
+  /// a live node's env because node 0 may be dead). The generation's
+  /// manifest placement record wins when it carries an explicit table (the
+  /// repair ground truth — disk ownership is its row 0); otherwise the
+  /// cluster's current spec applies with any stale table cleared and
+  /// contiguous disk ownership.
   Result<std::shared_ptr<const Epoch>> BuildEpoch(
       uint64_t generation,
-      std::vector<std::shared_ptr<serve::QueryService>> services) const;
+      std::vector<std::shared_ptr<serve::QueryService>> services,
+      const StorageEnv* src = nullptr) const;
 
   std::shared_ptr<const Epoch> CurrentEpoch() const;
   std::shared_ptr<const Epoch> StagingEpoch() const;
@@ -392,6 +506,16 @@ class Cluster {
                                     bool allow_hedge);
 
   bool NodeAliveAt(uint32_t node, double virtual_now) const;
+  /// Detector-dead plus removed nodes — the set a repair plans around.
+  std::vector<uint32_t> DeadNodesForRepair() const;
+  /// Virtual time the heartbeat declared `node` dead (0 = never).
+  double NodeDeadSinceMs(uint32_t node) const;
+  /// Installs the repaired placement table as the cluster's current spec
+  /// (empty clears the table, e.g. after a policy re-placement).
+  void SetPlacementTable(std::vector<std::vector<uint32_t>> table);
+  /// Admits one extra sub-query (hedge or failover retry) against the
+  /// cluster-wide hedge budget; false = over budget, skip it.
+  bool AdmitExtraSub(bool is_hedge);
   bool NodeWouldRefuse(uint32_t node) const;
   /// Breaker admission for one sub-query (may consume the half-open probe
   /// slot); false = treat the node as refused.
@@ -406,12 +530,23 @@ class Cluster {
 
   ClusterOptions options_;
   /// Resolved at Create: options_.placement > manifest record > chained.
+  /// Mutated by AddNode (topology growth) and a committed Repair (table);
+  /// guarded by spec_mu_ — read via placement_spec().
+  mutable std::mutex spec_mu_;
   PlacementSpec placement_spec_;
   std::vector<std::string> placement_warnings_;
   /// node_windows plus every zone window expanded to its member nodes —
   /// the one list NodeAliveAt and the FaultyEnv wildcard ranges share.
   std::vector<NodeFaultWindow> effective_windows_;
+  /// Preallocated to max_nodes so AddNode never reallocates; slots in
+  /// [active_nodes_, max) are default-constructed and untouched until
+  /// activated. All loops bound by num_nodes() == active_nodes_.
   std::vector<std::unique_ptr<Node>> nodes_;
+  /// Materialized node count; release-incremented by AddNode after the
+  /// slot is fully built.
+  std::atomic<uint32_t> active_nodes_{0};
+  /// RemoveNode count — shrinks the quorum denominator.
+  std::atomic<uint32_t> removed_count_{0};
   /// Per-node in-flight bucket-read weight (degraded routing's load
   /// signal). unique_ptr array: atomics are not movable.
   std::unique_ptr<std::atomic<int64_t>[]> node_inflight_;
@@ -424,6 +559,18 @@ class Cluster {
 
   mutable std::mutex breaker_mu_;
   std::vector<CircuitBreaker> node_breakers_;
+
+  /// Virtual-clock failure detector; AdvanceTo/MarkRemoved/Reset are
+  /// serialized by hb_mu_, health reads are lock-free.
+  mutable std::mutex hb_mu_;
+  std::unique_ptr<HeartbeatDetector> heartbeat_;
+
+  /// Cluster-wide hedge/retry budget accounting (lock-free; see
+  /// ClusterOptions::hedge_budget_fraction).
+  std::atomic<uint64_t> primary_subs_{0};
+  std::atomic<uint64_t> extra_subs_{0};
+  std::atomic<uint64_t> hedge_budget_denied_{0};
+  std::atomic<uint64_t> retry_budget_denied_{0};
 
   std::atomic<bool> migrating_{false};
   std::atomic<bool> abort_migration_{false};
@@ -447,6 +594,14 @@ class Cluster {
   uint64_t migrations_committed_ = 0;
   uint64_t migrations_aborted_ = 0;
   uint64_t migration_buckets_copied_ = 0;
+  uint64_t repairs_committed_ = 0;
+  uint64_t repairs_aborted_ = 0;
+  uint64_t repair_replicas_rebuilt_ = 0;
+  uint64_t repair_bytes_copied_ = 0;
+  uint64_t revive_catchups_ = 0;
+  uint64_t revive_fenced_ = 0;
+  uint64_t nodes_added_ = 0;
+  uint64_t nodes_removed_ = 0;
   obs::Histogram query_ms_{obs::DefaultLatencyBoundsMs()};
   /// Per-node sub-query latency (adaptive hedge delay reads its p95).
   std::vector<obs::Histogram> node_query_ms_;

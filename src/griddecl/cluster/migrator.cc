@@ -43,6 +43,9 @@ const char* Migrator::AbortTrigger() const {
   if (cluster_->abort_migration_.load()) return "externally aborted";
   if (cluster_->divergence_.load()) return "live double-read divergence";
   for (uint32_t n = 0; n < cluster_->num_nodes(); ++n) {
+    // Decommissioned nodes are expected to be dark; migration only needs
+    // every *member* node healthy.
+    if (cluster_->nodes_[n]->removed.load()) continue;
     if (!cluster_->NodeAlive(n)) return "node lost";
   }
   return nullptr;
@@ -53,12 +56,12 @@ Result<MigrationReport> Migrator::Abort(MigrationReport report,
                                         uint64_t staged_generation) {
   cluster_->SetStagingEpoch(nullptr);
   if (staged_generation != 0) {
-    for (const auto& node : cluster_->nodes_) {
+    for (uint32_t n = 0; n < cluster_->num_nodes(); ++n) {
       // Best effort: a node that died mid-migration still drops its staged
       // files (the simulated env stays writable); real deployments would
       // re-run the drop on recovery, which recovery's wreckage scan makes
       // safe anyway.
-      (void)DropStagedManifest(&node->env, staged_generation);
+      (void)DropStagedManifest(&cluster_->nodes_[n]->env, staged_generation);
     }
   }
   report.committed = false;
@@ -139,7 +142,10 @@ Result<MigrationReport> Migrator::Run(const MigrationOptions& options) {
   ContentionGuard contention;
   if (options.copy_bytes_per_sec <= 0.0 && options.copy_contention_ms > 0.0) {
     std::vector<std::unique_ptr<FaultyEnv>*> envs;
-    for (const auto& node : cluster_->nodes_) envs.push_back(&node->faulty);
+    for (uint32_t n = 0; n < cluster_->num_nodes(); ++n) {
+      if (cluster_->nodes_[n]->removed.load()) continue;
+      envs.push_back(&cluster_->nodes_[n]->faulty);
+    }
     contention.Engage(envs, options.copy_contention_ms);
   }
   const StorageEnv& env0 = cluster_->nodes_[0]->env;
@@ -156,6 +162,13 @@ Result<MigrationReport> Migrator::Run(const MigrationOptions& options) {
   staged.num_disks = options.new_num_disks;
   for (ManifestRelation& mr : staged.relations) {
     mr.method = options.new_method;
+  }
+  if (staged.placement.has_value()) {
+    // A repair's explicit table is keyed to the old disk count and layout;
+    // the migrated generation re-places by policy.
+    staged.placement->table.clear();
+    staged.placement->table_copies = 0;
+    staged.placement->table_disks = 0;
   }
 
   for (size_t i = 0; i < staged.relations.size(); ++i) {
@@ -204,8 +217,9 @@ Result<MigrationReport> Migrator::Run(const MigrationOptions& options) {
           return Abort(std::move(report), trigger, report.new_generation);
         }
       }
-      for (const auto& node : cluster_->nodes_) {
-        Status w = node->env.WriteFile(to, bytes.value());
+      for (uint32_t n = 0; n < cluster_->num_nodes(); ++n) {
+        if (cluster_->nodes_[n]->removed.load()) continue;
+        Status w = cluster_->nodes_[n]->env.WriteFile(to, bytes.value());
         if (!w.ok()) {
           return Abort(std::move(report), "copy failed: " + w.ToString(),
                        report.new_generation);
@@ -219,9 +233,10 @@ Result<MigrationReport> Migrator::Run(const MigrationOptions& options) {
   }
 
   const std::string manifest_bytes = SerializeManifest(staged);
-  for (const auto& node : cluster_->nodes_) {
-    Status w = node->env.WriteFile(ManifestFileName(report.new_generation),
-                                   manifest_bytes);
+  for (uint32_t n = 0; n < cluster_->num_nodes(); ++n) {
+    if (cluster_->nodes_[n]->removed.load()) continue;
+    Status w = cluster_->nodes_[n]->env.WriteFile(
+        ManifestFileName(report.new_generation), manifest_bytes);
     if (!w.ok()) {
       return Abort(std::move(report), "staging manifest: " + w.ToString(),
                    report.new_generation);
@@ -236,8 +251,10 @@ Result<MigrationReport> Migrator::Run(const MigrationOptions& options) {
 
   // --- Phase 2: verify ---------------------------------------------------
   phase("verify");
-  std::vector<std::shared_ptr<serve::QueryService>> staging_services;
+  std::vector<std::shared_ptr<serve::QueryService>> staging_services(
+      cluster_->num_nodes());
   for (uint32_t n = 0; n < cluster_->num_nodes(); ++n) {
+    if (cluster_->nodes_[n]->removed.load()) continue;  // stays null
     serve::ServeOptions so = cluster_->options_.node;
     so.seed += n;
     so.generation = report.new_generation;
@@ -249,7 +266,7 @@ Result<MigrationReport> Migrator::Run(const MigrationOptions& options) {
                        service.status().ToString(),
                    report.new_generation);
     }
-    staging_services.emplace_back(std::move(service.value()));
+    staging_services[n] = std::move(service.value());
   }
   auto staging_epoch =
       cluster_->BuildEpoch(report.new_generation, std::move(staging_services));
@@ -320,6 +337,7 @@ Result<MigrationReport> Migrator::Run(const MigrationOptions& options) {
   }
   std::vector<uint32_t> committed;
   for (uint32_t n = 0; n < cluster_->num_nodes(); ++n) {
+    if (cluster_->nodes_[n]->removed.load()) continue;
     Status s = CommitStagedManifest(&cluster_->nodes_[n]->env,
                                     report.new_generation);
     if (!s.ok()) {
@@ -341,8 +359,9 @@ Result<MigrationReport> Migrator::Run(const MigrationOptions& options) {
   // epoch; their sub-queries still carry the old generation fence and the
   // old services keep serving them until the last shared_ptr drops.
   cluster_->AdoptEpoch(staging_epoch.value());
-  for (const auto& node : cluster_->nodes_) {
-    GarbageCollectManifests(&node->env, report.new_generation);
+  for (uint32_t n = 0; n < cluster_->num_nodes(); ++n) {
+    if (cluster_->nodes_[n]->removed.load()) continue;
+    GarbageCollectManifests(&cluster_->nodes_[n]->env, report.new_generation);
   }
   phase("committed");
   report.committed = true;

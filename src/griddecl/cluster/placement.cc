@@ -141,6 +141,15 @@ ManifestPlacement ToManifestPlacement(const PlacementSpec& spec) {
   record.seed = spec.seed;
   record.node_rack = spec.topology.node_rack;
   record.rack_zone = spec.topology.rack_zone;
+  if (!spec.table.empty()) {
+    record.table_copies = static_cast<uint32_t>(spec.table.size());
+    record.table_disks = static_cast<uint32_t>(spec.table[0].size());
+    record.table.reserve(static_cast<size_t>(record.table_copies) *
+                         record.table_disks);
+    for (const std::vector<uint32_t>& row : spec.table) {
+      record.table.insert(record.table.end(), row.begin(), row.end());
+    }
+  }
   return record;
 }
 
@@ -156,6 +165,26 @@ Result<PlacementSpec> FromManifestPlacement(const ManifestPlacement& record) {
   spec.topology.rack_zone = record.rack_zone;
   const Status valid = spec.topology.Validate();
   if (!valid.ok()) return valid;
+  if (!record.table.empty()) {
+    if (record.table_copies < 1 || record.table_disks < 1 ||
+        record.table.size() != static_cast<size_t>(record.table_copies) *
+                                   record.table_disks) {
+      return Status::InvalidArgument("placement table dims inconsistent");
+    }
+    spec.table.assign(record.table_copies,
+                      std::vector<uint32_t>(record.table_disks, 0));
+    for (uint32_t c = 0; c < record.table_copies; ++c) {
+      for (uint32_t d = 0; d < record.table_disks; ++d) {
+        const uint32_t node =
+            record.table[static_cast<size_t>(c) * record.table_disks + d];
+        if (node >= spec.topology.num_nodes()) {
+          return Status::InvalidArgument(
+              "placement table entry names an unknown node");
+        }
+        spec.table[c][d] = node;
+      }
+    }
+  }
   return spec;
 }
 
@@ -181,6 +210,33 @@ Result<PlacementMap> PlacementMap::Build(
 
   PlacementMap map;
   map.spec_ = spec;
+
+  if (!spec.table.empty()) {
+    // Explicit table (post-repair ground truth): use it verbatim.
+    if (spec.table.size() < max_copies) {
+      return Status::InvalidArgument(
+          "placement table has fewer rows than mirror copies");
+    }
+    for (const std::vector<uint32_t>& row : spec.table) {
+      if (row.size() != disk_node.size()) {
+        return Status::InvalidArgument(
+            "placement table row width != number of disks");
+      }
+      for (uint32_t node : row) {
+        if (node >= num_nodes) {
+          return Status::InvalidArgument(
+              "placement table entry outside the topology");
+        }
+      }
+    }
+    if (spec.table[0] != disk_node) {
+      return Status::InvalidArgument(
+          "placement table row 0 disagrees with the disk ownership map");
+    }
+    map.node_of_ = spec.table;
+    return map;
+  }
+
   map.node_of_.assign(max_copies, std::vector<uint32_t>(num_disks, 0));
   map.node_of_[0] = disk_node;  // Copy 0 is always the owner.
 

@@ -93,6 +93,13 @@ struct PlacementSpec {
   Topology topology;
   /// Tie-break seed for zone_aware (ignored by chained/spread).
   uint64_t seed = 0;
+  /// Optional explicit assignment: table[copy][disk] = node. Non-empty
+  /// after a repair / re-placement, whose incremental re-targeting
+  /// deviates from the pure policy formula — then it overrides the policy
+  /// entirely (the policy/topology/seed are kept as the spec the table was
+  /// derived from). Row 0 is the primary-owner map. All rows must have
+  /// one entry per disk, every entry < topology.num_nodes().
+  std::vector<std::vector<uint32_t>> table;
 };
 
 /// Conversions to/from the manifest's serialized record.
@@ -106,9 +113,16 @@ class PlacementMap {
   /// map the cluster routes by); `max_copies` >= 1 is the largest mirror
   /// copy count of any relation. Requires spec.topology.num_nodes() ==
   /// the number of distinct nodes in `disk_node`'s range (validated).
+  /// When `spec.table` is non-empty the table is used verbatim instead of
+  /// the policy formula: it must have >= max_copies rows of
+  /// disk_node.size() entries each, and its row 0 must equal `disk_node`
+  /// (callers derive ownership from the table's first row).
   static Result<PlacementMap> Build(const PlacementSpec& spec,
                                     const std::vector<uint32_t>& disk_node,
                                     uint32_t max_copies);
+
+  /// The raw (copy, disk) -> node rows — the repair planner's input.
+  const std::vector<std::vector<uint32_t>>& Table() const { return node_of_; }
 
   PlacementPolicy policy() const { return spec_.policy; }
   const PlacementSpec& spec() const { return spec_; }

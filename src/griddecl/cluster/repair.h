@@ -1,0 +1,105 @@
+#ifndef GRIDDECL_CLUSTER_REPAIR_H_
+#define GRIDDECL_CLUSTER_REPAIR_H_
+
+#include "griddecl/cluster/cluster.h"
+
+/// \file
+/// Self-healing: diff the persisted placement against the live topology
+/// and re-replicate what a dead or decommissioned node was holding.
+///
+/// The repair is split into a pure **planner** and a staged **executor**:
+///
+///  * `PlanRepair` takes the current `(copy, disk) -> node` table, the
+///    topology, and the set of dead/removed nodes, and produces the
+///    minimal set of re-target actions: pass 1 moves every replica
+///    assignment that lives on a dead node to the best live node (scored
+///    zone_aware: new zone > new rack > new node > lightest load, seeded
+///    deterministic tie-break — the same ranking placement.cc uses); pass
+///    2 then fixes *placement violations* that survive pass 1, i.e. disks
+///    whose live replicas cover fewer distinct zones than they could
+///    (e.g. two copies in one zone after a node add/remove). A disk with
+///    no live replica at all is unrecoverable (data loss) and reported,
+///    never silently dropped. The planner is a pure function of its input
+///    — repair plans are deterministic and replayable.
+///
+///  * `Repairer` (driven by `Cluster::Repair`, single-flight with
+///    migrations) executes a plan through the migration machinery: it
+///    stages a new catalog generation on the LIVE nodes only (copying the
+///    relation files under generation-G' names, paced by the same token
+///    bucket `Migrator` uses but charging only the rebuilt share of each
+///    file), writes the repaired table into the staged manifest's
+///    placement record (the ground truth every later epoch build obeys),
+///    double-read-verifies old-vs-repaired, and commits behind the
+///    generation fence. Any abort — a plan-time-live node lost mid-copy,
+///    an external `AbortMigration`, a live double-read divergence — drops
+///    every staged file and leaves the old generation serving: placement
+///    is exactly what it was before the repair started.
+///
+/// Dead nodes receive nothing during the repair; that is what makes the
+/// revived-node staleness window real, and why `Cluster::ReviveNode`
+/// fences revival behind a catch-up copy from a live peer.
+
+namespace griddecl::cluster {
+
+/// One replica re-target: copy `copy` of primary disk `disk` moves from
+/// `from_node` (dead, removed, or zone-violating) to `to_node` (live).
+struct RepairAction {
+  uint32_t disk = 0;
+  uint32_t copy = 0;
+  uint32_t from_node = 0;
+  uint32_t to_node = 0;
+};
+
+struct RepairPlanInput {
+  /// Current placement: table[copy][disk] = node (PlacementMap::Table()).
+  std::vector<std::vector<uint32_t>> table;
+  Topology topology;
+  /// Nodes to plan around (detector-dead plus removed), ids ascending.
+  std::vector<uint32_t> dead_nodes;
+  /// Deterministic tie-break seed (the placement spec's seed).
+  uint64_t seed = 0;
+};
+
+struct RepairPlan {
+  std::vector<RepairAction> actions;
+  /// The repaired table: input.table with every action applied.
+  std::vector<std::vector<uint32_t>> new_table;
+  /// Disks whose every replica was on a dead node — lost data; the
+  /// executor refuses to commit a plan with any of these.
+  std::vector<uint32_t> unrecoverable_disks;
+
+  bool healthy() const {
+    return actions.empty() && unrecoverable_disks.empty();
+  }
+};
+
+/// Pure planning function; see file comment. Errors on malformed input
+/// (ragged table, unknown nodes, every node dead).
+Result<RepairPlan> PlanRepair(const RepairPlanInput& input);
+
+/// One repair run against a live cluster. Constructed and driven by
+/// `Cluster::Repair`, which guarantees single-flight with migrations.
+class Repairer {
+ public:
+  explicit Repairer(Cluster* cluster) : cluster_(cluster) {}
+
+  /// Executes the repair; see file comment. A clean abort is an Ok result
+  /// with `committed = false`; malformed options are error statuses.
+  Result<RepairReport> Run(const RepairOptions& options);
+
+ private:
+  /// First active abort trigger, or nullptr. `planned_live[n]` marks the
+  /// nodes alive at plan time — losing one of *those* aborts; the nodes
+  /// being repaired around are expected to be dead.
+  const char* AbortTrigger(const std::vector<bool>& planned_live) const;
+  /// Clean-abort path: clears the staging epoch, drops the staged
+  /// generation everywhere (best effort), fills the report.
+  Result<RepairReport> Abort(RepairReport report, std::string reason,
+                             uint64_t staged_generation);
+
+  Cluster* cluster_;
+};
+
+}  // namespace griddecl::cluster
+
+#endif  // GRIDDECL_CLUSTER_REPAIR_H_

@@ -138,6 +138,42 @@ Result<std::vector<ClusterCommand>> ParseClusterScript(std::string_view text) {
       cmd.kind = ClusterCommand::Kind::kMigrate;
       cmd.migrate_method = tokens[1];
       cmd.migrate_disks = disks.value();
+    } else if (tokens[0] == "repair") {
+      if (tokens.size() > 2) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": expected 'repair [bytes_per_sec]'");
+      }
+      cmd.kind = ClusterCommand::Kind::kRepair;
+      if (tokens.size() == 2) {
+        char* end = nullptr;
+        cmd.repair_bytes_per_sec = std::strtod(tokens[1].c_str(), &end);
+        if (end != tokens[1].c_str() + tokens[1].size() ||
+            cmd.repair_bytes_per_sec < 0.0) {
+          return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                         ": bad rate '" + tokens[1] + "'");
+        }
+      }
+    } else if (tokens[0] == "add-node") {
+      if (tokens.size() != 3) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": expected 'add-node <rack> <zone>'");
+      }
+      auto rack = ParseU32(tokens[1], line_no, "rack");
+      if (!rack.ok()) return rack.status();
+      auto zone = ParseU32(tokens[2], line_no, "zone");
+      if (!zone.ok()) return zone.status();
+      cmd.kind = ClusterCommand::Kind::kAddNode;
+      cmd.add_rack = rack.value();
+      cmd.add_zone = zone.value();
+    } else if (tokens[0] == "remove-node") {
+      if (tokens.size() != 2) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": expected 'remove-node <node>'");
+      }
+      auto node = ParseU32(tokens[1], line_no, "node");
+      if (!node.ok()) return node.status();
+      cmd.kind = ClusterCommand::Kind::kRemoveNode;
+      cmd.node = node.value();
     } else {
       return Status::InvalidArgument("line " + std::to_string(line_no) +
                                      ": unknown directive '" + tokens[0] +

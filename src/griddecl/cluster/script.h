@@ -20,10 +20,19 @@
 ///     revive-zone <zone>
 ///     advance-ms <virtual_ms>
 ///     migrate <method> <num_disks>
+///     repair [bytes_per_sec]
+///     add-node <rack> <zone>
+///     remove-node <node>
 ///
 /// `kill-zone`/`revive-zone` act on every node of the failure domain at
 /// once (the cluster's topology decides membership) — the script-level
-/// face of correlated failures.
+/// face of correlated failures. `repair` runs a paced re-replication
+/// repair (optional bytes/sec pacing budget; omitted or 0 = unpaced);
+/// note the heartbeat must have declared the losses dead first (advance
+/// the virtual clock past dead_after intervals). `add-node` grows the
+/// cluster by one node in the given rack/zone (== the current count
+/// appends a new rack / opens a new zone); `remove-node` decommissions a
+/// node — the next `repair` evacuates it.
 ///
 /// Blank lines and lines starting with `#` are skipped. Example — kill a
 /// node mid-traffic, then re-decluster to FX on 8 disks:
@@ -46,12 +55,15 @@ struct ClusterCommand {
     kReviveZone,
     kAdvance,
     kMigrate,
+    kRepair,
+    kAddNode,
+    kRemoveNode,
   };
 
   Kind kind = Kind::kQuery;
   /// kQuery only.
   serve::QueryRequest query;
-  /// kKillNode / kReviveNode.
+  /// kKillNode / kReviveNode / kRemoveNode.
   uint32_t node = 0;
   /// kKillZone / kReviveZone.
   uint32_t zone = 0;
@@ -60,6 +72,11 @@ struct ClusterCommand {
   /// kMigrate.
   std::string migrate_method;
   uint32_t migrate_disks = 0;
+  /// kRepair: pacing budget in bytes/sec; 0 = unpaced.
+  double repair_bytes_per_sec = 0.0;
+  /// kAddNode.
+  uint32_t add_rack = 0;
+  uint32_t add_zone = 0;
 };
 
 /// Parses a cluster script, in file order. Fails with kInvalidArgument

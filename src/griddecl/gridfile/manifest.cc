@@ -17,10 +17,14 @@ constexpr char kManifestMagic[4] = {'G', 'D', 'M', 'F'};
 /// kFormatV2 pages); version 2 records the format after page_size_bytes;
 /// version 3 appends an optional replica-placement record after the
 /// relation list. Absent record (and every pre-3 manifest) = chained
-/// placement.
+/// placement. Version 4 appends an explicit (copy, disk) -> node table to
+/// the placement record — written ONLY when the record carries a table
+/// (repair output), so every table-less manifest stays byte-identical to
+/// version 3.
 constexpr uint32_t kManifestVersionV1 = 1;
 constexpr uint32_t kManifestVersionV2 = 2;
 constexpr uint32_t kManifestVersion = 3;
+constexpr uint32_t kManifestVersionV4 = 4;
 constexpr char kCurrentTmpName[] = "CURRENT.tmp";
 constexpr char kManifestPrefix[] = "MANIFEST-";
 constexpr size_t kManifestPrefixLen = 9;
@@ -176,9 +180,11 @@ Result<uint64_t> NextManifestGeneration(const StorageEnv& env) {
 }
 
 std::string SerializeManifest(const CatalogManifest& manifest) {
+  const bool has_table =
+      manifest.placement.has_value() && !manifest.placement->table.empty();
   std::string out;
   out.append(kManifestMagic, 4);
-  AppendU32(&out, kManifestVersion);
+  AppendU32(&out, has_table ? kManifestVersionV4 : kManifestVersion);
   AppendU64(&out, manifest.generation);
   AppendU32(&out, manifest.num_disks);
   AppendU32(&out, manifest.page_size_bytes);
@@ -212,6 +218,11 @@ std::string SerializeManifest(const CatalogManifest& manifest) {
     for (uint32_t rack : p.node_rack) AppendU32(&out, rack);
     AppendU32(&out, static_cast<uint32_t>(p.rack_zone.size()));
     for (uint32_t zone : p.rack_zone) AppendU32(&out, zone);
+    if (has_table) {
+      AppendU32(&out, p.table_copies);
+      AppendU32(&out, p.table_disks);
+      for (uint32_t node : p.table) AppendU32(&out, node);
+    }
   }
   AppendU32(&out, Crc32c(out));
   return out;
@@ -242,8 +253,7 @@ Result<CatalogManifest> ParseManifest(std::string_view bytes) {
       !r.ReadU32(&m.num_disks) || !r.ReadU32(&m.page_size_bytes)) {
     return Status::InvalidArgument("manifest truncated");
   }
-  if (version != kManifestVersionV1 && version != kManifestVersionV2 &&
-      version != kManifestVersion) {
+  if (version < kManifestVersionV1 || version > kManifestVersionV4) {
     return Status::InvalidArgument("unsupported manifest version " +
                                    std::to_string(version));
   }
@@ -350,6 +360,28 @@ Result<CatalogManifest> ParseManifest(std::string_view bytes) {
       for (uint32_t rack : p.node_rack) {
         if (rack >= num_racks) {
           return Status::InvalidArgument("placement rack id out of range");
+        }
+      }
+      if (version >= kManifestVersionV4) {
+        if (!r.ReadU32(&p.table_copies) || !r.ReadU32(&p.table_disks)) {
+          return Status::InvalidArgument("manifest truncated");
+        }
+        if (p.table_copies < 1 || p.table_copies > kMaxMirrorCopies ||
+            p.table_disks < 1 || p.table_disks > kMaxNumDisks) {
+          return Status::InvalidArgument(
+              "placement table dims out of range in manifest");
+        }
+        const uint64_t entries =
+            static_cast<uint64_t>(p.table_copies) * p.table_disks;
+        p.table.resize(entries);
+        for (uint64_t i = 0; i < entries; ++i) {
+          if (!r.ReadU32(&p.table[i])) {
+            return Status::InvalidArgument("manifest truncated");
+          }
+          if (p.table[i] >= num_nodes) {
+            return Status::InvalidArgument(
+                "placement table entry names an unknown node");
+          }
         }
       }
       m.placement = std::move(p);

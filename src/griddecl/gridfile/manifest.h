@@ -99,6 +99,16 @@ struct ManifestPlacement {
   std::vector<uint32_t> node_rack;
   /// rack_zone[r] = zone of rack r; size = number of racks.
   std::vector<uint32_t> rack_zone;
+  /// Optional explicit (copy, disk) -> node table (manifest version 4),
+  /// flattened copy-major: entry c * table_disks + d is the node holding
+  /// copy c of primary disk d. Written by repair / re-placement, whose
+  /// incremental re-targeting deviates from the pure policy formula; when
+  /// present it is the ground truth of where replicas physically live and
+  /// overrides the policy. Empty = derive placement from the policy
+  /// (versions <= 3 always). `table.size() == table_copies * table_disks`.
+  std::vector<uint32_t> table;
+  uint32_t table_copies = 0;
+  uint32_t table_disks = 0;
 };
 
 /// A parsed manifest: everything needed to reload (and scrub) a catalog.

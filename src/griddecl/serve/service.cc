@@ -283,6 +283,10 @@ QueryResult QueryService::RunQuery(const Pending& p) {
   // coordinator planned against, before any page is read.
   if (p.request.expected_generation != 0 &&
       p.request.expected_generation != generation_) {
+    {
+      std::lock_guard<std::mutex> m(metrics_mu_);
+      generation_fenced_++;
+    }
     return finish(Status::FailedPrecondition(
         "generation fence: request expects catalog generation " +
         std::to_string(p.request.expected_generation) +
@@ -726,6 +730,7 @@ void QueryService::SnapshotMetrics(MetricsRegistry* out) const {
     set_counter("serve.reconstructed_pages", reconstructed_pages_);
     set_counter("serve.pool_hits", pool_hits_);
     set_counter("serve.zone_map_skips", zone_map_skips_);
+    set_counter("serve.generation_fenced", generation_fenced_);
     obs::Histogram* h =
         out->GetHistogram("serve.latency_ms", latency_ms_.bounds());
     h->Reset();

@@ -336,6 +336,7 @@ class QueryService {
   uint64_t reconstructed_pages_ = 0;
   uint64_t pool_hits_ = 0;
   uint64_t zone_map_skips_ = 0;
+  uint64_t generation_fenced_ = 0;
   obs::Histogram latency_ms_;
 
   std::vector<std::thread> workers_;

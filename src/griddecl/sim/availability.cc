@@ -5,6 +5,7 @@
 #include <set>
 #include <utility>
 
+#include "griddecl/cluster/repair.h"
 #include "griddecl/common/random.h"
 #include "griddecl/methods/registry.h"
 #include "griddecl/methods/replicated.h"
@@ -84,10 +85,13 @@ Status ValidateSweepOptions(const AvailabilitySweepOptions& o) {
       }
     }
   } else if (!o.forced_domain_order.empty() ||
-             !o.placement_policies.empty()) {
+             !o.placement_policies.empty() || o.repair) {
     return Status::InvalidArgument(
-        "forced_domain_order / placement_policies require a correlated "
-        "failure_domain");
+        "forced_domain_order / placement_policies / repair require a "
+        "correlated failure_domain");
+  }
+  if (o.repair_detect_ms < 0.0 || o.repair_ms_per_replica < 0.0) {
+    return Status::InvalidArgument("repair model times must be >= 0");
   }
   return Status::Ok();
 }
@@ -152,6 +156,56 @@ Result<std::vector<std::vector<uint32_t>>> LowerPlacementToDisks(
     row.push_back(d);
     for (uint32_t c = 1; c < replicas; ++c) {
       const uint32_t n = map.NodeOf(d, c);
+      uint32_t disk = m;  // sentinel: unplaced
+      for (uint32_t k = 0; k < count[n]; ++k) {
+        const uint32_t candidate = lo[n] + (d + k) % count[n];
+        if (std::find(row.begin(), row.end(), candidate) == row.end()) {
+          disk = candidate;
+          break;
+        }
+      }
+      for (uint32_t k = 0; disk == m && k < m; ++k) {
+        const uint32_t candidate = (d + 1 + k) % m;
+        if (std::find(row.begin(), row.end(), candidate) == row.end()) {
+          disk = candidate;
+        }
+      }
+      if (disk == m) {
+        return Status::Internal("replica lowering could not place a copy");
+      }
+      row.push_back(disk);
+    }
+  }
+  return table;
+}
+
+/// Lowers an explicit node-level table (`node_table[copy][disk] = node`,
+/// e.g. a `cluster::PlanRepair` output) to a per-primary-disk replica
+/// table. Unlike `LowerPlacementToDisks`, copy 0 follows the table too —
+/// a repair may have re-homed it off the primary's node. The primary disk
+/// itself stays as row[0] (`CreateWithTable` requires it); when its
+/// domain is dead that entry is dead with it, so it never inflates
+/// availability.
+Result<std::vector<std::vector<uint32_t>>> LowerNodeTableToDisks(
+    const std::vector<std::vector<uint32_t>>& node_table,
+    const std::vector<uint32_t>& disk_node) {
+  const uint32_t m = static_cast<uint32_t>(disk_node.size());
+  std::vector<uint32_t> lo(m, 0), count(m, 0);
+  std::vector<bool> seen(m, false);
+  for (uint32_t d = 0; d < m; ++d) {
+    const uint32_t n = disk_node[d];
+    if (!seen[n]) {
+      seen[n] = true;
+      lo[n] = d;
+    }
+    ++count[n];
+  }
+  std::vector<std::vector<uint32_t>> table(m);
+  for (uint32_t d = 0; d < m; ++d) {
+    std::vector<uint32_t>& row = table[d];
+    row.push_back(d);
+    for (size_t c = 0; c < node_table.size(); ++c) {
+      const uint32_t n = node_table[c][d];
       uint32_t disk = m;  // sentinel: unplaced
       for (uint32_t k = 0; k < count[n]; ++k) {
         const uint32_t candidate = lo[n] + (d + k) % count[n];
@@ -267,6 +321,8 @@ Result<AvailabilitySweep> RunAvailabilitySweep(
   // (seeded permutation of domain ids, unless the caller forced an order).
   const bool correlated = options.failure_domain != FailureDomain::kDisk;
   std::vector<std::vector<uint32_t>> dead_sets(options.max_failed + 1);
+  // Correlated mode: the domain kill order, kept for the repair planner.
+  std::vector<uint32_t> domain_order;
   if (!correlated) {
     Rng fail_rng(options.seed);
     const std::vector<uint32_t> fail_order =
@@ -280,19 +336,19 @@ Result<AvailabilitySweep> RunAvailabilitySweep(
       return Status::InvalidArgument(
           "max_failed exceeds the correlated domain count");
     }
-    std::vector<uint32_t> order = options.forced_domain_order;
-    if (order.empty()) {
+    domain_order = options.forced_domain_order;
+    if (domain_order.empty()) {
       Rng fail_rng(options.seed);
-      order = fail_rng.Permutation(domains);
+      domain_order = fail_rng.Permutation(domains);
     } else {
       std::set<uint32_t> distinct;
-      for (uint32_t id : order) {
+      for (uint32_t id : domain_order) {
         if (id >= domains || !distinct.insert(id).second) {
           return Status::InvalidArgument(
               "forced_domain_order entries must be distinct domain ids");
         }
       }
-      if (order.size() < options.max_failed) {
+      if (domain_order.size() < options.max_failed) {
         return Status::InvalidArgument(
             "forced_domain_order must cover max_failed domains");
       }
@@ -302,7 +358,7 @@ Result<AvailabilitySweep> RunAvailabilitySweep(
     for (uint32_t f = 1; f <= options.max_failed; ++f) {
       dead_sets[f] = dead_sets[f - 1];
       for (uint32_t d = 0; d < options.num_disks; ++d) {
-        if (DomainOfNode(options, disk_node[d]) == order[f - 1]) {
+        if (DomainOfNode(options, disk_node[d]) == domain_order[f - 1]) {
           dead_sets[f].push_back(d);
         }
       }
@@ -405,6 +461,81 @@ Result<AvailabilitySweep> RunAvailabilitySweep(
                                                    std::move(mask));
               },
               &sweep.points));
+
+          if (!options.repair) continue;
+          // Repair-aware strategy: by the time domain f dies, kills
+          // 1..f-1 have each been healed by the cluster's repair planner,
+          // so the point at f measures only the window after the latest
+          // kill. table_at[f] is the node-level placement after kill f's
+          // repair; rebuilt[f] is what that repair had to re-target.
+          std::vector<std::vector<std::vector<uint32_t>>> table_at(
+              options.max_failed + 1);
+          std::vector<uint32_t> rebuilt(options.max_failed + 1, 0);
+          table_at[0] = map.value().Table();
+          std::vector<uint32_t> dead_nodes;
+          for (uint32_t f = 1; f <= options.max_failed; ++f) {
+            for (uint32_t n = 0; n < options.topology.num_nodes(); ++n) {
+              if (DomainOfNode(options, n) == domain_order[f - 1]) {
+                dead_nodes.push_back(n);
+              }
+            }
+            std::sort(dead_nodes.begin(), dead_nodes.end());
+            cluster::RepairPlanInput in;
+            in.table = table_at[f - 1];
+            in.topology = options.topology;
+            in.dead_nodes = dead_nodes;
+            in.seed = options.placement_seed;
+            Result<cluster::RepairPlan> repair_plan = cluster::PlanRepair(in);
+            if (repair_plan.ok()) {
+              rebuilt[f] = static_cast<uint32_t>(
+                  repair_plan.value().actions.size());
+              table_at[f] = std::move(repair_plan.value().new_table);
+            } else {
+              // Every node dead: nothing left to repair onto; the
+              // placement carries forward and the points go dark honestly.
+              table_at[f] = table_at[f - 1];
+            }
+          }
+          std::vector<ReplicatedPlacement> repaired;
+          repaired.reserve(options.max_failed + 1);
+          for (uint32_t f = 0; f <= options.max_failed; ++f) {
+            // The placement the f-th point sees: repairs for kills
+            // 1..f-1 are done, kill f is not yet repaired.
+            const uint32_t healed = f == 0 ? 0 : f - 1;
+            Result<std::vector<std::vector<uint32_t>>> lowered =
+                LowerNodeTableToDisks(table_at[healed], disk_node);
+            GRIDDECL_RETURN_IF_ERROR(lowered.status());
+            Result<std::unique_ptr<DeclusteringMethod>> rb =
+                CreateMethod(name, grid.value(), options.num_disks);
+            GRIDDECL_RETURN_IF_ERROR(rb.status());
+            Result<ReplicatedPlacement> rp =
+                ReplicatedPlacement::CreateWithTable(
+                    std::move(rb).value(), std::move(lowered).value());
+            GRIDDECL_RETURN_IF_ERROR(rp.status());
+            repaired.push_back(std::move(rp).value());
+          }
+          uint32_t call = 0;
+          GRIDDECL_RETURN_IF_ERROR(SweepStrategy(
+              method, name, workload.value(), options, dead_sets,
+              std::string(cluster::PlacementPolicyName(policy)) + "-r" +
+                  std::to_string(r) + "+repair",
+              r,
+              [&](std::vector<bool> mask) {
+                return DegradedPlan::ForReplicated(repaired[call++],
+                                                   std::move(mask));
+              },
+              &sweep.points));
+          for (uint32_t f = 0; f <= options.max_failed; ++f) {
+            AvailabilityPoint& p =
+                sweep.points[sweep.points.size() - 1 - options.max_failed +
+                             f];
+            p.replicas_rebuilt = rebuilt[f];
+            p.redundancy_restored_ms =
+                rebuilt[f] == 0
+                    ? 0.0
+                    : options.repair_detect_ms +
+                          rebuilt[f] * options.repair_ms_per_replica;
+          }
         }
       }
     }
@@ -443,6 +574,13 @@ std::string AvailabilitySweep::ToJson() const {
              "\"";
     }
     out += "],\n";
+    if (options.repair) {
+      out += "  \"repair\": true,\n";
+      out += "  \"repair_detect_ms\": " + JsonNum(options.repair_detect_ms) +
+             ",\n";
+      out += "  \"repair_ms_per_replica\": " +
+             JsonNum(options.repair_ms_per_replica) + ",\n";
+    }
   }
   out += "  \"seed\": " + std::to_string(options.seed) + ",\n";
   out +=
@@ -469,6 +607,11 @@ std::string AvailabilitySweep::ToJson() const {
     out += ", \"transient_retries\": " +
            std::to_string(p.transient_retries);
     out += ", \"degraded_ratio\": " + JsonNum(p.degraded_ratio);
+    if (options.repair) {
+      out += ", \"replicas_rebuilt\": " + std::to_string(p.replicas_rebuilt);
+      out += ", \"redundancy_restored_ms\": " +
+             JsonNum(p.redundancy_restored_ms);
+    }
     out += "}";
   }
   out += "\n  ]\n}\n";

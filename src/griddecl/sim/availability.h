@@ -41,6 +41,17 @@
 /// kDisk report stays byte-identical; correlated reports add
 /// `failure_domain`, `topology`, `policies`, and per-point
 /// `failed_domains` fields.
+///
+/// **Repair-aware mode (experiment A17).** Setting `repair` (correlated
+/// mode only) additionally evaluates each policy under a
+/// `<policy>-rR+repair` strategy: before the f-th domain dies, every
+/// earlier kill has been healed by the cluster's repair planner
+/// (`cluster::PlanRepair`), so the point measures the exposure window
+/// right after the latest failure only. Each point also reports the
+/// repair the latest kill triggers — `replicas_rebuilt` and the modelled
+/// `redundancy_restored_ms` (detection plus paced per-replica copy time),
+/// the sweep-level face of the cluster's MTTR. Non-repair reports stay
+/// byte-identical.
 
 namespace griddecl {
 
@@ -79,6 +90,13 @@ struct AvailabilityPoint {
   /// mean_latency_ms / (same configuration's f = 0 mean); 0 when no query
   /// was answered.
   double degraded_ratio = 0;
+  /// Repair mode only: replica re-targets the latest domain kill needs
+  /// (0 for non-repair strategies and at f = 0).
+  uint32_t replicas_rebuilt = 0;
+  /// Repair mode only: modelled time from the latest kill until redundancy
+  /// is back — `repair_detect_ms + replicas_rebuilt * repair_ms_per_replica`
+  /// (0 when nothing needed rebuilding).
+  double redundancy_restored_ms = 0;
 };
 
 /// Sweep configuration. Defaults give the standard A11 setup: 32x32 grid,
@@ -119,6 +137,15 @@ struct AvailabilitySweepOptions {
   /// least max_failed of them). Lets callers probe a specific worst-case
   /// domain instead of the seeded one.
   std::vector<uint32_t> forced_domain_order;
+
+  /// Correlated mode only: also evaluate `<policy>-rR+repair` strategies
+  /// where every earlier kill has been healed by `cluster::PlanRepair`
+  /// before the next domain dies (see file comment).
+  bool repair = false;
+  /// Repair-MTTR model: failure-detection lag (the heartbeat's
+  /// dead_after * interval) and the paced copy cost per rebuilt replica.
+  double repair_detect_ms = 40.0;
+  double repair_ms_per_replica = 5.0;
 };
 
 /// Sweep output: every point plus enough configuration echo to interpret it.

@@ -241,5 +241,87 @@ TEST(AvailabilitySweepTest, ZoneAwareBeatsSpreadBeatsChainedOnZoneKills) {
   EXPECT_LT(chained, 1.0);
 }
 
+TEST(AvailabilitySweepTest, RepairModeValidationAndJson) {
+  // Repair is a correlated-mode extension with a sane MTTR model.
+  AvailabilitySweepOptions classic = SmallOptions();
+  classic.repair = true;
+  EXPECT_FALSE(RunAvailabilitySweep(classic).ok());
+  AvailabilitySweepOptions bad = CorrelatedOptions();
+  bad.repair = true;
+  bad.repair_detect_ms = -1.0;
+  EXPECT_FALSE(RunAvailabilitySweep(bad).ok());
+  bad.repair_detect_ms = 40.0;
+  bad.repair_ms_per_replica = -1.0;
+  EXPECT_FALSE(RunAvailabilitySweep(bad).ok());
+
+  AvailabilitySweepOptions opts = CorrelatedOptions();
+  opts.repair = true;
+  const AvailabilitySweep sweep = RunAvailabilitySweep(opts).value();
+  const std::string json = sweep.ToJson();
+  EXPECT_NE(json.find("\"repair\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"repair_detect_ms\": "), std::string::npos);
+  EXPECT_NE(json.find("\"strategy\": \"zone_aware-r2+repair\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"replicas_rebuilt\": "), std::string::npos);
+  EXPECT_NE(json.find("\"redundancy_restored_ms\": "), std::string::npos);
+  EXPECT_EQ(json, RunAvailabilitySweep(opts).value().ToJson());
+
+  // Every repair point's restoration time follows the model; f = 0 points
+  // have nothing to rebuild.
+  for (const AvailabilityPoint& p : sweep.points) {
+    if (p.strategy.find("+repair") == std::string::npos) {
+      EXPECT_EQ(p.replicas_rebuilt, 0u);
+      continue;
+    }
+    if (p.failed_domains == 0) EXPECT_EQ(p.replicas_rebuilt, 0u);
+    const double want =
+        p.replicas_rebuilt == 0
+            ? 0.0
+            : opts.repair_detect_ms +
+                  p.replicas_rebuilt * opts.repair_ms_per_replica;
+    EXPECT_DOUBLE_EQ(p.redundancy_restored_ms, want) << p.strategy;
+  }
+
+  // Byte-compatibility guard: a non-repair correlated report must not grow
+  // any of the repair fields.
+  const std::string plain =
+      RunAvailabilitySweep(CorrelatedOptions()).value().ToJson();
+  EXPECT_EQ(plain.find("repair"), std::string::npos);
+  EXPECT_EQ(plain.find("replicas_rebuilt"), std::string::npos);
+  EXPECT_EQ(plain.find("redundancy_restored_ms"), std::string::npos);
+}
+
+TEST(AvailabilitySweepTest, RepairHealsEarlierKillsBeforeTheNextOne) {
+  // A17 headline: at f = 2 the non-repair strategy has had two unhealed
+  // node kills, while +repair healed the first before the second landed.
+  // Killing one node per zone (0 then 2, or 0 then 3) catches zone_aware
+  // with both copies of some bucket dead in at least one of the orders;
+  // with repair the first kill's replicas were rebuilt in the surviving
+  // zone-0 node, so every order stays fully available.
+  double worst_plain = 1.0;
+  double worst_repaired = 1.0;
+  for (const uint32_t second : {2u, 3u}) {
+    AvailabilitySweepOptions opts = CorrelatedOptions();
+    opts.failure_domain = FailureDomain::kNode;
+    opts.max_failed = 2;
+    opts.forced_domain_order = {0, second};
+    opts.placement_policies = {cluster::PlacementPolicy::kZoneAware};
+    opts.repair = true;
+    const AvailabilitySweep sweep = RunAvailabilitySweep(opts).value();
+    for (const AvailabilityPoint& p : sweep.points) {
+      if (p.failed_domains != 2) continue;
+      if (p.strategy == "zone_aware-r2") {
+        worst_plain = std::min(worst_plain, p.availability);
+      } else if (p.strategy == "zone_aware-r2+repair") {
+        worst_repaired = std::min(worst_repaired, p.availability);
+        EXPECT_GT(p.replicas_rebuilt, 0u);
+        EXPECT_GT(p.redundancy_restored_ms, 0.0);
+      }
+    }
+  }
+  EXPECT_DOUBLE_EQ(worst_repaired, 1.0);
+  EXPECT_LT(worst_plain, 1.0);
+}
+
 }  // namespace
 }  // namespace griddecl

@@ -420,6 +420,103 @@ TEST(ClusterChaosTest, SoakNeverServesSilentWrongData) {
   EXPECT_EQ(reg.GetCounter("cluster.verify_mismatches")->value(), 0u);
 }
 
+TEST(ClusterChaosTest, RepairSoakHealsUnderLiveTraffic) {
+  // Same silent-wrong-data invariant as the migration soak, but the
+  // control plane runs the self-healing cycle: heartbeat-detected node
+  // death, a paced repair cutover, a revived node catching up through the
+  // generation fence, and a full-zone kill the repair must have made
+  // survivable — all while traffic threads hammer the cluster.
+  MemEnv env;
+  const Catalog catalog = CommitMirrorCatalog(&env);
+  ClusterOptions options = Deterministic();
+  options.seed = 5;
+  options.quorum_fraction = 0.2;
+  PlacementSpec spec;
+  spec.policy = PlacementPolicy::kZoneAware;
+  spec.topology = Topology::Grid(4, 2, 2).value();
+  spec.seed = 7;
+  options.placement = spec;
+  auto cluster = Cluster::Create(env, options).value();
+  const Traffic traffic = MakeTraffic(catalog);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> served{0};
+  std::atomic<uint64_t> complete{0};
+  std::atomic<uint64_t> wrong{0};
+  std::vector<std::thread> drivers;
+  for (int t = 0; t < 3; ++t) {
+    drivers.emplace_back([&, t] {
+      size_t i = static_cast<size_t>(t) * 31;
+      while (!stop.load()) {
+        const size_t q = i++ % traffic.queries.size();
+        const ClusterQueryResult r = cluster->Execute(traffic.queries[q]);
+        const std::vector<RecordId>& want = traffic.want[q];
+        served.fetch_add(1);
+        if (r.status.ok() && r.complete) {
+          complete.fetch_add(1);
+          if (r.matches != want || r.availability != 1.0) wrong.fetch_add(1);
+        } else if (r.status.ok()) {
+          const bool flagged =
+              r.unavailable_buckets > 0 && r.availability < 1.0;
+          const bool subset = std::includes(want.begin(), want.end(),
+                                            r.matches.begin(),
+                                            r.matches.end());
+          if (!flagged || !subset) wrong.fetch_add(1);
+        } else if (!r.matches.empty()) {
+          wrong.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  const auto breathe =
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(5)); };
+  breathe();
+  // Lose a node; the detector declares it dead; a paced repair rebuilds
+  // its replicas on the surviving zone-0 node under live load.
+  ASSERT_TRUE(cluster->KillNode(1).ok());
+  breathe();
+  cluster->AdvanceTimeMs(60.0);
+  RepairOptions ro;
+  ro.copy_bytes_per_sec = 1e9;
+  const RepairReport report = cluster->Repair(ro).value();
+  EXPECT_TRUE(report.committed) << report.abort_reason;
+  breathe();
+  // The revived node is a generation behind: readmission goes through the
+  // catch-up fence while queries keep flowing.
+  ASSERT_TRUE(cluster->ReviveNode(1).ok());
+  breathe();
+  // The repair's whole point: a subsequent full-zone kill keeps serving.
+  ASSERT_TRUE(cluster->KillZone(1).ok());
+  breathe();
+  ASSERT_TRUE(cluster->ReviveNode(2).ok());
+  ASSERT_TRUE(cluster->ReviveNode(3).ok());
+  breathe();
+  // A repair on the healed cluster is a no-op, not a layout churn.
+  const RepairReport idle = cluster->Repair({}).value();
+  EXPECT_TRUE(idle.already_healthy) << idle.abort_reason;
+  breathe();
+  stop.store(true);
+  for (std::thread& th : drivers) th.join();
+
+  EXPECT_GT(served.load(), 0u);
+  EXPECT_GT(complete.load(), 0u);
+  EXPECT_EQ(wrong.load(), 0u) << "served " << served.load();
+  EXPECT_EQ(cluster->generation(), report.new_generation);
+
+  for (size_t q = 0; q < traffic.queries.size(); ++q) {
+    const ClusterQueryResult r = cluster->Execute(traffic.queries[q]);
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_TRUE(r.complete);
+    EXPECT_EQ(r.matches, traffic.want[q]) << "query " << q;
+  }
+  obs::MetricsRegistry reg;
+  cluster->SnapshotMetrics(&reg);
+  EXPECT_EQ(reg.GetCounter("cluster.repairs_committed")->value(), 1u);
+  EXPECT_EQ(reg.GetCounter("cluster.verify_mismatches")->value(), 0u);
+  EXPECT_GE(reg.GetCounter("cluster.revive_catchups")->value(), 1u);
+}
+
 }  // namespace
 }  // namespace cluster
 }  // namespace griddecl

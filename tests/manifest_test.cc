@@ -481,5 +481,77 @@ TEST(ManifestTest, MalformedPlacementRecordsRejected) {
   }
 }
 
+uint32_t ManifestVersionWord(const std::string& bytes) {
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 4, 4);  // Version follows the magic.
+  return version;
+}
+
+TEST(ManifestTest, PlacementTableRoundTripsAsVersionFour) {
+  // Repair output: an explicit (copy, disk) -> node table overriding the
+  // policy formula. It must persist (version 4) and reload verbatim.
+  const Catalog catalog = MakeCatalog(4);
+  MemEnv env;
+  ManifestSaveOptions options;
+  options.placement = TestPlacement();
+  options.placement->table_copies = 2;
+  options.placement->table_disks = 4;
+  options.placement->table = {0, 1, 2, 3, 2, 3, 1, 0};
+  ASSERT_TRUE(SaveCatalogManifest(catalog, &env, options).ok());
+
+  const std::string bytes = env.ReadFile(ManifestFileName(1)).value();
+  EXPECT_EQ(ManifestVersionWord(bytes), 4u);
+  const CatalogManifest m = ParseManifest(bytes).value();
+  ASSERT_TRUE(m.placement.has_value());
+  EXPECT_EQ(m.placement->table_copies, 2u);
+  EXPECT_EQ(m.placement->table_disks, 4u);
+  EXPECT_EQ(m.placement->table,
+            (std::vector<uint32_t>{0, 1, 2, 3, 2, 3, 1, 0}));
+  EXPECT_TRUE(LoadCatalogManifestConsistent(env).ok());
+}
+
+TEST(ManifestTest, TablelessPlacementStaysVersionThree) {
+  // Backward compatibility: a manifest whose placement record carries no
+  // table serializes exactly as before the table existed, so pre-repair
+  // readers keep working byte-for-byte.
+  const Catalog catalog = MakeCatalog(4);
+  MemEnv with_table_env;
+  MemEnv tableless_env;
+  ManifestSaveOptions options;
+  options.placement = TestPlacement();
+  ASSERT_TRUE(SaveCatalogManifest(catalog, &tableless_env, options).ok());
+  options.placement->table_copies = 1;
+  options.placement->table_disks = 4;
+  options.placement->table = {0, 1, 2, 3};
+  ASSERT_TRUE(SaveCatalogManifest(catalog, &with_table_env, options).ok());
+
+  const std::string tableless =
+      tableless_env.ReadFile(ManifestFileName(1)).value();
+  EXPECT_EQ(ManifestVersionWord(tableless), 3u);
+  EXPECT_NE(tableless,
+            with_table_env.ReadFile(ManifestFileName(1)).value());
+
+  // A no-placement manifest stays version 3 too.
+  MemEnv plain_env;
+  ASSERT_TRUE(SaveCatalogManifest(catalog, &plain_env).ok());
+  EXPECT_EQ(
+      ManifestVersionWord(plain_env.ReadFile(ManifestFileName(1)).value()),
+      3u);
+}
+
+TEST(ManifestTest, PlacementTableNamingUnknownNodeRejected) {
+  const Catalog catalog = MakeCatalog(4);
+  MemEnv env;
+  ManifestSaveOptions options;
+  options.placement = TestPlacement();  // 4 nodes.
+  options.placement->table_copies = 1;
+  options.placement->table_disks = 4;
+  options.placement->table = {0, 1, 2, 9};  // No node 9.
+  const Result<uint64_t> gen = SaveCatalogManifest(catalog, &env, options);
+  if (gen.ok()) {
+    EXPECT_FALSE(ParseManifest(env.ReadFile(ManifestFileName(1)).value()).ok());
+  }
+}
+
 }  // namespace
 }  // namespace griddecl

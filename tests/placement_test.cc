@@ -171,5 +171,59 @@ TEST(PlacementSpecTest, ManifestRoundTrip) {
   EXPECT_FALSE(FromManifestPlacement(bad).ok());
 }
 
+TEST(PlacementMapTest, ExplicitTableOverridesThePolicyFormula) {
+  // A repair leaves an explicit table that deliberately disagrees with
+  // what the policy would compute; Build must serve it verbatim.
+  PlacementSpec spec;
+  spec.policy = PlacementPolicy::kChained;
+  spec.topology = Topology::Flat(4);
+  const std::vector<uint32_t> disk_node = Deal(4, 4);
+  spec.table = {disk_node, {2, 3, 0, 0}};  // Chained would give {1,2,3,0}.
+  const PlacementMap map = PlacementMap::Build(spec, disk_node, 2).value();
+  EXPECT_EQ(map.NodeOf(0, 1), 2u);
+  EXPECT_EQ(map.NodeOf(3, 1), 0u);
+  EXPECT_EQ(map.Table(), spec.table);
+
+  // Row 0 must agree with the ownership deal, rows must be full width,
+  // entries must be inside the topology, and there must be a row per copy.
+  PlacementSpec bad = spec;
+  bad.table[0][0] = 1;
+  EXPECT_FALSE(PlacementMap::Build(bad, disk_node, 2).ok());
+  bad = spec;
+  bad.table[1].pop_back();
+  EXPECT_FALSE(PlacementMap::Build(bad, disk_node, 2).ok());
+  bad = spec;
+  bad.table[1][0] = 9;
+  EXPECT_FALSE(PlacementMap::Build(bad, disk_node, 2).ok());
+  EXPECT_FALSE(PlacementMap::Build(spec, disk_node, 3).ok());
+}
+
+TEST(PlacementSpecTest, ManifestRoundTripCarriesTheTable) {
+  PlacementSpec spec;
+  spec.policy = PlacementPolicy::kZoneAware;
+  spec.topology = Topology::Grid(4, 2, 2).value();
+  spec.seed = 11;
+  spec.table = {{0, 1, 2, 3}, {2, 3, 0, 1}};
+
+  const ManifestPlacement record = ToManifestPlacement(spec);
+  EXPECT_EQ(record.table_copies, 2u);
+  EXPECT_EQ(record.table_disks, 4u);
+  const PlacementSpec back = FromManifestPlacement(record).value();
+  EXPECT_EQ(back.table, spec.table);
+
+  // Table-less specs round-trip with an empty table, as before.
+  spec.table.clear();
+  const ManifestPlacement tableless = ToManifestPlacement(spec);
+  EXPECT_TRUE(tableless.table.empty());
+  EXPECT_TRUE(FromManifestPlacement(tableless).value().table.empty());
+
+  ManifestPlacement bad = record;
+  bad.table[5] = 42;  // No node 42 in a 4-node topology.
+  EXPECT_FALSE(FromManifestPlacement(bad).ok());
+  bad = record;
+  bad.table_disks = 3;  // Dims no longer match the flat payload.
+  EXPECT_FALSE(FromManifestPlacement(bad).ok());
+}
+
 }  // namespace
 }  // namespace griddecl::cluster

@@ -46,7 +46,8 @@
 ///                [--seed 42] [--mpl 4] [--json FILE]
 ///                [--failure-domain node|rack|zone --topology NxRxZ]
 ///                [--policies chained,spread,zone_aware]
-///                [--placement-seed S]
+///                [--placement-seed S] [--repair]
+///                [--repair-detect-ms MS] [--repair-ms-per-replica MS]
 ///       Availability sweep: mean response and availability vs. failed
 ///       disks per method and degraded-read strategy (plain, replica
 ///       re-routing, ECC reconstruction). `--json -` prints the JSON
@@ -54,7 +55,11 @@
 ///       the sweep kills whole nodes/racks/zones of `--topology` instead
 ///       of single disks and evaluates the cluster placement policies
 ///       (chained, spread, zone_aware) as the replica strategies — the
-///       A16 correlated-failure experiment.
+///       A16 correlated-failure experiment. `--repair` adds
+///       `<policy>-rR+repair` strategies where every earlier kill has
+///       been healed by the repair planner before the next domain dies,
+///       with a modelled redundancy-restored-by time per point — the
+///       A17 self-healing experiment.
 ///
 ///   declctl mkcatalog --dir DIR --grid 8x8 --disks 4 [--methods dm,hcam]
 ///                [--records 256] [--seed 42] [--page-size 4096]
@@ -101,6 +106,7 @@
 ///                [--hedge-delay MS] [--no-hedge] [--first-success]
 ///                [--quorum F] [--seed S] [--latency n0,n1,...]
 ///                [--transient-prob P] [--fault-seed S]
+///                [--max-nodes N] [--retry-budget N] [--hedge-budget F]
 ///                [--placement chained|spread|zone_aware
 ///                 --topology N[xR[xZ]] [--placement-seed S]]
 ///       Simulate an N-node scatter-gather cluster (cluster/cluster.h)
@@ -112,13 +118,20 @@
 ///       results with an explicit availability fraction when buckets have
 ///       no live route. The script (cluster/script.h) extends the serve
 ///       format with `kill-node N`, `revive-node N`, `kill-zone Z`,
-///       `revive-zone Z`, `advance-ms T`, and `migrate <method> <disks>`
-///       (live re-declustering with atomic cutover). `--latency` injects
+///       `revive-zone Z`, `advance-ms T`, `migrate <method> <disks>`
+///       (live re-declustering with atomic cutover), `repair [B/s]`
+///       (paced re-replication of replicas lost to heartbeat-dead or
+///       decommissioned nodes), `add-node <rack> <zone>` (grow the
+///       cluster; requires headroom from `--max-nodes`), and
+///       `remove-node N` (decommission). `--latency` injects
 ///       per-node read latency in ms (the slow-node hedging demo).
 ///       `--placement`/`--topology` override the replica placement policy
 ///       recorded in the manifest (chained when absent); self-colocating
-///       chained placements are reported as warnings. Exit status 0 iff
-///       every query returned complete and every migrate committed.
+///       chained placements are reported as warnings. `--retry-budget`
+///       caps per-query failover attempts; `--hedge-budget` caps
+///       cluster-wide hedged extras as a fraction of primary sub-queries
+///       (0 = unlimited for both). Exit status 0 iff every query returned
+///       complete and every migrate or repair committed.
 ///
 /// Commands that drive the evaluator, a simulator, or the storage stack
 /// (eval, compare, throughput, degrade, mkcatalog, fsck) also accept
@@ -607,6 +620,16 @@ int CmdDegrade(const Flags& flags) {
     const auto pseed = flags.GetInt("placement-seed", 1);
     if (!pseed.ok()) return Fail("bad --placement-seed");
     opts.placement_seed = static_cast<uint64_t>(pseed.value());
+    // Repair-aware mode (A17): heal each kill before the next domain dies.
+    const auto repair = flags.GetBool("repair", false);
+    const auto detect = flags.GetDouble("repair-detect-ms", 40.0);
+    const auto per_replica = flags.GetDouble("repair-ms-per-replica", 5.0);
+    if (!repair.ok() || !detect.ok() || !per_replica.ok()) {
+      return Fail("bad repair flag");
+    }
+    opts.repair = repair.value();
+    opts.repair_detect_ms = detect.value();
+    opts.repair_ms_per_replica = per_replica.value();
   }
   MetricsSink sink(flags);
   opts.sim.metrics = sink.registry();
@@ -994,9 +1017,14 @@ int CmdCluster(const Flags& flags) {
   const auto seed = flags.GetInt("seed", 0);
   const auto prob = flags.GetDouble("transient-prob", 0.0);
   const auto fault_seed = flags.GetInt("fault-seed", 1);
+  const auto max_nodes = flags.GetInt("max-nodes", 0);
+  const auto retry_budget = flags.GetInt("retry-budget", 0);
+  const auto hedge_budget = flags.GetDouble("hedge-budget", 0.0);
   if (!nodes.ok() || !threads.ok() || !hedge_delay.ok() || !no_hedge.ok() ||
       !first_success.ok() || !quorum.ok() || !seed.ok() || !prob.ok() ||
-      !fault_seed.ok() || nodes.value() < 1 || threads.value() < 1) {
+      !fault_seed.ok() || !max_nodes.ok() || !retry_budget.ok() ||
+      !hedge_budget.ok() || nodes.value() < 1 || threads.value() < 1 ||
+      max_nodes.value() < 0 || retry_budget.value() < 0) {
     return Fail("bad numeric flag");
   }
 
@@ -1013,6 +1041,9 @@ int CmdCluster(const Flags& flags) {
   options.node.seed = static_cast<uint64_t>(seed.value());
   options.node_transient_prob = prob.value();
   options.fault_seed = static_cast<uint64_t>(fault_seed.value());
+  options.max_nodes = static_cast<uint32_t>(max_nodes.value());
+  options.retry_budget_per_query = static_cast<uint32_t>(retry_budget.value());
+  options.hedge_budget_fraction = hedge_budget.value();
   {
     Result<std::optional<cluster::PlacementSpec>> placement =
         PlacementFromFlags(flags);
@@ -1143,6 +1174,49 @@ int CmdCluster(const Flags& flags) {
                     << " (old generation " << report.value().old_generation
                     << " intact)\n";
         }
+        break;
+      }
+      case Kind::kRepair: {
+        cluster::RepairOptions ro;
+        ro.copy_bytes_per_sec = cmd.repair_bytes_per_sec;
+        Result<cluster::RepairReport> report = cl.value()->Repair(ro);
+        if (!report.ok()) return Fail(report.status().ToString());
+        if (report.value().already_healthy) {
+          std::cout << "repair: placement already healthy (generation "
+                    << report.value().old_generation << ")\n";
+        } else if (report.value().committed) {
+          std::cout << "repaired: generation "
+                    << report.value().old_generation << " -> "
+                    << report.value().new_generation << ", "
+                    << report.value().replicas_retargeted
+                    << " replica(s) re-targeted, "
+                    << report.value().files_copied << " file(s) copied, "
+                    << report.value().verify_queries
+                    << " verify quer(ies) clean, MTTR "
+                    << Table::Fmt(report.value().mttr_virtual_ms, 1)
+                    << " virtual ms\n";
+        } else {
+          ++incomplete;
+          std::cout << "repair aborted: " << report.value().abort_reason
+                    << " (old generation " << report.value().old_generation
+                    << " intact)\n";
+        }
+        break;
+      }
+      case Kind::kAddNode: {
+        Result<uint32_t> id =
+            cl.value()->AddNode(cmd.add_rack, cmd.add_zone);
+        if (!id.ok()) return Fail(id.status().ToString());
+        std::cout << "added node " << id.value() << " (rack " << cmd.add_rack
+                  << ", zone " << cmd.add_zone
+                  << "); repair to take ownership\n";
+        break;
+      }
+      case Kind::kRemoveNode: {
+        const Status st = cl.value()->RemoveNode(cmd.node);
+        if (!st.ok()) return Fail(st.ToString());
+        std::cout << "removed node " << cmd.node
+                  << "; repair to evacuate its replicas\n";
         break;
       }
     }
